@@ -1,0 +1,345 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§6 and
+// Appendix A), plus micro-benchmarks of the hot paths (simulation step,
+// monitor check, busy-window analysis) and ablation benches for the
+// design choices called out in DESIGN.md §5. The figure benches report
+// the reproduced headline metrics via b.ReportMetric so `go test
+// -bench=.` regenerates the paper's numbers alongside the timing.
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/arm"
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/monitor"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+func benchFig6Cfg() experiments.Fig6Config {
+	cfg := experiments.DefaultFig6()
+	cfg.EventsPerLoad = 2000 // statistics-preserving reduction
+	return cfg
+}
+
+// BenchmarkFig6a regenerates Figure 6a: latency histogram with
+// monitoring disabled (original top handler).
+func BenchmarkFig6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(experiments.Fig6a, benchFig6Cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summary.Mean.MicrosF(), "mean_µs")
+		b.ReportMetric(r.Summary.Max.MicrosF(), "max_µs")
+		b.ReportMetric(100*r.Summary.Share(tracerec.Delayed), "delayed_%")
+	}
+}
+
+// BenchmarkFig6b regenerates Figure 6b: monitoring enabled, arrivals may
+// violate dmin.
+func BenchmarkFig6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(experiments.Fig6b, benchFig6Cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summary.Mean.MicrosF(), "mean_µs")
+		b.ReportMetric(100*r.Summary.Share(tracerec.Interposed), "interposed_%")
+		b.ReportMetric(100*r.Summary.Share(tracerec.Delayed), "delayed_%")
+	}
+}
+
+// BenchmarkFig6c regenerates Figure 6c: monitoring enabled with a
+// dmin-conforming arrival stream.
+func BenchmarkFig6c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(experiments.Fig6c, benchFig6Cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summary.Mean.MicrosF(), "mean_µs")
+		b.ReportMetric(100*r.Summary.Share(tracerec.Interposed), "interposed_%")
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: the ECU-trace testcase with the
+// self-learning δ⁻[5] monitor and four load bounds (Appendix A).
+func BenchmarkFig7(b *testing.B) {
+	cfg := experiments.DefaultFig7()
+	cfg.ECU.Events = 4000
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Graphs[0].RunAvg, "run_avg_a_µs")
+		b.ReportMetric(r.Graphs[1].RunAvg, "run_avg_b_µs")
+		b.ReportMetric(r.Graphs[2].RunAvg, "run_avg_c_µs")
+		b.ReportMetric(r.Graphs[3].RunAvg, "run_avg_d_µs")
+	}
+}
+
+// BenchmarkOverheadTable regenerates the §6.2 memory/runtime overhead
+// table, including the context-switch increase of scenario 2.
+func BenchmarkOverheadTable(b *testing.B) {
+	cfg := benchFig6Cfg()
+	cfg.EventsPerLoad = 1000
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Overhead(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.CumIncreasePct, "ctx_increase_%")
+		b.ReportMetric(r.Costs.CtxSwitch.MicrosF(), "C_ctx_µs")
+	}
+}
+
+// BenchmarkAnalysisBounds evaluates the worst-case latency bounds of
+// eqs. (11)–(16) — the analytic result the evaluation validates.
+func BenchmarkAnalysisBounds(b *testing.B) {
+	irq := analysis.IRQ{
+		Name: "timer0",
+		CTH:  simtime.Micros(6),
+		CBH:  simtime.Micros(30),
+		Model: curves.PJD{
+			Period: simtime.Micros(1344),
+			Jitter: simtime.Micros(200),
+			DMin:   simtime.Micros(1344),
+		},
+	}
+	tdma := analysis.TDMA{Cycle: simtime.Micros(14000), Slot: simtime.Micros(6000)}
+	costs := arm.DefaultCosts()
+	var cmp analysis.Comparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cmp, err = analysis.Compare(irq, tdma, costs, nil, analysis.DefaultHorizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.Classic.WCRT.MicrosF(), "classic_µs")
+	b.ReportMetric(cmp.Interposed.WCRT.MicrosF(), "interposed_µs")
+}
+
+// BenchmarkAblationSlotEndPolicy compares the three slot-end collision
+// policies on the scenario-3 workload (DESIGN.md §5): mean latency and
+// the delayed share each policy leaves behind.
+func BenchmarkAblationSlotEndPolicy(b *testing.B) {
+	for _, pol := range []hv.SlotEndPolicy{hv.DenyNearSlotEnd, hv.SplitOnSlotEnd, hv.ResumeAcrossSlots} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := benchFig6Cfg()
+			cfg.Policy = pol
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Fig6(experiments.Fig6c, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Summary.Mean.MicrosF(), "mean_µs")
+				b.ReportMetric(100*r.Summary.Share(tracerec.Delayed), "delayed_%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMonitorLength sweeps the δ⁻ length l on the ECU trace:
+// each additional entry adds a burst constraint, trading admitted grants
+// for a tighter multi-event interference guarantee (see EXPERIMENTS.md).
+func BenchmarkAblationMonitorLength(b *testing.B) {
+	trace, err := workload.ECUTrace(workload.ECUConfig{Events: 3000, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, l := range []int{1, 2, 5, 10} {
+		b.Run(string(rune('0'+l/10))+string(rune('0'+l%10)), func(b *testing.B) {
+			learn := len(trace) / 10
+			recorded, err := curves.DeltaFromTrace(trace[:learn], l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bound := recorded.ScaleDistances(2)
+			for i := 0; i < b.N; i++ {
+				sc := core.Scenario{
+					Partitions: []core.PartitionSpec{
+						{Name: "app1", Slot: simtime.Micros(6000)},
+						{Name: "app2", Slot: simtime.Micros(6000)},
+						{Name: "hk", Slot: simtime.Micros(2000)},
+					},
+					Mode:   hv.Monitored,
+					Policy: hv.ResumeAcrossSlots,
+					IRQs: []core.IRQSpec{{
+						Name: "ecu", Partition: 0,
+						CTH: simtime.Micros(6), CBH: simtime.Micros(30),
+						Arrivals: trace,
+						Learn:    &core.LearnSpec{L: l, Events: learn, Bound: bound},
+					}},
+				}
+				res, err := core.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Summary.Mean.MicrosF(), "mean_µs")
+				b.ReportMetric(float64(res.Stats.InterposedGrants), "grants")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulationThroughput measures raw simulator speed: simulated
+// IRQs per wall-clock second through the full monitored pipeline.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	lambda := simtime.Micros(1344)
+	arrivals := workload.Timestamps(workload.Exponential(rng.New(1), lambda, 2000))
+	sc := core.Scenario{
+		Partitions: []core.PartitionSpec{
+			{Name: "app1", Slot: simtime.Micros(6000)},
+			{Name: "app2", Slot: simtime.Micros(6000)},
+			{Name: "hk", Slot: simtime.Micros(2000)},
+		},
+		Mode:   hv.Monitored,
+		Policy: hv.ResumeAcrossSlots,
+		IRQs: []core.IRQSpec{{
+			Name: "t0", Partition: 0,
+			CTH: simtime.Micros(6), CBH: simtime.Micros(30),
+			Arrivals: arrivals, DMin: lambda,
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(arrivals)*b.N)/b.Elapsed().Seconds(), "IRQs/s")
+}
+
+// BenchmarkMonitorCheck measures the δ⁻ monitor's admission check — the
+// operation the paper bounds at ~10–100 cycles on the target.
+func BenchmarkMonitorCheck(b *testing.B) {
+	m := monitor.NewDMin(simtime.Micros(100))
+	t := simtime.Time(0)
+	for i := 0; i < b.N; i++ {
+		t = t.Add(simtime.Micros(150))
+		if m.Check(t) == monitor.Conforming {
+			m.Commit(t)
+		}
+	}
+}
+
+// BenchmarkMonitorCheckL5 measures the l = 5 variant used in Appendix A.
+func BenchmarkMonitorCheckL5(b *testing.B) {
+	d, err := curves.NewDelta([]simtime.Duration{
+		simtime.Micros(10), simtime.Micros(50), simtime.Micros(120),
+		simtime.Micros(250), simtime.Micros(500),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := monitor.New(d)
+	t := simtime.Time(0)
+	for i := 0; i < b.N; i++ {
+		t = t.Add(simtime.Micros(130))
+		if m.Check(t) == monitor.Conforming {
+			m.Commit(t)
+		}
+	}
+}
+
+// BenchmarkBusyWindow measures one busy-window fixed-point iteration.
+func BenchmarkBusyWindow(b *testing.B) {
+	tdma := analysis.TDMA{Cycle: simtime.Micros(14000), Slot: simtime.Micros(6000)}
+	model := curves.PJD{Period: simtime.Micros(1344), Jitter: simtime.Micros(200), DMin: simtime.Micros(1344)}
+	inf := func(dt simtime.Duration) simtime.Duration {
+		return tdma.Interference(dt) + simtime.Duration(model.EtaPlus(dt))*simtime.Micros(6)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.BusyWindow(3, simtime.Micros(30), inf, analysis.DefaultHorizon); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkECUTrace measures synthetic trace generation.
+func BenchmarkECUTrace(b *testing.B) {
+	cfg := workload.ECUConfig{Events: 11000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.ECUTrace(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDESEventThroughput measures raw kernel speed: self-
+// rescheduling events per second.
+func BenchmarkDESEventThroughput(b *testing.B) {
+	sim := des.New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			sim.After(simtime.Microsecond, "tick", tick)
+		}
+	}
+	sim.After(simtime.Microsecond, "tick", tick)
+	b.ResetTimer()
+	sim.Drain()
+}
+
+// BenchmarkGuestOSAdvance measures guest scheduling over supply windows.
+func BenchmarkGuestOSAdvance(b *testing.B) {
+	g := guestos.New("bench")
+	mustAdd := func(t guestos.Task) {
+		if _, err := g.AddTask(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustAdd(guestos.Task{Name: "a", Period: 5 * simtime.Millisecond, WCET: simtime.Millisecond})
+	mustAdd(guestos.Task{Name: "b", Period: 11 * simtime.Millisecond, WCET: 2 * simtime.Millisecond})
+	mustAdd(guestos.Task{Name: "bg"})
+	b.ResetTimer()
+	var t simtime.Time
+	for i := 0; i < b.N; i++ {
+		g.Advance(t, t.Add(6*simtime.Millisecond))
+		t = t.Add(14 * simtime.Millisecond)
+	}
+}
+
+// BenchmarkMonitorLearning measures Algorithm 1's per-IRQ cost at l = 5.
+func BenchmarkMonitorLearning(b *testing.B) {
+	m, err := monitor.NewLearning(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := simtime.Time(0)
+	for i := 0; i < b.N; i++ {
+		t = t.Add(simtime.Micros(130))
+		m.Learn(t)
+	}
+}
+
+// BenchmarkSupplyBound measures the multi-window sbf evaluation.
+func BenchmarkSupplyBound(b *testing.B) {
+	sched, err := analysis.NewSchedule(simtime.Micros(20000), []analysis.Window{
+		{Start: simtime.Micros(1000), End: simtime.Micros(4000)},
+		{Start: simtime.Micros(8000), End: simtime.Micros(9000)},
+		{Start: simtime.Micros(15000), End: simtime.Micros(19000)},
+	}, simtime.Micros(50))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink simtime.Duration
+	for i := 0; i < b.N; i++ {
+		sink += sched.Supply(simtime.Duration(i%100000) * simtime.Microsecond)
+	}
+	_ = sink
+}

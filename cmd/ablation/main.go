@@ -1,0 +1,122 @@
+// Command ablation runs the design-choice studies of DESIGN.md §5 and
+// prints comparison tables:
+//
+//   - slot-end collision policy (deny / split / resume) on the Fig. 6c
+//     workload,
+//   - monitor condition length l on the synthetic ECU trace,
+//   - bottom-handler WCET sweep showing how the §6.2 context-switch
+//     increase depends on the unpublished C_BH.
+//
+// Usage:
+//
+//	ablation [-events N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/experiments"
+	"repro/internal/hv"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+func main() {
+	events := flag.Int("events", 2000, "IRQs per configuration")
+	flag.Parse()
+
+	policyStudy(*events)
+	fmt.Println()
+	monitorLengthStudy(*events)
+	fmt.Println()
+	cbhStudy(*events)
+}
+
+func policyStudy(events int) {
+	fmt.Println("== Slot-end collision policy (Fig. 6c workload) ==")
+	fmt.Printf("%-22s %10s %10s %12s %8s %8s\n", "policy", "mean µs", "max µs", "delayed %", "split", "resumed")
+	for _, pol := range []hv.SlotEndPolicy{hv.DenyNearSlotEnd, hv.SplitOnSlotEnd, hv.ResumeAcrossSlots} {
+		cfg := experiments.DefaultFig6()
+		cfg.EventsPerLoad = events
+		cfg.Policy = pol
+		r, err := experiments.Fig6(experiments.Fig6c, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		var split, resumed uint64
+		for _, pl := range r.PerLoad {
+			split += pl.Result.Stats.SplitGrants
+			resumed += pl.Result.Stats.ResumedGrants
+		}
+		fmt.Printf("%-22s %10.1f %10.1f %12.2f %8d %8d\n",
+			pol, r.Summary.Mean.MicrosF(), r.Summary.Max.MicrosF(),
+			100*r.Summary.Share(tracerec.Delayed), split, resumed)
+	}
+}
+
+func monitorLengthStudy(events int) {
+	fmt.Println("== Monitor condition length l (ECU trace, bound = recorded × 2) ==")
+	trace, err := workload.ECUTrace(workload.ECUConfig{Events: events, Seed: 17})
+	if err != nil {
+		fatal(err)
+	}
+	learn := len(trace) / 10
+	fmt.Printf("%-6s %10s %12s %12s\n", "l", "mean µs", "grants", "violations")
+	for _, l := range []int{1, 2, 3, 5, 8} {
+		recorded, err := curves.DeltaFromTrace(trace[:learn], l)
+		if err != nil {
+			fatal(err)
+		}
+		bound := recorded.ScaleDistances(2)
+		sc := core.Scenario{
+			Partitions: []core.PartitionSpec{
+				{Name: "app1", Slot: simtime.Micros(6000)},
+				{Name: "app2", Slot: simtime.Micros(6000)},
+				{Name: "hk", Slot: simtime.Micros(2000)},
+			},
+			Mode:   hv.Monitored,
+			Policy: hv.ResumeAcrossSlots,
+			IRQs: []core.IRQSpec{{
+				Name: "ecu", Partition: 0,
+				CTH: simtime.Micros(6), CBH: simtime.Micros(30),
+				Arrivals: trace,
+				Learn:    &core.LearnSpec{L: l, Events: learn, Bound: bound},
+			}},
+		}
+		res, err := core.Run(sc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6d %10.1f %12d %12d\n",
+			l, res.Summary.Mean.MicrosF(), res.Stats.InterposedGrants, res.Stats.DeniedViolation)
+	}
+}
+
+func cbhStudy(events int) {
+	fmt.Println("== C_BH sweep: context-switch increase of scenario 2 (§6.2) ==")
+	fmt.Printf("%-10s %14s %14s %12s\n", "C_BH µs", "λ=dmin µs", "ctx increase", "grants")
+	for _, cbhUs := range []int64{30, 100, 200, 400, 800} {
+		cfg := experiments.DefaultFig6()
+		cfg.EventsPerLoad = events / 2
+		cfg.CBH = simtime.Micros(cbhUs)
+		cfg.Loads = []float64{0.01}
+		r, err := experiments.Overhead(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ol := r.PerLoad[0]
+		fmt.Printf("%-10d %14.1f %+13.1f%% %12d\n",
+			cbhUs, ol.Lambda.MicrosF(), ol.IncreasePct, ol.Grants)
+	}
+	fmt.Println("(the paper's ~10% matches C_BH in the several-hundred-µs range)")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ablation: %v\n", err)
+	os.Exit(1)
+}

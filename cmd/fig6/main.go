@@ -1,0 +1,80 @@
+// Command fig6 regenerates the latency histograms of Figure 6 (§6.1):
+// 15000 IRQs at loads 1/5/10 % through the TDMA-scheduled hypervisor with
+// the original top handler (a), the monitored modified handler (b), and
+// the monitored handler with a dmin-conforming arrival stream (c).
+//
+// Usage:
+//
+//	fig6 [-scenario a|b|c|all] [-events N] [-csv] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/viz"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all", "sub-figure to run: a, b, c or all")
+	events := flag.Int("events", 5000, "IRQs per interrupt load")
+	seed := flag.Uint64("seed", 2014, "workload seed")
+	csv := flag.Bool("csv", false, "emit the histogram as CSV instead of ASCII art")
+	svgDir := flag.String("svg", "", "additionally write fig6<x>.svg files into this directory")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig6()
+	cfg.EventsPerLoad = *events
+	cfg.Seed = *seed
+
+	var variants []experiments.Fig6Variant
+	switch *scenario {
+	case "a":
+		variants = []experiments.Fig6Variant{experiments.Fig6a}
+	case "b":
+		variants = []experiments.Fig6Variant{experiments.Fig6b}
+	case "c":
+		variants = []experiments.Fig6Variant{experiments.Fig6c}
+	case "all":
+		variants = []experiments.Fig6Variant{experiments.Fig6a, experiments.Fig6b, experiments.Fig6c}
+	default:
+		fmt.Fprintf(os.Stderr, "fig6: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	for _, v := range variants {
+		res, err := experiments.Fig6(v, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig6: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# figure 6%c\n", v)
+			res.Histogram.WriteCSV(os.Stdout)
+		} else {
+			res.Write(os.Stdout)
+		}
+		if *svgDir != "" {
+			path := filepath.Join(*svgDir, fmt.Sprintf("fig6%c.svg", v))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fig6: %v\n", err)
+				os.Exit(1)
+			}
+			title := fmt.Sprintf("Figure 6%c — IRQ latency histogram (%d IRQs)", v, res.Summary.Count)
+			if err := viz.HistogramSVG(f, res.Histogram, title); err != nil {
+				fmt.Fprintf(os.Stderr, "fig6: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fig6: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,68 @@
+// Command fig7 regenerates the Appendix A testcase (Figure 7): an
+// automotive-ECU activation trace drives the IRQ source, the first 10 %
+// trains a self-learning δ⁻[5] monitor, and four predefined bounds —
+// non-binding, 25 %, 12.5 % and 6.25 % of the recorded load — shape the
+// interposed interrupt handling of the remaining 90 %.
+//
+// Usage:
+//
+//	fig7 [-events N] [-csv] [-downsample K] [-window W]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/tracerec"
+	"repro/internal/viz"
+)
+
+func main() {
+	events := flag.Int("events", 11000, "trace length in activations")
+	csv := flag.Bool("csv", false, "emit the average-latency series as CSV")
+	downsample := flag.Int("downsample", 50, "CSV downsampling factor")
+	window := flag.Int("window", 500, "sliding window of the average-latency series")
+	svgPath := flag.String("svg", "", "additionally write the figure as SVG to this path")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig7()
+	cfg.ECU.Events = *events
+	cfg.Window = *window
+
+	res, err := experiments.Fig7(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fig7: %v\n", err)
+		os.Exit(1)
+	}
+	if *svgPath != "" {
+		var series []tracerec.Series
+		for i, g := range res.Graphs {
+			series = append(series, tracerec.Series{
+				Name: fmt.Sprintf("%c) %.2f%% load", 'a'+i, 100*g.LoadFraction),
+				Y:    tracerec.Downsample(g.Series, *downsample),
+			})
+		}
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig7: %v\n", err)
+			os.Exit(1)
+		}
+		title := fmt.Sprintf("Figure 7 — average IRQ latency, ECU trace (%d activations)", len(res.Trace))
+		if err := viz.SeriesSVG(f, series, title, "IRQ events (downsampled)", "avg latency (µs)"); err != nil {
+			fmt.Fprintf(os.Stderr, "fig7: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "fig7: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+	}
+	if *csv {
+		res.SeriesCSV(os.Stdout, *downsample)
+		return
+	}
+	res.Write(os.Stdout)
+}

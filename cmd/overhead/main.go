@@ -1,0 +1,32 @@
+// Command overhead regenerates the memory and runtime overhead table of
+// §6.2: the reference implementation's code/data footprint, the charged
+// C_Mon / C_sched / C_ctx costs, and the measured context-switch increase
+// of scenario 2 (dmin = λ) against the unmodified hypervisor.
+//
+// Usage:
+//
+//	overhead [-events N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	events := flag.Int("events", 5000, "IRQs per interrupt load")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig6()
+	cfg.EventsPerLoad = *events
+
+	res, err := experiments.Overhead(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overhead: %v\n", err)
+		os.Exit(1)
+	}
+	res.Write(os.Stdout)
+}

@@ -1,0 +1,30 @@
+// Command report runs the complete evaluation and emits a Markdown
+// paper-vs-measured reproduction report to stdout — the generated
+// counterpart of the curated EXPERIMENTS.md.
+//
+// Usage:
+//
+//	report [-reduced]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	reduced := flag.Bool("reduced", false, "run at reduced scale (faster)")
+	flag.Parse()
+
+	opts := report.Defaults()
+	if *reduced {
+		opts = report.Reduced()
+	}
+	if err := report.Generate(os.Stdout, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+}

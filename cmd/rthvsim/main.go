@@ -1,0 +1,106 @@
+// Command rthvsim runs a hypervisor simulation described by a JSON
+// configuration and prints latency statistics, the handling-mode split
+// and interference accounting.
+//
+// Usage:
+//
+//	rthvsim -config system.json [-histogram] [-binus 50]
+//	rthvsim -example            # print an example configuration
+//
+// All durations in the configuration are in microseconds. See
+// internal/config for the schema: partitions (or an explicit ARINC653-
+// style window schedule), IRQ sources with generated or explicit arrival
+// streams, shared subscribers, and dmin / δ⁻ / self-learning monitoring
+// conditions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/schedtrace"
+	"repro/internal/simtime"
+)
+
+func main() {
+	path := flag.String("config", "", "JSON system configuration")
+	example := flag.Bool("example", false, "print an example configuration and exit")
+	histogram := flag.Bool("histogram", false, "print a latency histogram")
+	binUs := flag.Int64("binus", 50, "histogram bin width in µs")
+	ganttUs := flag.Int64("gantt", 0, "render a Gantt chart of the first N µs of the run")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(config.Example)
+		return
+	}
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "rthvsim: -config is required (see -example)")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fatal(err)
+	}
+	file, err := config.Parse(raw)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := file.Scenario()
+	if err != nil {
+		fatal(err)
+	}
+	var tracer *schedtrace.Recorder
+	if *ganttUs > 0 {
+		tracer = &schedtrace.Recorder{Limit: 1 << 20}
+		sc.Tracer = tracer
+	}
+	res, err := core.Run(sc)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("simulated %.3f ms, %d IRQ deliveries\n", res.Duration.MicrosF()/1000, res.Summary.Count)
+	res.Summary.WriteSummary(os.Stdout)
+	st := res.Stats
+	fmt.Printf("context switches: %d (TDMA %d, interposed grants %d, resumed %d, split %d)\n",
+		st.CtxSwitches, st.TDMASwitches, st.InterposedGrants, st.ResumedGrants, st.SplitGrants)
+	fmt.Printf("denials: violation %d, fit %d, busy %d, learning %d, pending %d, unmonitored %d\n",
+		st.DeniedViolation, st.DeniedFit, st.DeniedBusy, st.DeniedLearning, st.DeniedPending, st.DeniedNoMonitor)
+	for _, p := range res.Partitions {
+		fmt.Printf("partition %-14s guest %10.1fµs  own-BH %9.1fµs  stolen: interposed %9.1fµs  top %9.1fµs\n",
+			p.Name, p.GuestTime.MicrosF(), p.BHTime.MicrosF(), p.StolenInterposed.MicrosF(), p.StolenTop.MicrosF())
+	}
+	for _, s := range res.Sources {
+		lost := ""
+		if s.Lost > 0 {
+			lost = fmt.Sprintf("  LOST %d (non-counting IRQ flags)", s.Lost)
+		}
+		fmt.Printf("source %-16s raised %6d%s\n", s.Name, s.Raised, lost)
+	}
+	if *histogram {
+		max := res.Summary.Max + simtime.Micros(*binUs)
+		res.Log.NewHistogram(simtime.Micros(*binUs), max).WriteASCII(os.Stdout, 60)
+	}
+	if tracer != nil {
+		var names []string
+		for _, p := range res.Partitions {
+			names = append(names, p.Name)
+		}
+		to := simtime.Time(simtime.Micros(*ganttUs))
+		step := simtime.Duration(to) / 100
+		if step <= 0 {
+			step = simtime.Microsecond
+		}
+		fmt.Println()
+		tracer.Gantt(os.Stdout, 0, to, step, names)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rthvsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command schedcheck statically verifies a configured system: for every
+// partition with a periodic guest task set it computes worst-case
+// response-time bounds under the full demand of the paper's architecture
+// — TDMA supply loss, IRQ top handlers, own bottom handlers, and foreign
+// interposed bottom handlers bounded by their monitoring conditions
+// (eq. 14) — and reports whether every deadline is met.
+//
+// Usage:
+//
+//	schedcheck -config system.json
+//
+// Exit status 0: schedulable; 1: a deadline bound is violated;
+// 2: configuration error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/config"
+	"repro/internal/holistic"
+)
+
+func main() {
+	path := flag.String("config", "", "JSON system configuration")
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "schedcheck: -config is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fatal(err)
+	}
+	file, err := config.Parse(raw)
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := file.HolisticSpecs()
+	if err != nil {
+		fatal(err)
+	}
+	if len(specs) == 0 {
+		fmt.Println("no partitions with periodic guest tasks — nothing to check")
+		return
+	}
+	allOK := true
+	for _, spec := range specs {
+		res, err := holistic.Analyze(spec, analysis.DefaultHorizon)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("partition %s:\n", res.Partition)
+		for _, tb := range res.Tasks {
+			status := "OK"
+			if !tb.Schedulable {
+				status = "DEADLINE MISS POSSIBLE"
+				allOK = false
+			}
+			fmt.Printf("  %-16s WCRT ≤ %10.1fµs  deadline %10.1fµs  (busy period %d jobs)  %s\n",
+				tb.Name, tb.WCRT.MicrosF(), tb.Deadline.MicrosF(), tb.Q, status)
+		}
+	}
+	if !allOK {
+		os.Exit(1)
+	}
+	fmt.Println("system schedulable: every guest deadline bound holds under the")
+	fmt.Println("configured interposed-IRQ interference (eq. 14).")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "schedcheck: %v\n", err)
+	os.Exit(2)
+}

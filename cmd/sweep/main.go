@@ -1,0 +1,57 @@
+// Command sweep explores the design space of the interposed-IRQ
+// mechanism around the paper's platform: monitoring distance, subscriber
+// slot length, interrupt load and bottom-handler WCET, each as a table
+// of latency / interference / overhead responses.
+//
+// Usage:
+//
+//	sweep [-events N] [-which dmin|slot|load|cbh|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	events := flag.Int("events", 1500, "IRQs per point")
+	which := flag.String("which", "all", "sweep to run: dmin, slot, load, cbh or all")
+	flag.Parse()
+
+	b := sweep.DefaultBaseline()
+	b.Events = *events
+
+	run := func(name string, f func() (*sweep.Result, error)) {
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		r.Write(os.Stdout)
+		fmt.Println()
+	}
+
+	if *which == "dmin" || *which == "all" {
+		run("dmin", func() (*sweep.Result, error) {
+			return sweep.DMin(b, []int64{200, 500, 1000, 1344, 2000, 4000, 8000, 16000})
+		})
+	}
+	if *which == "slot" || *which == "all" {
+		run("slot", func() (*sweep.Result, error) {
+			return sweep.SlotLength(b, []int64{1000, 2000, 4000, 6000, 9000, 12000})
+		})
+	}
+	if *which == "load" || *which == "all" {
+		run("load", func() (*sweep.Result, error) {
+			return sweep.Load(b, []float64{0.005, 0.01, 0.02, 0.05, 0.10, 0.20})
+		})
+	}
+	if *which == "cbh" || *which == "all" {
+		run("cbh", func() (*sweep.Result, error) {
+			return sweep.CBH(b, []int64{10, 30, 60, 120, 240})
+		})
+	}
+}

@@ -1,0 +1,22 @@
+// Command timelines regenerates the paper's timing diagrams (Figure 3:
+// delayed interrupt handling; Figure 5: interposed interrupt handling)
+// as Gantt charts produced by the hypervisor simulation itself.
+//
+// Usage:
+//
+//	timelines
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := experiments.Timelines(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "timelines: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// Command wcla (worst-case latency analysis) evaluates the analytic side
+// of the paper: the busy-window IRQ latency bounds of eqs. (11)–(12) for
+// classic TDMA handling, eq. (16) for conforming interposed handling and
+// the violating-IRQ case of §5.1, plus the interference bound of eq. (14),
+// for a parameterised system.
+//
+// Usage:
+//
+//	wcla [-slot1 µs] [-slot2 µs] [-slothk µs] [-cth µs] [-cbh µs]
+//	     [-period µs] [-jitter µs] [-dmin µs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/simtime"
+)
+
+func main() {
+	slot1 := flag.Int64("slot1", 6000, "subscriber partition slot length in µs")
+	slot2 := flag.Int64("slot2", 6000, "second application partition slot length in µs")
+	slothk := flag.Int64("slothk", 2000, "housekeeping partition slot length in µs")
+	cth := flag.Int64("cth", 6, "top handler WCET in µs")
+	cbh := flag.Int64("cbh", 30, "bottom handler WCET in µs")
+	period := flag.Int64("period", 1344, "IRQ activation period in µs")
+	jitter := flag.Int64("jitter", 200, "IRQ activation jitter in µs")
+	dmin := flag.Int64("dmin", 1344, "monitoring condition dmin in µs")
+	budget := flag.Int64("budget", 0, "derive the minimal dmin admitting this interference budget (µs per TDMA cycle); 0 = skip")
+	flag.Parse()
+
+	model := curves.PJD{
+		Period: simtime.Micros(*period),
+		Jitter: simtime.Micros(*jitter),
+		DMin:   simtime.Micros(*dmin),
+	}
+	if err := model.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "wcla: %v\n", err)
+		os.Exit(2)
+	}
+	irq := analysis.IRQ{
+		Name:  "irq0",
+		CTH:   simtime.Micros(*cth),
+		CBH:   simtime.Micros(*cbh),
+		Model: model,
+	}
+	tdma := analysis.TDMA{
+		Cycle: simtime.Micros(*slot1 + *slot2 + *slothk),
+		Slot:  simtime.Micros(*slot1),
+	}
+	costs := arm.DefaultCosts()
+
+	cmp, err := analysis.Compare(irq, tdma, costs, nil, analysis.DefaultHorizon)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wcla: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("system: T_TDMA = %.0fµs, T_i = %.0fµs; C_TH = %.1fµs, C_BH = %.1fµs\n",
+		tdma.Cycle.MicrosF(), tdma.Slot.MicrosF(), irq.CTH.MicrosF(), irq.CBH.MicrosF())
+	fmt.Printf("activation model: P = %.0fµs, J = %.0fµs, dmin = %.0fµs\n",
+		model.Period.MicrosF(), model.Jitter.MicrosF(), model.DMin.MicrosF())
+	fmt.Printf("C'_BH = %.2fµs (eq. 13), C'_TH = %.2fµs (eq. 15)\n",
+		costs.EffectiveBH(irq.CBH).MicrosF(), costs.EffectiveTH(irq.CTH).MicrosF())
+	fmt.Println()
+	fmt.Printf("worst-case IRQ latency, classic TDMA handling (eq. 12):   %9.1fµs (q* = %d)\n",
+		cmp.Classic.WCRT.MicrosF(), cmp.Classic.CriticalQ)
+	fmt.Printf("worst-case IRQ latency, interposed conforming (eq. 16):   %9.1fµs (q* = %d)\n",
+		cmp.Interposed.WCRT.MicrosF(), cmp.Interposed.CriticalQ)
+	fmt.Printf("worst-case IRQ latency, monitored but violating (§5.1):   %9.1fµs (q* = %d)\n",
+		cmp.Violating.WCRT.MicrosF(), cmp.Violating.CriticalQ)
+	if cmp.Interposed.WCRT > 0 {
+		fmt.Printf("improvement (classic / interposed):                        %9.1f×\n",
+			float64(cmp.Classic.WCRT)/float64(cmp.Interposed.WCRT))
+	}
+	fmt.Println()
+	fmt.Println("interference bound on other partitions (eq. 14), I(Δt) = ⌈Δt/dmin⌉·C'_BH:")
+	for _, dt := range []simtime.Duration{simtime.Micros(1000), simtime.Micros(6000), simtime.Micros(14000), simtime.Millis(100)} {
+		bound := analysis.InterposedInterference(dt, model.DMin, costs, irq.CBH)
+		fmt.Printf("  Δt = %8.0fµs: I ≤ %9.1fµs (%5.2f%% of the window)\n",
+			dt.MicrosF(), bound.MicrosF(), 100*float64(bound)/float64(dt))
+	}
+
+	// Expected (average-case) latencies for uniformly arriving IRQs.
+	avg := analysis.AverageModel{
+		Cycle: tdma.Cycle,
+		Slot:  tdma.Slot,
+		CTH:   irq.CTH,
+		CBH:   irq.CBH,
+		Costs: costs,
+	}
+	if err := avg.Validate(); err == nil {
+		fmt.Println()
+		fmt.Println("expected average latency (uniform arrivals over the cycle):")
+		fmt.Printf("  unmonitored (Fig. 6a regime):     %9.1fµs\n", avg.Unmonitored().MicrosF())
+		fmt.Printf("  monitored, all conforming (6c):   %9.1fµs  (%.1f× improvement)\n",
+			avg.Monitored(1).MicrosF(), avg.Improvement())
+	}
+
+	// Budget inversion: the smallest dmin admitting a per-cycle
+	// interference budget (eq. 2 → eq. 14).
+	if *budget > 0 {
+		fmt.Println()
+		got, err := analysis.MinDMinForBudget(tdma.Cycle, simtime.Micros(*budget), costs, irq.CBH)
+		if err != nil {
+			fmt.Printf("budget %dµs per cycle: %v\n", *budget, err)
+		} else {
+			fmt.Printf("budget %dµs per cycle of %.0fµs → minimal admissible dmin = %.1fµs\n",
+				*budget, tdma.Cycle.MicrosF(), got.MicrosF())
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Beckert, Neukirchner, Ernst, Petters:
+//	"Sufficient Temporal Independence and Improved Interrupt Latencies
+//	 in a Real-Time Hypervisor", DAC 2014 (CISTER-TR-140303).
+//
+// The repository contains a cycle-accurate discrete-event simulation of a
+// TDMA-scheduled real-time hypervisor (uC/OS-MMU style) with monitored
+// interposed interrupt handling, the compositional busy-window analysis
+// of the paper (eqs. 3–16), the δ⁻ activation monitor with self-learning
+// (Appendix A), and harnesses that regenerate every figure and table of
+// the evaluation. See README.md for an overview and DESIGN.md for the
+// system inventory and per-experiment index.
+package repro

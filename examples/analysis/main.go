@@ -1,0 +1,120 @@
+// Analysis: a worked walk-through of the paper's formal machinery
+// (§4 and §5.1) on a two-source system — arrival curves, the q-event
+// busy window of eq. (3), the busy-period bound Q of eq. (4), and the
+// three latency bounds (classic eq. 12, interposed eq. 16, violating),
+// followed by a simulation of the same system to show the bounds hold.
+//
+// Run with: go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/arm"
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	// The IRQ under analysis: period 3 ms, jitter 500 µs, dmin 1 ms.
+	model := curves.PJD{
+		Period: 3 * simtime.Millisecond,
+		Jitter: simtime.Micros(500),
+		DMin:   simtime.Millisecond,
+	}
+	irq := analysis.IRQ{
+		Name:  "sensor",
+		CTH:   simtime.Micros(8),
+		CBH:   simtime.Micros(50),
+		Model: model,
+	}
+	// One interfering source contributes top-handler load (eq. 9).
+	other := analysis.IRQ{
+		Name:  "uart",
+		CTH:   simtime.Micros(4),
+		CBH:   simtime.Micros(20),
+		Model: curves.Sporadic{DMin: simtime.Micros(800)},
+	}
+	tdma := analysis.TDMA{Cycle: simtime.Micros(14000), Slot: simtime.Micros(6000)}
+	costs := arm.DefaultCosts()
+
+	fmt.Println("== Event model of the analysed source ==")
+	fmt.Printf("%8s %12s    %10s %8s\n", "q", "δ⁻(q)", "Δt", "η⁺(Δt)")
+	for q := int64(1); q <= 5; q++ {
+		dt := simtime.Duration(q) * simtime.Millisecond
+		fmt.Printf("%8d %10.0fµs    %8.0fµs %8d\n",
+			q, model.DeltaMin(q).MicrosF(), dt.MicrosF(), model.EtaPlus(dt))
+	}
+
+	fmt.Println("\n== Busy windows, classic TDMA handling (eq. 11) ==")
+	cmp, err := analysis.Compare(irq, tdma, costs, []analysis.IRQ{other}, analysis.DefaultHorizon)
+	if err != nil {
+		log.Fatalf("analysis: %v", err)
+	}
+	for q, r := range cmp.Classic.PerQ {
+		fmt.Printf("  q=%d: W(q) − δ⁻(q) = %.1fµs\n", q+1, simtime.Duration(r).MicrosF())
+	}
+	fmt.Printf("busy period spans Q = %d activations (eq. 4)\n", cmp.Classic.Q)
+
+	fmt.Println("\n== Worst-case latency bounds ==")
+	fmt.Printf("classic TDMA handling (eq. 12):       %8.1fµs\n", cmp.Classic.WCRT.MicrosF())
+	fmt.Printf("interposed, conforming (eq. 16):      %8.1fµs\n", cmp.Interposed.WCRT.MicrosF())
+	fmt.Printf("monitored but violating (§5.1):       %8.1fµs\n", cmp.Violating.WCRT.MicrosF())
+
+	// Simulate the same system and compare maxima against the bounds.
+	const events = 3000
+	gen := rng.New(11)
+	var dist []simtime.Duration
+	for i := 0; i < events; i++ {
+		// Period with uniform jitter, respecting dmin — a concrete
+		// trace admitted by the PJD model.
+		d := model.Period - model.Jitter + simtime.Duration(gen.Int63n(int64(2*model.Jitter)))
+		if d < model.DMin {
+			d = model.DMin
+		}
+		dist = append(dist, d)
+	}
+	arrivals := workload.Timestamps(dist)
+	uartArr := workload.Timestamps(workload.ExponentialClamped(rng.New(12), simtime.Micros(2000), simtime.Micros(800), events))
+
+	for _, mode := range []hv.Mode{hv.Original, hv.Monitored} {
+		sc := core.Scenario{
+			Partitions: []core.PartitionSpec{
+				{Name: "app1", Slot: simtime.Micros(6000)},
+				{Name: "app2", Slot: simtime.Micros(6000)},
+				{Name: "housekeeping", Slot: simtime.Micros(2000)},
+			},
+			Mode:   mode,
+			Policy: hv.ResumeAcrossSlots,
+			IRQs: []core.IRQSpec{
+				{Name: "sensor", Partition: 0, CTH: irq.CTH, CBH: irq.CBH, Arrivals: arrivals, DMin: model.DMin},
+				{Name: "uart", Partition: 1, CTH: other.CTH, CBH: other.CBH, Arrivals: uartArr, DMin: simtime.Micros(800)},
+			},
+		}
+		res, err := core.Run(sc)
+		if err != nil {
+			log.Fatalf("analysis: %v", err)
+		}
+		var maxSensor simtime.Duration
+		for _, rec := range res.Log.Records {
+			if rec.Source == 0 && rec.Latency() > maxSensor {
+				maxSensor = rec.Latency()
+			}
+		}
+		bound := cmp.Classic.WCRT
+		if mode == hv.Monitored {
+			// With a conforming stream the violating bound never
+			// applies, but the classic bound is still the safe
+			// envelope for direct IRQs cut by their own slot end.
+			bound = cmp.Violating.WCRT
+		}
+		fmt.Printf("\nsimulated (%s): sensor max latency %.1fµs — analytic envelope %.1fµs → %v\n",
+			mode, maxSensor.MicrosF(), bound.MicrosF(), maxSensor <= bound)
+	}
+}

@@ -1,0 +1,104 @@
+// Avionics: an ARINC653/IMA-style configuration demonstrating the
+// paper's core safety argument — *sufficient temporal independence*
+// (eq. 2). A flight-control partition runs a hard real-time guest task
+// set; a separate I/O partition subscribes a monitored network IRQ whose
+// bottom handlers may be interposed into the flight-control partition's
+// slots. The example measures how much the guest tasks actually suffer
+// and checks it against the enforced interference bound of eq. (14).
+//
+// Run with: go run ./examples/avionics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/arm"
+	"repro/internal/core"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func buildGuest() *guestos.OS {
+	g := guestos.New("flight-control")
+	mustAdd := func(t guestos.Task) {
+		if _, err := g.AddTask(t); err != nil {
+			log.Fatalf("avionics: %v", err)
+		}
+	}
+	// Priorities by declaration order (rate-monotonic).
+	mustAdd(guestos.Task{Name: "attitude-loop", Period: 20 * simtime.Millisecond, WCET: 2 * simtime.Millisecond})
+	mustAdd(guestos.Task{Name: "actuator-cmd", Period: 40 * simtime.Millisecond, WCET: 3 * simtime.Millisecond})
+	mustAdd(guestos.Task{Name: "nav-filter", Period: 80 * simtime.Millisecond, WCET: 5 * simtime.Millisecond})
+	mustAdd(guestos.Task{Name: "background", Period: 0}) // soaks idle time
+	return g
+}
+
+func main() {
+	const events = 4000
+	dmin := simtime.Micros(2000)
+	arrivals := workload.Timestamps(workload.ExponentialClamped(rng.New(3), simtime.Micros(2500), dmin, events))
+	costs := arm.DefaultCosts()
+	cbh := simtime.Micros(40)
+
+	run := func(mode hv.Mode) (*core.Result, *guestos.OS) {
+		guest := buildGuest()
+		sc := core.Scenario{
+			Partitions: []core.PartitionSpec{
+				{Name: "flight-control", Slot: simtime.Micros(10000), Guest: guest},
+				{Name: "io", Slot: simtime.Micros(5000)},
+				{Name: "maintenance", Slot: simtime.Micros(5000)},
+			},
+			Mode:   mode,
+			Policy: hv.ResumeAcrossSlots,
+			IRQs: []core.IRQSpec{{
+				Name:      "afdx-rx",
+				Partition: 1, // the I/O partition owns the bottom handler
+				CTH:       simtime.Micros(8),
+				CBH:       cbh,
+				Arrivals:  arrivals,
+				DMin:      dmin,
+			}},
+		}
+		res, err := core.Run(sc)
+		if err != nil {
+			log.Fatalf("avionics: %v", err)
+		}
+		if err := guest.SanityCheck(); err != nil {
+			log.Fatalf("avionics: guest invariants: %v", err)
+		}
+		return res, guest
+	}
+
+	fmt.Println("IMA configuration: flight-control (10 ms slot) | io (5 ms) | maintenance (5 ms)")
+	fmt.Printf("monitored AFDX IRQ → io partition, dmin = %.0fµs, C_BH = %.0fµs\n\n", dmin.MicrosF(), cbh.MicrosF())
+
+	resOrig, guestOrig := run(hv.Original)
+	resMon, guestMon := run(hv.Monitored)
+
+	fmt.Printf("%-15s %14s %14s %14s\n", "guest task", "WCRT isolated", "WCRT interposed", "delta")
+	for p := 0; p < guestOrig.Tasks()-1; p++ {
+		a, b := guestOrig.Stats(p), guestMon.Stats(p)
+		fmt.Printf("task %-10d %12.1fµs %12.1fµs %+12.1fµs\n",
+			p, a.WCRT.MicrosF(), b.WCRT.MicrosF(), (b.WCRT - a.WCRT).MicrosF())
+	}
+
+	fc := resMon.Partitions[0]
+	fmt.Printf("\nIRQ latency: original mean %.1fµs → monitored mean %.1fµs\n",
+		resOrig.Summary.Mean.MicrosF(), resMon.Summary.Mean.MicrosF())
+	fmt.Printf("flight-control time stolen by interposed handlers: %.1fµs over %.1fms\n",
+		fc.StolenInterposed.MicrosF(), resMon.Duration.MicrosF()/1000)
+
+	bound := analysis.InterposedInterference(resMon.Duration, dmin, costs, cbh)
+	fmt.Printf("eq. (14) bound over the same window:               %.1fµs\n", bound.MicrosF())
+	if fc.StolenInterposed <= bound {
+		fmt.Println("→ measured interference is within the enforced bound: sufficient")
+		fmt.Println("  temporal independence holds while IRQ latency improves.")
+	} else {
+		fmt.Println("→ BOUND VIOLATED — this would be a bug in the hypervisor model.")
+	}
+}

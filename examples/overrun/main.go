@@ -1,0 +1,87 @@
+// Overrun: failure injection against the safety mechanism. A misbehaving
+// driver's bottom handler overruns its declared WCET on every invocation.
+// Under interposed handling the hypervisor enforces the C_BH budget (§5:
+// the scheduler is called after at most C_BHi), so the victim partitions
+// lose no more than the eq. (14) bound computed from the *declared* WCET
+// — sufficient temporal independence survives the fault, while the
+// misbehaving source only hurts itself (its remnants finish in its own
+// slot).
+//
+// Run with: go run ./examples/overrun
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/arm"
+	"repro/internal/core"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	const events = 2500
+	dmin := simtime.Micros(2000)
+	cbh := simtime.Micros(40) // declared WCET
+	arrivals := workload.Timestamps(workload.ExponentialClamped(rng.New(13), simtime.Micros(2500), dmin, events))
+	costs := arm.DefaultCosts()
+
+	fmt.Println("Failure injection: every bottom handler overruns its declared WCET.")
+	fmt.Printf("declared C_BH = %.0fµs, dmin = %.0fµs → eq.14 budget C'_BH = %.1fµs per dmin\n\n",
+		cbh.MicrosF(), dmin.MicrosF(), costs.EffectiveBH(cbh).MicrosF())
+
+	fmt.Printf("%-14s %12s %12s %16s %16s %10s\n",
+		"actual BH", "mean µs", "max µs", "victim loss µs", "eq.14 bound µs", "cuts")
+	for _, factor := range []float64{1.0, 1.5, 3.0, 8.0} {
+		actual := make([]simtime.Duration, events)
+		for i := range actual {
+			actual[i] = simtime.FromMicrosF(cbh.MicrosF() * factor)
+		}
+		sc := core.Scenario{
+			Partitions: []core.PartitionSpec{
+				{Name: "driver", Slot: simtime.Micros(6000)},
+				{Name: "control", Slot: simtime.Micros(6000)},
+				{Name: "housekeeping", Slot: simtime.Micros(2000)},
+			},
+			Mode:   hv.Monitored,
+			Policy: hv.ResumeAcrossSlots,
+			IRQs: []core.IRQSpec{{
+				Name: "nic", Partition: 0,
+				CTH: simtime.Micros(6), CBH: cbh,
+				ActualBH: actual,
+				Arrivals: arrivals,
+				DMin:     dmin,
+			}},
+		}
+		res, err := core.Run(sc)
+		if err != nil {
+			log.Fatalf("overrun: %v", err)
+		}
+		// The worst loss any victim partition suffered.
+		var victimLoss simtime.Duration
+		for i, p := range res.Partitions {
+			if i == 0 {
+				continue
+			}
+			if p.StolenInterposed > victimLoss {
+				victimLoss = p.StolenInterposed
+			}
+		}
+		bound := analysis.InterposedInterference(res.Duration, dmin, costs, cbh+sc.CostModel().QueuePop)
+		status := "within bound"
+		if victimLoss > bound {
+			status = "BOUND VIOLATED"
+		}
+		fmt.Printf("%13.1fx %12.1f %12.1f %16.1f %16.1f %10d  %s\n",
+			factor, res.Summary.Mean.MicrosF(), res.Summary.Max.MicrosF(),
+			victimLoss.MicrosF(), bound.MicrosF(), res.Stats.BudgetCuts, status)
+	}
+	fmt.Println()
+	fmt.Println("The overrunning driver's own latency degrades (its remnants wait for its")
+	fmt.Println("slot), but the other partitions' interference stays under the enforced")
+	fmt.Println("budget regardless of how badly the handler misbehaves.")
+}

@@ -1,0 +1,310 @@
+// Package analysis implements the worst-case timing analysis of §4 and
+// §5.1 of the paper: busy-window response-time analysis (Lehoczky 1990,
+// Schliecker et al. 2008) specialised to TDMA-scheduled hypervisor
+// partitions, the worst-case IRQ latency of the classic delayed handling
+// scheme (eqs. 6–12), the interposed scheme (eqs. 13–16), and the bounded
+// interference interposed handling imposes on other partitions (eq. 14).
+//
+// All functions are pure: they consume event models (internal/curves) and
+// WCET constants and produce bounds. The simulation (internal/hv) is the
+// independent check — integration tests assert that simulated latencies
+// and interference never exceed the bounds computed here.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/simtime"
+)
+
+// ErrUnbounded is returned when a busy-window iteration does not converge
+// below the horizon, i.e. the configuration is overloaded and no finite
+// bound exists.
+var ErrUnbounded = errors.New("analysis: busy window does not converge (overload)")
+
+// DefaultHorizon bounds busy-window fixed-point iteration. One hour of
+// simulated time is far beyond any busy window of the paper's systems.
+const DefaultHorizon = simtime.Duration(3600) * simtime.Second
+
+// maxQ caps the number of activations examined when searching the
+// busy period (eq. 4).
+const maxQ = 1 << 16
+
+// Interference maps a window length Δt to an upper bound on the
+// processing time stolen from the analysed entity within that window.
+type Interference func(dt simtime.Duration) simtime.Duration
+
+// BusyWindow computes the q-event busy time W(q) of eq. (3): the fixed
+// point of
+//
+//	W = q·C + I(W)
+//
+// starting from W = q·C. It returns ErrUnbounded when the iteration
+// exceeds horizon.
+func BusyWindow(q int64, c simtime.Duration, inf Interference, horizon simtime.Duration) (simtime.Duration, error) {
+	if q <= 0 {
+		return 0, fmt.Errorf("analysis: busy window for non-positive q=%d", q)
+	}
+	w := simtime.Duration(q) * c
+	for {
+		next := simtime.Duration(q)*c + inf(w)
+		if next < w {
+			return 0, fmt.Errorf("analysis: interference not monotonic at W=%v", w)
+		}
+		if next == w {
+			return w, nil
+		}
+		if next > horizon {
+			return 0, ErrUnbounded
+		}
+		w = next
+	}
+}
+
+// ResponseTimeResult carries the outcome of a busy-period analysis.
+type ResponseTimeResult struct {
+	// WCRT is the worst-case response time R of eq. (5) / eq. (12).
+	WCRT simtime.Duration
+	// Q is the number of activations in the longest busy period
+	// (eq. 4).
+	Q int64
+	// PerQ holds W(q) − δ⁻(q) for q = 1..Q; PerQ[Q-1] is the candidate
+	// of the last examined activation. Useful for plotting and tests.
+	PerQ []simtime.Duration
+	// CriticalQ is the q at which the WCRT is attained.
+	CriticalQ int64
+}
+
+// ResponseTime runs the full multiple-activation analysis of eqs. (3)–(5):
+// it extends q while the q-th activation arrives before the (q−1)-event
+// busy window ends (eq. 4) and maximises W(q) − δ⁻(q) (eq. 5).
+func ResponseTime(c simtime.Duration, model curves.Model, inf Interference, horizon simtime.Duration) (ResponseTimeResult, error) {
+	var res ResponseTimeResult
+	var prevW simtime.Duration
+	for q := int64(1); q <= maxQ; q++ {
+		if q > 1 && model.DeltaMin(q) > prevW {
+			// eq. (4): activation q arrives after the previous busy
+			// window closed; the busy period has ended.
+			break
+		}
+		w, err := BusyWindow(q, c, inf, horizon)
+		if err != nil {
+			return res, err
+		}
+		r := w - model.DeltaMin(q)
+		res.PerQ = append(res.PerQ, r)
+		if r > res.WCRT {
+			res.WCRT = r
+			res.CriticalQ = q
+		}
+		res.Q = q
+		prevW = w
+	}
+	if res.Q == maxQ {
+		return res, ErrUnbounded
+	}
+	return res, nil
+}
+
+// TDMA describes the slot assignment relevant to one IRQ source: the
+// total cycle length and the length of the slot in which the source's
+// bottom handler may execute.
+type TDMA struct {
+	Cycle simtime.Duration // T_TDMA: sum of all slot lengths
+	Slot  simtime.Duration // T_i: the subscriber partition's slot
+	// SlotEntry is the context-switch overhead paid at the start of
+	// the subscriber's slot before any bottom handler runs. Eq. (8)
+	// states its TDMA term includes context-switch overhead (citing
+	// Tindell & Clark); modelling it explicitly keeps T_i the nominal
+	// slot length. Zero reproduces the bare eq. (8).
+	SlotEntry simtime.Duration
+}
+
+// Validate reports whether the TDMA parameters are consistent.
+func (t TDMA) Validate() error {
+	if t.Cycle <= 0 {
+		return errors.New("analysis: TDMA cycle must be positive")
+	}
+	if t.Slot <= 0 || t.Slot > t.Cycle {
+		return errors.New("analysis: TDMA slot must be in (0, cycle]")
+	}
+	return nil
+}
+
+// Interference returns I_TDMA(Δt) of eq. (8): the worst-case processing
+// time lost to other partitions (including context-switch overhead)
+// within any window of length Δt, following Tindell & Clark's holistic
+// TDMA bound: ⌈Δt/T_TDMA⌉ · (T_TDMA − T_i + C_entry).
+func (t TDMA) Interference(dt simtime.Duration) simtime.Duration {
+	return simtime.Duration(simtime.CeilDiv(dt, t.Cycle)) * (t.Cycle - t.Slot + t.SlotEntry)
+}
+
+// IRQ describes one interrupt source for the latency analysis.
+type IRQ struct {
+	Name string
+	// CTH is the top-handler WCET C_TH (hypervisor context).
+	CTH simtime.Duration
+	// CBH is the bottom-handler WCET C_BH (partition context).
+	CBH simtime.Duration
+	// Model bounds the source's activations (η⁺ / δ⁻).
+	Model curves.Model
+}
+
+// Cost returns C_i = C_TH + C_BH of eq. (6).
+func (i IRQ) Cost() simtime.Duration { return i.CTH + i.CBH }
+
+// topHandlerInterference returns I_THj(Δt) of eq. (9): interference from
+// the top handlers of other IRQ sources.
+func topHandlerInterference(others []IRQ, dt simtime.Duration) simtime.Duration {
+	var sum simtime.Duration
+	for _, o := range others {
+		sum += simtime.Duration(o.Model.EtaPlus(dt)) * o.CTH
+	}
+	return sum
+}
+
+// ClassicLatency computes the worst-case IRQ latency of the unmodified
+// TDMA handling scheme, eqs. (11)–(12):
+//
+//	W(q) = q·C_BH + η⁺(W)·C_TH + ⌈W/T⌉·(T−T_i) + Σ_j η⁺_j(W)·C_THj
+//	R    = max_q ( W(q) − δ⁻(q) )
+//
+// others lists every interfering IRQ source (top handlers only — their
+// bottom handlers run in their own slots, which are already covered by
+// the TDMA interference term).
+func ClassicLatency(irq IRQ, tdma TDMA, others []IRQ, horizon simtime.Duration) (ResponseTimeResult, error) {
+	if err := tdma.Validate(); err != nil {
+		return ResponseTimeResult{}, err
+	}
+	inf := func(dt simtime.Duration) simtime.Duration {
+		own := simtime.Duration(irq.Model.EtaPlus(dt)) * irq.CTH
+		return own + tdma.Interference(dt) + topHandlerInterference(others, dt)
+	}
+	return ResponseTime(irq.CBH, irq.Model, inf, horizon)
+}
+
+// InterposedLatency computes the worst-case IRQ latency for interrupts
+// that satisfy the monitoring condition under the modified top handler,
+// eq. (16):
+//
+//	W(q) = q·C'_BH + η⁺(W)·C'_TH + Σ_j η⁺_j(W)·C_THj
+//
+// with C'_BH = C_BH + C_sched + 2·C_ctx (eq. 13) and C'_TH = C_TH + C_Mon
+// (eq. 15). The TDMA interference term of eq. (11) is dropped: a
+// conforming IRQ never waits for its slot.
+func InterposedLatency(irq IRQ, costs arm.CostModel, others []IRQ, horizon simtime.Duration) (ResponseTimeResult, error) {
+	cbh := costs.EffectiveBH(irq.CBH)
+	cth := costs.EffectiveTH(irq.CTH)
+	inf := func(dt simtime.Duration) simtime.Duration {
+		own := simtime.Duration(irq.Model.EtaPlus(dt)) * cth
+		return own + topHandlerInterference(others, dt)
+	}
+	return ResponseTime(cbh, irq.Model, inf, horizon)
+}
+
+// ViolatingLatency computes the worst-case latency for interrupts that
+// violate the monitoring condition under the modified top handler
+// (§5.1 case 2): delayed handling as in eq. (11) but with the extended
+// top-handler WCET C'_TH = C_TH + C_Mon, since the monitoring function
+// runs for every foreign-slot IRQ regardless of the verdict.
+func ViolatingLatency(irq IRQ, tdma TDMA, costs arm.CostModel, others []IRQ, horizon simtime.Duration) (ResponseTimeResult, error) {
+	if err := tdma.Validate(); err != nil {
+		return ResponseTimeResult{}, err
+	}
+	cth := costs.EffectiveTH(irq.CTH)
+	inf := func(dt simtime.Duration) simtime.Duration {
+		own := simtime.Duration(irq.Model.EtaPlus(dt)) * cth
+		return own + tdma.Interference(dt) + topHandlerInterference(others, dt)
+	}
+	return ResponseTime(irq.CBH, irq.Model, inf, horizon)
+}
+
+// InterposedInterference returns I_interposed(Δt) of eq. (14): the
+// worst-case processing time interposed bottom handlers of a source
+// monitored with minimum distance dmin can steal from another partition
+// within any window of length Δt:
+//
+//	I(Δt) = ⌈Δt/dmin⌉ · C'_BH
+func InterposedInterference(dt, dmin simtime.Duration, costs arm.CostModel, cbh simtime.Duration) simtime.Duration {
+	if dmin <= 0 {
+		panic("analysis: InterposedInterference with non-positive dmin")
+	}
+	return simtime.Duration(simtime.CeilDiv(dt, dmin)) * costs.EffectiveBH(cbh)
+}
+
+// InterposedInterferenceDelta generalises eq. (14) to an l-entry δ⁻
+// monitoring condition (Appendix A): at most η⁺_cond(Δt) conforming
+// activations fit in Δt, each charging C'_BH.
+func InterposedInterferenceDelta(dt simtime.Duration, cond *curves.Delta, costs arm.CostModel, cbh simtime.Duration) simtime.Duration {
+	return simtime.Duration(cond.EtaPlus(dt)) * costs.EffectiveBH(cbh)
+}
+
+// PartitionBudgetCheck verifies sufficient temporal independence per
+// eq. (2): over the window dt, the summed interference bound of all
+// monitored sources must not exceed the allowance budget. It returns the
+// total interference and whether it is within budget.
+func PartitionBudgetCheck(dt simtime.Duration, budget simtime.Duration, costs arm.CostModel, sources []IRQSourceBound) (simtime.Duration, bool) {
+	var total simtime.Duration
+	for _, s := range sources {
+		total += InterposedInterferenceDelta(dt, s.Cond, costs, s.CBH)
+	}
+	return total, total <= budget
+}
+
+// IRQSourceBound pairs a monitored source's bottom-handler WCET with its
+// enforced monitoring condition, for partition budget checks.
+type IRQSourceBound struct {
+	Name string
+	CBH  simtime.Duration
+	Cond *curves.Delta
+}
+
+// MinDMinForBudget inverts eq. (14): it returns the smallest monitoring
+// distance dmin such that interposed interference within any window of
+// length dt stays at or below budget. This is how a system designer
+// derives the monitoring condition from a partition's interference
+// allowance (eq. 2). It returns an error when even a single grant per
+// window (dmin ≥ dt) exceeds the budget.
+func MinDMinForBudget(dt, budget simtime.Duration, costs arm.CostModel, cbh simtime.Duration) (simtime.Duration, error) {
+	cbhEff := costs.EffectiveBH(cbh)
+	if cbhEff <= 0 {
+		return 0, errors.New("analysis: non-positive effective bottom-handler cost")
+	}
+	if budget < cbhEff {
+		return 0, fmt.Errorf("analysis: budget %v cannot admit even one grant of %v per window", budget, cbhEff)
+	}
+	// ⌈dt/dmin⌉ ≤ ⌊budget/C'_BH⌋ =: k ⟺ dmin ≥ ⌈dt/k⌉.
+	k := int64(budget / cbhEff)
+	dmin := simtime.Duration(simtime.CeilDiv(dt, simtime.Duration(k)))
+	if dmin < 1 {
+		dmin = 1
+	}
+	return dmin, nil
+}
+
+// Comparison summarises the three latency bounds for one source — the
+// quantity the evaluation (§6.1) validates by measurement.
+type Comparison struct {
+	Classic    ResponseTimeResult // unmodified handling, eq. (12)
+	Interposed ResponseTimeResult // conforming IRQs, eq. (16)
+	Violating  ResponseTimeResult // non-conforming IRQs under monitoring
+}
+
+// Compare computes all three bounds for a source in one call.
+func Compare(irq IRQ, tdma TDMA, costs arm.CostModel, others []IRQ, horizon simtime.Duration) (Comparison, error) {
+	var cmp Comparison
+	var err error
+	if cmp.Classic, err = ClassicLatency(irq, tdma, others, horizon); err != nil {
+		return cmp, fmt.Errorf("classic: %w", err)
+	}
+	if cmp.Interposed, err = InterposedLatency(irq, costs, others, horizon); err != nil {
+		return cmp, fmt.Errorf("interposed: %w", err)
+	}
+	if cmp.Violating, err = ViolatingLatency(irq, tdma, costs, others, horizon); err != nil {
+		return cmp, fmt.Errorf("violating: %w", err)
+	}
+	return cmp, nil
+}

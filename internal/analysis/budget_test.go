@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arm"
+	"repro/internal/simtime"
+)
+
+func TestMinDMinForBudgetRoundTrip(t *testing.T) {
+	costs := arm.DefaultCosts()
+	cbh := us(30)
+	dt := us(10000)
+	for _, budgetUs := range []int64{140, 300, 700, 1400, 5000} {
+		budget := us(budgetUs)
+		dmin, err := MinDMinForBudget(dt, budget, costs, cbh)
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		// The returned dmin must actually satisfy the budget…
+		if got := InterposedInterference(dt, dmin, costs, cbh); got > budget {
+			t.Fatalf("budget %v: dmin %v yields interference %v", budget, dmin, got)
+		}
+		// …and be minimal: one cycle less must violate it (unless
+		// dmin is already one cycle).
+		if dmin > 1 {
+			if got := InterposedInterference(dt, dmin-1, costs, cbh); got <= budget {
+				t.Fatalf("budget %v: dmin %v not minimal (dmin-1 gives %v)", budget, dmin, got)
+			}
+		}
+	}
+}
+
+func TestMinDMinForBudgetTooSmall(t *testing.T) {
+	costs := arm.DefaultCosts()
+	// Budget below one effective bottom handler: impossible.
+	if _, err := MinDMinForBudget(us(1000), us(10), costs, us(30)); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+}
+
+func TestMinDMinForBudgetProperty(t *testing.T) {
+	costs := arm.DefaultCosts()
+	f := func(dtRaw, budgetRaw uint16, cbhRaw uint8) bool {
+		dt := us(int64(dtRaw)%50000 + 100)
+		cbh := us(int64(cbhRaw)%200 + 1)
+		budget := costs.EffectiveBH(cbh) + us(int64(budgetRaw)%100000)
+		dmin, err := MinDMinForBudget(dt, budget, costs, cbh)
+		if err != nil {
+			return false
+		}
+		return InterposedInterference(dt, dmin, costs, cbh) <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinDMinForBudgetMonotone(t *testing.T) {
+	// A larger budget never requires a larger dmin.
+	costs := arm.DefaultCosts()
+	dt := us(14000)
+	cbh := us(30)
+	prev := simtime.Infinity
+	for budgetUs := int64(150); budgetUs <= 5000; budgetUs += 135 {
+		dmin, err := MinDMinForBudget(dt, us(budgetUs), costs, cbh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dmin > prev {
+			t.Fatalf("dmin not monotone at budget %dµs", budgetUs)
+		}
+		prev = dmin
+	}
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"errors"
+
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/simtime"
+)
+
+// OutputModel propagates an event model through a processing stage, the
+// standard step of compositional performance analysis (Richter 2004):
+// if activations following the input model are served with response
+// times in [RMin, RMax], the *completion* stream — e.g. the bottom-
+// handler completions that activate a guest task — follows the input
+// period with an additional response-time jitter of RMax − RMin, and
+// consecutive completions can be no closer than the stage's minimum
+// service time.
+//
+// This closes the analysis chain of the reproduction end to end:
+// hardware IRQ model → (hypervisor stage, eqs. 11/16) → guest activation
+// model → guest response-time analysis (internal/guestos).
+func OutputModel(in curves.PJD, rMin, rMax simtime.Duration) (curves.PJD, error) {
+	if err := in.Validate(); err != nil {
+		return curves.PJD{}, err
+	}
+	if rMin < 0 || rMax < rMin {
+		return curves.PJD{}, errors.New("analysis: need 0 ≤ RMin ≤ RMax")
+	}
+	out := curves.PJD{
+		Period: in.Period,
+		Jitter: in.Jitter + (rMax - rMin),
+		DMin:   rMin,
+	}
+	if in.DMin < out.DMin {
+		// The input stream's own spacing can be tighter than the
+		// service time floor only if service pipelines — it does not
+		// on a single CPU, so the floor is max(service, 0)… but the
+		// completion spacing can also never exceed the input's dmin
+		// plus queue effects; keep the conservative smaller bound.
+		out.DMin = minDur(out.DMin, in.DMin)
+	}
+	if out.DMin > out.Period {
+		out.DMin = out.Period
+	}
+	if out.DMin < 1 {
+		out.DMin = 1
+	}
+	if err := out.Validate(); err != nil {
+		return curves.PJD{}, err
+	}
+	return out, nil
+}
+
+func minDur(a, b simtime.Duration) simtime.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// InterposedOutputModel derives the guest-activation event model for a
+// monitored source processed by interposed handling: response times span
+// [best case, eq. 16 bound]. The best case is the uncontended grant
+// chain (C'_TH + C_sched + C_ctx + C_BH).
+func InterposedOutputModel(irq IRQ, in curves.PJD, costs arm.CostModel, others []IRQ, horizon simtime.Duration) (curves.PJD, error) {
+	res, err := InterposedLatency(irq, costs, others, horizon)
+	if err != nil {
+		return curves.PJD{}, err
+	}
+	best := costs.EffectiveTH(irq.CTH) + costs.Sched + costs.CtxSwitch + irq.CBH
+	if best > res.WCRT {
+		best = res.WCRT
+	}
+	return OutputModel(in, best, res.WCRT)
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/simtime"
+)
+
+// Window is one execution window of a partition inside the TDMA cycle,
+// as a half-open interval [Start, End) relative to the cycle start.
+// ARINC653-style schedules give a partition several windows per major
+// frame; the single-slot model of eq. (8) is the special case of one
+// window per cycle.
+type Window struct {
+	Start simtime.Duration
+	End   simtime.Duration
+}
+
+// Len returns the window length.
+func (w Window) Len() simtime.Duration { return w.End - w.Start }
+
+// Schedule is the cyclic window schedule of one partition. It provides
+// the supply bound function sbf(Δt) — the minimum processing time the
+// partition receives in any window of length Δt — and the corresponding
+// interference bound I(Δt) = Δt − sbf(Δt), which generalises eq. (8) to
+// multi-window schedules.
+type Schedule struct {
+	Cycle   simtime.Duration
+	Windows []Window
+	// Entry is the context-switch overhead consumed at the start of
+	// each window before the partition can execute (the SlotEntry of
+	// the single-slot model).
+	Entry simtime.Duration
+}
+
+// NewSchedule validates and normalises a schedule: windows sorted,
+// non-overlapping, inside [0, cycle).
+func NewSchedule(cycle simtime.Duration, windows []Window, entry simtime.Duration) (*Schedule, error) {
+	if cycle <= 0 {
+		return nil, errors.New("analysis: cycle must be positive")
+	}
+	if len(windows) == 0 {
+		return nil, errors.New("analysis: schedule needs at least one window")
+	}
+	ws := append([]Window(nil), windows...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	for i, w := range ws {
+		if w.Start < 0 || w.End > cycle || w.Len() <= 0 {
+			return nil, fmt.Errorf("analysis: window %d [%v,%v) invalid for cycle %v", i, w.Start, w.End, cycle)
+		}
+		if i > 0 && w.Start < ws[i-1].End {
+			return nil, fmt.Errorf("analysis: window %d overlaps its predecessor", i)
+		}
+		if entry < 0 || entry >= w.Len() {
+			return nil, fmt.Errorf("analysis: entry overhead %v does not fit window %d", entry, i)
+		}
+	}
+	return &Schedule{Cycle: cycle, Windows: ws, Entry: entry}, nil
+}
+
+// TotalSupplyPerCycle returns the usable processing time per cycle
+// (window lengths minus entry overheads).
+func (s *Schedule) TotalSupplyPerCycle() simtime.Duration {
+	var sum simtime.Duration
+	for _, w := range s.Windows {
+		sum += w.Len() - s.Entry
+	}
+	return sum
+}
+
+// supplyFrom returns the processing time supplied in [offset, offset+dt)
+// where offset is relative to the cycle start. The entry overhead is
+// charged at each window start; joining a window mid-way (offset inside
+// a window) supplies the remainder without a new entry charge only if
+// offset lies past the entry region.
+func (s *Schedule) supplyFrom(offset simtime.Time, dt simtime.Duration) simtime.Duration {
+	var got simtime.Duration
+	t := offset
+	end := offset.Add(dt)
+	for t < end {
+		cycleBase := simtime.Time(int64(t) / int64(s.Cycle) * int64(s.Cycle))
+		rel := simtime.Duration(t - cycleBase)
+		// Find the window containing or following rel.
+		advanced := false
+		for _, w := range s.Windows {
+			usableStart := w.Start + s.Entry
+			if rel >= w.End {
+				continue
+			}
+			from := simtime.MaxT(t, cycleBase.Add(usableStart))
+			to := simtime.MinT(end, cycleBase.Add(w.End))
+			if to > from {
+				got += to.Sub(from)
+			}
+			t = cycleBase.Add(w.End)
+			advanced = true
+			if t >= end {
+				return got
+			}
+			rel = w.End
+		}
+		if !advanced {
+			// Past the last window: jump to the next cycle.
+			t = cycleBase.Add(s.Cycle)
+		}
+	}
+	return got
+}
+
+// Supply returns sbf(Δt): the minimum processing time the partition is
+// guaranteed within any window of length Δt, minimised over all start
+// phases. The minimum is attained when the window starts right at the
+// end of one of the partition's windows (critical instants), so only
+// those offsets are evaluated.
+func (s *Schedule) Supply(dt simtime.Duration) simtime.Duration {
+	if dt <= 0 {
+		return 0
+	}
+	min := simtime.Infinity
+	for _, w := range s.Windows {
+		got := s.supplyFrom(simtime.Time(w.End), dt)
+		if got < min {
+			min = got
+		}
+	}
+	return min
+}
+
+// Interference returns the generalised TDMA interference
+// I(Δt) = Δt − sbf(Δt). For a single window of length T_i in a cycle T
+// with zero entry overhead this coincides with eq. (8) up to the ceil
+// granularity (it is at least as tight).
+func (s *Schedule) Interference(dt simtime.Duration) simtime.Duration {
+	return dt - s.Supply(dt)
+}
+
+// SingleSlot builds the schedule corresponding to the paper's model: one
+// window of length slot at the start of the cycle.
+func SingleSlot(cycle, slot, entry simtime.Duration) (*Schedule, error) {
+	return NewSchedule(cycle, []Window{{Start: 0, End: slot}}, entry)
+}
+
+// ClassicLatencySchedule is ClassicLatency with the generalised
+// multi-window interference bound instead of eq. (8).
+func ClassicLatencySchedule(irq IRQ, sched *Schedule, others []IRQ, horizon simtime.Duration) (ResponseTimeResult, error) {
+	inf := func(dt simtime.Duration) simtime.Duration {
+		own := simtime.Duration(irq.Model.EtaPlus(dt)) * irq.CTH
+		return own + sched.Interference(dt) + topHandlerInterference(others, dt)
+	}
+	return ResponseTime(irq.CBH, irq.Model, inf, horizon)
+}
+
+// MonitoredSource describes an interfering source whose bottom handlers
+// may be interposed: its monitoring condition bounds the grant stream.
+type MonitoredSource struct {
+	Name string
+	// CTH is charged per activation (top handler, with monitoring).
+	CTH simtime.Duration
+	// CBHEff is C'_BH (eq. 13) charged per grant.
+	CBHEff simtime.Duration
+	// Arrive bounds the activation stream (top handlers).
+	Arrive curves.Model
+	// Grants bounds the grant stream (interposed bottom handlers).
+	Grants curves.Model
+}
+
+// InterposedLatencyMulti extends eq. (16) to systems where several
+// monitored sources interpose: the analysed source additionally suffers
+// the interposed bottom handlers of every other monitored source, each
+// bounded by its own monitoring condition. The paper analyses a single
+// monitored source; this is the natural compositional extension.
+func InterposedLatencyMulti(irq IRQ, costs arm.CostModel, monitored []MonitoredSource, horizon simtime.Duration) (ResponseTimeResult, error) {
+	cbh := costs.EffectiveBH(irq.CBH)
+	cth := costs.EffectiveTH(irq.CTH)
+	inf := func(dt simtime.Duration) simtime.Duration {
+		own := simtime.Duration(irq.Model.EtaPlus(dt)) * cth
+		var foreign simtime.Duration
+		for _, m := range monitored {
+			foreign += simtime.Duration(m.Arrive.EtaPlus(dt)) * m.CTH
+			foreign += simtime.Duration(m.Grants.EtaPlus(dt)) * m.CBHEff
+		}
+		return own + foreign
+	}
+	return ResponseTime(cbh, irq.Model, inf, horizon)
+}

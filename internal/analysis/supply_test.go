@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/simtime"
+)
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(0, []Window{{0, us(10)}}, 0); err == nil {
+		t.Error("zero cycle accepted")
+	}
+	if _, err := NewSchedule(us(100), nil, 0); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewSchedule(us(100), []Window{{us(10), us(5)}}, 0); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := NewSchedule(us(100), []Window{{0, us(200)}}, 0); err == nil {
+		t.Error("window past cycle accepted")
+	}
+	if _, err := NewSchedule(us(100), []Window{{0, us(50)}, {us(40), us(60)}}, 0); err == nil {
+		t.Error("overlapping windows accepted")
+	}
+	if _, err := NewSchedule(us(100), []Window{{0, us(10)}}, us(10)); err == nil {
+		t.Error("entry consuming the window accepted")
+	}
+	s, err := NewSchedule(us(100), []Window{{us(50), us(70)}, {0, us(20)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Windows[0].Start != 0 {
+		t.Error("windows not sorted")
+	}
+}
+
+func TestSingleSlotSupplyWorstPhase(t *testing.T) {
+	// The paper's system: slot 6000 of cycle 14000, no entry overhead.
+	s, err := SingleSlot(us(14000), us(6000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst phase starts right after the slot: zero supply for
+	// 8000 µs, then full rate.
+	if got := s.Supply(us(8000)); got != 0 {
+		t.Fatalf("sbf(8000) = %v, want 0", got)
+	}
+	if got := s.Supply(us(9000)); got != us(1000) {
+		t.Fatalf("sbf(9000) = %v, want 1000µs", got)
+	}
+	if got := s.Supply(us(14000)); got != us(6000) {
+		t.Fatalf("sbf(14000) = %v, want 6000µs", got)
+	}
+	if got := s.Supply(us(28000)); got != us(12000) {
+		t.Fatalf("sbf(28000) = %v, want 12000µs", got)
+	}
+}
+
+func TestSingleSlotInterferenceMatchesEq8(t *testing.T) {
+	// For the single-window case, the supply-based interference is at
+	// least as tight as eq. (8) and never smaller than the exact
+	// worst-case wait.
+	sched, _ := SingleSlot(us(14000), us(6000), 0)
+	tdma := TDMA{Cycle: us(14000), Slot: us(6000)}
+	for dt := us(1); dt <= us(50000); dt += us(777) {
+		sup := sched.Interference(dt)
+		eq8 := tdma.Interference(dt)
+		if sup > eq8 {
+			t.Fatalf("supply bound %v looser than eq.8 %v at Δt=%v", sup, eq8, dt)
+		}
+	}
+}
+
+func TestMultiWindowSupplyBeatsSingleSlot(t *testing.T) {
+	// Splitting a partition's 6000 µs into two 3000 µs windows halves
+	// the worst-case gap: sbf must dominate the single-slot one.
+	single, _ := SingleSlot(us(14000), us(6000), 0)
+	split, err := NewSchedule(us(14000), []Window{{0, us(3000)}, {us(7000), us(10000)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Largest no-supply gap: [10000, 14000+0) = 4000 µs.
+	if got := split.Supply(us(4000)); got != 0 {
+		t.Fatalf("split sbf(4000) = %v, want 0", got)
+	}
+	if got := split.Supply(us(5000)); got != us(1000) {
+		t.Fatalf("split sbf(5000) = %v, want 1000", got)
+	}
+	for dt := us(100); dt <= us(30000); dt += us(333) {
+		if split.Supply(dt) < single.Supply(dt) {
+			t.Fatalf("split supply below single-slot at Δt=%v", dt)
+		}
+	}
+}
+
+func TestEntryOverheadReducesSupply(t *testing.T) {
+	with, _ := SingleSlot(us(14000), us(6000), us(50))
+	without, _ := SingleSlot(us(14000), us(6000), 0)
+	if with.TotalSupplyPerCycle() != us(5950) {
+		t.Fatalf("supply per cycle = %v", with.TotalSupplyPerCycle())
+	}
+	for dt := us(100); dt <= us(30000); dt += us(500) {
+		if with.Supply(dt) > without.Supply(dt) {
+			t.Fatalf("entry overhead increased supply at Δt=%v", dt)
+		}
+	}
+	// Worst phase now includes the entry region: 8050 µs without
+	// supply.
+	if got := with.Supply(us(8050)); got != 0 {
+		t.Fatalf("sbf(8050) = %v, want 0", got)
+	}
+}
+
+func TestSupplyProperties(t *testing.T) {
+	sched, err := NewSchedule(us(20000), []Window{
+		{us(1000), us(4000)},
+		{us(8000), us(9000)},
+		{us(15000), us(19000)},
+	}, us(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone, 1-Lipschitz, and long-run rate = supply per cycle.
+	prev := simtime.Duration(0)
+	for dt := us(0); dt <= us(100000); dt += us(997) {
+		got := sched.Supply(dt)
+		if got < prev {
+			t.Fatalf("sbf decreasing at Δt=%v", dt)
+		}
+		if got > dt {
+			t.Fatalf("sbf(%v) = %v exceeds window", dt, got)
+		}
+		prev = got
+	}
+	perCycle := sched.TotalSupplyPerCycle()
+	tenCycles := sched.Supply(10 * sched.Cycle)
+	if tenCycles < 9*perCycle || tenCycles > 10*perCycle {
+		t.Fatalf("long-run supply %v vs per-cycle %v", tenCycles, perCycle)
+	}
+}
+
+func TestSupplyBruteForceProperty(t *testing.T) {
+	// Against brute-force minimisation over a fine offset grid: the
+	// critical-instant evaluation must never report MORE supply than
+	// any offset actually provides.
+	sched, err := NewSchedule(us(1000), []Window{
+		{us(100), us(300)},
+		{us(600), us(700)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint16) bool {
+		dt := simtime.Duration(raw%5000) * simtime.Microsecond
+		sbf := sched.Supply(dt)
+		for off := simtime.Time(0); off < simtime.Time(sched.Cycle); off += simtime.Time(us(13)) {
+			if got := sched.supplyFrom(off, dt); got < sbf {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassicLatencySchedule(t *testing.T) {
+	irq := paperIRQ()
+	single, _ := SingleSlot(us(14000), us(6000), 0)
+	res, err := ClassicLatencySchedule(irq, single, nil, DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq8, err := ClassicLatency(irq, paperTDMA(), nil, DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The supply-based bound is at least as tight as eq. (8).
+	if res.WCRT > eq8.WCRT {
+		t.Fatalf("schedule bound %v looser than eq.8 bound %v", res.WCRT, eq8.WCRT)
+	}
+	if res.WCRT < us(8000) {
+		t.Fatalf("schedule bound %v below the TDMA gap", res.WCRT)
+	}
+	// Splitting the slot halves the worst-case latency.
+	split, _ := NewSchedule(us(14000), []Window{{0, us(3000)}, {us(7000), us(10000)}}, 0)
+	resSplit, err := ClassicLatencySchedule(irq, split, nil, DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSplit.WCRT >= res.WCRT {
+		t.Fatalf("split-window bound %v not below single-slot %v", resSplit.WCRT, res.WCRT)
+	}
+}
+
+func TestInterposedLatencyMulti(t *testing.T) {
+	costs := arm.DefaultCosts()
+	irq := paperIRQ()
+	base, err := InterposedLatency(irq, costs, nil, DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adding a monitored interferer raises the bound by its grants'
+	// C'_BH share.
+	other := MonitoredSource{
+		Name:   "net",
+		CTH:    costs.EffectiveTH(us(4)),
+		CBHEff: costs.EffectiveBH(us(20)),
+		Arrive: curves.Sporadic{DMin: us(2000)},
+		Grants: curves.Sporadic{DMin: us(2000)},
+	}
+	multi, err := InterposedLatencyMulti(irq, costs, []MonitoredSource{other}, DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.WCRT <= base.WCRT {
+		t.Fatalf("multi bound %v not above single-source bound %v", multi.WCRT, base.WCRT)
+	}
+	// With no monitored interferers it degenerates to eq. (16).
+	same, err := InterposedLatencyMulti(irq, costs, nil, DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.WCRT != base.WCRT {
+		t.Fatalf("degenerate multi bound %v != eq.16 bound %v", same.WCRT, base.WCRT)
+	}
+}

@@ -1,0 +1,89 @@
+package arm
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestPaperConstants(t *testing.T) {
+	// §6.2 of the paper.
+	if MonitorInstr != 128 {
+		t.Errorf("C_Mon = %d instr, want 128", MonitorInstr)
+	}
+	if SchedInstr != 877 {
+		t.Errorf("C_sched = %d instr, want 877", SchedInstr)
+	}
+	if CtxSwitchInstr != 5000 {
+		t.Errorf("C_ctx = %d instr, want ~5000", CtxSwitchInstr)
+	}
+	if CtxSwitchWritebackCycles != 5000 {
+		t.Errorf("writeback = %d cycles, want ~5000", CtxSwitchWritebackCycles)
+	}
+	if CodeBytesTotal != 1120 {
+		t.Errorf("code total = %d B, want 1120", CodeBytesTotal)
+	}
+	if CodeBytesScheduler+CodeBytesTopHandler+CodeBytesMonitor != CodeBytesTotal {
+		t.Errorf("code parts %d+%d+%d != total %d",
+			CodeBytesScheduler, CodeBytesTopHandler, CodeBytesMonitor, CodeBytesTotal)
+	}
+	if DataBytesMonitor != 28 {
+		t.Errorf("data = %d B, want 28", DataBytesMonitor)
+	}
+}
+
+func TestInstr(t *testing.T) {
+	// 1 cycle per instruction at 200 MHz: 200 instructions = 1 µs.
+	if got := Instr(200); got != simtime.Microsecond {
+		t.Fatalf("Instr(200) = %v, want 1µs", got)
+	}
+}
+
+func TestDefaultCosts(t *testing.T) {
+	c := DefaultCosts()
+	if c.Monitor != simtime.Cycles(128) {
+		t.Errorf("Monitor = %v", c.Monitor)
+	}
+	if c.Sched != simtime.Cycles(877) {
+		t.Errorf("Sched = %v", c.Sched)
+	}
+	// 5000 instructions + 5000 writeback cycles = 10000 cycles = 50 µs.
+	if c.CtxSwitch != simtime.Micros(50) {
+		t.Errorf("CtxSwitch = %v, want 50µs", c.CtxSwitch)
+	}
+	if c.QueuePush <= 0 || c.QueuePop <= 0 {
+		t.Error("queue costs must be positive in the default model")
+	}
+}
+
+func TestEffectiveBH(t *testing.T) {
+	// eq. (13): C'_BH = C_BH + C_sched + 2·C_ctx.
+	c := DefaultCosts()
+	cbh := simtime.Micros(30)
+	want := cbh + c.Sched + 2*c.CtxSwitch
+	if got := c.EffectiveBH(cbh); got != want {
+		t.Fatalf("EffectiveBH = %v, want %v", got, want)
+	}
+	if got := c.InterposedOverhead(); got != c.Sched+2*c.CtxSwitch {
+		t.Fatalf("InterposedOverhead = %v", got)
+	}
+}
+
+func TestEffectiveTH(t *testing.T) {
+	// eq. (15): C'_TH = C_TH + C_Mon.
+	c := DefaultCosts()
+	cth := simtime.Micros(6)
+	if got := c.EffectiveTH(cth); got != cth+c.Monitor {
+		t.Fatalf("EffectiveTH = %v", got)
+	}
+}
+
+func TestZeroCosts(t *testing.T) {
+	z := ZeroCosts()
+	if z.EffectiveBH(simtime.Micros(10)) != simtime.Micros(10) {
+		t.Fatal("ZeroCosts must add nothing")
+	}
+	if z.EffectiveTH(simtime.Micros(10)) != simtime.Micros(10) {
+		t.Fatal("ZeroCosts must add nothing")
+	}
+}

@@ -1,0 +1,290 @@
+// Package config loads simulated-system descriptions from JSON and
+// translates them into core Scenarios. It is the configuration surface
+// of cmd/rthvsim; all durations are given in microseconds, matching the
+// paper's reporting unit.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// File is the JSON schema of a simulated system.
+type File struct {
+	// Mode: "original" (Fig. 4a) or "monitored" (Fig. 4b).
+	Mode string `json:"mode"`
+	// Policy: "deny", "split" or "resume" (see hv.SlotEndPolicy).
+	Policy string `json:"policy"`
+	// Seed drives every generated workload deterministically.
+	Seed       uint64      `json:"seed"`
+	Partitions []Partition `json:"partitions"`
+	// Windows optionally defines an explicit ARINC653-style cyclic
+	// window schedule (entries reference partitions by index).
+	Windows []WindowEntry `json:"windows,omitempty"`
+	IRQs    []IRQ         `json:"irqs"`
+}
+
+// Partition declares one TDMA partition, optionally with a guest task
+// set (uC/OS-II-style fixed priorities by declaration order).
+type Partition struct {
+	Name   string `json:"name"`
+	SlotUs int64  `json:"slot_us"`
+	Tasks  []Task `json:"tasks,omitempty"`
+}
+
+// Task declares one guest task.
+type Task struct {
+	Name       string  `json:"name"`
+	PeriodUs   float64 `json:"period_us,omitempty"` // 0 + !Sporadic = background
+	WCETUs     float64 `json:"wcet_us,omitempty"`
+	JitterUs   float64 `json:"jitter_us,omitempty"` // analysis-only release jitter
+	DeadlineUs float64 `json:"deadline_us,omitempty"`
+	Sporadic   bool    `json:"sporadic,omitempty"`
+}
+
+// WindowEntry is one window of an explicit schedule.
+type WindowEntry struct {
+	Partition int   `json:"partition"`
+	LengthUs  int64 `json:"length_us"`
+}
+
+// IRQ declares one IRQ source.
+type IRQ struct {
+	Name      string `json:"name"`
+	Partition int    `json:"partition"`
+	// SharedWith lists further subscriber partitions (shared IRQ,
+	// never interposed).
+	SharedWith []int   `json:"shared_with,omitempty"`
+	CTHUs      float64 `json:"cth_us"`
+	CBHUs      float64 `json:"cbh_us"`
+
+	// Workload: either explicit arrivals or a generator.
+	ArrivalsUs []float64 `json:"arrivals_us,omitempty"`
+	Generator  string    `json:"generator,omitempty"` // exponential | exponential-clamped | periodic | ecu
+	Events     int       `json:"events,omitempty"`
+	MeanUs     float64   `json:"mean_us,omitempty"`
+	PeriodUs   float64   `json:"period_us,omitempty"`
+	JitterUs   float64   `json:"jitter_us,omitempty"`
+
+	// Monitoring condition: dmin (l = 1), an explicit δ⁻, or a
+	// self-learning monitor (Appendix A).
+	DMinUs  float64   `json:"dmin_us,omitempty"`
+	DeltaUs []float64 `json:"delta_us,omitempty"`
+	Learn   *Learn    `json:"learn,omitempty"`
+	// SignalsTask couples the source to a sporadic guest task of the
+	// subscriber partition (task index); nil = no coupling.
+	SignalsTask *int `json:"signals_task,omitempty"`
+}
+
+// Learn configures the Appendix A self-learning monitor.
+type Learn struct {
+	L      int `json:"l"`
+	Events int `json:"events"`
+	// BoundUs is δ⁻_b; all zeros (or omitted entries) means a
+	// non-binding bound. Must have exactly L entries when present.
+	BoundUs []float64 `json:"bound_us,omitempty"`
+}
+
+// Example is a commented reference configuration (printed by
+// `rthvsim -example`).
+const Example = `{
+  "mode": "monitored",
+  "policy": "resume",
+  "seed": 42,
+  "partitions": [
+    {"name": "app1", "slot_us": 6000},
+    {"name": "app2", "slot_us": 6000},
+    {"name": "housekeeping", "slot_us": 2000}
+  ],
+  "irqs": [
+    {
+      "name": "timer0", "partition": 0,
+      "cth_us": 6, "cbh_us": 30,
+      "generator": "exponential", "events": 5000, "mean_us": 1344,
+      "dmin_us": 1344
+    }
+  ]
+}`
+
+// Parse decodes a JSON document into a File. Unknown fields are
+// rejected so typos in configuration keys surface immediately.
+func Parse(data []byte) (*File, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &f, nil
+}
+
+// Scenario translates the file into a runnable core.Scenario.
+func (f *File) Scenario() (core.Scenario, error) {
+	var sc core.Scenario
+	switch f.Mode {
+	case "", "original":
+		sc.Mode = hv.Original
+	case "monitored":
+		sc.Mode = hv.Monitored
+	default:
+		return sc, fmt.Errorf("config: unknown mode %q", f.Mode)
+	}
+	switch f.Policy {
+	case "", "deny":
+		sc.Policy = hv.DenyNearSlotEnd
+	case "split":
+		sc.Policy = hv.SplitOnSlotEnd
+	case "resume":
+		sc.Policy = hv.ResumeAcrossSlots
+	default:
+		return sc, fmt.Errorf("config: unknown policy %q", f.Policy)
+	}
+	if len(f.Partitions) == 0 {
+		return sc, errors.New("config: at least one partition required")
+	}
+	for _, p := range f.Partitions {
+		spec := core.PartitionSpec{Name: p.Name, Slot: simtime.Micros(p.SlotUs)}
+		if len(p.Tasks) > 0 {
+			g := guestos.New(p.Name)
+			for _, t := range p.Tasks {
+				if _, err := g.AddTask(guestos.Task{
+					Name:     t.Name,
+					Period:   simtime.FromMicrosF(t.PeriodUs),
+					WCET:     simtime.FromMicrosF(t.WCETUs),
+					Deadline: simtime.FromMicrosF(t.DeadlineUs),
+					Sporadic: t.Sporadic,
+				}); err != nil {
+					return sc, fmt.Errorf("config: partition %q task %q: %w", p.Name, t.Name, err)
+				}
+			}
+			spec.Guest = g
+		}
+		sc.Partitions = append(sc.Partitions, spec)
+	}
+	for _, w := range f.Windows {
+		sc.Windows = append(sc.Windows, core.WindowSpec{
+			Partition: w.Partition, Length: simtime.Micros(w.LengthUs),
+		})
+	}
+	for i, q := range f.IRQs {
+		spec, err := f.irqSpec(q, uint64(i)) //nolint:gosec
+		if err != nil {
+			return sc, fmt.Errorf("config: irq %q: %w", q.Name, err)
+		}
+		sc.IRQs = append(sc.IRQs, spec)
+	}
+	return sc, nil
+}
+
+func (f *File) irqSpec(q IRQ, stream uint64) (core.IRQSpec, error) {
+	spec := core.IRQSpec{
+		Name:       q.Name,
+		Partition:  q.Partition,
+		SharedWith: q.SharedWith,
+		CTH:        simtime.FromMicrosF(q.CTHUs),
+		CBH:        simtime.FromMicrosF(q.CBHUs),
+	}
+	arrivals, err := f.arrivals(q, stream)
+	if err != nil {
+		return spec, err
+	}
+	spec.Arrivals = arrivals
+
+	conditions := 0
+	if q.DMinUs > 0 {
+		spec.DMin = simtime.FromMicrosF(q.DMinUs)
+		conditions++
+	}
+	if len(q.DeltaUs) > 0 {
+		dist := make([]simtime.Duration, len(q.DeltaUs))
+		for j, v := range q.DeltaUs {
+			dist[j] = simtime.FromMicrosF(v)
+		}
+		d, err := curves.NewDelta(dist)
+		if err != nil {
+			return spec, err
+		}
+		spec.Condition = d
+		conditions++
+	}
+	if q.Learn != nil {
+		if q.Learn.L <= 0 || q.Learn.Events <= 0 {
+			return spec, errors.New("learn needs positive l and events")
+		}
+		boundDist := make([]simtime.Duration, q.Learn.L)
+		if len(q.Learn.BoundUs) > 0 {
+			if len(q.Learn.BoundUs) != q.Learn.L {
+				return spec, fmt.Errorf("bound_us has %d entries, want l=%d", len(q.Learn.BoundUs), q.Learn.L)
+			}
+			for j, v := range q.Learn.BoundUs {
+				boundDist[j] = simtime.FromMicrosF(v)
+			}
+		}
+		bound, err := curves.NewDelta(boundDist)
+		if err != nil {
+			return spec, err
+		}
+		spec.Learn = &core.LearnSpec{L: q.Learn.L, Events: q.Learn.Events, Bound: bound}
+		conditions++
+	}
+	if conditions > 1 {
+		return spec, errors.New("multiple monitoring conditions")
+	}
+	if q.SignalsTask != nil {
+		spec.SignalsGuest = true
+		spec.GuestTask = *q.SignalsTask
+	}
+	return spec, nil
+}
+
+func (f *File) arrivals(q IRQ, stream uint64) ([]simtime.Time, error) {
+	if len(q.ArrivalsUs) > 0 {
+		out := make([]simtime.Time, len(q.ArrivalsUs))
+		for i, v := range q.ArrivalsUs {
+			out[i] = simtime.Time(simtime.FromMicrosF(v))
+			if i > 0 && out[i] < out[i-1] {
+				return nil, errors.New("explicit arrivals not sorted")
+			}
+		}
+		return out, nil
+	}
+	if q.Events <= 0 {
+		return nil, errors.New("generator needs positive events")
+	}
+	src := rng.NewStream(f.Seed, stream+1)
+	switch q.Generator {
+	case "exponential":
+		if q.MeanUs <= 0 {
+			return nil, errors.New("exponential needs mean_us")
+		}
+		return workload.Timestamps(workload.Exponential(src, simtime.FromMicrosF(q.MeanUs), q.Events)), nil
+	case "exponential-clamped":
+		if q.MeanUs <= 0 || q.DMinUs <= 0 {
+			return nil, errors.New("exponential-clamped needs mean_us and dmin_us")
+		}
+		return workload.Timestamps(workload.ExponentialClamped(src,
+			simtime.FromMicrosF(q.MeanUs), simtime.FromMicrosF(q.DMinUs), q.Events)), nil
+	case "periodic":
+		if q.PeriodUs <= 0 {
+			return nil, errors.New("periodic needs period_us")
+		}
+		return workload.PeriodicJitter(src, simtime.FromMicrosF(q.PeriodUs),
+			simtime.FromMicrosF(q.JitterUs), 0, q.Events), nil
+	case "ecu":
+		return workload.ECUTrace(workload.ECUConfig{Events: q.Events, Seed: f.Seed ^ (stream + 1)})
+	case "":
+		return nil, errors.New("no arrivals and no generator")
+	default:
+		return nil, fmt.Errorf("unknown generator %q", q.Generator)
+	}
+}

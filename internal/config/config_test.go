@@ -1,0 +1,223 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hv"
+	"repro/internal/simtime"
+)
+
+func TestParseExample(t *testing.T) {
+	f, err := Parse([]byte(Example))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mode != hv.Monitored || sc.Policy != hv.ResumeAcrossSlots {
+		t.Fatalf("mode/policy = %v/%v", sc.Mode, sc.Policy)
+	}
+	if len(sc.Partitions) != 3 || len(sc.IRQs) != 1 {
+		t.Fatal("shape")
+	}
+	if sc.IRQs[0].DMin != simtime.Micros(1344) {
+		t.Fatalf("dmin = %v", sc.IRQs[0].DMin)
+	}
+	if len(sc.IRQs[0].Arrivals) != 5000 {
+		t.Fatalf("arrivals = %d", len(sc.IRQs[0].Arrivals))
+	}
+	// And it actually runs.
+	f.IRQs[0].Events = 200
+	sc, _ = mustScenario(t, f)
+	if _, err := core.Run(sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustScenario(t *testing.T, f *File) (core.Scenario, error) {
+	t.Helper()
+	sc, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, nil
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"mode": "original", "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseRejectsBadJSON(t *testing.T) {
+	if _, err := Parse([]byte(`{`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"bad mode", `{"mode":"turbo","partitions":[{"name":"a","slot_us":100}],"irqs":[]}`},
+		{"bad policy", `{"policy":"maybe","partitions":[{"name":"a","slot_us":100}],"irqs":[]}`},
+		{"no partitions", `{"partitions":[],"irqs":[]}`},
+		{"no workload", `{"partitions":[{"name":"a","slot_us":100}],
+			"irqs":[{"name":"x","partition":0,"cth_us":1,"cbh_us":1}]}`},
+		{"bad generator", `{"partitions":[{"name":"a","slot_us":100}],
+			"irqs":[{"name":"x","partition":0,"cth_us":1,"cbh_us":1,"generator":"magic","events":5}]}`},
+		{"exp without mean", `{"partitions":[{"name":"a","slot_us":100}],
+			"irqs":[{"name":"x","partition":0,"cth_us":1,"cbh_us":1,"generator":"exponential","events":5}]}`},
+		{"unsorted arrivals", `{"partitions":[{"name":"a","slot_us":100}],
+			"irqs":[{"name":"x","partition":0,"cth_us":1,"cbh_us":1,"arrivals_us":[5,3]}]}`},
+		{"two conditions", `{"partitions":[{"name":"a","slot_us":100}],
+			"irqs":[{"name":"x","partition":0,"cth_us":1,"cbh_us":1,"arrivals_us":[1],
+			"dmin_us":5,"delta_us":[5]}]}`},
+		{"learn bound mismatch", `{"partitions":[{"name":"a","slot_us":100}],
+			"irqs":[{"name":"x","partition":0,"cth_us":1,"cbh_us":1,"arrivals_us":[1],
+			"learn":{"l":3,"events":10,"bound_us":[1,2]}}]}`},
+	}
+	for _, c := range cases {
+		f, err := Parse([]byte(c.json))
+		if err != nil {
+			continue // parse-level rejection also counts
+		}
+		if _, err := f.Scenario(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestExplicitArrivalsAndDelta(t *testing.T) {
+	f, err := Parse([]byte(`{
+		"mode": "monitored",
+		"partitions": [{"name":"a","slot_us":6000},{"name":"b","slot_us":6000}],
+		"irqs": [{
+			"name":"x","partition":0,"cth_us":6,"cbh_us":30,
+			"arrivals_us":[100, 2100, 9000],
+			"delta_us":[500, 1500]
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.IRQs[0].Condition == nil || sc.IRQs[0].Condition.Len() != 2 {
+		t.Fatal("δ⁻ condition not wired")
+	}
+	if sc.IRQs[0].Arrivals[1] != simtime.Time(simtime.Micros(2100)) {
+		t.Fatal("explicit arrivals not converted")
+	}
+	res, err := core.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Count != 3 {
+		t.Fatalf("records = %d", res.Summary.Count)
+	}
+}
+
+func TestWindowsAndShared(t *testing.T) {
+	f, err := Parse([]byte(`{
+		"partitions": [{"name":"a","slot_us":0},{"name":"b","slot_us":0}],
+		"windows": [
+			{"partition":0,"length_us":2000},
+			{"partition":1,"length_us":4000},
+			{"partition":0,"length_us":2000}
+		],
+		"irqs": [{
+			"name":"can","partition":0,"shared_with":[1],
+			"cth_us":6,"cbh_us":20,
+			"generator":"periodic","period_us":3000,"events":20
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Windows) != 3 {
+		t.Fatal("windows not wired")
+	}
+	if sc.CycleLength() != simtime.Micros(8000) {
+		t.Fatalf("cycle = %v", sc.CycleLength())
+	}
+	res, err := core.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared source: two deliveries per arrival.
+	if res.Summary.Count != 40 {
+		t.Fatalf("records = %d, want 40", res.Summary.Count)
+	}
+}
+
+func TestLearnConfig(t *testing.T) {
+	f, err := Parse([]byte(`{
+		"mode": "monitored", "policy": "resume", "seed": 3,
+		"partitions": [{"name":"a","slot_us":6000},{"name":"b","slot_us":6000}],
+		"irqs": [{
+			"name":"ecu","partition":0,"cth_us":6,"cbh_us":30,
+			"generator":"ecu","events":800,
+			"learn":{"l":5,"events":80}
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.IRQs[0].Learn == nil || sc.IRQs[0].Learn.L != 5 {
+		t.Fatal("learn spec not wired")
+	}
+	res, err := core.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InterposedGrants == 0 {
+		t.Fatal("learned monitor never granted")
+	}
+}
+
+func TestDeterministicAcrossParses(t *testing.T) {
+	run := func() simtime.Duration {
+		f, err := Parse([]byte(Example))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.IRQs[0].Events = 300
+		sc, err := f.Scenario()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary.Mean
+	}
+	if run() != run() {
+		t.Fatal("same config produced different results")
+	}
+}
+
+func TestExampleIsValidJSON(t *testing.T) {
+	if !strings.Contains(Example, "partitions") {
+		t.Fatal("example lost its content")
+	}
+	if _, err := Parse([]byte(Example)); err != nil {
+		t.Fatalf("example does not parse: %v", err)
+	}
+}

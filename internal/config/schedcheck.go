@@ -1,0 +1,107 @@
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/holistic"
+	"repro/internal/simtime"
+)
+
+// HolisticSpecs derives the static schedulability model of the
+// configured system: one holistic.PartitionSpec per partition that
+// declares periodic guest tasks. IRQ sources contribute demand with
+// models taken from their monitoring condition when present, otherwise
+// fitted conservatively from their (generated) arrival stream.
+func (f *File) HolisticSpecs() ([]holistic.PartitionSpec, error) {
+	sc, err := f.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	costs := sc.CostModel()
+	cycle := sc.CycleLength()
+
+	// IRQ demand per source, shared by all partitions.
+	type srcDemand struct {
+		d   holistic.IRQDemand
+		sub int
+	}
+	var demands []srcDemand
+	for i, q := range sc.IRQs {
+		model, err := sourceModel(q)
+		if err != nil {
+			return nil, fmt.Errorf("config: irq %q: %w", q.Name, err)
+		}
+		d := holistic.IRQDemand{
+			Name:  q.Name,
+			CTH:   q.CTH + costs.QueuePush,
+			CBH:   q.CBH + costs.QueuePop,
+			Model: model,
+		}
+		if q.DMin > 0 {
+			d.Cond = curves.Sporadic{DMin: q.DMin}
+			d.CTH = costs.EffectiveTH(q.CTH) + costs.QueuePush
+		}
+		if q.Condition != nil {
+			d.Cond = q.Condition
+			d.CTH = costs.EffectiveTH(q.CTH) + costs.QueuePush
+		}
+		demands = append(demands, srcDemand{d: d, sub: q.Partition})
+		_ = i
+	}
+
+	var specs []holistic.PartitionSpec
+	for pi, p := range f.Partitions {
+		var tasks []holistic.TaskSpec
+		for _, t := range p.Tasks {
+			if t.Sporadic || t.PeriodUs <= 0 {
+				continue // background / externally activated
+			}
+			tasks = append(tasks, holistic.TaskSpec{
+				Name:     t.Name,
+				Period:   simtime.FromMicrosF(t.PeriodUs),
+				Jitter:   simtime.FromMicrosF(t.JitterUs),
+				WCET:     simtime.FromMicrosF(t.WCETUs),
+				Deadline: simtime.FromMicrosF(t.DeadlineUs),
+			})
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		windows := sc.PartitionWindows(pi)
+		sched, err := analysis.NewSchedule(cycle, windows, costs.CtxSwitch)
+		if err != nil {
+			return nil, fmt.Errorf("config: partition %q schedule: %w", p.Name, err)
+		}
+		spec := holistic.PartitionSpec{
+			Name:     p.Name,
+			Schedule: sched,
+			Tasks:    tasks,
+			Costs:    costs,
+		}
+		for _, sd := range demands {
+			d := sd.d
+			d.SubscribedHere = sd.sub == pi
+			spec.IRQs = append(spec.IRQs, d)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// sourceModel derives a conservative activation model for one source.
+func sourceModel(q core.IRQSpec) (curves.Model, error) {
+	switch {
+	case q.DMin > 0:
+		return curves.Sporadic{DMin: q.DMin}, nil
+	case q.Condition != nil:
+		return q.Condition, nil
+	case len(q.Arrivals) >= 2:
+		return curves.FitPJD(q.Arrivals, 8)
+	default:
+		// A single-shot source: effectively one event per window.
+		return curves.Sporadic{DMin: simtime.Infinity / 2}, nil
+	}
+}

@@ -1,0 +1,155 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/holistic"
+)
+
+const guestConfig = `{
+  "mode": "monitored",
+  "policy": "resume",
+  "seed": 42,
+  "partitions": [
+    {"name": "flight", "slot_us": 10000, "tasks": [
+      {"name": "attitude", "period_us": 20000, "wcet_us": 2000},
+      {"name": "nav", "period_us": 40000, "wcet_us": 4000},
+      {"name": "rx-task", "sporadic": true, "wcet_us": 200},
+      {"name": "bg"}
+    ]},
+    {"name": "io", "slot_us": 4000}
+  ],
+  "irqs": [
+    {"name": "afdx", "partition": 1, "cth_us": 8, "cbh_us": 40,
+     "generator": "exponential-clamped", "events": 1200, "mean_us": 2600, "dmin_us": 2000},
+    {"name": "sensor", "partition": 0, "cth_us": 6, "cbh_us": 20,
+     "generator": "periodic", "period_us": 5000, "events": 1200, "dmin_us": 4500,
+     "signals_task": 2}
+  ]
+}`
+
+func TestGuestTasksWired(t *testing.T) {
+	f, err := Parse([]byte(guestConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sc.Partitions[0].Guest
+	if g == nil {
+		t.Fatal("guest not built")
+	}
+	if g.Tasks() != 4 {
+		t.Fatalf("guest tasks = %d", g.Tasks())
+	}
+	task, ok := g.TaskInfo(2)
+	if !ok || !task.Sporadic {
+		t.Fatal("sporadic task not wired")
+	}
+	if !sc.IRQs[1].SignalsGuest || sc.IRQs[1].GuestTask != 2 {
+		t.Fatal("signals_task not wired")
+	}
+}
+
+func TestHolisticSpecsDerivation(t *testing.T) {
+	f, err := Parse([]byte(guestConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := f.HolisticSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("specs = %d, want 1 (only flight has periodic tasks)", len(specs))
+	}
+	spec := specs[0]
+	if spec.Name != "flight" || len(spec.Tasks) != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if len(spec.IRQs) != 2 {
+		t.Fatalf("IRQ demands = %d", len(spec.IRQs))
+	}
+	// The sensor source is subscribed here; afdx is foreign and
+	// monitored.
+	var foreignMonitored, subscribed bool
+	for _, q := range spec.IRQs {
+		if q.Name == "afdx" && !q.SubscribedHere && q.Cond != nil {
+			foreignMonitored = true
+		}
+		if q.Name == "sensor" && q.SubscribedHere {
+			subscribed = true
+		}
+	}
+	if !foreignMonitored || !subscribed {
+		t.Fatalf("demand flags wrong: %+v", spec.IRQs)
+	}
+}
+
+// TestScheckBoundsEnvelopeConfiguredSimulation closes the loop: the
+// static bounds derived from the JSON must envelope the guest WCRTs the
+// simulation of the very same JSON measures.
+func TestScheckBoundsEnvelopeConfiguredSimulation(t *testing.T) {
+	f, err := Parse([]byte(guestConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := f.HolisticSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := holistic.Analyze(specs[0], analysis.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounds.Schedulable {
+		t.Fatalf("config analysed unschedulable: %+v", bounds.Tasks)
+	}
+
+	sc, err := f.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InterposedGrants == 0 {
+		t.Fatal("nothing interposed; test is vacuous")
+	}
+	guest := sc.Partitions[0].Guest
+	if err := guest.SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tb := range bounds.Tasks {
+		st := guest.Stats(i)
+		if st.Completions == 0 {
+			t.Fatalf("task %s never completed", tb.Name)
+		}
+		if st.WCRT > tb.WCRT {
+			t.Errorf("task %s: measured WCRT %v exceeds static bound %v", tb.Name, st.WCRT, tb.WCRT)
+		}
+		if st.Misses != 0 {
+			t.Errorf("task %s missed %d deadlines in a schedulable config", tb.Name, st.Misses)
+		}
+	}
+}
+
+func TestBadGuestTaskRejected(t *testing.T) {
+	f, err := Parse([]byte(`{
+		"partitions": [{"name":"a","slot_us":1000,"tasks":[
+			{"name":"bad","period_us":10,"wcet_us":20}
+		]}],
+		"irqs": []
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Scenario(); err == nil {
+		t.Fatal("WCET > period accepted")
+	}
+}

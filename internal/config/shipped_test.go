@@ -1,0 +1,66 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShippedConfigs loads every configuration file shipped under
+// configs/ — they are user-facing documentation and must stay valid —
+// and runs a reduced version of each end to end.
+func TestShippedConfigs(t *testing.T) {
+	dir := filepath.Join("..", "..", "configs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("configs directory missing: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no shipped configs")
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Parse(raw)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			// Reduce workload sizes for test speed.
+			for i := range f.IRQs {
+				if f.IRQs[i].Events > 600 {
+					f.IRQs[i].Events = 600
+				}
+				if f.IRQs[i].Learn != nil && f.IRQs[i].Learn.Events > 60 {
+					f.IRQs[i].Learn.Events = 60
+				}
+			}
+			sc, err := f.Scenario()
+			if err != nil {
+				t.Fatalf("scenario: %v", err)
+			}
+			res, err := core.Run(sc)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Summary.Count == 0 {
+				t.Fatal("no records")
+			}
+			// Configs with guest task sets must also pass the static
+			// check derivation.
+			if specs, err := f.HolisticSpecs(); err != nil {
+				t.Fatalf("holistic specs: %v", err)
+			} else {
+				_ = specs
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/hv"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// ExampleRun simulates the paper's three-partition system with one
+// monitored timer IRQ under interposed handling and reports the
+// handling-mode split. The arrival stream is strictly periodic at dmin,
+// so every foreign-slot IRQ conforms.
+func ExampleRun() {
+	dmin := simtime.Micros(2000)
+	arrivals := workload.Timestamps(func() []simtime.Duration {
+		out := make([]simtime.Duration, 70)
+		for i := range out {
+			out[i] = dmin
+		}
+		return out
+	}())
+	sc := core.Scenario{
+		Partitions: []core.PartitionSpec{
+			{Name: "app1", Slot: simtime.Micros(6000)},
+			{Name: "app2", Slot: simtime.Micros(6000)},
+			{Name: "housekeeping", Slot: simtime.Micros(2000)},
+		},
+		Mode:   hv.Monitored,
+		Policy: hv.ResumeAcrossSlots,
+		IRQs: []core.IRQSpec{{
+			Name: "timer0", Partition: 0,
+			CTH: simtime.Micros(6), CBH: simtime.Micros(30),
+			Arrivals: arrivals,
+			DMin:     dmin,
+		}},
+	}
+	res, err := core.Run(sc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("IRQs: %d, delayed: %d, grants: %d\n",
+		res.Summary.Count, res.Summary.ByMode[2], res.Stats.InterposedGrants)
+	// Output:
+	// IRQs: 70, delayed: 0, grants: 50
+}
+
+// ExampleAnalyze computes the worst-case latency bounds of the paper's
+// analysis (eqs. 11–16) for the same system and shows that the
+// interposed bound is independent of the TDMA cycle.
+func ExampleAnalyze() {
+	sc := core.Scenario{
+		Partitions: []core.PartitionSpec{
+			{Name: "app1", Slot: simtime.Micros(6000)},
+			{Name: "app2", Slot: simtime.Micros(6000)},
+			{Name: "housekeeping", Slot: simtime.Micros(2000)},
+		},
+		IRQs: []core.IRQSpec{{
+			Name: "timer0", Partition: 0,
+			CTH: simtime.Micros(6), CBH: simtime.Micros(30),
+		}},
+	}
+	model := curves.Sporadic{DMin: simtime.Micros(2000)}
+	cmp, err := core.Analyze(sc, 0, model)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("classic %.1fµs, interposed %.1fµs\n",
+		cmp.Classic.WCRT.MicrosF(), cmp.Interposed.WCRT.MicrosF())
+	// Output:
+	// classic 8111.2µs, interposed 141.4µs
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+// TestMultiSourceInterposedBound validates the compositional extension
+// of eq. (16): with two monitored sources subscribed to different
+// partitions, the measured latency of each stays below the
+// InterposedLatencyMulti bound that accounts for the other source's
+// grants. The streams are clamped so neither violates its condition.
+func TestMultiSourceInterposedBound(t *testing.T) {
+	costs := arm.DefaultCosts()
+	dminA := us(2500)
+	dminB := us(3500)
+	arrA := workload.Timestamps(workload.ExponentialClamped(rng.New(61), us(3000), dminA, 600))
+	arrB := workload.Timestamps(workload.ExponentialClamped(rng.New(62), us(4200), dminB, 450))
+
+	sc := Scenario{
+		Partitions: paperPartitions(),
+		Mode:       hv.Monitored,
+		Policy:     hv.ResumeAcrossSlots,
+		IRQs: []IRQSpec{
+			{Name: "a", Partition: 0, CTH: us(6), CBH: us(30), Arrivals: arrA, DMin: dminA},
+			{Name: "b", Partition: 1, CTH: us(4), CBH: us(20), Arrivals: arrB, DMin: dminB},
+		},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InterposedGrants == 0 {
+		t.Fatal("nothing interposed; test is vacuous")
+	}
+
+	// Bound for source a under source b's interference. Handler WCETs
+	// inflated by queue costs like core.Analyze does.
+	irqA := analysis.IRQ{
+		Name:  "a",
+		CTH:   us(6) + costs.QueuePush,
+		CBH:   us(30) + costs.QueuePop,
+		Model: curves.Sporadic{DMin: dminA},
+	}
+	monB := analysis.MonitoredSource{
+		Name:   "b",
+		CTH:    costs.EffectiveTH(us(4) + costs.QueuePush),
+		CBHEff: costs.EffectiveBH(us(20) + costs.QueuePop),
+		Arrive: curves.Sporadic{DMin: dminB},
+		Grants: curves.Sporadic{DMin: dminB},
+	}
+	bound, err := analysis.InterposedLatencyMulti(irqA, costs, []analysis.MonitoredSource{monB}, analysis.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare against measured *backlog-free interposed* latencies of
+	// source a: eq. (16) models conforming IRQs served by their own
+	// grant. A direct IRQ cut by its own slot end leaves a remnant in
+	// the FIFO queue that later grants must serve first (one-behind
+	// backlog); those entangled latencies are governed by the classic
+	// TDMA envelope instead. An IRQ is backlog-free when the previous
+	// record of the source completed before it arrived.
+	var maxInterposed simtime.Duration
+	var prevDone simtime.Time
+	for _, rec := range res.Log.Records {
+		if rec.Source != 0 {
+			continue
+		}
+		clean := rec.Arrival >= prevDone && !rec.Deferred
+		prevDone = rec.Done
+		if !clean || rec.Mode != tracerec.Interposed {
+			continue
+		}
+		if l := rec.Latency(); l > maxInterposed {
+			maxInterposed = l
+		}
+	}
+	if maxInterposed == 0 {
+		t.Fatal("source a never interposed")
+	}
+	// Grants can additionally be delayed by slot switches they resume
+	// across (ResumeAcrossSlots re-pays a context switch and the TDMA
+	// switch itself) — extend the envelope by one TDMA switch plus the
+	// re-entry switch per crossing.
+	envelope := bound.WCRT + 2*costs.CtxSwitch
+	if maxInterposed > envelope {
+		t.Fatalf("measured interposed max %v exceeds multi-source bound %v (+slack %v)",
+			maxInterposed, bound.WCRT, envelope)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/curves"
+	"repro/internal/hv"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+)
+
+func TestWindowScenarioRuns(t *testing.T) {
+	sc := Scenario{
+		Partitions: []PartitionSpec{{Name: "a"}, {Name: "b"}},
+		Windows: []WindowSpec{
+			{Partition: 0, Length: us(3000)},
+			{Partition: 1, Length: us(6000)},
+			{Partition: 0, Length: us(3000)},
+			{Partition: 1, Length: us(2000)},
+		},
+		IRQs: []IRQSpec{{
+			Name: "t0", Partition: 0, CTH: us(6), CBH: us(30),
+			Arrivals: expArrivals(41, us(1200), 300),
+		}},
+	}
+	if sc.CycleLength() != us(14000) {
+		t.Fatalf("cycle = %v", sc.CycleLength())
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Count == 0 {
+		t.Fatal("no records")
+	}
+	// With two windows per cycle, the worst delayed wait is well below
+	// a full cycle minus slot.
+	if res.Summary.Max > us(9000) {
+		t.Fatalf("max latency %v too large for a two-window schedule", res.Summary.Max)
+	}
+}
+
+func TestPartitionWindows(t *testing.T) {
+	sc := Scenario{
+		Partitions: []PartitionSpec{{Name: "a", Slot: us(4000)}, {Name: "b", Slot: us(6000)}},
+	}
+	ws := sc.PartitionWindows(1)
+	if len(ws) != 1 || ws[0].Start != us(4000) || ws[0].End != us(10000) {
+		t.Fatalf("windows = %v", ws)
+	}
+	sc.Windows = []WindowSpec{
+		{Partition: 1, Length: us(2000)},
+		{Partition: 0, Length: us(3000)},
+		{Partition: 1, Length: us(1000)},
+	}
+	ws = sc.PartitionWindows(1)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %v", ws)
+	}
+	if ws[0].Start != 0 || ws[0].End != us(2000) || ws[1].Start != us(5000) || ws[1].End != us(6000) {
+		t.Fatalf("windows = %v", ws)
+	}
+}
+
+func TestAnalyzeScheduleTighterForSplitWindows(t *testing.T) {
+	model := curves.PJD{Period: us(2500), Jitter: us(200), DMin: us(2000)}
+	mkScenario := func(windows []WindowSpec) Scenario {
+		return Scenario{
+			Partitions: []PartitionSpec{{Name: "a", Slot: us(6000)}, {Name: "b", Slot: us(8000)}},
+			Windows:    windows,
+			IRQs: []IRQSpec{{
+				Name: "t0", Partition: 0, CTH: us(6), CBH: us(30),
+			}},
+		}
+	}
+	single, err := AnalyzeSchedule(mkScenario(nil), 0, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := AnalyzeSchedule(mkScenario([]WindowSpec{
+		{Partition: 0, Length: us(3000)},
+		{Partition: 1, Length: us(4000)},
+		{Partition: 0, Length: us(3000)},
+		{Partition: 1, Length: us(4000)},
+	}), 0, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.WCRT >= single.WCRT {
+		t.Fatalf("split-window bound %v not below single-slot %v", split.WCRT, single.WCRT)
+	}
+}
+
+func TestAnalyzeScheduleEnvelopesWindowSimulation(t *testing.T) {
+	model := curves.PJD{Period: us(2500), Jitter: us(200), DMin: us(2000)}
+	// A concrete conforming stream: strictly periodic at the period.
+	var arrivals []simtime.Time
+	for i := 1; i <= 400; i++ {
+		arrivals = append(arrivals, simtime.Time(us(2500))*simtime.Time(i))
+	}
+	sc := Scenario{
+		Partitions: []PartitionSpec{{Name: "a"}, {Name: "b"}},
+		Windows: []WindowSpec{
+			{Partition: 0, Length: us(3000)},
+			{Partition: 1, Length: us(4000)},
+			{Partition: 0, Length: us(3000)},
+			{Partition: 1, Length: us(4000)},
+		},
+		IRQs: []IRQSpec{{
+			Name: "t0", Partition: 0, CTH: us(6), CBH: us(30),
+			Arrivals: arrivals,
+		}},
+	}
+	bound, err := AnalyzeSchedule(sc, 0, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Max > bound.WCRT {
+		t.Fatalf("measured max %v exceeds schedule bound %v", res.Summary.Max, bound.WCRT)
+	}
+}
+
+func TestSharedIRQScenario(t *testing.T) {
+	sc := Scenario{
+		Partitions: []PartitionSpec{
+			{Name: "a", Slot: us(6000)},
+			{Name: "b", Slot: us(6000)},
+			{Name: "c", Slot: us(2000)},
+		},
+		Mode: hv.Monitored,
+		IRQs: []IRQSpec{{
+			Name: "can", Partition: 0, SharedWith: []int{1, 2},
+			CTH: us(6), CBH: us(20),
+			Arrivals: expArrivals(43, us(2500), 100),
+		}},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raised := int(res.Sources[0].Raised)
+	if res.Summary.Count != 3*raised {
+		t.Fatalf("records = %d for %d raised (want 3 deliveries each)", res.Summary.Count, raised)
+	}
+	if res.Stats.InterposedGrants != 0 {
+		t.Fatal("shared IRQ interposed")
+	}
+	// Every delivery partition appears.
+	seen := map[int]bool{}
+	for _, r := range res.Log.Records {
+		seen[r.Partition] = true
+		if r.Mode == tracerec.Interposed {
+			t.Fatal("interposed shared record")
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("deliveries reached %d partitions, want 3", len(seen))
+	}
+}

@@ -1,0 +1,93 @@
+package curves
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestFitPJDPeriodicTrace(t *testing.T) {
+	var ts []simtime.Time
+	for i := 0; i < 50; i++ {
+		ts = append(ts, simtime.Time(us(int64(i)*100)))
+	}
+	m, err := FitPJD(ts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Period != us(100) {
+		t.Fatalf("period = %v, want 100µs", m.Period)
+	}
+	if m.Jitter != 0 {
+		t.Fatalf("jitter = %v, want 0", m.Jitter)
+	}
+	if m.DMin != us(100) {
+		t.Fatalf("dmin = %v, want 100µs", m.DMin)
+	}
+	if !Admits(m, ts, 8) {
+		t.Fatal("fitted model does not admit its own trace")
+	}
+}
+
+func TestFitPJDJitteredTrace(t *testing.T) {
+	base := []int64{0, 110, 190, 300, 410, 490, 600}
+	var ts []simtime.Time
+	for _, b := range base {
+		ts = append(ts, simtime.Time(us(b)))
+	}
+	m, err := FitPJD(ts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jitter == 0 {
+		t.Fatal("jittered trace fitted with zero jitter")
+	}
+	if !Admits(m, ts, 5) {
+		t.Fatal("fitted model does not admit its own trace")
+	}
+}
+
+func TestFitPJDErrors(t *testing.T) {
+	if _, err := FitPJD([]simtime.Time{0}, 4); err == nil {
+		t.Error("single event accepted")
+	}
+	if _, err := FitPJD([]simtime.Time{5, 5}, 4); err == nil {
+		t.Error("zero-span trace accepted")
+	}
+}
+
+func TestFitPJDAdmitsProperty(t *testing.T) {
+	// For any strictly increasing trace, the fitted model admits it.
+	f := func(gaps []uint16) bool {
+		if len(gaps) < 2 {
+			return true
+		}
+		if len(gaps) > 60 {
+			gaps = gaps[:60]
+		}
+		var ts []simtime.Time
+		var cur simtime.Time
+		for _, g := range gaps {
+			cur += simtime.Time(us(int64(g%2000) + 1))
+			ts = append(ts, cur)
+		}
+		m, err := FitPJD(ts, 6)
+		if err != nil {
+			return false
+		}
+		return Admits(m, ts, 6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmitsRejects(t *testing.T) {
+	// A model with dmin larger than an observed gap must be rejected.
+	ts := []simtime.Time{0, simtime.Time(us(50)), simtime.Time(us(500))}
+	m := Sporadic{DMin: us(100)}
+	if Admits(m, ts, 4) {
+		t.Fatal("model admits a trace violating dmin")
+	}
+}

@@ -1,0 +1,99 @@
+package curves
+
+import (
+	"errors"
+
+	"repro/internal/simtime"
+)
+
+// LowerModel describes the lower bounds of an event stream: η⁻(Δt), the
+// minimum number of events in any closed window of length Δt, and its
+// dual δ⁺(q), the maximum distance spanned by q consecutive events.
+// Lower bounds complement the η⁺/δ⁻ upper bounds when reasoning about
+// guaranteed progress (e.g. the minimum number of monitoring grants a
+// stream is guaranteed to receive).
+type LowerModel interface {
+	// EtaMinus returns the minimum number of events in any closed
+	// window of length dt.
+	EtaMinus(dt simtime.Duration) int64
+	// DeltaMax returns the maximum distance between the first and last
+	// of q consecutive events; q <= 1 yields 0.
+	DeltaMax(q int64) simtime.Duration
+}
+
+// PJDLower is the lower-bound counterpart of the PJD model: a periodic
+// stream with release jitter guarantees
+//
+//	δ⁺(q) = (q−1)·P + J
+//	η⁻(Δt) = max(0, ⌊(Δt−J)/P⌋)
+type PJDLower struct {
+	Period simtime.Duration
+	Jitter simtime.Duration
+}
+
+// Validate reports whether the parameters are consistent.
+func (m PJDLower) Validate() error {
+	if m.Period <= 0 {
+		return errors.New("curves: PJDLower period must be positive")
+	}
+	if m.Jitter < 0 {
+		return errors.New("curves: PJDLower jitter must be non-negative")
+	}
+	return nil
+}
+
+// DeltaMax implements LowerModel.
+func (m PJDLower) DeltaMax(q int64) simtime.Duration {
+	if q <= 1 {
+		return 0
+	}
+	return simtime.Duration(q-1)*m.Period + m.Jitter
+}
+
+// EtaMinus implements LowerModel, by duality with DeltaMax: the largest
+// q with δ⁺(q) ≤ Δt is guaranteed within any closed window of length Δt
+// minus one boundary event — conservatively, max{q ≥ 0 : δ⁺(q+1) ≤ Δt}.
+func (m PJDLower) EtaMinus(dt simtime.Duration) int64 {
+	if dt < m.Jitter {
+		return 0
+	}
+	return int64((dt - m.Jitter) / m.Period)
+}
+
+// DeltaMaxFromTrace computes the loosest observed l-entry δ⁺ prefix of a
+// trace: DeltaMax[i] is the maximum observed distance spanned by i+2
+// consecutive events — the batch counterpart of DeltaFromTrace for lower
+// bounds.
+func DeltaMaxFromTrace(ts []simtime.Time, l int) ([]simtime.Duration, error) {
+	if l <= 0 {
+		return nil, errors.New("curves: l must be positive")
+	}
+	if len(ts) < 2 {
+		return nil, errors.New("curves: trace needs at least two events")
+	}
+	out := make([]simtime.Duration, l)
+	for i := range ts {
+		for k := 1; k <= l && i+k < len(ts); k++ {
+			if d := ts[i+k].Sub(ts[i]); d > out[k-1] {
+				out[k-1] = d
+			}
+		}
+	}
+	// Unobserved entries extend the last observed one (conservative:
+	// larger δ⁺ is weaker).
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			out[i] = out[i-1]
+		}
+	}
+	return out, nil
+}
+
+// GuaranteedGrants lower-bounds the number of interposed grants a
+// conforming stream receives in any window of length dt: the stream
+// delivers at least η⁻(Δt) events, and the monitor admits every one of
+// them when the stream's δ⁻ dominates the monitoring condition. The
+// caller must have established conformance (e.g. via Admits).
+func GuaranteedGrants(lower LowerModel, dt simtime.Duration) int64 {
+	return lower.EtaMinus(dt)
+}

@@ -1,0 +1,104 @@
+package curves
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestPJDLowerClosedForms(t *testing.T) {
+	m := PJDLower{Period: us(100), Jitter: us(30)}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DeltaMax(1); got != 0 {
+		t.Errorf("δ⁺(1) = %v", got)
+	}
+	if got := m.DeltaMax(3); got != us(230) {
+		t.Errorf("δ⁺(3) = %v, want 230µs", got)
+	}
+	// η⁻: ⌊(Δt−J)/P⌋.
+	cases := []struct {
+		dt   simtime.Duration
+		want int64
+	}{
+		{us(10), 0}, {us(30), 0}, {us(129), 0}, {us(130), 1}, {us(530), 5},
+	}
+	for _, c := range cases {
+		if got := m.EtaMinus(c.dt); got != c.want {
+			t.Errorf("η⁻(%v) = %d, want %d", c.dt, got, c.want)
+		}
+	}
+}
+
+func TestPJDLowerValidate(t *testing.T) {
+	if (PJDLower{Period: 0}).Validate() == nil {
+		t.Error("zero period accepted")
+	}
+	if (PJDLower{Period: us(10), Jitter: -1}).Validate() == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestLowerUpperConsistency(t *testing.T) {
+	// For the same (P, J) stream, δ⁻(q) ≤ δ⁺(q) and η⁻(Δt) ≤ η⁺(Δt).
+	up := PJD{Period: us(100), Jitter: us(30), DMin: us(10)}
+	lo := PJDLower{Period: us(100), Jitter: us(30)}
+	for q := int64(2); q <= 32; q++ {
+		if up.DeltaMin(q) > lo.DeltaMax(q) {
+			t.Fatalf("δ⁻(%d) = %v > δ⁺(%d) = %v", q, up.DeltaMin(q), q, lo.DeltaMax(q))
+		}
+	}
+	for dt := us(0); dt <= us(3000); dt += us(77) {
+		if lo.EtaMinus(dt) > up.EtaPlus(dt) {
+			t.Fatalf("η⁻(%v) > η⁺(%v)", dt, dt)
+		}
+	}
+}
+
+func TestDeltaMaxFromTrace(t *testing.T) {
+	ts := []simtime.Time{0, 100, 150, 400, 420}
+	dmax, err := DeltaMaxFromTrace(ts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairwise gaps: 100, 50, 250, 20 → δ⁺(2) = 250.
+	if dmax[0] != 250 {
+		t.Errorf("δ⁺(2) = %v, want 250", dmax[0])
+	}
+	// Spans of 3: 150, 300, 270 → δ⁺(3) = 300.
+	if dmax[1] != 300 {
+		t.Errorf("δ⁺(3) = %v, want 300", dmax[1])
+	}
+	// Spans of 4: 400, 320 → δ⁺(4) = 400.
+	if dmax[2] != 400 {
+		t.Errorf("δ⁺(4) = %v, want 400", dmax[2])
+	}
+	// Trace bounds are mutually consistent with the recorded δ⁻.
+	dmin, err := DeltaFromTrace(ts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dmax {
+		if dmin.Dist[i] > dmax[i] {
+			t.Errorf("δ⁻[%d] %v > δ⁺[%d] %v", i, dmin.Dist[i], i, dmax[i])
+		}
+	}
+}
+
+func TestDeltaMaxFromTraceErrors(t *testing.T) {
+	if _, err := DeltaMaxFromTrace([]simtime.Time{0}, 2); err == nil {
+		t.Error("short trace accepted")
+	}
+	if _, err := DeltaMaxFromTrace([]simtime.Time{0, 1}, 0); err == nil {
+		t.Error("l=0 accepted")
+	}
+}
+
+func TestGuaranteedGrants(t *testing.T) {
+	lo := PJDLower{Period: us(1000), Jitter: us(200)}
+	// In any 10.2 ms window a (1000, 200) stream delivers ≥ 10 events.
+	if got := GuaranteedGrants(lo, us(10200)); got != 10 {
+		t.Fatalf("guaranteed grants = %d, want 10", got)
+	}
+}

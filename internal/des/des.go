@@ -1,0 +1,175 @@
+// Package des implements a minimal discrete-event simulation kernel.
+//
+// The hypervisor reproduction (internal/hv) is driven entirely by this
+// kernel: hardware IRQ arrivals, TDMA slot boundaries, bottom-handler
+// budget expiry and execution completions are all events on one timeline.
+// Events at the same timestamp fire in scheduling order (FIFO), which
+// makes every simulation fully deterministic.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Event is a scheduled callback. Its fields are managed by the Simulator;
+// holders may only Cancel it or query its Time.
+type Event struct {
+	when     simtime.Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	canceled bool
+	fn       func()
+	label    string
+}
+
+// Time returns the timestamp the event is (or was) scheduled for.
+func (e *Event) Time() simtime.Time { return e.when }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Label returns the debug label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Simulator owns the virtual clock and the pending event queue.
+// The zero value is a simulator at time 0 with no events.
+type Simulator struct {
+	now     simtime.Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	running bool
+}
+
+// New returns a simulator with its clock at time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() simtime.Time { return s.now }
+
+// Fired returns the number of events executed so far; useful for
+// progress accounting and as a watchdog in tests.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: the hypervisor model never needs it and allowing it would mask
+// bookkeeping bugs.
+func (s *Simulator) At(t simtime.Time, label string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling %q at %v before now %v", label, t, s.now))
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn, label: label, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d simtime.Duration, label string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: scheduling %q with negative delay %v", label, d))
+	}
+	return s.At(s.now.Add(d), label, fn)
+}
+
+// Cancel removes e from the queue. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Step fires the earliest pending event and advances the clock to it.
+// It returns false when the queue is empty.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.when
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the next event would be after
+// horizon or the queue drains. The clock ends at min(horizon, last event).
+func (s *Simulator) RunUntil(horizon simtime.Time) {
+	if s.running {
+		panic("des: re-entrant RunUntil")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.queue.Len() > 0 {
+		e := s.queue[0]
+		if e.when > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		if e.canceled {
+			continue
+		}
+		s.now = e.when
+		s.fired++
+		e.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Drain fires every remaining event. Intended for tests and short
+// self-terminating scenarios; a scenario with self-rescheduling events
+// will not terminate under Drain.
+func (s *Simulator) Drain() {
+	for s.Step() {
+	}
+}
+
+// eventHeap is a min-heap on (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/arm"
+	"repro/internal/simtime"
+)
+
+// TestAverageModelMatchesSimulation cross-validates the analytic
+// expected-latency model (analysis.AverageModel) against the simulated
+// Fig. 6 averages — prediction and measurement must agree within a
+// modest tolerance, which ties the simulator's averages to first
+// principles rather than to tuning.
+func TestAverageModelMatchesSimulation(t *testing.T) {
+	cfg := DefaultFig6()
+	cfg.EventsPerLoad = 2000
+	model := analysis.AverageModel{
+		Cycle: simtime.Micros(14000),
+		Slot:  simtime.Micros(6000),
+		CTH:   cfg.CTH,
+		CBH:   cfg.CBH,
+		Costs: arm.DefaultCosts(),
+	}
+	if err := model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig. 6a: the unmonitored prediction.
+	a, err := Fig6(Fig6a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predA := model.Unmonitored().MicrosF()
+	measA := a.Summary.Mean.MicrosF()
+	if rel := math.Abs(predA-measA) / measA; rel > 0.05 {
+		t.Errorf("Fig6a: predicted %.1fµs vs measured %.1fµs (%.1f%% off)", predA, measA, 100*rel)
+	}
+
+	// Fig. 6c: fully conforming. The simulation adds queueing/remnant
+	// effects the expectation model excludes, so allow a wider band.
+	c, err := Fig6(Fig6c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predC := model.Monitored(1).MicrosF()
+	measC := c.Summary.Mean.MicrosF()
+	if measC < predC*0.9 || measC > predC*1.8 {
+		t.Errorf("Fig6c: predicted %.1fµs vs measured %.1fµs", predC, measC)
+	}
+
+	// Fig. 6b: derive the conforming fraction from the measured grant
+	// share and check the prediction against the measured mean.
+	b, err := Fig6(Fig6b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := 1 - model.DirectShare()
+	conforming := b.Summary.Share(1) / foreign // interposed share / foreign share
+	predB := model.Monitored(conforming).MicrosF()
+	measB := b.Summary.Mean.MicrosF()
+	if rel := math.Abs(predB-measB) / measB; rel > 0.15 {
+		t.Errorf("Fig6b: predicted %.1fµs (conf %.2f) vs measured %.1fµs (%.1f%% off)",
+			predB, conforming, measB, 100*rel)
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/hv"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+// Fig7Config parameterises the Appendix A testcase: a real-life
+// activation trace drives the IRQ source, the first 10 % of it trains a
+// self-learning δ⁻[l] monitor (Algorithm 1), the learned function is
+// bounded by a predefined δ⁻_b (Algorithm 2), and the remaining 90 % runs
+// in monitored mode. Four bounds are compared: one that does not bind the
+// recorded function (graph a) and three that admit only 25 %, 12.5 % and
+// 6.25 % of the recorded load (graphs b–d).
+type Fig7Config struct {
+	ECU           workload.ECUConfig
+	LearnFraction float64   // share of the trace used for learning (paper: 0.10)
+	L             int       // δ⁻ entries (paper: 5)
+	LoadFractions []float64 // admitted share of the recorded load per graph
+	CTH           simtime.Duration
+	CBH           simtime.Duration
+	Slots         []simtime.Duration
+	Policy        hv.SlotEndPolicy
+	// Window is the sliding-window length (in events) of the average
+	// latency series, the y-axis of Fig. 7.
+	Window int
+}
+
+// DefaultFig7 returns the paper's parameters.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		ECU:           workload.DefaultECU(),
+		LearnFraction: 0.10,
+		L:             5,
+		LoadFractions: []float64{1.0, 0.25, 0.125, 0.0625},
+		CTH:           simtime.Micros(6),
+		CBH:           simtime.Micros(30),
+		Slots: []simtime.Duration{
+			simtime.Micros(6000),
+			simtime.Micros(6000),
+			simtime.Micros(2000),
+		},
+		Policy: hv.ResumeAcrossSlots,
+		Window: 500,
+	}
+}
+
+// Fig7Graph is the outcome of one bound (one curve of Fig. 7).
+type Fig7Graph struct {
+	LoadFraction float64
+	Bound        *curves.Delta // δ⁻_b handed to Algorithm 2
+	Result       *core.Result
+	// LearnAvg and RunAvg are the mean latencies of the learning and
+	// monitored phases in µs.
+	LearnAvg float64
+	RunAvg   float64
+	// Series is the sliding-window average latency per event index.
+	Series []float64
+}
+
+// Fig7Result is the full Appendix A experiment.
+type Fig7Result struct {
+	Config      Fig7Config
+	Trace       []simtime.Time
+	LearnEvents int
+	// Recorded is the tightest δ⁻[l] of the learning segment — what
+	// Algorithm 1 converges to.
+	Recorded *curves.Delta
+	Graphs   []Fig7Graph
+}
+
+// Fig7 runs the Appendix A testcase.
+func Fig7(cfg Fig7Config) (*Fig7Result, error) {
+	trace, err := workload.ECUTrace(cfg.ECU)
+	if err != nil {
+		return nil, err
+	}
+	learnEvents := int(float64(len(trace)) * cfg.LearnFraction)
+	if learnEvents < cfg.L+1 {
+		return nil, fmt.Errorf("experiments: learning segment of %d events too short for l=%d", learnEvents, cfg.L)
+	}
+	recorded, err := curves.DeltaFromTrace(trace[:learnEvents], cfg.L)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: recording δ⁻ prefix: %w", err)
+	}
+	out := &Fig7Result{
+		Config:      cfg,
+		Trace:       trace,
+		LearnEvents: learnEvents,
+		Recorded:    recorded,
+	}
+
+	for _, frac := range cfg.LoadFractions {
+		var bound *curves.Delta
+		if frac >= 1.0 {
+			// Graph a: a bound that does not constrain the
+			// recorded function — Algorithm 2 leaves the learned
+			// δ⁻ unchanged.
+			zeros := make([]simtime.Duration, cfg.L)
+			bound, err = curves.NewDelta(zeros)
+		} else {
+			// Admitting a fraction f of the recorded load means
+			// scaling every minimum distance by 1/f.
+			bound = recorded.ScaleDistances(1.0 / frac)
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		sc := core.Scenario{Mode: hv.Monitored, Policy: cfg.Policy}
+		names := []string{"app1", "app2", "housekeeping"}
+		for i, slot := range cfg.Slots {
+			sc.Partitions = append(sc.Partitions, core.PartitionSpec{Name: names[i%len(names)], Slot: slot})
+		}
+		sc.IRQs = []core.IRQSpec{{
+			Name:      "ecu",
+			Partition: 0,
+			CTH:       cfg.CTH,
+			CBH:       cfg.CBH,
+			Arrivals:  trace,
+			Learn:     &core.LearnSpec{L: cfg.L, Events: learnEvents, Bound: bound},
+		}}
+		res, err := core.Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 fraction %.4f: %w", frac, err)
+		}
+
+		g := Fig7Graph{LoadFraction: frac, Bound: bound, Result: res}
+		g.Series = res.Log.RollingAverage(cfg.Window)
+		var learnSum, runSum float64
+		var nLearn, nRun int
+		for i, rec := range res.Log.Records {
+			if i < learnEvents {
+				learnSum += rec.Latency().MicrosF()
+				nLearn++
+			} else {
+				runSum += rec.Latency().MicrosF()
+				nRun++
+			}
+		}
+		if nLearn > 0 {
+			g.LearnAvg = learnSum / float64(nLearn)
+		}
+		if nRun > 0 {
+			g.RunAvg = runSum / float64(nRun)
+		}
+		out.Graphs = append(out.Graphs, g)
+	}
+	return out, nil
+}
+
+// Write renders the Fig. 7 result: per-graph learn/run averages and the
+// handling-mode split of the monitored phase.
+func (r *Fig7Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "== Figure 7 — ECU trace (%d activations, learn %d) ==\n", len(r.Trace), r.LearnEvents)
+	fmt.Fprintf(w, "recorded δ⁻[%d] of learning segment (µs):", r.Recorded.Len())
+	for _, d := range r.Recorded.Dist {
+		fmt.Fprintf(w, " %.1f", d.MicrosF())
+	}
+	fmt.Fprintln(w)
+	for i, g := range r.Graphs {
+		s := g.Result.Summary
+		fmt.Fprintf(w, "graph %c). load %6.2f%%  learn-avg %7.1fµs  run-avg %7.1fµs  (direct %.1f%%, interposed %.1f%%, delayed %.1f%%)\n",
+			'a'+i, 100*g.LoadFraction, g.LearnAvg, g.RunAvg,
+			100*s.Share(tracerec.Direct), 100*s.Share(tracerec.Interposed), 100*s.Share(tracerec.Delayed))
+	}
+}
+
+// SeriesCSV writes the four average-latency curves aligned by event
+// index, downsampled by k to keep the output figure-sized.
+func (r *Fig7Result) SeriesCSV(w io.Writer, k int) {
+	var series []tracerec.Series
+	for i, g := range r.Graphs {
+		series = append(series, tracerec.Series{
+			Name: fmt.Sprintf("%c_load_%.4f", 'a'+i, g.LoadFraction),
+			Y:    tracerec.Downsample(g.Series, k),
+		})
+	}
+	tracerec.WriteSeriesCSV(w, series...)
+}

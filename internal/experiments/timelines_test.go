@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelinesReproduceFigures3And5(t *testing.T) {
+	var sb strings.Builder
+	if err := Timelines(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "Figure 5") {
+		t.Fatal("figure titles missing")
+	}
+	// Figure 3: the bottom handler appears in the delayed timeline
+	// (B glyph) and the latency is slot-bound (> 1000 µs).
+	if !strings.Contains(out, "(delayed)") {
+		t.Error("figure 3 run was not delayed")
+	}
+	if !strings.Contains(out, "B") {
+		t.Error("no bottom-handler glyph in the delayed timeline")
+	}
+	// Figure 5: interposed, with the I glyph inside partition1's slot
+	// and a much smaller latency.
+	if !strings.Contains(out, "(interposed)") {
+		t.Error("figure 5 run was not interposed")
+	}
+	if !strings.Contains(out, "I") {
+		t.Error("no interposed glyph in the interposed timeline")
+	}
+	// Both charts carry the legend and partition rows.
+	if strings.Count(out, "partition1 |") != 2 || strings.Count(out, "hv |") != 2 {
+		t.Error("gantt rows missing")
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/tracerec"
+)
+
+// TestFig6aDelayedUniform checks the paper's distribution claim: delayed
+// latencies are "approximately uniformly distributed" over
+// (0, T_TDMA − T_i] because arrivals hit arbitrary points of the TDMA
+// cycle. We bin the delayed records into eight equal bins over the
+// interval and require every bin to hold a reasonable share.
+func TestFig6aDelayedUniform(t *testing.T) {
+	cfg := DefaultFig6()
+	cfg.EventsPerLoad = 2000
+	r, err := Fig6(Fig6a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := simtime.Micros(8000)
+	const bins = 8
+	counts := make([]int, bins)
+	total := 0
+	for _, rec := range r.Combined.Records {
+		if rec.Mode != tracerec.Delayed {
+			continue
+		}
+		lat := rec.Latency()
+		if lat >= span {
+			continue // boundary effects (context switches) overflow slightly
+		}
+		idx := int(lat * bins / span)
+		counts[idx]++
+		total++
+	}
+	if total < 1000 {
+		t.Fatalf("too few delayed records: %d", total)
+	}
+	expected := float64(total) / bins
+	for i, c := range counts {
+		ratio := float64(c) / expected
+		if ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("bin %d holds %.0f%% of expected uniform share (counts %v)",
+				i, 100*ratio, counts)
+		}
+	}
+}
+
+// TestFig6aDelayedUniformKS is the sharper statistical version: the
+// Kolmogorov–Smirnov distance of the delayed latencies (minus the fixed
+// handler/switch overheads) against a uniform distribution over the
+// foreign interval must not reject at a strict significance level.
+func TestFig6aDelayedUniformKS(t *testing.T) {
+	cfg := DefaultFig6()
+	cfg.EventsPerLoad = 2000
+	r, err := Fig6(Fig6a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs []float64
+	for _, rec := range r.Combined.Records {
+		if rec.Mode == tracerec.Delayed {
+			xs = append(xs, rec.Latency().MicrosF())
+		}
+	}
+	// The latency is wait + fixed overheads; the wait is uniform on
+	// (0, 8000]. Fit the offset from the observed minimum.
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	ok, d, err := stats.KSTest(xs, stats.UniformCDF(lo, hi), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("delayed latencies rejected as uniform (D = %.4f, n = %d)", d, len(xs))
+	}
+}
+
+// TestWorkloadIsExponential validates the §6.1 generator statistically:
+// the interarrival distances of the Fig. 6 workload pass a KS test
+// against the exponential distribution with the configured mean.
+func TestWorkloadIsExponential(t *testing.T) {
+	cfg := DefaultFig6()
+	cfg.EventsPerLoad = 4000
+	r, err := Fig6(Fig6a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := r.PerLoad[2] // 10 % load
+	recs := pl.Result.Log.Records
+	var xs []float64
+	for i := 1; i < len(recs); i++ {
+		xs = append(xs, recs[i].Arrival.Sub(recs[i-1].Arrival).MicrosF())
+	}
+	ok, d, err := stats.KSTest(xs, stats.ExponentialCDF(pl.Lambda.MicrosF()), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("interarrival distances rejected as exponential (D = %.4f)", d)
+	}
+}
+
+// TestFig6cWorstCaseNotDelayed checks Fig. 6c's structural claim about
+// the worst case: with a conforming stream the TDMA-bound tail consists
+// only of *direct* IRQs cut by their own slot end — no delayed IRQ waits
+// a cycle, and interposed latencies stay far below the TDMA gap.
+func TestFig6cWorstCaseNotDelayed(t *testing.T) {
+	cfg := DefaultFig6()
+	cfg.EventsPerLoad = 2000
+	r, err := Fig6(Fig6c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range r.Combined.Records {
+		lat := rec.Latency()
+		if rec.Mode == tracerec.Interposed && lat > simtime.Micros(6000) {
+			t.Errorf("interposed latency %v near the TDMA bound", lat)
+		}
+		if rec.Mode == tracerec.Delayed && lat > simtime.Micros(6000) {
+			t.Errorf("delayed latency %v at the TDMA bound in scenario 3", lat)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package guestos models the guest operating system running inside a
+// hypervisor partition — a uC/OS-II-style preemptive fixed-priority RTOS
+// (the guest of the paper's uC/OS-MMU platform): up to 64 tasks at unique
+// priorities, a ready bitmap, and periodic task activations.
+//
+// The guest does not execute code; it is advanced over the CPU
+// availability windows its partition receives from the hypervisor
+// (its own TDMA slots, minus time stolen by interposed bottom handlers).
+// Within a window it simulates preemptive priority scheduling
+// analytically and records per-task response times — which is exactly
+// what "sufficient temporal independence" constrains: integration tests
+// compare guest response times with and without foreign interposed IRQs
+// against the interference bound of eq. (14).
+package guestos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/simtime"
+)
+
+// MaxTasks mirrors uC/OS-II's 64 priority levels.
+const MaxTasks = 64
+
+// Task is a guest task. Priority equals its index in the OS (lower =
+// more urgent), as in uC/OS-II where priority is identity.
+type Task struct {
+	Name   string
+	Period simtime.Duration // 0 = background task (unless Sporadic)
+	WCET   simtime.Duration // execution demand per activation
+	Offset simtime.Duration // first release (periodic tasks)
+	// Deadline for miss accounting; 0 means implicit (= Period).
+	Deadline simtime.Duration
+	// Sporadic tasks have no periodic release; they are activated
+	// externally via OS.Activate — e.g. by an IRQ bottom handler
+	// signalling the guest (the hypervisor couples a source to a
+	// guest task through hv.SourceConfig.GuestTask).
+	Sporadic bool
+}
+
+// TaskStats accumulates per-task measurements.
+type TaskStats struct {
+	Activations uint64
+	Completions uint64
+	Misses      uint64
+	CPUTime     simtime.Duration
+	WCRT        simtime.Duration // worst observed response time
+	SumRT       simtime.Duration // for mean response time
+	Backlog     int64            // pending (released, uncompleted) jobs
+}
+
+// MeanRT returns the mean observed response time.
+func (s TaskStats) MeanRT() simtime.Duration {
+	if s.Completions == 0 {
+		return 0
+	}
+	return simtime.Duration(int64(s.SumRT) / int64(s.Completions))
+}
+
+// job is one pending activation.
+type job struct {
+	release   simtime.Time
+	remaining simtime.Duration
+}
+
+// OS is the guest operating system state of one partition.
+type OS struct {
+	Name  string
+	tasks []Task
+	stats []TaskStats
+	// pending activations per task, FIFO (uC/OS-II queues events in
+	// order; one entry per released, uncompleted job).
+	queues [][]job
+	// next release time per periodic task.
+	nextRel []simtime.Time
+	ready   uint64 // bitmap: bit p set = task p has a pending job
+	// ctxSwitches counts intra-guest task switches.
+	ctxSwitches uint64
+	lastRunning int // task index last given the CPU, -1 initially
+	advancedTo  simtime.Time
+}
+
+// New returns an empty guest OS.
+func New(name string) *OS {
+	return &OS{Name: name, lastRunning: -1}
+}
+
+// AddTask registers a task at the next free (lowest-urgency) priority
+// and returns its priority index.
+func (os *OS) AddTask(t Task) (int, error) {
+	if len(os.tasks) >= MaxTasks {
+		return 0, errors.New("guestos: task limit reached")
+	}
+	if t.Period < 0 || t.WCET < 0 || t.Offset < 0 {
+		return 0, errors.New("guestos: negative task parameter")
+	}
+	if t.Period > 0 && t.WCET > t.Period {
+		return 0, fmt.Errorf("guestos: task %q WCET %v exceeds period %v", t.Name, t.WCET, t.Period)
+	}
+	if t.Sporadic && t.Period > 0 {
+		return 0, fmt.Errorf("guestos: task %q cannot be both periodic and sporadic", t.Name)
+	}
+	if t.Sporadic && t.WCET <= 0 {
+		return 0, fmt.Errorf("guestos: sporadic task %q needs a positive WCET", t.Name)
+	}
+	if t.Deadline == 0 {
+		t.Deadline = t.Period
+	}
+	os.tasks = append(os.tasks, t)
+	os.stats = append(os.stats, TaskStats{})
+	os.queues = append(os.queues, nil)
+	os.nextRel = append(os.nextRel, simtime.Time(t.Offset))
+	p := len(os.tasks) - 1
+	if t.Period == 0 && !t.Sporadic {
+		// Background task: release one everlasting job immediately.
+		os.queues[p] = append(os.queues[p], job{release: 0, remaining: simtime.Infinity})
+		os.ready |= 1 << uint(p)
+	}
+	return p, nil
+}
+
+// Activate releases one job of sporadic task p at time t (e.g. from an
+// IRQ bottom handler signalling the guest). Activations may arrive while
+// the partition has no CPU; the job executes at the next supply window.
+func (os *OS) Activate(p int, t simtime.Time) error {
+	if p < 0 || p >= len(os.tasks) {
+		return fmt.Errorf("guestos: no task %d", p)
+	}
+	task := os.tasks[p]
+	if !task.Sporadic {
+		return fmt.Errorf("guestos: task %q is not sporadic", task.Name)
+	}
+	os.queues[p] = append(os.queues[p], job{release: t, remaining: task.WCET})
+	os.stats[p].Activations++
+	os.ready |= 1 << uint(p)
+	return nil
+}
+
+// Tasks returns the number of registered tasks.
+func (os *OS) Tasks() int { return len(os.tasks) }
+
+// TaskInfo returns the declaration of task p.
+func (os *OS) TaskInfo(p int) (Task, bool) {
+	if p < 0 || p >= len(os.tasks) {
+		return Task{}, false
+	}
+	return os.tasks[p], true
+}
+
+// Stats returns a copy of task p's statistics.
+func (os *OS) Stats(p int) TaskStats {
+	st := os.stats[p]
+	st.Backlog = int64(len(os.queues[p]))
+	if t := os.tasks[p]; t.Period == 0 && !t.Sporadic && st.Backlog > 0 {
+		st.Backlog-- // the everlasting background job is not backlog
+	}
+	return st
+}
+
+// CtxSwitches returns the number of intra-guest task switches observed.
+func (os *OS) CtxSwitches() uint64 { return os.ctxSwitches }
+
+// releaseUpTo releases all periodic activations due at or before t.
+func (os *OS) releaseUpTo(t simtime.Time) {
+	for p, task := range os.tasks {
+		if task.Period == 0 {
+			continue
+		}
+		for os.nextRel[p] <= t {
+			os.queues[p] = append(os.queues[p], job{release: os.nextRel[p], remaining: task.WCET})
+			os.stats[p].Activations++
+			os.ready |= 1 << uint(p)
+			os.nextRel[p] = os.nextRel[p].Add(task.Period)
+		}
+	}
+}
+
+// nextRelease returns the earliest pending periodic release, or Never.
+func (os *OS) nextRelease() simtime.Time {
+	next := simtime.Never
+	for p, task := range os.tasks {
+		if task.Period == 0 {
+			continue
+		}
+		if os.nextRel[p] < next {
+			next = os.nextRel[p]
+		}
+	}
+	return next
+}
+
+// readyAt returns the most urgent task with an eligible (released) job
+// at time t, or -1. Sporadic activations may sit in the queue with a
+// future release time.
+func (os *OS) readyAt(t simtime.Time) int {
+	r := os.ready
+	for r != 0 {
+		p := bits.TrailingZeros64(r)
+		if os.queues[p][0].release <= t {
+			return p
+		}
+		r &^= 1 << uint(p)
+	}
+	return -1
+}
+
+// nextQueuedRelease returns the earliest queued-but-not-yet-eligible job
+// release after t, or Never.
+func (os *OS) nextQueuedRelease(t simtime.Time) simtime.Time {
+	next := simtime.Never
+	r := os.ready
+	for r != 0 {
+		p := bits.TrailingZeros64(r)
+		if rel := os.queues[p][0].release; rel > t && rel < next {
+			next = rel
+		}
+		r &^= 1 << uint(p)
+	}
+	return next
+}
+
+// Advance gives the guest the CPU over the half-open window [from, to)
+// and simulates its scheduling. Windows must be presented in
+// non-decreasing order; time between windows (foreign slots, stolen
+// interposed time) passes without execution but releases still occur.
+func (os *OS) Advance(from, to simtime.Time) {
+	if to < from {
+		panic(fmt.Sprintf("guestos: Advance window inverted [%v, %v)", from, to))
+	}
+	if from < os.advancedTo {
+		panic(fmt.Sprintf("guestos: Advance window [%v, %v) overlaps previous end %v", from, to, os.advancedTo))
+	}
+	os.advancedTo = to
+	t := from
+	os.releaseUpTo(t)
+	for t < to {
+		p := os.readyAt(t)
+		if p < 0 {
+			// Idle until the next (periodic or queued sporadic)
+			// release or the window end.
+			nr := simtime.MinT(os.nextRelease(), os.nextQueuedRelease(t))
+			if nr >= to {
+				return
+			}
+			t = nr
+			os.releaseUpTo(t)
+			continue
+		}
+		if p != os.lastRunning {
+			os.ctxSwitches++
+			os.lastRunning = p
+		}
+		j := &os.queues[p][0]
+		// Run until completion, the next release (potential
+		// preemption), or the window end — whichever is first.
+		end := to
+		if done := t.Add(j.remaining); done < end {
+			end = done
+		}
+		if nr := os.nextRelease(); nr > t && nr < end {
+			end = nr
+		}
+		if nr := os.nextQueuedRelease(t); nr > t && nr < end {
+			end = nr
+		}
+		ran := end.Sub(t)
+		j.remaining -= ran
+		os.stats[p].CPUTime += ran
+		t = end
+		if j.remaining == 0 {
+			os.completeJob(p, t)
+		}
+		os.releaseUpTo(t)
+	}
+}
+
+func (os *OS) completeJob(p int, t simtime.Time) {
+	q := os.queues[p]
+	j := q[0]
+	os.queues[p] = q[1:]
+	if len(os.queues[p]) == 0 {
+		os.ready &^= 1 << uint(p)
+	}
+	st := &os.stats[p]
+	st.Completions++
+	rt := t.Sub(j.release)
+	st.SumRT += rt
+	if rt > st.WCRT {
+		st.WCRT = rt
+	}
+	if dl := os.tasks[p].Deadline; dl > 0 && rt > dl {
+		st.Misses++
+	}
+}
+
+// Utilization returns the total demand of the periodic task set.
+func (os *OS) Utilization() float64 {
+	var u float64
+	for _, t := range os.tasks {
+		if t.Period > 0 {
+			u += float64(t.WCET) / float64(t.Period)
+		}
+	}
+	return u
+}
+
+// SanityCheck validates invariants after a run: CPU time per task never
+// exceeds activations × WCET, completions never exceed activations, and
+// the background task absorbed the remaining time.
+func (os *OS) SanityCheck() error {
+	for p, task := range os.tasks {
+		st := os.stats[p]
+		if task.Period == 0 && !task.Sporadic {
+			continue
+		}
+		if st.Completions > st.Activations {
+			return fmt.Errorf("guestos: task %q completed %d > activated %d", task.Name, st.Completions, st.Activations)
+		}
+		maxCPU := simtime.Duration(st.Activations) * task.WCET
+		if st.CPUTime > maxCPU {
+			return fmt.Errorf("guestos: task %q cpu %v exceeds demand %v", task.Name, st.CPUTime, maxCPU)
+		}
+	}
+	return nil
+}
+
+// ResponseTimeBoundRM returns the classic rate-monotonic busy-window
+// response time of task p assuming the full CPU (no hypervisor), for
+// comparison against measured WCRTs in tests. Returns math.MaxInt64 on
+// overload.
+func (os *OS) ResponseTimeBoundRM(p int) simtime.Duration {
+	task := os.tasks[p]
+	if task.Period == 0 {
+		return simtime.Duration(math.MaxInt64)
+	}
+	r := task.WCET
+	for iter := 0; iter < 10000; iter++ {
+		var demand simtime.Duration
+		for hp := 0; hp < p; hp++ {
+			t := os.tasks[hp]
+			if t.Period == 0 {
+				return simtime.Duration(math.MaxInt64) // background above p never idles
+			}
+			demand += simtime.Duration(simtime.CeilDiv(simtime.Duration(r), t.Period)) * t.WCET
+		}
+		next := task.WCET + demand
+		if next == r {
+			return r
+		}
+		r = next
+		if r > 1000*task.Period {
+			return simtime.Duration(math.MaxInt64)
+		}
+	}
+	return simtime.Duration(math.MaxInt64)
+}

@@ -1,0 +1,215 @@
+package guestos
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func ms(v int64) simtime.Duration { return simtime.Millis(v) }
+func us(v int64) simtime.Duration { return simtime.Micros(v) }
+
+func TestSingleTaskFullCPU(t *testing.T) {
+	g := New("g")
+	p, err := g.AddTask(Task{Name: "t", Period: ms(10), WCET: ms(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Advance(0, simtime.Time(ms(100)))
+	st := g.Stats(p)
+	if st.Activations != 10 {
+		t.Fatalf("activations = %d, want 10", st.Activations)
+	}
+	if st.Completions != 10 {
+		t.Fatalf("completions = %d, want 10", st.Completions)
+	}
+	// With the full CPU, response time = WCET.
+	if st.WCRT != ms(2) {
+		t.Fatalf("WCRT = %v, want 2ms", st.WCRT)
+	}
+	if st.Misses != 0 {
+		t.Fatalf("misses = %d", st.Misses)
+	}
+	if st.CPUTime != ms(20) {
+		t.Fatalf("CPU time = %v, want 20ms", st.CPUTime)
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	g := New("g")
+	hi, _ := g.AddTask(Task{Name: "hi", Period: ms(10), WCET: ms(1)})
+	lo, _ := g.AddTask(Task{Name: "lo", Period: ms(50), WCET: ms(20)})
+	g.Advance(0, simtime.Time(ms(200)))
+	hiSt, loSt := g.Stats(hi), g.Stats(lo)
+	// The high-priority task is never delayed.
+	if hiSt.WCRT != ms(1) {
+		t.Fatalf("hi WCRT = %v, want 1ms", hiSt.WCRT)
+	}
+	// The low-priority task is preempted twice per invocation:
+	// R = 20 + ⌈R/10⌉·1 → 20+3 = 23 (releases at 0, hi at 0/10/20).
+	if loSt.WCRT != ms(23) {
+		t.Fatalf("lo WCRT = %v, want 23ms", loSt.WCRT)
+	}
+	if loSt.Misses != 0 {
+		t.Fatalf("lo misses = %d", loSt.Misses)
+	}
+}
+
+func TestRMBoundMatchesSimulation(t *testing.T) {
+	g := New("g")
+	g.AddTask(Task{Name: "t1", Period: ms(10), WCET: ms(2)})
+	g.AddTask(Task{Name: "t2", Period: ms(20), WCET: ms(5)})
+	p3, _ := g.AddTask(Task{Name: "t3", Period: ms(40), WCET: ms(8)})
+	g.Advance(0, simtime.Time(ms(2000)))
+	bound := g.ResponseTimeBoundRM(p3)
+	st := g.Stats(p3)
+	if st.WCRT > bound {
+		t.Fatalf("measured WCRT %v exceeds analytic bound %v", st.WCRT, bound)
+	}
+	// Synchronous release at t=0 is the critical instant: the bound is
+	// attained exactly.
+	if st.WCRT != bound {
+		t.Fatalf("measured WCRT %v != critical-instant bound %v", st.WCRT, bound)
+	}
+}
+
+func TestWindowedSupplyDefersWork(t *testing.T) {
+	// Same task set, but the guest only owns every other 5 ms window —
+	// TDMA-style supply. Work released in the gaps executes later.
+	g := New("g")
+	p, _ := g.AddTask(Task{Name: "t", Period: ms(10), WCET: ms(2), Deadline: ms(10)})
+	for w := int64(0); w < 20; w++ {
+		from := simtime.Time(ms(10 * w))
+		g.Advance(from, from.Add(ms(5)))
+		// [5,10) of each 10ms period belongs to another partition.
+	}
+	st := g.Stats(p)
+	if st.Completions == 0 {
+		t.Fatal("no completions under windowed supply")
+	}
+	if st.WCRT > ms(10) {
+		t.Fatalf("WCRT = %v under half supply, want ≤ 10ms", st.WCRT)
+	}
+	if err := g.SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleasesDuringForeignSlots(t *testing.T) {
+	// A release entirely inside a foreign window must still be seen at
+	// the next own window.
+	g := New("g")
+	p, _ := g.AddTask(Task{Name: "t", Period: ms(10), WCET: ms(1), Offset: ms(7)})
+	g.Advance(0, simtime.Time(ms(5)))
+	// Release at 7ms happens here, in foreign time.
+	g.Advance(simtime.Time(ms(10)), simtime.Time(ms(15)))
+	st := g.Stats(p)
+	if st.Activations < 1 || st.Completions < 1 {
+		t.Fatalf("activation released in foreign window lost: %+v", st)
+	}
+	// Completed at 10ms+1ms = 11ms, released at 7ms → RT = 4ms.
+	if st.WCRT != ms(4) {
+		t.Fatalf("WCRT = %v, want 4ms", st.WCRT)
+	}
+}
+
+func TestBackgroundTaskSoaksIdle(t *testing.T) {
+	g := New("g")
+	hi, _ := g.AddTask(Task{Name: "hi", Period: ms(10), WCET: ms(2)})
+	bg, _ := g.AddTask(Task{Name: "bg", Period: 0})
+	g.Advance(0, simtime.Time(ms(100)))
+	hiSt, bgSt := g.Stats(hi), g.Stats(bg)
+	if hiSt.CPUTime != ms(20) {
+		t.Fatalf("hi CPU = %v", hiSt.CPUTime)
+	}
+	if bgSt.CPUTime != ms(80) {
+		t.Fatalf("bg CPU = %v, want the remaining 80ms", bgSt.CPUTime)
+	}
+}
+
+func TestDeadlineMisses(t *testing.T) {
+	// Overloaded task set: the low-priority task misses deadlines.
+	g := New("g")
+	g.AddTask(Task{Name: "hog", Period: ms(10), WCET: ms(8)})
+	lo, _ := g.AddTask(Task{Name: "lo", Period: ms(20), WCET: ms(6), Deadline: ms(20)})
+	g.Advance(0, simtime.Time(ms(400)))
+	st := g.Stats(lo)
+	if st.Misses == 0 {
+		t.Fatal("overloaded task missed no deadlines")
+	}
+	if st.Backlog == 0 {
+		t.Fatal("overloaded task has no backlog")
+	}
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	g := New("g")
+	if _, err := g.AddTask(Task{Period: -1}); err == nil {
+		t.Error("negative period accepted")
+	}
+	if _, err := g.AddTask(Task{Period: ms(10), WCET: ms(20)}); err == nil {
+		t.Error("WCET > period accepted")
+	}
+	for i := 0; i < MaxTasks; i++ {
+		if _, err := g.AddTask(Task{Name: "f", Period: ms(1000), WCET: us(1)}); err != nil {
+			t.Fatalf("task %d rejected: %v", i, err)
+		}
+	}
+	if _, err := g.AddTask(Task{Period: ms(10), WCET: ms(1)}); err == nil {
+		t.Error("65th task accepted")
+	}
+}
+
+func TestAdvanceWindowValidation(t *testing.T) {
+	g := New("g")
+	g.AddTask(Task{Name: "t", Period: ms(10), WCET: ms(1)})
+	g.Advance(0, simtime.Time(ms(10)))
+	t.Run("inverted", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("inverted window did not panic")
+			}
+		}()
+		g.Advance(simtime.Time(ms(20)), simtime.Time(ms(15)))
+	})
+	t.Run("overlapping", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("overlapping window did not panic")
+			}
+		}()
+		g.Advance(simtime.Time(ms(5)), simtime.Time(ms(25)))
+	})
+}
+
+func TestUtilization(t *testing.T) {
+	g := New("g")
+	g.AddTask(Task{Name: "a", Period: ms(10), WCET: ms(2)}) // 0.2
+	g.AddTask(Task{Name: "b", Period: ms(20), WCET: ms(5)}) // 0.25
+	g.AddTask(Task{Name: "bg", Period: 0})                  // excluded
+	if u := g.Utilization(); u < 0.449 || u > 0.451 {
+		t.Fatalf("Utilization = %g, want 0.45", u)
+	}
+}
+
+func TestCtxSwitchesCounted(t *testing.T) {
+	g := New("g")
+	g.AddTask(Task{Name: "hi", Period: ms(10), WCET: ms(1)})
+	g.AddTask(Task{Name: "bg", Period: 0})
+	g.Advance(0, simtime.Time(ms(100)))
+	// Each hi activation preempts bg and returns: ≥ 2 switches per
+	// period after the first.
+	if g.CtxSwitches() < 19 {
+		t.Fatalf("CtxSwitches = %d, want ≥ 19", g.CtxSwitches())
+	}
+}
+
+func TestSanityCheckCatchesNothingOnHealthyRun(t *testing.T) {
+	g := New("g")
+	g.AddTask(Task{Name: "a", Period: ms(7), WCET: ms(2)})
+	g.AddTask(Task{Name: "b", Period: ms(13), WCET: ms(3)})
+	g.Advance(0, simtime.Time(ms(500)))
+	if err := g.SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

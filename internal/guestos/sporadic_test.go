@@ -1,0 +1,97 @@
+package guestos
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestSporadicActivation(t *testing.T) {
+	g := New("g")
+	p, err := g.AddTask(Task{Name: "s", Sporadic: true, WCET: ms(1), Deadline: ms(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddTask(Task{Name: "bg"})
+	if err := g.Activate(p, simtime.Time(ms(2))); err != nil {
+		t.Fatal(err)
+	}
+	g.Advance(0, simtime.Time(ms(10)))
+	st := g.Stats(p)
+	if st.Activations != 1 || st.Completions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Released at 2 ms with the CPU free: completes at 3 ms, RT 1 ms.
+	if st.WCRT != ms(1) {
+		t.Fatalf("WCRT = %v", st.WCRT)
+	}
+}
+
+func TestSporadicActivationOutsideSupply(t *testing.T) {
+	// Activation while the partition has no CPU: the job waits for the
+	// next supply window.
+	g := New("g")
+	p, _ := g.AddTask(Task{Name: "s", Sporadic: true, WCET: ms(1), Deadline: ms(50)})
+	g.Advance(0, simtime.Time(ms(5)))
+	if err := g.Activate(p, simtime.Time(ms(7))); err != nil {
+		t.Fatal(err)
+	}
+	g.Advance(simtime.Time(ms(20)), simtime.Time(ms(30)))
+	st := g.Stats(p)
+	if st.Completions != 1 {
+		t.Fatalf("completions = %d", st.Completions)
+	}
+	// Completes at 21 ms, released at 7 ms → RT = 14 ms.
+	if st.WCRT != ms(14) {
+		t.Fatalf("WCRT = %v", st.WCRT)
+	}
+}
+
+func TestSporadicPriorityOverBackground(t *testing.T) {
+	g := New("g")
+	s, _ := g.AddTask(Task{Name: "s", Sporadic: true, WCET: ms(2)})
+	bg, _ := g.AddTask(Task{Name: "bg"})
+	g.Activate(s, 0)
+	g.Advance(0, simtime.Time(ms(10)))
+	if got := g.Stats(s).CPUTime; got != ms(2) {
+		t.Fatalf("sporadic CPU = %v", got)
+	}
+	if got := g.Stats(bg).CPUTime; got != ms(8) {
+		t.Fatalf("background CPU = %v", got)
+	}
+}
+
+func TestSporadicValidation(t *testing.T) {
+	g := New("g")
+	if _, err := g.AddTask(Task{Name: "bad", Sporadic: true, Period: ms(5), WCET: ms(1)}); err == nil {
+		t.Error("sporadic+periodic accepted")
+	}
+	if _, err := g.AddTask(Task{Name: "bad2", Sporadic: true}); err == nil {
+		t.Error("sporadic without WCET accepted")
+	}
+	p, _ := g.AddTask(Task{Name: "per", Period: ms(5), WCET: ms(1)})
+	if err := g.Activate(p, 0); err == nil {
+		t.Error("Activate on periodic task accepted")
+	}
+	if err := g.Activate(99, 0); err == nil {
+		t.Error("Activate on unknown task accepted")
+	}
+}
+
+func TestSporadicBacklogCounted(t *testing.T) {
+	g := New("g")
+	p, _ := g.AddTask(Task{Name: "s", Sporadic: true, WCET: ms(1)})
+	g.Activate(p, 0)
+	g.Activate(p, 0)
+	g.Activate(p, 0)
+	if got := g.Stats(p).Backlog; got != 3 {
+		t.Fatalf("backlog = %d", got)
+	}
+	g.Advance(0, simtime.Time(ms(10)))
+	if got := g.Stats(p).Backlog; got != 0 {
+		t.Fatalf("backlog after supply = %d", got)
+	}
+	if err := g.SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

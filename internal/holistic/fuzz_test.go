@@ -1,0 +1,97 @@
+package holistic
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/arm"
+	"repro/internal/guestos"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// TestRandomTaskSetsBoundedByAnalysis generates random periodic task
+// sets under random TDMA supplies, simulates them with internal/guestos
+// over many cycles, and asserts that every measured response time stays
+// within the holistic bound. Task sets that the analysis finds
+// unschedulable are skipped (no bound is claimed for them).
+func TestRandomTaskSetsBoundedByAnalysis(t *testing.T) {
+	iterations := 40
+	if testing.Short() {
+		iterations = 8
+	}
+	for seed := uint64(1); seed <= uint64(iterations); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			gen := rng.New(seed * 6151)
+
+			// Random supply: slot T_i of a cycle T with T_i ≥ 30 %.
+			cycle := ms(int64(10 + gen.Intn(30)))
+			slot := simtime.Duration(float64(cycle) * (0.3 + 0.6*gen.Float64()))
+			sched, err := analysis.SingleSlot(cycle, slot, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Random task set with bounded total utilisation.
+			nTasks := 1 + gen.Intn(4)
+			var tasks []TaskSpec
+			supplyShare := float64(slot) / float64(cycle)
+			budget := 0.5 * supplyShare // demand ≤ half the supply
+			for i := 0; i < nTasks; i++ {
+				period := ms(int64(20 + gen.Intn(200)))
+				maxU := budget / float64(nTasks)
+				wcet := simtime.Duration(float64(period) * maxU * (0.3 + 0.7*gen.Float64()))
+				if wcet < simtime.Microsecond {
+					wcet = simtime.Microsecond
+				}
+				tasks = append(tasks, TaskSpec{
+					Name:   fmt.Sprintf("t%d", i),
+					Period: period,
+					WCET:   wcet,
+				})
+			}
+
+			spec := PartitionSpec{
+				Name:     "p",
+				Schedule: sched,
+				Costs:    arm.DefaultCosts(),
+				Tasks:    tasks,
+			}
+			bounds, err := Analyze(spec, analysis.DefaultHorizon)
+			if err != nil || !bounds.Schedulable {
+				t.Skipf("unschedulable or unbounded configuration (err=%v)", err)
+			}
+
+			// Simulate over many cycles: supply windows [k·T, k·T+slot).
+			g := guestos.New("p")
+			for _, ts := range tasks {
+				if _, err := g.AddTask(guestos.Task{
+					Name: ts.Name, Period: ts.Period, WCET: ts.WCET,
+					// Disable miss accounting; bounds are what we check.
+					Deadline: simtime.Infinity / 4,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			horizon := 400 * cycle
+			for base := simtime.Time(0); base < simtime.Time(horizon); base = base.Add(cycle) {
+				g.Advance(base, base.Add(slot))
+			}
+			if err := g.SanityCheck(); err != nil {
+				t.Fatal(err)
+			}
+			for i, tb := range bounds.Tasks {
+				st := g.Stats(i)
+				if st.Completions == 0 {
+					t.Fatalf("task %s never completed", tb.Name)
+				}
+				if st.WCRT > tb.WCRT {
+					t.Fatalf("task %s (P=%v C=%v slot=%v/%v): measured WCRT %v exceeds bound %v",
+						tb.Name, tasks[i].Period, tasks[i].WCET, slot, cycle, st.WCRT, tb.WCRT)
+				}
+			}
+		})
+	}
+}

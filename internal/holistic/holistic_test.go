@@ -1,0 +1,226 @@
+package holistic
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/arm"
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func us(v int64) simtime.Duration { return simtime.Micros(v) }
+func ms(v int64) simtime.Duration { return simtime.Millis(v) }
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(PartitionSpec{}, analysis.DefaultHorizon); err == nil {
+		t.Error("missing schedule accepted")
+	}
+	sched, _ := analysis.SingleSlot(us(14000), us(6000), 0)
+	if _, err := Analyze(PartitionSpec{Schedule: sched}, analysis.DefaultHorizon); err == nil {
+		t.Error("empty task set accepted")
+	}
+	if _, err := Analyze(PartitionSpec{
+		Schedule: sched,
+		Tasks:    []TaskSpec{{Name: "bad", Period: 0, WCET: us(1)}},
+	}, analysis.DefaultHorizon); err == nil {
+		t.Error("zero-period task accepted")
+	}
+}
+
+func TestAnalyzePureSupply(t *testing.T) {
+	// One task with the full CPU: WCRT = WCET.
+	full, err := analysis.SingleSlot(ms(10), ms(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(PartitionSpec{
+		Name:     "p",
+		Schedule: full,
+		Costs:    arm.DefaultCosts(),
+		Tasks:    []TaskSpec{{Name: "t", Period: ms(10), WCET: ms(2)}},
+	}, analysis.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks[0].WCRT != ms(2) {
+		t.Fatalf("WCRT = %v, want 2ms", res.Tasks[0].WCRT)
+	}
+	if !res.Schedulable {
+		t.Fatal("trivial system not schedulable")
+	}
+}
+
+func TestAnalyzeSupplyGapDominates(t *testing.T) {
+	// Half supply: a task released right after the window must wait.
+	sched, err := analysis.SingleSlot(ms(20), ms(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(PartitionSpec{
+		Name:     "p",
+		Schedule: sched,
+		Costs:    arm.DefaultCosts(),
+		Tasks:    []TaskSpec{{Name: "t", Period: ms(40), WCET: ms(1)}},
+	}, analysis.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst phase: released at window end → wait 10 ms + 1 ms exec.
+	if res.Tasks[0].WCRT != ms(11) {
+		t.Fatalf("WCRT = %v, want 11ms", res.Tasks[0].WCRT)
+	}
+}
+
+func TestForeignInterposedInterferenceRaisesBound(t *testing.T) {
+	sched, _ := analysis.SingleSlot(us(14000), us(10000), us(50))
+	base := PartitionSpec{
+		Name:     "victim",
+		Schedule: sched,
+		Costs:    arm.DefaultCosts(),
+		Tasks:    []TaskSpec{{Name: "ctrl", Period: ms(20), WCET: ms(2)}},
+	}
+	without, err := Analyze(base, analysis.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withIRQ := base
+	withIRQ.IRQs = []IRQDemand{{
+		Name:  "net",
+		CTH:   us(8),
+		CBH:   us(40),
+		Model: curves.Sporadic{DMin: us(2000)},
+		Cond:  curves.Sporadic{DMin: us(2000)},
+	}}
+	with, err := Analyze(withIRQ, analysis.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Tasks[0].WCRT <= without.Tasks[0].WCRT {
+		t.Fatal("foreign interposed source did not raise the bound")
+	}
+	// And the increase stays within the eq. (14) budget over the
+	// response window.
+	window := with.Tasks[0].WCRT
+	budget := analysis.InterposedInterference(window, us(2000), arm.DefaultCosts(), us(40))
+	// Top handlers also contribute; allow their share.
+	topShare := simtime.Duration(curves.Sporadic{DMin: us(2000)}.EtaPlus(window)) * us(8)
+	if delta := with.Tasks[0].WCRT - without.Tasks[0].WCRT; delta > budget+topShare+us(100) {
+		t.Fatalf("bound increase %v exceeds eq.14 budget %v", delta, budget)
+	}
+}
+
+// TestBoundsEnvelopeGuestSimulation is the package's reason to exist:
+// the analytic WCRTs must envelope the measured guest response times of
+// a full hypervisor simulation with a monitored foreign IRQ source.
+func TestBoundsEnvelopeGuestSimulation(t *testing.T) {
+	costs := arm.DefaultCosts()
+	dmin := us(2000)
+	cbh := us(40)
+	cth := us(8)
+
+	// Guest task set in the victim partition.
+	tasks := []TaskSpec{
+		{Name: "ctrl", Period: ms(20), WCET: ms(2)},
+		{Name: "nav", Period: ms(40), WCET: ms(4)},
+	}
+	guest := guestos.New("victim")
+	for _, ts := range tasks {
+		if _, err := guest.AddTask(guestos.Task{Name: ts.Name, Period: ts.Period, WCET: ts.WCET}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := guest.AddTask(guestos.Task{Name: "bg"}); err != nil {
+		t.Fatal(err)
+	}
+
+	arrivals := workload.Timestamps(workload.ExponentialClamped(rng.New(23), us(2600), dmin, 2500))
+	sc := core.Scenario{
+		Partitions: []core.PartitionSpec{
+			{Name: "victim", Slot: us(10000), Guest: guest},
+			{Name: "io", Slot: us(4000)},
+		},
+		Mode:   hv.Monitored,
+		Policy: hv.ResumeAcrossSlots,
+		IRQs: []core.IRQSpec{{
+			Name: "net", Partition: 1, CTH: cth, CBH: cbh,
+			Arrivals: arrivals, DMin: dmin,
+		}},
+	}
+	res, err := core.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InterposedGrants == 0 {
+		t.Fatal("nothing interposed; test is vacuous")
+	}
+	if err := guest.SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Matching holistic model. Handler costs include queue operations,
+	// C'_TH includes the monitoring overhead.
+	sched, err := analysis.SingleSlot(us(14000), us(10000), costs.CtxSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := PartitionSpec{
+		Name:     "victim",
+		Schedule: sched,
+		Costs:    costs,
+		Tasks:    tasks,
+		IRQs: []IRQDemand{{
+			Name:  "net",
+			CTH:   costs.EffectiveTH(cth) + costs.QueuePush,
+			CBH:   cbh + costs.QueuePop,
+			Model: curves.Sporadic{DMin: dmin},
+			Cond:  curves.Sporadic{DMin: dmin},
+		}},
+	}
+	bounds, err := Analyze(spec, analysis.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounds.Schedulable {
+		t.Fatalf("configuration analysed unschedulable: %+v", bounds.Tasks)
+	}
+	for i, tb := range bounds.Tasks {
+		measured := guest.Stats(i).WCRT
+		if measured > tb.WCRT {
+			t.Errorf("task %s: measured WCRT %v exceeds bound %v", tb.Name, measured, tb.WCRT)
+		}
+		if measured == 0 {
+			t.Errorf("task %s never completed", tb.Name)
+		}
+	}
+}
+
+func TestHigherPriorityTasksIncluded(t *testing.T) {
+	sched, _ := analysis.SingleSlot(ms(10), ms(10), 0)
+	p := PartitionSpec{
+		Name:     "p",
+		Schedule: sched,
+		Costs:    arm.DefaultCosts(),
+		Tasks: []TaskSpec{
+			{Name: "hi", Period: ms(10), WCET: ms(1)},
+			{Name: "lo", Period: ms(50), WCET: ms(20)},
+		},
+	}
+	res, err := Analyze(p, analysis.DefaultHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches the guestos hand-check: R_lo = 20 + ⌈R/10⌉·1 → 23 ms
+	// under full supply (closed windows make it ≥ 23).
+	if res.Tasks[1].WCRT < ms(23) {
+		t.Fatalf("lo WCRT = %v, want ≥ 23ms", res.Tasks[1].WCRT)
+	}
+	if res.Tasks[1].WCRT > ms(26) {
+		t.Fatalf("lo WCRT = %v, want ≈ 23ms", res.Tasks[1].WCRT)
+	}
+}

@@ -1,0 +1,165 @@
+package hv
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/monitor"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+func TestActualBHEarlyCompletion(t *testing.T) {
+	// A handler finishing below its WCET yields a shorter latency.
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: costs,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			ActualBH: []simtime.Duration{us(10)},
+			Arrivals: []simtime.Time{tt(1000)},
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	want := us(6) + costs.QueuePush + costs.QueuePop + us(10)
+	if got := sys.Log().Records[0].Latency(); got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestBudgetCutsOverrunningInterposedHandler(t *testing.T) {
+	// An interposed handler overrunning its declared C_BH is cut off
+	// at the budget; the remainder completes in the subscriber's own
+	// slot. The victim partition loses at most C'_BH (eq. 14 holds
+	// even under the overrun).
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  costs,
+		Mode:   Monitored,
+		Policy: ResumeAcrossSlots,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			ActualBH: []simtime.Duration{us(500)}, // massive overrun
+			Arrivals: []simtime.Time{tt(7000)},    // foreign slot
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	st := sys.Stats()
+	if st.BudgetCuts != 1 {
+		t.Fatalf("budget cuts = %d, want 1", st.BudgetCuts)
+	}
+	rec := sys.Log().Records[0]
+	// The remnant completed in app1's own slot (after 14000).
+	if rec.Done < tt(14000) {
+		t.Fatalf("overrunning handler completed at %v inside the foreign slot", rec.Done)
+	}
+	// The victim (app2) lost at most the enforced budget plus grant
+	// overheads — not the full 500 µs overrun.
+	victim := sys.Partitions()[1]
+	maxSteal := costs.EffectiveBH(us(30)) + costs.QueuePop
+	if victim.StolenInterposed > maxSteal {
+		t.Fatalf("victim lost %v, enforcement allows at most %v", victim.StolenInterposed, maxSteal)
+	}
+}
+
+func TestBudgetEnforcementUnderOverrunWorkload(t *testing.T) {
+	// Sustained 2× overruns: the per-partition interference must still
+	// respect eq. (14) with the *declared* C_BH, because the budget is
+	// enforced per grant.
+	costs := arm.DefaultCosts()
+	dmin := us(1500)
+	cbh := us(30)
+	src := rng.New(77)
+	arrivals := workload.Timestamps(workload.ExponentialClamped(src, us(1800), dmin, 400))
+	actual := make([]simtime.Duration, len(arrivals))
+	for i := range actual {
+		actual[i] = 2 * cbh // every handler overruns
+	}
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  costs,
+		Mode:   Monitored,
+		Policy: ResumeAcrossSlots,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: cbh,
+			ActualBH: actual,
+			Arrivals: arrivals,
+			Monitor:  monitor.NewDMin(dmin),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	st := sys.Stats()
+	if st.BudgetCuts == 0 {
+		t.Fatal("no budget cuts under sustained overruns")
+	}
+	elapsed := sys.Now().Sub(0)
+	bound := simtime.Duration(simtime.CeilDiv(elapsed, dmin)) * costs.EffectiveBH(cbh+costs.QueuePop)
+	for _, p := range sys.Partitions() {
+		if p.Index == 0 {
+			continue
+		}
+		if p.StolenInterposed > bound {
+			t.Fatalf("partition %s interference %v exceeds enforced bound %v",
+				p.Name, p.StolenInterposed, bound)
+		}
+	}
+	// All IRQs still complete (remnants drain in the own slot).
+	if sys.Log().Len() != int(sys.Sources()[0].Raised) {
+		t.Fatalf("records %d != raised %d", sys.Log().Len(), sys.Sources()[0].Raised)
+	}
+}
+
+func TestActualBHValidation(t *testing.T) {
+	cfg := Config{
+		Slots: paperSlots(),
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			ActualBH: []simtime.Duration{us(10), 0},
+		}},
+	}
+	if cfg.Validate() == nil {
+		t.Fatal("non-positive ActualBH accepted")
+	}
+}
+
+func TestBudgetCutRecordStaysFIFO(t *testing.T) {
+	// A cut remnant stays at the queue head; later IRQs complete after
+	// it (FIFO preserved under enforcement).
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  costs,
+		Mode:   Monitored,
+		Policy: ResumeAcrossSlots,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			ActualBH: []simtime.Duration{us(300), us(30)},
+			Arrivals: []simtime.Time{tt(7000), tt(9000)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	recs := sys.Log().Records
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Seq != 0 || recs[1].Seq != 1 {
+		t.Fatal("FIFO order broken by budget cut")
+	}
+	if recs[1].Done < recs[0].Done {
+		t.Fatal("completion order broken")
+	}
+	// The cut remnant completed via delayed processing in its own slot.
+	if recs[0].Mode != tracerec.Delayed {
+		t.Fatalf("cut remnant mode = %v, want delayed", recs[0].Mode)
+	}
+}

@@ -1,0 +1,559 @@
+package hv
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/monitor"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+func us(v int64) simtime.Duration { return simtime.Micros(v) }
+func tt(v int64) simtime.Time     { return simtime.Time(simtime.Micros(v)) }
+
+// paperSlots is the §6.1 partition layout: subscriber 6000 µs, second
+// application partition 6000 µs, housekeeping 2000 µs.
+func paperSlots() []SlotConfig {
+	return []SlotConfig{
+		{Name: "app1", Length: us(6000)},
+		{Name: "app2", Length: us(6000)},
+		{Name: "hk", Length: us(2000)},
+	}
+}
+
+func build(t *testing.T, cfg Config) *System {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func runAll(t *testing.T, sys *System) {
+	t.Helper()
+	if err := sys.RunToCompletion(tt(100_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectLatencyExact(t *testing.T) {
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: costs,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(1000)}, // inside app1's slot
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	recs := sys.Log().Records
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Mode != tracerec.Direct {
+		t.Fatalf("mode = %v", recs[0].Mode)
+	}
+	want := us(6) + costs.QueuePush + costs.QueuePop + us(30)
+	if got := recs[0].Latency(); got != want {
+		t.Fatalf("direct latency = %v, want %v", got, want)
+	}
+}
+
+func TestDelayedLatencyExact(t *testing.T) {
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: costs,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(7000)}, // inside app2's slot
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	recs := sys.Log().Records
+	if recs[0].Mode != tracerec.Delayed {
+		t.Fatalf("mode = %v", recs[0].Mode)
+	}
+	// Waits for app1's next slot at 14000, pays the TDMA context
+	// switch, then queue pop + bottom handler.
+	wantDone := tt(14000).Add(costs.CtxSwitch + costs.QueuePop + us(30))
+	if recs[0].Done != wantDone {
+		t.Fatalf("done = %v, want %v", recs[0].Done, wantDone)
+	}
+}
+
+func TestInterposedLatencyExact(t *testing.T) {
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: costs,
+		Mode:  Monitored,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(7000)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	recs := sys.Log().Records
+	if recs[0].Mode != tracerec.Interposed {
+		t.Fatalf("mode = %v", recs[0].Mode)
+	}
+	// Top handler (C_TH + push + C_Mon), scheduler manipulation,
+	// context switch in, queue pop, bottom handler.
+	want := us(6) + costs.QueuePush + costs.Monitor +
+		costs.Sched + costs.CtxSwitch + costs.QueuePop + us(30)
+	if got := recs[0].Latency(); got != want {
+		t.Fatalf("interposed latency = %v, want %v", got, want)
+	}
+	st := sys.Stats()
+	if st.InterposedGrants != 1 {
+		t.Fatalf("grants = %d", st.InterposedGrants)
+	}
+	// The grant charges exactly two extra context switches (eq. 13).
+	if st.CtxSwitches != st.TDMASwitches+2 {
+		t.Fatalf("ctx switches = %d, TDMA = %d", st.CtxSwitches, st.TDMASwitches)
+	}
+}
+
+func TestMonitorViolationDelaysSecondIRQ(t *testing.T) {
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Mode:  Monitored,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			// Both in app2's slot, 400 µs apart with dmin 1000 µs.
+			Arrivals: []simtime.Time{tt(7000), tt(7400)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	recs := sys.Log().Records
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Mode != tracerec.Interposed {
+		t.Fatalf("first mode = %v", recs[0].Mode)
+	}
+	if recs[1].Mode != tracerec.Delayed {
+		t.Fatalf("second mode = %v", recs[1].Mode)
+	}
+	if st := sys.Stats(); st.DeniedViolation != 1 {
+		t.Fatalf("denied violations = %d", st.DeniedViolation)
+	}
+}
+
+func TestFIFOOrderAcrossModes(t *testing.T) {
+	// A violating IRQ queues ahead of a conforming one; the later
+	// grant must execute the queue head (the older IRQ) first — the
+	// paper's "queues prevent out-of-order execution".
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Mode:  Monitored,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			// First conforms and is granted; second violates
+			// (queued); third conforms → its grant serves #2.
+			Arrivals: []simtime.Time{tt(6500), tt(6900), tt(8000)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	recs := sys.Log().Records
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("completion order broken: record %d has seq %d", i, r.Seq)
+		}
+		if i > 0 && r.Done < recs[i-1].Done {
+			t.Fatalf("completion times out of order")
+		}
+	}
+	// The third grant executed the second (violating) IRQ: it is
+	// classified interposed because it ran in a foreign slot.
+	if recs[1].Mode != tracerec.Interposed {
+		t.Fatalf("queued IRQ served by grant has mode %v", recs[1].Mode)
+	}
+}
+
+func TestNonCountingFlagsLoseBurst(t *testing.T) {
+	// Two arrivals during the masked TDMA switch at 6000–6050 µs: the
+	// first latches, the second is lost (§4: flags are not counting).
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(6010), tt(6020)},
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	if got := sys.Sources()[0].Lost; got != 1 {
+		t.Fatalf("lost = %d, want 1", got)
+	}
+	if got := sys.Log().Len(); got != 1 {
+		t.Fatalf("records = %d, want 1", got)
+	}
+	if sys.Controller().TotalLost() != 1 {
+		t.Fatal("controller lost counter")
+	}
+}
+
+func TestDenyNearSlotEndPolicy(t *testing.T) {
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  costs,
+		Mode:   Monitored,
+		Policy: DenyNearSlotEnd,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			// 50 µs before app2's slot ends at 12000: the full
+			// interposed sequence (~141 µs) cannot fit.
+			Arrivals: []simtime.Time{tt(11950)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	recs := sys.Log().Records
+	if recs[0].Mode != tracerec.Delayed {
+		t.Fatalf("mode = %v, want delayed (fit denial)", recs[0].Mode)
+	}
+	if st := sys.Stats(); st.DeniedFit != 1 {
+		t.Fatalf("denied fit = %d", st.DeniedFit)
+	}
+	// The conforming-but-denied IRQ consumed no monitor budget: a
+	// following conforming IRQ in the next foreign window interposes.
+	if sys.Sources()[0].Monitor.Stats().Commits != 0 {
+		t.Fatal("denied IRQ consumed monitor budget")
+	}
+}
+
+func TestSplitOnSlotEndPolicy(t *testing.T) {
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  arm.DefaultCosts(),
+		Mode:   Monitored,
+		Policy: SplitOnSlotEnd,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(11950)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	st := sys.Stats()
+	if st.SplitGrants != 1 {
+		t.Fatalf("split grants = %d", st.SplitGrants)
+	}
+	recs := sys.Log().Records
+	// The remnant completes in app1's own slot at 14000+.
+	if recs[0].Done < tt(14000) {
+		t.Fatalf("split remnant completed at %v, before own slot", recs[0].Done)
+	}
+}
+
+func TestResumeAcrossSlotsPolicy(t *testing.T) {
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  arm.DefaultCosts(),
+		Mode:   Monitored,
+		Policy: ResumeAcrossSlots,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(11950)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	st := sys.Stats()
+	if st.ResumedGrants != 1 {
+		t.Fatalf("resumed grants = %d", st.ResumedGrants)
+	}
+	recs := sys.Log().Records
+	if recs[0].Mode != tracerec.Interposed {
+		t.Fatalf("mode = %v", recs[0].Mode)
+	}
+	// Completes shortly after the 12000 boundary — far before app1's
+	// own slot at 14000.
+	if recs[0].Done >= tt(14000) || recs[0].Done <= tt(12000) {
+		t.Fatalf("resumed grant completed at %v", recs[0].Done)
+	}
+}
+
+func TestPendingSlotSwitchDeferredByMaskedHandler(t *testing.T) {
+	// An IRQ 1 µs before a boundary keeps interrupts masked across it;
+	// the switch happens right after, and the grid is preserved.
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(5999)},
+		}},
+	}
+	sys := build(t, cfg)
+	sys.Run(tt(14100))
+	sys.FlushAccounting()
+	// After one full cycle the system must be back in app1's slot:
+	// the deferred switch did not shift the grid.
+	if got := sys.ActivePartition(); got != 0 {
+		t.Fatalf("active partition = %d at 14100, want 0", got)
+	}
+	if st := sys.Stats(); st.TDMASwitches != 3 {
+		t.Fatalf("TDMA switches = %d, want 3", st.TDMASwitches)
+	}
+}
+
+func TestBHTimeInvariant(t *testing.T) {
+	// Total bottom-handler execution equals records × (pop + C_BH),
+	// regardless of preemptions, splits and resumes.
+	costs := arm.DefaultCosts()
+	for _, policy := range []SlotEndPolicy{DenyNearSlotEnd, SplitOnSlotEnd, ResumeAcrossSlots} {
+		src := rng.New(uint64(policy) + 5)
+		arrivals := workload.Timestamps(workload.Exponential(src, us(900), 400))
+		cfg := Config{
+			Slots:  paperSlots(),
+			Costs:  costs,
+			Mode:   Monitored,
+			Policy: policy,
+			Sources: []SourceConfig{{
+				Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+				Arrivals: arrivals,
+				Monitor:  monitor.NewDMin(us(900)),
+			}},
+		}
+		sys := build(t, cfg)
+		runAll(t, sys)
+		want := simtime.Duration(sys.Log().Len()) * (costs.QueuePop + us(30))
+		if got := sys.Stats().BHTime; got != want {
+			t.Fatalf("policy %v: BHTime = %v, want %v", policy, got, want)
+		}
+	}
+}
+
+func TestInterferenceNeverExceedsEq14Bound(t *testing.T) {
+	// The paper's safety claim: interference from interposed bottom
+	// handlers on any partition within any window Δt is bounded by
+	// ⌈Δt/dmin⌉·C'_BH. Checked over the whole run for each partition.
+	costs := arm.DefaultCosts()
+	dmin := us(800)
+	cbh := us(30)
+	for seed := uint64(1); seed <= 5; seed++ {
+		src := rng.New(seed)
+		arrivals := workload.Timestamps(workload.Exponential(src, us(600), 500))
+		cfg := Config{
+			Slots:  paperSlots(),
+			Costs:  costs,
+			Mode:   Monitored,
+			Policy: ResumeAcrossSlots,
+			Sources: []SourceConfig{{
+				Name: "t0", Subscriber: 0, CTH: us(6), CBH: cbh,
+				Arrivals: arrivals,
+				Monitor:  monitor.NewDMin(dmin),
+			}},
+		}
+		sys := build(t, cfg)
+		runAll(t, sys)
+		elapsed := sys.Now().Sub(0)
+		bound := simtime.Duration(simtime.CeilDiv(elapsed, dmin)) * costs.EffectiveBH(cbh)
+		for _, p := range sys.Partitions() {
+			if p.Index == 0 {
+				continue // the subscriber is not a victim
+			}
+			if p.StolenInterposed > bound {
+				t.Fatalf("seed %d: partition %s interference %v exceeds eq.14 bound %v",
+					seed, p.Name, p.StolenInterposed, bound)
+			}
+		}
+	}
+}
+
+func TestOriginalModeNeverInterposes(t *testing.T) {
+	src := rng.New(9)
+	arrivals := workload.Timestamps(workload.Exponential(src, us(700), 300))
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Mode:  Original,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: arrivals,
+			Monitor:  monitor.NewDMin(us(1)), // present but unused
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	st := sys.Stats()
+	if st.InterposedGrants != 0 {
+		t.Fatalf("original mode granted %d interposed IRQs", st.InterposedGrants)
+	}
+	for _, p := range sys.Partitions() {
+		if p.StolenInterposed != 0 {
+			t.Fatalf("partition %s has interposed interference in original mode", p.Name)
+		}
+	}
+	for _, r := range sys.Log().Records {
+		if r.Mode == tracerec.Interposed {
+			t.Fatal("interposed record in original mode")
+		}
+	}
+}
+
+func TestMonitoredWithoutMonitorDelays(t *testing.T) {
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Mode:  Monitored,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(7000)},
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	if st := sys.Stats(); st.DeniedNoMonitor != 1 {
+		t.Fatalf("DeniedNoMonitor = %d", st.DeniedNoMonitor)
+	}
+	if sys.Log().Records[0].Mode != tracerec.Delayed {
+		t.Fatal("unmonitored source was not delayed")
+	}
+}
+
+func TestMultipleSourcesMultipleSubscribers(t *testing.T) {
+	s1 := rng.New(21)
+	s2 := rng.New(22)
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  arm.DefaultCosts(),
+		Mode:   Monitored,
+		Policy: ResumeAcrossSlots,
+		Sources: []SourceConfig{
+			{
+				Name: "a", Subscriber: 0, CTH: us(6), CBH: us(30),
+				Arrivals: workload.Timestamps(workload.Exponential(s1, us(1100), 300)),
+				Monitor:  monitor.NewDMin(us(1100)),
+			},
+			{
+				Name: "b", Subscriber: 1, CTH: us(4), CBH: us(20),
+				Arrivals: workload.Timestamps(workload.Exponential(s2, us(1700), 200)),
+				Monitor:  monitor.NewDMin(us(1700)),
+			},
+		},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	// Per-source FIFO: completion order must match sequence order.
+	var lastSeq [2]int64
+	lastSeq[0], lastSeq[1] = -1, -1
+	for _, r := range sys.Log().Records {
+		if int64(r.Seq) <= lastSeq[r.Source] {
+			t.Fatalf("source %d completed seq %d after %d", r.Source, r.Seq, lastSeq[r.Source])
+		}
+		lastSeq[r.Source] = int64(r.Seq)
+	}
+	if sys.Log().Len() < 490 {
+		t.Fatalf("records = %d", sys.Log().Len())
+	}
+}
+
+func TestIdleSystemGuestAccounting(t *testing.T) {
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: costs,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{}, // no IRQs: pure TDMA rotation
+		}},
+	}
+	sys := build(t, cfg)
+	sys.Run(tt(28000)) // exactly two TDMA cycles
+	sys.FlushAccounting()
+	// app1 executes [0,6000) and [14050,20000): the second slot loses
+	// the TDMA switch overhead.
+	p := sys.Partitions()[0]
+	want := us(6000) + (us(6000) - costs.CtxSwitch)
+	if p.GuestTime != want {
+		t.Fatalf("app1 guest time = %v, want %v", p.GuestTime, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{
+		Slots: paperSlots(),
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+		}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{Slots: []SlotConfig{{Name: "x", Length: 0}}},
+		{Slots: paperSlots(), Sources: []SourceConfig{{Subscriber: 9, CTH: 1, CBH: 1}}},
+		{Slots: paperSlots(), Sources: []SourceConfig{{Subscriber: 0, CTH: 0, CBH: 1}}},
+		{Slots: paperSlots(), Sources: []SourceConfig{{Subscriber: 0, CTH: 1, CBH: 1,
+			Arrivals: []simtime.Time{tt(10), tt(5)}}}},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	// A learning monitor needs LearnEvents and LearnBound.
+	lm, _ := monitor.NewLearning(2)
+	c := Config{
+		Slots: paperSlots(),
+		Mode:  Monitored,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30), Monitor: lm,
+		}},
+	}
+	if c.Validate() == nil {
+		t.Error("learning monitor without bound accepted")
+	}
+}
+
+func TestCycleLength(t *testing.T) {
+	c := Config{Slots: paperSlots()}
+	if got := c.CycleLength(); got != us(14000) {
+		t.Fatalf("cycle = %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Original.String() != "original" || Monitored.String() != "monitored" {
+		t.Fatal("mode strings")
+	}
+	if Mode(7).String() == "" {
+		t.Fatal("unknown mode")
+	}
+	for _, p := range []SlotEndPolicy{DenyNearSlotEnd, SplitOnSlotEnd, ResumeAcrossSlots, SlotEndPolicy(9)} {
+		if p.String() == "" {
+			t.Fatal("policy string empty")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package hv
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/monitor"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+// randomConfig builds a random-but-valid system: 2–5 partitions with
+// random slot lengths (optionally a random multi-window schedule), 1–4
+// IRQ sources with random handler WCETs, subscribers, arrival streams and
+// monitoring conditions, under a random mode and policy.
+func randomConfig(src *rng.Source) Config {
+	nParts := 2 + src.Intn(4)
+	cfg := Config{Costs: arm.DefaultCosts()}
+	for i := 0; i < nParts; i++ {
+		cfg.Slots = append(cfg.Slots, SlotConfig{
+			Name:   fmt.Sprintf("p%d", i),
+			Length: us(int64(1000 + src.Intn(8000))),
+		})
+	}
+	if src.Intn(3) == 0 {
+		// Random explicit window schedule: 3–8 windows.
+		nWin := 3 + src.Intn(6)
+		for i := 0; i < nWin; i++ {
+			cfg.Windows = append(cfg.Windows, WindowConfig{
+				Partition: src.Intn(nParts),
+				Length:    us(int64(800 + src.Intn(5000))),
+			})
+		}
+	}
+	cfg.Mode = Mode(src.Intn(2))
+	cfg.Policy = SlotEndPolicy(src.Intn(3))
+
+	// Per-partition supply share within the cycle, to keep generated
+	// workloads feasible (a genuinely overloaded partition grows its
+	// queue without bound — correct behaviour, but not a terminating
+	// test case).
+	cycle := cfg.CycleLength()
+	supply := make([]simtime.Duration, nParts)
+	for _, w := range cfg.schedule() {
+		supply[w.Partition] += w.Length
+	}
+
+	// Only partitions that actually own windows can subscribe (a
+	// partition without supply never drains its queue).
+	var supplied []int
+	for p, sup := range supply {
+		if sup > 0 {
+			supplied = append(supplied, p)
+		}
+	}
+
+	nSrc := 1 + src.Intn(4)
+	for i := 0; i < nSrc; i++ {
+		sc := SourceConfig{
+			Name:       fmt.Sprintf("irq%d", i),
+			Subscriber: supplied[src.Intn(len(supplied))],
+			CTH:        us(int64(1 + src.Intn(10))),
+			CBH:        us(int64(5 + src.Intn(60))),
+		}
+		subs := []int{sc.Subscriber}
+		switch src.Intn(3) {
+		case 0:
+			// Unmonitored.
+		case 1:
+			sc.Monitor = monitor.NewDMin(us(int64(100 + src.Intn(3000))))
+		case 2:
+			if len(supplied) >= 2 {
+				a := src.Intn(len(supplied))
+				b := (a + 1 + src.Intn(len(supplied)-1)) % len(supplied)
+				sc.Subscribers = []int{supplied[a], supplied[b]}
+				subs = sc.Subscribers
+			}
+		}
+		// Mean interarrival long enough that the bottom-handler load
+		// stays below ~25 % of the tightest subscriber's supply share.
+		minSupply := supply[subs[0]]
+		for _, p := range subs[1:] {
+			if supply[p] < minSupply {
+				minSupply = supply[p]
+			}
+		}
+		demandPerEvent := sc.CBH + cfg.Costs.QueuePop
+		minMean := simtime.FromMicrosF(demandPerEvent.MicrosF() * 4 * float64(cycle) / float64(minSupply))
+		mean := minMean + us(int64(src.Intn(4000)))
+		events := 50 + src.Intn(250)
+		sc.Arrivals = workload.Timestamps(workload.Exponential(src, mean, events))
+		cfg.Sources = append(cfg.Sources, sc)
+	}
+	return cfg
+}
+
+// TestFuzzInvariants runs many random systems to completion and checks
+// every global invariant: accounting closure, per-source-per-partition
+// FIFO, BH time conservation, eq. (14) interference bounds for monitored
+// sources, and monotone completion of each queue.
+func TestFuzzInvariants(t *testing.T) {
+	iterations := 60
+	if testing.Short() {
+		iterations = 10
+	}
+	for seed := uint64(1); seed <= uint64(iterations); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			gen := rng.New(seed * 7919)
+			cfg := randomConfig(gen)
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatalf("config rejected: %v", err)
+			}
+			if err := sys.RunToCompletion(tt(10_000_000_000)); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Per-(source, partition) FIFO.
+			type key struct{ src, part int }
+			last := map[key]int64{}
+			for _, r := range sys.Log().Records {
+				k := key{r.Source, r.Partition}
+				if prev, ok := last[k]; ok && int64(r.Seq) <= prev {
+					t.Fatalf("FIFO violated for source %d partition %d", r.Source, r.Partition)
+				}
+				last[k] = int64(r.Seq)
+			}
+
+			// BH time conservation: Σ per-record (pop + C_BH).
+			var wantBH simtime.Duration
+			for _, r := range sys.Log().Records {
+				wantBH += cfg.Costs.QueuePop + sys.Sources()[r.Source].CBH
+			}
+			if got := sys.Stats().BHTime; got != wantBH {
+				t.Fatalf("BHTime = %v, want %v", got, wantBH)
+			}
+
+			// eq. (14): per-partition interposed interference within
+			// the summed bound of all monitored sources.
+			elapsed := sys.Now().Sub(0)
+			var bound simtime.Duration
+			for _, s := range sys.Sources() {
+				if s.Monitor == nil {
+					continue
+				}
+				cond := s.Monitor.Condition()
+				if cond == nil || cond.Dist[0] <= 0 {
+					continue
+				}
+				grants := simtime.CeilDiv(elapsed, cond.Dist[0])
+				bound += simtime.Duration(grants) * cfg.Costs.EffectiveBH(s.CBH)
+			}
+			for _, p := range sys.Partitions() {
+				if p.StolenInterposed > bound {
+					t.Fatalf("partition %s interference %v exceeds bound %v",
+						p.Name, p.StolenInterposed, bound)
+				}
+			}
+
+			// Mode constraints.
+			if cfg.Mode == Original {
+				if sys.Stats().InterposedGrants != 0 {
+					t.Fatal("grants in original mode")
+				}
+				for _, r := range sys.Log().Records {
+					if r.Mode == tracerec.Interposed {
+						t.Fatal("interposed record in original mode")
+					}
+				}
+			}
+		})
+	}
+}

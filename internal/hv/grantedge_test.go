@@ -1,0 +1,148 @@
+package hv
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/monitor"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+)
+
+func TestGrantResumesAcrossMultipleBoundaries(t *testing.T) {
+	// A very long interposed handler (huge declared C_BH so the budget
+	// never cuts) spans several short windows; with ResumeAcrossSlots
+	// it keeps resuming until done.
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots: []SlotConfig{
+			{Name: "sub", Length: us(2000)},
+			{Name: "a", Length: us(700)},
+			{Name: "b", Length: us(700)},
+		},
+		Costs:  costs,
+		Mode:   Monitored,
+		Policy: ResumeAcrossSlots,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(1500),
+			Arrivals: []simtime.Time{tt(2100)}, // start of window "a"
+			Monitor:  monitor.NewDMin(us(100)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	st := sys.Stats()
+	if st.ResumedGrants < 2 {
+		t.Fatalf("resumed grants = %d, want ≥ 2 (multiple boundary crossings)", st.ResumedGrants)
+	}
+	rec := sys.Log().Records[0]
+	if rec.Mode != tracerec.Interposed {
+		t.Fatalf("mode = %v", rec.Mode)
+	}
+	// Faster than delayed handling, which would only *start* the
+	// 1500 µs handler at the subscriber's window (3400 + C_ctx) and
+	// finish around 4950 µs.
+	delayedDone := tt(3400) + simtime.Time(costs.CtxSwitch+costs.QueuePop+us(1500))
+	if rec.Done >= delayedDone {
+		t.Fatalf("done = %v — no faster than delayed handling (%v)", rec.Done, delayedDone)
+	}
+}
+
+func TestInterposingUnderWindowSchedule(t *testing.T) {
+	// Monitored interposing works with explicit window schedules: an
+	// IRQ arriving in a foreign window is interposed there.
+	cfg := Config{
+		Slots: arincSlots(),
+		Windows: []WindowConfig{
+			{Partition: 0, Length: us(3000)},
+			{Partition: 1, Length: us(6000)},
+			{Partition: 0, Length: us(3000)},
+			{Partition: 2, Length: us(2000)},
+		},
+		Costs:  arm.DefaultCosts(),
+		Mode:   Monitored,
+		Policy: ResumeAcrossSlots,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(5000)}, // app2's window
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	rec := sys.Log().Records[0]
+	if rec.Mode != tracerec.Interposed {
+		t.Fatalf("mode = %v", rec.Mode)
+	}
+	// Completed inside app2's window, well before app1's next window
+	// at 9000.
+	if rec.Done >= tt(9000) {
+		t.Fatalf("done = %v, want before 9000µs", rec.Done)
+	}
+}
+
+func TestDenyFitUsesCurrentWindowEnd(t *testing.T) {
+	// Under DenyNearSlotEnd with a window schedule, the fit check
+	// applies to the current *window*, not the nominal slot sum.
+	cfg := Config{
+		Slots: arincSlots(),
+		Windows: []WindowConfig{
+			{Partition: 0, Length: us(3000)},
+			{Partition: 1, Length: us(6000)},
+			{Partition: 0, Length: us(3000)},
+			{Partition: 2, Length: us(2000)},
+		},
+		Costs:  arm.DefaultCosts(),
+		Mode:   Monitored,
+		Policy: DenyNearSlotEnd,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			// 50 µs before app2's window ends at 9000.
+			Arrivals: []simtime.Time{tt(8950)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	if st := sys.Stats(); st.DeniedFit != 1 {
+		t.Fatalf("denied fit = %d, want 1", st.DeniedFit)
+	}
+	// Delayed — but only to app1's next window at 9000, not a cycle.
+	rec := sys.Log().Records[0]
+	if rec.Mode != tracerec.Delayed {
+		t.Fatalf("mode = %v", rec.Mode)
+	}
+	if rec.Done >= tt(10000) {
+		t.Fatalf("done = %v, want shortly after 9000µs", rec.Done)
+	}
+}
+
+func TestMonitorRecoversAfterViolations(t *testing.T) {
+	// Violating IRQs do not poison the monitor: once spacing recovers,
+	// interposing resumes (the monitor tracks grants, not violations).
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Mode:  Monitored,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{
+				tt(7000),  // granted
+				tt(7200),  // violation
+				tt(7400),  // violation
+				tt(8100),  // ≥ dmin after the grant at 7000: granted
+				tt(11000), // granted
+			},
+			Monitor: monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	st := sys.Stats()
+	if st.DeniedViolation != 2 {
+		t.Fatalf("violations = %d, want 2", st.DeniedViolation)
+	}
+	if st.InterposedGrants != 3 {
+		t.Fatalf("grants = %d, want 3 (recovery after violations)", st.InterposedGrants)
+	}
+}

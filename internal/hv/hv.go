@@ -1,0 +1,392 @@
+// Package hv simulates the paper's real-time hypervisor (uC/OS-MMU
+// style, §3) cycle-accurately on a discrete-event timeline:
+//
+//   - TDMA partition scheduling with fixed slot lengths and a static
+//     order; unused slot capacity is left unused (complete temporal
+//     isolation of partition CPU supply),
+//   - split interrupt handling: hardware IRQs are latched by a
+//     non-counting interrupt controller (internal/intc), served by a top
+//     handler in hypervisor context, and completed by a bottom handler in
+//     the subscriber partition's context via per-partition FIFO interrupt
+//     queues (Fig. 2),
+//   - the original top handler (Fig. 4a: direct or delayed handling) and
+//     the modified top handler (Fig. 4b: additionally *interposed*
+//     handling into foreign slots, admitted by a δ⁻ activation monitor
+//     and budget-enforced to C_BH by the hypervisor),
+//   - every overhead of §6.2: monitor execution C_Mon, scheduler
+//     manipulation C_sched, and two extra context switches C_ctx per
+//     interposed IRQ.
+//
+// The simulation measures exactly what the paper measures: per-IRQ
+// latency from hardware arrival to bottom-handler completion, the
+// handling mode split (direct/interposed/delayed), context-switch counts,
+// and — beyond the paper's measurements — the interference each partition
+// actually suffers from foreign interposed bottom handlers, so tests can
+// check it against the analytic bound of eq. (14).
+package hv
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/guestos"
+	"repro/internal/intc"
+	"repro/internal/monitor"
+	"repro/internal/schedtrace"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+)
+
+// Mode selects the top-handler variant.
+type Mode int
+
+const (
+	// Original is the unmodified top handler of Fig. 4a: direct or
+	// delayed handling only.
+	Original Mode = iota
+	// Monitored is the modified top handler of Fig. 4b: foreign-slot
+	// IRQs are checked against the activation monitor and interposed
+	// when conforming.
+	Monitored
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Original:
+		return "original"
+	case Monitored:
+		return "monitored"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SlotEndPolicy decides what happens when an interposed bottom handler
+// would collide with the end of the current TDMA slot. The paper does not
+// specify this corner; both defensible choices are implemented (see
+// DESIGN.md §5).
+type SlotEndPolicy int
+
+const (
+	// DenyNearSlotEnd refuses to interpose when the full sequence
+	// (C_sched + 2·C_ctx + C_BH) does not fit into the remaining slot;
+	// the IRQ is handled as delayed instead. Default.
+	DenyNearSlotEnd SlotEndPolicy = iota
+	// SplitOnSlotEnd allows the grant and, if the slot ends first,
+	// saves the partially executed bottom handler into its partition
+	// context; it completes at the partition's next own slot.
+	SplitOnSlotEnd
+	// ResumeAcrossSlots allows the grant and, if the slot ends first,
+	// resumes the interposed bottom handler right after the TDMA
+	// switch in the next slot (one extra context switch in). This
+	// models the paper's modified TDMA scheduler, whose Fig. 6c shows
+	// neither delayed IRQs nor TDMA-bound worst-case latencies.
+	ResumeAcrossSlots
+)
+
+// String implements fmt.Stringer.
+func (p SlotEndPolicy) String() string {
+	switch p {
+	case DenyNearSlotEnd:
+		return "deny-near-slot-end"
+	case SplitOnSlotEnd:
+		return "split-on-slot-end"
+	case ResumeAcrossSlots:
+		return "resume-across-slots"
+	default:
+		return fmt.Sprintf("SlotEndPolicy(%d)", int(p))
+	}
+}
+
+// SlotConfig describes one TDMA partition.
+type SlotConfig struct {
+	Name string
+	// Length is the partition's fixed TDMA slot length T_i.
+	Length simtime.Duration
+	// Guest optionally attaches a guest OS whose task scheduling is
+	// simulated over the partition's execution windows.
+	Guest *guestos.OS
+}
+
+// WindowConfig is one entry of an explicit window schedule: the given
+// partition executes for Length, then the hypervisor switches to the
+// next entry. An explicit schedule generalises the one-slot-per-partition
+// rotation to ARINC653-style major frames where a partition may own
+// several windows per cycle.
+type WindowConfig struct {
+	Partition int
+	Length    simtime.Duration
+}
+
+// SourceConfig describes one IRQ source.
+type SourceConfig struct {
+	Name string
+	// Subscriber is the index of the partition whose bottom handler
+	// processes this source.
+	Subscriber int
+	// Subscribers, when non-empty, makes this a *shared* IRQ delivered
+	// to several partitions (overriding Subscriber): the top handler
+	// pushes an event into every listed partition's queue. §4 notes
+	// shared IRQs make interposing "particularly complicated" — this
+	// implementation delivers them but never interposes them; each
+	// copy is handled direct/delayed by its own partition.
+	Subscribers []int
+	// CTH and CBH are the top- and bottom-handler WCETs (eq. 6). By
+	// default handlers execute for exactly their WCET.
+	CTH simtime.Duration
+	CBH simtime.Duration
+	// ActualBH optionally gives per-arrival actual bottom-handler
+	// execution times (indexed by arrival order, last entry repeated).
+	// Values below CBH model early completion; values above CBH model
+	// WCET overruns — an interposed overrunning handler is cut off at
+	// the C_BH budget by the hypervisor (§5: "may execute for at most
+	// C_BHi") and its remainder completes in the subscriber's own
+	// slot, so the eq. (14) interference bound holds regardless.
+	ActualBH []simtime.Duration
+	// Arrivals are the absolute hardware-IRQ times, pre-generated as
+	// in §6.1.
+	Arrivals []simtime.Time
+	// Monitor optionally attaches an activation monitor (required for
+	// interposing this source in Monitored mode).
+	Monitor *monitor.Monitor
+	// LearnEvents, when the monitor starts in learning mode, is the
+	// number of observed activations after which the hypervisor calls
+	// FinishLearning with LearnBound (Appendix A: the first 10 % of
+	// the trace).
+	LearnEvents int
+	LearnBound  *curves.Delta
+	// SignalsGuest couples the source to a guest task: every bottom-
+	// handler completion activates sporadic task GuestTask in the
+	// processing partition's guest OS (the usual RTOS pattern of an
+	// ISR signalling a waiting task).
+	SignalsGuest bool
+	GuestTask    int
+}
+
+// Config assembles a simulated system.
+type Config struct {
+	Slots   []SlotConfig
+	Sources []SourceConfig
+	Costs   arm.CostModel
+	Mode    Mode
+	Policy  SlotEndPolicy
+	// Windows optionally replaces the default one-slot-per-partition
+	// rotation with an explicit cyclic window schedule. Slot lengths
+	// in Slots are ignored when Windows is set (partition identity,
+	// names and guests still come from Slots).
+	Windows []WindowConfig
+	// Tracer, when set, records every CPU execution span (guest,
+	// handlers, context switches) for Gantt/CSV inspection.
+	Tracer *schedtrace.Recorder
+}
+
+// schedule returns the effective cyclic window schedule.
+func (c Config) schedule() []WindowConfig {
+	if len(c.Windows) > 0 {
+		return c.Windows
+	}
+	ws := make([]WindowConfig, len(c.Slots))
+	for i, s := range c.Slots {
+		ws[i] = WindowConfig{Partition: i, Length: s.Length}
+	}
+	return ws
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Slots) == 0 {
+		return errors.New("hv: need at least one partition")
+	}
+	for i, s := range c.Slots {
+		// With an explicit window schedule the per-partition slot
+		// lengths are ignored and may be zero.
+		if len(c.Windows) == 0 && s.Length <= 0 {
+			return fmt.Errorf("hv: partition %d (%s) has non-positive slot length", i, s.Name)
+		}
+	}
+	for i, w := range c.Windows {
+		if w.Partition < 0 || w.Partition >= len(c.Slots) {
+			return fmt.Errorf("hv: window %d references unknown partition %d", i, w.Partition)
+		}
+		if w.Length <= 0 {
+			return fmt.Errorf("hv: window %d has non-positive length", i)
+		}
+	}
+	for i, s := range c.Sources {
+		subs := s.Subscribers
+		if len(subs) == 0 {
+			subs = []int{s.Subscriber}
+		}
+		for _, sub := range subs {
+			if sub < 0 || sub >= len(c.Slots) {
+				return fmt.Errorf("hv: source %d (%s) subscribes to unknown partition %d", i, s.Name, sub)
+			}
+		}
+		if len(s.Subscribers) > 0 && s.Monitor != nil {
+			return fmt.Errorf("hv: source %d (%s) is shared and cannot be monitored/interposed", i, s.Name)
+		}
+		for j, a := range s.ActualBH {
+			if a <= 0 {
+				return fmt.Errorf("hv: source %d (%s) ActualBH[%d] must be positive", i, s.Name, j)
+			}
+		}
+		if s.SignalsGuest {
+			for _, sub := range subs {
+				g := c.Slots[sub].Guest
+				if g == nil {
+					return fmt.Errorf("hv: source %d (%s) signals a guest but partition %d has none", i, s.Name, sub)
+				}
+				task, ok := g.TaskInfo(s.GuestTask)
+				if !ok {
+					return fmt.Errorf("hv: source %d (%s) signals unknown guest task %d", i, s.Name, s.GuestTask)
+				}
+				if !task.Sporadic {
+					return fmt.Errorf("hv: source %d (%s) signals non-sporadic guest task %q", i, s.Name, task.Name)
+				}
+			}
+		}
+		if s.CTH <= 0 || s.CBH <= 0 {
+			return fmt.Errorf("hv: source %d (%s) needs positive handler WCETs", i, s.Name)
+		}
+		for j := 1; j < len(s.Arrivals); j++ {
+			if s.Arrivals[j] < s.Arrivals[j-1] {
+				return fmt.Errorf("hv: source %d (%s) arrivals not sorted at %d", i, s.Name, j)
+			}
+		}
+		if c.Mode == Monitored && s.Monitor != nil && s.Monitor.LearningActive() {
+			if s.LearnEvents <= 0 || s.LearnBound == nil {
+				return fmt.Errorf("hv: source %d (%s) has a learning monitor but no LearnEvents/LearnBound", i, s.Name)
+			}
+			if s.LearnBound.Len() != s.Monitor.L() {
+				return fmt.Errorf("hv: source %d (%s) LearnBound length %d != monitor l %d", i, s.Name, s.LearnBound.Len(), s.Monitor.L())
+			}
+		}
+	}
+	return nil
+}
+
+// CycleLength returns T_TDMA, the sum of all window lengths of the
+// effective schedule.
+func (c Config) CycleLength() simtime.Duration {
+	var sum simtime.Duration
+	for _, w := range c.schedule() {
+		sum += w.Length
+	}
+	return sum
+}
+
+// Partition is the runtime state of one TDMA partition.
+type Partition struct {
+	Index   int
+	Name    string
+	SlotLen simtime.Duration
+	Guest   *guestos.OS
+
+	queue       []*pendingIRQ
+	headStarted bool             // head bottom handler partially executed
+	headLeft    simtime.Duration // remaining time of the head BH
+
+	// Measured supply/interference accounting.
+	GuestTime simtime.Duration // execution given to guest/background work
+	BHTime    simtime.Duration // execution spent on own bottom handlers
+	// StolenInterposed is processing time taken from this partition's
+	// slots by foreign interposed bottom handlers including their
+	// C_sched and context-switch overheads — the quantity bounded by
+	// eq. (14).
+	StolenInterposed simtime.Duration
+	// StolenTop is slot time consumed by top handlers (all sources).
+	StolenTop simtime.Duration
+	// InterposedHits counts foreign interposed grants that executed
+	// (at least partially) during this partition's slots.
+	InterposedHits uint64
+}
+
+// QueueLen returns the number of pending bottom-handler activations.
+func (p *Partition) QueueLen() int { return len(p.queue) }
+
+// pendingIRQ is one entry in a partition's interrupt queue.
+type pendingIRQ struct {
+	src      *Source
+	arrival  simtime.Time
+	seq      uint64
+	decision tracerec.Mode
+}
+
+// Source is the runtime state of one IRQ source.
+type Source struct {
+	Index int
+	Name  string
+	Line  intc.Line
+	// Subscribers lists every partition that processes this source's
+	// bottom handler (one entry for ordinary sources).
+	Subscribers []int
+	CTH         simtime.Duration
+	CBH         simtime.Duration
+	Monitor     *monitor.Monitor
+
+	arrivals     []simtime.Time
+	actualBH     []simtime.Duration
+	next         int
+	learnEvents  int
+	learnBound   *curves.Delta
+	signalsGuest bool
+	guestTask    int
+
+	latchedAt simtime.Time // arrival time of the currently latched IRQ
+	seq       uint64
+
+	// Stats.
+	Raised uint64
+	Lost   uint64
+}
+
+// Remaining returns the number of not-yet-scheduled arrivals.
+func (s *Source) Remaining() int { return len(s.arrivals) - s.next }
+
+// actual returns the actual bottom-handler execution time of delivery
+// seq: the configured per-delivery value (last entry repeated), or the
+// WCET C_BH by default.
+func (s *Source) actual(seq uint64) simtime.Duration {
+	if len(s.actualBH) == 0 {
+		return s.CBH
+	}
+	if seq >= uint64(len(s.actualBH)) {
+		return s.actualBH[len(s.actualBH)-1]
+	}
+	return s.actualBH[seq]
+}
+
+// Stats aggregates system-wide counters.
+type Stats struct {
+	Arrivals    uint64
+	LostIRQs    uint64
+	TopHandlers uint64
+
+	// Context switches, split by cause. CtxSwitches = TDMASwitches +
+	// 2·InterposedGrants (+ aborted-grant switch-backs).
+	CtxSwitches      uint64
+	TDMASwitches     uint64
+	InterposedGrants uint64
+	SplitGrants      uint64 // grants aborted by a slot boundary
+	ResumedGrants    uint64 // grants resumed across a slot boundary
+	BudgetCuts       uint64 // interposed handlers cut off at the C_BH budget
+
+	// Interposing denials by reason.
+	DeniedViolation uint64 // monitoring condition violated
+	DeniedFit       uint64 // DenyNearSlotEnd: sequence does not fit
+	DeniedBusy      uint64 // a grant was already in progress
+	DeniedLearning  uint64 // monitor still learning
+	DeniedPending   uint64 // slot switch pending at decision time
+	DeniedNoMonitor uint64 // source has no monitor attached
+
+	// Time accounting (sums over the whole run).
+	TopTime     simtime.Duration // top handlers incl. C_Mon
+	MonitorTime simtime.Duration // C_Mon share of TopTime
+	SchedTime   simtime.Duration // C_sched for grants
+	CtxTime     simtime.Duration // all context switches
+	BHTime      simtime.Duration // all bottom-handler execution
+	GuestTime   simtime.Duration // partition guest/background execution
+}

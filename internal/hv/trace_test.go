@@ -1,0 +1,125 @@
+package hv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/monitor"
+	"repro/internal/schedtrace"
+	"repro/internal/simtime"
+)
+
+func TestTraceRecordsInterposedSequence(t *testing.T) {
+	rec := &schedtrace.Recorder{}
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  arm.DefaultCosts(),
+		Mode:   Monitored,
+		Tracer: rec,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(7000)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The interposed grant must appear as the canonical sequence
+	// ... top-handler, sched, ctx, interposed-bh, ctx ...
+	var kinds []schedtrace.Kind
+	for _, s := range rec.Spans {
+		kinds = append(kinds, s.Kind)
+	}
+	want := []schedtrace.Kind{
+		schedtrace.TopHandler,
+		schedtrace.SchedOverhead,
+		schedtrace.CtxSwitch,
+		schedtrace.InterposedBH,
+		schedtrace.CtxSwitch,
+	}
+	found := false
+	for i := 0; i+len(want) <= len(kinds); i++ {
+		match := true
+		for j, k := range want {
+			if kinds[i+j] != k {
+				match = false
+				break
+			}
+		}
+		if match {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("interposed sequence not found in trace: %v", kinds)
+	}
+	// The interposed BH span must carry the subscriber partition.
+	for _, s := range rec.Spans {
+		if s.Kind == schedtrace.InterposedBH && s.Partition != 0 {
+			t.Fatalf("interposed span attributed to partition %d", s.Partition)
+		}
+	}
+}
+
+func TestTraceAccountingMatchesStats(t *testing.T) {
+	rec := &schedtrace.Recorder{}
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  arm.DefaultCosts(),
+		Mode:   Monitored,
+		Tracer: rec,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(1000), tt(7000), tt(9500)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	by := rec.ByKind()
+	st := sys.Stats()
+	if by[schedtrace.BottomHandler]+by[schedtrace.InterposedBH] != st.BHTime {
+		t.Fatalf("trace BH time %v+%v != stats %v",
+			by[schedtrace.BottomHandler], by[schedtrace.InterposedBH], st.BHTime)
+	}
+	if by[schedtrace.TopHandler] != st.TopTime {
+		t.Fatalf("trace top time %v != stats %v", by[schedtrace.TopHandler], st.TopTime)
+	}
+	if by[schedtrace.SchedOverhead] != st.SchedTime {
+		t.Fatalf("trace sched time %v != stats %v", by[schedtrace.SchedOverhead], st.SchedTime)
+	}
+	if by[schedtrace.CtxSwitch] != st.CtxTime {
+		t.Fatalf("trace ctx time %v != stats %v", by[schedtrace.CtxSwitch], st.CtxTime)
+	}
+	if by[schedtrace.Guest] != st.GuestTime {
+		t.Fatalf("trace guest time %v != stats %v", by[schedtrace.Guest], st.GuestTime)
+	}
+}
+
+func TestTraceGanttRendersRun(t *testing.T) {
+	rec := &schedtrace.Recorder{}
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  arm.DefaultCosts(),
+		Mode:   Monitored,
+		Tracer: rec,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(7000)},
+			Monitor:  monitor.NewDMin(us(1000)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	var sb strings.Builder
+	rec.Gantt(&sb, 0, tt(14000), us(200), []string{"app1", "app2", "hk"})
+	out := sb.String()
+	if !strings.Contains(out, "app1 |") || !strings.Contains(out, "hv |") {
+		t.Fatalf("gantt rows missing:\n%s", out)
+	}
+}

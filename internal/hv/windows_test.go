@@ -1,0 +1,185 @@
+package hv
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/monitor"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+// arincSlots declares the partitions of a multi-window configuration.
+func arincSlots() []SlotConfig {
+	return []SlotConfig{
+		{Name: "app1", Length: us(6000)}, // length overridden by Windows
+		{Name: "app2", Length: us(6000)},
+		{Name: "hk", Length: us(2000)},
+	}
+}
+
+// arincWindows gives app1 two windows per cycle:
+// [0,3000) app1 | [3000,9000) app2 | [9000,12000) app1 | [12000,14000) hk.
+func arincWindows() []WindowConfig {
+	return []WindowConfig{
+		{Partition: 0, Length: us(3000)},
+		{Partition: 1, Length: us(6000)},
+		{Partition: 0, Length: us(3000)},
+		{Partition: 2, Length: us(2000)},
+	}
+}
+
+func TestWindowScheduleRotation(t *testing.T) {
+	cfg := Config{
+		Slots:   arincSlots(),
+		Windows: arincWindows(),
+		Costs:   arm.ZeroCosts(),
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(1), CBH: us(1),
+		}},
+	}
+	sys := build(t, cfg)
+	// Probe the active partition mid-window (zero costs: switches are
+	// instantaneous).
+	probes := []struct {
+		at   int64
+		want int
+	}{
+		{1500, 0}, {6000, 1}, {10000, 0}, {13000, 2},
+		{14000 + 1500, 0}, {14000 + 6000, 1},
+	}
+	for _, p := range probes {
+		sys.Run(tt(p.at))
+		if got := sys.ActivePartition(); got != p.want {
+			t.Fatalf("at %dµs active = %d, want %d", p.at, got, p.want)
+		}
+	}
+	if got := sys.Partitions()[0].SlotLen; got != us(6000) {
+		t.Fatalf("app1 per-cycle supply = %v, want 6000µs", got)
+	}
+}
+
+func TestWindowScheduleHalvesDelayedWait(t *testing.T) {
+	// A delayed IRQ arriving right after app1's first window completes
+	// at app1's *second* window — not a full cycle later.
+	cfg := Config{
+		Slots:   arincSlots(),
+		Windows: arincWindows(),
+		Costs:   arm.DefaultCosts(),
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(3500)},
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	rec := sys.Log().Records[0]
+	if rec.Mode != tracerec.Delayed {
+		t.Fatalf("mode = %v", rec.Mode)
+	}
+	// Completes shortly after 9000 (app1's second window), not 14000.
+	if rec.Done < tt(9000) || rec.Done > tt(9200) {
+		t.Fatalf("done = %v, want shortly after 9000µs", rec.Done)
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	bad := Config{
+		Slots:   arincSlots(),
+		Windows: []WindowConfig{{Partition: 5, Length: us(100)}},
+	}
+	if bad.Validate() == nil {
+		t.Fatal("unknown partition in window accepted")
+	}
+	bad = Config{
+		Slots:   arincSlots(),
+		Windows: []WindowConfig{{Partition: 0, Length: 0}},
+	}
+	if bad.Validate() == nil {
+		t.Fatal("zero-length window accepted")
+	}
+}
+
+func TestSharedIRQDeliversToAllSubscribers(t *testing.T) {
+	costs := arm.DefaultCosts()
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: costs,
+		Sources: []SourceConfig{{
+			Name: "can", Subscribers: []int{0, 1}, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(1000)},
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	recs := sys.Log().Records
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (one per subscriber)", len(recs))
+	}
+	seen := map[int]tracerec.Mode{}
+	for _, r := range recs {
+		seen[r.Partition] = r.Mode
+	}
+	// Arrival in app1's slot: app1's copy direct, app2's delayed.
+	if seen[0] != tracerec.Direct {
+		t.Fatalf("app1 copy mode = %v", seen[0])
+	}
+	if seen[1] != tracerec.Delayed {
+		t.Fatalf("app2 copy mode = %v", seen[1])
+	}
+}
+
+func TestSharedIRQNeverInterposed(t *testing.T) {
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Mode:  Monitored,
+		Sources: []SourceConfig{{
+			Name: "can", Subscribers: []int{0, 1}, CTH: us(6), CBH: us(30),
+			Arrivals: workload.Timestamps(workload.Exponential(rng.New(31), us(900), 200)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	if sys.Stats().InterposedGrants != 0 {
+		t.Fatal("shared IRQ was interposed")
+	}
+	if sys.Log().Len() != 2*int(sys.Sources()[0].Raised) {
+		t.Fatalf("records = %d for %d raised", sys.Log().Len(), sys.Sources()[0].Raised)
+	}
+}
+
+func TestSharedIRQWithMonitorRejected(t *testing.T) {
+	cfg := Config{
+		Slots: paperSlots(),
+		Sources: []SourceConfig{{
+			Name: "can", Subscribers: []int{0, 1}, CTH: us(6), CBH: us(30),
+			Monitor: monitor.NewDMin(us(100)),
+		}},
+	}
+	if cfg.Validate() == nil {
+		t.Fatal("shared monitored source accepted")
+	}
+}
+
+func TestSharedIRQFIFOPerPartition(t *testing.T) {
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Sources: []SourceConfig{{
+			Name: "can", Subscribers: []int{0, 1}, CTH: us(6), CBH: us(30),
+			Arrivals: workload.Timestamps(workload.Exponential(rng.New(32), us(1200), 150)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	last := map[int]int64{0: -1, 1: -1}
+	for _, r := range sys.Log().Records {
+		if int64(r.Seq) <= last[r.Partition] {
+			t.Fatalf("partition %d completed seq %d after %d", r.Partition, r.Seq, last[r.Partition])
+		}
+		last[r.Partition] = int64(r.Seq)
+	}
+}

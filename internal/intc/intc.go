@@ -1,0 +1,154 @@
+// Package intc models the platform interrupt controller (a VIC-style
+// controller as on the ARM926ej-s evaluation board).
+//
+// The model captures exactly the properties the paper's argument relies
+// on (§4): pending flags are per-source and *non-counting* — a second
+// arrival of an already-pending source is lost — which is the stated
+// reason top handlers must run even in foreign slots (disabling a source
+// while outside the subscriber's partition may drop IRQs). The hypervisor
+// (internal/hv) is the only component with direct access, mirroring the
+// isolation requirement that partitions never touch the controller.
+package intc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Line identifies one interrupt source at the controller.
+type Line int
+
+// Controller is a non-counting, maskable interrupt controller.
+// The zero value is unusable; construct with New.
+type Controller struct {
+	pending []bool
+	enabled []bool
+	masked  bool // global CPU-side mask (IRQs disabled)
+
+	// statistics
+	raised  []uint64
+	lost    []uint64
+	cleared []uint64
+}
+
+// New returns a controller with lines [0, n), all enabled, none pending.
+func New(n int) (*Controller, error) {
+	if n <= 0 {
+		return nil, errors.New("intc: need at least one line")
+	}
+	c := &Controller{
+		pending: make([]bool, n),
+		enabled: make([]bool, n),
+		raised:  make([]uint64, n),
+		lost:    make([]uint64, n),
+		cleared: make([]uint64, n),
+	}
+	for i := range c.enabled {
+		c.enabled[i] = true
+	}
+	return c, nil
+}
+
+// Lines returns the number of lines.
+func (c *Controller) Lines() int { return len(c.pending) }
+
+func (c *Controller) check(l Line) {
+	if int(l) < 0 || int(l) >= len(c.pending) {
+		panic(fmt.Sprintf("intc: line %d out of range [0,%d)", l, len(c.pending)))
+	}
+}
+
+// Raise latches an interrupt on line l. Because flags are non-counting,
+// raising an already-pending line loses the event; Raise reports whether
+// the event was latched (false = lost).
+func (c *Controller) Raise(l Line) bool {
+	c.check(l)
+	if !c.enabled[l] {
+		c.lost[l]++
+		return false
+	}
+	if c.pending[l] {
+		c.lost[l]++
+		return false
+	}
+	c.pending[l] = true
+	c.raised[l]++
+	return true
+}
+
+// Clear acknowledges line l (the "resetting IRQ flags" step of the top
+// handler, §3). Clearing a non-pending line is a no-op.
+func (c *Controller) Clear(l Line) {
+	c.check(l)
+	if c.pending[l] {
+		c.pending[l] = false
+		c.cleared[l]++
+	}
+}
+
+// Pending reports whether line l is latched.
+func (c *Controller) Pending(l Line) bool {
+	c.check(l)
+	return c.pending[l]
+}
+
+// AnyPending returns the lowest-numbered enabled pending line and true,
+// or 0 and false when none is deliverable. Lower line numbers have
+// higher priority, as on the VIC.
+func (c *Controller) AnyPending() (Line, bool) {
+	if c.masked {
+		return 0, false
+	}
+	for i, p := range c.pending {
+		if p && c.enabled[i] {
+			return Line(i), true
+		}
+	}
+	return 0, false
+}
+
+// MaskAll disables CPU-side interrupt delivery (CPSR I-bit set); pending
+// flags keep latching.
+func (c *Controller) MaskAll() { c.masked = true }
+
+// UnmaskAll re-enables CPU-side delivery.
+func (c *Controller) UnmaskAll() { c.masked = false }
+
+// Masked reports whether CPU-side delivery is disabled.
+func (c *Controller) Masked() bool { return c.masked }
+
+// Enable enables latching and delivery for line l.
+func (c *Controller) Enable(l Line) {
+	c.check(l)
+	c.enabled[l] = true
+}
+
+// Disable disables line l; raises while disabled are lost (the failure
+// mode §4 warns about).
+func (c *Controller) Disable(l Line) {
+	c.check(l)
+	c.enabled[l] = false
+}
+
+// Enabled reports whether line l is enabled.
+func (c *Controller) Enabled(l Line) bool {
+	c.check(l)
+	return c.enabled[l]
+}
+
+// Stats returns the per-line counters (raised, lost, cleared).
+func (c *Controller) Stats(l Line) (raised, lost, cleared uint64) {
+	c.check(l)
+	return c.raised[l], c.lost[l], c.cleared[l]
+}
+
+// TotalLost returns the number of events lost across all lines — the
+// quantity that must stay zero in the paper's experiments (the timer is
+// reloaded from the top handler precisely to guarantee it).
+func (c *Controller) TotalLost() uint64 {
+	var n uint64
+	for _, v := range c.lost {
+		n += v
+	}
+	return n
+}

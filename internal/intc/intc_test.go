@@ -1,0 +1,138 @@
+package intc
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("0 lines accepted")
+	}
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lines() != 4 {
+		t.Fatalf("Lines = %d", c.Lines())
+	}
+}
+
+func TestRaiseAndClear(t *testing.T) {
+	c, _ := New(2)
+	if !c.Raise(0) {
+		t.Fatal("first raise lost")
+	}
+	if !c.Pending(0) {
+		t.Fatal("line not pending after raise")
+	}
+	c.Clear(0)
+	if c.Pending(0) {
+		t.Fatal("line pending after clear")
+	}
+	// Clearing a non-pending line is a no-op.
+	c.Clear(0)
+}
+
+func TestNonCountingFlags(t *testing.T) {
+	// §4: IRQ flags are not counting — a second raise while pending is
+	// lost.
+	c, _ := New(1)
+	if !c.Raise(0) {
+		t.Fatal("first raise lost")
+	}
+	if c.Raise(0) {
+		t.Fatal("second raise while pending was latched")
+	}
+	raised, lost, _ := c.Stats(0)
+	if raised != 1 || lost != 1 {
+		t.Fatalf("raised=%d lost=%d", raised, lost)
+	}
+	if c.TotalLost() != 1 {
+		t.Fatalf("TotalLost = %d", c.TotalLost())
+	}
+	// After clearing, the line latches again.
+	c.Clear(0)
+	if !c.Raise(0) {
+		t.Fatal("raise after clear lost")
+	}
+}
+
+func TestMasking(t *testing.T) {
+	c, _ := New(2)
+	c.MaskAll()
+	if !c.Masked() {
+		t.Fatal("not masked")
+	}
+	// Pending flags keep latching while masked.
+	if !c.Raise(1) {
+		t.Fatal("raise while masked lost")
+	}
+	if _, ok := c.AnyPending(); ok {
+		t.Fatal("AnyPending delivered while masked")
+	}
+	c.UnmaskAll()
+	l, ok := c.AnyPending()
+	if !ok || l != 1 {
+		t.Fatalf("AnyPending = %d, %v", l, ok)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	// Lower line number = higher priority, as on the VIC.
+	c, _ := New(4)
+	c.Raise(3)
+	c.Raise(1)
+	l, ok := c.AnyPending()
+	if !ok || l != 1 {
+		t.Fatalf("AnyPending = %d, want 1", l)
+	}
+	c.Clear(1)
+	l, ok = c.AnyPending()
+	if !ok || l != 3 {
+		t.Fatalf("AnyPending = %d, want 3", l)
+	}
+}
+
+func TestDisable(t *testing.T) {
+	c, _ := New(1)
+	c.Disable(0)
+	if c.Enabled(0) {
+		t.Fatal("still enabled")
+	}
+	// Raises while disabled are lost (the §4 failure mode).
+	if c.Raise(0) {
+		t.Fatal("raise on disabled line latched")
+	}
+	if c.TotalLost() != 1 {
+		t.Fatalf("TotalLost = %d", c.TotalLost())
+	}
+	c.Enable(0)
+	if !c.Raise(0) {
+		t.Fatal("raise after enable lost")
+	}
+	// Disabled pending lines are not delivered.
+	c.Disable(0)
+	if _, ok := c.AnyPending(); ok {
+		t.Fatal("disabled pending line delivered")
+	}
+}
+
+func TestStatsCleared(t *testing.T) {
+	c, _ := New(1)
+	c.Raise(0)
+	c.Clear(0)
+	c.Raise(0)
+	c.Clear(0)
+	raised, lost, cleared := c.Stats(0)
+	if raised != 2 || lost != 0 || cleared != 2 {
+		t.Fatalf("stats = %d/%d/%d", raised, lost, cleared)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	c, _ := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range line did not panic")
+		}
+	}()
+	c.Raise(5)
+}

@@ -1,0 +1,271 @@
+// Package monitor implements the δ⁻-based activation-pattern monitor the
+// paper uses to shape interposed interrupt handling (§5, Appendix A),
+// following Neukirchner et al., "Monitoring arbitrary activation patterns
+// in real-time systems" (RTSS 2012).
+//
+// The monitor guards the stream of *interposed* bottom-handler
+// activations: the interference bound of eq. (14) holds because any two
+// granted (interposed) activations are at least δ⁻ apart. It keeps the
+// timestamps of the last l granted activations in a trace buffer; a new
+// activation at time t conforms to the monitoring condition δ⁻[l] iff for
+// every i ∈ [0, l−1] with a recorded predecessor
+//
+//	t − tracebuffer[i] ≥ δ⁻[i]
+//
+// where tracebuffer[i] is the (i+1)-th most recent grant and δ⁻[i] bounds
+// the distance spanned by i+2 consecutive events. With l = 1 this
+// degenerates to the minimum-distance condition dmin of §5. Checking and
+// recording are split: the hypervisor Checks every foreign-slot IRQ
+// (Fig. 4b, "Interposing IRQ denied?") and Commits only those it actually
+// interposes — a conforming IRQ that is denied for other reasons (e.g.
+// slot-end collision) consumes no budget.
+//
+// The monitor also supports the self-learning mode of Appendix A:
+// Algorithm 1 (Learn) records the tightest δ⁻ prefix of the observed
+// stream over all activations, and Algorithm 2 (FinishLearning) lifts it
+// to a predefined upper bound δ⁻_b so the admitted load never exceeds the
+// configured budget.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/curves"
+	"repro/internal/simtime"
+)
+
+// Verdict is the monitor's decision about one activation.
+type Verdict int
+
+const (
+	// Conforming: the activation satisfies the monitoring condition;
+	// its bottom handler may be interposed into a foreign slot.
+	Conforming Verdict = iota
+	// Violation: the activation arrived too close to previous grants;
+	// its bottom handler must be processed as a delayed IRQ.
+	Violation
+	// Learning: the monitor is still in the learning phase and makes
+	// no admission decisions (delayed/direct handling applies).
+	Learning
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Conforming:
+		return "conforming"
+	case Violation:
+		return "violation"
+	case Learning:
+		return "learning"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Stats counts monitor decisions.
+type Stats struct {
+	Checked    uint64 // Check calls (foreign-slot IRQs in run mode)
+	Conforming uint64
+	Violations uint64
+	Commits    uint64 // granted (interposed) activations
+	Learned    uint64 // activations consumed by the learning phase
+}
+
+// Monitor is a δ⁻ activation monitor for one IRQ source. It is not
+// safe for concurrent use; the simulation is single-threaded by design.
+type Monitor struct {
+	l        int
+	cond     []simtime.Duration // δ⁻[l]; nil while learning
+	learned  []simtime.Duration // Algorithm 1 state
+	buf      []simtime.Time     // tracebuffer, most recent first
+	filled   int
+	learning bool
+	stats    Stats
+}
+
+// New returns a run-mode monitor enforcing the given δ⁻ condition.
+func New(cond *curves.Delta) *Monitor {
+	return &Monitor{
+		l:    cond.Len(),
+		cond: append([]simtime.Duration(nil), cond.Dist...),
+		buf:  make([]simtime.Time, cond.Len()),
+	}
+}
+
+// NewDMin returns a run-mode monitor enforcing a minimum distance dmin
+// between any two granted activations (l = 1), the condition used in the
+// main evaluation (§6.1).
+func NewDMin(dmin simtime.Duration) *Monitor {
+	d, err := curves.NewDelta([]simtime.Duration{dmin})
+	if err != nil {
+		panic(err) // single non-negative entry cannot fail
+	}
+	return New(d)
+}
+
+// NewLearning returns a monitor in the learning phase of Appendix A with
+// an l-entry trace buffer. Call FinishLearning to enter run mode.
+func NewLearning(l int) (*Monitor, error) {
+	if l <= 0 {
+		return nil, errors.New("monitor: l must be positive")
+	}
+	m := &Monitor{
+		l:        l,
+		learned:  make([]simtime.Duration, l),
+		buf:      make([]simtime.Time, l),
+		learning: true,
+	}
+	for i := range m.learned {
+		m.learned[i] = simtime.Infinity
+	}
+	return m, nil
+}
+
+// L returns the length of the monitoring condition.
+func (m *Monitor) L() int { return m.l }
+
+// LearningActive reports whether the monitor is still learning.
+func (m *Monitor) LearningActive() bool { return m.learning }
+
+// Stats returns a copy of the decision counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// Condition returns the δ⁻ condition currently enforced, or nil while
+// learning.
+func (m *Monitor) Condition() *curves.Delta {
+	if m.cond == nil {
+		return nil
+	}
+	return &curves.Delta{Dist: append([]simtime.Duration(nil), m.cond...)}
+}
+
+// Check evaluates the monitoring condition for an activation at time t
+// without recording it. In learning mode it returns Learning.
+func (m *Monitor) Check(t simtime.Time) Verdict {
+	if m.learning {
+		return Learning
+	}
+	m.stats.Checked++
+	for i := 0; i < m.filled; i++ {
+		if t.Sub(m.buf[i]) < m.cond[i] {
+			m.stats.Violations++
+			return Violation
+		}
+	}
+	m.stats.Conforming++
+	return Conforming
+}
+
+// Commit records a granted (interposed) activation at time t into the
+// trace buffer. Call it only after Check returned Conforming and the
+// hypervisor decided to interpose. Timestamps must be non-decreasing.
+func (m *Monitor) Commit(t simtime.Time) {
+	if m.learning {
+		panic("monitor: Commit while learning")
+	}
+	m.stats.Commits++
+	m.record(t)
+}
+
+// Learn processes one activation during the learning phase: Algorithm 1
+// tightens the learned δ⁻ prefix against the last l activations and
+// records t. Timestamps must be non-decreasing.
+func (m *Monitor) Learn(t simtime.Time) {
+	if !m.learning {
+		panic("monitor: Learn after learning finished")
+	}
+	for i := 0; i < m.filled; i++ {
+		if d := t.Sub(m.buf[i]); d < m.learned[i] {
+			m.learned[i] = d
+		}
+	}
+	m.stats.Learned++
+	m.record(t)
+}
+
+// record right-shifts the trace buffer and stores t at index 0, exactly
+// as in Algorithm 1.
+func (m *Monitor) record(t simtime.Time) {
+	if m.filled > 0 && t < m.buf[0] {
+		panic(fmt.Sprintf("monitor: non-monotonic timestamp %v after %v", t, m.buf[0]))
+	}
+	copy(m.buf[1:], m.buf[:m.l-1])
+	m.buf[0] = t
+	if m.filled < m.l {
+		m.filled++
+	}
+}
+
+// FinishLearning ends the learning phase and enters run mode. Following
+// Algorithm 2, every learned distance smaller than its counterpart in the
+// upper bound δ⁻_b is lifted to the bound, so the admitted load never
+// exceeds the budget the bound encodes. Entries never observed during
+// learning (possible only for very short learning traces) fall back to
+// the largest observed entry. The trace buffer is cleared: run mode
+// tracks grants, and no grants have happened yet.
+func (m *Monitor) FinishLearning(bound *curves.Delta) error {
+	if !m.learning {
+		return errors.New("monitor: not in learning mode")
+	}
+	if bound.Len() != m.l {
+		return fmt.Errorf("monitor: bound has %d entries, want %d", bound.Len(), m.l)
+	}
+	cond := make([]simtime.Duration, m.l)
+	// Replace never-updated entries by extending the observed prefix,
+	// and enforce monotonicity of the learned prefix.
+	prev := simtime.Duration(0)
+	for i, d := range m.learned {
+		if d == simtime.Infinity || d < prev {
+			d = prev
+		}
+		cond[i] = d
+		prev = d
+	}
+	// Algorithm 2.
+	for i := range cond {
+		if cond[i] < bound.Dist[i] {
+			cond[i] = bound.Dist[i]
+		}
+	}
+	// Lifting entries to a monotone bound preserves monotonicity, but
+	// guard anyway: the condition must be a valid δ⁻.
+	for i := 1; i < len(cond); i++ {
+		if cond[i] < cond[i-1] {
+			cond[i] = cond[i-1]
+		}
+	}
+	m.cond = cond
+	m.learning = false
+	m.filled = 0
+	return nil
+}
+
+// Learned returns the raw learned δ⁻ prefix (Algorithm 1 state). Entries
+// never updated are simtime.Infinity. Useful for inspection and tests.
+func (m *Monitor) Learned() []simtime.Duration {
+	return append([]simtime.Duration(nil), m.learned...)
+}
+
+// Reset clears the trace buffer and counters but keeps the condition and
+// mode.
+func (m *Monitor) Reset() {
+	m.filled = 0
+	m.stats = Stats{}
+	if m.learning {
+		for i := range m.learned {
+			m.learned[i] = simtime.Infinity
+		}
+	}
+}
+
+// DataBytes returns the data-memory footprint of the monitor state in the
+// reference C implementation (§6.2 reports 28 bytes for l = 1): the trace
+// buffer and condition entries at 4 bytes each plus fill/index state.
+// This mirrors the paper's accounting rather than Go's in-memory size.
+func (m *Monitor) DataBytes() int {
+	// l timestamps + l condition entries (4-byte each on ARMv5) plus
+	// a fill counter and a mode/flags word and spare state.
+	return 4*m.l + 4*m.l + 4 + 4 + 12
+}

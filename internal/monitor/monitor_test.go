@@ -1,0 +1,371 @@
+package monitor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/curves"
+	"repro/internal/simtime"
+)
+
+func us(v int64) simtime.Duration { return simtime.Micros(v) }
+func tt(v int64) simtime.Time     { return simtime.Time(simtime.Micros(v)) }
+
+func TestDMinBasic(t *testing.T) {
+	m := NewDMin(us(100))
+	if m.L() != 1 {
+		t.Fatalf("L = %d", m.L())
+	}
+	// First activation always conforms (empty buffer).
+	if v := m.Check(tt(0)); v != Conforming {
+		t.Fatalf("first check = %v", v)
+	}
+	m.Commit(tt(0))
+	// Too close to the committed grant.
+	if v := m.Check(tt(50)); v != Violation {
+		t.Fatalf("close check = %v", v)
+	}
+	// Exactly dmin apart conforms (≥).
+	if v := m.Check(tt(100)); v != Conforming {
+		t.Fatalf("dmin-apart check = %v", v)
+	}
+	m.Commit(tt(100))
+	if v := m.Check(tt(199)); v != Violation {
+		t.Fatalf("check at 199 = %v", v)
+	}
+}
+
+func TestCheckDoesNotConsumeBudget(t *testing.T) {
+	// A denied-but-conforming IRQ (e.g. slot-end fit denial) must not
+	// move the reference: only Commit records.
+	m := NewDMin(us(100))
+	m.Commit(tt(0))
+	if m.Check(tt(150)) != Conforming {
+		t.Fatal("check at 150")
+	}
+	// Not committed; distance still measured from t=0.
+	if m.Check(tt(160)) != Conforming {
+		t.Fatal("check at 160 should conform: last commit is 0")
+	}
+	m.Commit(tt(160))
+	if m.Check(tt(200)) != Violation {
+		t.Fatal("check at 200 must violate: last commit is 160")
+	}
+}
+
+func TestGrantSpacingProperty(t *testing.T) {
+	// The fundamental soundness property behind eq. (14): whatever the
+	// arrival pattern, committed grants are at least dmin apart.
+	f := func(gaps []uint16) bool {
+		m := NewDMin(us(100))
+		var now simtime.Time
+		var lastGrant simtime.Time
+		granted := false
+		for _, g := range gaps {
+			now = now.Add(simtime.Duration(g % 500))
+			if m.Check(now) == Conforming {
+				if granted && now.Sub(lastGrant) < us(100) {
+					return false
+				}
+				m.Commit(now)
+				lastGrant = now
+				granted = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiEntryCondition(t *testing.T) {
+	// δ⁻(2) = 10, δ⁻(3) = 50: pairs may be 10 apart but any three
+	// grants must span 50.
+	d, err := curves.NewDelta([]simtime.Duration{us(10), us(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(d)
+	m.Commit(tt(0))
+	if m.Check(tt(10)) != Conforming {
+		t.Fatal("pair at distance 10 must conform")
+	}
+	m.Commit(tt(10))
+	// Third grant at 20: pair distance ok (10) but 3-span = 20 < 50.
+	if m.Check(tt(20)) != Violation {
+		t.Fatal("3-event burst must violate δ⁻(3)")
+	}
+	// At t=50 the 3-span constraint is met.
+	if m.Check(tt(50)) != Conforming {
+		t.Fatal("t=50 must conform")
+	}
+}
+
+func TestMultiEntrySpacingProperty(t *testing.T) {
+	// With an l-entry condition, any i+2 consecutive grants span at
+	// least δ⁻[i], for all i — checked against a brute-force record of
+	// all grants.
+	cond, err := curves.NewDelta([]simtime.Duration{us(20), us(90), us(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(gaps []uint16) bool {
+		m := New(cond)
+		var now simtime.Time
+		var grants []simtime.Time
+		for _, g := range gaps {
+			now = now.Add(simtime.Duration(g % 800))
+			if m.Check(now) == Conforming {
+				m.Commit(now)
+				grants = append(grants, now)
+			}
+		}
+		for i := range grants {
+			for k := 1; k <= cond.Len() && i+k < len(grants); k++ {
+				if grants[i+k].Sub(grants[i]) < cond.Dist[k-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearningMatchesBatchRecording(t *testing.T) {
+	// Algorithm 1 incrementally must converge to the same δ⁻ prefix as
+	// the batch computation over the trace.
+	trace := []simtime.Time{tt(0), tt(30), tt(35), tt(90), tt(100), tt(180), tt(181), tt(260)}
+	const l = 4
+	m, err := NewLearning(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range trace {
+		m.Learn(ts)
+	}
+	batch, err := curves.DeltaFromTrace(trace, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := m.Learned()
+	for i := 0; i < l; i++ {
+		if learned[i] != batch.Dist[i] {
+			t.Errorf("learned[%d] = %v, batch = %v", i, learned[i], batch.Dist[i])
+		}
+	}
+}
+
+func TestLearningMatchesBatchProperty(t *testing.T) {
+	f := func(gaps []uint16) bool {
+		if len(gaps) < 3 {
+			return true
+		}
+		if len(gaps) > 50 {
+			gaps = gaps[:50]
+		}
+		var trace []simtime.Time
+		var now simtime.Time
+		for _, g := range gaps {
+			now = now.Add(simtime.Duration(g%1000) + 1)
+			trace = append(trace, now)
+		}
+		const l = 3
+		m, err := NewLearning(l)
+		if err != nil {
+			return false
+		}
+		for _, ts := range trace {
+			m.Learn(ts)
+		}
+		batch, err := curves.DeltaFromTrace(trace, l)
+		if err != nil {
+			return false
+		}
+		learned := m.Learned()
+		for i := 0; i < l; i++ {
+			if learned[i] == simtime.Infinity {
+				// Never observed (trace shorter than i+2
+				// events); the batch fallback has no raw
+				// counterpart.
+				continue
+			}
+			// Batch applies a monotonicity pass; raw learned may
+			// only differ where that pass raised an entry.
+			if learned[i] > batch.Dist[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinishLearningAppliesBound(t *testing.T) {
+	// Algorithm 2: learned entries below the bound are lifted.
+	m, _ := NewLearning(2)
+	m.Learn(tt(0))
+	m.Learn(tt(10)) // learned δ⁻(2) = 10
+	m.Learn(tt(25)) // learned δ⁻(3) = 25, δ⁻(2) = 10
+	bound, _ := curves.NewDelta([]simtime.Duration{us(40), us(40)})
+	if err := m.FinishLearning(bound); err != nil {
+		t.Fatal(err)
+	}
+	cond := m.Condition()
+	if cond.Dist[0] != us(40) || cond.Dist[1] != us(40) {
+		t.Fatalf("condition = %v, want lifted to bound", cond.Dist)
+	}
+	if m.LearningActive() {
+		t.Fatal("still learning after FinishLearning")
+	}
+}
+
+func TestFinishLearningKeepsLooserLearned(t *testing.T) {
+	m, _ := NewLearning(1)
+	m.Learn(tt(0))
+	m.Learn(tt(500)) // learned δ⁻(2) = 500
+	bound, _ := curves.NewDelta([]simtime.Duration{us(100)})
+	if err := m.FinishLearning(bound); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Condition().Dist[0]; got != us(500) {
+		t.Fatalf("condition = %v, want learned 500µs (bound does not bind)", got)
+	}
+}
+
+func TestFinishLearningErrors(t *testing.T) {
+	m := NewDMin(us(10))
+	bound, _ := curves.NewDelta([]simtime.Duration{us(10)})
+	if err := m.FinishLearning(bound); err == nil {
+		t.Fatal("FinishLearning on run-mode monitor accepted")
+	}
+	lm, _ := NewLearning(2)
+	if err := lm.FinishLearning(bound); err == nil {
+		t.Fatal("mismatched bound length accepted")
+	}
+}
+
+func TestFinishLearningUnobservedEntries(t *testing.T) {
+	// Learning saw only two events: δ⁻(3..) never observed; they fall
+	// back to the observed prefix and the bound.
+	m, _ := NewLearning(3)
+	m.Learn(tt(0))
+	m.Learn(tt(100))
+	bound, _ := curves.NewDelta([]simtime.Duration{0, 0, 0})
+	if err := m.FinishLearning(bound); err != nil {
+		t.Fatal(err)
+	}
+	cond := m.Condition()
+	for i := 1; i < cond.Len(); i++ {
+		if cond.Dist[i] < cond.Dist[i-1] {
+			t.Fatalf("condition not monotone: %v", cond.Dist)
+		}
+	}
+}
+
+func TestLearnPanicsAfterFinish(t *testing.T) {
+	m, _ := NewLearning(1)
+	m.Learn(tt(0))
+	bound, _ := curves.NewDelta([]simtime.Duration{0})
+	if err := m.FinishLearning(bound); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Learn after FinishLearning did not panic")
+		}
+	}()
+	m.Learn(tt(10))
+}
+
+func TestCommitPanicsWhileLearning(t *testing.T) {
+	m, _ := NewLearning(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Commit while learning did not panic")
+		}
+	}()
+	m.Commit(tt(0))
+}
+
+func TestNonMonotonicTimestampPanics(t *testing.T) {
+	m := NewDMin(us(10))
+	m.Commit(tt(100))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-monotonic Commit did not panic")
+		}
+	}()
+	m.Commit(tt(50))
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := NewDMin(us(100))
+	m.Check(tt(0))
+	m.Commit(tt(0))
+	m.Check(tt(10)) // violation
+	m.Check(tt(200))
+	m.Commit(tt(200))
+	st := m.Stats()
+	if st.Checked != 3 || st.Conforming != 2 || st.Violations != 1 || st.Commits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewDMin(us(100))
+	m.Commit(tt(0))
+	m.Check(tt(10))
+	m.Reset()
+	if st := m.Stats(); st.Checked != 0 || st.Commits != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+	// Buffer cleared: an early activation conforms again.
+	if m.Check(tt(1)) != Conforming {
+		t.Fatal("buffer not cleared by Reset")
+	}
+}
+
+func TestDataBytesMatchesPaper(t *testing.T) {
+	// §6.2: the monitoring scheme's data memory overhead is 28 bytes
+	// (for the l = 1 evaluation setup).
+	if got := NewDMin(us(1)).DataBytes(); got != 28 {
+		t.Fatalf("DataBytes(l=1) = %d, want 28", got)
+	}
+}
+
+func TestNewLearningValidation(t *testing.T) {
+	if _, err := NewLearning(0); err == nil {
+		t.Fatal("l=0 accepted")
+	}
+	if _, err := NewLearning(-1); err == nil {
+		t.Fatal("l<0 accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Conforming.String() != "conforming" || Violation.String() != "violation" || Learning.String() != "learning" {
+		t.Fatal("verdict strings")
+	}
+	if Verdict(99).String() == "" {
+		t.Fatal("unknown verdict string empty")
+	}
+}
+
+func TestConditionCopyIsIsolated(t *testing.T) {
+	m := NewDMin(us(100))
+	c := m.Condition()
+	c.Dist[0] = us(1)
+	if m.Check(tt(0)) != Conforming {
+		t.Fatal("first check")
+	}
+	m.Commit(tt(0))
+	if m.Check(tt(50)) != Violation {
+		t.Fatal("mutating the returned condition affected the monitor")
+	}
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateReducedReport(t *testing.T) {
+	var sb strings.Builder
+	opts := Reduced()
+	opts.Fig6Events = 400
+	opts.Fig7Events = 1200
+	if err := Generate(&sb, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Figure 6",
+		"Figure 6a",
+		"Figure 6b",
+		"Figure 6c",
+		"## Figure 7",
+		"## §6.2",
+		"## Worst-case latency bounds",
+		"C_sched",
+		"| Quantity | Paper | Measured |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every table row has three cells.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "| ") && !strings.HasPrefix(line, "|---") {
+			if got := strings.Count(line, "|"); got != 4 {
+				t.Errorf("malformed table row: %q", line)
+			}
+		}
+	}
+}
+
+func TestOptionScales(t *testing.T) {
+	d := Defaults()
+	if d.Fig6Events != 5000 || d.Fig7Events != 11000 {
+		t.Fatalf("defaults = %+v", d)
+	}
+	r := Reduced()
+	if r.Fig6Events >= d.Fig6Events || r.Fig7Events >= d.Fig7Events {
+		t.Fatal("reduced options not smaller")
+	}
+}

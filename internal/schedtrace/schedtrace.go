@@ -1,0 +1,224 @@
+// Package schedtrace records what the simulated CPU executed when — the
+// execution-span trace of a hypervisor run — and renders it as an ASCII
+// Gantt chart or CSV. It is the observability layer for debugging
+// schedules and for documenting interposed-IRQ behaviour: one glance
+// shows a bottom handler executing inside a foreign slot between two
+// context switches.
+package schedtrace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Kind classifies an execution span.
+type Kind int
+
+const (
+	// Guest: partition application/guest-OS execution.
+	Guest Kind = iota
+	// BottomHandler: a bottom handler in its own partition's slot.
+	BottomHandler
+	// InterposedBH: a bottom handler interposed into a foreign slot.
+	InterposedBH
+	// TopHandler: hypervisor IRQ context (top handler incl. C_Mon).
+	TopHandler
+	// CtxSwitch: a partition context switch (TDMA or grant).
+	CtxSwitch
+	// SchedOverhead: scheduler manipulation for a grant (C_sched).
+	SchedOverhead
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Guest:
+		return "guest"
+	case BottomHandler:
+		return "bottom-handler"
+	case InterposedBH:
+		return "interposed-bh"
+	case TopHandler:
+		return "top-handler"
+	case CtxSwitch:
+		return "ctx-switch"
+	case SchedOverhead:
+		return "sched"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// glyph is the Gantt symbol of each kind.
+func (k Kind) glyph() byte {
+	switch k {
+	case Guest:
+		return '='
+	case BottomHandler:
+		return 'B'
+	case InterposedBH:
+		return 'I'
+	case TopHandler:
+		return 'T'
+	case CtxSwitch:
+		return 'C'
+	case SchedOverhead:
+		return 'S'
+	default:
+		return '?'
+	}
+}
+
+// Span is one contiguous CPU execution interval [Start, End).
+type Span struct {
+	Kind      Kind
+	Partition int // executing/target partition; -1 for global hypervisor work
+	Source    int // IRQ source; -1 when not IRQ-related
+	Start     simtime.Time
+	End       simtime.Time
+	Label     string
+}
+
+// Len returns the span length.
+func (s Span) Len() simtime.Duration { return s.End.Sub(s.Start) }
+
+// Recorder accumulates spans. The zero value is ready to use. Limit, if
+// positive, caps memory by dropping further spans once reached (Dropped
+// counts them).
+type Recorder struct {
+	Spans   []Span
+	Limit   int
+	Dropped int
+}
+
+// Record appends a span; zero-length spans are ignored.
+func (r *Recorder) Record(s Span) {
+	if s.End <= s.Start {
+		return
+	}
+	if r.Limit > 0 && len(r.Spans) >= r.Limit {
+		r.Dropped++
+		return
+	}
+	r.Spans = append(r.Spans, s)
+}
+
+// Busy returns the total recorded execution time.
+func (r *Recorder) Busy() simtime.Duration {
+	var sum simtime.Duration
+	for _, s := range r.Spans {
+		sum += s.Len()
+	}
+	return sum
+}
+
+// ByKind returns total time per kind.
+func (r *Recorder) ByKind() map[Kind]simtime.Duration {
+	out := make(map[Kind]simtime.Duration, numKinds)
+	for _, s := range r.Spans {
+		out[s.Kind] += s.Len()
+	}
+	return out
+}
+
+// Validate checks that spans are non-overlapping and ordered — the CPU
+// executes one thing at a time. Spans must be recorded in completion
+// order (the hypervisor does so naturally).
+func (r *Recorder) Validate() error {
+	for i := 1; i < len(r.Spans); i++ {
+		if r.Spans[i].Start < r.Spans[i-1].End {
+			return fmt.Errorf("schedtrace: span %d (%s @%v) overlaps predecessor (%s ending %v)",
+				i, r.Spans[i].Kind, r.Spans[i].Start, r.Spans[i-1].Kind, r.Spans[i-1].End)
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits "start_us,end_us,kind,partition,source,label" rows.
+func (r *Recorder) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "start_us,end_us,kind,partition,source,label")
+	for _, s := range r.Spans {
+		fmt.Fprintf(w, "%.3f,%.3f,%s,%d,%d,%s\n",
+			s.Start.MicrosF(), s.End.MicrosF(), s.Kind, s.Partition, s.Source, s.Label)
+	}
+}
+
+// Gantt renders the window [from, to) as one text row per partition plus
+// a hypervisor row, one character per bucket of width step. The glyph of
+// a bucket is the kind occupying most of it on that row; '.' is idle.
+//
+//	p0 |====T===BB====......|
+//	p1 |....TI==============|
+//	hv |....C....C..........|
+func (r *Recorder) Gantt(w io.Writer, from, to simtime.Time, step simtime.Duration, partitions []string) {
+	if step <= 0 || to <= from {
+		fmt.Fprintln(w, "(empty gantt window)")
+		return
+	}
+	nCols := int(simtime.CeilDiv(to.Sub(from), step))
+	nRows := len(partitions) + 1 // + hypervisor row
+	occupancy := make([][]map[Kind]simtime.Duration, nRows)
+	for i := range occupancy {
+		occupancy[i] = make([]map[Kind]simtime.Duration, nCols)
+	}
+	rowOf := func(s Span) int {
+		switch s.Kind {
+		case Guest, BottomHandler, InterposedBH:
+			if s.Partition >= 0 && s.Partition < len(partitions) {
+				return s.Partition
+			}
+		}
+		return len(partitions) // hypervisor row
+	}
+	for _, s := range r.Spans {
+		if s.End <= from || s.Start >= to {
+			continue
+		}
+		row := rowOf(s)
+		start := simtime.MaxT(s.Start, from)
+		end := simtime.MinT(s.End, to)
+		for t := start; t < end; {
+			col := int(t.Sub(from) / step)
+			bucketEnd := from.Add(simtime.Duration(col+1) * step)
+			segEnd := simtime.MinT(end, bucketEnd)
+			if occupancy[row][col] == nil {
+				occupancy[row][col] = make(map[Kind]simtime.Duration)
+			}
+			occupancy[row][col][s.Kind] += segEnd.Sub(t)
+			t = segEnd
+		}
+	}
+	names := append([]string(nil), partitions...)
+	names = append(names, "hv")
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	fmt.Fprintf(w, "%*s  window [%v, %v), %v per column\n", width, "", from, to, step)
+	for row, name := range names {
+		var sb strings.Builder
+		for col := 0; col < nCols; col++ {
+			m := occupancy[row][col]
+			if len(m) == 0 {
+				sb.WriteByte('.')
+				continue
+			}
+			var best Kind
+			var bestDur simtime.Duration
+			for k := Kind(0); k < numKinds; k++ {
+				if d := m[k]; d > bestDur {
+					best, bestDur = k, d
+				}
+			}
+			sb.WriteByte(best.glyph())
+		}
+		fmt.Fprintf(w, "%*s |%s|\n", width, name, sb.String())
+	}
+	fmt.Fprintf(w, "%*s  = guest  B bottom  I interposed  T top  C ctx  S sched  . idle\n", width, "")
+}

@@ -1,0 +1,131 @@
+package schedtrace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func us(v int64) simtime.Duration { return simtime.Micros(v) }
+func tt(v int64) simtime.Time     { return simtime.Time(simtime.Micros(v)) }
+
+func TestRecordAndBusy(t *testing.T) {
+	var r Recorder
+	r.Record(Span{Kind: Guest, Partition: 0, Start: 0, End: tt(100)})
+	r.Record(Span{Kind: TopHandler, Partition: -1, Start: tt(100), End: tt(106)})
+	r.Record(Span{Kind: Guest, Partition: 0, Start: tt(106), End: tt(106)}) // zero-length: ignored
+	if len(r.Spans) != 2 {
+		t.Fatalf("spans = %d", len(r.Spans))
+	}
+	if r.Busy() != us(106) {
+		t.Fatalf("busy = %v", r.Busy())
+	}
+	by := r.ByKind()
+	if by[Guest] != us(100) || by[TopHandler] != us(6) {
+		t.Fatalf("by kind = %v", by)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := Recorder{Limit: 2}
+	for i := int64(0); i < 5; i++ {
+		r.Record(Span{Kind: Guest, Start: tt(i * 10), End: tt(i*10 + 5)})
+	}
+	if len(r.Spans) != 2 || r.Dropped != 3 {
+		t.Fatalf("spans = %d, dropped = %d", len(r.Spans), r.Dropped)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var r Recorder
+	r.Record(Span{Kind: Guest, Start: 0, End: tt(10)})
+	r.Record(Span{Kind: TopHandler, Start: tt(10), End: tt(12)})
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r.Record(Span{Kind: Guest, Start: tt(11), End: tt(20)}) // overlaps
+	if err := r.Validate(); err == nil {
+		t.Fatal("overlap not detected")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	var r Recorder
+	r.Record(Span{Kind: Guest, Partition: 0, Start: 0, End: tt(40)})
+	r.Record(Span{Kind: TopHandler, Partition: -1, Start: tt(40), End: tt(50)})
+	r.Record(Span{Kind: InterposedBH, Partition: 1, Start: tt(50), End: tt(80)})
+	r.Record(Span{Kind: CtxSwitch, Partition: -1, Start: tt(80), End: tt(90)})
+	r.Record(Span{Kind: Guest, Partition: 0, Start: tt(90), End: tt(100)})
+
+	var sb strings.Builder
+	r.Gantt(&sb, 0, tt(100), us(10), []string{"p0", "p1"})
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + p0 + p1 + hv + legend
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), out)
+	}
+	p0 := lines[1]
+	p1 := lines[2]
+	hv := lines[3]
+	if !strings.Contains(p0, "====") {
+		t.Errorf("p0 row missing guest glyphs: %q", p0)
+	}
+	if !strings.Contains(p1, "III") {
+		t.Errorf("p1 row missing interposed glyphs: %q", p1)
+	}
+	if !strings.Contains(hv, "T") || !strings.Contains(hv, "C") {
+		t.Errorf("hv row missing handler/ctx glyphs: %q", hv)
+	}
+	// Idle buckets render as dots.
+	if !strings.Contains(p1, ".") {
+		t.Errorf("p1 row missing idle dots: %q", p1)
+	}
+}
+
+func TestGanttEmptyWindow(t *testing.T) {
+	var r Recorder
+	var sb strings.Builder
+	r.Gantt(&sb, tt(10), tt(10), us(1), []string{"p0"})
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty window not flagged")
+	}
+}
+
+func TestGanttMajorityGlyph(t *testing.T) {
+	// A bucket mostly guest with a sliver of top handler renders '='.
+	var r Recorder
+	r.Record(Span{Kind: Guest, Partition: 0, Start: 0, End: tt(9)})
+	r.Record(Span{Kind: TopHandler, Partition: -1, Start: tt(9), End: tt(10)})
+	var sb strings.Builder
+	r.Gantt(&sb, 0, tt(10), us(10), []string{"p0"})
+	lines := strings.Split(sb.String(), "\n")
+	if !strings.Contains(lines[1], "=") {
+		t.Fatalf("majority glyph wrong: %q", lines[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var r Recorder
+	r.Record(Span{Kind: BottomHandler, Partition: 2, Source: 1, Start: tt(5), End: tt(35), Label: "bh:x"})
+	var sb strings.Builder
+	r.WriteCSV(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "start_us,end_us,kind,partition,source,label\n") {
+		t.Fatalf("header: %q", out)
+	}
+	if !strings.Contains(out, "5.000,35.000,bottom-handler,2,1,bh:x") {
+		t.Fatalf("row: %q", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind string")
+	}
+}

@@ -1,0 +1,136 @@
+// Package simtime provides the time base of the hypervisor simulation.
+//
+// The paper's evaluation platform is an ARM926ej-s clocked at 200 MHz, so
+// the natural resolution for a faithful reproduction is one CPU cycle.
+// Time and Duration are integer cycle counts; at 200 MHz one microsecond
+// is exactly 200 cycles, so every quantity the paper reports in µs is
+// representable without rounding.
+package simtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClockHz is the simulated CPU clock of the evaluation platform (§6).
+const ClockHz = 200_000_000
+
+// CyclesPerMicro is the number of CPU cycles per microsecond at ClockHz.
+const CyclesPerMicro = ClockHz / 1_000_000
+
+// Time is an absolute point in simulated time, in CPU cycles since the
+// start of the simulation.
+type Time int64
+
+// Duration is a span of simulated time in CPU cycles.
+type Duration int64
+
+// Common durations.
+const (
+	Cycle       Duration = 1
+	Microsecond Duration = CyclesPerMicro
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Infinity is a duration longer than any simulation horizon used in the
+// experiments. It is safe to add to any in-range Time without overflow.
+const Infinity Duration = math.MaxInt64 / 4
+
+// Never is a Time later than any event in a simulation.
+const Never Time = math.MaxInt64 / 4
+
+// Micros returns the duration of us microseconds.
+func Micros(us int64) Duration { return Duration(us) * Microsecond }
+
+// Millis returns the duration of ms milliseconds.
+func Millis(ms int64) Duration { return Duration(ms) * Millisecond }
+
+// Cycles returns the duration of n CPU cycles.
+func Cycles(n int64) Duration { return Duration(n) }
+
+// FromMicrosF converts a (possibly fractional) number of microseconds to a
+// Duration, rounding to the nearest cycle.
+func FromMicrosF(us float64) Duration {
+	return Duration(math.Round(us * float64(CyclesPerMicro)))
+}
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Micros returns the time since simulation start in microseconds,
+// truncated toward zero.
+func (t Time) Micros() int64 { return int64(t) / int64(Microsecond) }
+
+// MicrosF returns the time since simulation start in fractional
+// microseconds.
+func (t Time) MicrosF() float64 { return float64(t) / float64(Microsecond) }
+
+// String renders the time in microseconds.
+func (t Time) String() string { return fmt.Sprintf("%.3fµs", t.MicrosF()) }
+
+// Cycles returns the raw cycle count of d.
+func (d Duration) Cycles() int64 { return int64(d) }
+
+// Micros returns d in microseconds, truncated toward zero.
+func (d Duration) Micros() int64 { return int64(d) / int64(Microsecond) }
+
+// MicrosF returns d in fractional microseconds.
+func (d Duration) MicrosF() float64 { return float64(d) / float64(Microsecond) }
+
+// String renders the duration in microseconds.
+func (d Duration) String() string { return fmt.Sprintf("%.3fµs", d.MicrosF()) }
+
+// CeilDiv returns ⌈d / e⌉ for positive e. It is the building block of the
+// interference terms (eqs. 8 and 14 of the paper), which are all of the
+// form ⌈Δt / T⌉ · C.
+func CeilDiv(d, e Duration) int64 {
+	if e <= 0 {
+		panic("simtime: CeilDiv by non-positive duration")
+	}
+	if d <= 0 {
+		return 0
+	}
+	return (int64(d) + int64(e) - 1) / int64(e)
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinT returns the earlier of a and b.
+func MinT(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxT returns the later of a and b.
+func MaxT(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

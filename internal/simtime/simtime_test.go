@@ -1,0 +1,141 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConversionConstants(t *testing.T) {
+	if CyclesPerMicro != 200 {
+		t.Fatalf("CyclesPerMicro = %d, want 200 (200 MHz platform)", CyclesPerMicro)
+	}
+	if Microsecond != 200 {
+		t.Fatalf("Microsecond = %d cycles, want 200", Microsecond)
+	}
+	if Millisecond != 200_000 {
+		t.Fatalf("Millisecond = %d cycles, want 200000", Millisecond)
+	}
+	if Second != 200_000_000 {
+		t.Fatalf("Second = %d cycles, want 2e8", Second)
+	}
+}
+
+func TestMicrosRoundTrip(t *testing.T) {
+	for _, us := range []int64{0, 1, 50, 6000, 14000, 123456} {
+		d := Micros(us)
+		if got := d.Micros(); got != us {
+			t.Errorf("Micros(%d).Micros() = %d", us, got)
+		}
+		if got := d.MicrosF(); got != float64(us) {
+			t.Errorf("Micros(%d).MicrosF() = %g", us, got)
+		}
+	}
+}
+
+func TestFromMicrosF(t *testing.T) {
+	if got := FromMicrosF(1.0); got != 200 {
+		t.Errorf("FromMicrosF(1.0) = %d, want 200", got)
+	}
+	if got := FromMicrosF(0.5); got != 100 {
+		t.Errorf("FromMicrosF(0.5) = %d, want 100", got)
+	}
+	// Rounds to nearest cycle: 0.0024 µs = 0.48 cycles → 0.
+	if got := FromMicrosF(0.0024); got != 0 {
+		t.Errorf("FromMicrosF(0.0024) = %d, want 0", got)
+	}
+	if got := FromMicrosF(0.0026); got != 1 {
+		t.Errorf("FromMicrosF(0.0026) = %d, want 1", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1000)
+	if got := t0.Add(Micros(2)); got != Time(1400) {
+		t.Errorf("Add: got %d", got)
+	}
+	if got := t0.Add(Micros(2)).Sub(t0); got != Micros(2) {
+		t.Errorf("Sub: got %v", got)
+	}
+	if !t0.Before(t0 + 1) {
+		t.Error("Before failed")
+	}
+	if !(t0 + 1).After(t0) {
+		t.Error("After failed")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct {
+		d, e Duration
+		want int64
+	}{
+		{0, 10, 0},
+		{-5, 10, 0},
+		{1, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{14000, 14000, 1},
+		{14001, 14000, 2},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.d, c.e); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.d, c.e, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnNonPositiveDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilDiv(1, 0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestCeilDivProperty(t *testing.T) {
+	// ⌈d/e⌉·e ≥ d and (⌈d/e⌉−1)·e < d for positive d, e.
+	f := func(d, e int32) bool {
+		dd, ee := Duration(d), Duration(e)
+		if ee <= 0 || dd <= 0 {
+			return true
+		}
+		q := CeilDiv(dd, ee)
+		return q*int64(ee) >= int64(dd) && (q-1)*int64(ee) < int64(dd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if MinT(3, 5) != 3 || MaxT(3, 5) != 5 {
+		t.Error("MinT/MaxT broken")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := Micros(50).String(); got != "50.000µs" {
+		t.Errorf("Duration.String() = %q", got)
+	}
+	if got := Time(Micros(50)).String(); got != "50.000µs" {
+		t.Errorf("Time.String() = %q", got)
+	}
+}
+
+func TestInfinityHeadroom(t *testing.T) {
+	// Adding Infinity to a plausible simulation time must not overflow.
+	end := Time(100 * 3600 * int64(Second)) // 100 hours
+	if end.Add(Infinity) < end {
+		t.Fatal("Infinity addition overflows")
+	}
+	if Never < end {
+		t.Fatal("Never is not late enough")
+	}
+}

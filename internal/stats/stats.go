@@ -1,0 +1,165 @@
+// Package stats provides the small statistical toolkit the reproduction
+// uses to validate *distributional* claims, not just moments: the paper
+// asserts that delayed latencies are approximately uniform (Fig. 6a) and
+// drives experiments with exponential interarrival times (§6.1). The
+// Kolmogorov–Smirnov distance against the corresponding reference CDFs
+// turns those statements into testable hypotheses.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the (population) variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CDF maps a value to its cumulative probability in [0, 1].
+type CDF func(x float64) float64
+
+// UniformCDF returns the CDF of the uniform distribution on [a, b].
+func UniformCDF(a, b float64) CDF {
+	return func(x float64) float64 {
+		switch {
+		case x <= a:
+			return 0
+		case x >= b:
+			return 1
+		default:
+			return (x - a) / (b - a)
+		}
+	}
+}
+
+// ExponentialCDF returns the CDF of the exponential distribution with
+// the given mean.
+func ExponentialCDF(mean float64) CDF {
+	return func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/mean)
+	}
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic D_n: the maximum
+// absolute difference between the empirical CDF of xs and the reference
+// CDF. xs is not modified.
+func KSDistance(xs []float64, ref CDF) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, errors.New("stats: KS distance of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var d float64
+	for i, x := range sorted {
+		f := ref(x)
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if diff := math.Abs(f - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - hi); diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// KSCritical returns the approximate critical value of the KS statistic
+// at significance level alpha for sample size n (asymptotic formula
+// c(α)·√(1/n) with c(0.05) ≈ 1.358, c(0.01) ≈ 1.628, c(0.001) ≈ 1.949).
+func KSCritical(n int, alpha float64) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("stats: KS critical value needs n > 0")
+	}
+	var c float64
+	switch {
+	case alpha >= 0.10:
+		c = 1.224
+	case alpha >= 0.05:
+		c = 1.358
+	case alpha >= 0.01:
+		c = 1.628
+	default:
+		c = 1.949
+	}
+	return c / math.Sqrt(float64(n)), nil
+}
+
+// KSTest reports whether the sample is consistent with the reference
+// distribution at significance alpha (true = not rejected).
+func KSTest(xs []float64, ref CDF, alpha float64) (bool, float64, error) {
+	d, err := KSDistance(xs, ref)
+	if err != nil {
+		return false, 0, err
+	}
+	crit, err := KSCritical(len(xs), alpha)
+	if err != nil {
+		return false, 0, err
+	}
+	return d <= crit, d, nil
+}
+
+// ChiSquareUniform returns the chi-square statistic of xs against a
+// uniform distribution over [a, b) with the given number of bins, and
+// the degrees of freedom (bins−1). Values outside [a, b) are ignored.
+func ChiSquareUniform(xs []float64, a, b float64, bins int) (float64, int, error) {
+	if bins < 2 {
+		return 0, 0, errors.New("stats: chi-square needs at least 2 bins")
+	}
+	if b <= a {
+		return 0, 0, errors.New("stats: invalid interval")
+	}
+	counts := make([]int, bins)
+	n := 0
+	for _, x := range xs {
+		if x < a || x >= b {
+			continue
+		}
+		idx := int((x - a) / (b - a) * float64(bins))
+		if idx == bins {
+			idx--
+		}
+		counts[idx]++
+		n++
+	}
+	if n == 0 {
+		return 0, 0, errors.New("stats: no samples in interval")
+	}
+	expected := float64(n) / float64(bins)
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2, bins - 1, nil
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Fatalf("mean = %g", m)
+	}
+	if v := Variance(xs); math.Abs(v-1.25) > 1e-12 {
+		t.Fatalf("variance = %g", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("stddev = %g", s)
+	}
+}
+
+func TestUniformCDF(t *testing.T) {
+	f := UniformCDF(10, 20)
+	if f(5) != 0 || f(25) != 1 {
+		t.Fatal("tails")
+	}
+	if f(15) != 0.5 {
+		t.Fatalf("midpoint = %g", f(15))
+	}
+}
+
+func TestExponentialCDF(t *testing.T) {
+	f := ExponentialCDF(100)
+	if f(-1) != 0 {
+		t.Fatal("negative tail")
+	}
+	if got := f(100); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Fatalf("f(mean) = %g", got)
+	}
+}
+
+func TestKSAcceptsMatchingSamples(t *testing.T) {
+	src := rng.New(3)
+	const n = 5000
+	uni := make([]float64, n)
+	exp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		uni[i] = 10 + 90*src.Float64()
+		exp[i] = src.Exp(250)
+	}
+	ok, d, err := KSTest(uni, UniformCDF(10, 100), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("uniform sample rejected (D = %g)", d)
+	}
+	ok, d, err = KSTest(exp, ExponentialCDF(250), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("exponential sample rejected (D = %g)", d)
+	}
+}
+
+func TestKSRejectsMismatchedSamples(t *testing.T) {
+	src := rng.New(4)
+	const n = 5000
+	exp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		exp[i] = src.Exp(100)
+	}
+	// An exponential sample is nowhere near uniform on [0, 500].
+	ok, d, err := KSTest(exp, UniformCDF(0, 500), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("mismatched sample accepted (D = %g)", d)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KSDistance(nil, UniformCDF(0, 1)); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := KSCritical(0, 0.05); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	src := rng.New(5)
+	const n = 8000
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = 100 * src.Float64()
+	}
+	chi2, dof, err := ChiSquareUniform(xs, 0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != 9 {
+		t.Fatalf("dof = %d", dof)
+	}
+	// For 9 dof the 0.999 quantile is ≈ 27.9; a uniform sample should
+	// be far below.
+	if chi2 > 27.9 {
+		t.Fatalf("chi2 = %g for a uniform sample", chi2)
+	}
+	// A skewed sample must blow past the same threshold.
+	for i := 0; i < n; i++ {
+		xs[i] = 100 * src.Float64() * src.Float64()
+	}
+	chi2, _, err = ChiSquareUniform(xs, 0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi2 < 27.9 {
+		t.Fatalf("chi2 = %g for a skewed sample", chi2)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquareUniform([]float64{1}, 0, 10, 1); err == nil {
+		t.Fatal("1 bin accepted")
+	}
+	if _, _, err := ChiSquareUniform([]float64{1}, 10, 0, 4); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	if _, _, err := ChiSquareUniform([]float64{-5}, 0, 10, 4); err == nil {
+		t.Fatal("empty in-range sample accepted")
+	}
+}

@@ -1,0 +1,223 @@
+// Package sweep runs design-space explorations over the hypervisor: it
+// varies one parameter of a baseline scenario (monitoring distance dmin,
+// TDMA slot length, interrupt load, bottom-handler WCET) and reports how
+// average/worst-case latency, interference and context-switch overhead
+// respond — the trade-off curves a system designer derives from the
+// paper's mechanism.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+// Point is one evaluated parameter setting.
+type Point struct {
+	// Value is the swept parameter (µs for durations, fraction for
+	// loads).
+	Value float64
+	// Measured quantities.
+	Mean        simtime.Duration
+	P99         simtime.Duration
+	Max         simtime.Duration
+	Interposed  float64 // share of IRQs interposed
+	Delayed     float64 // share of IRQs delayed
+	CtxSwitches uint64
+	// MaxInterference is the largest interposed interference any
+	// non-subscriber partition suffered over the run.
+	MaxInterference simtime.Duration
+	// Bound is the matching eq. (14) interference bound over the run
+	// duration (zero when not applicable).
+	Bound simtime.Duration
+}
+
+// Result is a completed sweep.
+type Result struct {
+	Parameter string
+	Unit      string
+	Points    []Point
+}
+
+// Write renders the sweep as a table.
+func (r *Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "== sweep over %s ==\n", r.Parameter)
+	fmt.Fprintf(w, "%12s %10s %10s %10s %8s %8s %10s %14s %14s\n",
+		r.Parameter+" ("+r.Unit+")", "mean µs", "p99 µs", "max µs",
+		"intp %", "del %", "ctx", "interf µs", "bound µs")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%12.1f %10.1f %10.1f %10.1f %8.1f %8.1f %10d %14.1f %14.1f\n",
+			p.Value, p.Mean.MicrosF(), p.P99.MicrosF(), p.Max.MicrosF(),
+			100*p.Interposed, 100*p.Delayed, p.CtxSwitches,
+			p.MaxInterference.MicrosF(), p.Bound.MicrosF())
+	}
+}
+
+// Baseline parameterises the scenario skeleton the sweeps mutate: the
+// paper's three-partition platform with one monitored source.
+type Baseline struct {
+	Slots  []simtime.Duration // subscriber first
+	CTH    simtime.Duration
+	CBH    simtime.Duration
+	Events int
+	Seed   uint64
+	// Mean interarrival time of the exponential stream; clamped at
+	// DMin so the stream conforms.
+	Mean simtime.Duration
+	DMin simtime.Duration
+}
+
+// DefaultBaseline matches the §6.1 setup at 10 % load.
+func DefaultBaseline() Baseline {
+	return Baseline{
+		Slots:  []simtime.Duration{simtime.Micros(6000), simtime.Micros(6000), simtime.Micros(2000)},
+		CTH:    simtime.Micros(6),
+		CBH:    simtime.Micros(30),
+		Events: 1500,
+		Seed:   909,
+		Mean:   simtime.Micros(1344),
+		DMin:   simtime.Micros(1344),
+	}
+}
+
+func (b Baseline) scenario(dmin simtime.Duration, cbh simtime.Duration, slots []simtime.Duration, mean simtime.Duration) (core.Scenario, error) {
+	if len(slots) == 0 {
+		return core.Scenario{}, errors.New("sweep: no slots")
+	}
+	src := rng.New(b.Seed)
+	dist := workload.ExponentialClamped(src, mean, dmin, b.Events)
+	sc := core.Scenario{Mode: hv.Monitored, Policy: hv.ResumeAcrossSlots}
+	names := []string{"app1", "app2", "housekeeping", "p3", "p4", "p5"}
+	for i, s := range slots {
+		sc.Partitions = append(sc.Partitions, core.PartitionSpec{Name: names[i%len(names)], Slot: s})
+	}
+	sc.IRQs = []core.IRQSpec{{
+		Name: "timer0", Partition: 0,
+		CTH: b.CTH, CBH: cbh,
+		Arrivals: workload.Timestamps(dist),
+		DMin:     dmin,
+	}}
+	return sc, nil
+}
+
+func measure(sc core.Scenario, dmin, cbh simtime.Duration, value float64) (Point, error) {
+	res, err := core.Run(sc)
+	if err != nil {
+		return Point{}, err
+	}
+	s := res.Summary
+	p := Point{
+		Value:       value,
+		Mean:        s.Mean,
+		P99:         s.P99,
+		Max:         s.Max,
+		Interposed:  s.Share(tracerec.Interposed),
+		Delayed:     s.Share(tracerec.Delayed),
+		CtxSwitches: res.Stats.CtxSwitches,
+	}
+	for i, part := range res.Partitions {
+		if i == 0 {
+			continue
+		}
+		if part.StolenInterposed > p.MaxInterference {
+			p.MaxInterference = part.StolenInterposed
+		}
+	}
+	if dmin > 0 {
+		costs := sc.CostModel()
+		p.Bound = analysis.InterposedInterference(res.Duration, dmin, costs, cbh)
+	}
+	return p, nil
+}
+
+// DMin sweeps the monitoring distance: small dmin admits more interposed
+// IRQs (lower latency, more interference budget consumed); large dmin
+// degrades toward classic delayed handling.
+func DMin(b Baseline, valuesUs []int64) (*Result, error) {
+	out := &Result{Parameter: "dmin", Unit: "µs"}
+	for _, v := range valuesUs {
+		dmin := simtime.Micros(v)
+		sc, err := b.scenario(dmin, b.CBH, b.Slots, b.Mean)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := measure(sc, dmin, b.CBH, float64(v))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: dmin %dµs: %w", v, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// SlotLength sweeps the subscriber's TDMA slot length (other slots
+// unchanged): classic handling's latency scales with the cycle, while
+// interposed handling is insensitive to it.
+func SlotLength(b Baseline, valuesUs []int64) (*Result, error) {
+	out := &Result{Parameter: "subscriber-slot", Unit: "µs"}
+	for _, v := range valuesUs {
+		slots := append([]simtime.Duration(nil), b.Slots...)
+		slots[0] = simtime.Micros(v)
+		sc, err := b.scenario(b.DMin, b.CBH, slots, b.Mean)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := measure(sc, b.DMin, b.CBH, float64(v))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: slot %dµs: %w", v, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Load sweeps the bottom-handler load U_IRQ (eq. 17): the mean
+// interarrival time is C'_BH/U with dmin following the paper's dmin = λ.
+func Load(b Baseline, loads []float64) (*Result, error) {
+	out := &Result{Parameter: "U_IRQ", Unit: "%"}
+	costs := core.Scenario{}.CostModel()
+	cbhEff := costs.EffectiveBH(b.CBH)
+	for _, u := range loads {
+		if u <= 0 || u >= 1 {
+			return nil, fmt.Errorf("sweep: load %.3f out of (0,1)", u)
+		}
+		mean := simtime.FromMicrosF(cbhEff.MicrosF() / u)
+		sc, err := b.scenario(mean, b.CBH, b.Slots, mean)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := measure(sc, mean, b.CBH, 100*u)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: load %.3f: %w", u, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// CBH sweeps the bottom-handler WCET: interference per grant grows with
+// C'_BH while the grant rate (dmin) is held constant.
+func CBH(b Baseline, valuesUs []int64) (*Result, error) {
+	out := &Result{Parameter: "C_BH", Unit: "µs"}
+	for _, v := range valuesUs {
+		cbh := simtime.Micros(v)
+		sc, err := b.scenario(b.DMin, cbh, b.Slots, b.Mean)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := measure(sc, b.DMin, cbh, float64(v))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: cbh %dµs: %w", v, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func testBaseline() Baseline {
+	b := DefaultBaseline()
+	b.Events = 400
+	return b
+}
+
+func TestDMinSweep(t *testing.T) {
+	r, err := DMin(testBaseline(), []int64{500, 1344, 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// The eq. (14) bound always envelopes the measured
+		// interference.
+		if p.MaxInterference > p.Bound {
+			t.Errorf("dmin %.0f: interference %v exceeds bound %v", p.Value, p.MaxInterference, p.Bound)
+		}
+		if p.Interposed <= 0 {
+			t.Errorf("dmin %.0f: nothing interposed", p.Value)
+		}
+	}
+	// The per-run interference bound shrinks as dmin grows (fewer
+	// grants admitted per window; runs of larger dmin are also longer,
+	// so compare the interference share instead of the raw bound).
+	if r.Points[0].MaxInterference == 0 {
+		t.Error("tight dmin produced no interference")
+	}
+}
+
+func TestSlotLengthSweep(t *testing.T) {
+	r, err := SlotLength(testBaseline(), []int64{2000, 6000, 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interposed handling keeps the mean latency roughly flat across
+	// subscriber slot lengths (the paper's core claim: latency becomes
+	// independent of the TDMA layout).
+	lo, hi := r.Points[0].Mean, r.Points[0].Mean
+	for _, p := range r.Points {
+		if p.Mean < lo {
+			lo = p.Mean
+		}
+		if p.Mean > hi {
+			hi = p.Mean
+		}
+	}
+	if float64(hi) > 6*float64(lo) {
+		t.Errorf("mean latency varies %v..%v across slot lengths — not TDMA-independent", lo, hi)
+	}
+}
+
+func TestLoadSweep(t *testing.T) {
+	r, err := Load(testBaseline(), []float64{0.01, 0.05, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range r.Points {
+		if p.Bound == 0 || p.MaxInterference > p.Bound {
+			t.Errorf("point %d: interference %v vs bound %v", i, p.MaxInterference, p.Bound)
+		}
+	}
+	if _, err := Load(testBaseline(), []float64{1.5}); err == nil {
+		t.Error("load > 1 accepted")
+	}
+}
+
+func TestCBHSweep(t *testing.T) {
+	r, err := CBH(testBaseline(), []int64{10, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger handlers mean larger latency.
+	if r.Points[1].Mean <= r.Points[0].Mean {
+		t.Errorf("mean latency did not grow with C_BH: %v vs %v", r.Points[0].Mean, r.Points[1].Mean)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	r := &Result{Parameter: "x", Unit: "µs", Points: []Point{{Value: 1, Mean: simtime.Micros(10)}}}
+	var sb strings.Builder
+	r.Write(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "sweep over x") || !strings.Contains(out, "10.0") {
+		t.Fatalf("table output: %q", out)
+	}
+}

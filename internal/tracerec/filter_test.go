@@ -1,0 +1,33 @@
+package tracerec
+
+import "testing"
+
+func TestFilterBySourceAndPartition(t *testing.T) {
+	var l Log
+	l.Add(Record{Source: 0, Partition: 0, Done: 10, Mode: Direct})
+	l.Add(Record{Source: 1, Partition: 0, Done: 20, Mode: Delayed})
+	l.Add(Record{Source: 0, Partition: 1, Done: 30, Mode: Interposed})
+	l.Add(Record{Source: 1, Partition: 1, Done: 40, Mode: Direct})
+
+	if got := l.BySource(0).Len(); got != 2 {
+		t.Fatalf("BySource(0) = %d", got)
+	}
+	if got := l.ByPartition(1).Len(); got != 2 {
+		t.Fatalf("ByPartition(1) = %d", got)
+	}
+	both := l.Filter(func(r Record) bool { return r.Source == 0 && r.Partition == 1 })
+	if both.Len() != 1 || both.Records[0].Mode != Interposed {
+		t.Fatalf("combined filter = %+v", both.Records)
+	}
+	// Filtering never aliases the original storage length.
+	if l.Len() != 4 {
+		t.Fatal("original log mutated")
+	}
+	empty := l.Filter(func(Record) bool { return false })
+	if empty.Len() != 0 {
+		t.Fatal("empty filter")
+	}
+	if s := empty.Summarize(); s.Count != 0 {
+		t.Fatal("summary of empty filtered log")
+	}
+}

@@ -1,0 +1,230 @@
+package tracerec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func us(v int64) simtime.Duration { return simtime.Micros(v) }
+
+func rec(arrivalUs, doneUs int64, m Mode) Record {
+	return Record{
+		Arrival: simtime.Time(us(arrivalUs)),
+		Done:    simtime.Time(us(doneUs)),
+		Mode:    m,
+	}
+}
+
+func TestLatency(t *testing.T) {
+	r := rec(100, 150, Direct)
+	if r.Latency() != us(50) {
+		t.Fatalf("latency = %v", r.Latency())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var l Log
+	l.Add(rec(0, 10, Direct))
+	l.Add(rec(0, 30, Interposed))
+	l.Add(rec(0, 110, Delayed))
+	l.Add(rec(0, 50, Delayed))
+	s := l.Summarize()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.ByMode[Direct] != 1 || s.ByMode[Interposed] != 1 || s.ByMode[Delayed] != 2 {
+		t.Fatalf("by mode = %v", s.ByMode)
+	}
+	if s.Mean != us(50) {
+		t.Fatalf("mean = %v, want 50µs", s.Mean)
+	}
+	if s.Min != us(10) || s.Max != us(110) {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != us(30) {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.MeanDelay != us(80) {
+		t.Fatalf("mean delayed = %v", s.MeanDelay)
+	}
+	if s.Share(Delayed) != 0.5 {
+		t.Fatalf("share = %g", s.Share(Delayed))
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	var l Log
+	s := l.Summarize()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.Share(Direct) != 0 {
+		t.Fatal("share of empty log")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var l Log
+	for i := int64(1); i <= 100; i++ {
+		l.Add(rec(0, i, Direct))
+	}
+	s := l.Summarize()
+	if s.P50 != us(50) {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P95 != us(95) {
+		t.Fatalf("p95 = %v", s.P95)
+	}
+	if s.P99 != us(99) {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	var l Log
+	l.Add(rec(0, 10, Direct))     // bin 0
+	l.Add(rec(0, 49, Direct))     // bin 0
+	l.Add(rec(0, 50, Interposed)) // bin 1
+	l.Add(rec(0, 149, Delayed))   // bin 2
+	l.Add(rec(0, 1000, Delayed))  // overflow
+	h := l.NewHistogram(us(50), us(200))
+	if len(h.Bins) != 4 {
+		t.Fatalf("bins = %d", len(h.Bins))
+	}
+	if h.Bins[0] != 2 || h.Bins[1] != 1 || h.Bins[2] != 1 || h.Bins[3] != 0 {
+		t.Fatalf("bins = %v", h.Bins)
+	}
+	if h.Overflow != 1 || h.Total != 5 {
+		t.Fatalf("overflow = %d, total = %d", h.Overflow, h.Total)
+	}
+	if h.ByMode[0][Direct] != 2 || h.ByMode[1][Interposed] != 1 {
+		t.Fatalf("by-mode bins wrong")
+	}
+}
+
+func TestHistogramCSV(t *testing.T) {
+	var l Log
+	l.Add(rec(0, 10, Direct))
+	l.Add(rec(0, 60, Delayed))
+	var sb strings.Builder
+	l.NewHistogram(us(50), us(100)).WriteCSV(&sb)
+	out := sb.String()
+	if !strings.HasPrefix(out, "bin_start_us,count,direct,interposed,delayed\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "0,1,1,0,0") {
+		t.Fatalf("missing bin row: %q", out)
+	}
+	if !strings.Contains(out, "50,1,0,0,1") {
+		t.Fatalf("missing second bin: %q", out)
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	var l Log
+	for i := 0; i < 100; i++ {
+		l.Add(rec(0, 10, Direct))
+	}
+	l.Add(rec(0, 60, Delayed))
+	var sb strings.Builder
+	l.NewHistogram(us(50), us(100)).WriteASCII(&sb, 40)
+	out := sb.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars: %q", out)
+	}
+	var empty Log
+	sb.Reset()
+	empty.NewHistogram(us(50), us(100)).WriteASCII(&sb, 40)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty histogram not flagged")
+	}
+}
+
+func TestRollingAverageCumulative(t *testing.T) {
+	var l Log
+	l.Add(rec(0, 10, Direct))
+	l.Add(rec(0, 30, Direct))
+	l.Add(rec(0, 20, Direct))
+	avg := l.RollingAverage(0)
+	if avg[0] != 10 || avg[1] != 20 || avg[2] != 20 {
+		t.Fatalf("cumulative = %v", avg)
+	}
+}
+
+func TestRollingAverageWindowed(t *testing.T) {
+	var l Log
+	for _, v := range []int64{10, 20, 30, 40} {
+		l.Add(rec(0, v, Direct))
+	}
+	avg := l.RollingAverage(2)
+	// idx0: 10; idx1: 15; idx2: (20+30)/2 = 25; idx3: 35.
+	want := []float64{10, 15, 25, 35}
+	for i := range want {
+		if avg[i] != want[i] {
+			t.Fatalf("windowed = %v, want %v", avg, want)
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	WriteSeriesCSV(&sb,
+		Series{Name: "a", Y: []float64{1, 2}},
+		Series{Name: "b", Y: []float64{3}},
+	)
+	out := sb.String()
+	if !strings.HasPrefix(out, "idx,a,b\n") {
+		t.Fatalf("header: %q", out)
+	}
+	if !strings.Contains(out, "0,1.00,3.00") {
+		t.Fatalf("row 0: %q", out)
+	}
+	// Shorter series padded.
+	if !strings.Contains(out, "1,2.00,\n") {
+		t.Fatalf("row 1 padding: %q", out)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	y := []float64{0, 1, 2, 3, 4, 5, 6}
+	d := Downsample(y, 3)
+	want := []float64{0, 3, 6}
+	if len(d) != len(want) {
+		t.Fatalf("downsampled = %v", d)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("downsampled = %v, want %v", d, want)
+		}
+	}
+	// Last element kept when not on the grid.
+	d = Downsample(y[:6], 4) // indices 0, 4, and last (5)
+	if len(d) != 3 || d[2] != 5 {
+		t.Fatalf("tail not kept: %v", d)
+	}
+	if got := Downsample(y, 1); len(got) != len(y) {
+		t.Fatal("k=1 must copy")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Direct.String() != "direct" || Interposed.String() != "interposed" || Delayed.String() != "delayed" {
+		t.Fatal("mode strings")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode string")
+	}
+}
+
+func TestWriteSummaryOutput(t *testing.T) {
+	var l Log
+	l.Add(rec(0, 100, Direct))
+	var sb strings.Builder
+	l.Summarize().WriteSummary(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "IRQs: 1") || !strings.Contains(out, "direct 1") {
+		t.Fatalf("summary output: %q", out)
+	}
+}

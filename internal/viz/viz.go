@@ -1,0 +1,219 @@
+// Package viz renders the reproduction's figures as standalone SVG
+// documents using only the standard library: the Fig. 6 latency
+// histograms (stacked by handling mode, with a log-compressed count axis
+// mimicking the paper's broken y-axis) and the Fig. 7 average-latency
+// series. The output is deterministic, so generated figures can be
+// diffed across runs.
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/tracerec"
+)
+
+// Canvas geometry shared by all figures.
+const (
+	width      = 860
+	height     = 420
+	marginL    = 70
+	marginR    = 24
+	marginT    = 40
+	marginB    = 56
+	plotW      = width - marginL - marginR
+	plotH      = height - marginT - marginB
+	fontFamily = "Helvetica, Arial, sans-serif"
+)
+
+// Mode colours (direct, interposed, delayed) — colour-blind-safe set.
+var modeColors = [3]string{"#0072b2", "#009e73", "#d55e00"}
+
+var seriesColors = []string{"#0072b2", "#009e73", "#d55e00", "#cc79a7", "#e69f00", "#56b4e9"}
+
+type svgWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *svgWriter) printf(format string, args ...any) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = fmt.Fprintf(s.w, format, args...)
+}
+
+func (s *svgWriter) open(title string) {
+	s.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	s.printf(`<rect x="0" y="0" width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	s.printf(`<text x="%d" y="%d" font-family="%s" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginL, marginT-16, fontFamily, escape(title))
+}
+
+func (s *svgWriter) close() {
+	s.printf("</svg>\n")
+}
+
+func (s *svgWriter) axes(xlabel, ylabel string) {
+	s.printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black" stroke-width="1"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	s.printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black" stroke-width="1"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	s.printf(`<text x="%d" y="%d" font-family="%s" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-14, fontFamily, escape(xlabel))
+	s.printf(`<text x="16" y="%d" font-family="%s" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+plotH/2, fontFamily, marginT+plotH/2, escape(ylabel))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// HistogramSVG renders a latency histogram stacked by handling mode. The
+// count axis is log-compressed (log1p) so the dominant direct bin does
+// not flatten the rest — the SVG counterpart of the paper's broken
+// y-axis.
+func HistogramSVG(w io.Writer, h *tracerec.Histogram, title string) error {
+	if h == nil || len(h.Bins) == 0 {
+		return errors.New("viz: empty histogram")
+	}
+	maxCount := 0
+	for _, c := range h.Bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return errors.New("viz: histogram has no samples")
+	}
+	s := &svgWriter{w: w}
+	s.open(title)
+	s.axes("latency (µs)", "IRQs (log-compressed)")
+
+	scale := func(count float64) float64 {
+		return math.Log1p(count) / math.Log1p(float64(maxCount))
+	}
+	barW := float64(plotW) / float64(len(h.Bins))
+	for i, total := range h.Bins {
+		if total == 0 {
+			continue
+		}
+		x := float64(marginL) + float64(i)*barW
+		// Stack the modes proportionally within the compressed total
+		// height, bottom-up.
+		totalH := scale(float64(total)) * float64(plotH)
+		yCursor := float64(marginT + plotH)
+		for m := 0; m < 3; m++ {
+			c := h.ByMode[i][m]
+			if c == 0 {
+				continue
+			}
+			hPart := totalH * float64(c) / float64(total)
+			yCursor -= hPart
+			s.printf(`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"><title>%d-%dµs: %d %s</title></rect>`+"\n",
+				x, yCursor, math.Max(barW-0.5, 0.5), hPart, modeColors[m],
+				int64(h.BinWidth)*int64(i)/200, int64(h.BinWidth)*int64(i+1)/200,
+				c, tracerec.Mode(m))
+		}
+	}
+
+	// X ticks: five evenly spaced bin boundaries.
+	for i := 0; i <= 5; i++ {
+		frac := float64(i) / 5
+		x := float64(marginL) + frac*float64(plotW)
+		us := frac * float64(len(h.Bins)) * h.BinWidth.MicrosF()
+		s.printf(`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, marginT+plotH, x, marginT+plotH+4)
+		s.printf(`<text x="%.1f" y="%d" font-family="%s" font-size="11" text-anchor="middle">%.0f</text>`+"\n",
+			x, marginT+plotH+18, fontFamily, us)
+	}
+	// Y ticks at counts 1, 10, 100, 1000, ... up to maxCount.
+	for c := 1.0; c <= float64(maxCount); c *= 10 {
+		y := float64(marginT+plotH) - scale(c)*float64(plotH)
+		s.printf(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-4, y, marginL, y)
+		s.printf(`<text x="%d" y="%.1f" font-family="%s" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			marginL-8, y+4, fontFamily, c)
+	}
+	legend(s, []string{"direct", "interposed", "delayed"}, modeColors[:])
+	s.close()
+	return s.err
+}
+
+// SeriesSVG renders one or more y-series over their index (the Fig. 7
+// layout: average latency over IRQ events).
+func SeriesSVG(w io.Writer, series []tracerec.Series, title, xlabel, ylabel string) error {
+	if len(series) == 0 {
+		return errors.New("viz: no series")
+	}
+	maxLen := 0
+	maxY := 0.0
+	for _, sr := range series {
+		if len(sr.Y) > maxLen {
+			maxLen = len(sr.Y)
+		}
+		for _, v := range sr.Y {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxLen < 2 || maxY <= 0 {
+		return errors.New("viz: series too short or empty")
+	}
+	s := &svgWriter{w: w}
+	s.open(title)
+	s.axes(xlabel, ylabel)
+
+	var names []string
+	var colors []string
+	for i, sr := range series {
+		color := seriesColors[i%len(seriesColors)]
+		names = append(names, sr.Name)
+		colors = append(colors, color)
+		var path strings.Builder
+		for j, v := range sr.Y {
+			x := float64(marginL) + float64(j)/float64(maxLen-1)*float64(plotW)
+			y := float64(marginT+plotH) - v/maxY*float64(plotH)
+			if j == 0 {
+				fmt.Fprintf(&path, "M%.2f %.2f", x, y)
+			} else {
+				fmt.Fprintf(&path, " L%.2f %.2f", x, y)
+			}
+		}
+		s.printf(`<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", path.String(), color)
+	}
+
+	// Ticks.
+	for i := 0; i <= 5; i++ {
+		frac := float64(i) / 5
+		x := float64(marginL) + frac*float64(plotW)
+		s.printf(`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, marginT+plotH, x, marginT+plotH+4)
+		s.printf(`<text x="%.1f" y="%d" font-family="%s" font-size="11" text-anchor="middle">%.0f</text>`+"\n",
+			x, marginT+plotH+18, fontFamily, frac*float64(maxLen))
+		y := float64(marginT+plotH) - frac*float64(plotH)
+		s.printf(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-4, y, marginL, y)
+		s.printf(`<text x="%d" y="%.1f" font-family="%s" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			marginL-8, y+4, fontFamily, frac*maxY)
+	}
+	legend(s, names, colors)
+	s.close()
+	return s.err
+}
+
+func legend(s *svgWriter, names []string, colors []string) {
+	x := marginL + 12
+	y := marginT + 8
+	for i, name := range names {
+		s.printf(`<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", x, y+18*i, colors[i])
+		s.printf(`<text x="%d" y="%d" font-family="%s" font-size="12">%s</text>`+"\n",
+			x+18, y+10+18*i, fontFamily, escape(name))
+	}
+}

@@ -1,0 +1,128 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+)
+
+func sampleHistogram() *tracerec.Histogram {
+	var l tracerec.Log
+	add := func(doneUs int64, m tracerec.Mode, n int) {
+		for i := 0; i < n; i++ {
+			l.Add(tracerec.Record{Done: simtime.Time(simtime.Micros(doneUs)), Mode: m})
+		}
+	}
+	add(20, tracerec.Direct, 500)
+	add(120, tracerec.Interposed, 80)
+	add(3000, tracerec.Delayed, 30)
+	add(7000, tracerec.Delayed, 25)
+	return l.NewHistogram(simtime.Micros(50), simtime.Micros(8000))
+}
+
+// wellFormed parses the SVG with encoding/xml to catch unbalanced tags
+// or broken escaping.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestHistogramSVG(t *testing.T) {
+	var sb strings.Builder
+	if err := HistogramSVG(&sb, sampleHistogram(), "Figure 6a <test>"); err != nil {
+		t.Fatal(err)
+	}
+	doc := sb.String()
+	wellFormed(t, doc)
+	if !strings.Contains(doc, "<svg") || !strings.Contains(doc, "</svg>") {
+		t.Fatal("missing svg envelope")
+	}
+	// Escaped title.
+	if !strings.Contains(doc, "Figure 6a &lt;test&gt;") {
+		t.Fatal("title not escaped")
+	}
+	// All three mode colours appear.
+	for _, c := range modeColors {
+		if !strings.Contains(doc, c) {
+			t.Fatalf("mode colour %s missing", c)
+		}
+	}
+	// Legend labels.
+	for _, name := range []string{"direct", "interposed", "delayed"} {
+		if !strings.Contains(doc, name) {
+			t.Fatalf("legend %q missing", name)
+		}
+	}
+}
+
+func TestHistogramSVGErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := HistogramSVG(&sb, nil, "x"); err == nil {
+		t.Error("nil histogram accepted")
+	}
+	var l tracerec.Log
+	empty := l.NewHistogram(simtime.Micros(50), simtime.Micros(100))
+	if err := HistogramSVG(&sb, empty, "x"); err == nil {
+		t.Error("empty histogram accepted")
+	}
+}
+
+func TestSeriesSVG(t *testing.T) {
+	series := []tracerec.Series{
+		{Name: "a_100%", Y: []float64{2500, 2000, 300, 150, 140}},
+		{Name: "d_6.25%", Y: []float64{2500, 2200, 1700, 1650, 1600}},
+	}
+	var sb strings.Builder
+	if err := SeriesSVG(&sb, series, "Figure 7", "IRQ events", "avg latency (µs)"); err != nil {
+		t.Fatal(err)
+	}
+	doc := sb.String()
+	wellFormed(t, doc)
+	if strings.Count(doc, "<path") != 2 {
+		t.Fatalf("want 2 paths, got %d", strings.Count(doc, "<path"))
+	}
+	if !strings.Contains(doc, "a_100%") || !strings.Contains(doc, "d_6.25%") {
+		t.Fatal("legend names missing")
+	}
+	if !strings.Contains(doc, "avg latency") {
+		t.Fatal("axis label missing")
+	}
+}
+
+func TestSeriesSVGErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := SeriesSVG(&sb, nil, "x", "x", "y"); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := SeriesSVG(&sb, []tracerec.Series{{Name: "a", Y: []float64{1}}}, "x", "x", "y"); err == nil {
+		t.Error("single-point series accepted")
+	}
+	if err := SeriesSVG(&sb, []tracerec.Series{{Name: "a", Y: []float64{0, 0}}}, "x", "x", "y"); err == nil {
+		t.Error("all-zero series accepted")
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := HistogramSVG(&a, sampleHistogram(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := HistogramSVG(&b, sampleHistogram(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("histogram SVG not deterministic")
+	}
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func us(v int64) simtime.Duration { return simtime.Micros(v) }
+
+func TestExponentialMean(t *testing.T) {
+	src := rng.New(1)
+	mean := us(1344)
+	dist := Exponential(src, mean, 100000)
+	var sum float64
+	for _, d := range dist {
+		if d < 1 {
+			t.Fatal("distance below one cycle")
+		}
+		sum += float64(d)
+	}
+	got := sum / float64(len(dist))
+	if math.Abs(got-float64(mean))/float64(mean) > 0.02 {
+		t.Fatalf("mean = %.1f cycles, want ≈ %d", got, mean)
+	}
+}
+
+func TestExponentialDeterministic(t *testing.T) {
+	a := Exponential(rng.New(7), us(100), 100)
+	b := Exponential(rng.New(7), us(100), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed workloads differ")
+		}
+	}
+}
+
+func TestExponentialClamped(t *testing.T) {
+	src := rng.New(2)
+	dmin := us(500)
+	dist := ExponentialClamped(src, us(500), dmin, 10000)
+	atDmin := 0
+	for _, d := range dist {
+		if d < dmin {
+			t.Fatalf("distance %v below dmin %v", d, dmin)
+		}
+		if d == dmin {
+			atDmin++
+		}
+	}
+	// With mean = dmin, P(X ≤ dmin) = 1−e⁻¹ ≈ 63 % of samples clamp.
+	frac := float64(atDmin) / float64(len(dist))
+	if frac < 0.55 || frac > 0.72 {
+		t.Fatalf("clamped fraction = %.2f, want ≈ 0.63", frac)
+	}
+}
+
+func TestTimestampsDistancesRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		dist := make([]simtime.Duration, 0, len(raw))
+		for _, r := range raw {
+			dist = append(dist, simtime.Duration(r%1000000)+1)
+		}
+		ts := Timestamps(dist)
+		back := Distances(ts)
+		if len(back) != len(dist) {
+			return false
+		}
+		for i := range dist {
+			if back[i] != dist[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampsMonotone(t *testing.T) {
+	ts := Timestamps([]simtime.Duration{us(5), us(1), us(10)})
+	if ts[0] != simtime.Time(us(5)) || ts[1] != simtime.Time(us(6)) || ts[2] != simtime.Time(us(16)) {
+		t.Fatalf("timestamps = %v", ts)
+	}
+}
+
+func TestPeriodicJitter(t *testing.T) {
+	src := rng.New(3)
+	period, jitter := us(100), us(10)
+	ts := PeriodicJitter(src, period, jitter, us(50), 100)
+	for i, tm := range ts {
+		base := simtime.Time(us(50)).Add(simtime.Duration(i) * period)
+		if tm < base || tm > base.Add(jitter) {
+			t.Fatalf("event %d at %v outside [%v, %v]", i, tm, base, base.Add(jitter))
+		}
+	}
+}
+
+func TestPeriodicZeroJitter(t *testing.T) {
+	ts := PeriodicJitter(rng.New(4), us(100), 0, 0, 5)
+	for i, tm := range ts {
+		if tm != simtime.Time(us(int64(i)*100)) {
+			t.Fatalf("event %d at %v", i, tm)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []simtime.Time{1, 5, 9}
+	b := []simtime.Time{2, 5, 8}
+	m := Merge(a, b)
+	if len(m) != 6 {
+		t.Fatalf("len = %d", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i] < m[i-1] {
+			t.Fatalf("merge not sorted: %v", m)
+		}
+	}
+}
+
+func TestECUTraceProperties(t *testing.T) {
+	cfg := DefaultECU()
+	cfg.Events = 2000
+	trace, err := ECUTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != cfg.Events {
+		t.Fatalf("len = %d, want %d", len(trace), cfg.Events)
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i] <= trace[i-1] {
+			t.Fatalf("trace not strictly increasing at %d", i)
+		}
+	}
+	// Bursty: the minimum pairwise gap must be far below the mean gap,
+	// otherwise the δ⁻ learning experiment is trivial.
+	dist := Distances(trace)
+	st := Describe(dist[1:], 0)
+	if st.Min >= st.Mean/4 {
+		t.Fatalf("trace not bursty: min %v vs mean %v", st.Min, st.Mean)
+	}
+}
+
+func TestECUTraceDeterministic(t *testing.T) {
+	cfg := DefaultECU()
+	cfg.Events = 500
+	a, err := ECUTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ECUTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-config traces differ")
+		}
+	}
+}
+
+func TestECUTraceSeedSensitivity(t *testing.T) {
+	a, _ := ECUTrace(ECUConfig{Events: 500, Seed: 1})
+	b, _ := ECUTrace(ECUConfig{Events: 500, Seed: 2})
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestECUTraceValidation(t *testing.T) {
+	if _, err := ECUTrace(ECUConfig{Events: 10}); err == nil {
+		t.Fatal("tiny trace accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	dist := []simtime.Duration{us(10), us(20), us(30)}
+	st := Describe(dist, us(15))
+	if st.N != 3 || st.Min != us(10) || st.Max != us(30) || st.Mean != us(20) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BelowCount != 1 {
+		t.Fatalf("BelowCount = %d", st.BelowCount)
+	}
+	if z := Describe(nil, 0); z.N != 0 {
+		t.Fatal("empty describe")
+	}
+}
