@@ -1,0 +1,28 @@
+# Convenience targets; scripts/check.sh is the canonical tier-1 gate.
+
+GO ?= go
+
+.PHONY: build vet test race bench check bench-report
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Regenerate BENCH_PR1.json (timings, allocations, headline metrics,
+# sequential-vs-parallel sweep wall clock).
+bench-report:
+	$(GO) run ./cmd/bench -o BENCH_PR1.json
+
+check:
+	sh scripts/check.sh

@@ -8,6 +8,7 @@ package repro
 // -bench=.` regenerates the paper's numbers alongside the timing.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -194,6 +195,24 @@ func BenchmarkAblationMonitorLength(b *testing.B) {
 	}
 }
 
+// BenchmarkFig6aParallel is BenchmarkFig6a with the per-load runs fanned
+// out over the worker pool (internal/runner). The headline metrics must
+// match BenchmarkFig6a exactly — parallelism is not allowed to change
+// results, only wall clock.
+func BenchmarkFig6aParallel(b *testing.B) {
+	cfg := benchFig6Cfg()
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(experiments.Fig6a, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summary.Mean.MicrosF(), "mean_µs")
+		b.ReportMetric(r.Summary.Max.MicrosF(), "max_µs")
+		b.ReportMetric(100*r.Summary.Share(tracerec.Delayed), "delayed_%")
+	}
+}
+
 // BenchmarkSimulationThroughput measures raw simulator speed: simulated
 // IRQs per wall-clock second through the full monitored pipeline.
 func BenchmarkSimulationThroughput(b *testing.B) {
@@ -293,6 +312,22 @@ func BenchmarkDESEventThroughput(b *testing.B) {
 	sim.After(simtime.Microsecond, "tick", tick)
 	b.ResetTimer()
 	sim.Drain()
+}
+
+// BenchmarkDESCancel measures lazy cancellation: schedule two events,
+// cancel one, fire the other. The cancel itself is O(1); the canceled
+// entry is reclaimed on pop (mark-and-skip).
+func BenchmarkDESCancel(b *testing.B) {
+	sim := des.New()
+	nop := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keep := sim.After(simtime.Microsecond, "keep", nop)
+		drop := sim.After(2*simtime.Microsecond, "drop", nop)
+		sim.Cancel(drop)
+		_ = keep
+		sim.Drain()
+	}
 }
 
 // BenchmarkGuestOSAdvance measures guest scheduling over supply windows.

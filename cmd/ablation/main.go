@@ -7,24 +7,32 @@
 //   - bottom-handler WCET sweep showing how the §6.2 context-switch
 //     increase depends on the unpublished C_BH.
 //
+// The cells of each study are independent simulations; they fan out
+// across the worker pool (internal/runner) and print in grid order, so
+// the output is identical for any -workers value.
+//
 // Usage:
 //
-//	ablation [-events N]
+//	ablation [-events N] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/curves"
 	"repro/internal/experiments"
 	"repro/internal/hv"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/tracerec"
 	"repro/internal/workload"
 )
+
+var workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the study cells (1 = sequential; output is identical)")
 
 func main() {
 	events := flag.Int("events", 2000, "IRQs per configuration")
@@ -40,22 +48,31 @@ func main() {
 func policyStudy(events int) {
 	fmt.Println("== Slot-end collision policy (Fig. 6c workload) ==")
 	fmt.Printf("%-22s %10s %10s %12s %8s %8s\n", "policy", "mean µs", "max µs", "delayed %", "split", "resumed")
-	for _, pol := range []hv.SlotEndPolicy{hv.DenyNearSlotEnd, hv.SplitOnSlotEnd, hv.ResumeAcrossSlots} {
+	policies := []hv.SlotEndPolicy{hv.DenyNearSlotEnd, hv.SplitOnSlotEnd, hv.ResumeAcrossSlots}
+	rows, err := runner.Map(*workers, len(policies), func(i int) (string, error) {
 		cfg := experiments.DefaultFig6()
 		cfg.EventsPerLoad = events
-		cfg.Policy = pol
+		cfg.Policy = policies[i]
+		// The outer cell grid already saturates the pool.
+		cfg.Workers = 1
 		r, err := experiments.Fig6(experiments.Fig6c, cfg)
 		if err != nil {
-			fatal(err)
+			return "", err
 		}
 		var split, resumed uint64
 		for _, pl := range r.PerLoad {
 			split += pl.Result.Stats.SplitGrants
 			resumed += pl.Result.Stats.ResumedGrants
 		}
-		fmt.Printf("%-22s %10.1f %10.1f %12.2f %8d %8d\n",
-			pol, r.Summary.Mean.MicrosF(), r.Summary.Max.MicrosF(),
-			100*r.Summary.Share(tracerec.Delayed), split, resumed)
+		return fmt.Sprintf("%-22s %10.1f %10.1f %12.2f %8d %8d",
+			policies[i], r.Summary.Mean.MicrosF(), r.Summary.Max.MicrosF(),
+			100*r.Summary.Share(tracerec.Delayed), split, resumed), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 }
 
@@ -67,10 +84,12 @@ func monitorLengthStudy(events int) {
 	}
 	learn := len(trace) / 10
 	fmt.Printf("%-6s %10s %12s %12s\n", "l", "mean µs", "grants", "violations")
-	for _, l := range []int{1, 2, 3, 5, 8} {
+	lengths := []int{1, 2, 3, 5, 8}
+	rows, err := runner.Map(*workers, len(lengths), func(i int) (string, error) {
+		l := lengths[i]
 		recorded, err := curves.DeltaFromTrace(trace[:learn], l)
 		if err != nil {
-			fatal(err)
+			return "", err
 		}
 		bound := recorded.ScaleDistances(2)
 		sc := core.Scenario{
@@ -90,28 +109,43 @@ func monitorLengthStudy(events int) {
 		}
 		res, err := core.Run(sc)
 		if err != nil {
-			fatal(err)
+			return "", err
 		}
-		fmt.Printf("%-6d %10.1f %12d %12d\n",
-			l, res.Summary.Mean.MicrosF(), res.Stats.InterposedGrants, res.Stats.DeniedViolation)
+		return fmt.Sprintf("%-6d %10.1f %12d %12d",
+			l, res.Summary.Mean.MicrosF(), res.Stats.InterposedGrants, res.Stats.DeniedViolation), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 }
 
 func cbhStudy(events int) {
 	fmt.Println("== C_BH sweep: context-switch increase of scenario 2 (§6.2) ==")
 	fmt.Printf("%-10s %14s %14s %12s\n", "C_BH µs", "λ=dmin µs", "ctx increase", "grants")
-	for _, cbhUs := range []int64{30, 100, 200, 400, 800} {
+	cbhs := []int64{30, 100, 200, 400, 800}
+	rows, err := runner.Map(*workers, len(cbhs), func(i int) (string, error) {
+		cbhUs := cbhs[i]
 		cfg := experiments.DefaultFig6()
 		cfg.EventsPerLoad = events / 2
 		cfg.CBH = simtime.Micros(cbhUs)
 		cfg.Loads = []float64{0.01}
+		cfg.Workers = 1
 		r, err := experiments.Overhead(cfg)
 		if err != nil {
-			fatal(err)
+			return "", err
 		}
 		ol := r.PerLoad[0]
-		fmt.Printf("%-10d %14.1f %+13.1f%% %12d\n",
-			cbhUs, ol.Lambda.MicrosF(), ol.IncreasePct, ol.Grants)
+		return fmt.Sprintf("%-10d %14.1f %+13.1f%% %12d",
+			cbhUs, ol.Lambda.MicrosF(), ol.IncreasePct, ol.Grants), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 	fmt.Println("(the paper's ~10% matches C_BH in the several-hundred-µs range)")
 }

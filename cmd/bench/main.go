@@ -1,0 +1,212 @@
+// Command bench regenerates the performance evidence for the parallel
+// experiment engine and the DES hot-path optimisation: ns/op and
+// allocs/op of the macro benchmarks, the reproduced headline metrics
+// (proof the optimisation did not change a single result), and the
+// sequential-vs-parallel wall clock of the sweep grid. The measurements
+// are written as JSON so they can be committed next to the code that
+// produced them.
+//
+// Usage:
+//
+//	bench [-o BENCH_PR1.json] [-events N] [-workers N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/sweep"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+// benchEntry is one benchmark's timing plus the domain metrics it
+// reproduces (the b.ReportMetric values of the equivalent bench_test.go
+// benchmark).
+type benchEntry struct {
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type sweepTiming struct {
+	Events      int     `json:"events"`
+	Workers     int     `json:"workers"`
+	SequentialS float64 `json:"sequential_s"`
+	ParallelS   float64 `json:"parallel_s"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type report struct {
+	GoVersion  string                `json:"go_version"`
+	NumCPU     int                   `json:"num_cpu"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+	Sweep      sweepTiming           `json:"sweep_wallclock"`
+	Notes      string                `json:"notes"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR1.json", "output file (- for stdout)")
+	events := flag.Int("events", 1500, "IRQs per sweep point for the wall-clock comparison")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for the parallel wall-clock run")
+	flag.Parse()
+
+	r := report{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]benchEntry{},
+		Notes: "headline metrics must match the seed values byte for byte; " +
+			"speedup is bounded by num_cpu (1 on a single-core host).",
+	}
+
+	fmt.Fprintln(os.Stderr, "bench: Fig6a ...")
+	r.Benchmarks["Fig6a"] = run(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.Fig6(experiments.Fig6a, benchFig6Cfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Summary.Mean.MicrosF(), "mean_µs")
+			b.ReportMetric(res.Summary.Max.MicrosF(), "max_µs")
+			b.ReportMetric(100*res.Summary.Share(tracerec.Delayed), "delayed_%")
+		}
+	})
+	fmt.Fprintln(os.Stderr, "bench: SimulationThroughput ...")
+	r.Benchmarks["SimulationThroughput"] = run(benchSimulationThroughput)
+	fmt.Fprintln(os.Stderr, "bench: DESEventThroughput ...")
+	r.Benchmarks["DESEventThroughput"] = run(benchDESEventThroughput)
+
+	fmt.Fprintln(os.Stderr, "bench: sweep wall clock ...")
+	r.Sweep = sweepWallClock(*events, *workers)
+
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+}
+
+// run executes fn under the testing harness and folds the result into a
+// benchEntry, including the ReportMetric extras.
+func run(fn func(b *testing.B)) benchEntry {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	e := benchEntry{
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if len(res.Extra) > 0 {
+		e.Metrics = map[string]float64{}
+		for k, v := range res.Extra {
+			e.Metrics[k] = v
+		}
+	}
+	return e
+}
+
+func benchFig6Cfg() experiments.Fig6Config {
+	cfg := experiments.DefaultFig6()
+	cfg.EventsPerLoad = 2000
+	return cfg
+}
+
+func benchSimulationThroughput(b *testing.B) {
+	lambda := simtime.Micros(1344)
+	arrivals := workload.Timestamps(workload.Exponential(rng.New(1), lambda, 2000))
+	sc := core.Scenario{
+		Partitions: []core.PartitionSpec{
+			{Name: "app1", Slot: simtime.Micros(6000)},
+			{Name: "app2", Slot: simtime.Micros(6000)},
+			{Name: "hk", Slot: simtime.Micros(2000)},
+		},
+		Mode:   hv.Monitored,
+		Policy: hv.ResumeAcrossSlots,
+		IRQs: []core.IRQSpec{{
+			Name: "t0", Partition: 0,
+			CTH: simtime.Micros(6), CBH: simtime.Micros(30),
+			Arrivals: arrivals, DMin: lambda,
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDESEventThroughput(b *testing.B) {
+	sim := des.New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			sim.After(simtime.Microsecond, "tick", tick)
+		}
+	}
+	sim.After(simtime.Microsecond, "tick", tick)
+	b.ResetTimer()
+	sim.Drain()
+}
+
+// sweepWallClock times the full four-sweep grid once sequentially and
+// once with the requested worker count.
+func sweepWallClock(events, workers int) sweepTiming {
+	runAll := func(w int) float64 {
+		b := sweep.DefaultBaseline()
+		b.Events = events
+		b.Workers = w
+		start := time.Now()
+		if _, err := sweep.DMin(b, []int64{200, 500, 1000, 1344, 2000, 4000, 8000, 16000}); err != nil {
+			fatal(err)
+		}
+		if _, err := sweep.SlotLength(b, []int64{1000, 2000, 4000, 6000, 9000, 12000}); err != nil {
+			fatal(err)
+		}
+		if _, err := sweep.Load(b, []float64{0.005, 0.01, 0.02, 0.05, 0.10, 0.20}); err != nil {
+			fatal(err)
+		}
+		if _, err := sweep.CBH(b, []int64{10, 30, 60, 120, 240}); err != nil {
+			fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	st := sweepTiming{Events: events, Workers: workers}
+	st.SequentialS = runAll(1)
+	st.ParallelS = runAll(workers)
+	if st.ParallelS > 0 {
+		st.Speedup = st.SequentialS / st.ParallelS
+	}
+	return st
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+	os.Exit(1)
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fig6 [-scenario a|b|c|all] [-events N] [-csv] [-seed S]
+//	fig6 [-scenario a|b|c|all] [-events N] [-csv] [-seed S] [-workers N]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/viz"
@@ -24,11 +25,13 @@ func main() {
 	seed := flag.Uint64("seed", 2014, "workload seed")
 	csv := flag.Bool("csv", false, "emit the histogram as CSV instead of ASCII art")
 	svgDir := flag.String("svg", "", "additionally write fig6<x>.svg files into this directory")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the per-load runs (1 = sequential; output is identical)")
 	flag.Parse()
 
 	cfg := experiments.DefaultFig6()
 	cfg.EventsPerLoad = *events
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	var variants []experiments.Fig6Variant
 	switch *scenario {

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	sweep [-events N] [-which dmin|slot|load|cbh|all]
+//	sweep [-events N] [-which dmin|slot|load|cbh|all] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/sweep"
 )
@@ -19,10 +20,12 @@ import (
 func main() {
 	events := flag.Int("events", 1500, "IRQs per point")
 	which := flag.String("which", "all", "sweep to run: dmin, slot, load, cbh or all")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the grid points (1 = sequential; output is identical)")
 	flag.Parse()
 
 	b := sweep.DefaultBaseline()
 	b.Events = *events
+	b.Workers = *workers
 
 	run := func(name string, f func() (*sweep.Result, error)) {
 		r, err := f()

@@ -23,6 +23,7 @@ import (
 	"repro/internal/guestos"
 	"repro/internal/hv"
 	"repro/internal/monitor"
+	"repro/internal/runner"
 	"repro/internal/schedtrace"
 	"repro/internal/simtime"
 	"repro/internal/tracerec"
@@ -263,6 +264,18 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, err
 	}
 	return Report(sys), nil
+}
+
+// RunMany simulates independent scenarios across a worker pool and
+// returns their results in scenario order. Each simulation owns all of
+// its mutable state (system, simulator, log), so the only sharing is
+// read-only scenario data; results are byte-identical to running the
+// scenarios sequentially. workers == 1 forces the sequential path,
+// 0 selects the runner default (REPRO_WORKERS or GOMAXPROCS).
+func RunMany(scenarios []Scenario, workers int) ([]*Result, error) {
+	return runner.Map(workers, len(scenarios), func(i int) (*Result, error) {
+		return Run(scenarios[i])
+	})
 }
 
 // Report assembles a Result from a (fully or partially) run system.

@@ -5,21 +5,32 @@
 // budget expiry and execution completions are all events on one timeline.
 // Events at the same timestamp fire in scheduling order (FIFO), which
 // makes every simulation fully deterministic.
+//
+// The kernel is on the hot path of every experiment (a figure run fires
+// millions of events), so it avoids the generic container/heap in favour
+// of a concrete 4-ary min-heap with the ordering key stored inline,
+// recycles fired and canceled Event structs through a per-simulator
+// freelist, and cancels lazily (mark-and-skip at pop) instead of
+// restructuring the heap. Consequence of the freelist: an *Event handle
+// is only valid until the event fires or is skipped after cancellation —
+// holders must not retain it past that point (see Cancel).
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/simtime"
 )
 
 // Event is a scheduled callback. Its fields are managed by the Simulator;
-// holders may only Cancel it or query its Time.
+// holders may only Cancel it or query its Time. Once the event has fired
+// (or a canceled event has been skipped at pop), the Simulator may
+// recycle the struct for a future At/After call, so handles must not be
+// retained past the callback's execution.
 type Event struct {
 	when     simtime.Time
 	seq      uint64
-	index    int // heap index, -1 when not queued
+	queued   bool
 	canceled bool
 	fn       func()
 	label    string
@@ -41,6 +52,8 @@ type Simulator struct {
 	queue   eventHeap
 	seq     uint64
 	fired   uint64
+	live    int // queued events that are not canceled
+	free    []*Event
 	running bool
 }
 
@@ -54,8 +67,10 @@ func (s *Simulator) Now() simtime.Time { return s.now }
 // progress accounting and as a watchdog in tests.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events currently queued.
-func (s *Simulator) Pending() int { return s.queue.Len() }
+// Pending returns the number of events currently queued and not
+// canceled. Canceled events may still occupy heap slots until they are
+// skipped at pop (lazy cancellation), but are never counted here.
+func (s *Simulator) Pending() int { return s.live }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: the hypervisor model never needs it and allowing it would mask
@@ -64,9 +79,15 @@ func (s *Simulator) At(t simtime.Time, label string, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling %q at %v before now %v", label, t, s.now))
 	}
-	e := &Event{when: t, seq: s.seq, fn: fn, label: label, index: -1}
+	e := s.acquire()
+	e.when = t
+	e.seq = s.seq
+	e.fn = fn
+	e.label = label
+	e.queued = true
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.live++
+	s.queue.push(heapEntry{when: e.when, seq: e.seq, ev: e})
 	return e
 }
 
@@ -78,29 +99,64 @@ func (s *Simulator) After(d simtime.Duration, label string, fn func()) *Event {
 	return s.At(s.now.Add(d), label, fn)
 }
 
-// Cancel removes e from the queue. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Cancel marks e canceled; the heap slot is reclaimed lazily when the
+// event surfaces at a pop (mark-and-skip), avoiding the O(log n)
+// restructuring of an eager removal. Canceling nil, an already-canceled
+// or an already-fired event is a no-op — but note that after an event
+// has fired its struct may be recycled for a new event, so a retained
+// stale handle must never reach Cancel.
 func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.canceled {
+	if e == nil || e.canceled || !e.queued {
 		return
 	}
 	e.canceled = true
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
+	s.live--
+}
+
+// acquire takes an Event struct from the freelist, or allocates one.
+// Fields are reset here (on acquire, not on release) so that a handle
+// to a fired or canceled event keeps answering Time/Canceled/Label
+// until the struct is actually reused.
+func (s *Simulator) acquire() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		// Every other field is overwritten by At; only the cancel mark
+		// must be cleared explicitly.
+		e.canceled = false
+		return e
 	}
+	return &Event{}
+}
+
+// release returns a popped event to the freelist. The closure reference
+// is dropped so the callback can be collected.
+func (s *Simulator) release(e *Event) {
+	e.fn = nil
+	e.queued = false
+	s.free = append(s.free, e)
 }
 
 // Step fires the earliest pending event and advances the clock to it.
 // It returns false when the queue is empty.
 func (s *Simulator) Step() bool {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+	for s.queue.len() > 0 {
+		ent := s.queue.pop()
+		e := ent.ev
 		if e.canceled {
+			s.release(e)
 			continue
 		}
-		s.now = e.when
+		e.queued = false
+		s.now = ent.when
 		s.fired++
-		e.fn()
+		s.live--
+		// Release before firing so a self-rescheduling callback reuses
+		// this very struct; the handle is dead once the event fires.
+		fn := e.fn
+		s.release(e)
+		fn()
 		return true
 	}
 	return false
@@ -114,18 +170,26 @@ func (s *Simulator) RunUntil(horizon simtime.Time) {
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for s.queue.Len() > 0 {
-		e := s.queue[0]
-		if e.when > horizon {
-			break
-		}
-		heap.Pop(&s.queue)
-		if e.canceled {
+	for s.queue.len() > 0 {
+		top := s.queue.a[0]
+		if top.ev.canceled {
+			// Reclaim lazily-canceled heads even past the horizon;
+			// they cost nothing to fire-skip now.
+			s.release(s.queue.pop().ev)
 			continue
 		}
-		s.now = e.when
+		if top.when > horizon {
+			break
+		}
+		ent := s.queue.pop()
+		e := ent.ev
+		e.queued = false
+		s.now = ent.when
 		s.fired++
-		e.fn()
+		s.live--
+		fn := e.fn
+		s.release(e)
+		fn()
 	}
 	if s.now < horizon {
 		s.now = horizon
@@ -140,36 +204,82 @@ func (s *Simulator) Drain() {
 	}
 }
 
-// eventHeap is a min-heap on (when, seq).
-type eventHeap []*Event
+// heapEntry is one queued event with its ordering key stored inline, so
+// sift operations compare without chasing the Event pointer.
+type heapEntry struct {
+	when simtime.Time
+	seq  uint64
+	ev   *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// before is the strict heap order: earliest time first, FIFO within a
+// timestamp.
+func (a heapEntry) before(b heapEntry) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// eventHeap is a 4-ary min-heap on (when, seq). A wider node halves the
+// tree depth versus a binary heap, trading a few extra comparisons per
+// level for fewer cache-missing levels — the classic d-ary trade that
+// favours pop-heavy workloads like a DES event queue.
+type eventHeap struct {
+	a []heapEntry
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+func (h *eventHeap) len() int { return len(h.a) }
+
+// push inserts e, sifting up with a hole instead of pairwise swaps.
+func (h *eventHeap) push(e heapEntry) {
+	h.a = append(h.a, heapEntry{})
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(h.a[p]) {
+			break
+		}
+		h.a[i] = h.a[p]
+		i = p
+	}
+	h.a[i] = e
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// pop removes and returns the minimum entry.
+func (h *eventHeap) pop() heapEntry {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = heapEntry{} // release the slot's Event reference
+	a = a[:n]
+	h.a = a
+	if n > 0 {
+		// Sift last down from the root with a hole.
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if a[j].before(a[m]) {
+					m = j
+				}
+			}
+			if !a[m].before(last) {
+				break
+			}
+			a[i] = a[m]
+			i = m
+		}
+		a[i] = last
+	}
+	return top
 }

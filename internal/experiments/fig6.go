@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hv"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/tracerec"
 	"repro/internal/workload"
@@ -43,6 +44,12 @@ type Fig6Config struct {
 	CBH           simtime.Duration
 	Slots         []simtime.Duration // partition slot lengths; subscriber is slot 0
 	Policy        hv.SlotEndPolicy
+	// Workers bounds the worker pool the per-load simulations fan out
+	// over: 1 forces the sequential path, 0 selects the runner default
+	// (REPRO_WORKERS or GOMAXPROCS). Results are byte-identical for
+	// every setting — each load draws from its own seeded RNG stream
+	// and results merge in load order.
+	Workers int
 }
 
 // DefaultFig6 returns the paper's parameters. C_TH and C_BH are not
@@ -91,11 +98,16 @@ func Fig6(variant Fig6Variant, cfg Fig6Config) (*Fig6Result, error) {
 	if variant != Fig6a && variant != Fig6b && variant != Fig6c {
 		return nil, fmt.Errorf("experiments: unknown Fig6 variant %q", variant)
 	}
-	out := &Fig6Result{Variant: variant, Config: cfg, Combined: &tracerec.Log{}}
+	out := &Fig6Result{Variant: variant, Config: cfg}
 	costs := defaultScenario(cfg).CostModel()
 	cbhEff := costs.EffectiveBH(cfg.CBH) // C'_BH of eq. (13)
 
-	for li, load := range cfg.Loads {
+	// The per-load runs are independent simulations: each derives its
+	// workload from its own seeded RNG stream, so they fan out across
+	// the worker pool and merge in load order — byte-identical to the
+	// sequential loop.
+	perLoad, err := runner.Map(cfg.Workers, len(cfg.Loads), func(li int) (Fig6LoadResult, error) {
+		load := cfg.Loads[li]
 		lambda := simtime.FromMicrosF(cbhEff.MicrosF() / load) // eq. (17)
 		src := rng.NewStream(cfg.Seed, uint64(li)+1)
 		var dist []simtime.Duration
@@ -122,15 +134,26 @@ func Fig6(variant Fig6Variant, cfg Fig6Config) (*Fig6Result, error) {
 
 		res, err := core.Run(sc)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6%c load %.0f%%: %w", variant, 100*load, err)
+			return Fig6LoadResult{}, fmt.Errorf("experiments: fig6%c load %.0f%%: %w", variant, 100*load, err)
 		}
-		out.PerLoad = append(out.PerLoad, Fig6LoadResult{
+		return Fig6LoadResult{
 			Load:    load,
 			Lambda:  lambda,
 			Result:  res,
 			Summary: res.Summary,
-		})
-		out.Combined.Records = append(out.Combined.Records, res.Log.Records...)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.PerLoad = perLoad
+	total := 0
+	for _, pl := range perLoad {
+		total += pl.Result.Log.Len()
+	}
+	out.Combined = tracerec.NewLog(total)
+	for _, pl := range perLoad {
+		out.Combined.Records = append(out.Combined.Records, pl.Result.Log.Records...)
 	}
 	out.Summary = out.Combined.Summarize()
 	// The paper's histogram spans 0..8000 µs (= T_TDMA − T_i) with the

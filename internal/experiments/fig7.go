@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/curves"
 	"repro/internal/hv"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/tracerec"
 	"repro/internal/workload"
@@ -31,6 +32,11 @@ type Fig7Config struct {
 	// Window is the sliding-window length (in events) of the average
 	// latency series, the y-axis of Fig. 7.
 	Window int
+	// Workers bounds the worker pool the per-bound runs fan out over:
+	// 1 forces the sequential path, 0 selects the runner default. The
+	// trace and the recorded δ⁻ are shared read-only; results merge in
+	// graph order, byte-identical to the sequential loop.
+	Workers int
 }
 
 // DefaultFig7 returns the paper's parameters.
@@ -97,21 +103,26 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 		Recorded:    recorded,
 	}
 
-	for _, frac := range cfg.LoadFractions {
+	// One independent simulation per bound: the trace and recorded δ⁻
+	// are only read, so the graphs fan out across the worker pool and
+	// merge in graph order.
+	out.Graphs, err = runner.Map(cfg.Workers, len(cfg.LoadFractions), func(gi int) (Fig7Graph, error) {
+		frac := cfg.LoadFractions[gi]
 		var bound *curves.Delta
 		if frac >= 1.0 {
 			// Graph a: a bound that does not constrain the
 			// recorded function — Algorithm 2 leaves the learned
 			// δ⁻ unchanged.
 			zeros := make([]simtime.Duration, cfg.L)
+			var err error
 			bound, err = curves.NewDelta(zeros)
+			if err != nil {
+				return Fig7Graph{}, err
+			}
 		} else {
 			// Admitting a fraction f of the recorded load means
 			// scaling every minimum distance by 1/f.
 			bound = recorded.ScaleDistances(1.0 / frac)
-		}
-		if err != nil {
-			return nil, err
 		}
 
 		sc := core.Scenario{Mode: hv.Monitored, Policy: cfg.Policy}
@@ -129,7 +140,7 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 		}}
 		res, err := core.Run(sc)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig7 fraction %.4f: %w", frac, err)
+			return Fig7Graph{}, fmt.Errorf("experiments: fig7 fraction %.4f: %w", frac, err)
 		}
 
 		g := Fig7Graph{LoadFraction: frac, Bound: bound, Result: res}
@@ -151,7 +162,10 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 		if nRun > 0 {
 			g.RunAvg = runSum / float64(nRun)
 		}
-		out.Graphs = append(out.Graphs, g)
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

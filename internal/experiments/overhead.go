@@ -9,6 +9,7 @@ import (
 	"repro/internal/hv"
 	"repro/internal/monitor"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/workload"
 )
@@ -82,7 +83,11 @@ func Overhead(cfg Fig6Config) (*OverheadResult, error) {
 	}
 
 	cbhEff := costs.EffectiveBH(cfg.CBH)
-	for li, load := range cfg.Loads {
+	// One job per load; each job runs its baseline and monitored
+	// simulation back to back on its own workload stream, so the pairs
+	// fan out across the worker pool with load-ordered merging.
+	perLoad, err := runner.Map(cfg.Workers, len(cfg.Loads), func(li int) (OverheadLoad, error) {
+		load := cfg.Loads[li]
 		lambda := simtime.FromMicrosF(cbhEff.MicrosF() / load)
 		src := rng.NewStream(cfg.Seed, uint64(li)+1) //nolint:gosec
 		dist := workload.Exponential(src, lambda, cfg.EventsPerLoad)
@@ -103,11 +108,11 @@ func Overhead(cfg Fig6Config) (*OverheadResult, error) {
 		}
 		base, err := run(hv.Original)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: overhead baseline %.0f%%: %w", 100*load, err)
+			return OverheadLoad{}, fmt.Errorf("experiments: overhead baseline %.0f%%: %w", 100*load, err)
 		}
 		monRes, err := run(hv.Monitored)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: overhead monitored %.0f%%: %w", 100*load, err)
+			return OverheadLoad{}, fmt.Errorf("experiments: overhead monitored %.0f%%: %w", 100*load, err)
 		}
 		ol := OverheadLoad{
 			Load:              load,
@@ -126,7 +131,13 @@ func Overhead(cfg Fig6Config) (*OverheadResult, error) {
 			ol.MonitorTimeShare = float64(ol.MonitorTime) / float64(ol.SimulatedDuration)
 			ol.InterposedPerSec = float64(ol.Grants) / (float64(ol.SimulatedDuration) / float64(simtime.Second))
 		}
-		out.PerLoad = append(out.PerLoad, ol)
+		return ol, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.PerLoad = perLoad
+	for _, ol := range perLoad {
 		out.CumCtxBaseline += ol.CtxBaseline
 		out.CumCtxMonitored += ol.CtxMonitored
 	}

@@ -67,6 +67,18 @@ type System struct {
 	hvBusy bool
 	grant  *grantState
 	exec   execState
+
+	// In-flight hypervisor activity (at most one at a time; hvActivity
+	// panics on nesting). Keeping the state here lets one prebuilt
+	// completion callback (actFire) serve every activity instead of
+	// allocating a closure per top handler / switch / grant phase.
+	actStart simtime.Time
+	actDur   simtime.Duration
+	actKind  schedtrace.Kind
+	actSrc   int
+	actLabel string
+	actDone  func(span simtime.Duration)
+	actFire  func()
 }
 
 // New builds a system from cfg and arms the first TDMA slot and all
@@ -75,11 +87,22 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Every raised IRQ eventually produces one latency record per
+	// subscriber; pre-size the log so recording never reallocates
+	// (lost IRQs only make this an upper bound).
+	expect := 0
+	for _, sc := range cfg.Sources {
+		subs := len(sc.Subscribers)
+		if subs == 0 {
+			subs = 1
+		}
+		expect += len(sc.Arrivals) * subs
+	}
 	s := &System{
 		cfg:   cfg,
 		sim:   des.New(),
 		costs: cfg.Costs,
-		log:   &tracerec.Log{},
+		log:   tracerec.NewLog(expect),
 	}
 	for i, sc := range cfg.Slots {
 		s.parts = append(s.parts, &Partition{
@@ -117,7 +140,14 @@ func New(cfg Config) (*System, error) {
 			signalsGuest: sc.SignalsGuest,
 			guestTask:    sc.GuestTask,
 			actualBH:     sc.ActualBH,
+			irqLabel:     "irq:" + sc.Name,
+			topLabel:     "top:" + sc.Name,
+			bhLabel:      "bh:" + sc.Name,
 		}
+		if len(subs) > 1 {
+			src.topLabel = "top-shared:" + sc.Name
+		}
+		src.arrive = func() { s.irqArrive(src) }
 		s.srcs = append(s.srcs, src)
 		s.scheduleArrival(src)
 	}
@@ -128,6 +158,10 @@ func New(cfg Config) (*System, error) {
 	}
 	for _, w := range s.windows {
 		s.parts[w.Partition].SlotLen += w.Length
+	}
+	s.actFire = s.activityFire
+	for _, p := range s.parts {
+		p.bhDone = s.bhDoneFor(p)
 	}
 	s.winIdx = 0
 	s.active = s.windows[0].Partition
@@ -171,7 +205,7 @@ func (s *System) scheduleArrival(src *Source) {
 	}
 	t := src.arrivals[src.next]
 	src.next++
-	s.sim.At(t, "irq:"+src.Name, func() { s.irqArrive(src) })
+	s.sim.At(t, src.irqLabel, src.arrive)
 }
 
 // irqArrive models the hardware interrupt line going high.
@@ -288,14 +322,26 @@ func (s *System) hvActivity(d simtime.Duration, kind schedtrace.Kind, srcIdx int
 	}
 	s.hvBusy = true
 	s.ic.MaskAll()
-	start := s.sim.Now()
-	s.sim.After(d, label, func() {
-		s.hvBusy = false
-		s.ic.UnmaskAll()
-		s.traceSpan(kind, -1, srcIdx, start, label)
-		done(d)
-		s.dispatch()
-	})
+	s.actStart = s.sim.Now()
+	s.actDur = d
+	s.actKind = kind
+	s.actSrc = srcIdx
+	s.actLabel = label
+	s.actDone = done
+	s.sim.After(d, label, s.actFire)
+}
+
+// activityFire completes the in-flight hypervisor activity. It reads the
+// act* fields before handing control onward, since done/dispatch may
+// start the next activity and overwrite them.
+func (s *System) activityFire() {
+	s.hvBusy = false
+	s.ic.UnmaskAll()
+	s.traceSpan(s.actKind, -1, s.actSrc, s.actStart, s.actLabel)
+	done, d := s.actDone, s.actDur
+	s.actDone = nil
+	done(d)
+	s.dispatch()
 }
 
 // preempt closes the current partition-side execution span, saving any
@@ -328,7 +374,7 @@ func (s *System) preempt() {
 				s.parts[s.active].StolenInterposed += span
 			}
 		}
-		s.traceSpan(kind, p.Index, p.queue[0].src.Index, s.exec.start, "bh:"+p.queue[0].src.Name)
+		s.traceSpan(kind, p.Index, p.queue[0].src.Index, s.exec.start, p.queue[0].src.bhLabel)
 	}
 	s.exec.running = false
 	s.exec.done = nil
@@ -430,11 +476,11 @@ func (s *System) startTopHandler(line intc.Line) {
 		decision = tracerec.Direct
 	}
 
-	s.hvActivity(dur, schedtrace.TopHandler, src.Index, "top:"+src.Name, func(span simtime.Duration) {
+	s.hvActivity(dur, schedtrace.TopHandler, src.Index, src.topLabel, func(span simtime.Duration) {
 		s.stats.TopTime += span
 		s.parts[s.active].StolenTop += span
 		sub := s.parts[subscriber]
-		sub.queue = append(sub.queue, &pendingIRQ{
+		sub.queue = append(sub.queue, pendingIRQ{
 			src:      src,
 			arrival:  arrival,
 			seq:      src.seq,
@@ -456,7 +502,7 @@ func (s *System) startSharedTopHandler(src *Source, arrival simtime.Time) {
 	effActive, _ := s.effSlot()
 	// One queue push per subscriber on top of C_TH.
 	dur := src.CTH + simtime.Duration(len(src.Subscribers))*s.costs.QueuePush
-	s.hvActivity(dur, schedtrace.TopHandler, src.Index, "top-shared:"+src.Name, func(span simtime.Duration) {
+	s.hvActivity(dur, schedtrace.TopHandler, src.Index, src.topLabel, func(span simtime.Duration) {
 		s.stats.TopTime += span
 		s.parts[s.active].StolenTop += span
 		for _, subIdx := range src.Subscribers {
@@ -465,7 +511,7 @@ func (s *System) startSharedTopHandler(src *Source, arrival simtime.Time) {
 				decision = tracerec.Direct
 			}
 			sub := s.parts[subIdx]
-			sub.queue = append(sub.queue, &pendingIRQ{
+			sub.queue = append(sub.queue, pendingIRQ{
 				src:      src,
 				arrival:  arrival,
 				seq:      src.seq,
@@ -554,7 +600,13 @@ func (s *System) startBH(p *Partition, kind execKind) {
 		dur = simtime.Min(dur, g.budget)
 	}
 	s.exec = execState{running: true, kind: kind, part: p, start: s.sim.Now()}
-	s.exec.done = s.sim.After(dur, "bh:"+p.queue[0].src.Name, func() {
+	s.exec.done = s.sim.After(dur, p.queue[0].src.bhLabel, p.bhDone)
+}
+
+// bhDoneFor builds p's bottom-handler completion callback once; startBH
+// re-arms it for every BH span instead of allocating a closure per span.
+func (s *System) bhDoneFor(p *Partition) func() {
+	return func() {
 		now := s.sim.Now()
 		span := now.Sub(s.exec.start)
 		p.headLeft -= span
@@ -568,7 +620,7 @@ func (s *System) startBH(p *Partition, kind execKind) {
 				s.parts[s.active].StolenInterposed += span
 			}
 		}
-		s.traceSpan(tkind, p.Index, p.queue[0].src.Index, s.exec.start, "bh:"+p.queue[0].src.Name)
+		s.traceSpan(tkind, p.Index, p.queue[0].src.Index, s.exec.start, p.queue[0].src.bhLabel)
 		k := s.exec.kind
 		s.exec.running = false
 		s.exec.done = nil
@@ -582,7 +634,7 @@ func (s *System) startBH(p *Partition, kind execKind) {
 		}
 		s.finishBH(p, k)
 		s.dispatch()
-	})
+	}
 }
 
 // cutGrantBudget ends a grant whose C_BH budget is spent while the

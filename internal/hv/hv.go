@@ -285,9 +285,10 @@ type Partition struct {
 	SlotLen simtime.Duration
 	Guest   *guestos.OS
 
-	queue       []*pendingIRQ
+	queue       []pendingIRQ
 	headStarted bool             // head bottom handler partially executed
 	headLeft    simtime.Duration // remaining time of the head BH
+	bhDone      func()           // prebuilt completion callback (see bhDoneFor)
 
 	// Measured supply/interference accounting.
 	GuestTime simtime.Duration // execution given to guest/background work
@@ -337,6 +338,15 @@ type Source struct {
 
 	latchedAt simtime.Time // arrival time of the currently latched IRQ
 	seq       uint64
+
+	// Hot-path caches: the event labels are built once instead of
+	// concatenated per delivery, and arrive is the one arrival callback
+	// shared by every scheduled arrival of this source (scheduling a
+	// fresh closure per IRQ was a measurable allocation cost).
+	irqLabel string // "irq:" + Name
+	topLabel string // "top:" + Name (or "top-shared:")
+	bhLabel  string // "bh:" + Name
+	arrive   func()
 
 	// Stats.
 	Raised uint64

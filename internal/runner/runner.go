@@ -1,0 +1,114 @@
+// Package runner is the deterministic parallel experiment engine: it
+// fans independent simulation jobs across a pool of goroutines and
+// merges their results in index order, so a parallel run's output is
+// byte-identical to a sequential run's.
+//
+// Determinism is a hard invariant of this repository (DESIGN.md §5).
+// The engine preserves it by construction rather than by luck:
+//
+//   - every job receives only its index and must derive all randomness
+//     from per-job seeded RNG streams (rng.NewStream(seed, index)), so
+//     job outputs are independent of scheduling order;
+//   - results land in a pre-sized slice at the job's own index — no
+//     channel ordering, no append races, no merge nondeterminism;
+//   - on failure the error of the lowest-indexed failing job is
+//     returned, which is exactly the error a sequential loop would have
+//     hit first.
+//
+// Workers selection: an explicit positive count wins, then the
+// REPRO_WORKERS environment variable, then runtime.GOMAXPROCS(0).
+// Workers == 1 runs the plain sequential loop on the calling goroutine
+// (no pool, no synchronization), which keeps the old single-threaded
+// path available and trivially race-free.
+package runner
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment knob consulted when no explicit worker
+// count is given.
+const EnvWorkers = "REPRO_WORKERS"
+
+// Default returns the worker count used when a caller passes 0: the
+// REPRO_WORKERS environment variable if set to a positive integer,
+// otherwise runtime.GOMAXPROCS(0).
+func Default() int {
+	if v := os.Getenv(EnvWorkers); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Resolve maps a caller-supplied worker count to an effective one:
+// positive counts pass through, anything else selects Default().
+func Resolve(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return Default()
+}
+
+// Map runs fn(0..n-1) across the pool and returns the results in index
+// order. fn must be self-contained: it may only read shared data and
+// must derive any randomness from its index (see the package comment).
+// The first error by index is returned, matching a sequential loop;
+// with workers != 1, jobs after a failing index may still have run.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map for jobs that only produce side effects into caller-
+// owned, per-index storage.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMapIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapParallelEqualsSequential(t *testing.T) {
+	// Jobs draw from per-index seeded streams — the pattern every
+	// experiment caller must follow. The parallel result must be
+	// byte-identical to the sequential one.
+	job := func(i int) ([]uint64, error) {
+		src := rng.NewStream(42, uint64(i)+1)
+		out := make([]uint64, 50)
+		for j := range out {
+			out[j] = src.Uint64()
+		}
+		return out, nil
+	}
+	seq, err := Map(1, 20, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(runtime.GOMAXPROCS(0)+3, 20, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		for j := range seq[i] {
+			if seq[i][j] != par[i][j] {
+				t.Fatalf("job %d word %d: sequential %d != parallel %d", i, j, seq[i][j], par[i][j])
+			}
+		}
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	errAt := func(bad ...int) func(int) (int, error) {
+		set := map[int]bool{}
+		for _, b := range bad {
+			set[b] = true
+		}
+		return func(i int) (int, error) {
+			if set[i] {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 10, errAt(7, 3, 9))
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want lowest-index job 3", workers, err)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 64)
+	if err := ForEach(8, len(out), func(i int) error {
+		out[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3) = %d", got)
+	}
+	t.Setenv(EnvWorkers, "5")
+	if got := Resolve(0); got != 5 {
+		t.Fatalf("Resolve(0) with %s=5 = %d", EnvWorkers, got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) with junk env = %d, want GOMAXPROCS", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := Resolve(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-1) with negative env = %d, want GOMAXPROCS", got)
+	}
+}

@@ -1,0 +1,56 @@
+package sweep
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// Every sweep point is an independent simulation seeded from the point
+// index, so fanning the grid across workers must not change a single
+// field of the result (DESIGN.md §5 determinism invariant).
+func TestSweepsParallelEqualSequential(t *testing.T) {
+	seq := DefaultBaseline()
+	seq.Events = 500
+	seq.Workers = 1
+	par := seq
+	par.Workers = runtime.GOMAXPROCS(0)
+	if par.Workers < 2 {
+		par.Workers = 4 // still exercises the pool path on one core
+	}
+
+	cases := []struct {
+		name string
+		run  func(b Baseline) (*Result, error)
+	}{
+		{"dmin", func(b Baseline) (*Result, error) {
+			return DMin(b, []int64{500, 1344, 4000})
+		}},
+		{"slot", func(b Baseline) (*Result, error) {
+			return SlotLength(b, []int64{2000, 6000, 12000})
+		}},
+		{"load", func(b Baseline) (*Result, error) {
+			return Load(b, []float64{0.01, 0.05, 0.20})
+		}},
+		{"cbh", func(b Baseline) (*Result, error) {
+			return CBH(b, []int64{30, 120, 240})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := tc.run(seq)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			p, err := tc.run(par)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			// Workers is carried inside Baseline, not the Result, so the
+			// two must match exactly.
+			if !reflect.DeepEqual(s, p) {
+				t.Errorf("workers=1 and workers=%d diverge", par.Workers)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hv"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/tracerec"
 	"repro/internal/workload"
@@ -73,6 +74,11 @@ type Baseline struct {
 	// DMin so the stream conforms.
 	Mean simtime.Duration
 	DMin simtime.Duration
+	// Workers bounds the worker pool the grid points fan out over:
+	// 1 forces the sequential path, 0 selects the runner default.
+	// Every point regenerates its workload from the same Seed, so
+	// parallel results are byte-identical to sequential ones.
+	Workers int
 }
 
 // DefaultBaseline matches the §6.1 setup at 10 % load.
@@ -138,86 +144,97 @@ func measure(sc core.Scenario, dmin, cbh simtime.Duration, value float64) (Point
 	return p, nil
 }
 
+// sweepPoints evaluates n independent grid points across the baseline's
+// worker pool and assembles them into a Result in grid order. Each point
+// builds its scenario (and regenerates its workload from the baseline
+// seed) inside its own job, so parallel output is byte-identical to the
+// sequential loop.
+func sweepPoints(b Baseline, parameter, unit string, n int, point func(i int) (Point, error)) (*Result, error) {
+	pts, err := runner.Map(b.Workers, n, point)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Parameter: parameter, Unit: unit, Points: pts}, nil
+}
+
 // DMin sweeps the monitoring distance: small dmin admits more interposed
 // IRQs (lower latency, more interference budget consumed); large dmin
 // degrades toward classic delayed handling.
 func DMin(b Baseline, valuesUs []int64) (*Result, error) {
-	out := &Result{Parameter: "dmin", Unit: "µs"}
-	for _, v := range valuesUs {
+	return sweepPoints(b, "dmin", "µs", len(valuesUs), func(i int) (Point, error) {
+		v := valuesUs[i]
 		dmin := simtime.Micros(v)
 		sc, err := b.scenario(dmin, b.CBH, b.Slots, b.Mean)
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
 		pt, err := measure(sc, dmin, b.CBH, float64(v))
 		if err != nil {
-			return nil, fmt.Errorf("sweep: dmin %dµs: %w", v, err)
+			return Point{}, fmt.Errorf("sweep: dmin %dµs: %w", v, err)
 		}
-		out.Points = append(out.Points, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // SlotLength sweeps the subscriber's TDMA slot length (other slots
 // unchanged): classic handling's latency scales with the cycle, while
 // interposed handling is insensitive to it.
 func SlotLength(b Baseline, valuesUs []int64) (*Result, error) {
-	out := &Result{Parameter: "subscriber-slot", Unit: "µs"}
-	for _, v := range valuesUs {
+	return sweepPoints(b, "subscriber-slot", "µs", len(valuesUs), func(i int) (Point, error) {
+		v := valuesUs[i]
 		slots := append([]simtime.Duration(nil), b.Slots...)
 		slots[0] = simtime.Micros(v)
 		sc, err := b.scenario(b.DMin, b.CBH, slots, b.Mean)
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
 		pt, err := measure(sc, b.DMin, b.CBH, float64(v))
 		if err != nil {
-			return nil, fmt.Errorf("sweep: slot %dµs: %w", v, err)
+			return Point{}, fmt.Errorf("sweep: slot %dµs: %w", v, err)
 		}
-		out.Points = append(out.Points, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // Load sweeps the bottom-handler load U_IRQ (eq. 17): the mean
 // interarrival time is C'_BH/U with dmin following the paper's dmin = λ.
 func Load(b Baseline, loads []float64) (*Result, error) {
-	out := &Result{Parameter: "U_IRQ", Unit: "%"}
 	costs := core.Scenario{}.CostModel()
 	cbhEff := costs.EffectiveBH(b.CBH)
 	for _, u := range loads {
 		if u <= 0 || u >= 1 {
 			return nil, fmt.Errorf("sweep: load %.3f out of (0,1)", u)
 		}
+	}
+	return sweepPoints(b, "U_IRQ", "%", len(loads), func(i int) (Point, error) {
+		u := loads[i]
 		mean := simtime.FromMicrosF(cbhEff.MicrosF() / u)
 		sc, err := b.scenario(mean, b.CBH, b.Slots, mean)
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
 		pt, err := measure(sc, mean, b.CBH, 100*u)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: load %.3f: %w", u, err)
+			return Point{}, fmt.Errorf("sweep: load %.3f: %w", u, err)
 		}
-		out.Points = append(out.Points, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // CBH sweeps the bottom-handler WCET: interference per grant grows with
 // C'_BH while the grant rate (dmin) is held constant.
 func CBH(b Baseline, valuesUs []int64) (*Result, error) {
-	out := &Result{Parameter: "C_BH", Unit: "µs"}
-	for _, v := range valuesUs {
+	return sweepPoints(b, "C_BH", "µs", len(valuesUs), func(i int) (Point, error) {
+		v := valuesUs[i]
 		cbh := simtime.Micros(v)
 		sc, err := b.scenario(b.DMin, cbh, b.Slots, b.Mean)
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
 		pt, err := measure(sc, b.DMin, cbh, float64(v))
 		if err != nil {
-			return nil, fmt.Errorf("sweep: cbh %dµs: %w", v, err)
+			return Point{}, fmt.Errorf("sweep: cbh %dµs: %w", v, err)
 		}
-		out.Points = append(out.Points, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }

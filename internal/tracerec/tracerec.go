@@ -71,14 +71,23 @@ type Log struct {
 	Records []Record
 }
 
+// NewLog returns a log whose record slice is pre-sized to capacity, so
+// hot-path appends never reallocate when the producer knows the final
+// record count up front (e.g. internal/hv knows the arrival count).
+func NewLog(capacity int) *Log {
+	return &Log{Records: make([]Record, 0, capacity)}
+}
+
 // Add appends a record.
 func (l *Log) Add(r Record) { l.Records = append(l.Records, r) }
 
 // Len returns the number of records.
 func (l *Log) Len() int { return len(l.Records) }
 
-// Latencies returns all latencies in record order.
-func (l *Log) Latencies() []simtime.Duration {
+// Durations returns all latencies in record order. The caller owns the
+// returned slice; Summarize sorts exactly such a slice in place instead
+// of building a second intermediate copy.
+func (l *Log) Durations() []simtime.Duration {
 	out := make([]simtime.Duration, len(l.Records))
 	for i, r := range l.Records {
 		out[i] = r.Latency()
@@ -122,18 +131,20 @@ type Summary struct {
 	MeanDelay simtime.Duration // mean over Delayed records only
 }
 
-// Summarize computes statistics over the log.
+// Summarize computes statistics over the log. It makes exactly one
+// allocation (the latency slice, which doubles as the percentile sort
+// buffer); all sums and mode counts are accumulated in the same pass.
 func (l *Log) Summarize() Summary {
 	var s Summary
 	s.Count = len(l.Records)
 	if s.Count == 0 {
 		return s
 	}
-	lats := make([]simtime.Duration, 0, s.Count)
+	lats := make([]simtime.Duration, s.Count)
 	var total, tDir, tInt, tDel int64
-	for _, r := range l.Records {
+	for i, r := range l.Records {
 		lat := r.Latency()
-		lats = append(lats, lat)
+		lats[i] = lat
 		total += int64(lat)
 		s.ByMode[r.Mode]++
 		switch r.Mode {

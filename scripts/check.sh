@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 quality gate (DESIGN.md §6): build, vet, the full test suite
+# under the race detector — the parallel experiment engine must be
+# data-race free — and one pass over every benchmark so the measured
+# paths keep compiling and running.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
+go test -bench=. -benchtime=1x -run '^$' .
