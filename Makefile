@@ -1,8 +1,9 @@
-# Convenience targets; scripts/check.sh is the canonical tier-1 gate.
+# Convenience targets; scripts/check.sh is the canonical tier-1 gate
+# (also run by .github/workflows/ci.yml).
 
 GO ?= go
 
-.PHONY: build vet test race bench check bench-report
+.PHONY: build vet test race bench check bench-report serve golden
 
 build:
 	$(GO) build ./...
@@ -19,10 +20,19 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# Regenerate BENCH_PR1.json (timings, allocations, headline metrics,
-# sequential-vs-parallel sweep wall clock).
+# Regenerate BENCH_PR2.json (timings, allocations, headline metrics,
+# sequential-vs-parallel sweep wall clock, serve-daemon cold/hit/429
+# split).
 bench-report:
-	$(GO) run ./cmd/bench -o BENCH_PR1.json
+	$(GO) run ./cmd/bench -o BENCH_PR2.json
+
+# Run the simulation daemon on :8080 (see README "Server mode").
+serve:
+	$(GO) run ./cmd/served
+
+# Rewrite the golden files after intentional serialization changes.
+golden:
+	$(GO) test ./internal/report ./internal/viz -update
 
 check:
 	sh scripts/check.sh

@@ -20,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/curves"
@@ -32,7 +31,7 @@ import (
 	"repro/internal/workload"
 )
 
-var workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the study cells (1 = sequential; output is identical)")
+var workers = flag.Int("workers", runner.Default(), "worker pool size for the study cells (1 = sequential; output is identical)")
 
 func main() {
 	events := flag.Int("events", 2000, "IRQs per configuration")

@@ -1,14 +1,15 @@
 // Command bench regenerates the performance evidence for the parallel
-// experiment engine and the DES hot-path optimisation: ns/op and
-// allocs/op of the macro benchmarks, the reproduced headline metrics
-// (proof the optimisation did not change a single result), and the
-// sequential-vs-parallel wall clock of the sweep grid. The measurements
-// are written as JSON so they can be committed next to the code that
-// produced them.
+// experiment engine, the DES hot-path optimisation and the serve
+// daemon: ns/op and allocs/op of the macro benchmarks, the reproduced
+// headline metrics (proof the optimisation did not change a single
+// result), the sequential-vs-parallel wall clock of the sweep grid,
+// and the daemon's cold vs cache-hit request cost plus its admission
+// split under queue saturation. The measurements are written as JSON
+// so they can be committed next to the code that produced them.
 //
 // Usage:
 //
-//	bench [-o BENCH_PR1.json] [-events N] [-workers N]
+//	bench [-o BENCH_PR2.json] [-events N] [-workers N]
 package main
 
 import (
@@ -55,11 +56,12 @@ type report struct {
 	GOMAXPROCS int                   `json:"gomaxprocs"`
 	Benchmarks map[string]benchEntry `json:"benchmarks"`
 	Sweep      sweepTiming           `json:"sweep_wallclock"`
+	Server     serverTiming          `json:"server"`
 	Notes      string                `json:"notes"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR1.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR2.json", "output file (- for stdout)")
 	events := flag.Int("events", 1500, "IRQs per sweep point for the wall-clock comparison")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for the parallel wall-clock run")
 	flag.Parse()
@@ -92,6 +94,8 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "bench: sweep wall clock ...")
 	r.Sweep = sweepWallClock(*events, *workers)
+	fmt.Fprintln(os.Stderr, "bench: serve daemon ...")
+	r.Server = serverBench(*events)
 
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

@@ -13,9 +13,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/viz"
 )
 
@@ -25,7 +25,7 @@ func main() {
 	seed := flag.Uint64("seed", 2014, "workload seed")
 	csv := flag.Bool("csv", false, "emit the histogram as CSV instead of ASCII art")
 	svgDir := flag.String("svg", "", "additionally write fig6<x>.svg files into this directory")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the per-load runs (1 = sequential; output is identical)")
+	workers := flag.Int("workers", runner.Default(), "worker pool size for the per-load runs (1 = sequential; output is identical)")
 	flag.Parse()
 
 	cfg := experiments.DefaultFig6()

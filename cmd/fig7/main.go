@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fig7 [-events N] [-csv] [-downsample K] [-window W]
+//	fig7 [-events N] [-csv] [-downsample K] [-window W] [-workers N]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/tracerec"
 	"repro/internal/viz"
 )
@@ -25,11 +26,13 @@ func main() {
 	downsample := flag.Int("downsample", 50, "CSV downsampling factor")
 	window := flag.Int("window", 500, "sliding window of the average-latency series")
 	svgPath := flag.String("svg", "", "additionally write the figure as SVG to this path")
+	workers := flag.Int("workers", runner.Default(), "worker pool size for the per-bound runs (1 = sequential; output is identical)")
 	flag.Parse()
 
 	cfg := experiments.DefaultFig7()
 	cfg.ECU.Events = *events
 	cfg.Window = *window
+	cfg.Workers = *workers
 
 	res, err := experiments.Fig7(cfg)
 	if err != nil {

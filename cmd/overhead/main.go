@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	overhead [-events N]
+//	overhead [-events N] [-workers N]
 package main
 
 import (
@@ -14,14 +14,17 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
 	events := flag.Int("events", 5000, "IRQs per interrupt load")
+	workers := flag.Int("workers", runner.Default(), "worker pool size for the per-load baseline/monitored pairs (1 = sequential; output is identical)")
 	flag.Parse()
 
 	cfg := experiments.DefaultFig6()
 	cfg.EventsPerLoad = *events
+	cfg.Workers = *workers
 
 	res, err := experiments.Overhead(cfg)
 	if err != nil {

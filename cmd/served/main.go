@@ -1,0 +1,80 @@
+// Command served runs the simulation daemon: experiments as a service
+// over HTTP, backed by a shared worker pool, a bounded job queue with
+// backpressure and a content-addressed result cache (see
+// internal/serve).
+//
+// Usage:
+//
+//	served [-addr :8080] [-workers N] [-queue N] [-cache N] [-job-timeout D]
+//
+// Endpoints:
+//
+//	POST /v1/experiments  submit a job (429 + Retry-After when the queue is full)
+//	GET  /v1/jobs/{id}    job status, result inline when done
+//	GET  /healthz         liveness (503 while draining)
+//	GET  /metrics         Prometheus-style counters, gauges and histograms
+//
+// SIGINT/SIGTERM trigger a graceful drain: submissions are refused,
+// queued and running jobs finish (bounded by -drain-timeout), then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runner.Default(), "worker pool size (jobs run concurrently; each job is sequential)")
+	queue := flag.Int("queue", 64, "job queue bound; beyond it submissions get 429")
+	cacheSize := flag.Int("cache", 128, "result cache entries (LRU)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job deadline; expired jobs are cancelled (504)")
+	retryAfter := flag.Duration("retry-after", time.Second, "backoff advice on 429 responses")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound before in-flight jobs are cancelled")
+	flag.Parse()
+
+	s := serve.New(serve.Options{
+		Workers:    *workers,
+		QueueSize:  *queue,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+		RetryAfter: *retryAfter,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "served: listening on %s (%d workers, queue %d, cache %d)\n",
+		*addr, *workers, *queue, *cacheSize)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "served: %v — draining (bound %s)\n", sig, *drainTimeout)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "served: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "served: drain incomplete, in-flight jobs cancelled: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "served: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "served: bye")
+}

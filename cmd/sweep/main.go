@@ -12,15 +12,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"repro/internal/runner"
 	"repro/internal/sweep"
 )
 
 func main() {
 	events := flag.Int("events", 1500, "IRQs per point")
 	which := flag.String("which", "all", "sweep to run: dmin, slot, load, cbh or all")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the grid points (1 = sequential; output is identical)")
+	workers := flag.Int("workers", runner.Default(), "worker pool size for the grid points (1 = sequential; output is identical)")
 	flag.Parse()
 
 	b := sweep.DefaultBaseline()

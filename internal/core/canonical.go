@@ -1,0 +1,343 @@
+// Canonical scenario serialization and content addressing.
+//
+// A Scenario is fully deterministic: given the same partitions, IRQ
+// streams, monitoring conditions, cost model, mode and policy, Run
+// produces bit-identical results. That makes a scenario's canonical
+// byte encoding a *content address* for its results — two requests
+// whose scenarios encode identically are guaranteed to produce the
+// same output, so a cache keyed by Fingerprint is exact, not an
+// approximation (the property internal/serve builds on).
+//
+// The canonical form is JSON with a fixed field order (Go struct
+// marshalling), all durations/timestamps in integer simtime cycles,
+// and every semantic field of the scenario included: partitions with
+// their guest task sets, explicit windows, IRQ specs with the full
+// arrival streams, monitoring conditions, cost model, mode and policy.
+// Two fields are deliberately excluded: Tracer (a runtime observer,
+// not part of the simulated system) and any guest *runtime* state (a
+// scenario is hashed before it runs; reconstruction yields fresh
+// guests, as config loading does).
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/simtime"
+)
+
+// canonVersion tags the canonical encoding itself; bump when the
+// encoding (not the simulation) changes shape.
+const canonVersion = 1
+
+type canonTask struct {
+	Name     string `json:"name"`
+	Period   int64  `json:"period"`
+	WCET     int64  `json:"wcet"`
+	Offset   int64  `json:"offset"`
+	Deadline int64  `json:"deadline"`
+	Sporadic bool   `json:"sporadic"`
+}
+
+type canonPartition struct {
+	Name  string      `json:"name"`
+	Slot  int64       `json:"slot"`
+	Tasks []canonTask `json:"tasks,omitempty"`
+}
+
+type canonWindow struct {
+	Partition int   `json:"partition"`
+	Length    int64 `json:"length"`
+}
+
+type canonLearn struct {
+	L      int     `json:"l"`
+	Events int     `json:"events"`
+	Bound  []int64 `json:"bound,omitempty"`
+}
+
+type canonIRQ struct {
+	Name         string      `json:"name"`
+	Partition    int         `json:"partition"`
+	SharedWith   []int       `json:"shared_with,omitempty"`
+	CTH          int64       `json:"cth"`
+	CBH          int64       `json:"cbh"`
+	Arrivals     []int64     `json:"arrivals"`
+	DMin         int64       `json:"dmin,omitempty"`
+	Condition    []int64     `json:"condition,omitempty"`
+	Learn        *canonLearn `json:"learn,omitempty"`
+	SignalsGuest bool        `json:"signals_guest,omitempty"`
+	GuestTask    int         `json:"guest_task,omitempty"`
+	ActualBH     []int64     `json:"actual_bh,omitempty"`
+}
+
+type canonCosts struct {
+	Monitor   int64 `json:"monitor"`
+	Sched     int64 `json:"sched"`
+	CtxSwitch int64 `json:"ctx_switch"`
+	QueuePush int64 `json:"queue_push"`
+	QueuePop  int64 `json:"queue_pop"`
+}
+
+type canonScenario struct {
+	Version    int              `json:"v"`
+	Mode       string           `json:"mode"`
+	Policy     string           `json:"policy"`
+	Partitions []canonPartition `json:"partitions"`
+	Windows    []canonWindow    `json:"windows,omitempty"`
+	IRQs       []canonIRQ       `json:"irqs"`
+	Costs      *canonCosts      `json:"costs,omitempty"`
+}
+
+func durs(in []simtime.Duration) []int64 {
+	if in == nil {
+		return nil
+	}
+	out := make([]int64, len(in))
+	for i, d := range in {
+		out[i] = int64(d)
+	}
+	return out
+}
+
+func times(in []simtime.Time) []int64 {
+	out := make([]int64, len(in))
+	for i, t := range in {
+		out[i] = int64(t)
+	}
+	return out
+}
+
+func modeString(m hv.Mode) (string, error) {
+	switch m {
+	case hv.Original:
+		return "original", nil
+	case hv.Monitored:
+		return "monitored", nil
+	}
+	return "", fmt.Errorf("core: unknown mode %d", int(m))
+}
+
+func policyString(p hv.SlotEndPolicy) (string, error) {
+	switch p {
+	case hv.DenyNearSlotEnd:
+		return "deny", nil
+	case hv.SplitOnSlotEnd:
+		return "split", nil
+	case hv.ResumeAcrossSlots:
+		return "resume", nil
+	}
+	return "", fmt.Errorf("core: unknown slot-end policy %d", int(p))
+}
+
+// CanonicalJSON returns the canonical byte encoding of the scenario:
+// the Fingerprint pre-image, and a lossless description (modulo Tracer
+// and guest runtime state) that ScenarioFromCanonicalJSON inverts.
+// Encoding the reconstructed scenario yields byte-identical output.
+func (sc Scenario) CanonicalJSON() ([]byte, error) {
+	c := canonScenario{Version: canonVersion}
+	var err error
+	if c.Mode, err = modeString(sc.Mode); err != nil {
+		return nil, err
+	}
+	if c.Policy, err = policyString(sc.Policy); err != nil {
+		return nil, err
+	}
+	for _, p := range sc.Partitions {
+		cp := canonPartition{Name: p.Name, Slot: int64(p.Slot)}
+		if p.Guest != nil {
+			for i := 0; i < p.Guest.Tasks(); i++ {
+				t, ok := p.Guest.TaskInfo(i)
+				if !ok {
+					return nil, fmt.Errorf("core: partition %q: task %d vanished", p.Name, i)
+				}
+				cp.Tasks = append(cp.Tasks, canonTask{
+					Name:     t.Name,
+					Period:   int64(t.Period),
+					WCET:     int64(t.WCET),
+					Offset:   int64(t.Offset),
+					Deadline: int64(t.Deadline),
+					Sporadic: t.Sporadic,
+				})
+			}
+		}
+		c.Partitions = append(c.Partitions, cp)
+	}
+	for _, w := range sc.Windows {
+		c.Windows = append(c.Windows, canonWindow{Partition: w.Partition, Length: int64(w.Length)})
+	}
+	for _, q := range sc.IRQs {
+		cq := canonIRQ{
+			Name:         q.Name,
+			Partition:    q.Partition,
+			SharedWith:   q.SharedWith,
+			CTH:          int64(q.CTH),
+			CBH:          int64(q.CBH),
+			Arrivals:     times(q.Arrivals),
+			DMin:         int64(q.DMin),
+			SignalsGuest: q.SignalsGuest,
+			GuestTask:    q.GuestTask,
+			ActualBH:     durs(q.ActualBH),
+		}
+		if q.Condition != nil {
+			cq.Condition = durs(q.Condition.Dist)
+		}
+		if q.Learn != nil {
+			cl := &canonLearn{L: q.Learn.L, Events: q.Learn.Events}
+			if q.Learn.Bound != nil {
+				cl.Bound = durs(q.Learn.Bound.Dist)
+			}
+			cq.Learn = cl
+		}
+		c.IRQs = append(c.IRQs, cq)
+	}
+	if sc.Costs != nil {
+		c.Costs = &canonCosts{
+			Monitor:   int64(sc.Costs.Monitor),
+			Sched:     int64(sc.Costs.Sched),
+			CtxSwitch: int64(sc.Costs.CtxSwitch),
+			QueuePush: int64(sc.Costs.QueuePush),
+			QueuePop:  int64(sc.Costs.QueuePop),
+		}
+	}
+	return json.Marshal(c)
+}
+
+// ScenarioFromCanonicalJSON reconstructs a scenario from its canonical
+// encoding. Unknown fields are rejected, so a corrupted or future
+// encoding fails loudly instead of silently dropping state.
+func ScenarioFromCanonicalJSON(data []byte) (Scenario, error) {
+	var c canonScenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Scenario{}, fmt.Errorf("core: canonical decode: %w", err)
+	}
+	if c.Version != canonVersion {
+		return Scenario{}, fmt.Errorf("core: canonical encoding v%d, want v%d", c.Version, canonVersion)
+	}
+	var sc Scenario
+	switch c.Mode {
+	case "original":
+		sc.Mode = hv.Original
+	case "monitored":
+		sc.Mode = hv.Monitored
+	default:
+		return Scenario{}, fmt.Errorf("core: unknown mode %q", c.Mode)
+	}
+	switch c.Policy {
+	case "deny":
+		sc.Policy = hv.DenyNearSlotEnd
+	case "split":
+		sc.Policy = hv.SplitOnSlotEnd
+	case "resume":
+		sc.Policy = hv.ResumeAcrossSlots
+	default:
+		return Scenario{}, fmt.Errorf("core: unknown policy %q", c.Policy)
+	}
+	for _, cp := range c.Partitions {
+		spec := PartitionSpec{Name: cp.Name, Slot: simtime.Duration(cp.Slot)}
+		if len(cp.Tasks) > 0 {
+			g := guestos.New(cp.Name)
+			for _, ct := range cp.Tasks {
+				if _, err := g.AddTask(guestos.Task{
+					Name:     ct.Name,
+					Period:   simtime.Duration(ct.Period),
+					WCET:     simtime.Duration(ct.WCET),
+					Offset:   simtime.Duration(ct.Offset),
+					Deadline: simtime.Duration(ct.Deadline),
+					Sporadic: ct.Sporadic,
+				}); err != nil {
+					return Scenario{}, fmt.Errorf("core: partition %q task %q: %w", cp.Name, ct.Name, err)
+				}
+			}
+			spec.Guest = g
+		}
+		sc.Partitions = append(sc.Partitions, spec)
+	}
+	for _, cw := range c.Windows {
+		sc.Windows = append(sc.Windows, WindowSpec{Partition: cw.Partition, Length: simtime.Duration(cw.Length)})
+	}
+	for _, cq := range c.IRQs {
+		q := IRQSpec{
+			Name:         cq.Name,
+			Partition:    cq.Partition,
+			SharedWith:   cq.SharedWith,
+			CTH:          simtime.Duration(cq.CTH),
+			CBH:          simtime.Duration(cq.CBH),
+			DMin:         simtime.Duration(cq.DMin),
+			SignalsGuest: cq.SignalsGuest,
+			GuestTask:    cq.GuestTask,
+		}
+		q.Arrivals = make([]simtime.Time, len(cq.Arrivals))
+		for i, v := range cq.Arrivals {
+			q.Arrivals[i] = simtime.Time(v)
+		}
+		if cq.ActualBH != nil {
+			q.ActualBH = make([]simtime.Duration, len(cq.ActualBH))
+			for i, v := range cq.ActualBH {
+				q.ActualBH[i] = simtime.Duration(v)
+			}
+		}
+		if cq.Condition != nil {
+			dist := make([]simtime.Duration, len(cq.Condition))
+			for i, v := range cq.Condition {
+				dist[i] = simtime.Duration(v)
+			}
+			d, err := curves.NewDelta(dist)
+			if err != nil {
+				return Scenario{}, fmt.Errorf("core: irq %q condition: %w", cq.Name, err)
+			}
+			q.Condition = d
+		}
+		if cq.Learn != nil {
+			ls := &LearnSpec{L: cq.Learn.L, Events: cq.Learn.Events}
+			if cq.Learn.Bound != nil {
+				dist := make([]simtime.Duration, len(cq.Learn.Bound))
+				for i, v := range cq.Learn.Bound {
+					dist[i] = simtime.Duration(v)
+				}
+				b, err := curves.NewDelta(dist)
+				if err != nil {
+					return Scenario{}, fmt.Errorf("core: irq %q learn bound: %w", cq.Name, err)
+				}
+				ls.Bound = b
+			}
+			q.Learn = ls
+		}
+		sc.IRQs = append(sc.IRQs, q)
+	}
+	if c.Costs != nil {
+		sc.Costs = &arm.CostModel{
+			Monitor:   simtime.Duration(c.Costs.Monitor),
+			Sched:     simtime.Duration(c.Costs.Sched),
+			CtxSwitch: simtime.Duration(c.Costs.CtxSwitch),
+			QueuePush: simtime.Duration(c.Costs.QueuePush),
+			QueuePop:  simtime.Duration(c.Costs.QueuePop),
+		}
+	}
+	return sc, nil
+}
+
+// Fingerprint returns the scenario's content address: the hex SHA-256
+// of a domain-separation tag and the canonical JSON encoding. Because
+// simulation is deterministic, equal fingerprints imply bit-identical
+// Run results (for the same code version — cache layers must mix in a
+// build identifier, see internal/serve).
+func Fingerprint(sc Scenario) (string, error) {
+	data, err := sc.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte("repro/scenario/v1\n"))
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

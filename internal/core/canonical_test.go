@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// fullScenario exercises every canonical field: guests, windows, all
+// three monitoring conditions, shared IRQs, costs and actual BH times.
+func fullScenario(t *testing.T) Scenario {
+	t.Helper()
+	g := guestos.New("app1")
+	if _, err := g.AddTask(guestos.Task{Name: "ctrl", Period: simtime.Micros(5000), WCET: simtime.Micros(400)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddTask(guestos.Task{Name: "spor", WCET: simtime.Micros(100), Sporadic: true}); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := curves.NewDelta([]simtime.Duration{simtime.Micros(500), simtime.Micros(1500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := curves.NewDelta([]simtime.Duration{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := workload.Timestamps(workload.Exponential(rng.New(7), simtime.Micros(1000), 200))
+	costs := arm.DefaultCosts()
+	task1 := 1
+	return Scenario{
+		Mode:   hv.Monitored,
+		Policy: hv.SplitOnSlotEnd,
+		Partitions: []PartitionSpec{
+			{Name: "app1", Slot: simtime.Micros(6000), Guest: g},
+			{Name: "app2", Slot: simtime.Micros(6000)},
+			{Name: "hk", Slot: simtime.Micros(2000)},
+		},
+		Windows: []WindowSpec{
+			{Partition: 0, Length: simtime.Micros(4000)},
+			{Partition: 1, Length: simtime.Micros(6000)},
+			{Partition: 0, Length: simtime.Micros(2000)},
+			{Partition: 2, Length: simtime.Micros(2000)},
+		},
+		IRQs: []IRQSpec{
+			{
+				Name: "timer0", Partition: 0,
+				CTH: simtime.Micros(6), CBH: simtime.Micros(30),
+				Arrivals: arr, DMin: simtime.Micros(1000),
+				SignalsGuest: true, GuestTask: task1,
+				ActualBH: []simtime.Duration{simtime.Micros(10), simtime.Micros(30)},
+			},
+			{
+				Name: "can0", Partition: 1, SharedWith: []int{2},
+				CTH: simtime.Micros(4), CBH: simtime.Micros(20),
+				Arrivals: arr[:50],
+			},
+			{
+				Name: "uart", Partition: 2,
+				CTH: simtime.Micros(4), CBH: simtime.Micros(20),
+				Arrivals: arr[:80], Condition: delta,
+			},
+			{
+				Name: "ecu", Partition: 1,
+				CTH: simtime.Micros(4), CBH: simtime.Micros(20),
+				Arrivals: arr[:100],
+				Learn:    &LearnSpec{L: 3, Events: 10, Bound: bound},
+			},
+		},
+		Costs: &costs,
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	sc := fullScenario(t)
+	enc, err := sc.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ScenarioFromCanonicalJSON(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := back.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("round trip not byte-identical:\n%s\n----\n%s", enc, enc2)
+	}
+	f1, err := Fingerprint(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Fingerprint(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatalf("fingerprint changed across round trip: %s != %s", f1, f2)
+	}
+}
+
+// TestRoundTrippedScenarioRunsIdentically is the semantic half of the
+// round-trip contract: the reconstructed scenario simulates to the
+// same results, which is what makes the fingerprint a content address.
+func TestRoundTrippedScenarioRunsIdentically(t *testing.T) {
+	sc := fullScenario(t)
+	enc, err := sc.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ScenarioFromCanonicalJSON(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the reconstruction first so any shared-state bug in the
+	// encoder would surface as a difference.
+	resBack, err := Run(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOrig, err := Run(fullScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOrig.Summary != resBack.Summary {
+		t.Fatalf("summaries differ:\n%+v\n%+v", resOrig.Summary, resBack.Summary)
+	}
+	if resOrig.Stats != resBack.Stats {
+		t.Fatalf("stats differ:\n%+v\n%+v", resOrig.Stats, resBack.Stats)
+	}
+	if len(resOrig.Log.Records) != len(resBack.Log.Records) {
+		t.Fatalf("record counts differ: %d != %d", len(resOrig.Log.Records), len(resBack.Log.Records))
+	}
+	for i := range resOrig.Log.Records {
+		if resOrig.Log.Records[i] != resBack.Log.Records[i] {
+			t.Fatalf("record %d differs: %+v != %+v", i, resOrig.Log.Records[i], resBack.Log.Records[i])
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base, err := Fingerprint(fullScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Scenario){
+		"policy":    func(sc *Scenario) { sc.Policy = hv.ResumeAcrossSlots },
+		"mode":      func(sc *Scenario) { sc.Mode = hv.Original },
+		"slot":      func(sc *Scenario) { sc.Partitions[1].Slot += simtime.Microsecond },
+		"dmin":      func(sc *Scenario) { sc.IRQs[0].DMin += simtime.Microsecond },
+		"arrival":   func(sc *Scenario) { sc.IRQs[1].Arrivals = sc.IRQs[1].Arrivals[:49] },
+		"cbh":       func(sc *Scenario) { sc.IRQs[3].CBH += simtime.Microsecond },
+		"costs":     func(sc *Scenario) { sc.Costs.CtxSwitch += simtime.Microsecond },
+		"windows":   func(sc *Scenario) { sc.Windows = sc.Windows[:3] },
+		"guesttask": func(sc *Scenario) { sc.IRQs[0].GuestTask = 0 },
+	}
+	for name, mutate := range mutations {
+		sc := fullScenario(t)
+		if name == "costs" {
+			c := sc.CostModel()
+			sc.Costs = &c
+		}
+		mutate(&sc)
+		got, err := Fingerprint(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+	// Tracer is excluded by design: attaching one must NOT change the
+	// address (results are independent of observation).
+	sc := fullScenario(t)
+	sc.Tracer = nil
+	same, err := Fingerprint(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Error("fingerprint not stable for identical scenarios")
+	}
+}
+
+func TestCanonicalRejectsUnknownFields(t *testing.T) {
+	if _, err := ScenarioFromCanonicalJSON([]byte(`{"v":1,"mode":"original","policy":"deny","partitions":[],"irqs":[],"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ScenarioFromCanonicalJSON([]byte(`{"v":99,"mode":"original","policy":"deny","partitions":[],"irqs":[]}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestRunManyCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := fullScenario(t)
+	if _, err := RunManyCtx(ctx, []Scenario{sc, sc}, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

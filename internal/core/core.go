@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -273,7 +274,16 @@ func Run(sc Scenario) (*Result, error) {
 // scenarios sequentially. workers == 1 forces the sequential path,
 // 0 selects the runner default (REPRO_WORKERS or GOMAXPROCS).
 func RunMany(scenarios []Scenario, workers int) ([]*Result, error) {
-	return runner.Map(workers, len(scenarios), func(i int) (*Result, error) {
+	return RunManyCtx(context.Background(), scenarios, workers)
+}
+
+// RunManyCtx is RunMany with cooperative cancellation: once ctx is
+// done no further scenario starts (a simulation already in flight runs
+// to completion) and the call returns a non-nil error. The long-running
+// service path (internal/serve) uses this to honour per-job deadlines
+// without tearing down a simulation mid-flight.
+func RunManyCtx(ctx context.Context, scenarios []Scenario, workers int) ([]*Result, error) {
+	return runner.MapCtx(ctx, workers, len(scenarios), func(i int) (*Result, error) {
 		return Run(scenarios[i])
 	})
 }

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// smallFig6 keeps the cancellation tests fast.
+func smallFig6() Fig6Config {
+	cfg := DefaultFig6()
+	cfg.EventsPerLoad = 200
+	cfg.Workers = 1
+	return cfg
+}
+
+func TestFig6CtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig6Ctx(ctx, Fig6a, smallFig6()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig6Ctx err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFig7CtxCancelled(t *testing.T) {
+	cfg := DefaultFig7()
+	cfg.ECU.Events = 600
+	cfg.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig7Ctx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig7Ctx err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOverheadCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OverheadCtx(ctx, smallFig6()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OverheadCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCtxBackgroundMatchesPlainCall: the ctx variants with a live
+// context are the plain functions — same results, byte for byte.
+func TestCtxBackgroundMatchesPlainCall(t *testing.T) {
+	cfg := smallFig6()
+	a, err := Fig6(Fig6b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6Ctx(context.Background(), Fig6b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary {
+		t.Fatalf("summaries differ: %+v != %+v", a.Summary, b.Summary)
+	}
+	if len(a.Combined.Records) != len(b.Combined.Records) {
+		t.Fatal("record counts differ")
+	}
+	for i := range a.Combined.Records {
+		if a.Combined.Records[i] != b.Combined.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+// TestExperimentMetricsRecorded: the CLI/server instrumentation hook
+// fires once per successful run.
+func TestExperimentMetricsRecorded(t *testing.T) {
+	c := metrics.Default().Counter("repro_experiment_fig6a_runs_total")
+	before := c.Value()
+	if _, err := Fig6(Fig6a, smallFig6()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Value(); got != before+1 {
+		t.Fatalf("fig6a runs_total = %d, want %d", got, before+1)
+	}
+}

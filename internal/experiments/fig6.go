@@ -5,11 +5,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hv"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/runner"
 	"repro/internal/simtime"
@@ -95,9 +98,18 @@ type Fig6Result struct {
 
 // Fig6 runs one sub-figure of Fig. 6.
 func Fig6(variant Fig6Variant, cfg Fig6Config) (*Fig6Result, error) {
+	return Fig6Ctx(context.Background(), variant, cfg)
+}
+
+// Fig6Ctx is Fig6 with cooperative cancellation: once ctx is done no
+// further per-load simulation starts and the call returns a non-nil
+// error (see runner.MapCtx). The serve daemon uses this to enforce
+// per-job deadlines.
+func Fig6Ctx(ctx context.Context, variant Fig6Variant, cfg Fig6Config) (*Fig6Result, error) {
 	if variant != Fig6a && variant != Fig6b && variant != Fig6c {
 		return nil, fmt.Errorf("experiments: unknown Fig6 variant %q", variant)
 	}
+	start := time.Now()
 	out := &Fig6Result{Variant: variant, Config: cfg}
 	costs := defaultScenario(cfg).CostModel()
 	cbhEff := costs.EffectiveBH(cfg.CBH) // C'_BH of eq. (13)
@@ -106,7 +118,7 @@ func Fig6(variant Fig6Variant, cfg Fig6Config) (*Fig6Result, error) {
 	// workload from its own seeded RNG stream, so they fan out across
 	// the worker pool and merge in load order — byte-identical to the
 	// sequential loop.
-	perLoad, err := runner.Map(cfg.Workers, len(cfg.Loads), func(li int) (Fig6LoadResult, error) {
+	perLoad, err := runner.MapCtx(ctx, cfg.Workers, len(cfg.Loads), func(li int) (Fig6LoadResult, error) {
 		load := cfg.Loads[li]
 		lambda := simtime.FromMicrosF(cbhEff.MicrosF() / load) // eq. (17)
 		src := rng.NewStream(cfg.Seed, uint64(li)+1)
@@ -165,6 +177,7 @@ func Fig6(variant Fig6Variant, cfg Fig6Config) (*Fig6Result, error) {
 	}
 	hrange := cycle - cfg.Slots[0] + simtime.Micros(500)
 	out.Histogram = out.Combined.NewHistogram(simtime.Micros(50), hrange)
+	metrics.ObserveExperiment("fig6"+string(variant), time.Since(start))
 	return out, nil
 }
 

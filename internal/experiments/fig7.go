@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/curves"
 	"repro/internal/hv"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/tracerec"
@@ -84,6 +87,14 @@ type Fig7Result struct {
 
 // Fig7 runs the Appendix A testcase.
 func Fig7(cfg Fig7Config) (*Fig7Result, error) {
+	return Fig7Ctx(context.Background(), cfg)
+}
+
+// Fig7Ctx is Fig7 with cooperative cancellation: once ctx is done no
+// further per-bound simulation starts and the call returns a non-nil
+// error (see runner.MapCtx).
+func Fig7Ctx(ctx context.Context, cfg Fig7Config) (*Fig7Result, error) {
+	start := time.Now()
 	trace, err := workload.ECUTrace(cfg.ECU)
 	if err != nil {
 		return nil, err
@@ -106,7 +117,7 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 	// One independent simulation per bound: the trace and recorded δ⁻
 	// are only read, so the graphs fan out across the worker pool and
 	// merge in graph order.
-	out.Graphs, err = runner.Map(cfg.Workers, len(cfg.LoadFractions), func(gi int) (Fig7Graph, error) {
+	out.Graphs, err = runner.MapCtx(ctx, cfg.Workers, len(cfg.LoadFractions), func(gi int) (Fig7Graph, error) {
 		frac := cfg.LoadFractions[gi]
 		var bound *curves.Delta
 		if frac >= 1.0 {
@@ -167,6 +178,7 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics.ObserveExperiment("fig7", time.Since(start))
 	return out, nil
 }
 

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/arm"
 	"repro/internal/core"
 	"repro/internal/hv"
+	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/rng"
 	"repro/internal/runner"
@@ -64,6 +67,14 @@ type OverheadResult struct {
 // Overhead regenerates the §6.2 table. cfg supplies the scenario-2
 // parameters (DefaultFig6 for the paper's setup).
 func Overhead(cfg Fig6Config) (*OverheadResult, error) {
+	return OverheadCtx(context.Background(), cfg)
+}
+
+// OverheadCtx is Overhead with cooperative cancellation: once ctx is
+// done no further per-load baseline/monitored pair starts and the call
+// returns a non-nil error (see runner.MapCtx).
+func OverheadCtx(ctx context.Context, cfg Fig6Config) (*OverheadResult, error) {
+	start := time.Now()
 	costs := defaultScenario(cfg).CostModel()
 	mon := monitor.NewDMin(simtime.Millisecond)
 	out := &OverheadResult{
@@ -86,7 +97,7 @@ func Overhead(cfg Fig6Config) (*OverheadResult, error) {
 	// One job per load; each job runs its baseline and monitored
 	// simulation back to back on its own workload stream, so the pairs
 	// fan out across the worker pool with load-ordered merging.
-	perLoad, err := runner.Map(cfg.Workers, len(cfg.Loads), func(li int) (OverheadLoad, error) {
+	perLoad, err := runner.MapCtx(ctx, cfg.Workers, len(cfg.Loads), func(li int) (OverheadLoad, error) {
 		load := cfg.Loads[li]
 		lambda := simtime.FromMicrosF(cbhEff.MicrosF() / load)
 		src := rng.NewStream(cfg.Seed, uint64(li)+1) //nolint:gosec
@@ -144,6 +155,7 @@ func Overhead(cfg Fig6Config) (*OverheadResult, error) {
 	if out.CumCtxBaseline > 0 {
 		out.CumIncreasePct = 100 * (float64(out.CumCtxMonitored) - float64(out.CumCtxBaseline)) / float64(out.CumCtxBaseline)
 	}
+	metrics.ObserveExperiment("overhead", time.Since(start))
 	return out, nil
 }
 

@@ -1,0 +1,234 @@
+// Package metrics is a small, dependency-free instrumentation layer:
+// named counters, gauges and fixed-bucket histograms with a
+// deterministic Prometheus-style text exposition. It exists so the
+// experiment CLIs and the internal/serve daemon report through one
+// registry — the daemon's /metrics endpoint and a CLI's -metrics dump
+// render the same state the same way.
+//
+// All instruments are safe for concurrent use. Exposition output is
+// sorted by instrument name, so two registries holding the same state
+// render byte-identical documents — the same determinism contract the
+// rest of the repository keeps for simulation results.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored; counters never decrease).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an int64 that may go up and down (queue depths, pool sizes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram over float64
+// observations (typically seconds, like the Prometheus convention).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, strictly increasing
+	counts []int64   // per-bucket (non-cumulative) counts; len(bounds)+1 with +Inf last
+	sum    float64
+	count  int64
+}
+
+// DefBuckets covers 1 ms .. ~100 s experiment latencies.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 100}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Registry holds named instruments. The zero value is not usable; use
+// NewRegistry or the package Default.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the CLIs and the serve
+// daemon share by default.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (nil bounds selects DefBuckets). Later
+// calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// ObserveExperiment is the shared CLI/server hook: it bumps
+// repro_experiment_<name>_runs_total and observes the run latency in
+// repro_experiment_<name>_seconds on the default registry.
+func ObserveExperiment(name string, d time.Duration) {
+	defaultRegistry.Counter("repro_experiment_" + name + "_runs_total").Inc()
+	defaultRegistry.Histogram("repro_experiment_"+name+"_seconds", nil).ObserveDuration(d)
+}
+
+// WriteTo renders the registry in the Prometheus text format, sorted by
+// instrument name within each kind.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	type namedHist struct {
+		name string
+		h    *Histogram
+	}
+	counters := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	hists := make([]namedHist, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, namedHist{name, h})
+	}
+	r.mu.Unlock()
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	cw := &countingWriter{w: w}
+	for _, name := range counters {
+		fmt.Fprintf(cw, "# TYPE %s counter\n%s %d\n", name, name, r.Counter(name).Value())
+	}
+	for _, name := range gauges {
+		fmt.Fprintf(cw, "# TYPE %s gauge\n%s %d\n", name, name, r.Gauge(name).Value())
+	}
+	for _, nh := range hists {
+		fmt.Fprintf(cw, "# TYPE %s histogram\n", nh.name)
+		nh.h.mu.Lock()
+		cum := int64(0)
+		for i, bound := range nh.h.bounds {
+			cum += nh.h.counts[i]
+			fmt.Fprintf(cw, "%s_bucket{le=%q} %d\n", nh.name, formatBound(bound), cum)
+		}
+		cum += nh.h.counts[len(nh.h.bounds)]
+		fmt.Fprintf(cw, "%s_bucket{le=\"+Inf\"} %d\n", nh.name, cum)
+		fmt.Fprintf(cw, "%s_sum %s\n", nh.name, strconv.FormatFloat(nh.h.sum, 'g', -1, 64))
+		fmt.Fprintf(cw, "%s_count %d\n", nh.name, nh.h.count)
+		nh.h.mu.Unlock()
+	}
+	return cw.n, cw.err
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters never decrease
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs_total") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("queue_depth")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2} {
+		h.Observe(v)
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 3`, // 0.05, 0.1, 0.05s — le bounds are inclusive
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpositionDeterministic: two registries filled in different
+// orders render byte-identical documents.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Add(7)
+		}
+		r.Gauge("depth").Set(2)
+		r.Histogram("h_seconds", nil).Observe(0.25)
+		var sb strings.Builder
+		if _, err := r.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a := build([]string{"b_total", "a_total", "c_total"})
+	b := build([]string{"c_total", "b_total", "a_total"})
+	if a != b {
+		t.Fatalf("exposition depends on registration order:\n%s\n----\n%s", a, b)
+	}
+}
+
+// TestConcurrent hammers one registry from many goroutines; run under
+// -race this is the data-race proof for the serve hot path.
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_seconds", nil).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := r.Histogram("h_seconds", nil).Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+}
+
+func TestObserveExperiment(t *testing.T) {
+	before := Default().Counter("repro_experiment_unit_test_runs_total").Value()
+	ObserveExperiment("unit_test", 10*time.Millisecond)
+	if got := Default().Counter("repro_experiment_unit_test_runs_total").Value(); got != before+1 {
+		t.Fatalf("runs_total = %d, want %d", got, before+1)
+	}
+}

@@ -1,0 +1,391 @@
+// Stable JSON encodings of simulation and experiment results.
+//
+// The serve daemon's content-addressed cache stores *encoded bodies*
+// and must hand out byte-identical responses for cache hits and fresh
+// computations of the same scenario. Go's encoding/json is
+// deterministic for struct values (fixed field order, shortest float
+// representation), so these view types — no maps, no interface values
+// — make the encoding stable by construction. Changing a view type is
+// a serialization change; the golden-file tests pin the output so such
+// changes are always deliberate.
+//
+// All durations are reported in microseconds (the paper's unit),
+// counts verbatim.
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/tracerec"
+)
+
+// SummaryJSON mirrors tracerec.Summary.
+type SummaryJSON struct {
+	Count            int     `json:"count"`
+	Direct           int     `json:"direct"`
+	Interposed       int     `json:"interposed"`
+	Delayed          int     `json:"delayed"`
+	MeanUs           float64 `json:"mean_us"`
+	MinUs            float64 `json:"min_us"`
+	MaxUs            float64 `json:"max_us"`
+	P50Us            float64 `json:"p50_us"`
+	P95Us            float64 `json:"p95_us"`
+	P99Us            float64 `json:"p99_us"`
+	MeanDirectUs     float64 `json:"mean_direct_us"`
+	MeanInterposedUs float64 `json:"mean_interposed_us"`
+	MeanDelayedUs    float64 `json:"mean_delayed_us"`
+}
+
+// NewSummaryJSON converts a tracerec.Summary.
+func NewSummaryJSON(s tracerec.Summary) SummaryJSON {
+	return SummaryJSON{
+		Count:            s.Count,
+		Direct:           s.ByMode[tracerec.Direct],
+		Interposed:       s.ByMode[tracerec.Interposed],
+		Delayed:          s.ByMode[tracerec.Delayed],
+		MeanUs:           s.Mean.MicrosF(),
+		MinUs:            s.Min.MicrosF(),
+		MaxUs:            s.Max.MicrosF(),
+		P50Us:            s.P50.MicrosF(),
+		P95Us:            s.P95.MicrosF(),
+		P99Us:            s.P99.MicrosF(),
+		MeanDirectUs:     s.MeanDirct.MicrosF(),
+		MeanInterposedUs: s.MeanIntp.MicrosF(),
+		MeanDelayedUs:    s.MeanDelay.MicrosF(),
+	}
+}
+
+// HistogramJSON mirrors tracerec.Histogram with per-mode splits.
+type HistogramJSON struct {
+	BinWidthUs float64 `json:"bin_width_us"`
+	Bins       []int   `json:"bins"`
+	Direct     []int   `json:"direct"`
+	Interposed []int   `json:"interposed"`
+	Delayed    []int   `json:"delayed"`
+	Overflow   int     `json:"overflow"`
+	Total      int     `json:"total"`
+}
+
+// NewHistogramJSON converts a tracerec.Histogram.
+func NewHistogramJSON(h *tracerec.Histogram) *HistogramJSON {
+	if h == nil {
+		return nil
+	}
+	out := &HistogramJSON{
+		BinWidthUs: h.BinWidth.MicrosF(),
+		Bins:       h.Bins,
+		Direct:     make([]int, len(h.ByMode)),
+		Interposed: make([]int, len(h.ByMode)),
+		Delayed:    make([]int, len(h.ByMode)),
+		Overflow:   h.Overflow,
+		Total:      h.Total,
+	}
+	for i, m := range h.ByMode {
+		out.Direct[i] = m[tracerec.Direct]
+		out.Interposed[i] = m[tracerec.Interposed]
+		out.Delayed[i] = m[tracerec.Delayed]
+	}
+	return out
+}
+
+// PartitionJSON mirrors core.PartitionReport.
+type PartitionJSON struct {
+	Name               string  `json:"name"`
+	SlotUs             float64 `json:"slot_us"`
+	GuestTimeUs        float64 `json:"guest_time_us"`
+	BHTimeUs           float64 `json:"bh_time_us"`
+	StolenInterposedUs float64 `json:"stolen_interposed_us"`
+	StolenTopUs        float64 `json:"stolen_top_us"`
+	InterposedHits     uint64  `json:"interposed_hits"`
+}
+
+// MonitorJSON mirrors monitor.Stats.
+type MonitorJSON struct {
+	Checked    uint64 `json:"checked"`
+	Conforming uint64 `json:"conforming"`
+	Violations uint64 `json:"violations"`
+	Commits    uint64 `json:"commits"`
+	Learned    uint64 `json:"learned"`
+}
+
+// SourceJSON mirrors core.SourceReport.
+type SourceJSON struct {
+	Name    string       `json:"name"`
+	Raised  uint64       `json:"raised"`
+	Lost    uint64       `json:"lost"`
+	Monitor *MonitorJSON `json:"monitor,omitempty"`
+}
+
+// StatsJSON mirrors hv.Stats.
+type StatsJSON struct {
+	Arrivals         uint64  `json:"arrivals"`
+	LostIRQs         uint64  `json:"lost_irqs"`
+	TopHandlers      uint64  `json:"top_handlers"`
+	CtxSwitches      uint64  `json:"ctx_switches"`
+	TDMASwitches     uint64  `json:"tdma_switches"`
+	InterposedGrants uint64  `json:"interposed_grants"`
+	SplitGrants      uint64  `json:"split_grants"`
+	ResumedGrants    uint64  `json:"resumed_grants"`
+	BudgetCuts       uint64  `json:"budget_cuts"`
+	DeniedViolation  uint64  `json:"denied_violation"`
+	DeniedFit        uint64  `json:"denied_fit"`
+	DeniedBusy       uint64  `json:"denied_busy"`
+	DeniedLearning   uint64  `json:"denied_learning"`
+	DeniedPending    uint64  `json:"denied_pending"`
+	DeniedNoMonitor  uint64  `json:"denied_no_monitor"`
+	TopTimeUs        float64 `json:"top_time_us"`
+	MonitorTimeUs    float64 `json:"monitor_time_us"`
+	SchedTimeUs      float64 `json:"sched_time_us"`
+	CtxTimeUs        float64 `json:"ctx_time_us"`
+	BHTimeUs         float64 `json:"bh_time_us"`
+	GuestTimeUs      float64 `json:"guest_time_us"`
+}
+
+// ResultJSON is the stable view of one core.Result. The raw record log
+// is summarised (summary + per-partition/source reports), not dumped:
+// result bodies stay figure-sized, not trace-sized.
+type ResultJSON struct {
+	DurationUs float64         `json:"duration_us"`
+	Summary    SummaryJSON     `json:"summary"`
+	Partitions []PartitionJSON `json:"partitions"`
+	Sources    []SourceJSON    `json:"sources"`
+	Stats      StatsJSON       `json:"stats"`
+}
+
+// NewResultJSON converts a core.Result.
+func NewResultJSON(res *core.Result) *ResultJSON {
+	out := &ResultJSON{
+		DurationUs: res.Duration.MicrosF(),
+		Summary:    NewSummaryJSON(res.Summary),
+		Stats: StatsJSON{
+			Arrivals:         res.Stats.Arrivals,
+			LostIRQs:         res.Stats.LostIRQs,
+			TopHandlers:      res.Stats.TopHandlers,
+			CtxSwitches:      res.Stats.CtxSwitches,
+			TDMASwitches:     res.Stats.TDMASwitches,
+			InterposedGrants: res.Stats.InterposedGrants,
+			SplitGrants:      res.Stats.SplitGrants,
+			ResumedGrants:    res.Stats.ResumedGrants,
+			BudgetCuts:       res.Stats.BudgetCuts,
+			DeniedViolation:  res.Stats.DeniedViolation,
+			DeniedFit:        res.Stats.DeniedFit,
+			DeniedBusy:       res.Stats.DeniedBusy,
+			DeniedLearning:   res.Stats.DeniedLearning,
+			DeniedPending:    res.Stats.DeniedPending,
+			DeniedNoMonitor:  res.Stats.DeniedNoMonitor,
+			TopTimeUs:        res.Stats.TopTime.MicrosF(),
+			MonitorTimeUs:    res.Stats.MonitorTime.MicrosF(),
+			SchedTimeUs:      res.Stats.SchedTime.MicrosF(),
+			CtxTimeUs:        res.Stats.CtxTime.MicrosF(),
+			BHTimeUs:         res.Stats.BHTime.MicrosF(),
+			GuestTimeUs:      res.Stats.GuestTime.MicrosF(),
+		},
+	}
+	for _, p := range res.Partitions {
+		out.Partitions = append(out.Partitions, PartitionJSON{
+			Name:               p.Name,
+			SlotUs:             p.Slot.MicrosF(),
+			GuestTimeUs:        p.GuestTime.MicrosF(),
+			BHTimeUs:           p.BHTime.MicrosF(),
+			StolenInterposedUs: p.StolenInterposed.MicrosF(),
+			StolenTopUs:        p.StolenTop.MicrosF(),
+			InterposedHits:     p.InterposedHits,
+		})
+	}
+	for _, s := range res.Sources {
+		sj := SourceJSON{Name: s.Name, Raised: s.Raised, Lost: s.Lost}
+		if s.Monitor != nil {
+			sj.Monitor = &MonitorJSON{
+				Checked:    s.Monitor.Checked,
+				Conforming: s.Monitor.Conforming,
+				Violations: s.Monitor.Violations,
+				Commits:    s.Monitor.Commits,
+				Learned:    s.Monitor.Learned,
+			}
+		}
+		out.Sources = append(out.Sources, sj)
+	}
+	return out
+}
+
+// Fig6LoadJSON is one interrupt load of a Fig. 6 run.
+type Fig6LoadJSON struct {
+	Load     float64     `json:"load"`
+	LambdaUs float64     `json:"lambda_us"`
+	Summary  SummaryJSON `json:"summary"`
+}
+
+// Fig6JSON is the stable view of one Fig. 6 sub-figure.
+type Fig6JSON struct {
+	Variant   string         `json:"variant"`
+	PerLoad   []Fig6LoadJSON `json:"per_load"`
+	Summary   SummaryJSON    `json:"summary"`
+	Histogram *HistogramJSON `json:"histogram"`
+}
+
+// NewFig6JSON converts an experiments.Fig6Result.
+func NewFig6JSON(r *experiments.Fig6Result) *Fig6JSON {
+	out := &Fig6JSON{
+		Variant:   string(r.Variant),
+		Summary:   NewSummaryJSON(r.Summary),
+		Histogram: NewHistogramJSON(r.Histogram),
+	}
+	for _, pl := range r.PerLoad {
+		out.PerLoad = append(out.PerLoad, Fig6LoadJSON{
+			Load:     pl.Load,
+			LambdaUs: pl.Lambda.MicrosF(),
+			Summary:  NewSummaryJSON(pl.Summary),
+		})
+	}
+	return out
+}
+
+// Fig7GraphJSON is one bound of the Fig. 7 experiment.
+type Fig7GraphJSON struct {
+	LoadFraction float64     `json:"load_fraction"`
+	LearnAvgUs   float64     `json:"learn_avg_us"`
+	RunAvgUs     float64     `json:"run_avg_us"`
+	Summary      SummaryJSON `json:"summary"`
+}
+
+// Fig7JSON is the stable view of the Appendix A experiment.
+type Fig7JSON struct {
+	TraceEvents int             `json:"trace_events"`
+	LearnEvents int             `json:"learn_events"`
+	RecordedUs  []float64       `json:"recorded_us"`
+	Graphs      []Fig7GraphJSON `json:"graphs"`
+}
+
+// NewFig7JSON converts an experiments.Fig7Result.
+func NewFig7JSON(r *experiments.Fig7Result) *Fig7JSON {
+	out := &Fig7JSON{
+		TraceEvents: len(r.Trace),
+		LearnEvents: r.LearnEvents,
+	}
+	for _, d := range r.Recorded.Dist {
+		out.RecordedUs = append(out.RecordedUs, d.MicrosF())
+	}
+	for _, g := range r.Graphs {
+		out.Graphs = append(out.Graphs, Fig7GraphJSON{
+			LoadFraction: g.LoadFraction,
+			LearnAvgUs:   g.LearnAvg,
+			RunAvgUs:     g.RunAvg,
+			Summary:      NewSummaryJSON(g.Result.Summary),
+		})
+	}
+	return out
+}
+
+// OverheadLoadJSON is one load of the §6.2 context-switch comparison.
+type OverheadLoadJSON struct {
+	Load             float64 `json:"load"`
+	LambdaUs         float64 `json:"lambda_us"`
+	CtxBaseline      uint64  `json:"ctx_baseline"`
+	CtxMonitored     uint64  `json:"ctx_monitored"`
+	IncreasePct      float64 `json:"increase_pct"`
+	Grants           uint64  `json:"grants"`
+	MonitorTimeUs    float64 `json:"monitor_time_us"`
+	SchedTimeUs      float64 `json:"sched_time_us"`
+	MonitorTimeShare float64 `json:"monitor_time_share"`
+	InterposedPerSec float64 `json:"interposed_per_sec"`
+	DurationUs       float64 `json:"duration_us"`
+}
+
+// OverheadJSON is the stable view of the §6.2 table.
+type OverheadJSON struct {
+	CodeBytesTotal       int                `json:"code_bytes_total"`
+	CodeBytesScheduler   int                `json:"code_bytes_scheduler"`
+	CodeBytesTopHandler  int                `json:"code_bytes_top_handler"`
+	CodeBytesMonitor     int                `json:"code_bytes_monitor"`
+	DataBytesMonitorL1   int                `json:"data_bytes_monitor_l1"`
+	MonitorInstr         int                `json:"monitor_instr"`
+	SchedInstr           int                `json:"sched_instr"`
+	CtxSwitchInstr       int                `json:"ctx_switch_instr"`
+	CtxWritebackCycles   int                `json:"ctx_writeback_cycles"`
+	CMonUs               float64            `json:"c_mon_us"`
+	CSchedUs             float64            `json:"c_sched_us"`
+	CCtxUs               float64            `json:"c_ctx_us"`
+	EffectiveBHUs        float64            `json:"effective_bh_us"`
+	InterposedOverheadUs float64            `json:"interposed_overhead_us"`
+	PerLoad              []OverheadLoadJSON `json:"per_load"`
+	CumCtxBaseline       uint64             `json:"cum_ctx_baseline"`
+	CumCtxMonitored      uint64             `json:"cum_ctx_monitored"`
+	CumIncreasePct       float64            `json:"cum_increase_pct"`
+}
+
+// NewOverheadJSON converts an experiments.OverheadResult.
+func NewOverheadJSON(r *experiments.OverheadResult) *OverheadJSON {
+	out := &OverheadJSON{
+		CodeBytesTotal:       r.CodeBytesTotal,
+		CodeBytesScheduler:   r.CodeBytesScheduler,
+		CodeBytesTopHandler:  r.CodeBytesTopHandler,
+		CodeBytesMonitor:     r.CodeBytesMonitor,
+		DataBytesMonitorL1:   r.DataBytesMonitorL1,
+		MonitorInstr:         r.MonitorInstr,
+		SchedInstr:           r.SchedInstr,
+		CtxSwitchInstr:       r.CtxSwitchInstr,
+		CtxWritebackCycles:   r.CtxWritebackCycles,
+		CMonUs:               r.Costs.Monitor.MicrosF(),
+		CSchedUs:             r.Costs.Sched.MicrosF(),
+		CCtxUs:               r.Costs.CtxSwitch.MicrosF(),
+		EffectiveBHUs:        r.EffectiveBH.MicrosF(),
+		InterposedOverheadUs: r.InterposedOverhead.MicrosF(),
+		CumCtxBaseline:       r.CumCtxBaseline,
+		CumCtxMonitored:      r.CumCtxMonitored,
+		CumIncreasePct:       r.CumIncreasePct,
+	}
+	for _, ol := range r.PerLoad {
+		out.PerLoad = append(out.PerLoad, OverheadLoadJSON{
+			Load:             ol.Load,
+			LambdaUs:         ol.Lambda.MicrosF(),
+			CtxBaseline:      ol.CtxBaseline,
+			CtxMonitored:     ol.CtxMonitored,
+			IncreasePct:      ol.IncreasePct,
+			Grants:           ol.Grants,
+			MonitorTimeUs:    ol.MonitorTime.MicrosF(),
+			SchedTimeUs:      ol.SchedTime.MicrosF(),
+			MonitorTimeShare: ol.MonitorTimeShare,
+			InterposedPerSec: ol.InterposedPerSec,
+			DurationUs:       ol.SimulatedDuration.MicrosF(),
+		})
+	}
+	return out
+}
+
+// encode marshals a view with a trailing newline. Indented output so
+// curl users can read bodies without a JSON formatter; still stable.
+func encode(v any) ([]byte, error) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("report: encode: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// EncodeResult renders a core.Result as stable JSON.
+func EncodeResult(res *core.Result) ([]byte, error) { return encode(NewResultJSON(res)) }
+
+// EncodeFig6 renders a Fig. 6 result as stable JSON.
+func EncodeFig6(r *experiments.Fig6Result) ([]byte, error) { return encode(NewFig6JSON(r)) }
+
+// EncodeFig7 renders a Fig. 7 result as stable JSON.
+func EncodeFig7(r *experiments.Fig7Result) ([]byte, error) { return encode(NewFig7JSON(r)) }
+
+// EncodeOverhead renders a §6.2 overhead result as stable JSON.
+func EncodeOverhead(r *experiments.OverheadResult) ([]byte, error) { return encode(NewOverheadJSON(r)) }
+
+// DecodeResult parses EncodeResult output; together they round-trip
+// byte-identically (the golden test pins this).
+func DecodeResult(data []byte) (*ResultJSON, error) {
+	var out ResultJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting it under
+// -update. Serialization drift — a renamed field, a float formatting
+// change — shows up as a diff here before it can poison the serve
+// daemon's content-addressed cache.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test ./internal/report -update` after intentional changes): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file; diff the output or rerun with -update if intentional.\ngot:\n%s", name, got)
+	}
+}
+
+// smallCfg keeps the golden experiments fast while exercising every
+// encoder field (monitored mode, histograms, per-load slices).
+func smallCfg() experiments.Fig6Config {
+	cfg := experiments.DefaultFig6()
+	cfg.EventsPerLoad = 300
+	cfg.Workers = 1
+	return cfg
+}
+
+func TestEncodeFig6Golden(t *testing.T) {
+	r, err := experiments.Fig6(experiments.Fig6b, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := EncodeFig6(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig6b.json", buf)
+}
+
+func TestEncodeFig7Golden(t *testing.T) {
+	cfg := experiments.DefaultFig7()
+	cfg.ECU.Events = 800
+	cfg.Workers = 1
+	r, err := experiments.Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := EncodeFig7(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig7.json", buf)
+}
+
+func TestEncodeOverheadGolden(t *testing.T) {
+	r, err := experiments.Overhead(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := EncodeOverhead(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "overhead.json", buf)
+}
+
+func TestEncodeResultGolden(t *testing.T) {
+	r, err := experiments.Fig6(experiments.Fig6b, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := EncodeResult(r.PerLoad[0].Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "result.json", buf)
+}
+
+// TestEncodeDeterministic: two encodings of independently computed but
+// identical results are byte-identical — the property the cache's
+// "hit equals fresh" contract rests on.
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := experiments.Fig6(experiments.Fig6c, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.Fig6(experiments.Fig6c, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufA, err := EncodeFig6(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, err := EncodeFig6(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatal("independent runs of the same experiment encode differently")
+	}
+}
+
+func TestDecodeResultRoundTrip(t *testing.T) {
+	r, err := experiments.Fig6(experiments.Fig6a, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := EncodeResult(r.PerLoad[0].Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := DecodeResult(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := encode(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, re) {
+		t.Fatal("decode→encode is not the identity")
+	}
+	if _, err := DecodeResult([]byte(`{"duration_us": 1, "bogus": true}`)); err == nil {
+		t.Fatal("DecodeResult accepted unknown field")
+	}
+}

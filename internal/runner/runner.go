@@ -20,9 +20,18 @@
 // Workers == 1 runs the plain sequential loop on the calling goroutine
 // (no pool, no synchronization), which keeps the old single-threaded
 // path available and trivially race-free.
+//
+// MapCtx/ForEachCtx are the cancellable variants used by long-running
+// callers (the internal/serve job daemon): cancellation is observed
+// between jobs — a job that already started runs to completion, jobs
+// not yet claimed are skipped — so a cancelled call returns promptly
+// without tearing down a simulation mid-flight.
 package runner
 
 import (
+	"context"
+	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -34,13 +43,38 @@ import (
 // count is given.
 const EnvWorkers = "REPRO_WORKERS"
 
+// warnOut receives the one-time invalid-REPRO_WORKERS warning; a
+// variable so tests can capture it.
+var warnOut io.Writer = os.Stderr
+
+// warnedInvalid latches the one-time warning (atomic so concurrent
+// Default calls race-free agree on who warns).
+var warnedInvalid atomic.Bool
+
+// parseWorkers reports whether v is a valid worker count: a parseable
+// integer (ok distinguishes syntax from range errors only in the
+// warning text) that is strictly positive.
+func parseWorkers(v string) (n int, ok bool) {
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
 // Default returns the worker count used when a caller passes 0: the
 // REPRO_WORKERS environment variable if set to a positive integer,
-// otherwise runtime.GOMAXPROCS(0).
+// otherwise runtime.GOMAXPROCS(0). An invalid value (unparseable, zero
+// or negative) is ignored with a one-time warning on stderr rather
+// than silently.
 func Default() int {
 	if v := os.Getenv(EnvWorkers); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+		if n, ok := parseWorkers(v); ok {
 			return n
+		}
+		if warnedInvalid.CompareAndSwap(false, true) {
+			fmt.Fprintf(warnOut, "runner: ignoring invalid %s=%q (want a positive integer); using GOMAXPROCS=%d\n",
+				EnvWorkers, v, runtime.GOMAXPROCS(0))
 		}
 	}
 	return runtime.GOMAXPROCS(0)
@@ -61,9 +95,19 @@ func Resolve(workers int) int {
 // The first error by index is returned, matching a sequential loop;
 // with workers != 1, jobs after a failing index may still have run.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done no new
+// job index is claimed (jobs already started run to completion) and
+// the call returns a non-nil error — the lowest-indexed job error if
+// any completed job failed, otherwise ctx.Err(). A cancelled call
+// never returns results: partial output would break the byte-identity
+// contract.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
-		return out, nil
+		return out, ctx.Err()
 	}
 	workers = Resolve(workers)
 	if workers > n {
@@ -71,6 +115,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -87,6 +134,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -101,13 +151,21 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // ForEach is Map for jobs that only produce side effects into caller-
 // owned, per-index storage.
 func ForEach(workers, n int, fn func(i int) error) error {
-	_, err := Map(workers, n, func(i int) (struct{}, error) {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with the MapCtx cancellation contract.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	_, err := MapCtx(ctx, workers, n, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err

@@ -1,9 +1,13 @@
 package runner
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/rng"
@@ -110,5 +114,127 @@ func TestResolve(t *testing.T) {
 	t.Setenv(EnvWorkers, "-2")
 	if got := Resolve(-1); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("Resolve(-1) with negative env = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	cases := []struct {
+		in string
+		n  int
+		ok bool
+	}{
+		{"4", 4, true},
+		{"1", 1, true},
+		{"four", 0, false}, // unparseable
+		{"-2", 0, false},   // parseable but non-positive
+		{"0", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		n, ok := parseWorkers(c.in)
+		if n != c.n || ok != c.ok {
+			t.Errorf("parseWorkers(%q) = (%d, %v), want (%d, %v)", c.in, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+func TestDefaultWarnsOnceOnInvalidEnv(t *testing.T) {
+	var buf bytes.Buffer
+	prevOut := warnOut
+	prevWarned := warnedInvalid.Load()
+	warnOut = &buf
+	warnedInvalid.Store(false)
+	defer func() {
+		warnOut = prevOut
+		warnedInvalid.Store(prevWarned)
+	}()
+
+	t.Setenv(EnvWorkers, "four")
+	if got := Default(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Default() with %s=four = %d, want GOMAXPROCS", EnvWorkers, got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := Default(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Default() with %s=-2 = %d, want GOMAXPROCS", EnvWorkers, got)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `invalid REPRO_WORKERS="four"`) {
+		t.Fatalf("warning missing or wrong: %q", out)
+	}
+	if n := strings.Count(out, "runner: ignoring"); n != 1 {
+		t.Fatalf("warning emitted %d times, want exactly once:\n%s", n, out)
+	}
+	// A valid value keeps working and stays silent.
+	t.Setenv(EnvWorkers, "6")
+	if got := Default(); got != 6 {
+		t.Fatalf("Default() with %s=6 = %d", EnvWorkers, got)
+	}
+}
+
+func TestMapCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		out, err := MapCtx(ctx, workers, 50, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: cancelled call returned results", workers)
+		}
+		if got := ran.Load(); got != 0 {
+			t.Fatalf("workers=%d: %d jobs ran under a pre-cancelled ctx", workers, got)
+		}
+	}
+}
+
+func TestMapCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 1, 100, func(i int) (int, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("ran %d jobs, want exactly 10 (cancel observed before job 11)", got)
+	}
+}
+
+func TestMapCtxJobErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := MapCtx(ctx, 4, 8, func(i int) (int, error) {
+		if i == 2 {
+			cancel()
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "job 2 failed" {
+		t.Fatalf("err = %v, want the job error", err)
+	}
+}
+
+func TestForEachCtx(t *testing.T) {
+	out := make([]int, 16)
+	if err := ForEachCtx(context.Background(), 4, len(out), func(i int) error {
+		out[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
 	}
 }

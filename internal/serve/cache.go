@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// cache is a content-addressed LRU over encoded result bodies. Keys
+// are spec content addresses (see Spec.key), so an entry can never be
+// stale — only evicted. Bounded by entry count; result bodies are
+// figure-sized (a few KiB), not trace-sized, by construction of the
+// report encoders.
+type cache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List               // front = most recently used
+	items  map[string]*list.Element // key → element holding *cacheEntry
+	hits   *metrics.Counter
+	misses *metrics.Counter
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newCache(max int, reg *metrics.Registry) *cache {
+	return &cache{
+		max:    max,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+		hits:   reg.Counter("repro_server_cache_hits_total"),
+		misses: reg.Counter("repro_server_cache_misses_total"),
+	}
+}
+
+// Get returns the cached body for key, bumping its recency and the
+// hit/miss counters. Callers must not mutate the returned slice.
+func (c *cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting from the cold end when full.
+func (c *cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Determinism makes re-computed bodies identical, so this
+		// only refreshes recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.items, cold.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

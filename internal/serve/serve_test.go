@@ -1,0 +1,453 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+)
+
+// newTestServer builds a Server with a private metrics registry and
+// tears it down with the test.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, spec string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/experiments", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestCachedAndFreshByteIdentical is the acceptance test: two
+// identical POSTs return byte-identical bodies, the second served from
+// the cache (hit counter increments, X-Cache: hit).
+func TestCachedAndFreshByteIdentical(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, ts := newTestServer(t, Options{Workers: 2, Registry: reg})
+	spec := `{"kind": "fig6a", "events": 200, "wait": true}`
+
+	r1, b1 := post(t, ts.URL, spec)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first POST X-Cache = %q, want miss", got)
+	}
+	hitsBefore := reg.Counter("repro_server_cache_hits_total").Value()
+
+	r2, b2 := post(t, ts.URL, spec)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d %s", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second POST X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cached body differs from fresh body")
+	}
+	if got := reg.Counter("repro_server_cache_hits_total").Value(); got != hitsBefore+1 {
+		t.Fatalf("cache hits = %d, want %d", got, hitsBefore+1)
+	}
+	if r1.Header.Get("X-Job-Key") != r2.Header.Get("X-Job-Key") {
+		t.Fatal("identical specs produced different job keys")
+	}
+	// A semantically identical spec with defaults spelled out hits the
+	// same entry: normalization canonicalises before hashing.
+	r3, b3 := post(t, ts.URL, `{"kind": "fig6a", "events": 200, "seed": 2014, "wait": true}`)
+	if r3.Header.Get("X-Cache") != "hit" || !bytes.Equal(b1, b3) {
+		t.Fatal("spelled-out defaults missed the cache")
+	}
+}
+
+// blockingServer swaps the executor for one that parks jobs until
+// released, reporting each start. Admission, queueing and shutdown
+// logic are exercised without real simulations.
+func blockingServer(t *testing.T, opts Options) (*Server, *httptest.Server, chan string, chan struct{}) {
+	s, ts := newTestServer(t, opts)
+	started := make(chan string, 16)
+	release := make(chan struct{})
+	s.run = func(ctx context.Context, sp *Spec) ([]byte, error) {
+		started <- sp.Kind
+		select {
+		case <-release:
+			return []byte(`{"kind": "` + sp.Kind + `"}` + "\n"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return s, ts, started, release
+}
+
+// TestQueueFullBackpressure fills the single-worker, single-slot queue
+// and asserts the next submission is refused with 429 + Retry-After.
+func TestQueueFullBackpressure(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, ts, started, release := blockingServer(t, Options{
+		Workers: 1, QueueSize: 1, RetryAfter: 3 * time.Second, Registry: reg,
+	})
+
+	// Job 1 occupies the worker (wait for it to actually start so the
+	// queue slot is observably free), job 2 fills the queue.
+	r1, b1 := post(t, ts.URL, `{"kind": "fig6a", "events": 101}`)
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: %d %s", r1.StatusCode, b1)
+	}
+	<-started
+	r2, _ := post(t, ts.URL, `{"kind": "fig6a", "events": 102}`)
+	if r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: %d", r2.StatusCode)
+	}
+	if got := reg.Gauge("repro_server_queue_depth").Value(); got != 1 {
+		t.Fatalf("queue depth = %d, want 1", got)
+	}
+
+	r3, b3 := post(t, ts.URL, `{"kind": "fig6a", "events": 103}`)
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: %d %s, want 429", r3.StatusCode, b3)
+	}
+	if got := r3.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	if got := reg.Counter("repro_server_jobs_rejected_total").Value(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+
+	close(release)
+	var v jobView
+	if err := json.Unmarshal(b1, &v); err != nil {
+		t.Fatal(err)
+	}
+	waitForStatus(t, ts.URL, v.ID, StatusDone)
+}
+
+func waitForStatus(t *testing.T, base, id, want string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := get(t, base+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET job %s: %d %s", id, resp.StatusCode, body)
+		}
+		var v jobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, v.Status, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobTimeout: a job outliving its deadline is cancelled and a
+// blocking POST reports 504.
+func TestJobTimeout(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, ts, started, _ := blockingServer(t, Options{
+		Workers: 1, JobTimeout: 30 * time.Millisecond, Registry: reg,
+	})
+	_ = s
+	go func() { <-started }()
+
+	resp, body := post(t, ts.URL, `{"kind": "fig6a", "events": 104, "wait": true}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("POST: %d %s, want 504", resp.StatusCode, body)
+	}
+	if got := reg.Counter("repro_server_jobs_cancelled_total").Value(); got != 1 {
+		t.Fatalf("cancelled = %d, want 1", got)
+	}
+}
+
+// TestAsyncJobLifecycle: 202 + Location, poll to done, result inline.
+func TestAsyncJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, body := post(t, ts.URL, `{"kind": "fig6b", "events": 150}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if want := "/v1/jobs/" + v.ID; resp.Header.Get("Location") != want {
+		t.Fatalf("Location = %q, want %q", resp.Header.Get("Location"), want)
+	}
+	final := waitForStatus(t, ts.URL, v.ID, StatusDone)
+	if len(final.Result) == 0 {
+		t.Fatal("done job has no inline result")
+	}
+	var fig6 map[string]any
+	if err := json.Unmarshal(final.Result, &fig6); err != nil {
+		t.Fatalf("inline result not JSON: %v", err)
+	}
+	if fig6["variant"] != "b" {
+		t.Fatalf("result variant = %v, want b", fig6["variant"])
+	}
+
+	// The poll result and a cache hit for the same spec carry the same
+	// JSON (the envelope encoder re-indents the inline copy, so compare
+	// compacted).
+	r2, b2 := post(t, ts.URL, `{"kind": "fig6b", "events": 150, "wait": true}`)
+	if r2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("X-Cache = %q, want hit", r2.Header.Get("X-Cache"))
+	}
+	var cached, polled bytes.Buffer
+	if err := json.Compact(&cached, b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&polled, final.Result); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cached.Bytes(), polled.Bytes()) {
+		t.Fatal("polled result differs from cached body")
+	}
+}
+
+// TestGracefulShutdownDrains: Shutdown refuses new work but queued and
+// running jobs complete.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, ts, started, release := blockingServer(t, Options{Workers: 1, QueueSize: 4})
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, body := post(t, ts.URL, fmt.Sprintf(`{"kind": "fig6a", "events": %d}`, 200+i))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: %d %s", i, resp.StatusCode, body)
+		}
+		var v jobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	<-started // worker holds job 0; jobs 1,2 queued
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	shutdownDone := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		shutdownDone <- s.Shutdown(context.Background())
+	}()
+
+	// Draining: new submissions are refused, health reports it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := post(t, ts.URL, `{"kind": "fig6a", "events": 999}`)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions still accepted during shutdown")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	}
+
+	// Unblock the workers: remaining queued jobs run to completion.
+	close(release)
+	go func() { // drain the remaining start signals
+		for range started {
+		}
+	}()
+	wg.Wait()
+	close(started)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, id := range ids {
+		resp, body := get(t, ts.URL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s after drain: %d", id, resp.StatusCode)
+		}
+		var v jobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != StatusDone {
+			t.Fatalf("job %s = %q after graceful drain, want done", id, v.Status)
+		}
+	}
+}
+
+// TestForcedShutdownCancels: an expired Shutdown context cancels
+// in-flight jobs instead of waiting forever.
+func TestForcedShutdownCancels(t *testing.T) {
+	s, ts, started, _ := blockingServer(t, Options{Workers: 1})
+	resp, body := post(t, ts.URL, `{"kind": "fig6a", "events": 300}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	got := waitForStatus(t, ts.URL, v.ID, StatusCancelled)
+	if got.Error == "" {
+		t.Fatal("cancelled job carries no error")
+	}
+}
+
+// TestScenarioKind: a full config.File document runs and caches by
+// scenario fingerprint, so formatting differences share one entry.
+func TestScenarioKind(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	f, err := config.Parse([]byte(config.Example))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.IRQs[0].Events = 300 // keep the test fast
+	doc, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := fmt.Sprintf(`{"kind": "scenario", "wait": true, "scenario": %s}`, doc)
+	r1, b1 := post(t, ts.URL, spec)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d %s", r1.StatusCode, b1)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(b1, &res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res["summary"]; !ok {
+		t.Fatal("scenario result has no summary")
+	}
+	// Same document, different JSON formatting → same fingerprint →
+	// cache hit with identical bytes.
+	spaced, err := json.MarshalIndent(f, "", "    ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, b2 := post(t, ts.URL, fmt.Sprintf(`{"kind": "scenario", "wait": true, "scenario": %s}`, spaced))
+	if r2.Header.Get("X-Cache") != "hit" || !bytes.Equal(b1, b2) {
+		t.Fatal("reformatted scenario missed the cache")
+	}
+}
+
+// TestSpecValidation: malformed and invalid specs are 400s, unknown
+// jobs 404.
+func TestSpecValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	for _, bad := range []string{
+		`{`,
+		`{"kind": "fig9"}`,
+		`{}`,
+		`{"kind": "fig6a", "bogus": 1}`,
+		`{"kind": "fig6a", "events": -5}`,
+		`{"kind": "fig6a", "window": 10}`,
+		`{"kind": "scenario"}`,
+		`{"kind": "scenario", "seed": 7, "scenario": {"partitions": [{"name": "p", "slot_us": 100}], "irqs": []}}`,
+	} {
+		if resp, _ := post(t, ts.URL, bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint: the exposition carries the job, queue and cache
+// series the ISSUE names.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if r, b := post(t, ts.URL, `{"kind": "fig6a", "events": 120, "wait": true}`); r.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d %s", r.StatusCode, b)
+	}
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"repro_server_jobs_accepted_total 1",
+		"repro_server_jobs_completed_total 1",
+		"repro_server_cache_misses_total 1",
+		"repro_server_cache_hits_total 0",
+		"repro_server_queue_depth 0",
+		"repro_server_job_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestCacheEviction: the LRU bound holds and evicted entries recompute
+// identically.
+func TestCacheEviction(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, CacheSize: 2})
+	specN := func(n int) string {
+		return fmt.Sprintf(`{"kind": "fig6a", "events": %d, "wait": true}`, n)
+	}
+	_, b1 := post(t, ts.URL, specN(110))
+	post(t, ts.URL, specN(111))
+	post(t, ts.URL, specN(112)) // evicts 110
+	if got := s.cache.Len(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+	r, b := post(t, ts.URL, specN(110))
+	if r.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("evicted entry X-Cache = %q, want miss", r.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(b, b1) {
+		t.Fatal("recomputed body differs from original")
+	}
+}

@@ -1,0 +1,453 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/runner"
+)
+
+// Options configures a Server. Zero values select the defaults noted
+// per field.
+type Options struct {
+	// Workers is the size of the shared worker pool; 0 selects
+	// runner.Default() (REPRO_WORKERS or GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the FIFO job queue; admission beyond it is
+	// refused with 429 + Retry-After. 0 = 64.
+	QueueSize int
+	// CacheSize bounds the result cache (entries). 0 = 128.
+	CacheSize int
+	// JobTimeout is the per-job deadline; an expired job is cancelled
+	// and reported as 504. 0 = 5 minutes.
+	JobTimeout time.Duration
+	// RetryAfter is the backoff advice on 429 responses. 0 = 1s.
+	RetryAfter time.Duration
+	// Registry receives the server metrics; nil = metrics.Default().
+	Registry *metrics.Registry
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = runner.Default()
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 64
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 128
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 5 * time.Minute
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.Default()
+	}
+}
+
+// Job states, as reported by GET /v1/jobs/{id}.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled" // deadline exceeded or shutdown
+)
+
+// job is one admitted experiment. done closes exactly once, after
+// status/body/err reached their final values; waiters (blocking POSTs,
+// pollers) read them only after done.
+type job struct {
+	id   string
+	key  string
+	spec *Spec
+	done chan struct{}
+
+	mu     sync.Mutex
+	status string
+	body   []byte
+	err    string
+}
+
+func (j *job) setStatus(s string) {
+	j.mu.Lock()
+	j.status = s
+	j.mu.Unlock()
+}
+
+func (j *job) view(includeResult bool) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{ID: j.id, Status: j.status, Key: j.key, Error: j.err}
+	if includeResult && j.status == StatusDone {
+		v.Result = json.RawMessage(j.body)
+	}
+	return v
+}
+
+// jobView is the GET /v1/jobs/{id} response body.
+type jobView struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Key    string          `json:"key"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Server is the simulation daemon: a bounded queue feeding a worker
+// pool, fronted by a content-addressed result cache.
+type Server struct {
+	opts  Options
+	reg   *metrics.Registry
+	cache *cache
+
+	qmu    sync.Mutex // guards queue sends vs close on shutdown
+	queue  chan *job
+	closed bool
+
+	jmu  sync.Mutex
+	jobs map[string]*job
+
+	nextID   atomic.Uint64
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// run executes one job; overridable in tests for deterministic
+	// blocking/timeout behaviour. The default dispatches on Kind.
+	run func(ctx context.Context, sp *Spec) ([]byte, error)
+
+	accepted   *metrics.Counter
+	rejected   *metrics.Counter
+	completed  *metrics.Counter
+	failed     *metrics.Counter
+	cancelled  *metrics.Counter
+	queueDepth *metrics.Gauge
+	jobSecs    *metrics.Histogram
+}
+
+// New starts a Server: opts.Workers goroutines begin draining the
+// queue immediately. Stop it with Shutdown.
+func New(opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		opts:       opts,
+		reg:        opts.Registry,
+		cache:      newCache(opts.CacheSize, opts.Registry),
+		queue:      make(chan *job, opts.QueueSize),
+		jobs:       make(map[string]*job),
+		accepted:   opts.Registry.Counter("repro_server_jobs_accepted_total"),
+		rejected:   opts.Registry.Counter("repro_server_jobs_rejected_total"),
+		completed:  opts.Registry.Counter("repro_server_jobs_completed_total"),
+		failed:     opts.Registry.Counter("repro_server_jobs_failed_total"),
+		cancelled:  opts.Registry.Counter("repro_server_jobs_cancelled_total"),
+		queueDepth: opts.Registry.Gauge("repro_server_queue_depth"),
+		jobSecs:    opts.Registry.Histogram("repro_server_job_seconds", nil),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.run = execute
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.queueDepth.Add(-1)
+		s.runJob(jb)
+	}
+}
+
+func (s *Server) runJob(jb *job) {
+	jb.setStatus(StatusRunning)
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
+	body, err := s.run(ctx, jb.spec)
+	cancel()
+	s.jobSecs.ObserveDuration(time.Since(start))
+
+	jb.mu.Lock()
+	switch {
+	case err == nil:
+		jb.status = StatusDone
+		jb.body = body
+		s.cache.Put(jb.key, body)
+		s.completed.Inc()
+	case ctx.Err() != nil:
+		// Deadline or shutdown beat the job; the computation itself
+		// did not fail.
+		jb.status = StatusCancelled
+		jb.err = ctx.Err().Error()
+		s.cancelled.Inc()
+	default:
+		jb.status = StatusFailed
+		jb.err = err.Error()
+		s.failed.Inc()
+	}
+	jb.mu.Unlock()
+	close(jb.done)
+}
+
+// enqueue outcome.
+type admission int
+
+const (
+	admitted admission = iota
+	queueFull
+	shuttingDown
+)
+
+func (s *Server) enqueue(jb *job) admission {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.closed {
+		return shuttingDown
+	}
+	select {
+	case s.queue <- jb:
+		s.queueDepth.Add(1)
+		return admitted
+	default:
+		return queueFull
+	}
+}
+
+// Handler returns the daemon's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// maxSpecBytes bounds request bodies; scenario documents are small.
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var sp Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	if err := sp.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := sp.key()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if body, ok := s.cache.Get(key); ok {
+		writeResult(w, key, "hit", body)
+		return
+	}
+
+	jb := &job{
+		id:     fmt.Sprintf("j%08d", s.nextID.Add(1)),
+		key:    key,
+		spec:   &sp,
+		done:   make(chan struct{}),
+		status: StatusQueued,
+	}
+	switch s.enqueue(jb) {
+	case queueFull:
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d pending)", s.opts.QueueSize)
+		return
+	case shuttingDown:
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.accepted.Inc()
+	s.jmu.Lock()
+	s.jobs[jb.id] = jb
+	s.jmu.Unlock()
+
+	if !sp.Wait {
+		w.Header().Set("Location", "/v1/jobs/"+jb.id)
+		writeJSON(w, http.StatusAccepted, jb.view(false))
+		return
+	}
+
+	select {
+	case <-jb.done:
+	case <-r.Context().Done():
+		// Client gave up; the job keeps running and fills the cache.
+		return
+	}
+	jb.mu.Lock()
+	status, body, errMsg := jb.status, jb.body, jb.err
+	jb.mu.Unlock()
+	switch status {
+	case StatusDone:
+		writeResult(w, key, "miss", body)
+	case StatusCancelled:
+		httpError(w, http.StatusGatewayTimeout, "job %s cancelled: %s", jb.id, errMsg)
+	default:
+		httpError(w, http.StatusInternalServerError, "job %s failed: %s", jb.id, errMsg)
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.jmu.Lock()
+	jb, ok := s.jobs[r.PathValue("id")]
+	s.jmu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.view(true))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"queue_depth": s.queueDepth.Value(),
+		"cached":      s.cache.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.reg.WriteTo(w)
+}
+
+// Shutdown drains the daemon gracefully: new submissions are refused
+// (503), queued and running jobs finish, workers exit. If ctx expires
+// first, in-flight jobs are cancelled (they finish as "cancelled") and
+// Shutdown returns ctx.Err() once the workers are down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.qmu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// execute runs one normalized spec to its encoded result. Experiment
+// internal parallelism is forced to 1: the daemon parallelises across
+// jobs, and Workers never belongs in a cache key anyway (it cannot
+// change results — see internal/runner).
+func execute(ctx context.Context, sp *Spec) ([]byte, error) {
+	switch sp.Kind {
+	case "fig6a", "fig6b", "fig6c":
+		cfg := experiments.DefaultFig6()
+		cfg.EventsPerLoad = sp.Events
+		cfg.Seed = sp.Seed
+		cfg.Workers = 1
+		r, err := experiments.Fig6Ctx(ctx, experiments.Fig6Variant(sp.Kind[4]), cfg)
+		if err != nil {
+			return nil, err
+		}
+		return report.EncodeFig6(r)
+	case "fig7":
+		cfg := experiments.DefaultFig7()
+		cfg.ECU.Events = sp.Events
+		cfg.ECU.Seed = sp.Seed
+		cfg.Window = sp.Window
+		cfg.Workers = 1
+		r, err := experiments.Fig7Ctx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return report.EncodeFig7(r)
+	case "overhead":
+		cfg := experiments.DefaultFig6()
+		cfg.EventsPerLoad = sp.Events
+		cfg.Seed = sp.Seed
+		cfg.Workers = 1
+		r, err := experiments.OverheadCtx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return report.EncodeOverhead(r)
+	case "scenario":
+		sc, err := sp.Scenario.Scenario()
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.RunManyCtx(ctx, []core.Scenario{sc}, 1)
+		if err != nil {
+			return nil, err
+		}
+		return report.EncodeResult(res[0])
+	default:
+		return nil, fmt.Errorf("serve: unknown kind %q", sp.Kind)
+	}
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func writeResult(w http.ResponseWriter, key, cacheState string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set("X-Job-Key", key)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	buf, _ := json.MarshalIndent(v, "", "  ")
+	_, _ = w.Write(append(buf, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,171 @@
+// Package serve exposes the experiment engine as an HTTP daemon:
+// simulation as a service. Jobs are admitted through a bounded FIFO
+// queue with backpressure, executed on a shared worker pool, and their
+// encoded results stored in a content-addressed LRU cache.
+//
+// Content addressing leans on two repo-wide invariants: simulations
+// are deterministic (identical spec + seed ⇒ identical results, see
+// internal/rng and internal/runner), and result encodings are stable
+// (internal/report). A cache key therefore identifies the response
+// bytes exactly — a hit is *the* answer, not an approximation — so the
+// daemon can serve repeated requests without recomputation and clients
+// can compare bodies byte for byte.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// Spec is the request body of POST /v1/experiments: which experiment
+// to run and with which deterministic inputs. Wait only changes the
+// response protocol (block vs 202 + poll), never the computation, so
+// it is excluded from the cache key.
+type Spec struct {
+	// Kind selects the computation: "fig6a", "fig6b", "fig6c",
+	// "fig7", "overhead", or "scenario".
+	Kind string `json:"kind"`
+	// Events overrides the experiment's event count (fig6*: IRQs per
+	// load; fig7: ECU trace activations; overhead: IRQs per load).
+	// 0 selects the paper's default.
+	Events int `json:"events,omitempty"`
+	// Seed overrides the workload seed; 0 selects the default.
+	Seed uint64 `json:"seed,omitempty"`
+	// Window is the fig7 sliding-average window; 0 selects the
+	// default. Only valid for kind "fig7".
+	Window int `json:"window,omitempty"`
+	// Scenario is the full system description for kind "scenario",
+	// in the cmd/rthvsim configuration schema.
+	Scenario *config.File `json:"scenario,omitempty"`
+	// Wait blocks the POST until the result is ready instead of
+	// returning 202 + a job to poll.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// normalize validates sp and fills kind-specific defaults so every
+// spec that names the same computation reduces to the same canonical
+// form — the precondition for exact cache keys.
+func (sp *Spec) normalize() error {
+	switch sp.Kind {
+	case "fig6a", "fig6b", "fig6c", "overhead":
+		if sp.Scenario != nil {
+			return fmt.Errorf("serve: kind %q takes no scenario document", sp.Kind)
+		}
+		if sp.Window != 0 {
+			return fmt.Errorf("serve: window only applies to kind \"fig7\"")
+		}
+		if sp.Events < 0 {
+			return fmt.Errorf("serve: events must be non-negative")
+		}
+		def := experiments.DefaultFig6()
+		if sp.Events == 0 {
+			sp.Events = def.EventsPerLoad
+		}
+		if sp.Seed == 0 {
+			sp.Seed = def.Seed
+		}
+	case "fig7":
+		if sp.Scenario != nil {
+			return fmt.Errorf("serve: kind %q takes no scenario document", sp.Kind)
+		}
+		if sp.Events < 0 || sp.Window < 0 {
+			return fmt.Errorf("serve: events and window must be non-negative")
+		}
+		ecu := workload.DefaultECU()
+		if sp.Events == 0 {
+			sp.Events = ecu.Events
+		}
+		if sp.Seed == 0 {
+			sp.Seed = ecu.Seed
+		}
+		if sp.Window == 0 {
+			sp.Window = experiments.DefaultFig7().Window
+		}
+	case "scenario":
+		if sp.Scenario == nil {
+			return fmt.Errorf("serve: kind \"scenario\" requires a scenario document")
+		}
+		if sp.Events != 0 || sp.Seed != 0 || sp.Window != 0 {
+			return fmt.Errorf("serve: events, seed and window are properties of the scenario document")
+		}
+	case "":
+		return fmt.Errorf("serve: missing kind")
+	default:
+		return fmt.Errorf("serve: unknown kind %q", sp.Kind)
+	}
+	return nil
+}
+
+// jobKey is the canonical pre-image of a cache key. Struct
+// marshalling fixes the field order; Code pins the implementation
+// revision so a rebuilt daemon never serves results computed by
+// different code.
+type jobKey struct {
+	V        int    `json:"v"`
+	Code     string `json:"code"`
+	Kind     string `json:"kind"`
+	Events   int    `json:"events"`
+	Seed     uint64 `json:"seed"`
+	Window   int    `json:"window"`
+	Scenario string `json:"scenario,omitempty"` // core.Fingerprint of the built scenario
+}
+
+// keyVersion bumps whenever the key schema or the result encodings
+// change incompatibly.
+const keyVersion = 1
+
+// key reduces a normalized spec to its content address: the hex
+// SHA-256 of the canonical jobKey document. For kind "scenario" the
+// document is built and fingerprinted (via core.CanonicalJSON), so
+// two syntactically different config files describing the same system
+// share one cache entry.
+func (sp *Spec) key() (string, error) {
+	k := jobKey{
+		V:      keyVersion,
+		Code:   codeVersion,
+		Kind:   sp.Kind,
+		Events: sp.Events,
+		Seed:   sp.Seed,
+		Window: sp.Window,
+	}
+	if sp.Kind == "scenario" {
+		sc, err := sp.Scenario.Scenario()
+		if err != nil {
+			return "", fmt.Errorf("serve: %w", err)
+		}
+		fp, err := core.Fingerprint(sc)
+		if err != nil {
+			return "", fmt.Errorf("serve: %w", err)
+		}
+		k.Scenario = fp
+	}
+	buf, err := json.Marshal(k)
+	if err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte("repro/job/v1\n"))
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// codeVersion identifies the running implementation: the VCS revision
+// when built from a checkout, "dev" otherwise (e.g. go test binaries).
+var codeVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "dev"
+}()

@@ -1,0 +1,59 @@
+package viz
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tracerec"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting it under
+// -update. The SVG output is deterministic by construction; these tests
+// make drift (float formatting, layout constants, element order) a
+// deliberate, reviewed change instead of a silent one.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test ./internal/viz -update` after intentional changes): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file; rerun with -update if intentional", name)
+	}
+}
+
+func TestHistogramSVGGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := HistogramSVG(&sb, sampleHistogram(), "Figure 6 golden"); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "histogram.svg", []byte(sb.String()))
+}
+
+func TestSeriesSVGGolden(t *testing.T) {
+	series := []tracerec.Series{
+		{Name: "a_load_1.0000", Y: []float64{40, 42, 44, 48, 60, 90, 70, 55, 48, 45}},
+		{Name: "b_load_0.2500", Y: []float64{40, 41, 41, 42, 45, 50, 47, 44, 42, 41}},
+	}
+	var sb strings.Builder
+	if err := SeriesSVG(&sb, series, "Figure 7 golden", "event", "avg latency [µs]"); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "series.svg", []byte(sb.String()))
+}
