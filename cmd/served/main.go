@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	served [-addr :8080] [-workers N] [-queue N] [-cache N] [-job-timeout D]
+//	served [-addr :8080] [-workers N] [-queue N] [-cache N] [-job-timeout D] [-job-retention N]
 //
 // Endpoints:
 //
@@ -40,16 +40,18 @@ func main() {
 	queue := flag.Int("queue", 64, "job queue bound; beyond it submissions get 429")
 	cacheSize := flag.Int("cache", 128, "result cache entries (LRU)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job deadline; expired jobs are cancelled (504)")
+	retention := flag.Int("job-retention", 256, "finished jobs kept pollable via GET /v1/jobs/{id}; older records are dropped (404)")
 	retryAfter := flag.Duration("retry-after", time.Second, "backoff advice on 429 responses")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound before in-flight jobs are cancelled")
 	flag.Parse()
 
 	s := serve.New(serve.Options{
-		Workers:    *workers,
-		QueueSize:  *queue,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
-		RetryAfter: *retryAfter,
+		Workers:      *workers,
+		QueueSize:    *queue,
+		CacheSize:    *cacheSize,
+		JobTimeout:   *jobTimeout,
+		RetryAfter:   *retryAfter,
+		JobRetention: *retention,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -107,7 +107,10 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
-		return out, ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	workers = Resolve(workers)
 	if workers > n {

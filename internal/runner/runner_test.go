@@ -84,6 +84,18 @@ func TestMapEmpty(t *testing.T) {
 	}
 }
 
+func TestMapCtxEmptyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 4, 0, func(i int) (int, error) { return 0, errors.New("never called") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil: a cancelled call must not return results", out)
+	}
+}
+
 func TestForEach(t *testing.T) {
 	out := make([]int, 64)
 	if err := ForEach(8, len(out), func(i int) error {

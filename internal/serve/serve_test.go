@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -426,6 +427,142 @@ func TestMetricsEndpoint(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestFailingExecutor: a real executor error is reported as failed —
+// 500 with the error text for a blocking POST, status "failed" on
+// polls — not misclassified as cancelled, and never cached.
+func TestFailingExecutor(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, ts := newTestServer(t, Options{Workers: 1, Registry: reg})
+	s.run = func(ctx context.Context, sp *Spec) ([]byte, error) {
+		return nil, errors.New("boom")
+	}
+
+	resp, body := post(t, ts.URL, `{"kind": "fig6a", "events": 130, "wait": true}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("POST: %d %s, want 500", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "boom") {
+		t.Fatalf("error body %q does not carry the executor error", body)
+	}
+	if got := reg.Counter("repro_server_jobs_failed_total").Value(); got != 1 {
+		t.Fatalf("failed = %d, want 1", got)
+	}
+	if got := reg.Counter("repro_server_jobs_cancelled_total").Value(); got != 0 {
+		t.Fatalf("cancelled = %d, want 0", got)
+	}
+	if got := s.cache.Len(); got != 0 {
+		t.Fatalf("cache len = %d after failure, want 0", got)
+	}
+
+	// Async path: the poll view reaches "failed" with the error text.
+	resp2, body2 := post(t, ts.URL, `{"kind": "fig6a", "events": 131}`)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("async POST: %d %s", resp2.StatusCode, body2)
+	}
+	var v jobView
+	if err := json.Unmarshal(body2, &v); err != nil {
+		t.Fatal(err)
+	}
+	final := waitForStatus(t, ts.URL, v.ID, StatusFailed)
+	if !strings.Contains(final.Error, "boom") {
+		t.Fatalf("failed job error = %q, want it to carry \"boom\"", final.Error)
+	}
+}
+
+// TestInflightDedup: a second identical POST arriving while the first
+// is still queued/running coalesces onto the same job — the executor
+// runs once and both waiters receive identical bodies.
+func TestInflightDedup(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, ts, started, release := blockingServer(t, Options{Workers: 1, Registry: reg})
+	spec := `{"kind": "fig6a", "events": 140, "wait": true}`
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(spec))
+			if err != nil {
+				results <- result{}
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results <- result{resp.StatusCode, b}
+		}()
+	}
+
+	<-started // exactly one execution begins
+	// Wait until the second request has observably attached to the
+	// first job before letting it finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("repro_server_jobs_coalesced_total").Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced = %d, want 1",
+				reg.Counter("repro_server_jobs_coalesced_total").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	a, b := <-results, <-results
+	if a.status != http.StatusOK || b.status != http.StatusOK {
+		t.Fatalf("statuses = %d, %d, want 200, 200", a.status, b.status)
+	}
+	if !bytes.Equal(a.body, b.body) {
+		t.Fatal("coalesced waiters received different bodies")
+	}
+	if got := reg.Counter("repro_server_jobs_accepted_total").Value(); got != 1 {
+		t.Fatalf("accepted = %d, want 1 (identical concurrent POSTs must not both enqueue)", got)
+	}
+	select {
+	case k := <-started:
+		t.Fatalf("second execution started (%s); identical in-flight work recomputed", k)
+	default:
+	}
+}
+
+// TestJobRetention: finished jobs beyond the retention bound are
+// dropped from the index (GET becomes 404), so the jobs map — and the
+// result bodies it pins — cannot grow with jobs ever accepted.
+func TestJobRetention(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, JobRetention: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, body := post(t, ts.URL, fmt.Sprintf(`{"kind": "fig6a", "events": %d}`, 160+i))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: %d %s", i, resp.StatusCode, body)
+		}
+		var v jobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		waitForStatus(t, ts.URL, v.ID, StatusDone)
+		ids = append(ids, v.ID)
+	}
+	// Retirement happens just after the done status becomes visible;
+	// poll for the oldest record to age out.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := get(t, ts.URL+"/v1/jobs/"+ids[0])
+		if resp.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still pollable beyond retention", ids[0])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, id := range ids[1:] {
+		if resp, _ := get(t, ts.URL+"/v1/jobs/"+id); resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %s within retention: %d, want 200", id, resp.StatusCode)
 		}
 	}
 }

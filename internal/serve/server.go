@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -31,6 +32,12 @@ type Options struct {
 	// JobTimeout is the per-job deadline; an expired job is cancelled
 	// and reported as 504. 0 = 5 minutes.
 	JobTimeout time.Duration
+	// JobRetention bounds how many finished jobs stay pollable via
+	// GET /v1/jobs/{id}; beyond it the oldest finished records (and
+	// their result bodies) are dropped and polling them is a 404, so
+	// daemon memory is bounded by retention + cache, not by jobs ever
+	// accepted. 0 = 256.
+	JobRetention int
 	// RetryAfter is the backoff advice on 429 responses. 0 = 1s.
 	RetryAfter time.Duration
 	// Registry receives the server metrics; nil = metrics.Default().
@@ -49,6 +56,9 @@ func (o *Options) fill() {
 	}
 	if o.JobTimeout <= 0 {
 		o.JobTimeout = 5 * time.Minute
+	}
+	if o.JobRetention <= 0 {
+		o.JobRetention = 256
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
@@ -118,8 +128,10 @@ type Server struct {
 	queue  chan *job
 	closed bool
 
-	jmu  sync.Mutex
-	jobs map[string]*job
+	jmu      sync.Mutex
+	jobs     map[string]*job
+	inflight map[string]*job // key → queued/running job (singleflight)
+	finished []string        // finished job ids, oldest first (retention)
 
 	nextID   atomic.Uint64
 	draining atomic.Bool
@@ -137,6 +149,7 @@ type Server struct {
 	completed  *metrics.Counter
 	failed     *metrics.Counter
 	cancelled  *metrics.Counter
+	coalesced  *metrics.Counter
 	queueDepth *metrics.Gauge
 	jobSecs    *metrics.Histogram
 }
@@ -151,11 +164,13 @@ func New(opts Options) *Server {
 		cache:      newCache(opts.CacheSize, opts.Registry),
 		queue:      make(chan *job, opts.QueueSize),
 		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
 		accepted:   opts.Registry.Counter("repro_server_jobs_accepted_total"),
 		rejected:   opts.Registry.Counter("repro_server_jobs_rejected_total"),
 		completed:  opts.Registry.Counter("repro_server_jobs_completed_total"),
 		failed:     opts.Registry.Counter("repro_server_jobs_failed_total"),
 		cancelled:  opts.Registry.Counter("repro_server_jobs_cancelled_total"),
+		coalesced:  opts.Registry.Counter("repro_server_jobs_coalesced_total"),
 		queueDepth: opts.Registry.Gauge("repro_server_queue_depth"),
 		jobSecs:    opts.Registry.Histogram("repro_server_job_seconds", nil),
 	}
@@ -181,6 +196,9 @@ func (s *Server) runJob(jb *job) {
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
 	body, err := s.run(ctx, jb.spec)
+	// Read the deadline state before cancel(): afterwards ctx.Err() is
+	// unconditionally non-nil and every failure would look cancelled.
+	ctxErr := ctx.Err()
 	cancel()
 	s.jobSecs.ObserveDuration(time.Since(start))
 
@@ -191,11 +209,11 @@ func (s *Server) runJob(jb *job) {
 		jb.body = body
 		s.cache.Put(jb.key, body)
 		s.completed.Inc()
-	case ctx.Err() != nil:
+	case ctxErr != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 		// Deadline or shutdown beat the job; the computation itself
 		// did not fail.
 		jb.status = StatusCancelled
-		jb.err = ctx.Err().Error()
+		jb.err = err.Error()
 		s.cancelled.Inc()
 	default:
 		jb.status = StatusFailed
@@ -204,6 +222,26 @@ func (s *Server) runJob(jb *job) {
 	}
 	jb.mu.Unlock()
 	close(jb.done)
+	s.retire(jb)
+}
+
+// retire unregisters jb from the in-flight index (new identical
+// submissions recompute unless the result was cached) and enforces the
+// finished-job retention bound: beyond opts.JobRetention the oldest
+// finished records — and the result bodies they hold — are dropped
+// from the jobs map, so memory does not grow with jobs ever accepted.
+func (s *Server) retire(jb *job) {
+	s.jmu.Lock()
+	if s.inflight[jb.key] == jb {
+		delete(s.inflight, jb.key)
+	}
+	s.finished = append(s.finished, jb.id)
+	for len(s.finished) > s.opts.JobRetention {
+		delete(s.jobs, s.finished[0])
+		copy(s.finished, s.finished[1:])
+		s.finished = s.finished[:len(s.finished)-1]
+	}
+	s.jmu.Unlock()
 }
 
 // enqueue outcome.
@@ -270,6 +308,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Singleflight: a second request for a key that is already queued
+	// or running attaches to the existing job instead of recomputing —
+	// the content address guarantees the results would be identical.
+	s.jmu.Lock()
+	if existing := s.inflight[key]; existing != nil {
+		s.jmu.Unlock()
+		s.coalesced.Inc()
+		s.respond(w, r, existing, key, sp.Wait)
+		return
+	}
 	jb := &job{
 		id:     fmt.Sprintf("j%08d", s.nextID.Add(1)),
 		key:    key,
@@ -277,7 +325,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		done:   make(chan struct{}),
 		status: StatusQueued,
 	}
-	switch s.enqueue(jb) {
+	// Enqueue while holding jmu so the inflight check-then-register is
+	// atomic (enqueue only takes qmu, and never the other way around).
+	adm := s.enqueue(jb)
+	if adm == admitted {
+		s.jobs[jb.id] = jb
+		s.inflight[key] = jb
+	}
+	s.jmu.Unlock()
+	switch adm {
 	case queueFull:
 		s.rejected.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
@@ -288,16 +344,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.accepted.Inc()
-	s.jmu.Lock()
-	s.jobs[jb.id] = jb
-	s.jmu.Unlock()
+	s.respond(w, r, jb, key, sp.Wait)
+}
 
-	if !sp.Wait {
+// respond completes a submission against jb: a 202 + Location for
+// fire-and-forget, or (wait) the job's terminal state as 200/504/500.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, jb *job, key string, wait bool) {
+	if !wait {
 		w.Header().Set("Location", "/v1/jobs/"+jb.id)
 		writeJSON(w, http.StatusAccepted, jb.view(false))
 		return
 	}
-
 	select {
 	case <-jb.done:
 	case <-r.Context().Done():
@@ -317,6 +374,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJob serves job status. Finished jobs are pollable until they
+// age out of the retention window (Options.JobRetention), after which
+// the id is a 404 like any unknown id.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.jmu.Lock()
 	jb, ok := s.jobs[r.PathValue("id")]
