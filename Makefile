@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench check bench-report serve golden
+.PHONY: build vet test race bench check bench-report serve golden chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ serve:
 # Rewrite the golden files after intentional serialization changes.
 golden:
 	$(GO) test ./internal/report ./internal/viz -update
+
+# Short deterministic chaos campaign: every fault model under the
+# monitor must pass the temporal-independence oracle, and the ablated
+# babbling-idiot campaign must fail it (proves the oracle still bites).
+chaos-smoke:
+	$(GO) run ./cmd/chaos -smoke -events 80
 
 check:
 	sh scripts/check.sh

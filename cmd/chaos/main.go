@@ -1,0 +1,202 @@
+// Command chaos runs the adversarial fault-injection campaign: every
+// fault model in internal/faults aimed at the paper's reference system
+// across an intensity sweep, with the temporal-independence oracle
+// (internal/hv) judging each run against the eq. (14) interference
+// budget, the analytic victim-latency bound and the demotion counter
+// identities. Failed runs print a one-line reproducer.
+//
+// Usage:
+//
+//	chaos [-faults a,b,...] [-intensities 0.25,0.5,1] [-events N]
+//	      [-seed S] [-workers N] [-disable-monitor] [-json] [-svg FILE]
+//	chaos -smoke
+//
+// The exit status is 0 iff every run upheld every invariant (with
+// -disable-monitor, failures are the expected outcome and are still
+// reported through the exit status — scripts asserting the ablation
+// *fails* should test for a non-zero exit).
+//
+// -smoke is the CI self-test: a short monitored campaign over every
+// fault model must pass, and the same babbling-idiot campaign with the
+// monitor ablated must fail the eq. (14) invariant — proving the
+// oracle detects regressions rather than rubber-stamping runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/hv"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/tracerec"
+	"repro/internal/viz"
+)
+
+func main() {
+	faultList := flag.String("faults", "", "comma-separated fault models (default: all registered)")
+	intensityList := flag.String("intensities", "", "comma-separated intensities in [0,1] (default: 0.25,0.5,1)")
+	events := flag.Int("events", 300, "attacker arrivals per run")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	workers := flag.Int("workers", runner.Default(), "worker pool size (output is worker-count independent)")
+	disable := flag.Bool("disable-monitor", false, "ablate the activation monitor (runs are expected to fail)")
+	jsonOut := flag.Bool("json", false, "emit the stable JSON encoding instead of the table")
+	svgPath := flag.String("svg", "", "write an interference-vs-budget SVG to this file")
+	smoke := flag.Bool("smoke", false, "CI self-test: monitored campaign passes AND ablated campaign fails")
+	flag.Parse()
+
+	if *smoke {
+		os.Exit(runSmoke(*events, *seed, *workers))
+	}
+
+	cfg := faults.Config{
+		Events:         *events,
+		Seed:           *seed,
+		Workers:        *workers,
+		DisableMonitor: *disable,
+	}
+	if *faultList != "" {
+		cfg.Faults = strings.Split(*faultList, ",")
+	}
+	if *intensityList != "" {
+		for _, s := range strings.Split(*intensityList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: bad intensity %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			cfg.Intensities = append(cfg.Intensities, v)
+		}
+	}
+
+	res, err := faults.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		buf, err := report.EncodeChaos(res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(buf)
+	} else {
+		writeTable(res)
+	}
+	if *svgPath != "" {
+		if err := writeSVG(*svgPath, res); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+	}
+	if res.FailedRuns > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeTable(res *faults.Result) {
+	fmt.Printf("chaos campaign: %d runs, seed %d, %d events/run, monitor %s\n\n",
+		len(res.Runs), res.Seed, res.Events, map[bool]string{false: "on", true: "OFF (ablation)"}[res.DisableMonitor])
+	fmt.Printf("%-22s %-9s %7s %7s %14s %14s %14s %14s  %s\n",
+		"fault", "intensity", "grants", "denied", "interfere(µs)", "budget(µs)", "victim(µs)", "bound(µs)", "verdict")
+	for _, r := range res.Runs {
+		verdict := "PASS"
+		if !r.Oracle.OK() {
+			verdict = "FAIL " + r.Oracle.Violations[0].Invariant
+		}
+		fmt.Printf("%-22s %-9g %7d %7d %14.1f %14.1f %14.1f %14.1f  %s\n",
+			r.Fault, r.Intensity, r.Grants, r.DeniedViolation,
+			r.Interference.MicrosF(), r.Budget.MicrosF(),
+			r.VictimMaxLatency.MicrosF(), r.VictimLatencyBound.MicrosF(), verdict)
+	}
+	fmt.Println()
+	for _, r := range res.Runs {
+		if r.Repro != nil {
+			fmt.Printf("reproducer: %s\n", r.Repro)
+		}
+	}
+	fmt.Printf("%d/%d runs failed\n", res.FailedRuns, len(res.Runs))
+}
+
+func writeSVG(path string, res *faults.Result) error {
+	interference := tracerec.Series{Name: "max victim interference (µs)"}
+	budget := tracerec.Series{Name: "eq. (14) budget (µs)"}
+	for _, r := range res.Runs {
+		interference.Y = append(interference.Y, r.Interference.MicrosF())
+		budget.Y = append(budget.Y, r.Budget.MicrosF())
+	}
+	// viz.SeriesSVG needs ≥ 2 points to draw a line; a single-cell
+	// campaign plots as a flat segment.
+	if len(res.Runs) == 1 {
+		interference.Y = append(interference.Y, interference.Y[0])
+		budget.Y = append(budget.Y, budget.Y[0])
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := viz.SeriesSVG(f, []tracerec.Series{interference, budget},
+		"Chaos campaign — interference vs eq. (14) budget per run",
+		"campaign run index", "µs"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runSmoke is the dual self-test wired into `make chaos-smoke`.
+func runSmoke(events int, seed uint64, workers int) int {
+	ctx := context.Background()
+
+	on, err := faults.Run(ctx, faults.Config{Events: events, Seed: seed, Workers: workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos -smoke: monitored campaign: %v\n", err)
+		return 1
+	}
+	if on.FailedRuns > 0 {
+		fmt.Fprintf(os.Stderr, "chaos -smoke: monitored campaign FAILED %d/%d runs:\n", on.FailedRuns, len(on.Runs))
+		for _, r := range on.Runs {
+			if r.Repro != nil {
+				fmt.Fprintf(os.Stderr, "  %s\n", r.Repro)
+			}
+		}
+		return 1
+	}
+
+	off, err := faults.Run(ctx, faults.Config{
+		Faults:         []string{"babbling-idiot"},
+		Events:         events,
+		Seed:           seed,
+		Workers:        workers,
+		DisableMonitor: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos -smoke: ablated campaign: %v\n", err)
+		return 1
+	}
+	for _, r := range off.Runs {
+		var eq14 bool
+		for _, v := range r.Oracle.Violations {
+			if v.Invariant == hv.InvariantInterference {
+				eq14 = true
+			}
+		}
+		if !eq14 || r.Repro == nil {
+			fmt.Fprintf(os.Stderr,
+				"chaos -smoke: ORACLE REGRESSION: ablated babbling-idiot@%g did not fail the %s invariant\n",
+				r.Intensity, hv.InvariantInterference)
+			return 1
+		}
+	}
+	fmt.Printf("chaos-smoke ok: %d monitored runs passed; %d ablated runs failed the %s invariant as expected\n",
+		len(on.Runs), len(off.Runs), hv.InvariantInterference)
+	return 0
+}

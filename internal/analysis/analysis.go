@@ -176,12 +176,27 @@ func topHandlerInterference(others []IRQ, dt simtime.Duration) simtime.Duration 
 // bottom handlers run in their own slots, which are already covered by
 // the TDMA interference term).
 func ClassicLatency(irq IRQ, tdma TDMA, others []IRQ, horizon simtime.Duration) (ResponseTimeResult, error) {
+	return ClassicLatencyUnder(irq, tdma, others, nil, horizon)
+}
+
+// ClassicLatencyUnder generalises ClassicLatency with an additional
+// interference term folded into the busy window — typically the
+// eq. (14) budget of foreign interposed bottom handlers stealing from
+// the subscriber's own slots, which the plain eq. (11) TDMA term does
+// not cover. This is the victim-side bound of the temporal-independence
+// oracle (internal/hv): the victim's measured latency under a monitored
+// adversary must stay below it. extra == nil reduces to ClassicLatency.
+func ClassicLatencyUnder(irq IRQ, tdma TDMA, others []IRQ, extra Interference, horizon simtime.Duration) (ResponseTimeResult, error) {
 	if err := tdma.Validate(); err != nil {
 		return ResponseTimeResult{}, err
 	}
 	inf := func(dt simtime.Duration) simtime.Duration {
 		own := simtime.Duration(irq.Model.EtaPlus(dt)) * irq.CTH
-		return own + tdma.Interference(dt) + topHandlerInterference(others, dt)
+		total := own + tdma.Interference(dt) + topHandlerInterference(others, dt)
+		if extra != nil {
+			total += extra(dt)
+		}
+		return total
 	}
 	return ResponseTime(irq.CBH, irq.Model, inf, horizon)
 }

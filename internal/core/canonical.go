@@ -94,6 +94,10 @@ type canonScenario struct {
 	Windows    []canonWindow    `json:"windows,omitempty"`
 	IRQs       []canonIRQ       `json:"irqs"`
 	Costs      *canonCosts      `json:"costs,omitempty"`
+	// DisableMonitor is semantic state (it changes results), so it
+	// belongs in the fingerprint pre-image; omitempty keeps every
+	// pre-existing encoding byte-identical.
+	DisableMonitor bool `json:"disable_monitor,omitempty"`
 }
 
 func durs(in []simtime.Duration) []int64 {
@@ -142,7 +146,7 @@ func policyString(p hv.SlotEndPolicy) (string, error) {
 // and guest runtime state) that ScenarioFromCanonicalJSON inverts.
 // Encoding the reconstructed scenario yields byte-identical output.
 func (sc Scenario) CanonicalJSON() ([]byte, error) {
-	c := canonScenario{Version: canonVersion}
+	c := canonScenario{Version: canonVersion, DisableMonitor: sc.DisableMonitor}
 	var err error
 	if c.Mode, err = modeString(sc.Mode); err != nil {
 		return nil, err
@@ -224,6 +228,7 @@ func ScenarioFromCanonicalJSON(data []byte) (Scenario, error) {
 		return Scenario{}, fmt.Errorf("core: canonical encoding v%d, want v%d", c.Version, canonVersion)
 	}
 	var sc Scenario
+	sc.DisableMonitor = c.DisableMonitor
 	switch c.Mode {
 	case "original":
 		sc.Mode = hv.Original

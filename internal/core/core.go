@@ -107,6 +107,11 @@ type Scenario struct {
 	// Tracer, when set, records every CPU execution span for Gantt /
 	// CSV inspection (see internal/schedtrace).
 	Tracer *schedtrace.Recorder
+	// DisableMonitor is the chaos-oracle ablation hook: monitors run
+	// but their verdicts are ignored, so conforming-stream shaping is
+	// off (see hv.Config.DisableMonitor). Part of the canonical
+	// encoding — it changes simulation results.
+	DisableMonitor bool
 }
 
 // CycleLength returns T_TDMA.
@@ -161,10 +166,11 @@ func (sc Scenario) CostModel() arm.CostModel {
 // it, for callers that want stepwise control.
 func Build(sc Scenario) (*hv.System, error) {
 	cfg := hv.Config{
-		Costs:  sc.CostModel(),
-		Mode:   sc.Mode,
-		Policy: sc.Policy,
-		Tracer: sc.Tracer,
+		Costs:          sc.CostModel(),
+		Mode:           sc.Mode,
+		Policy:         sc.Policy,
+		Tracer:         sc.Tracer,
+		DisableMonitor: sc.DisableMonitor,
 	}
 	for _, p := range sc.Partitions {
 		cfg.Slots = append(cfg.Slots, hv.SlotConfig{Name: p.Name, Length: p.Slot, Guest: p.Guest})
@@ -382,6 +388,55 @@ func AnalyzeSchedule(sc Scenario, idx int, model curves.Model) (analysis.Respons
 		others = append(others, analysis.IRQ{Name: q.Name, CTH: q.CTH + costs.QueuePush, CBH: q.CBH, Model: interfererModel(q)})
 	}
 	return analysis.ClassicLatencySchedule(irq, sched, others, analysis.DefaultHorizon)
+}
+
+// ClassicBoundUnder computes the classic delayed-handling worst-case
+// latency bound of eqs. (11)–(12) for IRQ idx with additional foreign
+// interposed interference folded in (analysis.ClassicLatencyUnder) —
+// the victim-side bound of the temporal-independence oracle: under a
+// *monitored* adversary the extra term is the adversary's eq. (14)
+// budget, and the victim's measured latency must stay below the result.
+func ClassicBoundUnder(sc Scenario, idx int, model curves.Model, extra analysis.Interference) (analysis.ResponseTimeResult, error) {
+	if idx < 0 || idx >= len(sc.IRQs) {
+		return analysis.ResponseTimeResult{}, errors.New("core: IRQ index out of range")
+	}
+	costs := sc.CostModel()
+	target := sc.IRQs[idx]
+	irq := analysis.IRQ{
+		Name:  target.Name,
+		CTH:   target.CTH + costs.QueuePush,
+		CBH:   target.CBH + costs.QueuePop,
+		Model: model,
+	}
+	tdma := analysis.TDMA{
+		Cycle:     sc.CycleLength(),
+		Slot:      sc.Partitions[target.Partition].Slot,
+		SlotEntry: costs.CtxSwitch,
+	}
+	var others []analysis.IRQ
+	for i, q := range sc.IRQs {
+		if i == idx {
+			continue
+		}
+		// Interferer top handlers fire for the *actual* stream, not
+		// the monitoring condition — a violating arrival is denied
+		// interposing but still pays its top handler. Bound them by
+		// the concrete trace, never the (possibly violated) condition.
+		m := traceModel(q.Arrivals)
+		others = append(others, analysis.IRQ{Name: q.Name, CTH: q.CTH + costs.QueuePush, CBH: q.CBH, Model: m})
+	}
+	return analysis.ClassicLatencyUnder(irq, tdma, others, extra, analysis.DefaultHorizon)
+}
+
+// traceModel returns the tightest δ⁻ of a concrete arrival stream, or
+// an effectively silent model for streams too short to derive one.
+func traceModel(arrivals []simtime.Time) curves.Model {
+	if len(arrivals) >= 2 {
+		if d, err := curves.DeltaFromTrace(arrivals, 8); err == nil {
+			return d
+		}
+	}
+	return curves.Sporadic{DMin: simtime.Infinity / 2}
 }
 
 // interfererModel derives a conservative activation model for an

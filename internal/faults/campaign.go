@@ -1,0 +1,400 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// The chaos campaign: every registered fault model is aimed at the
+// paper's reference system (§6.1 slots and dmin) across a sweep of
+// intensities, and every run is judged by the temporal-independence
+// oracle (internal/hv). A run that breaks an invariant yields a
+// minimal Reproducer — the (fault, intensity, stream) triple plus the
+// scenario fingerprint and the first offending event — which is all
+// that is needed to replay it, because streams are pure functions of
+// their seeds.
+
+// Campaign scenario constants: the paper's reference system (§6.1).
+const (
+	slotApp1         = 6000 // µs
+	slotApp2         = 6000 // µs
+	slotHousekeeping = 2000 // µs
+	attackerDMinUs   = 1344 // µs, the paper's l = 1 condition
+	handlerCTHUs     = 6    // µs
+	handlerCBHUs     = 30   // µs
+	victimMeanUs     = 2500 // µs, benign victim interarrival mean
+	victimDMinUs     = 500  // µs, benign victim clamp
+)
+
+// Config parameterises a campaign.
+type Config struct {
+	// Faults lists the model names to sweep; empty selects every
+	// registered model.
+	Faults []string
+	// Intensities lists the per-model intensities; empty selects
+	// 0.25, 0.5 and 1.0.
+	Intensities []float64
+	// Events is the number of attacker arrivals per run (the victim
+	// stream has the same length). 0 selects 300.
+	Events int
+	// Seed is the campaign seed; each run draws its streams from
+	// rng.NewStream(Seed, streamID) with a per-case stream id, so the
+	// campaign is reproducible case by case.
+	Seed uint64
+	// Workers sizes the worker pool (0 = runner default).
+	Workers int
+	// DisableMonitor runs the whole campaign with the hv ablation
+	// hook set: monitors run but their verdicts are ignored. Used to
+	// prove the oracle catches regressions; see TestOracleCatches*.
+	DisableMonitor bool
+}
+
+// DefaultConfig returns the campaign defaults.
+func DefaultConfig() Config {
+	return Config{Events: 300, Seed: 1}
+}
+
+// DefaultIntensities returns the default intensity sweep.
+func DefaultIntensities() []float64 { return []float64{0.25, 0.5, 1.0} }
+
+func (c *Config) fill() error {
+	if len(c.Faults) == 0 {
+		c.Faults = Names()
+	}
+	for _, f := range c.Faults {
+		if _, ok := Lookup(f); !ok {
+			return fmt.Errorf("faults: unknown fault model %q (have %v)", f, Names())
+		}
+	}
+	if len(c.Intensities) == 0 {
+		c.Intensities = DefaultIntensities()
+	}
+	if c.Events <= 0 {
+		c.Events = 300
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Reproducer is the minimal replay recipe for a failed run.
+type Reproducer struct {
+	// Fingerprint is the core.Fingerprint of the exact scenario that
+	// failed (the content address of its canonical JSON).
+	Fingerprint string
+	// Seed and StreamID regenerate the run's arrival streams:
+	// attacker = rng.NewStream(Seed, 2·StreamID), victim =
+	// rng.NewStream(Seed, 2·StreamID+1).
+	Seed     uint64
+	StreamID uint64
+	// Fault, Intensity, Events and DisableMonitor restate the case.
+	Fault          string
+	Intensity      float64
+	Events         int
+	DisableMonitor bool
+	// First is the first offending event of the first violated
+	// invariant.
+	First hv.OracleViolation
+}
+
+// String renders the reproducer as a single replay line.
+func (r Reproducer) String() string {
+	return fmt.Sprintf("fault=%s intensity=%g seed=%d stream=%d events=%d disable_monitor=%v scenario=%s first{%s}",
+		r.Fault, r.Intensity, r.Seed, r.StreamID, r.Events, r.DisableMonitor, r.Fingerprint, r.First)
+}
+
+// RunReport is the outcome of one campaign case.
+type RunReport struct {
+	Fault     string
+	Intensity float64
+	StreamID  uint64
+
+	// Workload and shaping summary.
+	AttackerArrivals int
+	Grants           uint64 // interposed grants admitted
+	DeniedViolation  uint64 // arrivals demoted by the monitor
+
+	// Invariant (a) aggregate: the worst victim interference over the
+	// whole run vs the whole-run eq. (14) budget.
+	Interference simtime.Duration
+	Budget       simtime.Duration
+
+	// Invariant (b): measured vs analytic victim latency. A zero
+	// bound with non-empty BoundNote means the analysis declined
+	// (e.g. unbounded busy window) and the latency check was skipped.
+	VictimMaxLatency   simtime.Duration
+	VictimLatencyBound simtime.Duration
+	BoundNote          string
+
+	Oracle hv.OracleReport
+	// Repro is non-nil iff the oracle found a violation.
+	Repro *Reproducer
+}
+
+// Result is a full campaign outcome.
+type Result struct {
+	DisableMonitor bool
+	Events         int
+	Seed           uint64
+	Runs           []RunReport
+	// FailedRuns counts runs with at least one oracle violation.
+	FailedRuns int
+}
+
+// Run executes the campaign: every fault × intensity cell as one
+// simulation, fanned out over the worker pool deterministically
+// (results are byte-identical for any worker count).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		fault     string
+		intensity float64
+	}
+	var cells []cell
+	for _, f := range cfg.Faults {
+		for _, in := range cfg.Intensities {
+			cells = append(cells, cell{fault: f, intensity: in})
+		}
+	}
+	runs, err := runner.MapCtx(ctx, cfg.Workers, len(cells), func(i int) (RunReport, error) {
+		return RunCase(Case{
+			Fault:          cells[i].fault,
+			Intensity:      cells[i].intensity,
+			Seed:           cfg.Seed,
+			StreamID:       uint64(i), //nolint:gosec // small non-negative index
+			Events:         cfg.Events,
+			DisableMonitor: cfg.DisableMonitor,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		DisableMonitor: cfg.DisableMonitor,
+		Events:         cfg.Events,
+		Seed:           cfg.Seed,
+		Runs:           runs,
+	}
+	for _, r := range runs {
+		if !r.Oracle.OK() {
+			res.FailedRuns++
+		}
+	}
+	return res, nil
+}
+
+// Case identifies one campaign cell.
+type Case struct {
+	Fault          string
+	Intensity      float64
+	Seed           uint64
+	StreamID       uint64
+	Events         int
+	DisableMonitor bool
+}
+
+// RunCase executes one cell: build the adversarial scenario, arm the
+// oracle, simulate, and judge.
+func RunCase(c Case) (RunReport, error) {
+	model, ok := Lookup(c.Fault)
+	if !ok {
+		return RunReport{}, fmt.Errorf("faults: unknown fault model %q", c.Fault)
+	}
+	sc, meta := caseScenario(model, c)
+	sys, err := core.Build(sc)
+	if err != nil {
+		return RunReport{}, fmt.Errorf("faults: %s@%g: %w", c.Fault, c.Intensity, err)
+	}
+	budget := interferenceBudget(sc, sys)
+	sys.InstallOracle(budget)
+
+	var last simtime.Time
+	for _, q := range sc.IRQs {
+		if n := len(q.Arrivals); n > 0 && q.Arrivals[n-1] > last {
+			last = q.Arrivals[n-1]
+		}
+	}
+	if err := sys.RunToCompletion(last.Add(1000 * sc.CycleLength())); err != nil {
+		return RunReport{}, fmt.Errorf("faults: %s@%g: %w", c.Fault, c.Intensity, err)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		return RunReport{}, fmt.Errorf("faults: %s@%g: %w", c.Fault, c.Intensity, err)
+	}
+
+	rep := RunReport{
+		Fault:            c.Fault,
+		Intensity:        c.Intensity,
+		StreamID:         c.StreamID,
+		AttackerArrivals: len(sc.IRQs[meta.attacker].Arrivals),
+		Grants:           sys.Stats().InterposedGrants,
+		DeniedViolation:  sys.Stats().DeniedViolation,
+	}
+
+	// Whole-run aggregate of invariant (a), for the report tables.
+	elapsed := sys.Now().Sub(0)
+	rep.Budget = budget(meta.victimPart, elapsed)
+	for _, p := range sys.Partitions() {
+		if p.Index != meta.attackerPart && p.StolenInterposed > rep.Interference {
+			rep.Interference = p.StolenInterposed
+		}
+	}
+
+	// Invariant (b): the victim's analytic delayed-handling bound with
+	// the adversary's eq. (14) interference folded in. The enforced
+	// condition is read post-run so learning monitors are covered.
+	bounds := map[int]simtime.Duration{}
+	victimModel, err := curves.DeltaFromTrace(sc.IRQs[meta.victim].Arrivals, 16)
+	if err != nil {
+		rep.BoundNote = fmt.Sprintf("victim trace model: %v", err)
+	} else {
+		extra := func(dt simtime.Duration) simtime.Duration { return budget(meta.victimPart, dt) }
+		rt, err := core.ClassicBoundUnder(sc, meta.victim, victimModel, extra)
+		if err != nil {
+			rep.BoundNote = fmt.Sprintf("victim bound: %v", err)
+		} else {
+			rep.VictimLatencyBound = rt.WCRT
+			bounds[meta.victim] = rt.WCRT
+		}
+	}
+	for _, r := range sys.Log().Records {
+		if r.Source == meta.victim {
+			if lat := r.Done.Sub(r.Arrival); lat > rep.VictimMaxLatency {
+				rep.VictimMaxLatency = lat
+			}
+		}
+	}
+
+	rep.Oracle = sys.CheckTemporalIndependence(bounds)
+	if !rep.Oracle.OK() {
+		fp, err := core.Fingerprint(sc)
+		if err != nil {
+			fp = fmt.Sprintf("unavailable: %v", err)
+		}
+		rep.Repro = &Reproducer{
+			Fingerprint:    fp,
+			Seed:           c.Seed,
+			StreamID:       c.StreamID,
+			Fault:          c.Fault,
+			Intensity:      c.Intensity,
+			Events:         c.Events,
+			DisableMonitor: c.DisableMonitor,
+			First:          rep.Oracle.Violations[0],
+		}
+	}
+	return rep, nil
+}
+
+// caseMeta locates the scenario's actors.
+type caseMeta struct {
+	attacker     int // attacker IRQ index
+	victim       int // victim IRQ index
+	attackerPart int
+	victimPart   int
+}
+
+// caseScenario builds the adversarial scenario for one cell: the
+// paper's three-partition reference system with the fault model wired
+// into partition 0's IRQ source and a benign victim source on
+// partition 1. The attacker's monitoring condition depends on the
+// model: burst-after-silence gets an l = 4 condition (it attacks the
+// trace buffer), mode-flip gets a learning monitor whose learning
+// phase exactly covers the model's benign prefix, everything else gets
+// the paper's dmin.
+func caseScenario(model Model, c Case) (core.Scenario, caseMeta) {
+	us := simtime.Micros
+	dmin := us(attackerDMinUs)
+	asrc := rng.NewStream(c.Seed, 2*c.StreamID)
+	vsrc := rng.NewStream(c.Seed, 2*c.StreamID+1)
+
+	p := Params{DMin: dmin, Events: c.Events, Intensity: c.Intensity}
+	attacker := core.IRQSpec{
+		Name:      "attacker-" + model.Name(),
+		Partition: 0,
+		CTH:       us(handlerCTHUs),
+		CBH:       us(handlerCBHUs),
+	}
+	switch model.Name() {
+	case "burst-after-silence":
+		cond, err := curves.NewDelta([]simtime.Duration{
+			dmin, 22 * dmin / 10, 36 * dmin / 10, 5 * dmin,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("faults: l=4 condition: %v", err))
+		}
+		p.Condition = cond
+		attacker.Condition = cond
+	case "mode-flip":
+		p.BenignEvents = c.Events / 3
+		bound, err := curves.NewDelta([]simtime.Duration{
+			dmin, 2 * dmin, 3 * dmin, 4 * dmin,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("faults: learn bound: %v", err))
+		}
+		attacker.Learn = &core.LearnSpec{L: 4, Events: p.BenignEvents, Bound: bound}
+	default:
+		attacker.DMin = dmin
+	}
+	attacker.Arrivals = model.Arrivals(asrc, p)
+
+	victim := core.IRQSpec{
+		Name:      "victim",
+		Partition: 1,
+		CTH:       us(handlerCTHUs),
+		CBH:       us(handlerCBHUs),
+		Arrivals: workload.Timestamps(workload.ExponentialClamped(
+			vsrc, us(victimMeanUs), us(victimDMinUs), c.Events)),
+	}
+
+	sc := core.Scenario{
+		Partitions: []core.PartitionSpec{
+			{Name: "app1", Slot: us(slotApp1)},
+			{Name: "app2", Slot: us(slotApp2)},
+			{Name: "housekeeping", Slot: us(slotHousekeeping)},
+		},
+		IRQs:           []core.IRQSpec{attacker, victim},
+		Mode:           hv.Monitored,
+		Policy:         hv.DenyNearSlotEnd,
+		DisableMonitor: c.DisableMonitor,
+	}
+	return sc, caseMeta{attacker: 0, victim: 1, attackerPart: 0, victimPart: 1}
+}
+
+// interferenceBudget builds the oracle's eq. (14) budget for a built
+// system: for each victim partition, the sum over monitored sources
+// subscribed elsewhere of η⁺_cond(Δt)·C'_BH. The enforced condition is
+// read lazily from each monitor, so a learning source contributes
+// nothing until FinishLearning — exact, because the hypervisor denies
+// interposing while learning. The per-grant cost folds in the queue
+// pop the simulated dispatcher pays on top of C_BH, mirroring how
+// core.Analyze folds push/pop into the handler WCETs.
+func interferenceBudget(sc core.Scenario, sys *hv.System) hv.InterferenceBudget {
+	costs := sc.CostModel()
+	srcs := sys.Sources()
+	return func(victim int, dt simtime.Duration) simtime.Duration {
+		var total simtime.Duration
+		for _, src := range srcs {
+			if src.Monitor == nil || len(src.Subscribers) != 1 || src.Subscribers[0] == victim {
+				continue
+			}
+			cond := src.Monitor.Condition()
+			if cond == nil {
+				continue // still learning: interposing is denied
+			}
+			total += analysis.InterposedInterferenceDelta(dt, cond, costs, src.CBH+costs.QueuePop)
+		}
+		return total
+	}
+}

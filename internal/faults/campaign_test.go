@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/hv"
+)
+
+// With the monitor enabled, every fault model at every intensity must
+// pass all three oracle invariants: interposed interference stays
+// within the eq. (14) budget, the victim's measured latency stays
+// under its analytic bound, and every monitor violation is demoted.
+func TestCampaignMonitorOnPasses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Events = 200
+	cfg.Workers = 4
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Runs) != len(Names())*3 {
+		t.Fatalf("got %d runs, want %d", len(res.Runs), len(Names())*3)
+	}
+	for _, r := range res.Runs {
+		if !r.Oracle.OK() {
+			t.Errorf("%s@%g: oracle violations: %v", r.Fault, r.Intensity, r.Oracle.Violations)
+		}
+		if r.Repro != nil {
+			t.Errorf("%s@%g: unexpected reproducer: %s", r.Fault, r.Intensity, r.Repro)
+		}
+		if !r.Oracle.InterferenceChecked {
+			t.Errorf("%s@%g: interference invariant not armed", r.Fault, r.Intensity)
+		}
+		if r.Oracle.LatencyChecked == 0 && r.BoundNote == "" {
+			t.Errorf("%s@%g: latency invariant silently skipped", r.Fault, r.Intensity)
+		}
+		if r.Interference > r.Budget {
+			t.Errorf("%s@%g: interference %v exceeds whole-run budget %v",
+				r.Fault, r.Intensity, r.Interference, r.Budget)
+		}
+	}
+	if res.FailedRuns != 0 {
+		t.Fatalf("FailedRuns = %d, want 0", res.FailedRuns)
+	}
+	// The campaign must exercise both monitor outcomes somewhere:
+	// admitted grants and demoted violations.
+	var grants, denied uint64
+	for _, r := range res.Runs {
+		grants += r.Grants
+		denied += r.DeniedViolation
+	}
+	if grants == 0 {
+		t.Error("no run admitted a single interposed grant")
+	}
+	if denied == 0 {
+		t.Error("no run demoted a single violation")
+	}
+}
+
+// Ablation: with the monitor's verdict discarded, every babbling-idiot
+// run must break the eq. (14) interference invariant and carry a
+// reproducer naming the first offending event.
+func TestCampaignAblationBabblingFails(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = []string{"babbling-idiot"}
+	cfg.Events = 200
+	cfg.DisableMonitor = true
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(res.Runs))
+	}
+	if res.FailedRuns != len(res.Runs) {
+		t.Fatalf("FailedRuns = %d, want %d", res.FailedRuns, len(res.Runs))
+	}
+	for _, r := range res.Runs {
+		var eq14 bool
+		for _, v := range r.Oracle.Violations {
+			if v.Invariant == hv.InvariantInterference {
+				eq14 = true
+				if v.Measured <= v.Bound {
+					t.Errorf("%s@%g: violation measured %v within bound %v",
+						r.Fault, r.Intensity, v.Measured, v.Bound)
+				}
+			}
+		}
+		if !eq14 {
+			t.Errorf("%s@%g: no %s violation: %v", r.Fault, r.Intensity,
+				hv.InvariantInterference, r.Oracle.Violations)
+		}
+		if r.Repro == nil {
+			t.Fatalf("%s@%g: failed run without a reproducer", r.Fault, r.Intensity)
+		}
+		line := r.Repro.String()
+		for _, want := range []string{"babbling-idiot", "seed=", "stream=", "scenario=", "disable_monitor=true"} {
+			if !strings.Contains(line, want) {
+				t.Errorf("reproducer %q missing %q", line, want)
+			}
+		}
+		if r.Repro.Fingerprint == "" || strings.HasPrefix(r.Repro.Fingerprint, "unavailable") {
+			t.Errorf("reproducer without a scenario fingerprint: %q", r.Repro.Fingerprint)
+		}
+	}
+}
+
+// Campaign results must be byte-identical regardless of worker count.
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Events = 120
+	cfg.Intensities = []float64{0.5}
+	one, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run(workers=0): %v", err)
+	}
+	cfg.Workers = 8
+	eight, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run(workers=8): %v", err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatal("campaign results differ across worker counts")
+	}
+}
+
+func TestRunCaseUnknownFault(t *testing.T) {
+	if _, err := RunCase(Case{Fault: "no-such"}); err == nil {
+		t.Fatal("RunCase accepted an unknown fault model")
+	}
+	cfg := Config{Faults: []string{"no-such"}}
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("Run accepted an unknown fault model")
+	}
+}

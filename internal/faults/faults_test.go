@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func testParams(events int) Params {
+	return Params{DMin: simtime.Micros(1344), Events: events}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"babbling-idiot", "jitter-drift", "burst-after-silence", "stuck-line", "mode-flip"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for _, n := range names {
+		m, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", n)
+		}
+		if m.Name() != n {
+			t.Errorf("Lookup(%q).Name() = %q", n, m.Name())
+		}
+		if m.Describe() == "" {
+			t.Errorf("%s: empty description", n)
+		}
+	}
+	if _, ok := Lookup("no-such-model"); ok {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+}
+
+// Every model must emit a strictly increasing, positive arrival
+// sequence — the hv engine and curves.DeltaFromTrace both require it.
+func TestArrivalsStrictlyMonotone(t *testing.T) {
+	for _, m := range Models() {
+		for _, intensity := range []float64{0, 0.25, 0.5, 1.0} {
+			p := testParams(200)
+			p.Intensity = intensity
+			arr := m.Arrivals(rng.New(7), p)
+			if len(arr) == 0 {
+				t.Fatalf("%s@%g: no arrivals", m.Name(), intensity)
+			}
+			if arr[0] <= 0 {
+				t.Fatalf("%s@%g: first arrival %v not positive", m.Name(), intensity, arr[0])
+			}
+			for i := 1; i < len(arr); i++ {
+				if arr[i] <= arr[i-1] {
+					t.Fatalf("%s@%g: arrivals[%d]=%v <= arrivals[%d]=%v",
+						m.Name(), intensity, i, arr[i], i-1, arr[i-1])
+				}
+			}
+		}
+	}
+}
+
+// Same seed → byte-identical streams; the whole chaos layer leans on
+// this for reproducers.
+func TestArrivalsDeterministic(t *testing.T) {
+	for _, m := range Models() {
+		p := testParams(150)
+		p.Intensity = 0.7
+		a := m.Arrivals(rng.NewStream(42, 3), p)
+		b := m.Arrivals(rng.NewStream(42, 3), p)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different arrivals", m.Name())
+		}
+		c := m.Arrivals(rng.NewStream(42, 4), p)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different streams produced identical arrivals", m.Name())
+		}
+	}
+}
+
+// The babbling idiot must actually babble: a large share of adjacent
+// gaps below dmin.
+func TestBabblingIdiotViolatesDMin(t *testing.T) {
+	m, _ := Lookup("babbling-idiot")
+	p := testParams(300)
+	p.Intensity = 1.0
+	arr := m.Arrivals(rng.New(1), p)
+	var under int
+	for i := 1; i < len(arr); i++ {
+		if arr[i].Sub(arr[i-1]) < p.DMin {
+			under++
+		}
+	}
+	if frac := float64(under) / float64(len(arr)-1); frac < 0.5 {
+		t.Fatalf("only %.0f%% of gaps violate dmin, want a majority", 100*frac)
+	}
+}
+
+// The mode flip must be clean: every gap in the benign prefix honours
+// dmin, and the first hostile gap violates it.
+func TestModeFlipBenignPrefix(t *testing.T) {
+	m, _ := Lookup("mode-flip")
+	p := testParams(300)
+	p.Intensity = 1.0
+	p.BenignEvents = 100
+	arr := m.Arrivals(rng.New(9), p)
+	if len(arr) <= p.BenignEvents {
+		t.Fatalf("only %d arrivals, want benign prefix (%d) plus a hostile phase", len(arr), p.BenignEvents)
+	}
+	for i := 1; i < p.BenignEvents; i++ {
+		if d := arr[i].Sub(arr[i-1]); d < p.DMin {
+			t.Fatalf("benign gap %d is %v < dmin %v", i, d, p.DMin)
+		}
+	}
+	var under int
+	for i := p.BenignEvents + 1; i < len(arr); i++ {
+		if arr[i].Sub(arr[i-1]) < p.DMin {
+			under++
+		}
+	}
+	if under == 0 {
+		t.Fatal("hostile phase never violates dmin")
+	}
+}
+
+func TestWrapMerges(t *testing.T) {
+	m, _ := Lookup("babbling-idiot")
+	p := testParams(50)
+	p.Intensity = 0.5
+	base := []simtime.Time{simtime.Time(0).Add(simtime.Micros(100)), simtime.Time(0).Add(simtime.Micros(900000))}
+	out := Wrap(base, m, rng.New(3), p)
+	if len(out) < len(base)+p.Events {
+		t.Fatalf("Wrap dropped events: got %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatalf("Wrap output not strictly increasing at %d", i)
+		}
+	}
+}

@@ -38,9 +38,11 @@ type grantState struct {
 	target int // subscriber partition index
 	phase  int // 0: need sched, 1: need ctx-in, 2: exec BH, 3: need ctx-out
 	// Triggering delivery, to distinguish a grant serving its own IRQ
-	// from one serving an older FIFO-queued delivery.
+	// from one serving an older FIFO-queued delivery. trigAt anchors
+	// the oracle's sliding-window interference check (oracle.go).
 	trigSrc int
 	trigSeq uint64
+	trigAt  simtime.Time
 	// C_BH execution budget enforced by the hypervisor (§5); set on
 	// first bottom-handler entry.
 	budget    simtime.Duration
@@ -67,6 +69,10 @@ type System struct {
 	hvBusy bool
 	grant  *grantState
 	exec   execState
+
+	// oracle, when armed via InstallOracle, checks every interference
+	// increment against the eq. (14) budget online (see oracle.go).
+	oracle *oracleState
 
 	// In-flight hypervisor activity (at most one at a time; hvActivity
 	// panics on nesting). Keeping the state here lets one prebuilt
@@ -371,7 +377,7 @@ func (s *System) preempt() {
 			kind = schedtrace.InterposedBH
 			s.grant.budget -= span
 			if s.active != p.Index {
-				s.parts[s.active].StolenInterposed += span
+				s.noteInterference(s.active, span)
 			}
 		}
 		s.traceSpan(kind, p.Index, p.queue[0].src.Index, s.exec.start, p.queue[0].src.bhLabel)
@@ -452,6 +458,12 @@ func (s *System) startTopHandler(line intc.Line) {
 			dur += s.costs.Monitor
 			s.stats.MonitorTime += s.costs.Monitor
 			verdict := src.Monitor.Check(arrival)
+			if s.cfg.DisableMonitor {
+				// Ablation hook: the monitoring function still runs
+				// (and charges C_Mon) but its verdict is discarded —
+				// see Config.DisableMonitor.
+				verdict = monitor.Conforming
+			}
 			switch {
 			case verdict == monitor.Violation:
 				s.stats.DeniedViolation++
@@ -464,7 +476,9 @@ func (s *System) startTopHandler(line intc.Line) {
 				s.stats.DeniedFit++
 			default:
 				interpose = true
-				src.Monitor.Commit(arrival)
+				if !s.cfg.DisableMonitor {
+					src.Monitor.Commit(arrival)
+				}
 			}
 		}
 	} else if s.cfg.Mode == Monitored && foreign {
@@ -487,7 +501,7 @@ func (s *System) startTopHandler(line intc.Line) {
 			decision: decision,
 		})
 		if interpose {
-			s.grant = &grantState{target: subscriber, trigSrc: src.Index, trigSeq: src.seq}
+			s.grant = &grantState{target: subscriber, trigSrc: src.Index, trigSeq: src.seq, trigAt: arrival}
 			s.stats.InterposedGrants++
 		}
 		src.seq++
@@ -525,10 +539,10 @@ func (s *System) startSharedTopHandler(src *Source, arrival simtime.Time) {
 // advanceGrant drives an interposed grant through its phases.
 func (s *System) advanceGrant() {
 	g := s.grant
-	victim := s.parts[s.active]
+	victim := s.active
 	steal := func(span simtime.Duration) {
 		if s.active != g.target {
-			victim.StolenInterposed += span
+			s.noteInterference(victim, span)
 		}
 	}
 	switch g.phase {
@@ -617,7 +631,7 @@ func (s *System) bhDoneFor(p *Partition) func() {
 			tkind = schedtrace.InterposedBH
 			s.grant.budget -= span
 			if s.active != p.Index {
-				s.parts[s.active].StolenInterposed += span
+				s.noteInterference(s.active, span)
 			}
 		}
 		s.traceSpan(tkind, p.Index, p.queue[0].src.Index, s.exec.start, p.queue[0].src.bhLabel)

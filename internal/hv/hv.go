@@ -181,6 +181,16 @@ type Config struct {
 	// Tracer, when set, records every CPU execution span (guest,
 	// handlers, context switches) for Gantt/CSV inspection.
 	Tracer *schedtrace.Recorder
+	// DisableMonitor, in Monitored mode, makes the modified top
+	// handler run the monitoring function (charging C_Mon) but ignore
+	// its verdict: every foreign-slot IRQ that passes the remaining
+	// admission checks is interposed, and nothing is committed to the
+	// trace buffer. This is an ablation hook for the chaos oracle
+	// (internal/faults): with the monitor out of the loop a
+	// babbling-idiot source must break the eq. (14) invariant, which
+	// proves the oracle detects real regressions. Never set it in a
+	// production scenario.
+	DisableMonitor bool
 }
 
 // schedule returns the effective cyclic window schedule.

@@ -1,0 +1,265 @@
+// The temporal-independence oracle: per-run invariant checks that turn
+// the paper's headline safety claim into an enforced contract.
+//
+// Three invariants are checked (ISSUE: sufficient temporal
+// independence, §5/eq. 14):
+//
+//	(a) eq14-interference — the processing time foreign interposed
+//	    bottom handlers steal from every victim partition stays within
+//	    the eq. (14) budget Σ η⁺_cond(Δt)·C'_BH for *every* window Δt,
+//	    not just the whole run. Each steal is recorded online with the
+//	    arrival time of the activation that triggered its grant; the
+//	    check then slides a window over every pair of activation
+//	    anchors, so a burst that is far under the whole-run average
+//	    rate but locally violent (the babbling-idiot signature) is
+//	    still caught, and the first offending grant is identified;
+//	(b) victim-latency — no victim IRQ latency exceeds the analytic
+//	    delayed-handling bound supplied by the caller (computed from
+//	    internal/analysis with the eq. (14) interference folded in);
+//	(c) violation-demotion — every monitor Violation verdict was
+//	    demoted to delayed handling and every interposed grant was a
+//	    committed (budget-consuming) activation: the counter identities
+//	    DeniedViolation = Σ Violations and InterposedGrants = Σ Commits.
+//
+// A violation of any invariant carries the first offending event
+// (source, sequence number, time) so a campaign layer can emit a
+// minimal reproducer; see internal/faults.
+package hv
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Invariant names, as reported in OracleViolation.Invariant.
+const (
+	InvariantInterference = "eq14-interference"
+	InvariantLatency      = "victim-latency"
+	InvariantDemotion     = "violation-demotion"
+)
+
+// InterferenceBudget returns the interference budget for a victim
+// partition over a window of length dt — normally the eq. (14) bound
+// summed over the monitored sources not subscribed by that partition.
+// Implementations may consult monitor state lazily (a learning monitor
+// has no condition until FinishLearning; before that no interposing
+// happens, so an infinite budget during learning is exact).
+type InterferenceBudget func(victim int, dt simtime.Duration) simtime.Duration
+
+// OracleViolation is one invariant failure with its first offending
+// event.
+type OracleViolation struct {
+	Invariant string
+	// Partition is the victim partition index (-1 when not applicable).
+	Partition int
+	// Source and Seq identify the offending delivery (-1 unknown).
+	Source int
+	Seq    uint64
+	// At is the time of the first offending event.
+	At simtime.Time
+	// Measured and Bound quantify the breach.
+	Measured simtime.Duration
+	Bound    simtime.Duration
+	Detail   string
+}
+
+// String formats the violation for logs and reproducers.
+func (v OracleViolation) String() string {
+	return fmt.Sprintf("%s: partition=%d source=%d seq=%d t=%v measured=%v bound=%v (%s)",
+		v.Invariant, v.Partition, v.Source, v.Seq, v.At, v.Measured, v.Bound, v.Detail)
+}
+
+// OracleReport is the outcome of CheckTemporalIndependence.
+type OracleReport struct {
+	// InterferenceChecked reports whether the online eq. (14) check
+	// was armed (InstallOracle was called before the run).
+	InterferenceChecked bool
+	// LatencyChecked is the number of sources a latency bound was
+	// checked for.
+	LatencyChecked int
+	// Violations lists every invariant failure in deterministic order:
+	// interference by victim partition, latency by source, demotion
+	// last. Empty means the run upheld temporal independence.
+	Violations []OracleViolation
+}
+
+// OK reports whether every checked invariant held.
+func (r OracleReport) OK() bool { return len(r.Violations) == 0 }
+
+// stealRec is one interference contribution on a victim partition,
+// anchored at the arrival time of the activation whose grant caused it
+// (a grant's scheduler, context-switch and bottom-handler phases merge
+// into one record).
+type stealRec struct {
+	src  int
+	seq  uint64
+	act  simtime.Time // triggering activation's arrival time
+	span simtime.Duration
+}
+
+// oracleState is the interference recorder armed by InstallOracle.
+type oracleState struct {
+	budget InterferenceBudget
+	steals [][]stealRec // per victim partition, in steal order
+}
+
+// InstallOracle arms the eq. (14) interference check: every increment
+// of a partition's StolenInterposed is recorded together with the
+// activation that triggered the grant, and CheckTemporalIndependence
+// later verifies every activation-anchored window against the budget.
+// Must be called before the run so no increment escapes the record.
+func (s *System) InstallOracle(budget InterferenceBudget) {
+	if budget == nil {
+		panic("hv: InstallOracle with nil budget")
+	}
+	s.oracle = &oracleState{
+		budget: budget,
+		steals: make([][]stealRec, len(s.parts)),
+	}
+}
+
+// noteInterference is the single accounting point for interposed
+// interference: it adds span to the victim's StolenInterposed and, when
+// the oracle is armed, records the contribution under the triggering
+// activation.
+func (s *System) noteInterference(victim int, span simtime.Duration) {
+	s.parts[victim].StolenInterposed += span
+	o := s.oracle
+	if o == nil {
+		return
+	}
+	rec := stealRec{src: -1, span: span}
+	if g := s.grant; g != nil {
+		rec.src, rec.seq, rec.act = g.trigSrc, g.trigSeq, g.trigAt
+	} else {
+		rec.act = s.sim.Now()
+	}
+	rs := o.steals[victim]
+	if n := len(rs); n > 0 && rs[n-1].src == rec.src && rs[n-1].seq == rec.seq && rs[n-1].act == rec.act {
+		rs[n-1].span += span
+		return
+	}
+	o.steals[victim] = append(rs, rec)
+}
+
+// interferenceBreach slides a window over the victim's steal records
+// and returns the first breach of the eq. (14) budget: the smallest
+// end index j (and within it the widest window start i) whose summed
+// steals exceed budget(victim, act_j − act_i). Soundness: committed
+// activations conform to each source's δ⁻ condition, so any closed
+// window of length Δt holds at most η⁺_cond(Δt) of them per source,
+// each granting at most one interposed execution of cost ≤ C'_BH.
+func (o *oracleState) interferenceBreach(victim int, name string) *OracleViolation {
+	recs := o.steals[victim]
+	// Steals are recorded in grant order; grants are admitted at their
+	// activation's arrival, so anchors are already non-decreasing.
+	prefix := make([]simtime.Duration, len(recs)+1)
+	for i, r := range recs {
+		prefix[i+1] = prefix[i] + r.span
+	}
+	for j := range recs {
+		for i := 0; i <= j; i++ {
+			sum := prefix[j+1] - prefix[i]
+			dt := recs[j].act.Sub(recs[i].act)
+			bound := o.budget(victim, dt)
+			if sum <= bound {
+				continue
+			}
+			return &OracleViolation{
+				Invariant: InvariantInterference,
+				Partition: victim,
+				Source:    recs[j].src,
+				Seq:       recs[j].seq,
+				At:        recs[j].act,
+				Measured:  sum,
+				Bound:     bound,
+				Detail: fmt.Sprintf("steals on %s from %d grants over the window [%v, %v] exceed the eq. (14) budget",
+					name, j-i+1, recs[i].act, recs[j].act),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTemporalIndependence evaluates the oracle invariants after a
+// run. latencyBounds maps source index → analytic worst-case latency
+// bound for invariant (b); sources absent from the map are not latency-
+// checked (an attacker's own delayed latency is deliberately unbounded).
+// Invariant (a) requires InstallOracle before the run; (c) needs no
+// setup.
+func (s *System) CheckTemporalIndependence(latencyBounds map[int]simtime.Duration) OracleReport {
+	rep := OracleReport{InterferenceChecked: s.oracle != nil}
+
+	// (a) eq. (14) interference, first breach per victim partition.
+	if s.oracle != nil {
+		for idx, p := range s.parts {
+			if v := s.oracle.interferenceBreach(idx, p.Name); v != nil {
+				rep.Violations = append(rep.Violations, *v)
+			}
+		}
+	}
+
+	// (b) victim latency against the analytic bound, first offending
+	// record in completion order per source.
+	for idx := 0; idx < len(s.srcs); idx++ {
+		bound, ok := latencyBounds[idx]
+		if !ok {
+			continue
+		}
+		rep.LatencyChecked++
+		for _, r := range s.log.Records {
+			if r.Source != idx {
+				continue
+			}
+			if lat := r.Done.Sub(r.Arrival); lat > bound {
+				rep.Violations = append(rep.Violations, OracleViolation{
+					Invariant: InvariantLatency,
+					Partition: r.Partition,
+					Source:    r.Source,
+					Seq:       r.Seq,
+					At:        r.Arrival,
+					Measured:  lat,
+					Bound:     bound,
+					Detail: fmt.Sprintf("%s latency (mode %v) exceeds the delayed-handling bound",
+						s.srcs[idx].Name, r.Mode),
+				})
+				break
+			}
+		}
+	}
+
+	// (c) violation demotion: counter identities across hypervisor and
+	// monitors. A grant without a commit (or a violation without a
+	// denial) means an IRQ bypassed the shaping path.
+	var violations, commits uint64
+	for _, src := range s.srcs {
+		if src.Monitor == nil {
+			continue
+		}
+		st := src.Monitor.Stats()
+		violations += st.Violations
+		commits += st.Commits
+	}
+	if s.stats.DeniedViolation != violations {
+		rep.Violations = append(rep.Violations, OracleViolation{
+			Invariant: InvariantDemotion,
+			Partition: -1,
+			Source:    -1,
+			At:        s.sim.Now(),
+			Detail: fmt.Sprintf("DeniedViolation=%d but monitors counted %d violations",
+				s.stats.DeniedViolation, violations),
+		})
+	}
+	if s.stats.InterposedGrants != commits {
+		rep.Violations = append(rep.Violations, OracleViolation{
+			Invariant: InvariantDemotion,
+			Partition: -1,
+			Source:    -1,
+			At:        s.sim.Now(),
+			Detail: fmt.Sprintf("InterposedGrants=%d but monitors committed %d activations",
+				s.stats.InterposedGrants, commits),
+		})
+	}
+	return rep
+}

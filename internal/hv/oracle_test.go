@@ -1,0 +1,231 @@
+package hv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/monitor"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// sporadicBudget is the eq. (14) budget for a single l = 1 monitored
+// source: η⁺(Δt)·C'_BH with η⁺ over closed windows (⌊Δt/dmin⌋ + 1).
+// The per-grant cost folds in the dispatcher's queue pop, as
+// core.Analyze folds push/pop into the handler WCETs. The subscriber
+// partition is never a victim of its own source, so its budget is
+// zero — any steal recorded there is a bug.
+func sporadicBudget(dmin, cbh simtime.Duration, costs arm.CostModel, subscriber int) InterferenceBudget {
+	eff := costs.EffectiveBH(cbh + costs.QueuePop)
+	return func(victim int, dt simtime.Duration) simtime.Duration {
+		if victim == subscriber {
+			return 0
+		}
+		return (dt/dmin + 1) * eff
+	}
+}
+
+func TestInstallOracleNilPanics(t *testing.T) {
+	sys := build(t, Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Mode:  Monitored,
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InstallOracle(nil) did not panic")
+		}
+	}()
+	sys.InstallOracle(nil)
+}
+
+// A conforming sporadic stream under an armed oracle must pass all
+// three invariants, and the report must show the checks actually ran.
+func TestOracleConformingRunPasses(t *testing.T) {
+	costs := arm.DefaultCosts()
+	dmin, cbh := us(900), us(30)
+	src := rng.New(3)
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  costs,
+		Mode:   Monitored,
+		Policy: DenyNearSlotEnd,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: cbh,
+			Arrivals: workload.Timestamps(workload.ExponentialClamped(src, us(1500), dmin, 400)),
+			Monitor:  monitor.NewDMin(dmin),
+		}},
+	}
+	sys := build(t, cfg)
+	sys.InstallOracle(sporadicBudget(dmin, cbh, costs, 0))
+	runAll(t, sys)
+	if sys.Stats().InterposedGrants == 0 {
+		t.Fatal("conforming stream was never interposed; test is vacuous")
+	}
+	rep := sys.CheckTemporalIndependence(nil)
+	if !rep.OK() {
+		t.Fatalf("conforming run violated the oracle: %v", rep.Violations)
+	}
+	if !rep.InterferenceChecked {
+		t.Fatal("interference check not armed")
+	}
+}
+
+// With the ablation hook set, a bursty stream must break both the
+// eq. (14) sliding-window invariant and the demotion identities — and
+// the interference violation must name the offending delivery.
+func TestOracleCatchesBurstWithMonitorDisabled(t *testing.T) {
+	costs := arm.DefaultCosts()
+	dmin, cbh := us(1000), us(30)
+	var arrivals []simtime.Time
+	for b := int64(0); b < 40; b++ {
+		start := tt(3000 * (b + 1))
+		for k := int64(0); k < 6; k++ {
+			arrivals = append(arrivals, start.Add(us(100*k)))
+		}
+	}
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  costs,
+		Mode:   Monitored,
+		Policy: DenyNearSlotEnd,
+		Sources: []SourceConfig{{
+			Name: "burst", Subscriber: 0, CTH: us(6), CBH: cbh,
+			Arrivals: arrivals,
+			Monitor:  monitor.NewDMin(dmin),
+		}},
+		DisableMonitor: true,
+	}
+	sys := build(t, cfg)
+	sys.InstallOracle(sporadicBudget(dmin, cbh, costs, 0))
+	runAll(t, sys)
+	rep := sys.CheckTemporalIndependence(nil)
+	if rep.OK() {
+		t.Fatal("oracle passed a monitor-disabled burst run")
+	}
+	var eq14, demotion bool
+	for _, v := range rep.Violations {
+		switch v.Invariant {
+		case InvariantInterference:
+			eq14 = true
+			if v.Partition == 0 {
+				t.Errorf("interference breach on the subscriber partition: %v", v)
+			}
+			if v.Source != 0 || v.At == 0 {
+				t.Errorf("breach does not name the offending delivery: %v", v)
+			}
+			if v.Measured <= v.Bound {
+				t.Errorf("breach with measured %v <= bound %v", v.Measured, v.Bound)
+			}
+		case InvariantDemotion:
+			demotion = true
+		}
+	}
+	if !eq14 {
+		t.Errorf("no %s violation: %v", InvariantInterference, rep.Violations)
+	}
+	if !demotion {
+		t.Errorf("no %s violation: %v", InvariantDemotion, rep.Violations)
+	}
+}
+
+// The same burst run with the monitor *enabled* must shape the stream
+// back under the budget: violations are demoted, identities hold.
+func TestOracleMonitorShapesBurst(t *testing.T) {
+	costs := arm.DefaultCosts()
+	dmin, cbh := us(1000), us(30)
+	var arrivals []simtime.Time
+	for b := int64(0); b < 40; b++ {
+		start := tt(3000 * (b + 1))
+		for k := int64(0); k < 6; k++ {
+			arrivals = append(arrivals, start.Add(us(100*k)))
+		}
+	}
+	cfg := Config{
+		Slots:  paperSlots(),
+		Costs:  costs,
+		Mode:   Monitored,
+		Policy: DenyNearSlotEnd,
+		Sources: []SourceConfig{{
+			Name: "burst", Subscriber: 0, CTH: us(6), CBH: cbh,
+			Arrivals: arrivals,
+			Monitor:  monitor.NewDMin(dmin),
+		}},
+	}
+	sys := build(t, cfg)
+	sys.InstallOracle(sporadicBudget(dmin, cbh, costs, 0))
+	runAll(t, sys)
+	if sys.Stats().DeniedViolation == 0 {
+		t.Fatal("burst stream produced no demotions; test is vacuous")
+	}
+	rep := sys.CheckTemporalIndependence(nil)
+	if !rep.OK() {
+		t.Fatalf("monitored burst run violated the oracle: %v", rep.Violations)
+	}
+}
+
+// An impossibly tight latency bound must surface as a victim-latency
+// violation naming the first offending record in completion order.
+func TestOracleLatencyViolation(t *testing.T) {
+	costs := arm.DefaultCosts()
+	dmin := us(900)
+	src := rng.New(5)
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: costs,
+		Mode:  Monitored,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: workload.Timestamps(workload.ExponentialClamped(src, us(1500), dmin, 100)),
+			Monitor:  monitor.NewDMin(dmin),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	rep := sys.CheckTemporalIndependence(map[int]simtime.Duration{0: simtime.Cycles(1)})
+	if rep.LatencyChecked != 1 {
+		t.Fatalf("LatencyChecked = %d, want 1", rep.LatencyChecked)
+	}
+	if rep.OK() {
+		t.Fatal("1-cycle latency bound not violated")
+	}
+	v := rep.Violations[0]
+	if v.Invariant != InvariantLatency || v.Source != 0 {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	if v.Measured <= v.Bound {
+		t.Fatalf("latency violation with measured %v <= bound %v", v.Measured, v.Bound)
+	}
+	if !strings.Contains(v.String(), InvariantLatency) {
+		t.Fatalf("String() lacks the invariant name: %q", v.String())
+	}
+}
+
+// Without InstallOracle the interference invariant is reported as
+// unchecked rather than silently passing.
+func TestOracleNotArmed(t *testing.T) {
+	src := rng.New(7)
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Mode:  Monitored,
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: workload.Timestamps(workload.Exponential(src, us(500), 200)),
+			Monitor:  monitor.NewDMin(us(400)),
+		}},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	rep := sys.CheckTemporalIndependence(nil)
+	if rep.InterferenceChecked {
+		t.Fatal("InterferenceChecked without InstallOracle")
+	}
+	for _, v := range rep.Violations {
+		if v.Invariant == InvariantInterference {
+			t.Fatalf("interference violation without an armed oracle: %v", v)
+		}
+	}
+}

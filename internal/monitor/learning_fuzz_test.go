@@ -1,0 +1,219 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/curves"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Properties of the self-learning monitor (Appendix A, Algorithms 1
+// and 2), checked against adversarial activation streams:
+//
+//	(P1) the raw learned δ⁻ prefix admits the very trace it was learned
+//	     from — learned[i] is the minimum observed distance, so every
+//	     observed distance is ≥ it;
+//	(P2) after FinishLearning the enforced condition is a valid δ⁻
+//	     (non-negative, non-decreasing) and pointwise ≥ the bound δ⁻_b,
+//	     so the admitted load η⁺_cond never exceeds η⁺_bound — the
+//	     monitor can only get *stricter* than the configured budget, no
+//	     matter what stream it learned from;
+//	(P3) a benign learning trace (all distances already ≥ δ⁻_b) is
+//	     fully re-admitted by the lifted condition;
+//	(P4) in run mode, the stream of *committed* activations satisfies
+//	     the enforced condition — the shaping property eq. (14) rests
+//	     on.
+
+// genStream derives n strictly increasing activation times whose gaps
+// mix bursts (far below dmin) and pauses, steered by burstiness.
+func genStream(src *rng.Source, n int, dmin simtime.Duration, burstiness float64) []simtime.Time {
+	ts := make([]simtime.Time, n)
+	t := simtime.Time(0)
+	for i := range ts {
+		var gap simtime.Duration
+		if src.Float64() < burstiness {
+			gap = 1 + simtime.Duration(src.Int63n(int64(dmin)/4+1)) // violent
+		} else {
+			gap = dmin + simtime.Duration(src.Int63n(2*int64(dmin)))
+		}
+		t = t.Add(gap)
+		ts[i] = t
+	}
+	return ts
+}
+
+// pairDistanceOK reports whether ts satisfies cond as a δ⁻ condition:
+// for every event k and depth i, t_k − t_{k−1−i} ≥ cond[i].
+func pairDistanceOK(t *testing.T, ts []simtime.Time, cond []simtime.Duration, label string) {
+	t.Helper()
+	for k := range ts {
+		for i := 0; i < len(cond) && k-1-i >= 0; i++ {
+			if d := ts[k].Sub(ts[k-1-i]); d < cond[i] {
+				t.Fatalf("%s: event %d at %v is %v after depth-%d predecessor, condition wants ≥ %v",
+					label, k, ts[k], d, i, cond[i])
+			}
+		}
+	}
+}
+
+func checkLearning(t *testing.T, seed uint64, l, n int, burstiness float64, dminB simtime.Duration) {
+	t.Helper()
+	src := rng.New(seed)
+	bound := make([]simtime.Duration, l)
+	for i := range bound {
+		bound[i] = simtime.Duration(i+1) * dminB
+	}
+	boundDelta, err := curves.NewDelta(bound)
+	if err != nil {
+		t.Fatalf("bound: %v", err)
+	}
+
+	m, err := NewLearning(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := genStream(src, n, dminB, burstiness)
+	for _, ts := range trace {
+		m.Learn(ts)
+	}
+
+	// (P1) the raw learned prefix admits the observed trace.
+	learned := m.Learned()
+	raw := make([]simtime.Duration, 0, l)
+	for _, d := range learned {
+		if d == simtime.Infinity {
+			break
+		}
+		raw = append(raw, d)
+	}
+	if n > l && len(raw) != l {
+		t.Fatalf("trace of %d events left %d of %d learned entries unobserved", n, l-len(raw), l)
+	}
+	pairDistanceOK(t, trace, raw, "learned prefix vs own trace")
+
+	if err := m.FinishLearning(boundDelta); err != nil {
+		t.Fatal(err)
+	}
+	cond := m.Condition()
+	if cond == nil || cond.Len() != l {
+		t.Fatalf("condition after FinishLearning: %v", cond)
+	}
+
+	// (P2) valid δ⁻, pointwise ≥ bound, η⁺ never above the bound's.
+	prev := simtime.Duration(0)
+	for i, d := range cond.Dist {
+		if d < prev {
+			t.Fatalf("condition not non-decreasing at %d: %v < %v", i, d, prev)
+		}
+		if d < bound[i] {
+			t.Fatalf("condition[%d] = %v below bound %v: admits load above δ⁻_b", i, d, bound[i])
+		}
+		prev = d
+	}
+	horizon := simtime.Duration(4*l) * dminB
+	for dt := simtime.Duration(0); dt <= horizon; dt += dminB / 3 {
+		if got, max := cond.EtaPlus(dt), boundDelta.EtaPlus(dt); got > max {
+			t.Fatalf("η⁺_cond(%v) = %d exceeds η⁺_bound = %d", dt, got, max)
+		}
+	}
+
+	// (P4) run mode shapes an adversarial stream: whatever subsequence
+	// gets committed satisfies the enforced condition.
+	attack := genStream(rng.New(seed+1), n, dminB, 0.9)
+	var committed []simtime.Time
+	for _, ts := range attack {
+		if m.Check(ts) == Conforming {
+			m.Commit(ts)
+			committed = append(committed, ts)
+		}
+	}
+	if len(committed) == 0 {
+		t.Fatal("run mode admitted nothing; shaping property is vacuous")
+	}
+	pairDistanceOK(t, committed, cond.Dist, "committed grants vs condition")
+	st := m.Stats()
+	if st.Commits != uint64(len(committed)) || st.Checked != uint64(len(attack)) {
+		t.Fatalf("stats %+v inconsistent with %d checks / %d commits", st, len(attack), len(committed))
+	}
+}
+
+func FuzzLearning(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint16(64), byte(128))
+	f.Add(uint64(2014), uint8(4), uint16(200), byte(40))
+	f.Add(uint64(7), uint8(8), uint16(300), byte(250))
+	f.Add(uint64(42), uint8(3), uint16(10), byte(0)) // shorter than l: unobserved entries
+	f.Fuzz(func(t *testing.T, seed uint64, lRaw uint8, nRaw uint16, burstRaw byte) {
+		l := 1 + int(lRaw%8)
+		n := 2 + int(nRaw%400)
+		burstiness := float64(burstRaw) / 255
+		checkLearning(t, seed, l, n, burstiness, simtime.Micros(1344))
+	})
+}
+
+// The fuzz properties at fixed adversarial corners, so plain `go test`
+// exercises them without the fuzzing engine.
+func TestLearningProperties(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		seed       uint64
+		l, n       int
+		burstiness float64
+	}{
+		{"l1-calm", 3, 1, 120, 0.1},
+		{"l1-violent", 4, 1, 250, 0.95},
+		{"l4-mixed", 5, 4, 300, 0.5},
+		{"l8-bursty", 6, 8, 400, 0.8},
+		{"short-trace", 8, 6, 4, 0.5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			checkLearning(t, tc.seed, tc.l, tc.n, tc.burstiness, simtime.Micros(1344))
+		})
+	}
+}
+
+// (P3) a benign learning trace — every pairwise distance already at or
+// above δ⁻_b — is fully re-admitted under the lifted condition.
+func TestLearningBenignTraceReadmitted(t *testing.T) {
+	const l, n = 4, 200
+	dminB := simtime.Micros(1000)
+	bound := make([]simtime.Duration, l)
+	for i := range bound {
+		bound[i] = simtime.Duration(i+1) * dminB
+	}
+	boundDelta, err := curves.NewDelta(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	trace := make([]simtime.Time, n)
+	tm := simtime.Time(0)
+	for i := range trace {
+		// Gap ≥ dminB keeps every depth-i distance ≥ (i+1)·dminB ≥
+		// bound[i]: the trace conforms to δ⁻_b by construction.
+		tm = tm.Add(dminB + simtime.Duration(src.Int63n(int64(dminB))))
+		trace[i] = tm
+	}
+
+	m, err := NewLearning(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range trace {
+		m.Learn(ts)
+	}
+	if err := m.FinishLearning(boundDelta); err != nil {
+		t.Fatal(err)
+	}
+	cond := m.Condition()
+
+	// Replay: every activation of the learning trace must conform
+	// (FinishLearning cleared the trace buffer, so the replay starts
+	// from a fresh run-mode monitor).
+	for k, ts := range trace {
+		if v := m.Check(ts); v != Conforming {
+			t.Fatalf("replayed benign activation %d at %v rejected: %v (condition %v)", k, ts, v, cond.Dist)
+		}
+		m.Commit(ts)
+	}
+}

@@ -1,0 +1,122 @@
+// Stable JSON view of a chaos campaign (internal/faults). Same
+// contract as json.go: no maps, no interface values, durations in
+// microseconds, golden-pinned.
+package report
+
+import (
+	"repro/internal/faults"
+	"repro/internal/hv"
+)
+
+// ChaosViolationJSON mirrors hv.OracleViolation.
+type ChaosViolationJSON struct {
+	Invariant  string  `json:"invariant"`
+	Partition  int     `json:"partition"`
+	Source     int     `json:"source"`
+	Seq        uint64  `json:"seq"`
+	AtUs       float64 `json:"at_us"`
+	MeasuredUs float64 `json:"measured_us"`
+	BoundUs    float64 `json:"bound_us"`
+	Detail     string  `json:"detail"`
+}
+
+func newChaosViolationJSON(v hv.OracleViolation) ChaosViolationJSON {
+	return ChaosViolationJSON{
+		Invariant:  v.Invariant,
+		Partition:  v.Partition,
+		Source:     v.Source,
+		Seq:        v.Seq,
+		AtUs:       v.At.MicrosF(),
+		MeasuredUs: v.Measured.MicrosF(),
+		BoundUs:    v.Bound.MicrosF(),
+		Detail:     v.Detail,
+	}
+}
+
+// ChaosReproJSON mirrors faults.Reproducer — everything needed to
+// replay a failed run.
+type ChaosReproJSON struct {
+	Fingerprint    string             `json:"fingerprint"`
+	Seed           uint64             `json:"seed"`
+	StreamID       uint64             `json:"stream_id"`
+	Fault          string             `json:"fault"`
+	Intensity      float64            `json:"intensity"`
+	Events         int                `json:"events"`
+	DisableMonitor bool               `json:"disable_monitor"`
+	First          ChaosViolationJSON `json:"first"`
+	Replay         string             `json:"replay"`
+}
+
+// ChaosRunJSON is the stable view of one campaign cell.
+type ChaosRunJSON struct {
+	Fault                string               `json:"fault"`
+	Intensity            float64              `json:"intensity"`
+	StreamID             uint64               `json:"stream_id"`
+	AttackerArrivals     int                  `json:"attacker_arrivals"`
+	Grants               uint64               `json:"grants"`
+	DeniedViolation      uint64               `json:"denied_violation"`
+	InterferenceUs       float64              `json:"interference_us"`
+	BudgetUs             float64              `json:"budget_us"`
+	VictimMaxLatencyUs   float64              `json:"victim_max_latency_us"`
+	VictimLatencyBoundUs float64              `json:"victim_latency_bound_us"`
+	BoundNote            string               `json:"bound_note,omitempty"`
+	OK                   bool                 `json:"ok"`
+	Violations           []ChaosViolationJSON `json:"violations,omitempty"`
+	Repro                *ChaosReproJSON      `json:"repro,omitempty"`
+}
+
+// ChaosJSON is the stable view of a whole campaign.
+type ChaosJSON struct {
+	DisableMonitor bool           `json:"disable_monitor"`
+	Events         int            `json:"events"`
+	Seed           uint64         `json:"seed"`
+	FailedRuns     int            `json:"failed_runs"`
+	Runs           []ChaosRunJSON `json:"runs"`
+}
+
+// NewChaosJSON converts a faults.Result.
+func NewChaosJSON(r *faults.Result) *ChaosJSON {
+	out := &ChaosJSON{
+		DisableMonitor: r.DisableMonitor,
+		Events:         r.Events,
+		Seed:           r.Seed,
+		FailedRuns:     r.FailedRuns,
+	}
+	for _, run := range r.Runs {
+		rj := ChaosRunJSON{
+			Fault:                run.Fault,
+			Intensity:            run.Intensity,
+			StreamID:             run.StreamID,
+			AttackerArrivals:     run.AttackerArrivals,
+			Grants:               run.Grants,
+			DeniedViolation:      run.DeniedViolation,
+			InterferenceUs:       run.Interference.MicrosF(),
+			BudgetUs:             run.Budget.MicrosF(),
+			VictimMaxLatencyUs:   run.VictimMaxLatency.MicrosF(),
+			VictimLatencyBoundUs: run.VictimLatencyBound.MicrosF(),
+			BoundNote:            run.BoundNote,
+			OK:                   run.Oracle.OK(),
+		}
+		for _, v := range run.Oracle.Violations {
+			rj.Violations = append(rj.Violations, newChaosViolationJSON(v))
+		}
+		if run.Repro != nil {
+			rj.Repro = &ChaosReproJSON{
+				Fingerprint:    run.Repro.Fingerprint,
+				Seed:           run.Repro.Seed,
+				StreamID:       run.Repro.StreamID,
+				Fault:          run.Repro.Fault,
+				Intensity:      run.Repro.Intensity,
+				Events:         run.Repro.Events,
+				DisableMonitor: run.Repro.DisableMonitor,
+				First:          newChaosViolationJSON(run.Repro.First),
+				Replay:         run.Repro.String(),
+			}
+		}
+		out.Runs = append(out.Runs, rj)
+	}
+	return out
+}
+
+// EncodeChaos renders a chaos campaign result as stable JSON.
+func EncodeChaos(r *faults.Result) ([]byte, error) { return encode(NewChaosJSON(r)) }

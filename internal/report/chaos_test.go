@@ -1,0 +1,55 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func chaosResult(t *testing.T, disable bool) *faults.Result {
+	t.Helper()
+	cfg := faults.Config{
+		Faults:         []string{"babbling-idiot"},
+		Intensities:    []float64{1.0},
+		Events:         120,
+		Seed:           1,
+		DisableMonitor: disable,
+	}
+	res, err := faults.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Golden-pin both campaign shapes: a clean monitored run and an
+// ablated run carrying violations and a reproducer.
+func TestEncodeChaosGolden(t *testing.T) {
+	buf, err := EncodeChaos(chaosResult(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "chaos.json", buf)
+
+	buf, err = EncodeChaos(chaosResult(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "chaos_ablation.json", buf)
+}
+
+func TestEncodeChaosDeterministic(t *testing.T) {
+	a, err := EncodeChaos(chaosResult(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeChaos(chaosResult(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("chaos encoding not deterministic")
+	}
+}

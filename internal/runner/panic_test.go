@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A panicking job must surface as a *PanicError at its index — on both
+// the sequential and pooled paths — never as a crashed test process.
+func TestMapRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		before := panicsRecovered.Value()
+		_, err := Map(workers, 8, func(i int) (int, error) {
+			if i == 3 {
+				panic("poisoned job")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error from a panicking job", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %T is not a *PanicError: %v", workers, err, err)
+		}
+		if pe.Index != 3 {
+			t.Errorf("workers=%d: PanicError.Index = %d, want 3", workers, pe.Index)
+		}
+		if pe.Value != "poisoned job" {
+			t.Errorf("workers=%d: PanicError.Value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(err.Error(), "poisoned job") || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: error lacks panic message or stack: %v", workers, err)
+		}
+		if got := panicsRecovered.Value(); got <= before {
+			t.Errorf("workers=%d: panics counter did not increment (%d -> %d)", workers, before, got)
+		}
+	}
+}
+
+// The lowest-indexed panic wins when every job panics, matching the
+// error contract for plain failures.
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	_, err := Map(4, 16, func(i int) (int, error) {
+		panic(i)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError", err)
+	}
+	if pe.Index != 0 {
+		t.Fatalf("PanicError.Index = %d, want 0", pe.Index)
+	}
+}
+
+// A panic cancels the batch: with a single worker in the pool path the
+// jobs after the panicking one are never claimed.
+func TestMapPanicCancelsBatch(t *testing.T) {
+	var ran atomic.Int64
+	// workers=2 with n=64: job 0 panics immediately; the batch cancel
+	// keeps the claim count far below n.
+	_, err := MapCtx(context.Background(), 2, 64, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			panic("early poison")
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError", err)
+	}
+	if got := ran.Load(); got >= 64 {
+		t.Fatalf("batch ran all %d jobs despite the panic", got)
+	}
+}
+
+// A plain error does not cancel the batch (existing contract: jobs
+// after a failing index may still run) and stays a plain error.
+func TestMapPlainErrorIsNotPanicError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Map(4, 8, func(i int) (int, error) {
+		if i == 2 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Fatal("plain error converted to PanicError")
+	}
+}
+
+// ForEachCtx shares the recovery path.
+func TestForEachRecoversPanic(t *testing.T) {
+	err := ForEach(2, 4, func(i int) error {
+		if i == 1 {
+			panic("side-effect poison")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError: %v", err, err)
+	}
+	if pe.Index != 1 {
+		t.Fatalf("PanicError.Index = %d, want 1", pe.Index)
+	}
+}

@@ -30,13 +30,17 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // EnvWorkers is the environment knob consulted when no explicit worker
@@ -89,6 +93,36 @@ func Resolve(workers int) int {
 	return Default()
 }
 
+// PanicError is the error a job that panicked resolves to: the engine
+// recovers worker panics so one poisoned job cannot take down the
+// whole process (the serve daemon runs campaigns on this path). The
+// batch still fails — a panic is a bug, not a result — but it fails
+// like an error: reported at the job's index with the stack preserved.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// panicsRecovered counts recovered worker panics process-wide.
+var panicsRecovered = metrics.Default().Counter("repro_runner_panics_recovered_total")
+
+// call invokes fn(i), converting a panic into a *PanicError.
+func call[T any](fn func(i int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicsRecovered.Inc()
+			var zero T
+			v, err = zero, &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // Map runs fn(0..n-1) across the pool and returns the results in index
 // order. fn must be self-contained: it may only read shared data and
 // must derive any randomness from its index (see the package comment).
@@ -104,6 +138,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // any completed job failed, otherwise ctx.Err(). A cancelled call
 // never returns results: partial output would break the byte-identity
 // contract.
+//
+// A job that panics does not propagate the panic to the caller's
+// goroutine (or, worse, kill the process from a pool goroutine): the
+// panic is recovered into a *PanicError at that job's index, counted
+// in repro_runner_panics_recovered_total, and cancels the rest of the
+// batch.
 func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
@@ -121,7 +161,7 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(i)
+			v, err := call(fn, i)
 			if err != nil {
 				return nil, err
 			}
@@ -129,6 +169,13 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 		}
 		return out, nil
 	}
+	// A recovered panic cancels the batch (via batchCtx) so sibling
+	// workers stop claiming new jobs: the batch is doomed anyway, and
+	// a poisoned input that panics every job should fail fast, not n
+	// times. The outer ctx stays untouched — at the end only *it*
+	// decides whether the call reads as cancelled.
+	batchCtx, batchCancel := context.WithCancel(ctx)
+	defer batchCancel()
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -137,14 +184,20 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 		go func() {
 			defer wg.Done()
 			for {
-				if ctx.Err() != nil {
+				if batchCtx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = call(fn, i)
+				if errs[i] != nil {
+					var pe *PanicError
+					if errors.As(errs[i], &pe) {
+						batchCancel()
+					}
+				}
 			}
 		}()
 	}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func postChaos(t *testing.T, url, spec string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/chaos", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestChaosEndpoint: POST /v1/chaos runs a campaign through the normal
+// job path — content-addressed, cacheable, and equivalent to POST
+// /v1/experiments with kind "chaos".
+func TestChaosEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	spec := `{"faults": ["babbling-idiot"], "intensities": [1], "events": 80, "wait": true}`
+
+	r1, b1 := postChaos(t, ts.URL, spec)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/chaos: %d %s", r1.StatusCode, b1)
+	}
+	var view struct {
+		FailedRuns int `json:"failed_runs"`
+		Runs       []struct {
+			Fault string `json:"fault"`
+			OK    bool   `json:"ok"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(b1, &view); err != nil {
+		t.Fatalf("chaos body: %v\n%s", err, b1)
+	}
+	if len(view.Runs) != 1 || view.Runs[0].Fault != "babbling-idiot" {
+		t.Fatalf("unexpected campaign shape: %s", b1)
+	}
+	if view.FailedRuns != 0 || !view.Runs[0].OK {
+		t.Fatalf("monitored campaign failed the oracle: %s", b1)
+	}
+
+	// Same campaign again: served from the cache.
+	r2, b2 := postChaos(t, ts.URL, spec)
+	if r2.Header.Get("X-Cache") != "hit" || !bytes.Equal(b1, b2) {
+		t.Fatal("identical chaos campaign missed the cache")
+	}
+
+	// The generic experiments route addresses the same content.
+	r3, b3 := post(t, ts.URL, `{"kind": "chaos", "events": 80, "chaos": {"faults": ["babbling-idiot"], "intensities": [1]}, "wait": true}`)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("kind chaos via /v1/experiments: %d %s", r3.StatusCode, b3)
+	}
+	if r3.Header.Get("X-Job-Key") != r1.Header.Get("X-Job-Key") {
+		t.Fatal("same campaign, different job keys across routes")
+	}
+	if r3.Header.Get("X-Cache") != "hit" || !bytes.Equal(b1, b3) {
+		t.Fatal("equivalent chaos spec missed the cache")
+	}
+}
+
+// An ablated campaign is a valid job — it completes with failed runs
+// and reproducers in the body, not an HTTP error.
+func TestChaosAblationJobSucceedsWithFailedRuns(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp, body := postChaos(t, ts.URL,
+		`{"faults": ["babbling-idiot"], "intensities": [1], "events": 80, "disable_monitor": true, "wait": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	var view struct {
+		FailedRuns int `json:"failed_runs"`
+		Runs       []struct {
+			Repro *struct {
+				Replay string `json:"replay"`
+			} `json:"repro"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.FailedRuns != 1 || view.Runs[0].Repro == nil || view.Runs[0].Repro.Replay == "" {
+		t.Fatalf("ablated campaign lacks failed run + reproducer: %s", body)
+	}
+}
+
+func TestChaosSpecValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	for name, spec := range map[string]string{
+		"unknown fault":     `{"faults": ["no-such-model"]}`,
+		"intensity too big": `{"intensities": [1.5]}`,
+		"negative events":   `{"events": -1}`,
+	} {
+		if resp, body := postChaos(t, ts.URL, spec); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d %s, want 400", name, resp.StatusCode, body)
+		}
+	}
+	// A chaos document on a non-chaos kind is rejected.
+	if resp, body := post(t, ts.URL, `{"kind": "fig6a", "chaos": {}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("chaos doc on fig6a: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+// TestPanicIsolation: a job that panics the engine fails that job with
+// the panic message — and only that job; the worker, the daemon and
+// subsequent jobs are unaffected.
+func TestPanicIsolation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, ts := newTestServer(t, Options{Workers: 1, Registry: reg})
+	s.run = func(ctx context.Context, sp *Spec) ([]byte, error) {
+		if sp.Kind == "fig7" {
+			panic("poisoned scenario")
+		}
+		return []byte("{}\n"), nil
+	}
+
+	resp, body := post(t, ts.URL, `{"kind": "fig7", "wait": true}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking job: %d %s, want 500", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "poisoned scenario") {
+		t.Fatalf("500 body does not carry the panic message: %s", body)
+	}
+	if got := reg.Counter("repro_server_jobs_panicked_total").Value(); got != 1 {
+		t.Fatalf("panicked counter = %d, want 1", got)
+	}
+
+	// The job is recorded as failed, pollable like any other failure.
+	var v jobView
+	s.jmu.Lock()
+	for _, jb := range s.jobs {
+		v = jb.view(false)
+	}
+	s.jmu.Unlock()
+	if v.Status != StatusFailed || !strings.Contains(v.Error, "poisoned scenario") {
+		t.Fatalf("job after panic: %+v, want failed with panic message", v)
+	}
+
+	// The daemon keeps serving on the same (sole) worker.
+	resp, body = post(t, ts.URL, `{"kind": "fig6a", "wait": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job after panic: %d %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,318 @@
+// Package client is the self-healing HTTP client for the internal/serve
+// simulation daemon: it submits experiment and chaos-campaign specs and
+// transparently rides out the daemon's transient refusals. A 429 (queue
+// full) or 503 (draining/restarting) response is not an error to a
+// caller — it is backpressure — so the client retries those, honouring
+// the server's Retry-After advice when present and falling back to
+// capped exponential backoff with jitter when it is not. Transport
+// errors (connection refused while the daemon restarts) retry on the
+// same schedule. Everything else — 400 on a bad spec, 500 on a failed
+// job — is a real answer and is returned immediately as a *StatusError.
+//
+// All waiting is context-aware: cancelling the context aborts both
+// in-flight requests and backoff sleeps.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Options configures a Client. Zero values select the defaults noted
+// per field.
+type Options struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	// Required.
+	BaseURL string
+	// HTTP is the underlying client. nil = http.DefaultClient.
+	HTTP *http.Client
+	// MaxRetries bounds how many times a retryable response is retried
+	// (so a request is attempted at most MaxRetries+1 times). 0 = 4.
+	// Negative disables retries.
+	MaxRetries int
+	// BaseBackoff is the first fallback delay when the server sends no
+	// Retry-After; it doubles per attempt. 0 = 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps both the fallback schedule and any Retry-After
+	// advice. 0 = 5s.
+	MaxBackoff time.Duration
+
+	// Test seams. Sleep waits for d or until ctx is done (nil = timer
+	// sleep); Jitter perturbs a fallback delay (nil = uniform in
+	// [d/2, d]); Now feeds HTTP-date Retry-After parsing (nil =
+	// time.Now).
+	Sleep  func(ctx context.Context, d time.Duration) error
+	Jitter func(d time.Duration) time.Duration
+	Now    func() time.Time
+}
+
+func (o *Options) fill() error {
+	if o.BaseURL == "" {
+		return errors.New("client: Options.BaseURL is required")
+	}
+	o.BaseURL = strings.TrimRight(o.BaseURL, "/")
+	if o.HTTP == nil {
+		o.HTTP = http.DefaultClient
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.Sleep == nil {
+		o.Sleep = sleepCtx
+	}
+	if o.Jitter == nil {
+		o.Jitter = func(d time.Duration) time.Duration {
+			return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		}
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StatusError is a non-retryable (or retries-exhausted) HTTP response:
+// the status code plus the server's {"error": ...} message when the
+// body carried one.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("client: server returned %d", e.Code)
+	}
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
+}
+
+// Result is a completed submission.
+type Result struct {
+	// Body is the experiment's JSON result document.
+	Body []byte
+	// JobKey is the content address (X-Job-Key).
+	JobKey string
+	// CacheHit reports whether the daemon served the result from its
+	// content-addressed cache (X-Cache: hit).
+	CacheHit bool
+	// Retries is how many retryable refusals were absorbed before this
+	// result arrived.
+	Retries int
+}
+
+// Job mirrors the daemon's GET /v1/jobs/{id} response.
+type Job struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Key    string          `json:"key"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Client talks to one serve daemon. Safe for concurrent use.
+type Client struct {
+	opts Options
+}
+
+// New validates opts and returns a Client.
+func New(opts Options) (*Client, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	return &Client{opts: opts}, nil
+}
+
+// Submit posts spec (anything that marshals to a /v1/experiments
+// document; set "wait": true for a synchronous result) and returns the
+// result body, retrying through 429/503 backpressure.
+func (c *Client) Submit(ctx context.Context, spec any) (*Result, error) {
+	return c.post(ctx, "/v1/experiments", spec)
+}
+
+// Chaos posts a fault-injection campaign spec to /v1/chaos with the
+// same retry contract as Submit.
+func (c *Client) Chaos(ctx context.Context, spec any) (*Result, error) {
+	return c.post(ctx, "/v1/chaos", spec)
+}
+
+// JobStatus polls GET /v1/jobs/{id}. Polling does not retry on 429/503
+// — status reads are cheap and the caller is already in a poll loop.
+func (c *Client) JobStatus(ctx context.Context, id string) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.opts.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp.StatusCode, body)
+	}
+	var jb Job
+	if err := json.Unmarshal(body, &jb); err != nil {
+		return nil, fmt.Errorf("client: job %s: %v", id, err)
+	}
+	return &jb, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, spec any) (*Result, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding spec: %v", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := c.attempt(ctx, path, payload)
+		switch {
+		case err == nil && !retryable(resp.code):
+			if resp.code != http.StatusOK && resp.code != http.StatusAccepted {
+				return nil, statusError(resp.code, resp.body)
+			}
+			return &Result{
+				Body:     resp.body,
+				JobKey:   resp.jobKey,
+				CacheHit: resp.cacheHit,
+				Retries:  attempt,
+			}, nil
+		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+			return nil, err
+		case err != nil:
+			lastErr = err
+		default:
+			lastErr = statusError(resp.code, resp.body)
+		}
+		if attempt >= c.opts.MaxRetries {
+			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		delay := c.backoff(attempt)
+		if resp != nil {
+			if adv, ok := parseRetryAfter(resp.retryAfter, c.opts.Now()); ok {
+				delay = min(adv, c.opts.MaxBackoff)
+			}
+		}
+		if err := c.opts.Sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// response is the slice of an *http.Response the retry loop needs.
+type response struct {
+	code       int
+	body       []byte
+	jobKey     string
+	cacheHit   bool
+	retryAfter string
+}
+
+func (c *Client) attempt(ctx context.Context, path string, payload []byte) (*response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.opts.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	return &response{
+		code:       resp.StatusCode,
+		body:       body,
+		jobKey:     resp.Header.Get("X-Job-Key"),
+		cacheHit:   resp.Header.Get("X-Cache") == "hit",
+		retryAfter: resp.Header.Get("Retry-After"),
+	}, nil
+}
+
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff is the fallback schedule when the server gives no Retry-After
+// advice: BaseBackoff doubled per attempt, capped, then jittered.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BaseBackoff
+	for i := 0; i < attempt && d < c.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	return c.opts.Jitter(min(d, c.opts.MaxBackoff))
+}
+
+// parseRetryAfter accepts both RFC 9110 forms: delay seconds and an
+// HTTP-date.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d, true
+		}
+		return 0, true // date in the past: retry immediately
+	}
+	return 0, false
+}
+
+func readBody(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %v", err)
+	}
+	return body, nil
+}
+
+func statusError(code int, body []byte) *StatusError {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
+		msg = doc.Error
+	}
+	return &StatusError{Code: code, Message: msg}
+}

@@ -1,0 +1,326 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newClient builds a client against ts with instant, recorded sleeps
+// and identity jitter, so retry behaviour is asserted on the requested
+// delays rather than on wall-clock time.
+func newClient(t *testing.T, ts *httptest.Server, opts Options) (*Client, *[]time.Duration) {
+	t.Helper()
+	var slept []time.Duration
+	opts.BaseURL = ts.URL
+	opts.Sleep = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		slept = append(slept, d)
+		return nil
+	}
+	if opts.Jitter == nil {
+		opts.Jitter = func(d time.Duration) time.Duration { return d }
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &slept
+}
+
+// A 429 with Retry-After advice is absorbed: the client sleeps exactly
+// the advised delay and the caller sees only the eventual 200.
+func TestRetryAfterSecondsHonoured(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, `{"error": "job queue full (64 pending)"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("X-Job-Key", "k123")
+		w.Write([]byte(`{"ok": true}`))
+	}))
+	defer ts.Close()
+
+	c, slept := newClient(t, ts, Options{})
+	res, err := c.Submit(context.Background(), map[string]any{"kind": "fig6a", "wait": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 2 || res.JobKey != "k123" || string(res.Body) != `{"ok": true}` {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(*slept) != 2 || (*slept)[0] != 3*time.Second || (*slept)[1] != 3*time.Second {
+		t.Fatalf("slept %v, want [3s 3s] from Retry-After", *slept)
+	}
+}
+
+// An HTTP-date Retry-After works too, measured against the injected
+// clock; the advice is capped at MaxBackoff.
+func TestRetryAfterHTTPDateAndCap(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", now.Add(2*time.Second).Format(http.TimeFormat))
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case 2:
+			w.Header().Set("Retry-After", "60") // above the 5s cap
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte(`{}`))
+		}
+	}))
+	defer ts.Close()
+
+	c, slept := newClient(t, ts, Options{MaxBackoff: 5 * time.Second, Now: func() time.Time { return now }})
+	if _, err := c.Submit(context.Background(), map[string]any{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{2 * time.Second, 5 * time.Second}
+	if len(*slept) != 2 || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("slept %v, want %v (HTTP-date, then capped seconds)", *slept, want)
+	}
+}
+
+// Without Retry-After the fallback schedule doubles from BaseBackoff up
+// to MaxBackoff.
+func TestExponentialBackoffFallback(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 4 {
+			http.Error(w, `{"error": "busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c, slept := newClient(t, ts, Options{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 300 * time.Millisecond})
+	res, err := c.Submit(context.Background(), map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 4 {
+		t.Fatalf("retries = %d, want 4", res.Retries)
+	}
+	want := []time.Duration{100, 200, 300, 300} // ms, doubling then capped
+	for i, w := range want {
+		if (*slept)[i] != time.Duration(w)*time.Millisecond {
+			t.Fatalf("slept %v, want %v ms", *slept, want)
+		}
+	}
+}
+
+// Jitter is applied to fallback delays (not to Retry-After advice).
+func TestJitterApplied(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c, slept := newClient(t, ts, Options{
+		BaseBackoff: 100 * time.Millisecond,
+		Jitter:      func(d time.Duration) time.Duration { return d + 7 },
+	})
+	if _, err := c.Submit(context.Background(), map[string]any{}); err != nil {
+		t.Fatal(err)
+	}
+	if (*slept)[0] != 100*time.Millisecond+7 {
+		t.Fatalf("slept %v, want jittered 100ms+7ns", (*slept)[0])
+	}
+}
+
+// When the server never recovers, retries stop after MaxRetries and the
+// last refusal is wrapped in the returned error.
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error": "job queue full (64 pending)"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c, _ := newClient(t, ts, Options{MaxRetries: 3})
+	_, err := c.Submit(context.Background(), map[string]any{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want wrapped 429 StatusError", err)
+	}
+	if se.Message != "job queue full (64 pending)" {
+		t.Fatalf("message = %q", se.Message)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d attempts, want 4 (1 + 3 retries)", got)
+	}
+}
+
+// Non-retryable statuses return immediately: a 400 spec error must not
+// burn the retry budget, and a 500 failed job is a real answer.
+func TestNonRetryableStatusesReturnImmediately(t *testing.T) {
+	for _, tc := range []struct {
+		code int
+		body string
+		msg  string
+	}{
+		{http.StatusBadRequest, `{"error": "unknown kind \"bogus\""}`, `unknown kind "bogus"`},
+		{http.StatusInternalServerError, `{"error": "job j00000001 failed: panic"}`, "job j00000001 failed: panic"},
+	} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			http.Error(w, tc.body, tc.code)
+		}))
+		c, slept := newClient(t, ts, Options{})
+		_, err := c.Submit(context.Background(), map[string]any{})
+		ts.Close()
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != tc.code || se.Message != tc.msg {
+			t.Fatalf("code %d: err = %v, want StatusError{%d, %q}", tc.code, err, tc.code, tc.msg)
+		}
+		if calls.Load() != 1 || len(*slept) != 0 {
+			t.Fatalf("code %d: %d attempts / %d sleeps, want exactly one attempt and no sleeps", tc.code, calls.Load(), len(*slept))
+		}
+	}
+}
+
+// Cancelling the context aborts the backoff sleep.
+func TestContextCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var c *Client
+	var err error
+	c, err = New(Options{
+		BaseURL: ts.URL,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // the refusal arrived; client is now waiting
+			return ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, map[string]any{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A connection error (daemon restarting) retries like backpressure and
+// succeeds once the server is back.
+func TestTransportErrorRetries(t *testing.T) {
+	// Handler that works; we point the first attempts at a dead port by
+	// flipping the transport through a failing RoundTripper.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	var calls atomic.Int64
+	rt := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		if calls.Add(1) <= 2 {
+			return nil, errors.New("dial tcp: connection refused")
+		}
+		return http.DefaultTransport.RoundTrip(r)
+	})
+	c, slept := newClient(t, ts, Options{HTTP: &http.Client{Transport: rt}})
+	res, err := c.Submit(context.Background(), map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 2 || len(*slept) != 2 {
+		t.Fatalf("retries = %d, sleeps = %d, want 2 each", res.Retries, len(*slept))
+	}
+}
+
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// JobStatus decodes the daemon's job view and does not retry.
+func TestJobStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j00000001" {
+			http.Error(w, `{"error": "unknown job"}`, http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(Job{ID: "j00000001", Status: "done", Key: "k", Result: json.RawMessage(`{"x": 1}`)})
+	}))
+	defer ts.Close()
+
+	c, _ := newClient(t, ts, Options{})
+	jb, err := c.JobStatus(context.Background(), "j00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.Status != "done" || string(jb.Result) != `{"x":1}` {
+		t.Fatalf("job = %+v", jb)
+	}
+	if _, err := c.JobStatus(context.Background(), "nope"); err == nil {
+		t.Fatal("unknown job id did not error")
+	}
+}
+
+// Default jitter stays within [d/2, d] so backoff never exceeds the
+// deterministic schedule.
+func TestDefaultJitterRange(t *testing.T) {
+	var o Options
+	o.BaseURL = "http://example.invalid"
+	if err := o.fill(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		d := o.Jitter(time.Second)
+		if d < 500*time.Millisecond || d > time.Second {
+			t.Fatalf("jitter(%v) = %v outside [d/2, d]", time.Second, d)
+		}
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"0", 0, true},
+		{"7", 7 * time.Second, true},
+		{"-3", 0, false},
+		{"soon", 0, false},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true}, // past date: retry now
+	} {
+		got, ok := parseRetryAfter(tc.in, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestNewRequiresBaseURL(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New without BaseURL did not error")
+	}
+	if _, err := New(Options{BaseURL: "http://x/", MaxRetries: -1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// End to end against a real daemon: a chaos campaign submitted through
+// the client completes, and the identical resubmission is answered from
+// the daemon's content-addressed cache.
+func TestClientAgainstServeDaemon(t *testing.T) {
+	s := serve.New(serve.Options{Workers: 1, Registry: metrics.NewRegistry()})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	c, err := New(Options{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := map[string]any{
+		"faults":      []string{"babbling-idiot"},
+		"intensities": []float64{1},
+		"events":      80,
+		"wait":        true,
+	}
+	res, err := c.Chaos(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit || res.JobKey == "" {
+		t.Fatalf("first run: %+v, want a fresh keyed result", res)
+	}
+	var view struct {
+		FailedRuns int `json:"failed_runs"`
+	}
+	if err := json.Unmarshal(res.Body, &view); err != nil {
+		t.Fatalf("campaign body: %v\n%s", err, res.Body)
+	}
+	if view.FailedRuns != 0 {
+		t.Fatalf("monitored campaign failed: %s", res.Body)
+	}
+
+	again, err := c.Chaos(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.JobKey != res.JobKey {
+		t.Fatalf("resubmission: %+v, want cache hit on key %s", again, res.JobKey)
+	}
+}

@@ -279,11 +279,16 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		shutdownDone <- s.Shutdown(context.Background())
 	}()
 
-	// Draining: new submissions are refused, health reports it.
+	// Draining: new submissions are refused with backoff advice (the
+	// 503 must carry Retry-After just like the 429 path), health
+	// reports it.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		resp, _ := post(t, ts.URL, `{"kind": "fig6a", "events": 999}`)
 		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("drain 503 without a Retry-After header")
+			}
 			break
 		}
 		if time.Now().After(deadline) {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -150,6 +151,7 @@ type Server struct {
 	failed     *metrics.Counter
 	cancelled  *metrics.Counter
 	coalesced  *metrics.Counter
+	panicked   *metrics.Counter
 	queueDepth *metrics.Gauge
 	jobSecs    *metrics.Histogram
 }
@@ -171,6 +173,7 @@ func New(opts Options) *Server {
 		failed:     opts.Registry.Counter("repro_server_jobs_failed_total"),
 		cancelled:  opts.Registry.Counter("repro_server_jobs_cancelled_total"),
 		coalesced:  opts.Registry.Counter("repro_server_jobs_coalesced_total"),
+		panicked:   opts.Registry.Counter("repro_server_jobs_panicked_total"),
 		queueDepth: opts.Registry.Gauge("repro_server_queue_depth"),
 		jobSecs:    opts.Registry.Histogram("repro_server_job_seconds", nil),
 	}
@@ -195,7 +198,7 @@ func (s *Server) runJob(jb *job) {
 	jb.setStatus(StatusRunning)
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
-	body, err := s.run(ctx, jb.spec)
+	body, err := s.runIsolated(ctx, jb.spec)
 	// Read the deadline state before cancel(): afterwards ctx.Err() is
 	// unconditionally non-nil and every failure would look cancelled.
 	ctxErr := ctx.Err()
@@ -223,6 +226,22 @@ func (s *Server) runJob(jb *job) {
 	jb.mu.Unlock()
 	close(jb.done)
 	s.retire(jb)
+}
+
+// runIsolated executes one job with panic isolation: a poisoned spec
+// that panics the engine fails that job (the recovered value becomes
+// its error, surfaced as HTTP 500 / status "failed") instead of
+// killing the worker and, with it, the daemon. The stack is dropped
+// deliberately — the panic value plus the job's content-addressed spec
+// reproduce the crash offline.
+func (s *Server) runIsolated(ctx context.Context, sp *Spec) (body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked.Inc()
+			body, err = nil, fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return s.run(ctx, sp)
 }
 
 // retire unregisters jb from the in-flight index (new identical
@@ -272,6 +291,7 @@ func (s *Server) enqueue(jb *job) admission {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -282,15 +302,52 @@ func (s *Server) Handler() http.Handler {
 const maxSpecBytes = 1 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
-		return
-	}
 	var sp Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sp); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	s.submit(w, r, sp)
+}
+
+// chaosRequest is the POST /v1/chaos body: the campaign document plus
+// the protocol-level deterministic inputs shared with Spec.
+type chaosRequest struct {
+	ChaosSpec
+	Events int    `json:"events,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	Wait   bool   `json:"wait,omitempty"`
+}
+
+// handleChaos is sugar for POST /v1/experiments with kind "chaos": it
+// admits a chaos campaign through the same queue, cache and
+// singleflight path as every other job kind.
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var req chaosRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid chaos spec: %v", err)
+		return
+	}
+	cs := req.ChaosSpec
+	s.submit(w, r, Spec{
+		Kind:   "chaos",
+		Events: req.Events,
+		Seed:   req.Seed,
+		Wait:   req.Wait,
+		Chaos:  &cs,
+	})
+}
+
+// submit drives an admission end to end: normalize → content address →
+// cache → singleflight → queue, answering with the cached body, a 202,
+// or the job's terminal state.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, sp Spec) {
+	if s.draining.Load() {
+		s.unavailable(w)
 		return
 	}
 	if err := sp.normalize(); err != nil {
@@ -340,7 +397,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests, "job queue full (%d pending)", s.opts.QueueSize)
 		return
 	case shuttingDown:
-		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.unavailable(w)
 		return
 	}
 	s.accepted.Inc()
@@ -480,9 +537,31 @@ func execute(ctx context.Context, sp *Spec) ([]byte, error) {
 			return nil, err
 		}
 		return report.EncodeResult(res[0])
+	case "chaos":
+		r, err := faults.Run(ctx, faults.Config{
+			Faults:         sp.Chaos.Faults,
+			Intensities:    sp.Chaos.Intensities,
+			Events:         sp.Events,
+			Seed:           sp.Seed,
+			Workers:        1,
+			DisableMonitor: sp.Chaos.DisableMonitor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return report.EncodeChaos(r)
 	default:
 		return nil, fmt.Errorf("serve: unknown kind %q", sp.Kind)
 	}
+}
+
+// unavailable refuses a submission during drain/shutdown. Like the
+// 429 backpressure path, the 503 carries Retry-After so a well-behaved
+// client (internal/serve/client) backs off instead of hammering a
+// restarting daemon.
+func (s *Server) unavailable(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
+	httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 }
 
 func retryAfterSeconds(d time.Duration) int {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/workload"
 )
 
@@ -45,15 +46,39 @@ type Spec struct {
 	// Scenario is the full system description for kind "scenario",
 	// in the cmd/rthvsim configuration schema.
 	Scenario *config.File `json:"scenario,omitempty"`
+	// Chaos is the campaign document for kind "chaos" (also reachable
+	// as POST /v1/chaos). Events and Seed above parameterise the
+	// campaign; nil selects the default campaign.
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
 	// Wait blocks the POST until the result is ready instead of
 	// returning 202 + a job to poll.
 	Wait bool `json:"wait,omitempty"`
+}
+
+// ChaosSpec selects the fault-injection campaign for kind "chaos":
+// which adversarial IRQ models to aim at the reference system, at
+// which intensities, and whether to ablate the activation monitor
+// (internal/faults). Order matters — the cell index derives each run's
+// rng stream — so normalize fills defaults but never reorders.
+type ChaosSpec struct {
+	// Faults lists fault model names (internal/faults registry); empty
+	// selects every registered model.
+	Faults []string `json:"faults,omitempty"`
+	// Intensities in (0, 1]; empty selects 0.25, 0.5, 1.0.
+	Intensities []float64 `json:"intensities,omitempty"`
+	// DisableMonitor runs the campaign with the monitor's verdict
+	// discarded — the oracle-regression ablation. Such runs are
+	// expected to fail their invariants.
+	DisableMonitor bool `json:"disable_monitor,omitempty"`
 }
 
 // normalize validates sp and fills kind-specific defaults so every
 // spec that names the same computation reduces to the same canonical
 // form — the precondition for exact cache keys.
 func (sp *Spec) normalize() error {
+	if sp.Kind != "chaos" && sp.Chaos != nil {
+		return fmt.Errorf("serve: kind %q takes no chaos document", sp.Kind)
+	}
 	switch sp.Kind {
 	case "fig6a", "fig6b", "fig6c", "overhead":
 		if sp.Scenario != nil {
@@ -96,6 +121,42 @@ func (sp *Spec) normalize() error {
 		if sp.Events != 0 || sp.Seed != 0 || sp.Window != 0 {
 			return fmt.Errorf("serve: events, seed and window are properties of the scenario document")
 		}
+	case "chaos":
+		if sp.Scenario != nil {
+			return fmt.Errorf("serve: kind %q takes no scenario document", sp.Kind)
+		}
+		if sp.Window != 0 {
+			return fmt.Errorf("serve: window only applies to kind \"fig7\"")
+		}
+		if sp.Events < 0 {
+			return fmt.Errorf("serve: events must be non-negative")
+		}
+		if sp.Chaos == nil {
+			sp.Chaos = &ChaosSpec{}
+		}
+		def := faults.DefaultConfig()
+		if sp.Events == 0 {
+			sp.Events = def.Events
+		}
+		if sp.Seed == 0 {
+			sp.Seed = def.Seed
+		}
+		if len(sp.Chaos.Faults) == 0 {
+			sp.Chaos.Faults = faults.Names()
+		}
+		for _, f := range sp.Chaos.Faults {
+			if _, ok := faults.Lookup(f); !ok {
+				return fmt.Errorf("serve: unknown fault model %q (have %v)", f, faults.Names())
+			}
+		}
+		if len(sp.Chaos.Intensities) == 0 {
+			sp.Chaos.Intensities = faults.DefaultIntensities()
+		}
+		for _, in := range sp.Chaos.Intensities {
+			if in < 0 || in > 1 {
+				return fmt.Errorf("serve: intensity %g outside [0, 1]", in)
+			}
+		}
 	case "":
 		return fmt.Errorf("serve: missing kind")
 	default:
@@ -109,13 +170,23 @@ func (sp *Spec) normalize() error {
 // revision so a rebuilt daemon never serves results computed by
 // different code.
 type jobKey struct {
-	V        int    `json:"v"`
-	Code     string `json:"code"`
-	Kind     string `json:"kind"`
-	Events   int    `json:"events"`
-	Seed     uint64 `json:"seed"`
-	Window   int    `json:"window"`
-	Scenario string `json:"scenario,omitempty"` // core.Fingerprint of the built scenario
+	V        int       `json:"v"`
+	Code     string    `json:"code"`
+	Kind     string    `json:"kind"`
+	Events   int       `json:"events"`
+	Seed     uint64    `json:"seed"`
+	Window   int       `json:"window"`
+	Scenario string    `json:"scenario,omitempty"` // core.Fingerprint of the built scenario
+	Chaos    *chaosKey `json:"chaos,omitempty"`    // normalized campaign document
+}
+
+// chaosKey is the campaign part of a chaos job's cache-key pre-image.
+// Fault and intensity order is semantic (it fixes each cell's rng
+// stream), so the slices enter the key verbatim.
+type chaosKey struct {
+	Faults         []string  `json:"faults"`
+	Intensities    []float64 `json:"intensities"`
+	DisableMonitor bool      `json:"disable_monitor"`
 }
 
 // keyVersion bumps whenever the key schema or the result encodings
@@ -146,6 +217,13 @@ func (sp *Spec) key() (string, error) {
 			return "", fmt.Errorf("serve: %w", err)
 		}
 		k.Scenario = fp
+	}
+	if sp.Kind == "chaos" {
+		k.Chaos = &chaosKey{
+			Faults:         sp.Chaos.Faults,
+			Intensities:    sp.Chaos.Intensities,
+			DisableMonitor: sp.Chaos.DisableMonitor,
+		}
 	}
 	buf, err := json.Marshal(k)
 	if err != nil {

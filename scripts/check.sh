@@ -1,8 +1,10 @@
 #!/bin/sh
 # Tier-1 quality gate (DESIGN.md §6): build, vet, the full test suite
 # under the race detector — the parallel experiment engine must be
-# data-race free — and one pass over every benchmark so the measured
-# paths keep compiling and running.
+# data-race free — one pass over every benchmark so the measured paths
+# keep compiling and running, and the chaos smoke campaign (DESIGN.md
+# §8): monitored runs must satisfy the temporal-independence oracle and
+# the monitor-ablated babbling-idiot runs must violate it.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -11,3 +13,4 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test -bench=. -benchtime=1x -run '^$' .
+go run ./cmd/chaos -smoke -events 80
