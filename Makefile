@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench check bench-report serve golden chaos-smoke
+.PHONY: build vet test race bench check bench-report serve golden chaos-smoke crashtest
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# Regenerate BENCH_PR2.json (timings, allocations, headline metrics,
+# Regenerate BENCH_PR4.json (timings, allocations, headline metrics,
 # sequential-vs-parallel sweep wall clock, serve-daemon cold/hit/429
-# split).
+# split, warm-restart recovery latency).
 bench-report:
-	$(GO) run ./cmd/bench -o BENCH_PR2.json
+	$(GO) run ./cmd/bench -o BENCH_PR4.json
+
+# Kill–restart recovery harness: SIGKILL a real daemon mid-campaign,
+# restart it, assert no acked job lost and no divergent bytes.
+crashtest:
+	sh scripts/crashtest.sh
 
 # Run the simulation daemon on :8080 (see README "Server mode").
 serve:

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	bench [-o BENCH_PR2.json] [-events N] [-workers N]
+//	bench [-o BENCH_PR4.json] [-events N] [-workers N]
 package main
 
 import (
@@ -61,7 +61,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR4.json", "output file (- for stdout)")
 	events := flag.Int("events", 1500, "IRQs per sweep point for the wall-clock comparison")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for the parallel wall-clock run")
 	flag.Parse()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -27,6 +28,13 @@ type serverTiming struct {
 	Accepted        int64   `json:"accepted"`
 	Rejected        int64   `json:"rejected"`
 	QueueSize       int     `json:"queue_size"`
+	// Warm restart (PR 4): daemon with a -data-dir is stopped cleanly
+	// and a fresh instance opened on the same directory; the time spans
+	// store+journal open, journal replay and the first request, which
+	// must be served from the durable store (X-Cache: store) without
+	// recomputation.
+	WarmRestartMs  float64 `json:"warm_restart_ms"`
+	WarmCacheState string  `json:"warm_cache_state"`
 }
 
 // serverBench measures the daemon end to end over loopback HTTP: one
@@ -35,7 +43,10 @@ type serverTiming struct {
 func serverBench(events int) serverTiming {
 	const queueSize = 8
 	reg := metrics.NewRegistry()
-	s := serve.New(serve.Options{Workers: 1, QueueSize: queueSize, Registry: reg})
+	s, err := serve.New(serve.Options{Workers: 1, QueueSize: queueSize, Registry: reg})
+	if err != nil {
+		fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -101,5 +112,68 @@ func serverBench(events int) serverTiming {
 	if err := s.Shutdown(ctx); err != nil {
 		fatal(err)
 	}
+
+	st.WarmRestartMs, st.WarmCacheState = warmRestartBench(events)
 	return st
+}
+
+// warmRestartBench measures the crash-safety payoff: a durable daemon
+// computes one result, shuts down cleanly, and a fresh instance on the
+// same data directory answers the identical spec. The measured span is
+// restart (store index + journal open + replay) plus the first
+// request, which must come from the durable store — recomputing would
+// cost ColdMs again.
+func warmRestartBench(events int) (ms float64, cacheState string) {
+	dir, err := os.MkdirTemp("", "bench-warm-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	spec := fmt.Sprintf(`{"kind": "fig6a", "events": %d, "wait": true}`, events)
+
+	post := func(ts *httptest.Server) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(spec))
+		if err != nil {
+			fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	s1, err := serve.New(serve.Options{Workers: 1, DataDir: dir, Registry: metrics.NewRegistry()})
+	if err != nil {
+		fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	if resp := post(ts1); resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("warm-restart seed request: %s", resp.Status))
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	s2, err := serve.New(serve.Options{Workers: 1, DataDir: dir, Registry: metrics.NewRegistry()})
+	if err != nil {
+		fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp := post(ts2)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("warm-restart request: %s", resp.Status))
+	}
+	cacheState = resp.Header.Get("X-Cache")
+	if cacheState != "store" {
+		fatal(fmt.Errorf("warm-restart request not served from the durable store (X-Cache: %q)", cacheState))
+	}
+	if err := s2.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	return float64(elapsed.Microseconds()) / 1000, cacheState
 }

@@ -5,17 +5,31 @@
 //
 // Usage:
 //
-//	served [-addr :8080] [-workers N] [-queue N] [-cache N] [-job-timeout D] [-job-retention N]
+//	served [-addr :8080] [-workers N] [-queue N] [-cache N] [-job-timeout D]
+//	       [-job-retention N] [-data-dir DIR] [-fsync] [-store-max-bytes N]
 //
 // Endpoints:
 //
 //	POST /v1/experiments  submit a job (429 + Retry-After when the queue is full)
+//	POST /v1/chaos        submit a fault-injection campaign
 //	GET  /v1/jobs/{id}    job status, result inline when done
-//	GET  /healthz         liveness (503 while draining)
+//	GET  /healthz         liveness: 200 while the process serves HTTP, even
+//	                      during drain and journal replay
+//	GET  /readyz          readiness: 503 during journal replay and drain
 //	GET  /metrics         Prometheus-style counters, gauges and histograms
 //
+// With -data-dir the daemon is crash-safe: accepted jobs are appended
+// to a write-ahead journal before they are acked and results live in a
+// disk-backed content-addressed store, so a SIGKILL loses nothing — on
+// restart the journal is replayed (a torn final record is dropped, not
+// fatal), interrupted jobs re-run (short-circuiting on results that
+// already reached the store) and finished results are served without
+// recomputation. /readyz gates until the replayed backlog is back in
+// the queue.
+//
 // SIGINT/SIGTERM trigger a graceful drain: submissions are refused,
-// queued and running jobs finish (bounded by -drain-timeout), then the
+// queued and running jobs finish (bounded by -drain-timeout), the
+// journal is compacted so the next start replays nothing, then the
 // process exits.
 package main
 
@@ -30,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/serve"
 )
@@ -38,27 +53,44 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runner.Default(), "worker pool size (jobs run concurrently; each job is sequential)")
 	queue := flag.Int("queue", 64, "job queue bound; beyond it submissions get 429")
-	cacheSize := flag.Int("cache", 128, "result cache entries (LRU)")
+	cacheSize := flag.Int("cache", 128, "result cache entries (in-memory LRU tier)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job deadline; expired jobs are cancelled (504)")
 	retention := flag.Int("job-retention", 256, "finished jobs kept pollable via GET /v1/jobs/{id}; older records are dropped (404)")
 	retryAfter := flag.Duration("retry-after", time.Second, "backoff advice on 429 responses")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound before in-flight jobs are cancelled")
+	dataDir := flag.String("data-dir", "", "durability root (result store + job journal); empty = memory only")
+	fsync := flag.Bool("fsync", false, "fsync journal appends and store writes (power-loss durability at a latency cost)")
+	storeMax := flag.Int64("store-max-bytes", 0, "durable store byte budget; cold entries beyond it are deleted (0 = 256 MiB)")
 	flag.Parse()
 
-	s := serve.New(serve.Options{
-		Workers:      *workers,
-		QueueSize:    *queue,
-		CacheSize:    *cacheSize,
-		JobTimeout:   *jobTimeout,
-		RetryAfter:   *retryAfter,
-		JobRetention: *retention,
+	s, err := serve.New(serve.Options{
+		Workers:       *workers,
+		QueueSize:     *queue,
+		CacheSize:     *cacheSize,
+		JobTimeout:    *jobTimeout,
+		RetryAfter:    *retryAfter,
+		JobRetention:  *retention,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
+		StoreMaxBytes: *storeMax,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "served: %v\n", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "served: listening on %s (%d workers, queue %d, cache %d)\n",
 		*addr, *workers, *queue, *cacheSize)
+	if *dataDir != "" {
+		reg := metrics.Default()
+		fmt.Fprintf(os.Stderr, "served: durable under %s (fsync %v): replayed %d journaled job(s), %d torn tail(s) dropped\n",
+			*dataDir, *fsync,
+			reg.Counter("repro_journal_replayed_jobs_total").Value(),
+			reg.Counter("repro_journal_torn_tail_total").Value())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -74,6 +106,8 @@ func main() {
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "served: drain incomplete, in-flight jobs cancelled: %v\n", err)
+	} else if *dataDir != "" {
+		fmt.Fprintln(os.Stderr, "served: drain clean, journal compacted")
 	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "served: http shutdown: %v\n", err)

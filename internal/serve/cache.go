@@ -5,20 +5,34 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
-// cache is a content-addressed LRU over encoded result bodies. Keys
-// are spec content addresses (see Spec.key), so an entry can never be
-// stale — only evicted. Bounded by entry count; result bodies are
-// figure-sized (a few KiB), not trace-sized, by construction of the
-// report encoders.
+// Cache sources, as reported by Get and surfaced in the X-Cache
+// response header: a memory hit, a durable-store hit (promoted into
+// memory on the way out), or a miss.
+const (
+	cacheMem   = "hit"
+	cacheStore = "store"
+	cacheMiss  = ""
+)
+
+// cache is a content-addressed LRU over encoded result bodies,
+// optionally layered on the disk-backed store.Store. Keys are spec
+// content addresses (see Spec.key), so an entry can never be stale —
+// only evicted. The memory tier bounds entry count (result bodies are
+// figure-sized by construction of the report encoders); the store tier
+// bounds bytes and survives the process, so a restarted daemon serves
+// warm results without recomputation.
 type cache struct {
-	mu     sync.Mutex
-	max    int
-	ll     *list.List               // front = most recently used
-	items  map[string]*list.Element // key → element holding *cacheEntry
-	hits   *metrics.Counter
-	misses *metrics.Counter
+	mu        sync.Mutex
+	max       int
+	ll        *list.List               // front = most recently used
+	items     map[string]*list.Element // key → element holding *cacheEntry
+	store     *store.Store             // nil = memory only
+	hits      *metrics.Counter
+	storeHits *metrics.Counter
+	misses    *metrics.Counter
 }
 
 type cacheEntry struct {
@@ -26,38 +40,63 @@ type cacheEntry struct {
 	body []byte
 }
 
-func newCache(max int, reg *metrics.Registry) *cache {
+func newCache(max int, st *store.Store, reg *metrics.Registry) *cache {
 	return &cache{
-		max:    max,
-		ll:     list.New(),
-		items:  make(map[string]*list.Element),
-		hits:   reg.Counter("repro_server_cache_hits_total"),
-		misses: reg.Counter("repro_server_cache_misses_total"),
+		max:       max,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		store:     st,
+		hits:      reg.Counter("repro_server_cache_hits_total"),
+		storeHits: reg.Counter("repro_server_cache_store_hits_total"),
+		misses:    reg.Counter("repro_server_cache_misses_total"),
 	}
 }
 
-// Get returns the cached body for key, bumping its recency and the
-// hit/miss counters. Callers must not mutate the returned slice.
-func (c *cache) Get(key string) ([]byte, bool) {
+// Get returns the cached body for key and its source: cacheMem for a
+// memory hit, cacheStore for a durable-store hit (the entry is
+// promoted into the memory tier), cacheMiss for neither. Callers must
+// not mutate the returned slice. A corrupt store entry is quarantined
+// by the store and surfaces here as a miss — bad bytes are recomputed,
+// never served.
+func (c *cache) Get(key string) ([]byte, string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses.Inc()
-		return nil, false
+	if el, ok := c.items[key]; ok {
+		c.hits.Inc()
+		c.ll.MoveToFront(el)
+		body := el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		return body, cacheMem
 	}
-	c.hits.Inc()
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	c.mu.Unlock()
+	if c.store != nil {
+		if body, ok := c.store.Get(key); ok {
+			c.storeHits.Inc()
+			c.promote(key, body)
+			return body, cacheStore
+		}
+	}
+	c.misses.Inc()
+	return nil, cacheMiss
 }
 
-// Put stores body under key, evicting from the cold end when full.
+// Put stores body under key in both tiers, evicting from the memory
+// tier's cold end when full. The store write is atomic and checksummed
+// (see internal/store); a store error degrades durability, not
+// availability — the in-memory entry still serves.
 func (c *cache) Put(key string, body []byte) {
+	c.promote(key, body)
+	if c.store != nil {
+		_ = c.store.Put(key, body)
+	}
+}
+
+// promote inserts body into the memory tier (refreshing recency if the
+// key is already present — determinism makes re-computed bodies
+// identical).
+func (c *cache) promote(key string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		// Determinism makes re-computed bodies identical, so this
-		// only refreshes recency.
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -69,7 +108,7 @@ func (c *cache) Put(key string, body []byte) {
 	}
 }
 
-// Len reports the number of cached entries.
+// Len reports the number of entries in the memory tier.
 func (c *cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

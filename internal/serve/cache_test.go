@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+func memCache(t *testing.T, max int) (*cache, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	return newCache(max, nil, reg), reg
+}
+
+// TestCacheEvictionOrder: under interleaved Get/Put traffic, eviction
+// tracks recency, not insertion — a Get rescues an entry from the cold
+// end.
+func TestCacheEvictionOrder(t *testing.T) {
+	c, _ := memCache(t, 3)
+	for i := 1; i <= 3; i++ {
+		c.Put(k(i), []byte(k(i)))
+	}
+	// Recency now 3 > 2 > 1. Touch 1, demoting 2 to coldest.
+	if _, src := c.Get(k(1)); src != cacheMem {
+		t.Fatalf("Get(k1) = %q, want memory hit", src)
+	}
+	c.Put(k(4), []byte(k(4))) // evicts 2
+	if _, src := c.Get(k(2)); src != cacheMiss {
+		t.Fatal("k2 survived eviction despite being coldest")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if body, src := c.Get(k(i)); src != cacheMem || !bytes.Equal(body, []byte(k(i))) {
+			t.Fatalf("k%d: src %q body %q", i, src, body)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Re-putting an existing key refreshes recency without growing.
+	c.Put(k(3), []byte(k(3)))
+	c.Put(k(5), []byte(k(5))) // evicts 1 (oldest after the refresh)
+	if _, src := c.Get(k(1)); src != cacheMiss {
+		t.Fatal("k1 survived; re-Put did not refresh recency of k3")
+	}
+}
+
+// TestCacheLenConsistentUnderConcurrency hammers Get/Put/Len from many
+// goroutines; under -race this is the data-race proof, and the bound
+// must hold at every observation.
+func TestCacheLenConsistentUnderConcurrency(t *testing.T) {
+	const max = 8
+	c, _ := memCache(t, max)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				key := k((w*7 + i) % 32)
+				c.Put(key, []byte(key))
+				if body, src := c.Get(key); src != cacheMiss && !bytes.Equal(body, []byte(key)) {
+					t.Errorf("Get(%s) returned foreign bytes %q", key, body)
+				}
+				if n := c.Len(); n < 0 || n > max {
+					t.Errorf("Len = %d outside [0, %d]", n, max)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n != max {
+		t.Fatalf("final Len = %d, want %d", n, max)
+	}
+}
+
+// TestCacheStoreBackedMissPath: with the durable tier layered under
+// the LRU, a memory miss falls through to the store (X-Cache "store",
+// promoted into memory), and only a miss in both tiers is a miss.
+func TestCacheStoreBackedMissPath(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st, err := store.Open(t.TempDir(), store.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCache(2, st, reg)
+
+	body := []byte("durable bytes")
+	c.Put(k(1), body)
+	// Evict k1 from the memory tier; the store still holds it.
+	c.Put(k(2), []byte("b2"))
+	c.Put(k(3), []byte("b3"))
+	if got, src := c.Get(k(1)); src != cacheStore || !bytes.Equal(got, body) {
+		t.Fatalf("Get(k1) = %q, %q; want store hit with original bytes", got, src)
+	}
+	if got := reg.Counter("repro_server_cache_store_hits_total").Value(); got != 1 {
+		t.Fatalf("store_hits_total = %d, want 1", got)
+	}
+	// Promoted: the next Get is a memory hit.
+	if _, src := c.Get(k(1)); src != cacheMem {
+		t.Fatalf("Get(k1) after promotion = %q, want memory hit", src)
+	}
+	// Absent in both tiers: a genuine miss.
+	if _, src := c.Get(k(9)); src != cacheMiss {
+		t.Fatalf("Get(k9) = %q, want miss", src)
+	}
+	if got := reg.Counter("repro_server_cache_misses_total").Value(); got != 1 {
+		t.Fatalf("misses_total = %d, want 1", got)
+	}
+}
+
+// k builds a 64-hex-char key like a real content address.
+func k(i int) string {
+	return fmt.Sprintf("%064x", i)
+}

@@ -45,6 +45,9 @@ type Options struct {
 	// MaxBackoff caps both the fallback schedule and any Retry-After
 	// advice. 0 = 5s.
 	MaxBackoff time.Duration
+	// PollInterval is Await's cadence between successful status reads
+	// that are not yet terminal. 0 = 50ms.
+	PollInterval time.Duration
 
 	// Test seams. Sleep waits for d or until ctx is done (nil = timer
 	// sleep); Jitter perturbs a fallback delay (nil = uniform in
@@ -71,6 +74,9 @@ func (o *Options) fill() error {
 	}
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 5 * time.Second
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 50 * time.Millisecond
 	}
 	if o.Sleep == nil {
 		o.Sleep = sleepCtx
@@ -118,9 +124,14 @@ type Result struct {
 	Body []byte
 	// JobKey is the content address (X-Job-Key).
 	JobKey string
-	// CacheHit reports whether the daemon served the result from its
-	// content-addressed cache (X-Cache: hit).
+	// CacheHit reports whether the daemon served the result without
+	// recomputation — from either cache tier (X-Cache "hit" or, since
+	// the daemon grew a durable store, "store").
 	CacheHit bool
+	// CacheSource is the raw X-Cache value: "hit" (memory tier),
+	// "store" (durable tier, e.g. just after a daemon restart) or
+	// "miss" (computed for this request).
+	CacheSource string
 	// Retries is how many retryable refusals were absorbed before this
 	// result arrived.
 	Retries int
@@ -186,6 +197,49 @@ func (c *Client) JobStatus(ctx context.Context, id string) (*Job, error) {
 	return &jb, nil
 }
 
+// Await polls GET /v1/jobs/{id} until the job reaches a terminal
+// status (done, failed or cancelled) and returns that final view. It
+// rides out a daemon restart mid-poll: transport errors (connection
+// refused while the process is down) and 429/503 responses (the
+// replaying daemon gating on /readyz refuses work the same way) retry
+// on the backoff schedule, and the budget of MaxRetries consecutive
+// failures resets after every successful read — the crash-safe daemon
+// keeps job ids stable across restarts, so the id stays valid. A 404
+// is final: the id never existed or aged out of retention.
+func (c *Client) Await(ctx context.Context, id string) (*Job, error) {
+	failures := 0
+	var lastErr error
+	for {
+		jb, err := c.JobStatus(ctx, id)
+		switch {
+		case err == nil:
+			failures = 0
+			switch jb.Status {
+			case "done", "failed", "cancelled":
+				return jb, nil
+			}
+			if err := c.opts.Sleep(ctx, c.opts.PollInterval); err != nil {
+				return nil, err
+			}
+			continue
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return nil, err
+		}
+		var se *StatusError
+		if errors.As(err, &se) && !retryable(se.Code) {
+			return nil, err
+		}
+		failures++
+		lastErr = err
+		if failures > c.opts.MaxRetries {
+			return nil, fmt.Errorf("client: awaiting job %s: giving up after %d attempts: %w", id, failures, lastErr)
+		}
+		if err := c.opts.Sleep(ctx, c.backoff(failures-1)); err != nil {
+			return nil, err
+		}
+	}
+}
+
 func (c *Client) post(ctx context.Context, path string, spec any) (*Result, error) {
 	payload, err := json.Marshal(spec)
 	if err != nil {
@@ -203,10 +257,11 @@ func (c *Client) post(ctx context.Context, path string, spec any) (*Result, erro
 				return nil, statusError(resp.code, resp.body)
 			}
 			return &Result{
-				Body:     resp.body,
-				JobKey:   resp.jobKey,
-				CacheHit: resp.cacheHit,
-				Retries:  attempt,
+				Body:        resp.body,
+				JobKey:      resp.jobKey,
+				CacheHit:    resp.cacheSource == "hit" || resp.cacheSource == "store",
+				CacheSource: resp.cacheSource,
+				Retries:     attempt,
 			}, nil
 		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 			return nil, err
@@ -232,11 +287,11 @@ func (c *Client) post(ctx context.Context, path string, spec any) (*Result, erro
 
 // response is the slice of an *http.Response the retry loop needs.
 type response struct {
-	code       int
-	body       []byte
-	jobKey     string
-	cacheHit   bool
-	retryAfter string
+	code        int
+	body        []byte
+	jobKey      string
+	cacheSource string
+	retryAfter  string
 }
 
 func (c *Client) attempt(ctx context.Context, path string, payload []byte) (*response, error) {
@@ -254,11 +309,11 @@ func (c *Client) attempt(ctx context.Context, path string, payload []byte) (*res
 		return nil, err
 	}
 	return &response{
-		code:       resp.StatusCode,
-		body:       body,
-		jobKey:     resp.Header.Get("X-Job-Key"),
-		cacheHit:   resp.Header.Get("X-Cache") == "hit",
-		retryAfter: resp.Header.Get("Retry-After"),
+		code:        resp.StatusCode,
+		body:        body,
+		jobKey:      resp.Header.Get("X-Job-Key"),
+		cacheSource: resp.Header.Get("X-Cache"),
+		retryAfter:  resp.Header.Get("Retry-After"),
 	}, nil
 }
 

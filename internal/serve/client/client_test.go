@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -275,6 +276,116 @@ func TestJobStatus(t *testing.T) {
 	}
 	if _, err := c.JobStatus(context.Background(), "nope"); err == nil {
 		t.Fatal("unknown job id did not error")
+	}
+}
+
+// Await rides out a daemon restart mid-poll: a non-terminal read, then
+// connection refusals while the process is down, then a 503 while the
+// replayed backlog re-enqueues, and finally the terminal view — all
+// absorbed, with the failure budget reset by each successful read.
+func TestAwaitRidesOutRestart(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Attempt 3 never arrives (transport refusal), so server call 3
+		// is a successful read that resets the failure budget before the
+		// 503 on call 4.
+		switch calls.Add(1) {
+		case 1, 2, 3:
+			json.NewEncoder(w).Encode(Job{ID: "j00000001", Status: "queued", Key: "k"})
+		case 4:
+			http.Error(w, `{"error": "server is shutting down"}`, http.StatusServiceUnavailable)
+		default:
+			json.NewEncoder(w).Encode(Job{ID: "j00000001", Status: "done", Key: "k", Result: json.RawMessage(`{"x": 1}`)})
+		}
+	}))
+	defer ts.Close()
+
+	// Call 3 never reaches the server: the daemon is "down".
+	var attempts atomic.Int64
+	rt := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		if attempts.Add(1) == 3 {
+			return nil, errors.New("dial tcp: connection refused")
+		}
+		return http.DefaultTransport.RoundTrip(r)
+	})
+	c, slept := newClient(t, ts, Options{HTTP: &http.Client{Transport: rt}, MaxRetries: 2})
+	jb, err := c.Await(context.Background(), "j00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.Status != "done" || string(jb.Result) != `{"x":1}` {
+		t.Fatalf("job = %+v", jb)
+	}
+	// poll, poll, backoff (refused), poll (recovered read resets the
+	// budget), backoff (503, back at the first step).
+	want := []time.Duration{
+		50 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+	}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i, w := range want {
+		if (*slept)[i] != w {
+			t.Fatalf("slept %v, want %v (budget must reset after a successful read)", *slept, want)
+		}
+	}
+}
+
+// A 404 from Await is final — the id never existed or aged out of
+// retention — and must not burn the retry budget.
+func TestAwaitUnknownJobIsFinal(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error": "unknown job \"nope\""}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c, slept := newClient(t, ts, Options{})
+	_, err := c.Await(context.Background(), "nope")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want StatusError 404", err)
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Fatalf("%d attempts / %d sleeps, want one attempt and no sleeps", calls.Load(), len(*slept))
+	}
+}
+
+// A daemon that never comes back exhausts Await's consecutive-failure
+// budget and the last error is wrapped.
+func TestAwaitGivesUpWhenDaemonStaysDown(t *testing.T) {
+	var attempts atomic.Int64
+	rt := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		attempts.Add(1)
+		return nil, errors.New("dial tcp: connection refused")
+	})
+	var slept []time.Duration
+	c, err := New(Options{
+		BaseURL:    "http://127.0.0.1:0",
+		HTTP:       &http.Client{Transport: rt},
+		MaxRetries: 3,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+		Jitter: func(d time.Duration) time.Duration { return d },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Await(context.Background(), "j00000001")
+	if err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("err = %v, want wrapped transport error", err)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want 4 (1 + 3 retries)", got)
+	}
+	if len(slept) != 3 {
+		t.Fatalf("slept %v, want 3 backoffs", slept)
 	}
 }
 

@@ -15,7 +15,10 @@ import (
 // the client completes, and the identical resubmission is answered from
 // the daemon's content-addressed cache.
 func TestClientAgainstServeDaemon(t *testing.T) {
-	s := serve.New(serve.Options{Workers: 1, Registry: metrics.NewRegistry()})
+	s, err := serve.New(serve.Options{Workers: 1, Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()

@@ -1,0 +1,248 @@
+package serve
+
+// The write-ahead job journal. Every job the daemon *acks* — replies
+// 202 or starts blocking on — is first appended here, and every
+// terminal transition (done/failed/cancelled) follows it, so the
+// journal plus the durable result store reconstruct the daemon's job
+// table after a crash:
+//
+//	accept, no terminal record  → the job was queued or running when
+//	                              the process died: re-enqueue it.
+//	accept + terminal record    → finished: status (and, for "done",
+//	                              the body via the content-addressed
+//	                              store) is served from the record.
+//
+// Replay is idempotent by construction: job ids are stable across the
+// restart, re-enqueued work is content-addressed (recomputation yields
+// byte-identical results, and a result that reached the store before
+// the crash short-circuits the recompute entirely), and the in-flight
+// singleflight index is rebuilt from the replayed jobs.
+//
+// On-disk format: a sequence of framed records, each
+//
+//	4-byte big-endian payload length
+//	4-byte big-endian CRC32 (IEEE) of the payload
+//	payload (canonical JSON of journalRecord)
+//
+// A crash can tear at most the final record (appends are sequential),
+// so the reader accepts the longest valid prefix and reports the torn
+// tail, which the opener truncates away — a half-written record is
+// dropped, never fatal, and never a parse error for later appends.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal record operations. opAccept carries the full spec (the
+// journal must be able to re-create the job from nothing); terminal
+// records carry only id/op/err — the result body lives in the store,
+// keyed by the job's content address.
+const (
+	opAccept    = "accept"
+	opDone      = "done"
+	opFailed    = "failed"
+	opCancelled = "cancelled"
+)
+
+type journalRecord struct {
+	Op   string `json:"op"`
+	ID   string `json:"id"`
+	Key  string `json:"key,omitempty"`
+	Spec *Spec  `json:"spec,omitempty"` // accept records only
+	Err  string `json:"err,omitempty"` // failed/cancelled records
+}
+
+// errJournalDead is returned by appends after the journal was killed
+// (crash simulation) or closed.
+var errJournalDead = errors.New("serve: journal is not accepting writes")
+
+const journalFrameHeader = 8 // length + crc32
+
+// journal is an append-only record log. Safe for concurrent use.
+type journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	fsync bool
+	count int64 // records appended by this process
+
+	// killAfter simulates SIGKILL at a record boundary for the crash
+	// harness: once count reaches it, every subsequent write — appends
+	// and compaction alike — fails as if the process had died. < 0
+	// disables the hook.
+	killAfter int64
+	closed    bool
+}
+
+// openJournal opens (creating if needed) the journal at path, replays
+// its records and truncates any torn tail. It returns the journal
+// ready for appends, the valid records in append order, and whether a
+// torn tail was dropped.
+func openJournal(path string, fsync bool) (*journal, []journalRecord, bool, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, false, fmt.Errorf("serve: journal: %w", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, false, fmt.Errorf("serve: journal: %w", err)
+	}
+	recs, validEnd, torn := decodeJournal(raw)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("serve: journal: %w", err)
+	}
+	if torn {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("serve: journal: dropping torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, false, fmt.Errorf("serve: journal: %w", err)
+	}
+	return &journal{f: f, path: path, fsync: fsync, killAfter: -1}, recs, torn, nil
+}
+
+// decodeJournal reads the longest valid record prefix of raw. Any
+// trailing bytes that do not frame a complete, checksum-clean record —
+// a torn final write, or garbage after one — are reported as a torn
+// tail; everything before them is intact (CRC-verified).
+func decodeJournal(raw []byte) (recs []journalRecord, validEnd int64, torn bool) {
+	off := 0
+	for {
+		if off == len(raw) {
+			return recs, int64(off), false
+		}
+		if len(raw)-off < journalFrameHeader {
+			return recs, int64(off), true
+		}
+		n := int(binary.BigEndian.Uint32(raw[off:]))
+		sum := binary.BigEndian.Uint32(raw[off+4:])
+		if len(raw)-off-journalFrameHeader < n {
+			return recs, int64(off), true
+		}
+		payload := raw[off+journalFrameHeader : off+journalFrameHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, int64(off), true
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, int64(off), true
+		}
+		recs = append(recs, rec)
+		off += journalFrameHeader + n
+	}
+}
+
+func encodeRecord(rec journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, journalFrameHeader+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[journalFrameHeader:], payload)
+	return buf, nil
+}
+
+// append writes one record durably (per the fsync policy) before
+// returning. The write-ahead contract lives here: submit acks a job
+// only after its accept record returned from append.
+func (j *journal) append(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || (j.killAfter >= 0 && j.count >= j.killAfter) {
+		return errJournalDead
+	}
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("serve: journal: %w", err)
+		}
+	}
+	j.count++
+	return nil
+}
+
+// compact atomically replaces the journal with only the live records —
+// after a clean drain that is none at all, so the next start replays
+// nothing. The rewrite is tmp+rename, like a store Put: a crash during
+// compaction leaves either the old journal or the new one.
+func (j *journal) compact(live []journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || (j.killAfter >= 0 && j.count >= j.killAfter) {
+		return errJournalDead
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), "journal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: journal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	for _, rec := range live {
+		buf, err := encodeRecord(rec)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("serve: journal: compact: %w", err)
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			return fmt.Errorf("serve: journal: compact: %w", err)
+		}
+	}
+	if j.fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("serve: journal: compact: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("serve: journal: compact: %w", err)
+	}
+	// Swap the append handle to the new file.
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal: compact: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	return nil
+}
+
+// close stops the journal; further appends fail.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// kill arms the crash hook: after n more records the journal dies
+// mid-flight, exactly as a SIGKILL between syscalls would leave it.
+func (j *journal) kill(afterRecords int64) {
+	j.mu.Lock()
+	j.killAfter = j.count + afterRecords
+	j.mu.Unlock()
+}

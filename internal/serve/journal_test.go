@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords() []journalRecord {
+	return []journalRecord{
+		{Op: opAccept, ID: "j00000001", Key: "k1", Spec: &Spec{Kind: "fig6a", Events: 100, Seed: 1}},
+		{Op: opAccept, ID: "j00000002", Key: "k2", Spec: &Spec{Kind: "fig6b", Events: 200, Seed: 2}},
+		{Op: opDone, ID: "j00000001"},
+		{Op: opFailed, ID: "j00000002", Err: "boom"},
+	}
+}
+
+// TestJournalRoundTrip: records appended by one journal are replayed
+// verbatim by the next open of the same path.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, recs, torn, err := openJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || torn {
+		t.Fatalf("fresh journal: %d records, torn %v", len(recs), torn)
+	}
+	want := testRecords()
+	for _, rec := range want {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got, torn, err := openJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("clean journal reported a torn tail")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed records differ:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestJournalTornTail: for every truncation point inside the final
+// record, the reader recovers the full prefix and reports (exactly) a
+// torn tail — a half-written record is dropped, never fatal.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.wal")
+	j, _, _, err := openJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for _, rec := range want {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all, _, _ := decodeJournal(full); len(all) != 4 {
+		t.Fatalf("sanity: full journal has %d records, want 4", len(all))
+	}
+	// Walk three frames to find where the final record begins.
+	lastStart := int64(0)
+	for i := 0; i < 3; i++ {
+		n := int64(full[lastStart])<<24 | int64(full[lastStart+1])<<16 |
+			int64(full[lastStart+2])<<8 | int64(full[lastStart+3])
+		lastStart += journalFrameHeader + n
+	}
+
+	for cut := lastStart + 1; cut < int64(len(full)); cut++ {
+		tornPath := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(tornPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jt, recs, torn, err := openJournal(tornPath, false)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !torn {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if !reflect.DeepEqual(recs, want[:3]) {
+			t.Fatalf("cut %d: prefix not recovered: %+v", cut, recs)
+		}
+		// The torn bytes were truncated away: appending works and the
+		// next open sees prefix + new record, no tear.
+		if err := jt.append(journalRecord{Op: opCancelled, ID: "j00000002"}); err != nil {
+			t.Fatalf("cut %d: append after tear: %v", cut, err)
+		}
+		jt.close()
+		_, recs2, torn2, err := openJournal(tornPath, false)
+		if err != nil || torn2 {
+			t.Fatalf("cut %d: reopen after repair: torn %v err %v", cut, torn2, err)
+		}
+		if len(recs2) != 4 || recs2[3].Op != opCancelled {
+			t.Fatalf("cut %d: repaired journal = %+v", cut, recs2)
+		}
+		os.Remove(tornPath)
+	}
+}
+
+// TestJournalCorruptTailDropped: a flipped byte in the final record's
+// payload fails the CRC and the record is dropped like a torn one.
+func TestJournalCorruptTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, _, err := openJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range testRecords() {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, torn, err := openJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || len(recs) != 3 {
+		t.Fatalf("corrupt tail: torn %v, %d records; want torn, 3", torn, len(recs))
+	}
+}
+
+// TestJournalCompact: compaction rewrites the journal to the live set
+// (none, after a clean drain) and appends still work afterwards.
+func TestJournalCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, _, err := openJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range testRecords() {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.compact(nil); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() != 0 {
+		t.Fatalf("compacted journal size = %v, %v; want 0", info.Size(), err)
+	}
+	if err := j.append(journalRecord{Op: opAccept, ID: "j00000009", Key: "k9", Spec: &Spec{Kind: "fig6a"}}); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	_, recs, torn, err := openJournal(path, false)
+	if err != nil || torn {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "j00000009" {
+		t.Fatalf("post-compact journal = %+v", recs)
+	}
+}
+
+// TestJournalKillHook: after the armed record count, appends and
+// compaction fail exactly as if the process had died — the harness's
+// deterministic SIGKILL stand-in.
+func TestJournalKillHook(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, _, err := openJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.kill(2)
+	recs := testRecords()
+	if err := j.append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(recs[2]); err != errJournalDead {
+		t.Fatalf("append past kill point = %v, want errJournalDead", err)
+	}
+	if err := j.compact(nil); err != errJournalDead {
+		t.Fatalf("compact past kill point = %v, want errJournalDead", err)
+	}
+	_, got, torn, err := openJournal(path, false)
+	if err != nil || torn {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("journal after simulated kill holds %d records, want 2", len(got))
+	}
+}

@@ -25,7 +25,10 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	if opts.Registry == nil {
 		opts.Registry = metrics.NewRegistry()
 	}
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -296,8 +299,17 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	// Liveness stays green through the drain (a supervisor must not
+	// mistake an orderly restart for a crash); readiness goes red.
+	hr, hb := get(t, ts.URL+"/healthz")
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain: %d, want 200 (liveness)", hr.StatusCode)
+	}
+	if !strings.Contains(string(hb), `"draining"`) {
+		t.Fatalf("healthz body during drain = %s, want status draining", hb)
+	}
+	if rr, _ := get(t, ts.URL+"/readyz"); rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", rr.StatusCode)
 	}
 
 	// Unblock the workers: remaining queued jobs run to completion.

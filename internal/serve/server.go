@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/store"
 )
 
 // Options configures a Server. Zero values select the defaults noted
@@ -43,6 +46,29 @@ type Options struct {
 	RetryAfter time.Duration
 	// Registry receives the server metrics; nil = metrics.Default().
 	Registry *metrics.Registry
+
+	// DataDir enables durability. When set, the daemon keeps a
+	// disk-backed content-addressed result store (internal/store) under
+	// DataDir/store and a write-ahead job journal under
+	// DataDir/journal.wal: accepted jobs are journaled before they are
+	// acked, results survive restarts, and New replays the journal —
+	// re-enqueueing jobs that were queued or running at crash time.
+	// "" = memory only (the PR 2 behaviour).
+	DataDir string
+	// Fsync makes journal appends and store writes sync before they
+	// count, trading latency for power-loss durability. Without it,
+	// writes are still atomic (tmp+rename / sequential append with
+	// torn-tail recovery) but the last instants before a crash may be
+	// lost.
+	Fsync bool
+	// StoreMaxBytes bounds the durable store; cold entries are deleted
+	// beyond it. 0 = 256 MiB.
+	StoreMaxBytes int64
+	// Executor overrides how jobs are computed; nil selects the real
+	// experiment dispatch. This is a harness seam — the crash–restart
+	// tests substitute a deterministic stub so replayed jobs run it
+	// from the first instant of New — not a production knob.
+	Executor func(ctx context.Context, sp *Spec) ([]byte, error)
 }
 
 func (o *Options) fill() {
@@ -82,15 +108,25 @@ const (
 // status/body/err reached their final values; waiters (blocking POSTs,
 // pollers) read them only after done.
 type job struct {
-	id   string
-	key  string
-	spec *Spec
-	done chan struct{}
+	id        string
+	key       string
+	spec      *Spec
+	done      chan struct{}
+	recovered bool // re-enqueued by journal replay, not freshly admitted
 
 	mu     sync.Mutex
 	status string
 	body   []byte
 	err    string
+}
+
+// cached consults c for a recovered job's key; fresh jobs always
+// report a miss without touching the cache (or its counters).
+func (j *job) cached(c *cache) ([]byte, string) {
+	if !j.recovered {
+		return nil, cacheMiss
+	}
+	return c.Get(j.key)
 }
 
 func (j *job) setStatus(s string) {
@@ -136,7 +172,11 @@ type Server struct {
 
 	nextID   atomic.Uint64
 	draining atomic.Bool
+	ready    atomic.Bool // false until journal replay has re-enqueued everything
 	wg       sync.WaitGroup
+
+	store *store.Store // nil without DataDir
+	jl    *journal     // nil without DataDir
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -145,45 +185,224 @@ type Server struct {
 	// blocking/timeout behaviour. The default dispatches on Kind.
 	run func(ctx context.Context, sp *Spec) ([]byte, error)
 
-	accepted   *metrics.Counter
-	rejected   *metrics.Counter
-	completed  *metrics.Counter
-	failed     *metrics.Counter
-	cancelled  *metrics.Counter
-	coalesced  *metrics.Counter
-	panicked   *metrics.Counter
-	queueDepth *metrics.Gauge
-	jobSecs    *metrics.Histogram
+	accepted    *metrics.Counter
+	rejected    *metrics.Counter
+	completed   *metrics.Counter
+	failed      *metrics.Counter
+	cancelled   *metrics.Counter
+	coalesced   *metrics.Counter
+	panicked    *metrics.Counter
+	replayed    *metrics.Counter
+	tornTail    *metrics.Counter
+	journalErrs *metrics.Counter
+	queueDepth  *metrics.Gauge
+	jobSecs     *metrics.Histogram
 }
 
 // New starts a Server: opts.Workers goroutines begin draining the
-// queue immediately. Stop it with Shutdown.
-func New(opts Options) *Server {
+// queue immediately. With Options.DataDir, the durable store and the
+// write-ahead journal are opened first and the journal is replayed —
+// jobs that were queued or running when the previous process died are
+// re-enqueued (with their original ids), finished jobs become pollable
+// again, and terminal results are served from the store. Readiness
+// (Ready, GET /readyz) holds until the replayed backlog is back in the
+// queue. Stop it with Shutdown.
+func New(opts Options) (*Server, error) {
 	opts.fill()
 	s := &Server{
-		opts:       opts,
-		reg:        opts.Registry,
-		cache:      newCache(opts.CacheSize, opts.Registry),
-		queue:      make(chan *job, opts.QueueSize),
-		jobs:       make(map[string]*job),
-		inflight:   make(map[string]*job),
-		accepted:   opts.Registry.Counter("repro_server_jobs_accepted_total"),
-		rejected:   opts.Registry.Counter("repro_server_jobs_rejected_total"),
-		completed:  opts.Registry.Counter("repro_server_jobs_completed_total"),
-		failed:     opts.Registry.Counter("repro_server_jobs_failed_total"),
-		cancelled:  opts.Registry.Counter("repro_server_jobs_cancelled_total"),
-		coalesced:  opts.Registry.Counter("repro_server_jobs_coalesced_total"),
-		panicked:   opts.Registry.Counter("repro_server_jobs_panicked_total"),
-		queueDepth: opts.Registry.Gauge("repro_server_queue_depth"),
-		jobSecs:    opts.Registry.Histogram("repro_server_job_seconds", nil),
+		opts:        opts,
+		reg:         opts.Registry,
+		queue:       make(chan *job, opts.QueueSize),
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]*job),
+		accepted:    opts.Registry.Counter("repro_server_jobs_accepted_total"),
+		rejected:    opts.Registry.Counter("repro_server_jobs_rejected_total"),
+		completed:   opts.Registry.Counter("repro_server_jobs_completed_total"),
+		failed:      opts.Registry.Counter("repro_server_jobs_failed_total"),
+		cancelled:   opts.Registry.Counter("repro_server_jobs_cancelled_total"),
+		coalesced:   opts.Registry.Counter("repro_server_jobs_coalesced_total"),
+		panicked:    opts.Registry.Counter("repro_server_jobs_panicked_total"),
+		replayed:    opts.Registry.Counter("repro_journal_replayed_jobs_total"),
+		tornTail:    opts.Registry.Counter("repro_journal_torn_tail_total"),
+		journalErrs: opts.Registry.Counter("repro_journal_append_errors_total"),
+		queueDepth:  opts.Registry.Gauge("repro_server_queue_depth"),
+		jobSecs:     opts.Registry.Histogram("repro_server_job_seconds", nil),
 	}
+	// Touch the store series so a memory-only daemon still exposes them
+	// (deterministic exposition either way).
+	opts.Registry.Counter("repro_store_corruption_total")
+	opts.Registry.Gauge("repro_store_bytes_on_disk")
+
+	var pending []*job
+	if opts.DataDir != "" {
+		st, err := store.Open(filepath.Join(opts.DataDir, "store"), store.Options{
+			MaxBytes: opts.StoreMaxBytes,
+			Fsync:    opts.Fsync,
+			Registry: opts.Registry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		jl, recs, torn, err := openJournal(filepath.Join(opts.DataDir, "journal.wal"), opts.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		s.store, s.jl = st, jl
+		if torn {
+			s.tornTail.Inc()
+		}
+		pending = s.replay(recs)
+	}
+	s.cache = newCache(opts.CacheSize, s.store, opts.Registry)
+
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.run = execute
+	if opts.Executor != nil {
+		s.run = opts.Executor
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	if len(pending) == 0 {
+		s.ready.Store(true)
+	} else {
+		// Re-enqueue the crashed backlog in journal order. The queue may
+		// be smaller than the backlog, so this rides backpressure (the
+		// workers are already draining) instead of using the admission
+		// fast path; readiness holds until the whole backlog is queued.
+		go func() {
+			for _, jb := range pending {
+				s.reenqueue(jb)
+			}
+			s.ready.Store(true)
+		}()
+	}
+	return s, nil
+}
+
+// replay folds the journal records into the job table: every accept
+// recreates its job (same id, same key, same spec), every terminal
+// record finishes one. Jobs left non-terminal were queued or running
+// at crash time and are returned for re-enqueueing. Result bodies are
+// not loaded here — a "done" job's body is fetched from the
+// content-addressed store on demand.
+func (s *Server) replay(recs []journalRecord) []*job {
+	var order []*job
+	byID := make(map[string]*job)
+	var maxID uint64
+	for _, rec := range recs {
+		switch rec.Op {
+		case opAccept:
+			if rec.ID == "" || rec.Key == "" || rec.Spec == nil {
+				continue // malformed but checksum-clean: skip defensively
+			}
+			jb := &job{
+				id:        rec.ID,
+				key:       rec.Key,
+				spec:      rec.Spec,
+				done:      make(chan struct{}),
+				status:    StatusQueued,
+				recovered: true,
+			}
+			byID[rec.ID] = jb
+			order = append(order, jb)
+			if n, err := strconv.ParseUint(strings.TrimPrefix(rec.ID, "j"), 10, 64); err == nil && n > maxID {
+				maxID = n
+			}
+			s.replayed.Inc()
+		case opDone, opFailed, opCancelled:
+			jb := byID[rec.ID]
+			if jb == nil || jb.status != StatusQueued {
+				continue
+			}
+			switch rec.Op {
+			case opDone:
+				jb.status = StatusDone // body served lazily from the store
+			case opFailed:
+				jb.status = StatusFailed
+				jb.err = rec.Err
+			case opCancelled:
+				jb.status = StatusCancelled
+				jb.err = rec.Err
+			}
+			close(jb.done)
+		}
+	}
+	s.nextID.Store(maxID)
+
+	var pending []*job
+	s.jmu.Lock()
+	for _, jb := range order {
+		s.jobs[jb.id] = jb
+		if jb.status == StatusQueued {
+			pending = append(pending, jb)
+			if s.inflight[jb.key] == nil {
+				s.inflight[jb.key] = jb
+			}
+			continue
+		}
+		s.finished = append(s.finished, jb.id)
+		for len(s.finished) > s.opts.JobRetention {
+			delete(s.jobs, s.finished[0])
+			copy(s.finished, s.finished[1:])
+			s.finished = s.finished[:len(s.finished)-1]
+		}
+	}
+	s.jmu.Unlock()
+	return pending
+}
+
+// reenqueue pushes one replayed job into the queue, waiting out
+// backpressure. If shutdown wins the race, the job finishes as
+// cancelled — journaled, so the *next* restart sees it terminal.
+func (s *Server) reenqueue(jb *job) {
+	for {
+		switch s.enqueue(jb) {
+		case admitted:
+			return
+		case shuttingDown:
+			jb.mu.Lock()
+			jb.status = StatusCancelled
+			jb.err = "daemon shut down before the replayed job could re-run"
+			jb.mu.Unlock()
+			s.cancelled.Inc()
+			s.journalTerminal(jb, opCancelled, jb.err)
+			close(jb.done)
+			s.retire(jb)
+			return
+		case queueFull:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// journalAccept write-ahead-logs one admission. An error means the
+// job must not be acked (the caller refuses the submission): the
+// write-ahead contract is exactly that nothing is promised that the
+// journal does not hold.
+func (s *Server) journalAccept(jb *job) error {
+	if s.jl == nil {
+		return nil
+	}
+	err := s.jl.append(journalRecord{Op: opAccept, ID: jb.id, Key: jb.key, Spec: jb.spec})
+	if err != nil {
+		s.journalErrs.Inc()
+	}
+	return err
+}
+
+// journalTerminal best-effort-logs a terminal transition. A lost
+// terminal record is safe — replay re-enqueues the job and the
+// recompute short-circuits on the stored result — so errors only
+// count, they never fail the job.
+func (s *Server) journalTerminal(jb *job, op, errMsg string) {
+	if s.jl == nil {
+		return
+	}
+	if err := s.jl.append(journalRecord{Op: op, ID: jb.id, Err: errMsg}); err != nil {
+		s.journalErrs.Inc()
+	}
 }
 
 func (s *Server) worker() {
@@ -195,6 +414,23 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(jb *job) {
+	// A replayed job whose result already reached the content-addressed
+	// store before the crash (the store write precedes the terminal
+	// journal record) completes without recomputation: the key
+	// identifies the bytes exactly. Freshly admitted jobs skip this —
+	// submit already checked the cache under the in-flight lock.
+	if body, src := jb.cached(s.cache); src != cacheMiss {
+		jb.mu.Lock()
+		jb.status = StatusDone
+		jb.body = body
+		jb.mu.Unlock()
+		s.completed.Inc()
+		s.journalTerminal(jb, opDone, "")
+		close(jb.done)
+		s.retire(jb)
+		return
+	}
+
 	jb.setStatus(StatusRunning)
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
@@ -205,25 +441,33 @@ func (s *Server) runJob(jb *job) {
 	cancel()
 	s.jobSecs.ObserveDuration(time.Since(start))
 
+	var op, errMsg string
 	jb.mu.Lock()
 	switch {
 	case err == nil:
 		jb.status = StatusDone
 		jb.body = body
+		// Store before the terminal record: if a crash lands between
+		// the two, replay re-enqueues the job and the recompute
+		// short-circuits on the stored bytes.
 		s.cache.Put(jb.key, body)
 		s.completed.Inc()
+		op = opDone
 	case ctxErr != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 		// Deadline or shutdown beat the job; the computation itself
 		// did not fail.
 		jb.status = StatusCancelled
 		jb.err = err.Error()
 		s.cancelled.Inc()
+		op, errMsg = opCancelled, jb.err
 	default:
 		jb.status = StatusFailed
 		jb.err = err.Error()
 		s.failed.Inc()
+		op, errMsg = opFailed, jb.err
 	}
 	jb.mu.Unlock()
+	s.journalTerminal(jb, op, errMsg)
 	close(jb.done)
 	s.retire(jb)
 }
@@ -294,6 +538,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -360,8 +605,8 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sp Spec) {
 		return
 	}
 
-	if body, ok := s.cache.Get(key); ok {
-		writeResult(w, key, "hit", body)
+	if body, src := s.cache.Get(key); src != cacheMiss {
+		writeResult(w, key, src, body)
 		return
 	}
 
@@ -382,6 +627,16 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sp Spec) {
 		done:   make(chan struct{}),
 		status: StatusQueued,
 	}
+	// Write-ahead: the accept record must be on disk before the job is
+	// acked. Holding jmu keeps journal order consistent with admission
+	// order. A journal that cannot take the record refuses the
+	// submission — promising work the journal does not hold is exactly
+	// the crash-unsafety this layer removes.
+	if err := s.journalAccept(jb); err != nil {
+		s.jmu.Unlock()
+		s.unavailable(w)
+		return
+	}
 	// Enqueue while holding jmu so the inflight check-then-register is
 	// atomic (enqueue only takes qmu, and never the other way around).
 	adm := s.enqueue(jb)
@@ -392,11 +647,15 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sp Spec) {
 	s.jmu.Unlock()
 	switch adm {
 	case queueFull:
+		// The accept was journaled but the job never ran; close it out
+		// so replay does not resurrect a refused submission.
+		s.journalTerminal(jb, opCancelled, "refused: queue full")
 		s.rejected.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
 		httpError(w, http.StatusTooManyRequests, "job queue full (%d pending)", s.opts.QueueSize)
 		return
 	case shuttingDown:
+		s.journalTerminal(jb, opCancelled, "refused: shutting down")
 		s.unavailable(w)
 		return
 	}
@@ -442,19 +701,86 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, jb.view(true))
+	v := jb.view(true)
+	// A job replayed as "done" holds no body in memory — the journal
+	// records only the transition. Fetch it from the durable store by
+	// content address (promoting it into the memory tier).
+	if v.Status == StatusDone && len(v.Result) == 0 {
+		if body, src := s.cache.Get(jb.key); src != cacheMiss {
+			v.Result = json.RawMessage(body)
+		}
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
+// handleHealth is *liveness*: it answers 200 as long as the process
+// can serve HTTP — including while draining or replaying the journal —
+// so a supervisor does not mistake an orderly restart for a crash and
+// SIGKILL a daemon that is busy compacting. Readiness lives on
+// /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	status, code := "ok", http.StatusOK
-	if s.draining.Load() {
-		status, code = "draining", http.StatusServiceUnavailable
-	}
-	writeJSON(w, code, map[string]any{
-		"status":      status,
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      s.phase(),
 		"queue_depth": s.queueDepth.Value(),
 		"cached":      s.cache.Len(),
+		"journal":     s.journalStatus(),
+		"store":       s.storeStatus(),
 	})
+}
+
+// handleReady is *readiness*: 503 while the daemon is not accepting
+// work — during journal replay at startup and during drain — so a load
+// balancer routes around a restarting instance without its liveness
+// probe ever failing.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	phase := s.phase()
+	code := http.StatusOK
+	if phase != "ok" {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
+	}
+	writeJSON(w, code, map[string]any{
+		"ready":  phase == "ok",
+		"status": phase,
+	})
+}
+
+// phase reports the daemon's lifecycle phase: "replaying" (journal
+// backlog not yet re-enqueued), "draining" (shutdown in progress) or
+// "ok".
+func (s *Server) phase() string {
+	switch {
+	case s.draining.Load():
+		return "draining"
+	case !s.ready.Load():
+		return "replaying"
+	default:
+		return "ok"
+	}
+}
+
+// Ready reports whether the daemon is accepting work (journal replay
+// complete, not draining).
+func (s *Server) Ready() bool { return s.phase() == "ok" }
+
+func (s *Server) journalStatus() map[string]any {
+	st := map[string]any{"enabled": s.jl != nil}
+	if s.jl != nil {
+		st["replayed_jobs"] = s.replayed.Value()
+		st["torn_tail"] = s.tornTail.Value()
+		st["append_errors"] = s.journalErrs.Value()
+	}
+	return st
+}
+
+func (s *Server) storeStatus() map[string]any {
+	st := map[string]any{"enabled": s.store != nil}
+	if s.store != nil {
+		st["entries"] = s.store.Len()
+		st["bytes"] = s.store.Bytes()
+		st["corruption"] = s.reg.Counter("repro_store_corruption_total").Value()
+	}
+	return st
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -466,6 +792,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // (503), queued and running jobs finish, workers exit. If ctx expires
 // first, in-flight jobs are cancelled (they finish as "cancelled") and
 // Shutdown returns ctx.Err() once the workers are down.
+//
+// A *clean* drain additionally compacts the journal: every accepted
+// job is terminal and its result durable in the store, so the journal
+// holds no live state and the next start replays nothing. A forced
+// drain skips compaction — the cancelled jobs' terminal records are
+// already appended, so replay still sees them terminal.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.qmu.Lock()
@@ -480,14 +812,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.jl != nil {
+		if err == nil {
+			_ = s.jl.compact(nil)
+		}
+		_ = s.jl.close()
+	}
+	return err
 }
 
 // execute runs one normalized spec to its encoded result. Experiment

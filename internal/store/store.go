@@ -1,0 +1,372 @@
+// Package store is a disk-backed content-addressed result store: the
+// durable tier under the serve daemon's in-memory result cache. Keys
+// are job content addresses (internal/serve Spec.key), so an entry can
+// never be stale — the key identifies the response bytes exactly — and
+// the only failure modes left are the ones disks actually have:
+// partial writes and bit rot. Both are handled locally:
+//
+//   - Writes are atomic: the framed entry is written to a private file
+//     under tmp/ and renamed into place, so a crash mid-Put leaves
+//     either the complete old state or the complete new state, never a
+//     half-written entry under a live key. With Options.Fsync the file
+//     (and its directory) are synced before the rename is considered
+//     durable.
+//   - Reads verify: every entry carries its body's SHA-256 and length
+//     in a fixed header. A mismatch — torn frame, flipped byte,
+//     truncation — is *corruption*: the entry is moved to quarantine/
+//     (kept for forensics, never served), the corruption counter is
+//     bumped, and the caller sees a plain miss, which makes the daemon
+//     recompute instead of serving bad bytes. Determinism guarantees
+//     the recomputed body is byte-identical to what the entry held.
+//
+// The store is size-bounded: when the configured byte budget is
+// exceeded, least-recently-used entries are deleted until it fits
+// (recency is tracked in memory per process, seeded oldest-first from
+// file modification times at Open).
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Entry file framing: magic, body length, body SHA-256, body. The
+// header is fixed-size so a truncated file is detected before any
+// hashing happens.
+const (
+	magic      = "RST1"
+	headerSize = len(magic) + 8 + sha256.Size
+)
+
+// Options configures a Store. Zero values select the defaults noted
+// per field.
+type Options struct {
+	// MaxBytes bounds the total size of entry bodies on disk; beyond
+	// it, least-recently-used entries are deleted. 0 = 256 MiB.
+	MaxBytes int64
+	// Fsync makes Put sync the entry file and its directory before
+	// returning, trading write latency for power-loss durability.
+	// Without it a Put is atomic (tmp+rename) but may be lost — never
+	// torn — by a crash that beats the page cache.
+	Fsync bool
+	// Registry receives the store metrics; nil = metrics.Default().
+	Registry *metrics.Registry
+}
+
+func (o *Options) fill() {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 256 << 20
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.Default()
+	}
+}
+
+// Store is a disk-backed content-addressed blob store. Safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu    sync.Mutex
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key → element holding *entry
+	bytes int64
+
+	corruption *metrics.Counter
+	evictions  *metrics.Counter
+	puts       *metrics.Counter
+	bytesDisk  *metrics.Gauge
+	entries    *metrics.Gauge
+}
+
+type entry struct {
+	key  string
+	size int64 // body bytes (frame overhead excluded from the budget)
+}
+
+// Open creates (or reopens) a store rooted at dir. Existing entries
+// are indexed by size and modification time — oldest become the first
+// GC victims — but their checksums are verified lazily, on Get, so
+// reopening a large store stays cheap.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.fill()
+	s := &Store{
+		dir:        dir,
+		opts:       opts,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		corruption: opts.Registry.Counter("repro_store_corruption_total"),
+		evictions:  opts.Registry.Counter("repro_store_evictions_total"),
+		puts:       opts.Registry.Counter("repro_store_puts_total"),
+		bytesDisk:  opts.Registry.Gauge("repro_store_bytes_on_disk"),
+		entries:    opts.Registry.Gauge("repro_store_entries"),
+	}
+	for _, sub := range []string{"results", "tmp", "quarantine"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	// Stale tmp files are half-finished writes from a previous life;
+	// their rename never happened, so they hold no live key.
+	_ = removeAll(filepath.Join(dir, "tmp"))
+	if err := s.index(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// index scans results/ and seeds the in-memory recency list from file
+// mtimes (oldest at the cold end).
+func (s *Store) index() error {
+	type found struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var all []found
+	root := filepath.Join(s.dir, "results")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		size := info.Size() - int64(headerSize)
+		if size < 0 {
+			size = 0 // torn below header size; Get will quarantine it
+		}
+		all = append(all, found{d.Name(), size, info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: indexing: %w", err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime < all[j].mtime })
+	for _, f := range all {
+		s.items[f.key] = s.ll.PushFront(&entry{key: f.key, size: f.size})
+		s.bytes += f.size
+	}
+	s.publish()
+	return nil
+}
+
+func (s *Store) publish() {
+	s.bytesDisk.Set(s.bytes)
+	s.entries.Set(int64(s.ll.Len()))
+}
+
+func (s *Store) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, "results", shard, key)
+}
+
+// Get returns the stored body for key. A missing entry is (nil,
+// false). A present-but-corrupt entry — bad magic, bad length, bad
+// checksum — is quarantined, counted, and reported as a miss so the
+// caller recomputes; corrupt bytes are never returned.
+func (s *Store) Get(key string) ([]byte, bool) {
+	raw, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		s.forget(key)
+		return nil, false
+	}
+	if err != nil {
+		// Unreadable is indistinguishable from corrupt for a caller
+		// that must never serve bad bytes.
+		s.quarantine(key)
+		return nil, false
+	}
+	body, ok := decode(raw)
+	if !ok {
+		s.quarantine(key)
+		return nil, false
+	}
+	s.touch(key)
+	return body, true
+}
+
+// decode validates one framed entry and returns its body.
+func decode(raw []byte) ([]byte, bool) {
+	if len(raw) < headerSize || string(raw[:len(magic)]) != magic {
+		return nil, false
+	}
+	n := binary.BigEndian.Uint64(raw[len(magic) : len(magic)+8])
+	sum := raw[len(magic)+8 : headerSize]
+	body := raw[headerSize:]
+	if uint64(len(body)) != n {
+		return nil, false
+	}
+	got := sha256.Sum256(body)
+	if !bytes.Equal(got[:], sum) {
+		return nil, false
+	}
+	return body, true
+}
+
+// encode frames body for disk.
+func encode(body []byte) []byte {
+	buf := make([]byte, headerSize+len(body))
+	copy(buf, magic)
+	binary.BigEndian.PutUint64(buf[len(magic):], uint64(len(body)))
+	sum := sha256.Sum256(body)
+	copy(buf[len(magic)+8:], sum[:])
+	copy(buf[headerSize:], body)
+	return buf
+}
+
+// Put stores body under key, atomically (tmp + rename). An existing
+// entry is left untouched: content addressing means it already holds
+// these bytes (and if it does not, the next Get will quarantine it).
+// When the byte budget is exceeded, cold entries are deleted.
+func (s *Store) Put(key string, body []byte) error {
+	s.mu.Lock()
+	_, exists := s.items[key]
+	s.mu.Unlock()
+	if exists {
+		s.touch(key)
+		return nil
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), key[:min(8, len(key))]+"-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encode(body)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opts.Fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opts.Fsync {
+		syncDir(filepath.Dir(dst))
+	}
+	s.puts.Inc()
+
+	s.mu.Lock()
+	if _, ok := s.items[key]; !ok {
+		s.items[key] = s.ll.PushFront(&entry{key: key, size: int64(len(body))})
+		s.bytes += int64(len(body))
+	}
+	var victims []string
+	for s.bytes > s.opts.MaxBytes && s.ll.Len() > 1 {
+		cold := s.ll.Back()
+		e := cold.Value.(*entry)
+		s.ll.Remove(cold)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		victims = append(victims, e.key)
+	}
+	s.publish()
+	s.mu.Unlock()
+	for _, k := range victims {
+		_ = os.Remove(s.path(k))
+		s.evictions.Inc()
+	}
+	return nil
+}
+
+// touch bumps key's recency.
+func (s *Store) touch(key string) {
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+}
+
+// forget drops key from the index without touching the disk (the file
+// is already gone).
+func (s *Store) forget(key string) {
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.bytes -= el.Value.(*entry).size
+		s.ll.Remove(el)
+		delete(s.items, key)
+		s.publish()
+	}
+	s.mu.Unlock()
+}
+
+// quarantine moves key's entry file aside — never deleted, never
+// served — and counts the corruption. The caller treats the key as a
+// miss, so the result is recomputed and re-stored.
+func (s *Store) quarantine(key string) {
+	s.corruption.Inc()
+	dst := filepath.Join(s.dir, "quarantine", key+".corrupt")
+	if err := os.Rename(s.path(key), dst); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		// Rename failed (e.g. EIO): deletion still prevents serving it.
+		_ = os.Remove(s.path(key))
+	}
+	s.forget(key)
+}
+
+// Len reports the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Bytes reports the indexed body bytes on disk.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// removeAll empties dir without removing dir itself.
+func removeAll(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func open(t *testing.T, dir string, opts Options) (*Store, *metrics.Registry) {
+	t.Helper()
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, opts.Registry
+}
+
+func key(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{})
+	body := []byte(`{"result": 42}`)
+	if err := s.Put(key(1), body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key(1))
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, body)
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("Get of unknown key reported a hit")
+	}
+	if s.Len() != 1 || s.Bytes() != int64(len(body)) {
+		t.Fatalf("Len/Bytes = %d/%d, want 1/%d", s.Len(), s.Bytes(), len(body))
+	}
+}
+
+// TestReopenServesExistingEntries is the durability point: entries put
+// by one Store instance are served by the next one on the same dir.
+func TestReopenServesExistingEntries(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := open(t, dir, Options{Fsync: true})
+	body := []byte("survives the process")
+	if err := s1.Put(key(7), body); err != nil {
+		t.Fatal(err)
+	}
+	s2, reg := open(t, dir, Options{})
+	got, ok := s2.Get(key(7))
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("reopened Get = %q, %v; want the original body", got, ok)
+	}
+	if g := reg.Gauge("repro_store_bytes_on_disk").Value(); g != int64(len(body)) {
+		t.Fatalf("bytes_on_disk after reopen = %d, want %d", g, len(body))
+	}
+}
+
+// TestCorruptionQuarantined: a flipped byte is detected by the
+// checksum, the entry becomes a miss (so callers recompute), the file
+// moves to quarantine/, and the corruption counter increments. A
+// subsequent Put re-stores a good copy.
+func TestCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, reg := open(t, dir, Options{})
+	body := []byte("precious deterministic bytes")
+	if err := s.Put(key(3), body); err != nil {
+		t.Fatal(err)
+	}
+
+	path := s.path(key(3))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // flip a body byte
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key(3)); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if got := reg.Counter("repro_store_corruption_total").Value(); got != 1 {
+		t.Fatalf("corruption_total = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key(3)+".corrupt")); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry still present under its live key")
+	}
+
+	// Recompute-and-restore: the key is writable again and verifies.
+	if err := s.Put(key(3), body); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key(3)); !ok || !bytes.Equal(got, body) {
+		t.Fatal("re-stored entry not served")
+	}
+}
+
+// TestTruncatedEntryQuarantined: a file torn below the header is
+// corruption, not a crash.
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, reg := open(t, dir, Options{})
+	if err := s.Put(key(4), []byte("soon to be torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(s.path(key(4)), int64(headerSize-5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(4)); ok {
+		t.Fatal("torn entry served as a hit")
+	}
+	if got := reg.Counter("repro_store_corruption_total").Value(); got != 1 {
+		t.Fatalf("corruption_total = %d, want 1", got)
+	}
+}
+
+// TestGCEnforcesByteBudget: puts beyond MaxBytes delete the coldest
+// entries, and the recency order honours Gets.
+func TestGCEnforcesByteBudget(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{MaxBytes: 3 * 10})
+	body := bytes.Repeat([]byte("x"), 10)
+	for i := 1; i <= 3; i++ {
+		if err := s.Put(key(i), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Get(key(1)) // warm 1; 2 is now coldest
+	if err := s.Put(key(4), body); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() > 30 {
+		t.Fatalf("Bytes = %d beyond budget 30", s.Bytes())
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("coldest entry survived GC")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := s.Get(key(k)); !ok {
+			t.Fatalf("warm entry %s evicted", key(k))
+		}
+	}
+}
+
+// TestReopenSeedsRecencyFromMtime: after reopen, GC still works (the
+// index and byte accounting were rebuilt from disk).
+func TestReopenSeedsRecencyFromMtime(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := open(t, dir, Options{MaxBytes: 1 << 20})
+	body := bytes.Repeat([]byte("y"), 10)
+	for i := 1; i <= 3; i++ {
+		if err := s1.Put(key(i), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, _ := open(t, dir, Options{MaxBytes: 3 * 10})
+	if s2.Len() != 3 || s2.Bytes() != 30 {
+		t.Fatalf("reopen Len/Bytes = %d/%d, want 3/30", s2.Len(), s2.Bytes())
+	}
+	if err := s2.Put(key(9), body); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Bytes() > 30 || s2.Len() != 3 {
+		t.Fatalf("post-GC Len/Bytes = %d/%d, want 3/30", s2.Len(), s2.Bytes())
+	}
+}
+
+// TestStaleTmpFilesCleared: half-finished writes from a crashed
+// process are removed at Open and never become entries.
+func TestStaleTmpFilesCleared(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "tmp", "deadbeef-123")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := open(t, dir, Options{})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale tmp file survived Open")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+// TestIdempotentPut: re-putting an existing key is a no-op (content
+// addressing: same key ⇒ same bytes).
+func TestIdempotentPut(t *testing.T) {
+	s, reg := open(t, t.TempDir(), Options{})
+	body := []byte("only once")
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key(5), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("repro_store_puts_total").Value(); got != 1 {
+		t.Fatalf("puts_total = %d, want 1", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestConcurrent hammers Put/Get from many goroutines; under -race
+// this is the data-race proof for the serve miss path.
+func TestConcurrent(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{MaxBytes: 1 << 20})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(i % 10)
+				_ = s.Put(k, []byte(k))
+				if body, ok := s.Get(k); ok && !bytes.Equal(body, []byte(k)) {
+					t.Errorf("Get(%s) returned foreign bytes", k)
+				}
+				s.Len()
+				s.Bytes()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+}

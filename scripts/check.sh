@@ -2,9 +2,11 @@
 # Tier-1 quality gate (DESIGN.md §6): build, vet, the full test suite
 # under the race detector — the parallel experiment engine must be
 # data-race free — one pass over every benchmark so the measured paths
-# keep compiling and running, and the chaos smoke campaign (DESIGN.md
-# §8): monitored runs must satisfy the temporal-independence oracle and
-# the monitor-ablated babbling-idiot runs must violate it.
+# keep compiling and running, the chaos smoke campaign (DESIGN.md §8):
+# monitored runs must satisfy the temporal-independence oracle and the
+# monitor-ablated babbling-idiot runs must violate it, and the
+# kill–restart recovery harness (DESIGN.md §9): a SIGKILLed daemon must
+# lose no acked job and never serve divergent bytes.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -14,3 +16,4 @@ go vet ./...
 go test -race ./...
 go test -bench=. -benchtime=1x -run '^$' .
 go run ./cmd/chaos -smoke -events 80
+sh scripts/crashtest.sh

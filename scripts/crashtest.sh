@@ -1,0 +1,182 @@
+#!/bin/sh
+# Kill–restart recovery harness (DESIGN.md §9): the out-of-process half
+# of the crash-safety story, complementing internal/serve/crash_test.go
+# (which simulates the kill at exact journal-record boundaries). This
+# script builds the real daemon, runs a campaign against it over HTTP,
+# SIGKILLs it mid-campaign at a seeded point, restarts it on the same
+# data directory and asserts the crash-consistency invariants:
+#
+#   1. no acked job is lost — every 202/200 the dead daemon issued is
+#      pollable after restart and reaches "done";
+#   2. no result is ever served twice with different bytes;
+#   3. recovered results are byte-identical to cold runs of the same
+#      specs on a fresh daemon;
+#   4. a result that reached the durable store before the kill is
+#      served from it after restart (X-Cache: store), not recomputed;
+#   5. a graceful SIGTERM drain compacts the journal to empty.
+#
+# Usage: scripts/crashtest.sh [seed]   (default seed 2014, the paper's)
+# CRASHTEST_LOGDIR, when set, receives the daemon logs for CI artifact
+# upload; otherwise everything lives and dies in a temp directory.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEED="${1:-2014}"
+PORT=$((17000 + SEED % 1000))
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/crashtest.XXXXXX")"
+DATA="$WORK/data"
+COLDDATA="$WORK/cold-data"
+LOG="$WORK/served.log"
+BIN="$WORK/served"
+PID=""
+
+say()  { echo "crashtest: $*"; }
+fail() {
+    say "FAIL: $*"
+    if [ -n "${CRASHTEST_LOGDIR:-}" ]; then
+        mkdir -p "$CRASHTEST_LOGDIR"
+        cp "$LOG" "$CRASHTEST_LOGDIR/served.log" 2>/dev/null || true
+        say "daemon log preserved in $CRASHTEST_LOGDIR/served.log"
+    else
+        say "daemon log: $LOG (workdir kept for post-mortem)"
+        trap - EXIT
+    fi
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    exit 1
+}
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() { # args: extra served flags...
+    "$BIN" -addr "127.0.0.1:$PORT" "$@" >>"$LOG" 2>&1 &
+    PID=$!
+}
+
+wait_ready() {
+    i=0
+    until [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")" = 200 ]; do
+        i=$((i + 1))
+        [ "$i" -gt 600 ] && fail "daemon (pid $PID) never became ready"
+        kill -0 "$PID" 2>/dev/null || fail "daemon (pid $PID) died; see log"
+        sleep 0.05
+    done
+}
+
+submit() { # $1: spec JSON; echoes the response body
+    curl -s -X POST -H 'Content-Type: application/json' \
+        -d "$1" "$BASE/v1/experiments"
+}
+
+poll_done() { # $1: job id; echoes the compacted result JSON
+    i=0
+    while :; do
+        st="$(curl -s "$BASE/v1/jobs/$1" | jq -r .status)"
+        case "$st" in
+        done) curl -s "$BASE/v1/jobs/$1" | jq -c .result; return 0 ;;
+        failed | cancelled) fail "job $1 recovered as $st, want done" ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -gt 1200 ] && fail "job $1 stuck in $st"
+        sleep 0.05
+    done
+}
+
+say "seed $SEED, port $PORT, workdir $WORK"
+go build -o "$BIN" ./cmd/served
+
+# The campaign: one spec completed before the kill (its result reaches
+# the durable store), one heavy spec that pins the single worker, and a
+# seeded number of quick specs that are queued when the kill lands.
+PRESPEC='{"kind": "fig6a", "events": 300, "wait": true}'
+HEAVY='{"kind": "fig6b", "events": 150000, "seed": 99}'
+NKILL=$((SEED % 4 + 2)) # quick jobs acked before the kill: 2..5
+
+say "phase 1: campaign against a 1-worker daemon, SIGKILL after $NKILL queued jobs"
+start_daemon -workers 1 -data-dir "$DATA"
+wait_ready
+
+curl -s -o "$WORK/pre.body" -X POST -H 'Content-Type: application/json' \
+    -d "$PRESPEC" -D "$WORK/pre.hdr" "$BASE/v1/experiments"
+grep -qi '^X-Cache: miss' "$WORK/pre.hdr" || fail "pre-kill blocking run not computed fresh"
+
+HEAVY_ID="$(submit "$HEAVY" | jq -r .id)"
+[ "$HEAVY_ID" != null ] || fail "heavy job not acked"
+
+: >"$WORK/acked" # id<TAB>spec per acked quick job
+CHAOS='{"kind": "chaos", "events": 60, "chaos": {"faults": ["babbling-idiot"], "intensities": [0.5]}}'
+id="$(submit "$CHAOS" | jq -r .id)"
+[ "$id" != null ] || fail "chaos job not acked"
+printf '%s\t%s\n' "$id" "$CHAOS" >>"$WORK/acked"
+n=0
+while [ "$n" -lt "$NKILL" ]; do
+    spec="{\"kind\": \"fig6a\", \"events\": $((400 + n))}"
+    id="$(submit "$spec" | jq -r .id)"
+    [ "$id" != null ] || fail "quick job $n not acked"
+    printf '%s\t%s\n' "$id" "$spec" >>"$WORK/acked"
+    n=$((n + 1))
+done
+
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+say "phase 1: daemon SIGKILLed with 1 running and $NKILL queued jobs"
+
+say "phase 2: restart on the same data dir, recover every acked job"
+start_daemon -workers 2 -data-dir "$DATA"
+wait_ready
+grep -q 'replayed' "$LOG" || fail "restart log does not mention journal replay"
+
+while IFS="$(printf '\t')" read -r id spec; do
+    poll_done "$id" >"$WORK/recovered.$id"
+done <"$WORK/acked"
+poll_done "$HEAVY_ID" >/dev/null
+say "phase 2: all $((NKILL + 2)) interrupted jobs recovered to done"
+
+# Invariant 4: the pre-kill completed result is served from the durable
+# store — the memory tier died with the process, recomputing would be a
+# miss.
+curl -s -o "$WORK/pre2.body" -X POST -H 'Content-Type: application/json' \
+    -d "$PRESPEC" -D "$WORK/pre2.hdr" "$BASE/v1/experiments"
+grep -qiE '^X-Cache: (store|hit)' "$WORK/pre2.hdr" ||
+    fail "pre-kill result recomputed after restart: $(grep -i '^X-Cache' "$WORK/pre2.hdr")"
+cmp -s "$WORK/pre.body" "$WORK/pre2.body" ||
+    fail "pre-kill result served with different bytes after restart"
+
+# Invariant 2: serving the same spec twice yields identical bytes.
+while IFS="$(printf '\t')" read -r id spec; do
+    wspec="$(printf '%s' "$spec" | sed 's/}$/, "wait": true}/')"
+    submit "$wspec" | jq -c . >"$WORK/again1.$id"
+    submit "$wspec" | jq -c . >"$WORK/again2.$id"
+    cmp -s "$WORK/again1.$id" "$WORK/again2.$id" ||
+        fail "job $id served twice with different bytes"
+    cmp -s "$WORK/recovered.$id" "$WORK/again1.$id" ||
+        fail "job $id poll result differs from its resubmission"
+done <"$WORK/acked"
+
+say "phase 3: graceful SIGTERM drain compacts the journal"
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+size="$(wc -c <"$DATA/journal.wal")"
+[ "$size" -eq 0 ] || fail "journal holds $size bytes after a clean drain, want 0"
+
+say "phase 4: cold runs on a fresh daemon match the recovered bytes"
+: >"$LOG.cold" # separate log; replay greps above must not see this run
+LOG="$LOG.cold"
+start_daemon -workers 2 -data-dir "$COLDDATA"
+wait_ready
+while IFS="$(printf '\t')" read -r id spec; do
+    wspec="$(printf '%s' "$spec" | sed 's/}$/, "wait": true}/')"
+    submit "$wspec" | jq -c . >"$WORK/cold.$id"
+    cmp -s "$WORK/recovered.$id" "$WORK/cold.$id" ||
+        fail "job $id recovered bytes differ from a cold run"
+done <"$WORK/acked"
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+say "PASS: seed $SEED — no acked job lost, no divergent bytes, journal compacted"
