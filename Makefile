@@ -3,13 +3,19 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench check bench-report serve golden chaos-smoke crashtest
+.PHONY: build vet lint test race bench check bench-report serve golden chaos-smoke crashtest
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism-contract static analysis (DESIGN.md §10): map-iteration
+# order in encoded output, wall-clock reads in sim packages,
+# ctx.Err()-after-cancel ordering, metric-name drift.
+lint:
+	$(GO) run ./cmd/reprolint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,45 @@
+// Command reprolint runs the determinism-contract analyzer suite
+// (DESIGN.md §10) over `go vet`-style package patterns:
+//
+//	go run ./cmd/reprolint ./...
+//
+// It prints file:line:col diagnostics and exits 1 when findings exist,
+// 2 when analysis itself fails, 0 on a clean tree. Genuine false
+// positives are suppressed in source with
+//
+//	//reprolint:allow <analyzer> <reason>
+//
+// on the offending line or the line above. scripts/check.sh runs this
+// as part of the tier-1 gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: reprolint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := lint.Run(os.Stdout, lint.All(), patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -1,3 +1,11 @@
 module repro
 
+// Intentionally dependency-free: the build container has no module
+// proxy, so golang.org/x/tools (which cmd/reprolint would otherwise
+// use for go/analysis + go/packages) cannot be pinned here;
+// internal/lint/analysis and internal/lint/load reimplement the
+// minimal surface from the stdlib instead (DESIGN.md §10).
+// scripts/check.sh gates `go mod tidy` drift so any future dependency
+// must arrive pinned with a committed go.sum.
+
 go 1.22

@@ -8,7 +8,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/hv"
@@ -109,7 +108,8 @@ func Fig6Ctx(ctx context.Context, variant Fig6Variant, cfg Fig6Config) (*Fig6Res
 	if variant != Fig6a && variant != Fig6b && variant != Fig6c {
 		return nil, fmt.Errorf("experiments: unknown Fig6 variant %q", variant)
 	}
-	start := time.Now()
+	//reprolint:allow metricname the experiment family is variant-suffixed (fig6a/fig6b/fig6c); the set is closed by the variant check above
+	stop := metrics.Timer("fig6" + string(variant))
 	out := &Fig6Result{Variant: variant, Config: cfg}
 	costs := defaultScenario(cfg).CostModel()
 	cbhEff := costs.EffectiveBH(cfg.CBH) // C'_BH of eq. (13)
@@ -177,7 +177,7 @@ func Fig6Ctx(ctx context.Context, variant Fig6Variant, cfg Fig6Config) (*Fig6Res
 	}
 	hrange := cycle - cfg.Slots[0] + simtime.Micros(500)
 	out.Histogram = out.Combined.NewHistogram(simtime.Micros(50), hrange)
-	metrics.ObserveExperiment("fig6"+string(variant), time.Since(start))
+	stop()
 	return out, nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/curves"
@@ -94,7 +93,7 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 // further per-bound simulation starts and the call returns a non-nil
 // error (see runner.MapCtx).
 func Fig7Ctx(ctx context.Context, cfg Fig7Config) (*Fig7Result, error) {
-	start := time.Now()
+	stop := metrics.Timer("fig7")
 	trace, err := workload.ECUTrace(cfg.ECU)
 	if err != nil {
 		return nil, err
@@ -178,7 +177,7 @@ func Fig7Ctx(ctx context.Context, cfg Fig7Config) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	metrics.ObserveExperiment("fig7", time.Since(start))
+	stop()
 	return out, nil
 }
 

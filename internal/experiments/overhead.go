@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/arm"
 	"repro/internal/core"
@@ -74,7 +73,7 @@ func Overhead(cfg Fig6Config) (*OverheadResult, error) {
 // done no further per-load baseline/monitored pair starts and the call
 // returns a non-nil error (see runner.MapCtx).
 func OverheadCtx(ctx context.Context, cfg Fig6Config) (*OverheadResult, error) {
-	start := time.Now()
+	stop := metrics.Timer("overhead")
 	costs := defaultScenario(cfg).CostModel()
 	mon := monitor.NewDMin(simtime.Millisecond)
 	out := &OverheadResult{
@@ -155,7 +154,7 @@ func OverheadCtx(ctx context.Context, cfg Fig6Config) (*OverheadResult, error) {
 	if out.CumCtxBaseline > 0 {
 		out.CumIncreasePct = 100 * (float64(out.CumCtxMonitored) - float64(out.CumCtxBaseline)) / float64(out.CumCtxBaseline)
 	}
-	metrics.ObserveExperiment("overhead", time.Since(start))
+	stop()
 	return out, nil
 }
 

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowPrefix starts a suppression comment:
+//
+//	//reprolint:allow <analyzer> <reason>
+//
+// placed on the diagnosed line or the line directly above it. A space
+// after the // is tolerated.
+const allowPrefix = "reprolint:allow"
+
+// Allow is one parsed suppression directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	File     string
+	Line     int
+	Pos      token.Pos
+	// Used is set by Suppress when the directive suppressed at least
+	// one diagnostic; the driver reports unused directives so stale
+	// suppressions cannot accumulate.
+	Used bool
+}
+
+// ParseAllows extracts every reprolint:allow directive from files.
+// Malformed directives — a missing analyzer or reason, or an analyzer
+// name not in known — are returned as diagnostics: a suppression whose
+// meaning cannot be checked must not silently suppress.
+func ParseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (allows []*Allow, invalid []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) == 0 {
+					invalid = append(invalid, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "reprolint:allow needs an analyzer name and a reason",
+					})
+					continue
+				}
+				if !known[fields[0]] {
+					invalid = append(invalid, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "reprolint:allow names unknown analyzer " + strconv.Quote(fields[0]),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					invalid = append(invalid, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "reprolint:allow " + fields[0] + " needs a reason",
+					})
+					continue
+				}
+				allows = append(allows, &Allow{
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return allows, invalid
+}
+
+// Suppress drops every diagnostic covered by a matching directive (same
+// file, same line or the line above, same analyzer), marking the
+// directives it uses, and returns the survivors.
+func Suppress(fset *token.FileSet, diags []Diagnostic, analyzer string, allows []*Allow) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, a := range allows {
+			if a.Analyzer != analyzer || a.File != pos.Filename {
+				continue
+			}
+			if a.Line == pos.Line || a.Line == pos.Line-1 {
+				a.Used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,60 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface that reprolint needs:
+// an Analyzer owns a name, a doc string and a Run function; a Pass
+// hands the Run function one type-checked package and collects
+// diagnostics.
+//
+// The container this repository builds in has no module proxy access,
+// so golang.org/x/tools cannot be added to go.mod (see DESIGN.md §10).
+// The field and method names here deliberately mirror the upstream
+// package: if the dependency ever becomes available, switching is a
+// mechanical import rewrite — analyzer Run functions compile against
+// either.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //reprolint:allow comments. By convention it is a short
+	// lower-case word.
+	Name string
+
+	// Doc is the one-paragraph description printed by `reprolint -help`.
+	Doc string
+
+	// Run applies the analyzer to one package. Diagnostics are
+	// delivered through pass.Report / pass.Reportf; the result value
+	// is unused by reprolint and exists for upstream compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass is the interface between the driver and one (analyzer, package)
+// pairing.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and delivers a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,121 @@
+// Package analysistest runs one reprolint analyzer over a fixture
+// package and checks its diagnostics against `// want` expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest (unavailable
+// in this proxy-less build container, see DESIGN.md §10).
+//
+// A fixture line that should be diagnosed carries a trailing comment
+// with one quoted regexp per expected diagnostic on that line:
+//
+//	for k := range m { // want `nondeterministic iteration order`
+//
+// Both backquoted and double-quoted regexps are accepted.
+// //reprolint:allow directives are honored exactly as the driver
+// honors them, so fixtures can assert suppression by carrying an allow
+// comment and no want expectation.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+var (
+	wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	tokRe  = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package in dir, applies a, and reports every mismatch
+// between produced diagnostics and // want expectations through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, tok := range tokRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Fatalf("%s: cannot unquote want pattern %s: %v", key, tok, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+	}
+	allows, invalid := analysis.ParseAllows(pkg.Fset, pkg.Syntax, map[string]bool{a.Name: true})
+	for _, d := range invalid {
+		t.Errorf("%s: invalid directive: %s", position(pkg.Fset, d.Pos), d.Message)
+	}
+	diags = analysis.Suppress(pkg.Fset, diags, a.Name, allows)
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

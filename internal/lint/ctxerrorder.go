@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ctxCancelCtors are the context constructors returning a (ctx, cancel)
+// pair.
+var ctxCancelCtors = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+// CtxErrOrder flags reading ctx.Err() after the corresponding cancel()
+// has been called in the same function: by that point ctx.Err() is
+// unconditionally non-nil (context.Canceled), so using it to decide
+// "was this job cancelled?" misclassifies every other failure. This is
+// exactly the PR 3 serve bug (real executor errors reported as
+// cancellations); the fix is to capture ctx.Err() before cancelling.
+// Deferred cancels and cancels inside nested function literals do not
+// count — only a straight-line cancel followed by a later ctx.Err()
+// read.
+var CtxErrOrder = &analysis.Analyzer{
+	Name: "ctxerrorder",
+	Doc: "flags ctx.Err() read after the corresponding cancel() in the same " +
+		"function; capture ctx.Err() before cancelling (the PR 3 misclassification bug)",
+	Run: runCtxErrOrder,
+}
+
+func runCtxErrOrder(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkCtxErrOrder(pass, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCtxErrOrder(pass *analysis.Pass, body *ast.BlockStmt) {
+	// ctx object -> cancel object, for every `ctx, cancel := context.WithX(...)`
+	// assignment in this function body (nested literals excluded).
+	pairs := map[types.Object]types.Object{}
+	walkShallow(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if pkgPath, ok := pkgNameOf(pass, sel.X); !ok || pkgPath != "context" || !ctxCancelCtors[sel.Sel.Name] {
+			return
+		}
+		ctxID, ok1 := as.Lhs[0].(*ast.Ident)
+		cancelID, ok2 := as.Lhs[1].(*ast.Ident)
+		if !ok1 || !ok2 {
+			return
+		}
+		ctxObj, cancelObj := objOf(pass, ctxID), objOf(pass, cancelID)
+		if ctxObj != nil && cancelObj != nil {
+			pairs[ctxObj] = cancelObj
+		}
+	})
+	if len(pairs) == 0 {
+		return
+	}
+
+	// A deferred cancel runs at return, after any ctx.Err() read in the
+	// body, so it never establishes the hazardous ordering.
+	deferred := map[*ast.CallExpr]bool{}
+	walkShallow(body, func(n ast.Node) {
+		if df, ok := n.(*ast.DeferStmt); ok {
+			deferred[df.Call] = true
+		}
+	})
+
+	// Earliest non-deferred direct call position per cancel object.
+	cancelled := map[types.Object]token.Pos{}
+	walkShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || deferred[call] {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return
+		}
+		isCancel := false
+		for _, c := range pairs {
+			if c == obj {
+				isCancel = true
+				break
+			}
+		}
+		if !isCancel {
+			return
+		}
+		if pos, seen := cancelled[obj]; !seen || call.Pos() < pos {
+			cancelled[obj] = call.Pos()
+		}
+	})
+	if len(cancelled) == 0 {
+		return
+	}
+
+	// Any ctx.Err() read positioned after the paired cancel call.
+	walkShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Err" {
+			return
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		ctxObj := pass.TypesInfo.Uses[id]
+		if ctxObj == nil {
+			return
+		}
+		cancelObj, ok := pairs[ctxObj]
+		if !ok {
+			return
+		}
+		cancelPos, ok := cancelled[cancelObj]
+		if !ok || call.Pos() <= cancelPos {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s.Err() read after %s() was called at %s; it is always non-nil by then, misclassifying real errors as cancellation — capture %s.Err() before cancelling",
+			id.Name, cancelObj.Name(), pass.Fset.Position(cancelPos), id.Name)
+	})
+}
+
+// walkShallow visits the nodes of body without descending into nested
+// function literals: their bodies run on their own schedule (often a
+// different goroutine), so textual order proves nothing there, and
+// they are analyzed as functions in their own right.
+func walkShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// finding is one diagnostic attributed to the analyzer that produced
+// it.
+type finding struct {
+	pos      token.Position
+	message  string
+	analyzer string
+}
+
+// Run loads the packages matched by patterns, applies every analyzer,
+// honors //reprolint:allow directives, and writes `go vet`-style
+// file:line:col diagnostics to w in deterministic order. It returns
+// the number of diagnostics printed; a non-nil error means the load or
+// an analyzer itself failed (driver exit 2), not that findings exist.
+func Run(w io.Writer, analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+	pkgs, err := load.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []finding
+	for _, pkg := range pkgs {
+		allows, invalid := analysis.ParseAllows(pkg.Fset, pkg.Syntax, known)
+		for _, d := range invalid {
+			findings = append(findings, finding{pkg.Fset.Position(d.Pos), d.Message, "reprolint"})
+		}
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range analysis.Suppress(pkg.Fset, diags, a.Name, allows) {
+				findings = append(findings, finding{pkg.Fset.Position(d.Pos), d.Message, a.Name})
+			}
+		}
+		// Every directive must earn its keep: the full suite just ran,
+		// so an unused allow is stale and must go.
+		for _, al := range allows {
+			if !al.Used {
+				findings = append(findings, finding{
+					pkg.Fset.Position(al.Pos),
+					fmt.Sprintf("reprolint:allow %s suppresses nothing; delete it", al.Analyzer),
+					"reprolint",
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+				name = rel
+			}
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, f.pos.Line, f.pos.Column, f.message, f.analyzer)
+	}
+	return len(findings), nil
+}

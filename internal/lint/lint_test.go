@@ -1,0 +1,136 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "detmap"), lint.Detmap)
+}
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "wallclock"), lint.Wallclock)
+}
+
+func TestCtxErrOrder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "ctxerrorder"), lint.CtxErrOrder)
+}
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "metricname"), lint.MetricName)
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// TestRepositoryIsClean is the self-gate: the full analyzer suite over
+// the whole repository tree must produce zero findings — exactly what
+// `go run ./cmd/reprolint ./...` asserts in scripts/check.sh. A
+// finding here means either new code broke the determinism contract or
+// an //reprolint:allow directive went stale.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short")
+	}
+	var out strings.Builder
+	n, err := lint.Run(&out, lint.All(), []string{moduleRoot(t) + "/..."})
+	if err != nil {
+		t.Fatalf("reprolint failed to run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("reprolint on the repository tree: %d finding(s), want 0:\n%s", n, out.String())
+	}
+}
+
+// TestFixturesFailTheDriver mirrors the acceptance criterion: the
+// driver (with allow-directive handling active) must exit non-zero on
+// every analyzer fixture, proving the gate actually bites.
+func TestFixturesFailTheDriver(t *testing.T) {
+	for _, name := range []string{"detmap", "wallclock", "ctxerrorder", "metricname"} {
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			n, err := lint.Run(&out, lint.All(), []string{filepath.Join("testdata", "src", name)})
+			if err != nil {
+				t.Fatalf("driver error: %v", err)
+			}
+			if n == 0 {
+				t.Errorf("driver found nothing in the %s fixture; the gate would not bite", name)
+			}
+			if !strings.Contains(out.String(), "["+name+"]") {
+				t.Errorf("driver output has no [%s] finding:\n%s", name, out.String())
+			}
+		})
+	}
+}
+
+// TestAllowDirectiveHandling drives the allowlint fixture through the
+// driver: the valid directive suppresses its wall-clock finding, and
+// the malformed, unknown-analyzer and unused directives each surface
+// as reprolint meta-findings.
+func TestAllowDirectiveHandling(t *testing.T) {
+	var out strings.Builder
+	n, err := lint.Run(&out, lint.All(), []string{filepath.Join("testdata", "src", "allowlint")})
+	if err != nil {
+		t.Fatalf("driver error: %v", err)
+	}
+	got := out.String()
+	if strings.Contains(got, "[wallclock]") {
+		t.Errorf("valid allow directive did not suppress the wallclock finding:\n%s", got)
+	}
+	for _, want := range []string{
+		`unknown analyzer "nosuchanalyzer"`,
+		"reprolint:allow wallclock needs a reason",
+		"reprolint:allow detmap suppresses nothing",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("driver output missing %q:\n%s", want, got)
+		}
+	}
+	if n != 3 {
+		t.Errorf("got %d findings, want exactly 3:\n%s", n, got)
+	}
+}
+
+// TestAnalyzerMetadata pins the suite composition: four analyzers with
+// stable names, each documented — the names are part of the allow
+// directive syntax, so renaming one silently breaks suppressions.
+func TestAnalyzerMetadata(t *testing.T) {
+	want := []string{"detmap", "wallclock", "ctxerrorder", "metricname"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("lint.All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// metricsPkg is the instrumentation package whose registration entry
+// points this analyzer guards.
+const metricsPkg = modulePath + "/internal/metrics"
+
+var (
+	// Full instrument names registered on a Registry.
+	metricFullNameRe = regexp.MustCompile(`^repro_[a-z0-9_]+$`)
+	// Experiment-name fragments: ObserveExperiment and Timer wrap them
+	// into repro_experiment_<name>_{runs_total,seconds}.
+	metricFragmentRe = regexp.MustCompile(`^[a-z0-9_]+$`)
+)
+
+// metricRegistryMethods are the (*metrics.Registry) entry points whose
+// first argument is a full instrument name.
+var metricRegistryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// metricFragmentFuncs are the package-level helpers whose first
+// argument is an experiment-name fragment.
+var metricFragmentFuncs = map[string]bool{
+	"ObserveExperiment": true, "Timer": true,
+}
+
+// MetricName pins every metric registration to a constant name the
+// exposition and the docs can be greped for: Registry.Counter/Gauge/
+// Histogram take a constant string matching ^repro_[a-z0-9_]+$, and
+// ObserveExperiment/Timer take a constant ^[a-z0-9_]+$ fragment. A
+// computed name cannot drift silently between the /metrics endpoint,
+// the tests that assert on exposition bytes, and the documentation.
+// The metrics package itself is exempt (it re-looks-up instruments by
+// the names it is rendering).
+var MetricName = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "metric names passed to internal/metrics registration must be constant " +
+		"strings matching ^repro_[a-z0-9_]+$ (fragments for ObserveExperiment/Timer: ^[a-z0-9_]+$)",
+	Run: runMetricName,
+}
+
+func runMetricName(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == metricsPkg {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != metricsPkg {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			var re *regexp.Regexp
+			switch {
+			case sig.Recv() != nil && metricRegistryMethods[fn.Name()]:
+				re = metricFullNameRe
+			case sig.Recv() == nil && metricFragmentFuncs[fn.Name()]:
+				re = metricFragmentRe
+			default:
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"metric name passed to metrics.%s must be a constant string so exposition, tests and docs cannot drift",
+					fn.Name())
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !re.MatchString(name) {
+				pass.Reportf(arg.Pos(),
+					"metric name %q passed to metrics.%s must match %s",
+					name, fn.Name(), re)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,19 @@
+// Package allowlint is the driver-level fixture for //reprolint:allow
+// directive handling: a valid directive suppresses, a malformed or
+// unknown one is itself a finding, and an unused one is reported so
+// stale suppressions cannot accumulate.
+package allowlint
+
+import "time"
+
+func operationalTimestamp() time.Time {
+	//reprolint:allow wallclock fixture: operator-facing timestamp, not part of result bytes
+	return time.Now()
+}
+
+//reprolint:allow nosuchanalyzer the analyzer name is checked
+
+//reprolint:allow wallclock
+
+//reprolint:allow detmap this directive suppresses nothing and must be reported unused
+func nothingToSuppress() int { return 42 }

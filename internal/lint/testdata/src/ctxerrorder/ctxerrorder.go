@@ -1,0 +1,72 @@
+// Package ctxerrorder is the analysistest fixture for the ctxerrorder
+// analyzer — the PR 3 serve bug class: cancel() first, ctx.Err() read
+// afterwards, so every real failure classifies as a cancellation.
+package ctxerrorder
+
+import (
+	"context"
+	"errors"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// The bug: ctx.Err() is read after cancel() has run, so it is always
+// context.Canceled regardless of what err actually was.
+func misclassifies(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	err := work(ctx)
+	cancel()
+	if ctx.Err() != nil { // want `Err\(\) read after cancel\(\)`
+		return context.Canceled
+	}
+	return err
+}
+
+// The PR 3 fix shape: capture ctx.Err() before cancelling, compare
+// with errors.Is.
+func capturesBefore(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	err := work(ctx)
+	ctxErr := ctx.Err()
+	cancel()
+	if ctxErr != nil && errors.Is(err, context.Canceled) {
+		return context.Canceled
+	}
+	return err
+}
+
+// A deferred cancel runs at return, after every read in the body: fine.
+func deferredCancel(parent context.Context, d interface{ Deadline() }) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	err := work(ctx)
+	if ctx.Err() != nil {
+		return context.Canceled
+	}
+	return err
+}
+
+// Two independent pairs: cancelling one does not taint reads of the
+// other.
+func independentPairs(parent context.Context) error {
+	a, cancelA := context.WithCancel(parent)
+	b, cancelB := context.WithCancel(parent)
+	defer cancelB()
+	_ = work(a)
+	cancelA()
+	if b.Err() != nil {
+		return context.Canceled
+	}
+	if a.Err() != nil { // want `Err\(\) read after cancelA\(\)`
+		return context.Canceled
+	}
+	return nil
+}
+
+// An allow directive records a reviewed exception.
+func allowedPostCancelRead(parent context.Context) bool {
+	ctx, cancel := context.WithCancel(parent)
+	cancel()
+	//reprolint:allow ctxerrorder deliberately asserting the cancelled state itself
+	return ctx.Err() != nil
+}

@@ -1,0 +1,83 @@
+// Package detmap is the analysistest fixture for the detmap analyzer.
+package detmap
+
+import "sort"
+
+// Direct iteration feeding an order-sensitive accumulation: flagged.
+func concatValues(m map[string]string) string {
+	out := ""
+	for _, v := range m { // want `range over map has nondeterministic iteration order`
+		out += v
+	}
+	return out
+}
+
+// The canonical collect-then-sort idiom: the body only appends keys
+// and the slice is sorted before use, so the map's order never
+// reaches the output.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator counts too.
+func sortedPairs(m map[string]int) []string {
+	pairs := make([]string, 0, len(m))
+	for k, v := range m {
+		pairs = append(pairs, k+string(rune('0'+v)))
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	return pairs
+}
+
+// Collecting keys without ever sorting them: flagged.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map has nondeterministic iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sorting a different slice does not launder the collection: flagged.
+func sortsTheWrongSlice(m map[string]int, other []string) []string {
+	var keys []string
+	for k := range m { // want `range over map has nondeterministic iteration order`
+		keys = append(keys, k)
+	}
+	sort.Strings(other)
+	return keys
+}
+
+// Neither key nor value is bound, so the body cannot observe the
+// iteration order: not flagged.
+func countAll(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Ranging over a slice is always fine.
+func sliceSum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// A genuine false positive carries an allow directive with a reason.
+func allowedSum(m map[string]int) int {
+	s := 0
+	//reprolint:allow detmap integer addition is order-insensitive
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+// Package metricname is the analysistest fixture for the metricname
+// analyzer.
+package metricname
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+const goodName = "repro_fixture_ops_total"
+
+// Registered names must be constant strings under the repro_ prefix.
+func registrations(r *metrics.Registry, dynamic string) {
+	r.Counter("repro_fixture_jobs_total")
+	r.Counter(goodName)
+	r.Gauge("repro_fixture_depth")
+	r.Histogram("repro_fixture_seconds", nil)
+
+	r.Counter("fixture_jobs_total")   // want `must match \^repro_`
+	r.Gauge("repro_Fixture_Depth")    // want `must match \^repro_`
+	r.Counter(dynamic)                // want `must be a constant string`
+	r.Counter("repro_" + dynamic)     // want `must be a constant string`
+	r.Histogram("repro-fixture", nil) // want `must match \^repro_`
+}
+
+// Experiment fragments get the repro_experiment_ wrapping from the
+// metrics package, so only the fragment charset is checked.
+func fragments(dynamic string) {
+	metrics.ObserveExperiment("fixture_run", time.Millisecond)
+	stop := metrics.Timer("fixture_run")
+	stop()
+
+	metrics.ObserveExperiment("Fixture", time.Millisecond) // want `must match \^\[a-z0-9_\]`
+	_ = metrics.Timer(dynamic)                             // want `must be a constant string`
+}
+
+// A reviewed dynamic name carries an allow directive.
+func allowedDynamic(r *metrics.Registry, shard string) {
+	//reprolint:allow metricname per-shard instrument family, closed set validated at startup
+	r.Counter("repro_fixture_shard_" + shard + "_total")
+}

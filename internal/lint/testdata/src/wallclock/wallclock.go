@@ -1,0 +1,43 @@
+// Package wallclock is the analysistest fixture for the wallclock
+// analyzer.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Host-clock reads in a simulation package: flagged.
+func hostClock() time.Duration {
+	start := time.Now()          // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+	return time.Since(start)     // want `wall-clock time\.Since`
+}
+
+// Implicitly seeded global randomness: flagged.
+func globalRand() int64 {
+	return rand.Int63() // want `global math/rand\.Int63`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+// A locally seeded generator is deterministic: the constructors are
+// fine (the stream itself should still come from internal/rng, but
+// that is a style question, not an identity hazard).
+func seededRand(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63()
+}
+
+// time.Duration arithmetic and constants never touch the host clock.
+func durations(d time.Duration) time.Duration {
+	return d + 2*time.Millisecond
+}
+
+// An allow directive suppresses a deliberate operational exception.
+func allowedProgressLog() time.Time {
+	//reprolint:allow wallclock operator-facing progress timestamp, never part of result bytes
+	return time.Now()
+}

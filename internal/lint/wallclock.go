@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// wallclockAllow lists the operational packages where real time and
+// jittered randomness are the point: the serve daemon and its client
+// (timeouts, backoff), the disk store (mtimes), the worker pool, and
+// the metrics layer (latency observation). Everything else under
+// internal/ is simulation or analysis code, where wall-clock reads and
+// global math/rand would leak host state into supposedly seeded,
+// reproducible results.
+var wallclockAllow = []string{
+	modulePath + "/internal/serve",
+	modulePath + "/internal/store",
+	modulePath + "/internal/runner",
+	modulePath + "/internal/metrics",
+}
+
+// wallclockTimeFuncs are the time package entry points that read or
+// wait on the host clock.
+var wallclockTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// wallclockRandOK are the math/rand constructors: a locally seeded
+// *rand.Rand is deterministic, so only the implicitly seeded global
+// functions are forbidden.
+var wallclockRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true,
+}
+
+// Wallclock forbids host-clock reads (time.Now, time.Since, ...) and
+// global math/rand calls in simulation packages. Simulated time comes
+// from internal/simtime (cycle-accurate, part of the result bytes) and
+// randomness from internal/rng (seeded PCG streams, part of the cache
+// key); a wall-clock read in a sim path makes the same (scenario,
+// seed, revision) triple produce different bytes on different hosts.
+var Wallclock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/time.Since/global math/rand in simulation packages; " +
+		"use internal/simtime and internal/rng (operational packages " +
+		"internal/serve, internal/store, internal/runner, internal/metrics are allowlisted)",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	inScope := pkgMatches(path, []string{modulePath + "/internal"}) &&
+		!pkgMatches(path, wallclockAllow)
+	if !inScope && !isFixtureFor(path, "wallclock") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := pkgNameOf(pass, sel.X)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgPath {
+			case "time":
+				if wallclockTimeFuncs[name] {
+					pass.Reportf(call.Pos(),
+						"wall-clock time.%s in simulation package %s; use internal/simtime (simulated cycles) — real time must not reach deterministic results",
+						name, path)
+				}
+			case "math/rand", "math/rand/v2":
+				if !wallclockRandOK[name] {
+					pass.Reportf(call.Pos(),
+						"global %s.%s in simulation package %s; use internal/rng seeded streams — implicit global seeding breaks run identity",
+						pkgPath, name, path)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -161,6 +161,17 @@ func ObserveExperiment(name string, d time.Duration) {
 	defaultRegistry.Histogram("repro_experiment_"+name+"_seconds", nil).ObserveDuration(d)
 }
 
+// Timer starts timing an experiment run and returns the stop function
+// that records it via ObserveExperiment. It exists so simulation
+// packages never touch the wall clock themselves (reprolint wallclock,
+// DESIGN.md §10): the host-time read stays inside this operational
+// package, and the measured duration flows only into telemetry, never
+// into result bytes.
+func Timer(name string) func() {
+	start := time.Now()
+	return func() { ObserveExperiment(name, time.Since(start)) }
+}
+
 // WriteTo renders the registry in the Prometheus text format, sorted by
 // instrument name within each kind.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {

@@ -1,18 +1,27 @@
 #!/bin/sh
-# Tier-1 quality gate (DESIGN.md §6): build, vet, the full test suite
-# under the race detector — the parallel experiment engine must be
-# data-race free — one pass over every benchmark so the measured paths
-# keep compiling and running, the chaos smoke campaign (DESIGN.md §8):
-# monitored runs must satisfy the temporal-independence oracle and the
-# monitor-ablated babbling-idiot runs must violate it, and the
-# kill–restart recovery harness (DESIGN.md §9): a SIGKILLed daemon must
-# lose no acked job and never serve divergent bytes.
+# Tier-1 quality gate (DESIGN.md §6): module hygiene (go.mod/go.sum must
+# be tidy — reprolint's analyzer scope lists are rooted at the module
+# path, so drift would silently unscope them), build, vet, reprolint
+# (DESIGN.md §10: the determinism contract is enforced statically — map
+# iteration order, wall-clock reads, ctx.Err()-after-cancel ordering
+# and metric-name drift are compile-time failures, not runtime
+# surprises), the full test suite under the race detector — the
+# parallel experiment engine must be data-race free — one pass over
+# every benchmark so the measured paths keep compiling and running, the
+# chaos smoke campaign (DESIGN.md §8): monitored runs must satisfy the
+# temporal-independence oracle and the monitor-ablated babbling-idiot
+# runs must violate it, and the kill–restart recovery harness
+# (DESIGN.md §9): a SIGKILLed daemon must lose no acked job and never
+# serve divergent bytes.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+go mod tidy
+git diff --exit-code -- go.mod go.sum
 go build ./...
 go vet ./...
+go run ./cmd/reprolint ./...
 go test -race ./...
 go test -bench=. -benchtime=1x -run '^$' .
 go run ./cmd/chaos -smoke -events 80
