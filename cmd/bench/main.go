@@ -1,15 +1,19 @@
-// Command bench regenerates the performance evidence for the parallel
-// experiment engine, the DES hot-path optimisation and the serve
-// daemon: ns/op and allocs/op of the macro benchmarks, the reproduced
-// headline metrics (proof the optimisation did not change a single
-// result), the sequential-vs-parallel wall clock of the sweep grid,
+// Command bench regenerates the performance evidence for the zero-alloc
+// engine core, the parallel experiment engine, the DES hot path and the
+// serve daemon: min-of-N ns/op and allocs/op of the macro benchmarks,
+// the reproduced headline metrics (proof the optimisation did not
+// change a single result), the sequential-vs-parallel wall clock of the
+// sweep grid (reported honestly: on a single-CPU host the "parallel"
+// run falls back to the inline sequential path and says so), the
+// warm-prefix campaign cost (snapshot fork vs cold replay per cell),
 // and the daemon's cold vs cache-hit request cost plus its admission
-// split under queue saturation. The measurements are written as JSON
-// so they can be committed next to the code that produced them.
+// split under queue saturation. The measurements are written as JSON so
+// they can be committed next to the code that produced them and diffed
+// against earlier PRs' evidence by scripts/benchdiff.sh.
 //
 // Usage:
 //
-//	bench [-o BENCH_PR4.json] [-events N] [-workers N]
+//	bench [-o BENCH_PR6.json] [-events N] [-workers N] [-samples N] [-quick]
 package main
 
 import (
@@ -17,15 +21,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/hv"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/sweep"
 	"repro/internal/tracerec"
@@ -48,35 +55,68 @@ type sweepTiming struct {
 	SequentialS float64 `json:"sequential_s"`
 	ParallelS   float64 `json:"parallel_s"`
 	Speedup     float64 `json:"speedup"`
+	// SequentialFallback is true when the "parallel" run resolved to
+	// one worker and therefore took the runner's inline sequential path
+	// — no pool, no goroutines. On such hosts the speedup compares the
+	// sequential loop against itself; reporting it as parallelism would
+	// be dishonest (the measured <1 "speedup" of earlier PRs was pool
+	// overhead on a single CPU, since removed by the inline path).
+	SequentialFallback bool `json:"sequential_fallback"`
+}
+
+// campaignTiming is the warm-prefix fork measurement: the per-cell cost
+// of a sweep campaign whose cells share a warm prefix, forked from a
+// DES snapshot (engine.ForkCampaign) versus replayed cold from cycle
+// zero. Cells are verified byte-identical between the two paths before
+// timing is reported.
+type campaignTiming struct {
+	Cells         int     `json:"cells"`
+	PrefixEvents  int     `json:"prefix_events"`
+	SuffixEvents  int     `json:"suffix_events"`
+	ColdPerCellMs float64 `json:"cold_per_cell_ms"`
+	WarmPerCellMs float64 `json:"warm_per_cell_ms"`
+	Speedup       float64 `json:"speedup"`
 }
 
 type report struct {
 	GoVersion  string                `json:"go_version"`
 	NumCPU     int                   `json:"num_cpu"`
 	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Samples    int                   `json:"samples"`
 	Benchmarks map[string]benchEntry `json:"benchmarks"`
 	Sweep      sweepTiming           `json:"sweep_wallclock"`
+	Campaign   campaignTiming        `json:"warm_prefix_campaign"`
 	Server     serverTiming          `json:"server"`
 	Notes      string                `json:"notes"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR6.json", "output file (- for stdout)")
 	events := flag.Int("events", 1500, "IRQs per sweep point for the wall-clock comparison")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for the parallel wall-clock run")
+	samples := flag.Int("samples", 3, "per-benchmark repetitions; min-of-N is reported")
+	quick := flag.Bool("quick", false, "reduced sizes for CI regression gating (scripts/benchdiff.sh)")
 	flag.Parse()
+	if *quick {
+		*events = 400
+		if *samples > 2 {
+			*samples = 2
+		}
+	}
 
 	r := report{
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Samples:    *samples,
 		Benchmarks: map[string]benchEntry{},
 		Notes: "headline metrics must match the seed values byte for byte; " +
-			"speedup is bounded by num_cpu (1 on a single-core host).",
+			"timings are min-of-N; sequential_fallback marks a 1-worker " +
+			"host where the parallel run is the inline sequential path.",
 	}
 
 	fmt.Fprintln(os.Stderr, "bench: Fig6a ...")
-	r.Benchmarks["Fig6a"] = run(func(b *testing.B) {
+	r.Benchmarks["Fig6a"] = runN(*samples, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res, err := experiments.Fig6(experiments.Fig6a, benchFig6Cfg())
 			if err != nil {
@@ -88,12 +128,16 @@ func main() {
 		}
 	})
 	fmt.Fprintln(os.Stderr, "bench: SimulationThroughput ...")
-	r.Benchmarks["SimulationThroughput"] = run(benchSimulationThroughput)
+	r.Benchmarks["SimulationThroughput"] = runN(*samples, benchSimulationThroughput)
+	fmt.Fprintln(os.Stderr, "bench: ArenaThroughput ...")
+	r.Benchmarks["ArenaThroughput"] = runN(*samples, benchArenaThroughput)
 	fmt.Fprintln(os.Stderr, "bench: DESEventThroughput ...")
-	r.Benchmarks["DESEventThroughput"] = run(benchDESEventThroughput)
+	r.Benchmarks["DESEventThroughput"] = runN(*samples, benchDESEventThroughput)
 
 	fmt.Fprintln(os.Stderr, "bench: sweep wall clock ...")
 	r.Sweep = sweepWallClock(*events, *workers)
+	fmt.Fprintln(os.Stderr, "bench: warm-prefix campaign ...")
+	r.Campaign = campaignBench(*samples)
 	fmt.Fprintln(os.Stderr, "bench: serve daemon ...")
 	r.Server = serverBench(*events)
 
@@ -112,23 +156,35 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
 }
 
-// run executes fn under the testing harness and folds the result into a
-// benchEntry, including the ReportMetric extras.
-func run(fn func(b *testing.B)) benchEntry {
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		fn(b)
-	})
-	e := benchEntry{
-		NsPerOp:     res.NsPerOp(),
-		AllocsPerOp: res.AllocsPerOp(),
-		BytesPerOp:  res.AllocedBytesPerOp(),
-	}
-	if len(res.Extra) > 0 {
-		e.Metrics = map[string]float64{}
-		for k, v := range res.Extra {
-			e.Metrics[k] = v
+// runN executes fn under the testing harness n times and reports the
+// minimum of each measurement — the standard defence against scheduler
+// noise when benchmarking on shared machines (the minimum is the run
+// with the least interference; the domain metrics are deterministic and
+// identical across samples).
+func runN(n int, fn func(b *testing.B)) benchEntry {
+	var e benchEntry
+	for s := 0; s < n; s++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		if s == 0 {
+			e = benchEntry{
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			if len(res.Extra) > 0 {
+				e.Metrics = map[string]float64{}
+				for k, v := range res.Extra {
+					e.Metrics[k] = v
+				}
+			}
+			continue
 		}
+		e.NsPerOp = min(e.NsPerOp, res.NsPerOp())
+		e.AllocsPerOp = min(e.AllocsPerOp, res.AllocsPerOp())
+		e.BytesPerOp = min(e.BytesPerOp, res.AllocedBytesPerOp())
 	}
 	return e
 }
@@ -159,6 +215,36 @@ func benchSimulationThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchArenaThroughput is benchSimulationThroughput on the zero-alloc
+// arena path: the same monitored pipeline with the per-worker arena
+// reused across iterations, so steady-state allocs/op measure the
+// engine core, not system construction.
+func benchArenaThroughput(b *testing.B) {
+	lambda := simtime.Micros(1344)
+	arrivals := workload.Timestamps(workload.Exponential(rng.New(1), lambda, 2000))
+	sc := core.Scenario{
+		Partitions: []core.PartitionSpec{
+			{Name: "app1", Slot: simtime.Micros(6000)},
+			{Name: "app2", Slot: simtime.Micros(6000)},
+			{Name: "hk", Slot: simtime.Micros(2000)},
+		},
+		Mode:   hv.Monitored,
+		Policy: hv.ResumeAcrossSlots,
+		IRQs: []core.IRQSpec{{
+			Name: "t0", Partition: 0,
+			CTH: simtime.Micros(6), CBH: simtime.Micros(30),
+			Arrivals: arrivals, DMin: lambda,
+		}},
+	}
+	arena := engine.NewArena()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arena.Run(sc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -207,7 +293,118 @@ func sweepWallClock(events, workers int) sweepTiming {
 	if st.ParallelS > 0 {
 		st.Speedup = st.SequentialS / st.ParallelS
 	}
+	// runner.Resolve collapses workers <= 1 to the inline sequential
+	// path; say so instead of presenting a self-comparison as speedup.
+	st.SequentialFallback = runner.Resolve(workers) <= 1
 	return st
+}
+
+// campaignBench measures the warm-prefix fork primitive: a sweep-style
+// campaign whose cells share one warm prefix, run once cold (every cell
+// replays prefix + suffix from cycle zero on a fresh system) and once
+// warm (cells fork from a DES snapshot of the completed prefix). Cell
+// results are verified identical before any timing is reported.
+func campaignBench(samples int) campaignTiming {
+	const (
+		cells        = 16
+		prefixEvents = 2000
+		suffixEvents = 150
+	)
+	lambda := simtime.Micros(1344)
+	prefix := workload.Timestamps(workload.ExponentialClamped(rng.New(2014), lambda, lambda, prefixEvents))
+	mkScenario := func() core.Scenario {
+		return core.Scenario{
+			Partitions: []core.PartitionSpec{
+				{Name: "app1", Slot: simtime.Micros(6000)},
+				{Name: "app2", Slot: simtime.Micros(6000)},
+				{Name: "hk", Slot: simtime.Micros(2000)},
+			},
+			Mode:   hv.Monitored,
+			Policy: hv.ResumeAcrossSlots,
+			IRQs: []core.IRQSpec{{
+				Name: "t0", Partition: 0,
+				CTH: simtime.Micros(6), CBH: simtime.Micros(30),
+				Arrivals: prefix, DMin: lambda,
+			}},
+		}
+	}
+
+	// The per-cell suffixes start just past the fork point; build them
+	// once from a throwaway campaign so both paths see identical times.
+	probe, err := engine.NewArena().ForkCampaign(mkScenario())
+	if err != nil {
+		fatal(err)
+	}
+	suffixes := make([][][]simtime.Time, cells)
+	for c := range suffixes {
+		sfx := workload.Timestamps(workload.ExponentialClamped(
+			rng.NewStream(2014, uint64(c)+1), lambda, lambda, suffixEvents))
+		for i := range sfx {
+			sfx[i] = sfx[i].Add(probe.Now().Sub(0) + simtime.Micros(500))
+		}
+		suffixes[c] = [][]simtime.Time{sfx}
+	}
+
+	coldCell := func(c int) *core.Result {
+		sc := mkScenario()
+		sys, err := core.Build(sc)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.RunToCompletion(core.Horizon(sc)); err != nil {
+			fatal(err)
+		}
+		sfx := suffixes[c][0]
+		if err := sys.ExtendArrivals(0, sfx); err != nil {
+			fatal(err)
+		}
+		if err := sys.RunToCompletion(sfx[len(sfx)-1].Add(1000 * sc.CycleLength())); err != nil {
+			fatal(err)
+		}
+		return core.ReportOwned(sys)
+	}
+
+	ct := campaignTiming{Cells: cells, PrefixEvents: prefixEvents, SuffixEvents: suffixEvents}
+	for s := 0; s < samples; s++ {
+		start := time.Now()
+		var cold []*core.Result
+		for c := 0; c < cells; c++ {
+			cold = append(cold, coldCell(c))
+		}
+		coldMs := time.Since(start).Seconds() * 1000 / cells
+
+		start = time.Now()
+		camp, err := engine.NewArena().ForkCampaign(mkScenario())
+		if err != nil {
+			fatal(err)
+		}
+		var warm []*core.Result
+		for c := 0; c < cells; c++ {
+			res, err := camp.Cell(suffixes[c])
+			if err != nil {
+				fatal(err)
+			}
+			warm = append(warm, res)
+		}
+		warmMs := time.Since(start).Seconds() * 1000 / cells
+
+		for c := range cold {
+			if !reflect.DeepEqual(cold[c].Log.Records, warm[c].Log.Records) ||
+				!reflect.DeepEqual(cold[c].Stats, warm[c].Stats) {
+				fatal(fmt.Errorf("campaign cell %d: warm fork diverges from cold replay", c))
+			}
+		}
+		if s == 0 || coldMs < ct.ColdPerCellMs {
+			ct.ColdPerCellMs = coldMs
+		}
+		if s == 0 || warmMs < ct.WarmPerCellMs {
+			ct.WarmPerCellMs = warmMs
+		}
+	}
+	if ct.WarmPerCellMs > 0 {
+		ct.Speedup = ct.ColdPerCellMs / ct.WarmPerCellMs
+	}
+	return ct
 }
 
 func fatal(err error) {

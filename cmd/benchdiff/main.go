@@ -1,0 +1,144 @@
+// Command benchdiff gates performance regressions: it compares a fresh
+// cmd/bench JSON report against the best (minimum) prior value of each
+// tracked benchmark across the committed BENCH_PR*.json evidence files,
+// and exits non-zero when ns/op or allocs/op regressed by more than the
+// allowed fraction. scripts/benchdiff.sh is the CI entry point.
+//
+// Only benchmarks present in both the fresh report and at least one
+// baseline are compared; a tracked benchmark missing from the fresh
+// report is an error (a silently dropped measurement is itself a
+// regression of the evidence).
+//
+// Usage:
+//
+//	benchdiff -new BENCH_PR6.json [-max-regress 0.10] [baseline.json ...]
+//
+// With no baseline arguments, BENCH_PR*.json in the working directory
+// (minus the -new file itself) is used.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// tracked is the closed set of regression-gated benchmarks: the macro
+// figure path, the single-scenario pipeline, and the DES hot path.
+var tracked = []string{"Fig6a", "SimulationThroughput", "DESEventThroughput"}
+
+type benchEntry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type report struct {
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	newPath := flag.String("new", "", "fresh cmd/bench report to gate (required)")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional regression per metric")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	baselines := flag.Args()
+	if len(baselines) == 0 {
+		glob, err := filepath.Glob("BENCH_PR*.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		newAbs, _ := filepath.Abs(*newPath)
+		for _, g := range glob {
+			if abs, _ := filepath.Abs(g); abs == newAbs {
+				continue
+			}
+			baselines = append(baselines, g)
+		}
+	}
+	if len(baselines) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no baseline BENCH_PR*.json found")
+		os.Exit(2)
+	}
+
+	// Best prior value per tracked benchmark: the minimum across every
+	// baseline that measured it.
+	best := map[string]benchEntry{}
+	for _, path := range baselines {
+		r, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		for _, name := range tracked {
+			e, ok := r.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			b, seen := best[name]
+			if !seen {
+				best[name] = e
+				continue
+			}
+			b.NsPerOp = min(b.NsPerOp, e.NsPerOp)
+			b.AllocsPerOp = min(b.AllocsPerOp, e.AllocsPerOp)
+			best[name] = b
+		}
+	}
+
+	failed := false
+	check := func(name, metric string, got, base int64) {
+		// The +2 absolute slack keeps near-zero alloc counts from
+		// failing on a single incidental allocation while still gating
+		// any real return to per-event allocation.
+		limit := int64(float64(base)*(1+*maxRegress)) + 2
+		status := "ok"
+		if got > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-22s %-10s %12d  best %12d  limit %12d  %s\n", name, metric, got, base, limit, status)
+	}
+	for _, name := range tracked {
+		e, ok := fresh.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-22s MISSING from %s\n", name, *newPath)
+			failed = true
+			continue
+		}
+		base, ok := best[name]
+		if !ok {
+			fmt.Printf("%-22s no baseline — skipped\n", name)
+			continue
+		}
+		check(name, "ns/op", e.NsPerOp, base.NsPerOp)
+		check(name, "allocs/op", e.AllocsPerOp, base.AllocsPerOp)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: performance regression against committed BENCH_PR*.json evidence")
+		os.Exit(1)
+	}
+}

@@ -165,6 +165,48 @@ func (sc Scenario) CostModel() arm.CostModel {
 // Build constructs the hypervisor system for a scenario without running
 // it, for callers that want stepwise control.
 func Build(sc Scenario) (*hv.System, error) {
+	cfg, err := buildConfig(sc)
+	if err != nil {
+		return nil, err
+	}
+	return hv.New(cfg)
+}
+
+// BuildReuse is Build into an existing system arena: sys's allocations
+// (simulator, event freelist, partition and source structs, interrupt
+// rings, latency log backing array) are reset in place and rewired for
+// sc instead of being reallocated. A nil sys builds fresh. Results are
+// byte-identical to a fresh Build — the hv.Reinit contract, enforced by
+// the engine's equivalence tests.
+func BuildReuse(sys *hv.System, sc Scenario) (*hv.System, error) {
+	cfg, err := buildConfig(sc)
+	if err != nil {
+		return nil, err
+	}
+	if sys == nil {
+		return hv.New(cfg)
+	}
+	if err := sys.Reinit(cfg); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Horizon returns the run-to-completion guard horizon for sc: the last
+// injected arrival plus a generous number of TDMA cycles.
+func Horizon(sc Scenario) simtime.Time {
+	var last simtime.Time
+	for _, q := range sc.IRQs {
+		if n := len(q.Arrivals); n > 0 && q.Arrivals[n-1] > last {
+			last = q.Arrivals[n-1]
+		}
+	}
+	return last.Add(1000 * sc.CycleLength())
+}
+
+// buildConfig translates a Scenario into the hv.Config encoding shared
+// by Build and BuildReuse.
+func buildConfig(sc Scenario) (hv.Config, error) {
 	cfg := hv.Config{
 		Costs:          sc.CostModel(),
 		Mode:           sc.Mode,
@@ -204,7 +246,7 @@ func Build(sc Scenario) (*hv.System, error) {
 		if q.Learn != nil {
 			m, err := monitor.NewLearning(q.Learn.L)
 			if err != nil {
-				return nil, fmt.Errorf("core: irq %d (%s): %w", i, q.Name, err)
+				return hv.Config{}, fmt.Errorf("core: irq %d (%s): %w", i, q.Name, err)
 			}
 			scfg.Monitor = m
 			scfg.LearnEvents = q.Learn.Events
@@ -212,11 +254,11 @@ func Build(sc Scenario) (*hv.System, error) {
 			set++
 		}
 		if set > 1 {
-			return nil, fmt.Errorf("core: irq %d (%s): multiple monitoring conditions", i, q.Name)
+			return hv.Config{}, fmt.Errorf("core: irq %d (%s): multiple monitoring conditions", i, q.Name)
 		}
 		cfg.Sources = append(cfg.Sources, scfg)
 	}
-	return hv.New(cfg)
+	return cfg, nil
 }
 
 // PartitionReport summarises one partition after a run.
@@ -257,14 +299,7 @@ func Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var last simtime.Time
-	for _, q := range sc.IRQs {
-		if n := len(q.Arrivals); n > 0 && q.Arrivals[n-1] > last {
-			last = q.Arrivals[n-1]
-		}
-	}
-	horizon := last.Add(1000 * sc.CycleLength())
-	if err := sys.RunToCompletion(horizon); err != nil {
+	if err := sys.RunToCompletion(Horizon(sc)); err != nil {
 		return nil, err
 	}
 	if err := sys.CheckInvariants(); err != nil {
@@ -321,6 +356,18 @@ func Report(sys *hv.System) *Result {
 		}
 		res.Sources = append(res.Sources, sr)
 	}
+	return res
+}
+
+// ReportOwned is Report with the latency records copied out of the
+// system: the Result does not alias the system's log, so an arena-held
+// system can be Reinit-ed and reused while the Result lives on. Every
+// arena-based caller must use this instead of Report — retaining
+// Report's aliased log across a reuse is a use-after-reset bug (the
+// reprolint arenaretain analyzer flags it in arena-adopting packages).
+func ReportOwned(sys *hv.System) *Result {
+	res := Report(sys)
+	res.Log = &tracerec.Log{Records: append([]tracerec.Record(nil), res.Log.Records...)}
 	return res
 }
 

@@ -55,6 +55,7 @@ type Simulator struct {
 	live    int // queued events that are not canceled
 	free    []*Event
 	running bool
+	savers  []StateSaver // model state captured by Snapshot (snapshot.go)
 }
 
 // New returns a simulator with its clock at time zero.
@@ -202,6 +203,33 @@ func (s *Simulator) RunUntil(horizon simtime.Time) {
 func (s *Simulator) Drain() {
 	for s.Step() {
 	}
+}
+
+// Reset returns the simulator to its zero state in place: clock at 0,
+// no events, no registered state savers. Queued events are recycled
+// through the freelist and the heap keeps its capacity, so a reset
+// simulator re-runs a same-shaped scenario without allocating — the
+// arena contract of DESIGN.md §11.
+func (s *Simulator) Reset() {
+	if s.running {
+		panic("des: Reset during RunUntil")
+	}
+	s.recycleQueue()
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.savers = s.savers[:0]
+}
+
+// recycleQueue releases every queued event (canceled or not) back to the
+// freelist and empties the heap, keeping its capacity.
+func (s *Simulator) recycleQueue() {
+	for i := range s.queue.a {
+		s.release(s.queue.a[i].ev)
+		s.queue.a[i] = heapEntry{}
+	}
+	s.queue.a = s.queue.a[:0]
+	s.live = 0
 }
 
 // heapEntry is one queued event with its ordering key stored inline, so

@@ -1,0 +1,221 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestResetReturnsToZeroState(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(10, "a", func() { fired++ })
+	e := s.At(20, "b", func() { fired++ })
+	s.Cancel(e)
+	s.At(30, "c", func() { fired++ })
+	s.Step()
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.Fired() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d fired=%d, want all zero", s.Now(), s.Pending(), s.Fired())
+	}
+	// A reset simulator schedules from seq 0 again: same-timestamp FIFO
+	// replays identically to a fresh simulator.
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		s.At(5, "e", func() { order = append(order, i) })
+	}
+	s.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("post-reset FIFO order broken: %v", order)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("pre-reset events leaked across Reset: fired=%d", fired)
+	}
+}
+
+func TestResetRecyclesEventsWithoutAllocating(t *testing.T) {
+	s := New()
+	// Warm the freelist and heap.
+	for i := 0; i < 64; i++ {
+		s.At(simtime.Time(i), "warm", func() {})
+	}
+	s.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.At(simtime.Time(i), "warm", func() {})
+		}
+		s.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+Reset cycle allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestSnapshotRestoreReplaysIdentically(t *testing.T) {
+	// Two interleaved self-rescheduling tickers plus one-shot events:
+	// run a prefix, snapshot, record the tail twice (original + after
+	// restore), and require identical firing sequences.
+	type firing struct {
+		at  simtime.Time
+		who int
+	}
+	s := New()
+	var log []firing
+	var tickA, tickB func()
+	tickA = func() {
+		log = append(log, firing{s.Now(), 1})
+		if s.Now() < 200 {
+			s.After(7, "a", tickA)
+		}
+	}
+	tickB = func() {
+		log = append(log, firing{s.Now(), 2})
+		if s.Now() < 200 {
+			s.After(11, "b", tickB)
+		}
+	}
+	s.At(0, "a", tickA)
+	s.At(0, "b", tickB)
+	s.At(50, "one", func() { log = append(log, firing{s.Now(), 3}) })
+	s.At(150, "two", func() { log = append(log, firing{s.Now(), 4}) })
+
+	s.RunUntil(100)
+	sn := s.Snapshot()
+	if sn.Now() != 100 {
+		t.Fatalf("snapshot at %v, want 100", sn.Now())
+	}
+
+	log = nil
+	s.RunUntil(300)
+	tail1 := append([]firing(nil), log...)
+
+	s.Restore(sn)
+	if s.Now() != 100 {
+		t.Fatalf("restored clock %v, want 100", s.Now())
+	}
+	log = nil
+	s.RunUntil(300)
+	tail2 := append([]firing(nil), log...)
+
+	if len(tail1) == 0 {
+		t.Fatal("empty tail; test is vacuous")
+	}
+	if len(tail1) != len(tail2) {
+		t.Fatalf("tail lengths differ: %d vs %d", len(tail1), len(tail2))
+	}
+	for i := range tail1 {
+		if tail1[i] != tail2[i] {
+			t.Fatalf("tail diverges at %d: %v vs %v", i, tail1[i], tail2[i])
+		}
+	}
+}
+
+func TestSnapshotSkipsCanceledEvents(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(10, "victim", func() { fired = true })
+	s.Cancel(e)
+	sn := s.Snapshot()
+	if sn.Pending() != 0 {
+		t.Fatalf("snapshot holds %d events, want 0 (canceled dropped)", sn.Pending())
+	}
+	if _, ok := sn.Token(e); ok {
+		t.Fatal("canceled event got a token")
+	}
+	s.Restore(sn)
+	s.Drain()
+	if fired {
+		t.Fatal("canceled event fired after restore")
+	}
+}
+
+// saverBox is a StateSaver retaining an event handle across the
+// snapshot boundary, exercising the token translation.
+type saverBox struct {
+	value int
+	ev    *Event
+}
+
+type saverBoxState struct {
+	value  int
+	evTok  uint64
+	hasTok bool
+}
+
+func (b *saverBox) SaveState(sn *Snapshot) any {
+	st := saverBoxState{value: b.value}
+	if b.ev != nil {
+		st.evTok, st.hasTok = sn.Token(b.ev)
+	}
+	return st
+}
+
+func (b *saverBox) RestoreState(rs *Restorer, state any) {
+	st := state.(saverBoxState)
+	b.value = st.value
+	b.ev = nil
+	if st.hasTok {
+		b.ev = rs.Event(st.evTok)
+	}
+}
+
+func TestStateSaverRoundTripsEventHandles(t *testing.T) {
+	s := New()
+	box := &saverBox{}
+	s.RegisterState(box)
+	box.ev = s.At(40, "held", func() { box.value += 100 })
+	box.value = 7
+	sn := s.Snapshot()
+
+	// Mutate and run past the held event.
+	box.value = 999
+	s.Drain()
+	if box.value != 999+100 {
+		t.Fatalf("pre-restore run: value=%d", box.value)
+	}
+
+	s.Restore(sn)
+	if box.value != 7 {
+		t.Fatalf("restored value=%d, want 7", box.value)
+	}
+	if box.ev == nil {
+		t.Fatal("event handle not restored")
+	}
+	// The restored handle must be live: cancel it and verify it never
+	// fires.
+	s.Cancel(box.ev)
+	s.Drain()
+	if box.value != 7 {
+		t.Fatalf("canceled restored event fired: value=%d", box.value)
+	}
+}
+
+func TestRestoreIsRepeatable(t *testing.T) {
+	s := New()
+	var sum simtime.Time
+	var tick func()
+	tick = func() {
+		sum += s.Now()
+		if s.Now() < 100 {
+			s.After(3, "t", tick)
+		}
+	}
+	s.At(0, "t", tick)
+	s.RunUntil(50)
+	sn := s.Snapshot()
+	base := sum
+
+	var totals []simtime.Time
+	for i := 0; i < 3; i++ {
+		s.Restore(sn)
+		sum = base
+		s.RunUntil(200)
+		totals = append(totals, sum)
+	}
+	if totals[0] != totals[1] || totals[1] != totals[2] {
+		t.Fatalf("restore not repeatable: %v", totals)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hv"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -117,8 +118,9 @@ func Fig6Ctx(ctx context.Context, variant Fig6Variant, cfg Fig6Config) (*Fig6Res
 	// The per-load runs are independent simulations: each derives its
 	// workload from its own seeded RNG stream, so they fan out across
 	// the worker pool and merge in load order — byte-identical to the
-	// sequential loop.
-	perLoad, err := runner.MapCtx(ctx, cfg.Workers, len(cfg.Loads), func(li int) (Fig6LoadResult, error) {
+	// sequential loop. Each worker reuses one simulation arena across
+	// the loads it claims (zero-alloc steady state, DESIGN.md §11).
+	perLoad, err := runner.MapCtxPool(ctx, cfg.Workers, len(cfg.Loads), engine.NewArena, func(a *engine.SimArena, li int) (Fig6LoadResult, error) {
 		load := cfg.Loads[li]
 		lambda := simtime.FromMicrosF(cbhEff.MicrosF() / load) // eq. (17)
 		src := rng.NewStream(cfg.Seed, uint64(li)+1)
@@ -144,7 +146,7 @@ func Fig6Ctx(ctx context.Context, variant Fig6Variant, cfg Fig6Config) (*Fig6Res
 		}
 		sc.IRQs = []core.IRQSpec{irq}
 
-		res, err := core.Run(sc)
+		res, err := a.Run(sc)
 		if err != nil {
 			return Fig6LoadResult{}, fmt.Errorf("experiments: fig6%c load %.0f%%: %w", variant, 100*load, err)
 		}

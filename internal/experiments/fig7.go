@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/curves"
+	"repro/internal/engine"
 	"repro/internal/hv"
 	"repro/internal/metrics"
 	"repro/internal/runner"
@@ -115,8 +116,8 @@ func Fig7Ctx(ctx context.Context, cfg Fig7Config) (*Fig7Result, error) {
 
 	// One independent simulation per bound: the trace and recorded δ⁻
 	// are only read, so the graphs fan out across the worker pool and
-	// merge in graph order.
-	out.Graphs, err = runner.MapCtx(ctx, cfg.Workers, len(cfg.LoadFractions), func(gi int) (Fig7Graph, error) {
+	// merge in graph order, each worker reusing one simulation arena.
+	out.Graphs, err = runner.MapCtxPool(ctx, cfg.Workers, len(cfg.LoadFractions), engine.NewArena, func(a *engine.SimArena, gi int) (Fig7Graph, error) {
 		frac := cfg.LoadFractions[gi]
 		var bound *curves.Delta
 		if frac >= 1.0 {
@@ -148,7 +149,7 @@ func Fig7Ctx(ctx context.Context, cfg Fig7Config) (*Fig7Result, error) {
 			Arrivals:  trace,
 			Learn:     &core.LearnSpec{L: cfg.L, Events: learnEvents, Bound: bound},
 		}}
-		res, err := core.Run(sc)
+		res, err := a.Run(sc)
 		if err != nil {
 			return Fig7Graph{}, fmt.Errorf("experiments: fig7 fraction %.4f: %w", frac, err)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hv"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
@@ -94,9 +95,10 @@ func OverheadCtx(ctx context.Context, cfg Fig6Config) (*OverheadResult, error) {
 
 	cbhEff := costs.EffectiveBH(cfg.CBH)
 	// One job per load; each job runs its baseline and monitored
-	// simulation back to back on its own workload stream, so the pairs
-	// fan out across the worker pool with load-ordered merging.
-	perLoad, err := runner.MapCtx(ctx, cfg.Workers, len(cfg.Loads), func(li int) (OverheadLoad, error) {
+	// simulation back to back on its own workload stream (sharing the
+	// worker's arena), so the pairs fan out across the worker pool with
+	// load-ordered merging.
+	perLoad, err := runner.MapCtxPool(ctx, cfg.Workers, len(cfg.Loads), engine.NewArena, func(a *engine.SimArena, li int) (OverheadLoad, error) {
 		load := cfg.Loads[li]
 		lambda := simtime.FromMicrosF(cbhEff.MicrosF() / load)
 		src := rng.NewStream(cfg.Seed, uint64(li)+1) //nolint:gosec
@@ -114,7 +116,7 @@ func OverheadCtx(ctx context.Context, cfg Fig6Config) (*OverheadResult, error) {
 				irq.DMin = lambda
 			}
 			sc.IRQs = []core.IRQSpec{irq}
-			return core.Run(sc)
+			return a.Run(sc)
 		}
 		base, err := run(hv.Original)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/curves"
+	"repro/internal/engine"
 	"repro/internal/hv"
 	"repro/internal/rng"
 	"repro/internal/runner"
@@ -168,8 +169,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			cells = append(cells, cell{fault: f, intensity: in})
 		}
 	}
-	runs, err := runner.MapCtx(ctx, cfg.Workers, len(cells), func(i int) (RunReport, error) {
-		return RunCase(Case{
+	runs, err := runner.MapCtxPool(ctx, cfg.Workers, len(cells), engine.NewArena, func(a *engine.SimArena, i int) (RunReport, error) {
+		return runCase(a, Case{
 			Fault:          cells[i].fault,
 			Intensity:      cells[i].intensity,
 			Seed:           cfg.Seed,
@@ -208,25 +209,26 @@ type Case struct {
 // RunCase executes one cell: build the adversarial scenario, arm the
 // oracle, simulate, and judge.
 func RunCase(c Case) (RunReport, error) {
+	return runCase(engine.NewArena(), c)
+}
+
+// runCase is RunCase inside a caller-owned simulation arena; the report
+// it returns holds no pointers into arena memory, so the arena is free
+// for reuse immediately.
+func runCase(a *engine.SimArena, c Case) (RunReport, error) {
 	model, ok := Lookup(c.Fault)
 	if !ok {
 		return RunReport{}, fmt.Errorf("faults: unknown fault model %q", c.Fault)
 	}
 	sc, meta := caseScenario(model, c)
-	sys, err := core.Build(sc)
+	sys, err := a.Build(sc)
 	if err != nil {
 		return RunReport{}, fmt.Errorf("faults: %s@%g: %w", c.Fault, c.Intensity, err)
 	}
 	budget := interferenceBudget(sc, sys)
 	sys.InstallOracle(budget)
 
-	var last simtime.Time
-	for _, q := range sc.IRQs {
-		if n := len(q.Arrivals); n > 0 && q.Arrivals[n-1] > last {
-			last = q.Arrivals[n-1]
-		}
-	}
-	if err := sys.RunToCompletion(last.Add(1000 * sc.CycleLength())); err != nil {
+	if err := sys.RunToCompletion(core.Horizon(sc)); err != nil {
 		return RunReport{}, fmt.Errorf("faults: %s@%g: %w", c.Fault, c.Intensity, err)
 	}
 	if err := sys.CheckInvariants(); err != nil {
@@ -268,6 +270,7 @@ func RunCase(c Case) (RunReport, error) {
 			bounds[meta.victim] = rt.WCRT
 		}
 	}
+	//reprolint:allow arenaretain latency scan completes inside this job, before the worker's arena is reused
 	for _, r := range sys.Log().Records {
 		if r.Source == meta.victim {
 			if lat := r.Done.Sub(r.Arrival); lat > rep.VictimMaxLatency {

@@ -296,6 +296,54 @@ func (os *OS) completeJob(p int, t simtime.Time) {
 	}
 }
 
+// State is a deep copy of a guest OS's mutable scheduling state, for
+// simulation snapshots. The task declarations themselves are not
+// captured: they are immutable after construction, and tasks must not
+// be added between SaveState and RestoreState.
+type State struct {
+	stats       []TaskStats
+	queues      [][]job
+	nextRel     []simtime.Time
+	ready       uint64
+	ctxSwitches uint64
+	lastRunning int
+	advancedTo  simtime.Time
+}
+
+// SaveState captures the guest's scheduling state.
+func (os *OS) SaveState() *State {
+	st := &State{
+		stats:       append([]TaskStats(nil), os.stats...),
+		queues:      make([][]job, len(os.queues)),
+		nextRel:     append([]simtime.Time(nil), os.nextRel...),
+		ready:       os.ready,
+		ctxSwitches: os.ctxSwitches,
+		lastRunning: os.lastRunning,
+		advancedTo:  os.advancedTo,
+	}
+	for p, q := range os.queues {
+		st.queues[p] = append([]job(nil), q...)
+	}
+	return st
+}
+
+// RestoreState reinstates a state captured from this guest (the task
+// set must be unchanged).
+func (os *OS) RestoreState(st *State) {
+	if len(st.stats) != len(os.tasks) {
+		panic(fmt.Sprintf("guestos: restore of %d-task state into %d-task OS", len(st.stats), len(os.tasks)))
+	}
+	copy(os.stats, st.stats)
+	for p, q := range st.queues {
+		os.queues[p] = append(os.queues[p][:0], q...)
+	}
+	copy(os.nextRel, st.nextRel)
+	os.ready = st.ready
+	os.ctxSwitches = st.ctxSwitches
+	os.lastRunning = st.lastRunning
+	os.advancedTo = st.advancedTo
+}
+
 // Utilization returns the total demand of the periodic task set.
 func (os *OS) Utilization() float64 {
 	var u float64

@@ -49,6 +49,24 @@ type grantState struct {
 	budgetSet bool
 }
 
+// actDoneKind selects the completion handler of the in-flight
+// hypervisor activity. hvActivity guarantees at most one activity is in
+// flight, so a single set of pend* parameter fields on System carries
+// each handler's arguments — replacing the per-call closures (one
+// allocation per top handler, slot switch and grant phase) the hot
+// path used to pay for.
+type actDoneKind int
+
+const (
+	doneNone actDoneKind = iota
+	doneSlotSwitch
+	doneTopHandler
+	doneSharedTop
+	doneGrantSched
+	doneGrantCtxIn
+	doneGrantCtxOut
+)
+
 // System is one simulated hypervisor run.
 type System struct {
 	cfg   Config
@@ -61,6 +79,7 @@ type System struct {
 	stats Stats
 
 	windows       []WindowConfig // effective cyclic window schedule
+	winBuf        []WindowConfig // owned buffer behind windows when derived from Slots
 	winIdx        int            // index of the current window
 	active        int            // TDMA-active partition index
 	slotEnd       simtime.Time   // grid end of the current window
@@ -68,7 +87,11 @@ type System struct {
 
 	hvBusy bool
 	grant  *grantState
-	exec   execState
+	// grantBuf is the backing store for grant: each interposed grant
+	// reuses it instead of allocating (only one grant is in flight at a
+	// time; DeniedBusy enforces it).
+	grantBuf grantState
+	exec     execState
 
 	// oracle, when armed via InstallOracle, checks every interference
 	// increment against the eq. (14) budget online (see oracle.go).
@@ -83,15 +106,47 @@ type System struct {
 	actKind  schedtrace.Kind
 	actSrc   int
 	actLabel string
-	actDone  func(span simtime.Duration)
+	actDone  actDoneKind
 	actFire  func()
+
+	// Prebuilt method-value callbacks (built once; a method value used
+	// directly as a des callback would allocate per call site).
+	slotBoundaryFn func()
+	dispatchFn     func()
+
+	// Completion parameters of the single in-flight activity, keyed by
+	// actDone. Plain data (no closures) so snapshots capture them.
+	pendNext      int          // doneSlotSwitch: next window index
+	pendBoundary  simtime.Time // doneSlotSwitch: grid boundary
+	pendSrcIdx    int          // doneTopHandler/doneSharedTop: source (-1 none)
+	pendArrival   simtime.Time // doneTopHandler/doneSharedTop
+	pendSub       int          // doneTopHandler: subscriber partition
+	pendDecision  tracerec.Mode
+	pendInterpose bool // doneTopHandler: grant on completion
+	pendEffActive int  // doneSharedTop: effective active partition
+	pendVictim    int  // doneGrant*: interference victim
 }
 
 // New builds a system from cfg and arms the first TDMA slot and all
 // first arrivals. The configuration is validated.
 func New(cfg Config) (*System, error) {
-	if err := cfg.Validate(); err != nil {
+	s := &System{}
+	if err := s.Reinit(cfg); err != nil {
 		return nil, err
+	}
+	return s, nil
+}
+
+// Reinit reconfigures the system in place for a fresh run of cfg,
+// reusing the simulator (event freelist and heap), the latency log, the
+// interrupt controller, and the partition/source structs with their
+// prebuilt callbacks wherever the shapes match — the arena Reset
+// contract of DESIGN.md §11. A system built by New and one Reinit-ed
+// into the same configuration are behaviorally indistinguishable: the
+// golden and byte-identity suites hold across both paths.
+func (s *System) Reinit(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	// Every raised IRQ eventually produces one latency record per
 	// subscriber; pre-size the log so recording never reallocates
@@ -104,60 +159,145 @@ func New(cfg Config) (*System, error) {
 		}
 		expect += len(sc.Arrivals) * subs
 	}
-	s := &System{
-		cfg:   cfg,
-		sim:   des.New(),
-		costs: cfg.Costs,
-		log:   tracerec.NewLog(expect),
+	s.cfg = cfg
+	s.costs = cfg.Costs
+	if s.sim == nil {
+		s.sim = des.New()
+	} else {
+		s.sim.Reset()
+	}
+	if s.log == nil {
+		s.log = tracerec.NewLog(expect)
+	} else {
+		s.log.Reset(expect)
+	}
+	s.stats = Stats{}
+
+	// Partitions: reuse structs (and their prebuilt bhDone callbacks).
+	if len(s.parts) > len(cfg.Slots) {
+		for i := len(cfg.Slots); i < len(s.parts); i++ {
+			s.parts[i] = nil
+		}
+		s.parts = s.parts[:len(cfg.Slots)]
 	}
 	for i, sc := range cfg.Slots {
-		s.parts = append(s.parts, &Partition{
-			Index:   i,
-			Name:    sc.Name,
-			SlotLen: sc.Length,
-			Guest:   sc.Guest,
-		})
+		if i < len(s.parts) {
+			p := s.parts[i]
+			p.Name = sc.Name
+			p.Guest = sc.Guest
+			p.queue.reset()
+			p.headStarted = false
+			p.headLeft = 0
+			p.GuestTime = 0
+			p.BHTime = 0
+			p.StolenInterposed = 0
+			p.StolenTop = 0
+			p.InterposedHits = 0
+		} else {
+			p := &Partition{Index: i, Name: sc.Name, Guest: sc.Guest}
+			p.bhDone = s.bhDoneFor(p)
+			s.parts = append(s.parts, p)
+		}
 	}
+
 	nLines := len(cfg.Sources)
 	if nLines == 0 {
 		nLines = 1
 	}
-	ic, err := intc.New(nLines)
-	if err != nil {
-		return nil, err
+	if s.ic == nil || s.ic.Lines() != nLines {
+		ic, err := intc.New(nLines)
+		if err != nil {
+			return err
+		}
+		s.ic = ic
+	} else {
+		s.ic.Reset()
 	}
-	s.ic = ic
+
+	// Hypervisor execution state, before arming any events.
+	s.hvBusy = false
+	s.pendingSwitch = false
+	s.grant = nil
+	s.grantBuf = grantState{}
+	s.exec = execState{}
+	s.oracle = nil
+	s.actDone = doneNone
+	s.actLabel = ""
+	s.pendSrcIdx = -1
+	if s.actFire == nil {
+		s.actFire = s.activityFire
+		s.slotBoundaryFn = s.slotBoundary
+		s.dispatchFn = s.dispatch
+	}
+
+	// Sources: reuse structs (and their prebuilt arrive callbacks and
+	// label strings when name and sharedness are unchanged).
+	if len(s.srcs) > len(cfg.Sources) {
+		for i := len(cfg.Sources); i < len(s.srcs); i++ {
+			s.srcs[i] = nil
+		}
+		s.srcs = s.srcs[:len(cfg.Sources)]
+	}
 	for i, sc := range cfg.Sources {
-		subs := append([]int(nil), sc.Subscribers...)
+		var src *Source
+		if i < len(s.srcs) {
+			src = s.srcs[i]
+		} else {
+			src = &Source{Index: i}
+			src.arrive = func() { s.irqArrive(src) }
+			s.srcs = append(s.srcs, src)
+		}
+		subs := append(src.Subscribers[:0], sc.Subscribers...)
 		if len(subs) == 0 {
-			subs = []int{sc.Subscriber}
+			subs = append(subs, sc.Subscriber)
 		}
-		src := &Source{
-			Index:        i,
-			Name:         sc.Name,
-			Line:         intc.Line(i),
-			Subscribers:  subs,
-			CTH:          sc.CTH,
-			CBH:          sc.CBH,
-			Monitor:      sc.Monitor,
-			arrivals:     sc.Arrivals,
-			learnEvents:  sc.LearnEvents,
-			learnBound:   sc.LearnBound,
-			signalsGuest: sc.SignalsGuest,
-			guestTask:    sc.GuestTask,
-			actualBH:     sc.ActualBH,
-			irqLabel:     "irq:" + sc.Name,
-			topLabel:     "top:" + sc.Name,
-			bhLabel:      "bh:" + sc.Name,
+		src.Subscribers = subs
+		shared := len(subs) > 1
+		if src.Name != sc.Name || src.sharedTop != shared || src.irqLabel == "" {
+			src.irqLabel = "irq:" + sc.Name
+			src.bhLabel = "bh:" + sc.Name
+			if shared {
+				src.topLabel = "top-shared:" + sc.Name
+			} else {
+				src.topLabel = "top:" + sc.Name
+			}
+			src.sharedTop = shared
 		}
-		if len(subs) > 1 {
-			src.topLabel = "top-shared:" + sc.Name
-		}
-		src.arrive = func() { s.irqArrive(src) }
-		s.srcs = append(s.srcs, src)
+		src.Name = sc.Name
+		src.Line = intc.Line(i)
+		src.CTH = sc.CTH
+		src.CBH = sc.CBH
+		src.Monitor = sc.Monitor
+		src.arrivals = sc.Arrivals
+		src.actualBH = sc.ActualBH
+		src.next = 0
+		src.learnEvents = sc.LearnEvents
+		src.learnBound = sc.LearnBound
+		src.signalsGuest = sc.SignalsGuest
+		src.guestTask = sc.GuestTask
+		src.latchedAt = 0
+		src.seq = 0
+		src.armed = false
+		src.Raised = 0
+		src.Lost = 0
 		s.scheduleArrival(src)
 	}
-	s.windows = cfg.schedule()
+
+	// Effective window schedule. An explicit cfg.Windows is referenced
+	// as-is (read-only); the default rotation is rebuilt into an owned
+	// buffer so Reinit never writes into a caller's slice.
+	if len(cfg.Windows) > 0 {
+		s.windows = cfg.Windows
+	} else {
+		if cap(s.winBuf) < len(cfg.Slots) {
+			s.winBuf = make([]WindowConfig, 0, len(cfg.Slots))
+		}
+		s.winBuf = s.winBuf[:0]
+		for i, sl := range cfg.Slots {
+			s.winBuf = append(s.winBuf, WindowConfig{Partition: i, Length: sl.Length})
+		}
+		s.windows = s.winBuf
+	}
 	// Report each partition's per-cycle supply as its SlotLen.
 	for i := range s.parts {
 		s.parts[i].SlotLen = 0
@@ -165,18 +305,17 @@ func New(cfg Config) (*System, error) {
 	for _, w := range s.windows {
 		s.parts[w.Partition].SlotLen += w.Length
 	}
-	s.actFire = s.activityFire
-	for _, p := range s.parts {
-		p.bhDone = s.bhDoneFor(p)
-	}
 	s.winIdx = 0
 	s.active = s.windows[0].Partition
 	s.slotEnd = simtime.Time(s.windows[0].Length)
-	s.sim.At(s.slotEnd, "slot-boundary", s.slotBoundary)
+	s.sim.At(s.slotEnd, "slot-boundary", s.slotBoundaryFn)
 	// Boot: hand the CPU to the first partition at time zero (after
 	// any arrivals scheduled exactly at zero).
-	s.sim.At(0, "boot", s.dispatch)
-	return s, nil
+	s.sim.At(0, "boot", s.dispatchFn)
+	// Snapshot support: the system saves/restores its state alongside
+	// the event queue (see snapshot.go).
+	s.sim.RegisterState(s)
+	return nil
 }
 
 // Sim exposes the simulator clock for callers that interleave their own
@@ -207,11 +346,44 @@ func (s *System) ActivePartition() int { return s.active }
 // scheduleArrival arms the next hardware IRQ of src.
 func (s *System) scheduleArrival(src *Source) {
 	if src.next >= len(src.arrivals) {
+		src.armed = false
 		return
 	}
 	t := src.arrivals[src.next]
 	src.next++
+	src.armed = true
 	s.sim.At(t, src.irqLabel, src.arrive)
+}
+
+// ExtendArrivals appends further hardware-IRQ times to source idx and
+// re-arms its (possibly exhausted) arrival chain — the fork primitive
+// of warm-prefix campaigns: restore a snapshot, extend each source's
+// stream with a per-cell suffix, and run to completion. Times must be
+// sorted, not before the source's last configured arrival, and not
+// before the current simulated time.
+func (s *System) ExtendArrivals(idx int, times []simtime.Time) error {
+	if idx < 0 || idx >= len(s.srcs) {
+		return fmt.Errorf("hv: ExtendArrivals: no source %d", idx)
+	}
+	if len(times) == 0 {
+		return nil
+	}
+	src := s.srcs[idx]
+	prev := s.sim.Now()
+	if n := len(src.arrivals); n > 0 && src.arrivals[n-1] > prev {
+		prev = src.arrivals[n-1]
+	}
+	for i, t := range times {
+		if t < prev {
+			return fmt.Errorf("hv: ExtendArrivals: time %v at index %d precedes %v", t, i, prev)
+		}
+		prev = t
+	}
+	src.arrivals = append(src.arrivals, times...)
+	if !src.armed {
+		s.scheduleArrival(src)
+	}
+	return nil
 }
 
 // irqArrive models the hardware interrupt line going high.
@@ -253,23 +425,26 @@ func (s *System) doSlotSwitch() {
 	if s.grant != nil {
 		s.abortGrant()
 	}
-	next := (s.winIdx + 1) % len(s.windows)
-	boundary := s.slotEnd
-	s.hvActivity(s.costs.CtxSwitch, schedtrace.CtxSwitch, -1, "tdma-switch", func(span simtime.Duration) {
-		s.stats.CtxTime += span
-		s.stats.TDMASwitches++
-		s.stats.CtxSwitches++
-		s.winIdx = next
-		s.active = s.windows[next].Partition
-		s.slotEnd = boundary.Add(s.windows[next].Length)
-		at := s.slotEnd
-		if at < s.sim.Now() {
-			// Pathological configuration (slot shorter than the
-			// switch overhead); fire as soon as possible.
-			at = s.sim.Now()
-		}
-		s.sim.At(at, "slot-boundary", s.slotBoundary)
-	})
+	s.pendNext = (s.winIdx + 1) % len(s.windows)
+	s.pendBoundary = s.slotEnd
+	s.hvActivity(s.costs.CtxSwitch, schedtrace.CtxSwitch, -1, "tdma-switch", doneSlotSwitch)
+}
+
+// finishSlotSwitch completes the TDMA switch armed by doSlotSwitch.
+func (s *System) finishSlotSwitch(span simtime.Duration) {
+	s.stats.CtxTime += span
+	s.stats.TDMASwitches++
+	s.stats.CtxSwitches++
+	s.winIdx = s.pendNext
+	s.active = s.windows[s.pendNext].Partition
+	s.slotEnd = s.pendBoundary.Add(s.windows[s.pendNext].Length)
+	at := s.slotEnd
+	if at < s.sim.Now() {
+		// Pathological configuration (slot shorter than the
+		// switch overhead); fire as soon as possible.
+		at = s.sim.Now()
+	}
+	s.sim.At(at, "slot-boundary", s.slotBoundaryFn)
 }
 
 // abortGrant resolves an in-flight interposed grant at a slot boundary
@@ -317,9 +492,11 @@ func (s *System) traceSpan(kind schedtrace.Kind, part, src int, start simtime.Ti
 }
 
 // hvActivity runs a non-preemptible hypervisor activity of length d with
-// interrupts masked, then calls done(span) and re-dispatches. Arrivals
-// during the activity latch at the controller.
-func (s *System) hvActivity(d simtime.Duration, kind schedtrace.Kind, srcIdx int, label string, done func(span simtime.Duration)) {
+// interrupts masked, then runs the done completion and re-dispatches.
+// Arrivals during the activity latch at the controller. The completion's
+// parameters travel in the pend* fields, set by the caller before this
+// call — safe because at most one activity is ever in flight.
+func (s *System) hvActivity(d simtime.Duration, kind schedtrace.Kind, srcIdx int, label string, done actDoneKind) {
 	if s.hvBusy {
 		panic("hv: nested hypervisor activity")
 	}
@@ -338,15 +515,30 @@ func (s *System) hvActivity(d simtime.Duration, kind schedtrace.Kind, srcIdx int
 }
 
 // activityFire completes the in-flight hypervisor activity. It reads the
-// act* fields before handing control onward, since done/dispatch may
-// start the next activity and overwrite them.
+// act* fields before handing control onward, since the completion and
+// dispatch may start the next activity and overwrite them.
 func (s *System) activityFire() {
 	s.hvBusy = false
 	s.ic.UnmaskAll()
 	s.traceSpan(s.actKind, -1, s.actSrc, s.actStart, s.actLabel)
 	done, d := s.actDone, s.actDur
-	s.actDone = nil
-	done(d)
+	s.actDone = doneNone
+	switch done {
+	case doneSlotSwitch:
+		s.finishSlotSwitch(d)
+	case doneTopHandler:
+		s.finishTopHandler(d)
+	case doneSharedTop:
+		s.finishSharedTopHandler(d)
+	case doneGrantSched:
+		s.finishGrantSched(d)
+	case doneGrantCtxIn:
+		s.finishGrantCtxIn(d)
+	case doneGrantCtxOut:
+		s.finishGrantCtxOut(d)
+	default:
+		panic("hv: activity completion without a pending activity")
+	}
 	s.dispatch()
 }
 
@@ -380,7 +572,8 @@ func (s *System) preempt() {
 				s.noteInterference(s.active, span)
 			}
 		}
-		s.traceSpan(kind, p.Index, p.queue[0].src.Index, s.exec.start, p.queue[0].src.bhLabel)
+		head := p.queue.front()
+		s.traceSpan(kind, p.Index, head.src.Index, s.exec.start, head.src.bhLabel)
 	}
 	s.exec.running = false
 	s.exec.done = nil
@@ -490,22 +683,33 @@ func (s *System) startTopHandler(line intc.Line) {
 		decision = tracerec.Direct
 	}
 
-	s.hvActivity(dur, schedtrace.TopHandler, src.Index, src.topLabel, func(span simtime.Duration) {
-		s.stats.TopTime += span
-		s.parts[s.active].StolenTop += span
-		sub := s.parts[subscriber]
-		sub.queue = append(sub.queue, pendingIRQ{
-			src:      src,
-			arrival:  arrival,
-			seq:      src.seq,
-			decision: decision,
-		})
-		if interpose {
-			s.grant = &grantState{target: subscriber, trigSrc: src.Index, trigSeq: src.seq, trigAt: arrival}
-			s.stats.InterposedGrants++
-		}
-		src.seq++
+	s.pendSrcIdx = src.Index
+	s.pendArrival = arrival
+	s.pendSub = subscriber
+	s.pendDecision = decision
+	s.pendInterpose = interpose
+	s.hvActivity(dur, schedtrace.TopHandler, src.Index, src.topLabel, doneTopHandler)
+}
+
+// finishTopHandler completes the top handler armed by startTopHandler:
+// the delivery is queued at the subscriber and, when admitted, an
+// interposed grant is opened.
+func (s *System) finishTopHandler(span simtime.Duration) {
+	src := s.srcs[s.pendSrcIdx]
+	s.stats.TopTime += span
+	s.parts[s.active].StolenTop += span
+	s.parts[s.pendSub].queue.push(pendingIRQ{
+		src:      src,
+		arrival:  s.pendArrival,
+		seq:      src.seq,
+		decision: s.pendDecision,
 	})
+	if s.pendInterpose {
+		s.grantBuf = grantState{target: s.pendSub, trigSrc: src.Index, trigSeq: src.seq, trigAt: s.pendArrival}
+		s.grant = &s.grantBuf
+		s.stats.InterposedGrants++
+	}
+	src.seq++
 }
 
 // startSharedTopHandler services a shared IRQ: the top handler pushes an
@@ -516,72 +720,92 @@ func (s *System) startSharedTopHandler(src *Source, arrival simtime.Time) {
 	effActive, _ := s.effSlot()
 	// One queue push per subscriber on top of C_TH.
 	dur := src.CTH + simtime.Duration(len(src.Subscribers))*s.costs.QueuePush
-	s.hvActivity(dur, schedtrace.TopHandler, src.Index, src.topLabel, func(span simtime.Duration) {
-		s.stats.TopTime += span
-		s.parts[s.active].StolenTop += span
-		for _, subIdx := range src.Subscribers {
-			decision := tracerec.Delayed
-			if subIdx == effActive {
-				decision = tracerec.Direct
-			}
-			sub := s.parts[subIdx]
-			sub.queue = append(sub.queue, pendingIRQ{
-				src:      src,
-				arrival:  arrival,
-				seq:      src.seq,
-				decision: decision,
-			})
-			src.seq++
+	s.pendSrcIdx = src.Index
+	s.pendArrival = arrival
+	s.pendEffActive = effActive
+	s.hvActivity(dur, schedtrace.TopHandler, src.Index, src.topLabel, doneSharedTop)
+}
+
+// finishSharedTopHandler completes a shared top handler: one queued
+// delivery per subscriber.
+func (s *System) finishSharedTopHandler(span simtime.Duration) {
+	src := s.srcs[s.pendSrcIdx]
+	s.stats.TopTime += span
+	s.parts[s.active].StolenTop += span
+	for _, subIdx := range src.Subscribers {
+		decision := tracerec.Delayed
+		if subIdx == s.pendEffActive {
+			decision = tracerec.Direct
 		}
-	})
+		s.parts[subIdx].queue.push(pendingIRQ{
+			src:      src,
+			arrival:  s.pendArrival,
+			seq:      src.seq,
+			decision: decision,
+		})
+		src.seq++
+	}
 }
 
 // advanceGrant drives an interposed grant through its phases.
 func (s *System) advanceGrant() {
 	g := s.grant
-	victim := s.active
-	steal := func(span simtime.Duration) {
-		if s.active != g.target {
-			s.noteInterference(victim, span)
-		}
-	}
 	switch g.phase {
 	case 0: // scheduler manipulation, C_sched
 		g.phase = 1
-		s.hvActivity(s.costs.Sched, schedtrace.SchedOverhead, -1, "grant-sched", func(span simtime.Duration) {
-			s.stats.SchedTime += span
-			steal(span)
-		})
+		s.pendVictim = s.active
+		s.hvActivity(s.costs.Sched, schedtrace.SchedOverhead, -1, "grant-sched", doneGrantSched)
 	case 1: // context switch into the subscriber partition
 		g.phase = 2
-		s.hvActivity(s.costs.CtxSwitch, schedtrace.CtxSwitch, -1, "grant-ctx-in", func(span simtime.Duration) {
-			s.stats.CtxTime += span
-			s.stats.CtxSwitches++
-			steal(span)
-		})
+		s.pendVictim = s.active
+		s.hvActivity(s.costs.CtxSwitch, schedtrace.CtxSwitch, -1, "grant-ctx-in", doneGrantCtxIn)
 	case 2: // execute the subscriber's queue head (FIFO order, §5)
 		sub := s.parts[g.target]
-		if len(sub.queue) == 0 {
+		if sub.queue.len() == 0 {
 			panic("hv: interposed grant with empty queue")
 		}
 		s.startBH(sub, execGrantBH)
 	case 3: // context switch back
 		g.phase = 4
-		s.hvActivity(s.costs.CtxSwitch, schedtrace.CtxSwitch, -1, "grant-ctx-out", func(span simtime.Duration) {
-			s.stats.CtxTime += span
-			s.stats.CtxSwitches++
-			steal(span)
-			s.grant = nil
-		})
+		s.pendVictim = s.active
+		s.hvActivity(s.costs.CtxSwitch, schedtrace.CtxSwitch, -1, "grant-ctx-out", doneGrantCtxOut)
 	default:
 		panic(fmt.Sprintf("hv: grant in impossible phase %d", g.phase))
 	}
 }
 
+// grantSteal accounts a grant-phase overhead as interference on the
+// victim recorded at phase start. The grant cannot change between the
+// hvActivity call and its completion (activities mask IRQs and defer
+// slot boundaries), so s.grant is the phase's own grant here.
+func (s *System) grantSteal(span simtime.Duration) {
+	if s.active != s.grant.target {
+		s.noteInterference(s.pendVictim, span)
+	}
+}
+
+func (s *System) finishGrantSched(span simtime.Duration) {
+	s.stats.SchedTime += span
+	s.grantSteal(span)
+}
+
+func (s *System) finishGrantCtxIn(span simtime.Duration) {
+	s.stats.CtxTime += span
+	s.stats.CtxSwitches++
+	s.grantSteal(span)
+}
+
+func (s *System) finishGrantCtxOut(span simtime.Duration) {
+	s.stats.CtxTime += span
+	s.stats.CtxSwitches++
+	s.grantSteal(span)
+	s.grant = nil
+}
+
 // runPartition executes in the context of partition p: first drain the
 // interrupt queue (bottom handlers, Fig. 2 step 6), then guest work.
 func (s *System) runPartition(p *Partition) {
-	if len(p.queue) > 0 {
+	if p.queue.len() > 0 {
 		s.startBH(p, execBH)
 		return
 	}
@@ -592,9 +816,10 @@ func (s *System) runPartition(p *Partition) {
 // context the execution is additionally limited by the grant's C_BH
 // budget (§5: the hypervisor switches back after at most C_BHi).
 func (s *System) startBH(p *Partition, kind execKind) {
+	head := p.queue.front()
 	if !p.headStarted {
 		p.headStarted = true
-		p.headLeft = s.costs.QueuePop + p.queue[0].src.actual(p.queue[0].seq)
+		p.headLeft = s.costs.QueuePop + head.src.actual(head.seq)
 	}
 	if p.headLeft <= 0 {
 		s.finishBH(p, kind)
@@ -604,7 +829,7 @@ func (s *System) startBH(p *Partition, kind execKind) {
 	if kind == execGrantBH {
 		g := s.grant
 		if !g.budgetSet {
-			g.budget = s.costs.QueuePop + p.queue[0].src.CBH
+			g.budget = s.costs.QueuePop + head.src.CBH
 			g.budgetSet = true
 		}
 		if g.budget <= 0 {
@@ -614,7 +839,7 @@ func (s *System) startBH(p *Partition, kind execKind) {
 		dur = simtime.Min(dur, g.budget)
 	}
 	s.exec = execState{running: true, kind: kind, part: p, start: s.sim.Now()}
-	s.exec.done = s.sim.After(dur, p.queue[0].src.bhLabel, p.bhDone)
+	s.exec.done = s.sim.After(dur, head.src.bhLabel, p.bhDone)
 }
 
 // bhDoneFor builds p's bottom-handler completion callback once; startBH
@@ -634,7 +859,8 @@ func (s *System) bhDoneFor(p *Partition) func() {
 				s.noteInterference(s.active, span)
 			}
 		}
-		s.traceSpan(tkind, p.Index, p.queue[0].src.Index, s.exec.start, p.queue[0].src.bhLabel)
+		head := p.queue.front()
+		s.traceSpan(tkind, p.Index, head.src.Index, s.exec.start, head.src.bhLabel)
 		k := s.exec.kind
 		s.exec.running = false
 		s.exec.done = nil
@@ -661,8 +887,7 @@ func (s *System) cutGrantBudget(p *Partition) {
 
 // finishBH completes p's queue head: pop, record latency, classify.
 func (s *System) finishBH(p *Partition, kind execKind) {
-	rec := p.queue[0]
-	p.queue = p.queue[1:]
+	rec := p.queue.pop()
 	p.headStarted = false
 	p.headLeft = 0
 	mode := rec.decision
@@ -759,7 +984,7 @@ func (s *System) FlushAccounting() {
 func (s *System) CheckInvariants() error {
 	var queued int
 	for _, p := range s.parts {
-		queued += len(p.queue)
+		queued += p.queue.len()
 	}
 	recorded := uint64(s.log.Len()) //nolint:gosec // count is small
 	expected := s.expectedRecords()

@@ -295,7 +295,7 @@ type Partition struct {
 	SlotLen simtime.Duration
 	Guest   *guestos.OS
 
-	queue       []pendingIRQ
+	queue       irqRing
 	headStarted bool             // head bottom handler partially executed
 	headLeft    simtime.Duration // remaining time of the head BH
 	bhDone      func()           // prebuilt completion callback (see bhDoneFor)
@@ -316,7 +316,7 @@ type Partition struct {
 }
 
 // QueueLen returns the number of pending bottom-handler activations.
-func (p *Partition) QueueLen() int { return len(p.queue) }
+func (p *Partition) QueueLen() int { return p.queue.len() }
 
 // pendingIRQ is one entry in a partition's interrupt queue.
 type pendingIRQ struct {
@@ -324,6 +324,89 @@ type pendingIRQ struct {
 	arrival  simtime.Time
 	seq      uint64
 	decision tracerec.Mode
+}
+
+// irqRing is a growable FIFO ring buffer of pending IRQ deliveries.
+// Partition queues used to be plain slices advanced by re-slicing
+// (queue = queue[1:]), which abandons the consumed prefix so the next
+// append reallocates — roughly one allocation per delivered IRQ. The
+// ring reuses its buffer indefinitely; steady-state queue traffic
+// allocates nothing.
+type irqRing struct {
+	buf  []pendingIRQ
+	head int
+	n    int
+}
+
+func (r *irqRing) len() int { return r.n }
+
+func (r *irqRing) push(p pendingIRQ) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *irqRing) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]pendingIRQ, newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *irqRing) front() *pendingIRQ {
+	if r.n == 0 {
+		panic("hv: empty interrupt queue")
+	}
+	return &r.buf[r.head]
+}
+
+func (r *irqRing) pop() pendingIRQ {
+	if r.n == 0 {
+		panic("hv: pop from empty interrupt queue")
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = pendingIRQ{} // drop the Source reference
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+	return p
+}
+
+// reset empties the ring, keeping its buffer.
+func (r *irqRing) reset() {
+	for i := range r.buf {
+		r.buf[i] = pendingIRQ{}
+	}
+	r.head, r.n = 0, 0
+}
+
+// save copies the queued deliveries out in FIFO order (snapshots).
+func (r *irqRing) save() []pendingIRQ {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]pendingIRQ, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// load replaces the ring contents with ps (FIFO order).
+func (r *irqRing) load(ps []pendingIRQ) {
+	r.reset()
+	for _, p := range ps {
+		r.push(p)
+	}
 }
 
 // Source is the runtime state of one IRQ source.
@@ -348,15 +431,19 @@ type Source struct {
 
 	latchedAt simtime.Time // arrival time of the currently latched IRQ
 	seq       uint64
+	// armed tracks whether an arrival event is currently scheduled for
+	// this source; ExtendArrivals re-arms an exhausted chain.
+	armed bool
 
 	// Hot-path caches: the event labels are built once instead of
 	// concatenated per delivery, and arrive is the one arrival callback
 	// shared by every scheduled arrival of this source (scheduling a
 	// fresh closure per IRQ was a measurable allocation cost).
-	irqLabel string // "irq:" + Name
-	topLabel string // "top:" + Name (or "top-shared:")
-	bhLabel  string // "bh:" + Name
-	arrive   func()
+	irqLabel  string // "irq:" + Name
+	topLabel  string // "top:" + Name (or "top-shared:")
+	bhLabel   string // "bh:" + Name
+	sharedTop bool   // labels built for the shared-top variant
+	arrive    func()
 
 	// Stats.
 	Raised uint64

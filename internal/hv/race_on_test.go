@@ -1,0 +1,8 @@
+//go:build race
+
+package hv
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so AllocsPerRun budgets only hold without
+// it (the non-race tier-1 pass runs them; see scripts/check.sh).
+const raceEnabled = true

@@ -1,0 +1,286 @@
+// Snapshot/restore of a running system: the hypervisor's side of the
+// warm-prefix fork primitive (see internal/des/snapshot.go for the
+// event-queue side and DESIGN.md §11 for the contract).
+//
+// The system registers itself as a des.StateSaver at Reinit, so a
+// single Simulator.Snapshot/Restore round-trips the entire simulation:
+// clock and event queue (des), hypervisor scheduling and accounting
+// state (here), per-partition interrupt rings and guest OS state,
+// per-source delivery state and monitor state, the interrupt
+// controller, the latency log (append-only, so restore is truncation)
+// and the oracle's steal records.
+//
+// Not captured: schedtrace recordings — a Tracer's span log cannot be
+// rewound, so System.Snapshot refuses traced systems.
+package hv
+
+import (
+	"errors"
+
+	"repro/internal/des"
+	"repro/internal/guestos"
+	"repro/internal/intc"
+	"repro/internal/monitor"
+	"repro/internal/schedtrace"
+	"repro/internal/simtime"
+	"repro/internal/tracerec"
+)
+
+// Snapshot captures the complete mutable state of the system and its
+// simulator for later Restore. It must be taken outside RunUntil (i.e.
+// between Run/RunToCompletion calls). Traced systems cannot be
+// snapshotted: trace recordings are append-only.
+func (s *System) Snapshot() (*des.Snapshot, error) {
+	if s.cfg.Tracer != nil {
+		return nil, errors.New("hv: cannot snapshot a traced system (trace recordings cannot be rewound)")
+	}
+	return s.sim.Snapshot(), nil
+}
+
+// Restore rewinds the system and its simulator to a snapshot taken
+// from this very system. Continuing the run afterwards is byte-
+// identical to continuing from the snapshot point the first time.
+func (s *System) Restore(sn *des.Snapshot) {
+	s.sim.Restore(sn)
+}
+
+// partState is the snapshot of one partition's mutable state.
+type partState struct {
+	queue            []pendingIRQ
+	headStarted      bool
+	headLeft         simtime.Duration
+	guestTime        simtime.Duration
+	bhTime           simtime.Duration
+	stolenInterposed simtime.Duration
+	stolenTop        simtime.Duration
+	interposedHits   uint64
+	guest            *guestos.State // nil when the partition has no guest
+}
+
+// srcState is the snapshot of one source's mutable state.
+type srcState struct {
+	arrivals  []simtime.Time // slice header: ExtendArrivals may have grown it
+	next      int
+	latchedAt simtime.Time
+	seq       uint64
+	armed     bool
+	raised    uint64
+	lost      uint64
+	monitor   *monitor.State // nil when unmonitored
+}
+
+// systemState is the System's des.StateSaver payload.
+type systemState struct {
+	stats Stats
+
+	winIdx        int
+	active        int
+	slotEnd       simtime.Time
+	pendingSwitch bool
+
+	hvBusy      bool
+	grantActive bool
+	grant       grantState
+
+	execRunning bool
+	execKind    execKind
+	execPart    int // -1 when no span is open
+	execStart   simtime.Time
+	execHasDone bool
+	execDoneTok uint64
+
+	actStart simtime.Time
+	actDur   simtime.Duration
+	actKind  schedtrace.Kind
+	actSrc   int
+	actLabel string
+	actDone  actDoneKind
+
+	pendNext      int
+	pendBoundary  simtime.Time
+	pendSrcIdx    int
+	pendArrival   simtime.Time
+	pendSub       int
+	pendDecision  tracerec.Mode
+	pendInterpose bool
+	pendEffActive int
+	pendVictim    int
+
+	logLen int // latency log length; restore truncates back to it
+
+	parts []partState
+	srcs  []srcState
+	ic    intc.State
+
+	oracleArmed  bool
+	oracleSteals [][]stealRec
+}
+
+// SaveState implements des.StateSaver: a deep copy of everything the
+// engine mutates during a run. The one retained event handle — the
+// bottom-handler completion event — is translated to a token.
+func (s *System) SaveState(sn *des.Snapshot) any {
+	st := &systemState{
+		stats:         s.stats,
+		winIdx:        s.winIdx,
+		active:        s.active,
+		slotEnd:       s.slotEnd,
+		pendingSwitch: s.pendingSwitch,
+		hvBusy:        s.hvBusy,
+		grantActive:   s.grant != nil,
+		execRunning:   s.exec.running,
+		execKind:      s.exec.kind,
+		execPart:      -1,
+		execStart:     s.exec.start,
+		actStart:      s.actStart,
+		actDur:        s.actDur,
+		actKind:       s.actKind,
+		actSrc:        s.actSrc,
+		actLabel:      s.actLabel,
+		actDone:       s.actDone,
+		pendNext:      s.pendNext,
+		pendBoundary:  s.pendBoundary,
+		pendSrcIdx:    s.pendSrcIdx,
+		pendArrival:   s.pendArrival,
+		pendSub:       s.pendSub,
+		pendDecision:  s.pendDecision,
+		pendInterpose: s.pendInterpose,
+		pendEffActive: s.pendEffActive,
+		pendVictim:    s.pendVictim,
+		logLen:        s.log.Len(),
+		ic:            s.ic.SaveState(),
+	}
+	if s.grant != nil {
+		st.grant = *s.grant
+	}
+	if s.exec.part != nil {
+		st.execPart = s.exec.part.Index
+	}
+	if s.exec.done != nil {
+		tok, ok := sn.Token(s.exec.done)
+		if !ok {
+			panic("hv: snapshot: completion event not in the queue")
+		}
+		st.execHasDone = true
+		st.execDoneTok = tok
+	}
+	st.parts = make([]partState, len(s.parts))
+	for i, p := range s.parts {
+		ps := partState{
+			queue:            p.queue.save(),
+			headStarted:      p.headStarted,
+			headLeft:         p.headLeft,
+			guestTime:        p.GuestTime,
+			bhTime:           p.BHTime,
+			stolenInterposed: p.StolenInterposed,
+			stolenTop:        p.StolenTop,
+			interposedHits:   p.InterposedHits,
+		}
+		if p.Guest != nil {
+			ps.guest = p.Guest.SaveState()
+		}
+		st.parts[i] = ps
+	}
+	st.srcs = make([]srcState, len(s.srcs))
+	for i, src := range s.srcs {
+		ss := srcState{
+			arrivals:  src.arrivals,
+			next:      src.next,
+			latchedAt: src.latchedAt,
+			seq:       src.seq,
+			armed:     src.armed,
+			raised:    src.Raised,
+			lost:      src.Lost,
+		}
+		if src.Monitor != nil {
+			ss.monitor = src.Monitor.SaveState()
+		}
+		st.srcs[i] = ss
+	}
+	if s.oracle != nil {
+		st.oracleArmed = true
+		st.oracleSteals = make([][]stealRec, len(s.oracle.steals))
+		for i, recs := range s.oracle.steals {
+			st.oracleSteals[i] = append([]stealRec(nil), recs...)
+		}
+	}
+	return st
+}
+
+// RestoreState implements des.StateSaver.
+func (s *System) RestoreState(rs *des.Restorer, state any) {
+	st := state.(*systemState)
+	s.stats = st.stats
+	s.winIdx = st.winIdx
+	s.active = st.active
+	s.slotEnd = st.slotEnd
+	s.pendingSwitch = st.pendingSwitch
+	s.hvBusy = st.hvBusy
+	if st.grantActive {
+		s.grantBuf = st.grant
+		s.grant = &s.grantBuf
+	} else {
+		s.grant = nil
+	}
+	s.exec = execState{running: st.execRunning, kind: st.execKind, start: st.execStart}
+	if st.execPart >= 0 {
+		s.exec.part = s.parts[st.execPart]
+	}
+	if st.execHasDone {
+		s.exec.done = rs.Event(st.execDoneTok)
+	}
+	s.actStart = st.actStart
+	s.actDur = st.actDur
+	s.actKind = st.actKind
+	s.actSrc = st.actSrc
+	s.actLabel = st.actLabel
+	s.actDone = st.actDone
+	s.pendNext = st.pendNext
+	s.pendBoundary = st.pendBoundary
+	s.pendSrcIdx = st.pendSrcIdx
+	s.pendArrival = st.pendArrival
+	s.pendSub = st.pendSub
+	s.pendDecision = st.pendDecision
+	s.pendInterpose = st.pendInterpose
+	s.pendEffActive = st.pendEffActive
+	s.pendVictim = st.pendVictim
+	s.log.Truncate(st.logLen)
+	for i, ps := range st.parts {
+		p := s.parts[i]
+		p.queue.load(ps.queue)
+		p.headStarted = ps.headStarted
+		p.headLeft = ps.headLeft
+		p.GuestTime = ps.guestTime
+		p.BHTime = ps.bhTime
+		p.StolenInterposed = ps.stolenInterposed
+		p.StolenTop = ps.stolenTop
+		p.InterposedHits = ps.interposedHits
+		if ps.guest != nil {
+			p.Guest.RestoreState(ps.guest)
+		}
+	}
+	for i, ss := range st.srcs {
+		src := s.srcs[i]
+		src.arrivals = ss.arrivals
+		src.next = ss.next
+		src.latchedAt = ss.latchedAt
+		src.seq = ss.seq
+		src.armed = ss.armed
+		src.Raised = ss.raised
+		src.Lost = ss.lost
+		if ss.monitor != nil {
+			src.Monitor.RestoreState(ss.monitor)
+		}
+	}
+	s.ic.RestoreState(st.ic)
+	if st.oracleArmed {
+		if s.oracle == nil {
+			panic("hv: restore carries oracle state but no oracle is installed")
+		}
+		for i, recs := range st.oracleSteals {
+			s.oracle.steals[i] = append(s.oracle.steals[i][:0], recs...)
+		}
+	} else {
+		s.oracle = nil
+	}
+}

@@ -152,3 +152,53 @@ func (c *Controller) TotalLost() uint64 {
 	}
 	return n
 }
+
+// Reset returns the controller to its just-constructed state (all lines
+// enabled, none pending, counters zeroed) without reallocating.
+func (c *Controller) Reset() {
+	for i := range c.pending {
+		c.pending[i] = false
+		c.enabled[i] = true
+		c.raised[i] = 0
+		c.lost[i] = 0
+		c.cleared[i] = 0
+	}
+	c.masked = false
+}
+
+// State is a deep copy of a controller's mutable state, for simulation
+// snapshots.
+type State struct {
+	pending []bool
+	enabled []bool
+	masked  bool
+	raised  []uint64
+	lost    []uint64
+	cleared []uint64
+}
+
+// SaveState captures the controller state.
+func (c *Controller) SaveState() State {
+	return State{
+		pending: append([]bool(nil), c.pending...),
+		enabled: append([]bool(nil), c.enabled...),
+		masked:  c.masked,
+		raised:  append([]uint64(nil), c.raised...),
+		lost:    append([]uint64(nil), c.lost...),
+		cleared: append([]uint64(nil), c.cleared...),
+	}
+}
+
+// RestoreState reinstates a state captured from this controller (the
+// line count must match).
+func (c *Controller) RestoreState(st State) {
+	if len(st.pending) != len(c.pending) {
+		panic(fmt.Sprintf("intc: restore of %d-line state into %d-line controller", len(st.pending), len(c.pending)))
+	}
+	copy(c.pending, st.pending)
+	copy(c.enabled, st.enabled)
+	c.masked = st.masked
+	copy(c.raised, st.raised)
+	copy(c.lost, st.lost)
+	copy(c.cleared, st.cleared)
+}

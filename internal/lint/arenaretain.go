@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// arenaretainScope lists the arena-adopting packages (DESIGN.md §11):
+// everything that runs simulations through engine.SimArena and must
+// therefore treat hypervisor-owned state as borrowed until the next
+// Reset. Packages below the arena seam (hv, core, des, ...) own or
+// copy that state legitimately and are out of scope.
+var arenaretainScope = []string{
+	modulePath + "/internal/engine",
+	modulePath + "/internal/experiments",
+	modulePath + "/internal/sweep",
+	modulePath + "/internal/faults",
+	modulePath + "/internal/serve",
+}
+
+// arenaretain entry points: the core package whose Report aliases the
+// live trace log, and the hv package whose System.Log hands out the
+// arena-owned record slice directly.
+const (
+	arenaCorePkg = modulePath + "/internal/core"
+	arenaHvPkg   = modulePath + "/internal/hv"
+)
+
+// Arenaretain flags expressions in arena-adopting packages that retain
+// pointers into arena-owned memory past the point where the arena may
+// be Reset and reused: core.Report (its Result aliases the live
+// tracerec.Log) and (*hv.System).Log (the record slice is recycled by
+// Reinit). A Result built from either would silently change bytes when
+// the worker's arena is handed the next scenario — exactly the
+// use-after-reset class the zero-alloc engine core makes possible.
+// Arena-adopting code returns results via core.ReportOwned, which
+// deep-copies the records into caller-owned memory.
+var Arenaretain = &analysis.Analyzer{
+	Name: "arenaretain",
+	Doc: "arena-adopting packages (engine, experiments, sweep, faults, serve) must not retain " +
+		"arena-owned memory: use core.ReportOwned instead of core.Report, and do not hold " +
+		"(*hv.System).Log() results across arena reuse",
+	Run: runArenaretain,
+}
+
+func runArenaretain(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !pkgMatches(path, arenaretainScope) && !isFixtureFor(path, "arenaretain") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == arenaCorePkg && sig.Recv() == nil && fn.Name() == "Report":
+				pass.Reportf(call.Pos(),
+					"core.Report aliases the arena-owned trace log; use core.ReportOwned so the "+
+						"Result survives the arena's next Reset")
+			case fn.Pkg().Path() == arenaHvPkg && sig.Recv() != nil && fn.Name() == "Log":
+				pass.Reportf(call.Pos(),
+					"(*hv.System).Log returns arena-owned records that are recycled on Reinit; "+
+						"copy what you need (or use core.ReportOwned) before the arena is reused")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

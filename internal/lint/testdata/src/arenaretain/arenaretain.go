@@ -1,0 +1,30 @@
+// Package arenaretain is the analysistest fixture for the arenaretain
+// analyzer.
+package arenaretain
+
+import (
+	"repro/internal/core"
+	"repro/internal/hv"
+	"repro/internal/tracerec"
+)
+
+// ReportOwned deep-copies the trace records into caller-owned memory,
+// so it is the sanctioned way to carry a Result out of an arena.
+func owned(sys *hv.System) *core.Result {
+	return core.ReportOwned(sys)
+}
+
+func aliased(sys *hv.System) *core.Result {
+	return core.Report(sys) // want `use core\.ReportOwned`
+}
+
+func retained(sys *hv.System) []tracerec.Record {
+	return sys.Log().Records // want `arena-owned records`
+}
+
+// A read that provably completes before the arena's next Reset carries
+// an allow directive with its justification.
+func inspected(sys *hv.System) int {
+	//reprolint:allow arenaretain aggregate read finishes before the worker reuses the arena
+	return sys.Log().Len()
+}

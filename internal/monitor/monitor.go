@@ -248,6 +248,43 @@ func (m *Monitor) Learned() []simtime.Duration {
 	return append([]simtime.Duration(nil), m.learned...)
 }
 
+// State is a deep copy of a monitor's mutable state, for simulation
+// snapshots.
+type State struct {
+	// cond is stored by reference: run-mode conditions are never
+	// mutated in place (FinishLearning installs a fresh slice), so the
+	// snapshot stays valid however the monitor proceeds.
+	cond     []simtime.Duration
+	learned  []simtime.Duration
+	buf      []simtime.Time
+	filled   int
+	learning bool
+	stats    Stats
+}
+
+// SaveState captures the monitor state.
+func (m *Monitor) SaveState() *State {
+	return &State{
+		cond:     m.cond,
+		learned:  append([]simtime.Duration(nil), m.learned...),
+		buf:      append([]simtime.Time(nil), m.buf...),
+		filled:   m.filled,
+		learning: m.learning,
+		stats:    m.stats,
+	}
+}
+
+// RestoreState reinstates a state captured from this monitor, reusing
+// the monitor's own buffers.
+func (m *Monitor) RestoreState(st *State) {
+	m.cond = st.cond
+	copy(m.learned, st.learned)
+	copy(m.buf, st.buf)
+	m.filled = st.filled
+	m.learning = st.learning
+	m.stats = st.stats
+}
+
 // Reset clears the trace buffer and counters but keeps the condition and
 // mode.
 func (m *Monitor) Reset() {

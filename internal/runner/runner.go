@@ -111,8 +111,8 @@ func (e *PanicError) Error() string {
 // panicsRecovered counts recovered worker panics process-wide.
 var panicsRecovered = metrics.Default().Counter("repro_runner_panics_recovered_total")
 
-// call invokes fn(i), converting a panic into a *PanicError.
-func call[T any](fn func(i int) (T, error), i int) (v T, err error) {
+// call invokes fn(local, i), converting a panic into a *PanicError.
+func call[L, T any](fn func(local L, i int) (T, error), local L, i int) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicsRecovered.Inc()
@@ -120,7 +120,7 @@ func call[T any](fn func(i int) (T, error), i int) (v T, err error) {
 			v, err = zero, &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return fn(i)
+	return fn(local, i)
 }
 
 // Map runs fn(0..n-1) across the pool and returns the results in index
@@ -145,6 +145,26 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // in repro_runner_panics_recovered_total, and cancels the rest of the
 // batch.
 func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtxPool(ctx, workers, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// MapCtxPool is MapCtx with per-worker local state: newLocal builds one
+// L per pool goroutine (exactly one on the sequential workers == 1
+// path), and every job a worker claims receives that worker's local.
+// This is the arena seam of the zero-alloc engine core (DESIGN.md §11):
+// a worker's simulation arena is reused across all jobs it claims, with
+// no synchronization, because a local is only ever touched by the
+// goroutine that owns it.
+//
+// Determinism contract: fn's result must not depend on the local's
+// history. Locals may carry reusable *capacity* (buffers, freelists,
+// arenas with a reset-on-entry contract) but never carry *results* or
+// influence control flow, since which jobs share a local depends on
+// scheduling. The byte-identity suite cross-checks this by comparing
+// pooled parallel output against the sequential path.
+func MapCtxPool[L, T any](ctx context.Context, workers, n int, newLocal func() L, fn func(local L, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		if err := ctx.Err(); err != nil {
@@ -157,11 +177,12 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 		workers = n
 	}
 	if workers <= 1 {
+		local := newLocal()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := call(fn, i)
+			v, err := call(fn, local, i)
 			if err != nil {
 				return nil, err
 			}
@@ -183,6 +204,7 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			local := newLocal()
 			for {
 				if batchCtx.Err() != nil {
 					return
@@ -191,7 +213,7 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = call(fn, i)
+				out[i], errs[i] = call(fn, local, i)
 				if errs[i] != nil {
 					var pe *PanicError
 					if errors.As(errs[i], &pe) {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -871,7 +872,7 @@ func execute(ctx context.Context, sp *Spec) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.RunManyCtx(ctx, []core.Scenario{sc}, 1)
+		res, err := engine.RunManyCtx(ctx, []core.Scenario{sc}, 1)
 		if err != nil {
 			return nil, err
 		}

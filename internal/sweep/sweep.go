@@ -7,12 +7,14 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hv"
 	"repro/internal/rng"
 	"repro/internal/runner"
@@ -114,8 +116,8 @@ func (b Baseline) scenario(dmin simtime.Duration, cbh simtime.Duration, slots []
 	return sc, nil
 }
 
-func measure(sc core.Scenario, dmin, cbh simtime.Duration, value float64) (Point, error) {
-	res, err := core.Run(sc)
+func measure(a *engine.SimArena, sc core.Scenario, dmin, cbh simtime.Duration, value float64) (Point, error) {
+	res, err := a.Run(sc)
 	if err != nil {
 		return Point{}, err
 	}
@@ -148,9 +150,10 @@ func measure(sc core.Scenario, dmin, cbh simtime.Duration, value float64) (Point
 // worker pool and assembles them into a Result in grid order. Each point
 // builds its scenario (and regenerates its workload from the baseline
 // seed) inside its own job, so parallel output is byte-identical to the
-// sequential loop.
-func sweepPoints(b Baseline, parameter, unit string, n int, point func(i int) (Point, error)) (*Result, error) {
-	pts, err := runner.Map(b.Workers, n, point)
+// sequential loop; each worker reuses one simulation arena across the
+// points it claims.
+func sweepPoints(b Baseline, parameter, unit string, n int, point func(a *engine.SimArena, i int) (Point, error)) (*Result, error) {
+	pts, err := runner.MapCtxPool(context.Background(), b.Workers, n, engine.NewArena, point)
 	if err != nil {
 		return nil, err
 	}
@@ -161,14 +164,14 @@ func sweepPoints(b Baseline, parameter, unit string, n int, point func(i int) (P
 // IRQs (lower latency, more interference budget consumed); large dmin
 // degrades toward classic delayed handling.
 func DMin(b Baseline, valuesUs []int64) (*Result, error) {
-	return sweepPoints(b, "dmin", "µs", len(valuesUs), func(i int) (Point, error) {
+	return sweepPoints(b, "dmin", "µs", len(valuesUs), func(a *engine.SimArena, i int) (Point, error) {
 		v := valuesUs[i]
 		dmin := simtime.Micros(v)
 		sc, err := b.scenario(dmin, b.CBH, b.Slots, b.Mean)
 		if err != nil {
 			return Point{}, err
 		}
-		pt, err := measure(sc, dmin, b.CBH, float64(v))
+		pt, err := measure(a, sc, dmin, b.CBH, float64(v))
 		if err != nil {
 			return Point{}, fmt.Errorf("sweep: dmin %dµs: %w", v, err)
 		}
@@ -180,7 +183,7 @@ func DMin(b Baseline, valuesUs []int64) (*Result, error) {
 // unchanged): classic handling's latency scales with the cycle, while
 // interposed handling is insensitive to it.
 func SlotLength(b Baseline, valuesUs []int64) (*Result, error) {
-	return sweepPoints(b, "subscriber-slot", "µs", len(valuesUs), func(i int) (Point, error) {
+	return sweepPoints(b, "subscriber-slot", "µs", len(valuesUs), func(a *engine.SimArena, i int) (Point, error) {
 		v := valuesUs[i]
 		slots := append([]simtime.Duration(nil), b.Slots...)
 		slots[0] = simtime.Micros(v)
@@ -188,7 +191,7 @@ func SlotLength(b Baseline, valuesUs []int64) (*Result, error) {
 		if err != nil {
 			return Point{}, err
 		}
-		pt, err := measure(sc, b.DMin, b.CBH, float64(v))
+		pt, err := measure(a, sc, b.DMin, b.CBH, float64(v))
 		if err != nil {
 			return Point{}, fmt.Errorf("sweep: slot %dµs: %w", v, err)
 		}
@@ -206,14 +209,14 @@ func Load(b Baseline, loads []float64) (*Result, error) {
 			return nil, fmt.Errorf("sweep: load %.3f out of (0,1)", u)
 		}
 	}
-	return sweepPoints(b, "U_IRQ", "%", len(loads), func(i int) (Point, error) {
+	return sweepPoints(b, "U_IRQ", "%", len(loads), func(a *engine.SimArena, i int) (Point, error) {
 		u := loads[i]
 		mean := simtime.FromMicrosF(cbhEff.MicrosF() / u)
 		sc, err := b.scenario(mean, b.CBH, b.Slots, mean)
 		if err != nil {
 			return Point{}, err
 		}
-		pt, err := measure(sc, mean, b.CBH, 100*u)
+		pt, err := measure(a, sc, mean, b.CBH, 100*u)
 		if err != nil {
 			return Point{}, fmt.Errorf("sweep: load %.3f: %w", u, err)
 		}
@@ -224,14 +227,14 @@ func Load(b Baseline, loads []float64) (*Result, error) {
 // CBH sweeps the bottom-handler WCET: interference per grant grows with
 // C'_BH while the grant rate (dmin) is held constant.
 func CBH(b Baseline, valuesUs []int64) (*Result, error) {
-	return sweepPoints(b, "C_BH", "µs", len(valuesUs), func(i int) (Point, error) {
+	return sweepPoints(b, "C_BH", "µs", len(valuesUs), func(a *engine.SimArena, i int) (Point, error) {
 		v := valuesUs[i]
 		cbh := simtime.Micros(v)
 		sc, err := b.scenario(b.DMin, cbh, b.Slots, b.Mean)
 		if err != nil {
 			return Point{}, err
 		}
-		pt, err := measure(sc, b.DMin, cbh, float64(v))
+		pt, err := measure(a, sc, b.DMin, cbh, float64(v))
 		if err != nil {
 			return Point{}, fmt.Errorf("sweep: cbh %dµs: %w", v, err)
 		}

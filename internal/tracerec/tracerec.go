@@ -84,6 +84,27 @@ func (l *Log) Add(r Record) { l.Records = append(l.Records, r) }
 // Len returns the number of records.
 func (l *Log) Len() int { return len(l.Records) }
 
+// Reset empties the log for reuse, keeping the backing array when its
+// capacity covers the new expected record count (the arena contract:
+// same-shaped reruns must not reallocate).
+func (l *Log) Reset(capacity int) {
+	if cap(l.Records) < capacity {
+		l.Records = make([]Record, 0, capacity)
+		return
+	}
+	l.Records = l.Records[:0]
+}
+
+// Truncate drops records beyond the first n, keeping capacity — the
+// restore primitive of snapshot/fork: records are append-only, so
+// rewinding a log to a snapshot is exactly a truncation.
+func (l *Log) Truncate(n int) {
+	if n < 0 || n > len(l.Records) {
+		panic(fmt.Sprintf("tracerec: Truncate(%d) outside [0,%d]", n, len(l.Records)))
+	}
+	l.Records = l.Records[:n]
+}
+
 // Durations returns all latencies in record order. The caller owns the
 // returned slice; Summarize sorts exactly such a slice in place instead
 // of building a second intermediate copy.

@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so AllocsPerRun budgets only hold without
+// it (scripts/check.sh runs a dedicated non-race alloc-budget pass).
+const raceEnabled = true

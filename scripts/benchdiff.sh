@@ -1,0 +1,16 @@
+#!/bin/sh
+# Performance regression gate (DESIGN.md §11): regenerate the cmd/bench
+# evidence in quick mode and diff the tracked benchmarks against the
+# best committed BENCH_PR*.json values. Fails on a >10 % regression in
+# ns/op or allocs/op (cmd/benchdiff). Timings are min-of-N, so a single
+# noisy scheduler quantum does not fail the gate; quick mode shrinks
+# only the wall-clock sections, never the gated benchmarks themselves.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -t benchdiff.XXXXXX.json)"
+trap 'rm -f "$tmp"' EXIT
+
+go run ./cmd/bench -quick -o "$tmp"
+go run ./cmd/benchdiff -new "$tmp"

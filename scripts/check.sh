@@ -23,6 +23,10 @@ go build ./...
 go vet ./...
 go run ./cmd/reprolint ./...
 go test -race ./...
+# Zero-alloc engine budgets (DESIGN.md §11): the race detector's
+# instrumentation allocates, so the AllocsPerRun budget tests are
+# skipped under -race and run here in a dedicated non-race pass.
+go test -run 'TestAllocBudget|TestReinitSteadyStateDoesNotAllocate|TestResetRecyclesEventsWithoutAllocating' . ./internal/hv ./internal/des
 go test -bench=. -benchtime=1x -run '^$' .
 go run ./cmd/chaos -smoke -events 80
 sh scripts/crashtest.sh
