@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench check bench-report serve golden chaos-smoke crashtest
+.PHONY: build vet lint test race bench check bench-report serve golden chaos-smoke crashtest campaignsmoke
 
 build:
 	$(GO) build ./...
@@ -26,16 +26,23 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# Regenerate BENCH_PR4.json (timings, allocations, headline metrics,
-# sequential-vs-parallel sweep wall clock, serve-daemon cold/hit/429
-# split, warm-restart recovery latency).
+# Regenerate BENCH_PR7.json (timings, allocations, headline metrics,
+# sequential-vs-parallel sweep wall clock, warm-vs-cold campaign
+# cells/sec, serve-daemon cold/hit/429 split, warm-restart recovery
+# latency).
 bench-report:
-	$(GO) run ./cmd/bench -o BENCH_PR4.json
+	$(GO) run ./cmd/bench -o BENCH_PR7.json
 
 # Kill–restart recovery harness: SIGKILL a real daemon mid-campaign,
 # restart it, assert no acked job lost and no divergent bytes.
 crashtest:
 	sh scripts/crashtest.sh
+
+# Campaign orchestrator smoke: a 1000-cell generator campaign over
+# HTTP (streamed, resubmitted, SIGKILL-resumed) must match the local
+# in-process fold byte for byte.
+campaignsmoke:
+	sh scripts/campaignsmoke.sh
 
 # Run the simulation daemon on :8080 (see README "Server mode").
 serve:

@@ -6,14 +6,16 @@
 // sweep grid (reported honestly: on a single-CPU host the "parallel"
 // run falls back to the inline sequential path and says so), the
 // warm-prefix campaign cost (snapshot fork vs cold replay per cell),
-// and the daemon's cold vs cache-hit request cost plus its admission
-// split under queue saturation. The measurements are written as JSON so
-// they can be committed next to the code that produced them and diffed
-// against earlier PRs' evidence by scripts/benchdiff.sh.
+// the campaign orchestrator's end-to-end cells/sec (warm Runner vs cold
+// reference, byte-verified), and the daemon's cold vs cache-hit request
+// cost plus its admission split under queue saturation. The
+// measurements are written as JSON so they can be committed next to the
+// code that produced them and diffed against earlier PRs' evidence by
+// scripts/benchdiff.sh.
 //
 // Usage:
 //
-//	bench [-o BENCH_PR6.json] [-events N] [-workers N] [-samples N] [-quick]
+//	bench [-o BENCH_PR7.json] [-events N] [-workers N] [-samples N] [-quick]
 package main
 
 import (
@@ -86,12 +88,13 @@ type report struct {
 	Benchmarks map[string]benchEntry `json:"benchmarks"`
 	Sweep      sweepTiming           `json:"sweep_wallclock"`
 	Campaign   campaignTiming        `json:"warm_prefix_campaign"`
+	Orch       orchestratorTiming    `json:"campaign_orchestrator"`
 	Server     serverTiming          `json:"server"`
 	Notes      string                `json:"notes"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR7.json", "output file (- for stdout)")
 	events := flag.Int("events", 1500, "IRQs per sweep point for the wall-clock comparison")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for the parallel wall-clock run")
 	samples := flag.Int("samples", 3, "per-benchmark repetitions; min-of-N is reported")
@@ -138,6 +141,8 @@ func main() {
 	r.Sweep = sweepWallClock(*events, *workers)
 	fmt.Fprintln(os.Stderr, "bench: warm-prefix campaign ...")
 	r.Campaign = campaignBench(*samples)
+	fmt.Fprintln(os.Stderr, "bench: campaign orchestrator ...")
+	r.Orch = orchestratorBench(*samples, *quick)
 	fmt.Fprintln(os.Stderr, "bench: serve daemon ...")
 	r.Server = serverBench(*events)
 

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/campaign"
+	rprt "repro/internal/report"
+)
+
+// orchestratorTiming is the campaign-orchestrator section of the bench
+// report: end-to-end cells/sec through the generator-expansion →
+// execute → encode path, once cold (every cell replays its prefix from
+// cycle zero) and once warm (cells of a prefix group fork from one DES
+// snapshot via campaign.Runner). Warm must be sublinear in the prefix:
+// its per-cell cost is the suffix plus a rewind, independent of
+// prefix length, which is what makes million-cell campaigns viable.
+// Every warm cell document is verified byte-identical to its cold
+// counterpart before any timing is reported.
+type orchestratorTiming struct {
+	Cells         int     `json:"cells"`
+	PrefixEvents  int     `json:"prefix_events"`
+	SuffixEvents  int     `json:"suffix_events"`
+	ColdCellsPerS float64 `json:"cold_cells_per_s"`
+	WarmCellsPerS float64 `json:"warm_cells_per_s"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// orchestratorBench expands a campaign spec and times the two execution
+// paths over the full cell list in expansion order.
+func orchestratorBench(samples int, quick bool) orchestratorTiming {
+	sp := campaign.Spec{
+		Faults:       []string{"babbling-idiot", "stuck-line", "jitter-drift"},
+		Intensities:  campaign.IntensityRange{Min: 0.25, Max: 1.0, Steps: 2},
+		Seeds:        campaign.SeedRange{Base: 1, Count: 2},
+		PrefixEvents: 2000,
+		SuffixEvents: 150,
+	}
+	if quick {
+		sp.PrefixEvents, sp.SuffixEvents = 400, 60
+		sp.Seeds.Count = 1
+	}
+	if err := sp.Normalize(); err != nil {
+		fatal(err)
+	}
+	cells := sp.Expand()
+	ot := orchestratorTiming{
+		Cells:        len(cells),
+		PrefixEvents: sp.PrefixEvents,
+		SuffixEvents: sp.SuffixEvents,
+	}
+
+	runPath := func(run func(campaign.CellSpec) (*campaign.CellResult, error)) ([][]byte, float64) {
+		start := time.Now()
+		bodies := make([][]byte, len(cells))
+		for i, c := range cells {
+			res, err := run(sp.CellSpec(c))
+			if err != nil {
+				fatal(err)
+			}
+			body, err := rprt.EncodeCell(res)
+			if err != nil {
+				fatal(err)
+			}
+			bodies[i] = body
+		}
+		return bodies, float64(len(cells)) / time.Since(start).Seconds()
+	}
+
+	for s := 0; s < samples; s++ {
+		cold, coldRate := runPath(campaign.RunCellCold)
+		r := campaign.NewRunner()
+		warm, warmRate := runPath(r.Run)
+		for i := range cold {
+			if !bytes.Equal(cold[i], warm[i]) {
+				fatal(fmt.Errorf("campaign cell %d: warm document diverges from cold", i))
+			}
+		}
+		if coldRate > ot.ColdCellsPerS {
+			ot.ColdCellsPerS = coldRate
+		}
+		if warmRate > ot.WarmCellsPerS {
+			ot.WarmCellsPerS = warmRate
+		}
+	}
+	if ot.ColdCellsPerS > 0 {
+		ot.Speedup = ot.WarmCellsPerS / ot.ColdCellsPerS
+	}
+	return ot
+}

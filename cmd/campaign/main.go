@@ -1,0 +1,211 @@
+// Command campaign runs a million-cell generator campaign (DESIGN.md
+// §12) and prints its final aggregate document.
+//
+// Without -addr the expansion is folded in-process: the generator spec
+// expands to cells, each cell runs on the warm-prefix path across a
+// local worker pool, and the aggregate goes to stdout. With -addr the
+// spec is submitted to a serve daemon over HTTP; progress chunks are
+// streamed to stderr and the final aggregate — fetched by its content
+// address, so the bytes are exactly the stored document — goes to
+// stdout. Both paths print byte-identical output for the same spec:
+// that equivalence is the orchestrator's core contract, and
+// scripts/campaignsmoke.sh holds the daemon to it.
+//
+// Usage:
+//
+//	campaign [-spec file|-] [-faults a,b] [-intensity-min F] [-intensity-max F]
+//	         [-steps N] [-seed-base N] [-seeds N] [-prefix-seed N]
+//	         [-prefix-events N] [-suffix-events N]
+//	         [-workers N] [-addr http://host:port] [-o file]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/serve/client"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "generator spec JSON file (- for stdin); overrides the inline spec flags")
+	faultsFlag := flag.String("faults", "", "comma-separated fault models (empty = every registered model)")
+	intMin := flag.Float64("intensity-min", 0, "intensity sweep lower bound")
+	intMax := flag.Float64("intensity-max", 0, "intensity sweep upper bound")
+	steps := flag.Int("steps", 0, "intensity sweep steps")
+	seedBase := flag.Uint64("seed-base", 0, "first seed of the per-cell seed sweep")
+	seeds := flag.Int("seeds", 0, "seeds per (fault, intensity) point")
+	prefixSeed := flag.Uint64("prefix-seed", 0, "shared warm-prefix stream seed (0 = default)")
+	prefixEvents := flag.Int("prefix-events", 0, "shared warm-prefix length in events (0 = default)")
+	suffixEvents := flag.Int("suffix-events", 0, "per-cell adversarial suffix length (0 = default)")
+	workers := flag.Int("workers", runner.Default(), "local fold worker pool (ignored with -addr)")
+	addr := flag.String("addr", "", "serve daemon base URL; empty folds the campaign in-process")
+	retries := flag.Int("retries", 0, "retryable-failure budget when polling the daemon (0 = client default; raise to ride long restarts)")
+	out := flag.String("o", "-", "output file for the aggregate document (- for stdout)")
+	flag.Parse()
+
+	sp, err := loadSpec(*specPath, campaign.Spec{
+		Faults:       splitFaults(*faultsFlag),
+		Intensities:  campaign.IntensityRange{Min: *intMin, Max: *intMax, Steps: *steps},
+		Seeds:        campaign.SeedRange{Base: *seedBase, Count: *seeds},
+		PrefixSeed:   *prefixSeed,
+		PrefixEvents: *prefixEvents,
+		SuffixEvents: *suffixEvents,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var body []byte
+	if *addr == "" {
+		body, err = runLocal(ctx, sp, *workers)
+	} else {
+		body, err = runRemote(ctx, sp, *addr, *retries)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(body)
+		return
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "campaign: wrote %s\n", *out)
+}
+
+// loadSpec resolves the generator spec: a JSON document when -spec is
+// given, the inline flag values otherwise. Validation and defaults are
+// campaign.Spec.Normalize's business either way.
+func loadSpec(path string, inline campaign.Spec) (campaign.Spec, error) {
+	sp := inline
+	if path != "" {
+		var raw []byte
+		var err error
+		if path == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(path)
+		}
+		if err != nil {
+			return sp, err
+		}
+		sp = campaign.Spec{}
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sp); err != nil {
+			return sp, fmt.Errorf("campaign: parse spec %s: %w", path, err)
+		}
+	}
+	if err := sp.Normalize(); err != nil {
+		return sp, err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d cells (%d fault models × %d intensities × %d seeds)\n",
+		sp.Cells(), len(sp.Faults), sp.Intensities.Steps, sp.Seeds.Count)
+	return sp, nil
+}
+
+func splitFaults(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runLocal folds the whole expansion in-process and encodes the
+// aggregate — the reference the served path is byte-compared against.
+func runLocal(ctx context.Context, sp campaign.Spec, workers int) ([]byte, error) {
+	agg, err := campaign.Fold(ctx, sp, workers)
+	if err != nil {
+		return nil, err
+	}
+	return report.EncodeCampaign(agg)
+}
+
+// runRemote submits the spec to a daemon, follows the campaign to a
+// terminal state (streaming when possible, polling as the fallback —
+// the poll loop rides daemon restarts), and returns the stored
+// aggregate bytes fetched by content address.
+func runRemote(ctx context.Context, sp campaign.Spec, addr string, retries int) ([]byte, error) {
+	c, err := client.New(client.Options{BaseURL: addr, MaxRetries: retries})
+	if err != nil {
+		return nil, err
+	}
+	camp, res, err := c.SubmitCampaign(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	if res != nil { // already finished: answered straight from the store
+		fmt.Fprintf(os.Stderr, "campaign: cache %s\n", res.CacheSource)
+		return res.Body, nil
+	}
+	fmt.Fprintf(os.Stderr, "campaign: accepted as %s (%d cells)\n", camp.ID, camp.TotalCells)
+
+	final, streamErr := streamProgress(ctx, c, camp.ID)
+	if streamErr != nil {
+		// A dropped stream is not a failed campaign: the poll path
+		// resumes across daemon restarts and resolves aged-out
+		// campaigns through the store.
+		fmt.Fprintf(os.Stderr, "campaign: stream dropped (%v); polling\n", streamErr)
+		final, err = c.AwaitCampaign(ctx, camp.ID, camp.Key)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if final.Status != "done" {
+		return nil, fmt.Errorf("campaign %s finished %s: %s", camp.ID, final.Status, final.Error)
+	}
+	return c.ResultByKey(ctx, final.Key)
+}
+
+// streamProgress follows the campaign's NDJSON stream, narrating
+// progress to stderr at most once a second, and returns the terminal
+// view.
+func streamProgress(ctx context.Context, c *client.Client, id string) (*client.Campaign, error) {
+	var final *client.Campaign
+	last := time.Time{}
+	err := c.StreamCampaign(ctx, id, func(cv *client.Campaign) error {
+		if cv.Terminal() || time.Since(last) >= time.Second {
+			fmt.Fprintf(os.Stderr, "campaign: %s %s %d/%d cells, %d violations\n",
+				cv.ID, cv.Status, cv.Done, cv.TotalCells, cv.Violations)
+			last = time.Now()
+		}
+		if cv.Terminal() {
+			final = cv
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if final == nil {
+		return nil, fmt.Errorf("campaign %s: stream ended without a terminal chunk", id)
+	}
+	return final, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+	os.Exit(1)
+}

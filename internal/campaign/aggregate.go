@@ -1,0 +1,211 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxRepros bounds the reproducer list an aggregate retains: the
+// MaxRepros violating cells with the lowest cell indices. Retention by
+// minimum index is itself commutative — the set an aggregate ends up
+// with does not depend on merge order.
+const MaxRepros = 16
+
+// Repro is one retained violation: the replay recipe for a failing
+// cell, in aggregate form.
+type Repro struct {
+	// Index is the cell's position in the campaign's deterministic
+	// expansion order.
+	Index     int     `json:"index"`
+	Fault     string  `json:"fault"`
+	Intensity float64 `json:"intensity"`
+	Seed      uint64  `json:"seed"`
+	// Violation and Fingerprint come straight from the cell result.
+	Violation   string `json:"violation"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// BucketAgg is the per-fault×intensity aggregate: one row of the
+// campaign's sweep table. All numeric state is integral so the fold is
+// exact and order-independent.
+type BucketAgg struct {
+	Fault     string  `json:"fault"`
+	Intensity float64 `json:"intensity"`
+	// Cells/Errors/Violations count merged cells, run failures and
+	// failed eq. (14) verdicts in this bucket.
+	Cells      int `json:"cells"`
+	Errors     int `json:"errors"`
+	Violations int `json:"violations"`
+	// Victim suffix latency over the bucket's cells, in CPU cycles.
+	// Min/Max/Sum are meaningful iff Count > 0.
+	Count     int64 `json:"count"`
+	MinCycles int64 `json:"min_cycles"`
+	MaxCycles int64 `json:"max_cycles"`
+	SumCycles int64 `json:"sum_cycles"`
+	// Shaping counters summed over the bucket's cells.
+	Grants uint64 `json:"grants"`
+	Denied uint64 `json:"denied"`
+}
+
+// MeanCycles returns the bucket's mean latency, truncated.
+func (b *BucketAgg) MeanCycles() int64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.SumCycles / b.Count
+}
+
+// Aggregate is the campaign's streaming summary: a commutative monoid
+// over cell results, folded as cells complete in whatever order the
+// queue drains them. Because every operation is an integer sum, a
+// min/max, a sketch bucket add or min-index reproducer retention, the
+// final state — and therefore its encoding — is byte-identical for
+// every merge order over the same cells, which is what makes campaigns
+// resumable: a SIGKILLed run refolds stored results and lands on the
+// same bytes.
+//
+// An Aggregate is single-writer; the serve tier serialises merges under
+// its campaign lock.
+type Aggregate struct {
+	Spec       Spec
+	TotalCells int
+	// Done counts merged cells (success or failure); the campaign is
+	// complete when Done == TotalCells.
+	Done       int
+	Errors     int
+	Violations int
+
+	// Campaign-wide victim suffix latency (cycles) and shaping totals.
+	Count     int64
+	MinCycles int64
+	MaxCycles int64
+	SumCycles int64
+	Grants    uint64
+	Denied    uint64
+
+	// Latency is the campaign-wide percentile sketch.
+	Latency Sketch
+	// Buckets is the fault×intensity sweep table in expansion order —
+	// a fixed slice, never a map, so iteration is deterministic.
+	Buckets []BucketAgg
+	// Repros holds the ≤ MaxRepros lowest-index violations, ascending.
+	Repros []Repro
+
+	merged []bool
+}
+
+// NewAggregate returns the empty aggregate for a spec, normalizing it.
+func NewAggregate(spec Spec) (*Aggregate, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	a := &Aggregate{
+		Spec:       spec,
+		TotalCells: spec.Cells(),
+		Buckets:    make([]BucketAgg, 0, spec.Buckets()),
+		merged:     make([]bool, spec.Cells()),
+	}
+	for _, f := range spec.Faults {
+		for _, in := range spec.Intensities.Values() {
+			a.Buckets = append(a.Buckets, BucketAgg{Fault: f, Intensity: in})
+		}
+	}
+	return a, nil
+}
+
+// Complete reports whether every cell has been merged.
+func (a *Aggregate) Complete() bool { return a.Done == a.TotalCells }
+
+// MeanCycles returns the campaign-wide mean latency, truncated.
+func (a *Aggregate) MeanCycles() int64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.SumCycles / a.Count
+}
+
+func (a *Aggregate) claim(index int) (*BucketAgg, error) {
+	if index < 0 || index >= a.TotalCells {
+		return nil, fmt.Errorf("campaign: cell index %d outside [0, %d)", index, a.TotalCells)
+	}
+	if a.merged[index] {
+		return nil, fmt.Errorf("campaign: cell %d merged twice", index)
+	}
+	a.merged[index] = true
+	a.Done++
+	return &a.Buckets[index/a.Spec.Seeds.Count], nil
+}
+
+// MergeCell folds one completed cell into the aggregate. Each index may
+// be merged exactly once; a second merge is an orchestration bug and is
+// rejected rather than silently double-counted.
+func (a *Aggregate) MergeCell(index int, cr *CellResult) error {
+	b, err := a.claim(index)
+	if err != nil {
+		return err
+	}
+	b.Cells++
+	if !cr.Pass {
+		a.Violations++
+		b.Violations++
+		a.retain(Repro{
+			Index:       index,
+			Fault:       cr.Spec.Fault,
+			Intensity:   cr.Spec.Intensity,
+			Seed:        cr.Spec.Seed,
+			Violation:   cr.Violation,
+			Fingerprint: cr.Fingerprint,
+		})
+	}
+	if cr.Count > 0 {
+		if a.Count == 0 || cr.MinCycles < a.MinCycles {
+			a.MinCycles = cr.MinCycles
+		}
+		if cr.MaxCycles > a.MaxCycles {
+			a.MaxCycles = cr.MaxCycles
+		}
+		a.Count += cr.Count
+		a.SumCycles += cr.SumCycles
+		if b.Count == 0 || cr.MinCycles < b.MinCycles {
+			b.MinCycles = cr.MinCycles
+		}
+		if cr.MaxCycles > b.MaxCycles {
+			b.MaxCycles = cr.MaxCycles
+		}
+		b.Count += cr.Count
+		b.SumCycles += cr.SumCycles
+	}
+	a.Grants += cr.Grants
+	a.Denied += cr.Denied
+	b.Grants += cr.Grants
+	b.Denied += cr.Denied
+	a.Latency.MergePairs(cr.Sketch)
+	return nil
+}
+
+// MergeFailure records a cell whose run failed outright (no result).
+// The cell still counts toward completion so a campaign with a broken
+// cell terminates instead of hanging.
+func (a *Aggregate) MergeFailure(index int, msg string) error {
+	b, err := a.claim(index)
+	if err != nil {
+		return err
+	}
+	_ = msg // the per-cell error lives in the job record, not the fold
+	b.Cells++
+	b.Errors++
+	a.Errors++
+	return nil
+}
+
+// retain inserts r keeping Repros ascending by index and bounded by
+// MaxRepros — i.e. the MaxRepros lowest-index violations survive.
+func (a *Aggregate) retain(r Repro) {
+	i := sort.Search(len(a.Repros), func(i int) bool { return a.Repros[i].Index >= r.Index })
+	a.Repros = append(a.Repros, Repro{})
+	copy(a.Repros[i+1:], a.Repros[i:])
+	a.Repros[i] = r
+	if len(a.Repros) > MaxRepros {
+		a.Repros = a.Repros[:MaxRepros]
+	}
+}

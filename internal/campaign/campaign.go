@@ -1,0 +1,199 @@
+// Package campaign is the million-cell orchestration layer (DESIGN.md
+// §12): a client submits one small *generator spec* — scenario template
+// × fault model × intensity range × seed range — and the daemon expands
+// it deterministically into individually journaled, content-addressed
+// cells that flow through the ordinary serve queue/store machinery,
+// grouped so cells sharing a warm prefix fork from one DES snapshot
+// (engine.ForkCampaign) instead of each paying the cold run.
+//
+// Everything here is a pure function of the spec: expansion order,
+// per-cell rng streams, the fork point, and the aggregate fold are all
+// deterministic, so a campaign's final aggregate is byte-identical
+// whether its cells ran in-process sequentially, across a worker pool,
+// or across a SIGKILL + journal-replay resume. The aggregate is a
+// commutative monoid (integer sums, mins, maxes, sketch bucket adds,
+// min-cell-index reproducer retention), which is what buys fold-order
+// independence without coordinating completion order.
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+)
+
+// Expansion bounds: a generator spec is refused, not truncated, beyond
+// these — silent truncation would make the aggregate lie about
+// coverage.
+const (
+	// MaxCells bounds one campaign's expansion.
+	MaxCells = 1 << 20
+	// MaxEvents bounds the per-cell prefix and suffix workload sizes.
+	MaxEvents = 50_000
+)
+
+// IntensityRange is an inclusive linear sweep: Steps values from Min to
+// Max (Steps == 1 selects just Min). Values are generated with the
+// fixed formula Min + i·(Max−Min)/(Steps−1), so the same range always
+// expands to bit-identical float64 intensities.
+type IntensityRange struct {
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Steps int     `json:"steps"`
+}
+
+// Values expands the range.
+func (r IntensityRange) Values() []float64 {
+	out := make([]float64, r.Steps)
+	for i := range out {
+		if r.Steps == 1 {
+			out[i] = r.Min
+			continue
+		}
+		out[i] = r.Min + (r.Max-r.Min)*float64(i)/float64(r.Steps-1)
+	}
+	return out
+}
+
+// SeedRange is the consecutive seed sweep [Base, Base+Count).
+type SeedRange struct {
+	Base  uint64 `json:"base"`
+	Count int    `json:"count"`
+}
+
+// Spec is the generator: the entire campaign in one document. Cell
+// ordering is part of the contract — cells expand fault-major, then by
+// intensity step, then by seed — so cell index i always names the same
+// computation for the same spec.
+type Spec struct {
+	// Faults lists fault model names (internal/faults registry) in
+	// sweep order; empty selects every registered model.
+	Faults []string `json:"faults,omitempty"`
+	// Intensities is the per-fault intensity sweep; the zero value
+	// selects {0.25 … 1.0 in 4 steps}.
+	Intensities IntensityRange `json:"intensities,omitempty"`
+	// Seeds is the per-(fault, intensity) seed sweep; the zero value
+	// selects the single seed 1.
+	Seeds SeedRange `json:"seeds,omitempty"`
+	// PrefixSeed derives the shared warm-up streams; 0 selects 2014.
+	PrefixSeed uint64 `json:"prefix_seed,omitempty"`
+	// PrefixEvents is the length of the shared benign prefix every cell
+	// forks from; 0 selects 400.
+	PrefixEvents int `json:"prefix_events,omitempty"`
+	// SuffixEvents is the per-cell adversarial suffix length; 0
+	// selects 120.
+	SuffixEvents int `json:"suffix_events,omitempty"`
+}
+
+// Normalize validates sp and fills defaults so every spec naming the
+// same campaign reduces to one canonical form — the precondition for
+// the campaign's content address.
+func (sp *Spec) Normalize() error {
+	if len(sp.Faults) == 0 {
+		sp.Faults = faults.Names()
+	}
+	seen := map[string]bool{}
+	for _, f := range sp.Faults {
+		if _, ok := faults.Lookup(f); !ok {
+			return fmt.Errorf("campaign: unknown fault model %q (have %v)", f, faults.Names())
+		}
+		if seen[f] {
+			return fmt.Errorf("campaign: fault model %q listed twice", f)
+		}
+		seen[f] = true
+	}
+	if sp.Intensities == (IntensityRange{}) {
+		sp.Intensities = IntensityRange{Min: 0.25, Max: 1.0, Steps: 4}
+	}
+	ir := sp.Intensities
+	if ir.Steps < 1 {
+		return fmt.Errorf("campaign: intensity steps must be >= 1, got %d", ir.Steps)
+	}
+	if ir.Min < 0 || ir.Max > 1 || ir.Min > ir.Max {
+		return fmt.Errorf("campaign: intensity range [%g, %g] outside 0 <= min <= max <= 1", ir.Min, ir.Max)
+	}
+	if ir.Steps == 1 && ir.Min != ir.Max {
+		return fmt.Errorf("campaign: a 1-step intensity range needs min == max, got [%g, %g]", ir.Min, ir.Max)
+	}
+	if sp.Seeds == (SeedRange{}) {
+		sp.Seeds = SeedRange{Base: 1, Count: 1}
+	}
+	if sp.Seeds.Count < 1 {
+		return fmt.Errorf("campaign: seed count must be >= 1, got %d", sp.Seeds.Count)
+	}
+	if sp.PrefixSeed == 0 {
+		sp.PrefixSeed = 2014
+	}
+	if sp.PrefixEvents == 0 {
+		sp.PrefixEvents = 400
+	}
+	if sp.SuffixEvents == 0 {
+		sp.SuffixEvents = 120
+	}
+	if sp.PrefixEvents < 1 || sp.PrefixEvents > MaxEvents {
+		return fmt.Errorf("campaign: prefix events %d outside [1, %d]", sp.PrefixEvents, MaxEvents)
+	}
+	if sp.SuffixEvents < 1 || sp.SuffixEvents > MaxEvents {
+		return fmt.Errorf("campaign: suffix events %d outside [1, %d]", sp.SuffixEvents, MaxEvents)
+	}
+	if n := sp.Cells(); n > MaxCells {
+		return fmt.Errorf("campaign: spec expands to %d cells, above the %d-cell bound", n, MaxCells)
+	}
+	return nil
+}
+
+// Cells returns the expansion size without expanding.
+func (sp *Spec) Cells() int {
+	return len(sp.Faults) * sp.Intensities.Steps * sp.Seeds.Count
+}
+
+// Buckets returns the number of fault×intensity aggregation buckets.
+func (sp *Spec) Buckets() int {
+	return len(sp.Faults) * sp.Intensities.Steps
+}
+
+// Cell identifies one expanded campaign cell. Its computation is fully
+// described by the CellSpec it maps to; Index fixes its place in the
+// deterministic cell order (and thereby its aggregation bucket,
+// Index / Seeds.Count).
+type Cell struct {
+	Index     int
+	Fault     string
+	Intensity float64
+	Seed      uint64
+}
+
+// Expand enumerates the campaign deterministically: fault-major, then
+// intensity step, then seed. The caller must have Normalized sp.
+func (sp *Spec) Expand() []Cell {
+	intensities := sp.Intensities.Values()
+	cells := make([]Cell, 0, sp.Cells())
+	for _, f := range sp.Faults {
+		for _, in := range intensities {
+			for s := 0; s < sp.Seeds.Count; s++ {
+				cells = append(cells, Cell{
+					Index:     len(cells),
+					Fault:     f,
+					Intensity: in,
+					Seed:      sp.Seeds.Base + uint64(s),
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// CellSpec maps one expanded cell to its standalone, content-addressable
+// computation document. Index is deliberately absent: two campaigns (or
+// two cells) naming the same (fault, intensity, seed, prefix, suffix)
+// tuple are the same computation and dedupe to one job.
+func (sp *Spec) CellSpec(c Cell) CellSpec {
+	return CellSpec{
+		Fault:        c.Fault,
+		Intensity:    c.Intensity,
+		Seed:         c.Seed,
+		PrefixSeed:   sp.PrefixSeed,
+		PrefixEvents: sp.PrefixEvents,
+		SuffixEvents: sp.SuffixEvents,
+	}
+}

@@ -1,0 +1,38 @@
+package campaign
+
+import (
+	"context"
+
+	"repro/internal/runner"
+)
+
+// Fold runs an entire campaign in-process — expansion, warm-prefix cell
+// runs, deterministic merge — and returns the final aggregate. It is
+// the reference implementation the served streaming path is verified
+// against: for the same spec, the daemon's final aggregate must encode
+// to the same bytes as Fold's.
+//
+// Cells fan out over a worker pool (one Runner, hence one arena and one
+// warm fork, per worker); the merge happens in cell order afterwards,
+// which by the aggregate's commutativity is equivalent to any
+// completion-order fold.
+func Fold(ctx context.Context, spec Spec, workers int) (*Aggregate, error) {
+	agg, err := NewAggregate(spec)
+	if err != nil {
+		return nil, err
+	}
+	cells := agg.Spec.Expand()
+	results, err := runner.MapCtxPool(ctx, workers, len(cells), NewRunner,
+		func(r *Runner, i int) (*CellResult, error) {
+			return r.Run(agg.Spec.CellSpec(cells[i]))
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, cr := range results {
+		if err := agg.MergeCell(i, cr); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}

@@ -1,0 +1,156 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// The latency percentile sketch: a fixed-resolution logarithmic
+// histogram over microsecond latencies whose merge is associative and
+// commutative by construction (bucket counts are unsigned integer
+// sums). Campaign aggregation folds cell sketches in whatever order
+// cells complete, so the merge being a commutative monoid is what makes
+// the final aggregate byte-identical to a sequential fold in cell
+// order — the property the shuffle tests in sketch_test.go pin.
+//
+// Bucket layout (HDR-histogram style): values below sketchSub get one
+// bucket each (exact); above that, every power-of-two octave is split
+// into sketchSub sub-buckets, so the relative quantile error is bounded
+// by 1/sketchSub (6.25%). Bucket indexing is pure integer arithmetic —
+// no floats — so two sketches built from the same values are identical
+// on every platform.
+
+// sketchSub is the per-octave sub-bucket count (and the width of the
+// exact low range).
+const sketchSub = 16
+
+// sketchBuckets bounds the index range for any int64 microsecond value:
+// the highest octave exponent is 63-5 = 58, so indices stay below
+// 59*sketchSub + sketchSub.
+const sketchBuckets = 60 * sketchSub
+
+// Sketch is a mergeable latency histogram. The zero value is empty and
+// ready to use.
+type Sketch struct {
+	counts [sketchBuckets]uint64
+	count  uint64
+}
+
+// sketchBucket maps a non-negative microsecond value to its bucket.
+func sketchBucket(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	if us < sketchSub {
+		return int(us)
+	}
+	// us ∈ [sketchSub<<e, sketchSub<<(e+1)): Len64(sketchSub) is 5,
+	// so e = Len64(us) - 5 and us>>e ∈ [sketchSub, 2·sketchSub).
+	e := bits.Len64(uint64(us)) - 5
+	return e*sketchSub + int(us>>uint(e))
+}
+
+// sketchLower returns the smallest microsecond value mapping to bucket
+// idx — the value Quantile reports for ranks landing in it.
+func sketchLower(idx int) int64 {
+	if idx < sketchSub {
+		return int64(idx)
+	}
+	e := idx/sketchSub - 1
+	m := idx - e*sketchSub // ∈ [sketchSub, 2·sketchSub)
+	return int64(m) << uint(e)
+}
+
+// Add records one latency observation, in microseconds.
+func (s *Sketch) Add(us int64) {
+	s.counts[sketchBucket(us)]++
+	s.count++
+}
+
+// AddBucket folds n observations directly into bucket idx — the merge
+// entry point for sparse cell sketches. Out-of-range indices are
+// clamped into the top bucket so corrupt input cannot panic the fold.
+func (s *Sketch) AddBucket(idx int, n uint64) {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= sketchBuckets {
+		idx = sketchBuckets - 1
+	}
+	s.counts[idx] += n
+	s.count += n
+}
+
+// Merge folds o into s. Merge is associative and commutative: any fold
+// order over the same multiset of sketches yields identical state.
+func (s *Sketch) Merge(o *Sketch) {
+	for i, n := range o.counts {
+		s.counts[i] += n
+	}
+	s.count += o.count
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Quantile returns the lower bound (µs) of the bucket holding the
+// q-quantile observation, for q in [0, 1]. An empty sketch reports 0.
+func (s *Sketch) Quantile(q float64) int64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range s.counts {
+		cum += n
+		if cum >= rank {
+			return sketchLower(i)
+		}
+	}
+	return sketchLower(sketchBuckets - 1)
+}
+
+// SketchBucket is one non-empty bucket of a sparse sketch encoding.
+type SketchBucket struct {
+	Bucket int    `json:"b"`
+	Count  uint64 `json:"n"`
+}
+
+// Pairs returns the sketch as sparse (bucket, count) pairs in ascending
+// bucket order — the stable wire form cell results carry.
+func (s *Sketch) Pairs() []SketchBucket {
+	var out []SketchBucket
+	for i, n := range s.counts {
+		if n != 0 {
+			out = append(out, SketchBucket{Bucket: i, Count: n})
+		}
+	}
+	return out
+}
+
+// MergePairs folds a sparse sketch encoding into s.
+func (s *Sketch) MergePairs(pairs []SketchBucket) {
+	for _, p := range pairs {
+		s.AddBucket(p.Bucket, p.Count)
+	}
+}
+
+// Equal reports whether two sketches hold identical state.
+func (s *Sketch) Equal(o *Sketch) bool {
+	return s.count == o.count && s.counts == o.counts
+}
+
+// String summarises the sketch for logs.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("sketch{n=%d p50=%dµs p99=%dµs}", s.count, s.Quantile(0.5), s.Quantile(0.99))
+}

@@ -1,0 +1,149 @@
+package campaign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSketchBucketMonotone pins the bucket map: indices are monotone in
+// the value, every bucket's lower bound maps back to itself, and the
+// relative error of the reported quantile bound is within 1/sketchSub.
+func TestSketchBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 100, 1000, 4095, 4096, 1 << 20, 1 << 40, 1<<62 - 1} {
+		idx := sketchBucket(v)
+		if idx < prev {
+			t.Fatalf("bucket index not monotone: value %d maps to %d, previous was %d", v, idx, prev)
+		}
+		prev = idx
+		if idx < 0 || idx >= sketchBuckets {
+			t.Fatalf("value %d maps outside the bucket range: %d", v, idx)
+		}
+		lo := sketchLower(idx)
+		if lo > v {
+			t.Fatalf("bucket %d lower bound %d exceeds member value %d", idx, lo, v)
+		}
+		if sketchBucket(lo) != idx {
+			t.Fatalf("lower bound %d of bucket %d maps to bucket %d", lo, idx, sketchBucket(lo))
+		}
+		// Relative error bound: the sub-bucket width is at most
+		// v/sketchSub (overflow-safe form of the 1/sketchSub guarantee).
+		if v-lo > v/sketchSub {
+			t.Fatalf("bucket %d lower bound %d too far below value %d", idx, lo, v)
+		}
+	}
+}
+
+// TestSketchQuantile checks quantiles against a dense value set where
+// the exact answer is known.
+func TestSketchQuantile(t *testing.T) {
+	var s Sketch
+	for v := int64(0); v < 1000; v++ {
+		s.Add(v)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %d, want 0", got)
+	}
+	// The q-quantile of 0..999 is ~q·1000; the sketch reports the bucket
+	// lower bound, so allow the 1/sketchSub relative slack.
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		got := s.Quantile(q)
+		exact := int64(q*1000) - 1
+		if exact < 0 {
+			exact = 0
+		}
+		if got > exact || exact-got > exact/sketchSub {
+			t.Fatalf("q%.2f = %d, exact %d: outside sketch tolerance", q, got, exact)
+		}
+	}
+	var empty Sketch
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty sketch q50 = %d, want 0", got)
+	}
+}
+
+// TestSketchMergeCommutes is the property test the aggregate's
+// determinism rests on: folding any permutation of any partition of a
+// value multiset yields identical sketch state.
+func TestSketchMergeCommutes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	parts := make([]*Sketch, 20)
+	var reference Sketch
+	for i := range parts {
+		parts[i] = &Sketch{}
+		for j := 0; j < 50; j++ {
+			v := rnd.Int63n(1 << uint(rnd.Intn(40)))
+			parts[i].Add(v)
+			reference.Add(v)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		order := rnd.Perm(len(parts))
+		var folded Sketch
+		// Alternate between dense Merge and the sparse wire form so both
+		// paths are covered by the same property.
+		for _, i := range order {
+			if trial%2 == 0 {
+				folded.Merge(parts[i])
+			} else {
+				folded.MergePairs(parts[i].Pairs())
+			}
+		}
+		if !folded.Equal(&reference) {
+			t.Fatalf("trial %d: shuffled fold diverges from sequential fold (order %v)", trial, order)
+		}
+	}
+}
+
+// TestSketchMergeAssociates checks (a⊕b)⊕c == a⊕(b⊕c) explicitly.
+func TestSketchMergeAssociates(t *testing.T) {
+	mk := func(seed int64) *Sketch {
+		rnd := rand.New(rand.NewSource(seed))
+		s := &Sketch{}
+		for i := 0; i < 100; i++ {
+			s.Add(rnd.Int63n(1 << 30))
+		}
+		return s
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+
+	var left Sketch
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	var bc Sketch
+	bc.Merge(b)
+	bc.Merge(c)
+	var right Sketch
+	right.Merge(a)
+	right.Merge(&bc)
+
+	if !left.Equal(&right) {
+		t.Fatal("merge is not associative")
+	}
+}
+
+// TestSketchPairsRoundTrip pins the sparse wire form: Pairs is sorted,
+// minimal, and rebuilds identical state.
+func TestSketchPairsRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	var s Sketch
+	for i := 0; i < 500; i++ {
+		s.Add(rnd.Int63n(1 << 35))
+	}
+	pairs := s.Pairs()
+	for i, p := range pairs {
+		if p.Count == 0 {
+			t.Fatalf("pair %d has zero count", i)
+		}
+		if i > 0 && pairs[i-1].Bucket >= p.Bucket {
+			t.Fatalf("pairs not strictly ascending at %d", i)
+		}
+	}
+	var back Sketch
+	back.MergePairs(pairs)
+	if !back.Equal(&s) {
+		t.Fatal("pairs round trip diverges")
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// campaignPkg is the campaign orchestrator package whose cell-result
+// documents this analyzer tracks.
+const campaignPkg = modulePath + "/internal/campaign"
+
+// Cellmap bans `range` over any map holding campaign cell results.
+// The campaign aggregate is a commutative monoid precisely so the fold
+// never has to care about arrival order — but that guarantee is only
+// as strong as the code paths that feed it. A map keyed by cell id is
+// the tempting intermediate ("collect results, then merge"), and the
+// moment someone folds by ranging over it, the merge order becomes
+// Go's randomized map order. Today the monoid absorbs that; the first
+// future field that is not perfectly commutative (a "first violation
+// seen" tag, a capped reproducer list filled on arrival) silently
+// breaks byte-identity only under map iteration, which no unit test
+// reproduces deterministically. So the contract is structural: cells
+// reach MergeCell from a deterministic sequence — the generator's
+// expansion order, a journal replay, a sorted slice — never from map
+// iteration. Unlike detmap there is no sorted-keys escape hatch here:
+// if the cells are worth sorting they are worth keeping in a slice.
+var Cellmap = &analysis.Analyzer{
+	Name: "cellmap",
+	Doc: "aggregate merge code must not range over a map of campaign cell " +
+		"results; feed MergeCell from a deterministic sequence (expansion " +
+		"order, journal order, or a sorted slice)",
+	Run: runCellmap,
+}
+
+func runCellmap(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			m, ok := tv.Type.Underlying().(*types.Map)
+			if !ok || !isCellResult(m.Elem()) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over a map of campaign cell results has nondeterministic merge order; fold cells from a deterministic sequence instead")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isCellResult reports whether t is campaign.CellResult, a pointer to
+// it, or a named type whose underlying chain reaches it.
+func isCellResult(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == campaignPkg && obj.Name() == "CellResult"
+}

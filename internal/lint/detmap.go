@@ -18,6 +18,7 @@ var detmapScope = []string{
 	modulePath + "/internal/viz",
 	modulePath + "/internal/metrics",
 	modulePath + "/internal/serve",
+	modulePath + "/internal/campaign",
 }
 
 // Detmap flags `range` over a map in determinism-critical packages:
@@ -31,7 +32,7 @@ var Detmap = &analysis.Analyzer{
 	Name: "detmap",
 	Doc: "flags map iteration in determinism-critical packages " +
 		"(internal/core, internal/report, internal/viz, internal/metrics, " +
-		"internal/serve) unless the keys are collected and sorted",
+		"internal/serve, internal/campaign) unless the keys are collected and sorted",
 	Run: runDetmap,
 }
 

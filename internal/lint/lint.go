@@ -30,7 +30,7 @@ const modulePath = "repro"
 
 // All returns the reprolint analyzer suite in its fixed run order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Detmap, Wallclock, CtxErrOrder, MetricName, Arenaretain}
+	return []*analysis.Analyzer{Detmap, Wallclock, CtxErrOrder, MetricName, Arenaretain, Cellmap}
 }
 
 // pkgMatches reports whether path is one of the listed packages or a

@@ -30,6 +30,10 @@ func TestArenaretain(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "src", "arenaretain"), lint.Arenaretain)
 }
 
+func TestCellmap(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "cellmap"), lint.Cellmap)
+}
+
 // moduleRoot walks up from the test's working directory to go.mod.
 func moduleRoot(t *testing.T) string {
 	t.Helper()
@@ -72,7 +76,7 @@ func TestRepositoryIsClean(t *testing.T) {
 // driver (with allow-directive handling active) must exit non-zero on
 // every analyzer fixture, proving the gate actually bites.
 func TestFixturesFailTheDriver(t *testing.T) {
-	for _, name := range []string{"detmap", "wallclock", "ctxerrorder", "metricname", "arenaretain"} {
+	for _, name := range []string{"detmap", "wallclock", "ctxerrorder", "metricname", "arenaretain", "cellmap"} {
 		t.Run(name, func(t *testing.T) {
 			var out strings.Builder
 			n, err := lint.Run(&out, lint.All(), []string{filepath.Join("testdata", "src", name)})
@@ -117,11 +121,11 @@ func TestAllowDirectiveHandling(t *testing.T) {
 	}
 }
 
-// TestAnalyzerMetadata pins the suite composition: five analyzers with
+// TestAnalyzerMetadata pins the suite composition: six analyzers with
 // stable names, each documented — the names are part of the allow
 // directive syntax, so renaming one silently breaks suppressions.
 func TestAnalyzerMetadata(t *testing.T) {
-	want := []string{"detmap", "wallclock", "ctxerrorder", "metricname", "arenaretain"}
+	want := []string{"detmap", "wallclock", "ctxerrorder", "metricname", "arenaretain", "cellmap"}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("lint.All() has %d analyzers, want %d", len(all), len(want))

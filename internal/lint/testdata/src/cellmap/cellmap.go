@@ -1,0 +1,63 @@
+// Package cellmap is the analysistest fixture for the cellmap
+// analyzer.
+package cellmap
+
+import (
+	"sort"
+
+	"repro/internal/campaign"
+)
+
+// Folding from the generator's expansion slice is the sanctioned path:
+// the sequence is deterministic by construction.
+func foldSlice(agg *campaign.Aggregate, cells []*campaign.CellResult) {
+	for i, cr := range cells {
+		agg.MergeCell(i, cr)
+	}
+}
+
+// Ranging over a map of cell results folds in Go's randomized map
+// order — banned no matter how the key and value are bound.
+func foldMap(agg *campaign.Aggregate, byID map[string]*campaign.CellResult) {
+	for _, cr := range byID { // want `nondeterministic merge order`
+		agg.MergeCell(0, cr)
+	}
+}
+
+func foldMapValue(agg *campaign.Aggregate, byIdx map[int]campaign.CellResult) {
+	for i, cr := range byIdx { // want `nondeterministic merge order`
+		cr := cr
+		agg.MergeCell(i, &cr)
+	}
+}
+
+// Unlike detmap, the collect-keys-then-sort idiom is not an escape
+// hatch here: if cells are worth sorting they belong in a slice.
+func foldSorted(agg *campaign.Aggregate, byID map[string]*campaign.CellResult) {
+	var ids []string
+	for id := range byID { // want `nondeterministic merge order`
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		agg.MergeCell(0, byID[id])
+	}
+}
+
+// Maps of anything else are detmap's business, not cellmap's.
+func countStatuses(byID map[string]string) int {
+	n := 0
+	for range byID {
+		n++
+	}
+	return n
+}
+
+// A reviewed exception carries an allow directive.
+func allowedDrain(agg *campaign.Aggregate, byID map[string]*campaign.CellResult) {
+	//reprolint:allow cellmap diagnostic dump, output never hashed or compared
+	for _, cr := range byID {
+		_ = cr
+		_ = agg
+	}
+}

@@ -35,6 +35,19 @@ func fragments(dynamic string) {
 	_ = metrics.Timer(dynamic)                             // want `must be a constant string`
 }
 
+// The campaign orchestrator's instrument family follows the same
+// rules: constant repro_campaign_* names, never a name assembled from
+// the campaign id or spec.
+func campaignInstruments(r *metrics.Registry, campID string) {
+	r.Counter("repro_campaign_accepted_total")
+	r.Counter("repro_campaign_cells_merged_total")
+	r.Gauge("repro_campaign_active")
+
+	r.Counter("campaign_accepted_total")            // want `must match \^repro_`
+	r.Gauge("repro_campaign_" + campID + "_active") // want `must be a constant string`
+	r.Counter("repro_campaign_cells-merged_total")  // want `must match \^repro_`
+}
+
 // A reviewed dynamic name carries an allow directive.
 func allowedDynamic(r *metrics.Registry, shard string) {
 	//reprolint:allow metricname per-shard instrument family, closed set validated at startup

@@ -1,0 +1,167 @@
+// Stable JSON views of the campaign orchestrator (internal/campaign):
+// the per-cell wire document and the streamed/final aggregate. Same
+// contract as json.go — no maps, no interface values, fixed field
+// order — plus one more: every quantity that enters the aggregate fold
+// is integral (cycles, counts, sparse sketch buckets), so two
+// aggregates over the same cells encode byte-identically regardless of
+// merge order. The derived microsecond floats are computed from that
+// integral state at encode time, never folded.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/simtime"
+)
+
+// EncodeCell renders a cell result as stable JSON — the byte payload
+// stored under the cell's content address. The document is its own wire
+// form: DecodeCell inverts it exactly, which is how the aggregation
+// tier refolds stored cells after a restart.
+func EncodeCell(cr *campaign.CellResult) ([]byte, error) { return encode(cr) }
+
+// DecodeCell parses a stored cell body back into its result document.
+func DecodeCell(body []byte) (*campaign.CellResult, error) {
+	var cr campaign.CellResult
+	if err := json.Unmarshal(body, &cr); err != nil {
+		return nil, fmt.Errorf("report: decode cell: %w", err)
+	}
+	return &cr, nil
+}
+
+// CampaignBucketJSON is one fault×intensity row of the sweep table.
+type CampaignBucketJSON struct {
+	Fault      string  `json:"fault"`
+	Intensity  float64 `json:"intensity"`
+	Cells      int     `json:"cells"`
+	Errors     int     `json:"errors,omitempty"`
+	Violations int     `json:"violations"`
+	Count      int64   `json:"count"`
+	MinUs      float64 `json:"min_us"`
+	MeanUs     float64 `json:"mean_us"`
+	MaxUs      float64 `json:"max_us"`
+	Grants     uint64  `json:"grants"`
+	Denied     uint64  `json:"denied"`
+}
+
+// CampaignReproJSON is one retained violation reproducer.
+type CampaignReproJSON struct {
+	Index       int     `json:"index"`
+	Fault       string  `json:"fault"`
+	Intensity   float64 `json:"intensity"`
+	Seed        uint64  `json:"seed"`
+	Violation   string  `json:"violation"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+}
+
+// CampaignSketchJSON is the sparse latency histogram plus the
+// percentiles derived from it.
+type CampaignSketchJSON struct {
+	Count   uint64                  `json:"count"`
+	P50Us   int64                   `json:"p50_us"`
+	P90Us   int64                   `json:"p90_us"`
+	P99Us   int64                   `json:"p99_us"`
+	Buckets []campaign.SketchBucket `json:"buckets,omitempty"`
+}
+
+// CampaignJSON is the stable view of a campaign aggregate — the body of
+// GET /v1/campaigns/{id}, each stream chunk, and the final document
+// stored under the campaign's content address.
+type CampaignJSON struct {
+	Faults       []string `json:"faults"`
+	IntensityMin float64  `json:"intensity_min"`
+	IntensityMax float64  `json:"intensity_max"`
+	Steps        int      `json:"steps"`
+	SeedBase     uint64   `json:"seed_base"`
+	SeedCount    int      `json:"seed_count"`
+	PrefixSeed   uint64   `json:"prefix_seed"`
+	PrefixEvents int      `json:"prefix_events"`
+	SuffixEvents int      `json:"suffix_events"`
+
+	TotalCells int `json:"total_cells"`
+	Done       int `json:"done"`
+	Errors     int `json:"errors"`
+	Violations int `json:"violations"`
+
+	Count   int64                `json:"count"`
+	MinUs   float64              `json:"min_us"`
+	MeanUs  float64              `json:"mean_us"`
+	MaxUs   float64              `json:"max_us"`
+	Grants  uint64               `json:"grants"`
+	Denied  uint64               `json:"denied"`
+	Latency CampaignSketchJSON   `json:"latency"`
+	Sweep   []CampaignBucketJSON `json:"sweep"`
+	Repros  []CampaignReproJSON  `json:"repros,omitempty"`
+}
+
+// usF converts integral cycles to the view's microsecond float.
+func usF(cycles int64) float64 { return simtime.Duration(cycles).MicrosF() }
+
+// NewCampaignJSON converts an aggregate. The view is a pure function of
+// the aggregate's state.
+func NewCampaignJSON(a *campaign.Aggregate) *CampaignJSON {
+	out := &CampaignJSON{
+		Faults:       a.Spec.Faults,
+		IntensityMin: a.Spec.Intensities.Min,
+		IntensityMax: a.Spec.Intensities.Max,
+		Steps:        a.Spec.Intensities.Steps,
+		SeedBase:     a.Spec.Seeds.Base,
+		SeedCount:    a.Spec.Seeds.Count,
+		PrefixSeed:   a.Spec.PrefixSeed,
+		PrefixEvents: a.Spec.PrefixEvents,
+		SuffixEvents: a.Spec.SuffixEvents,
+		TotalCells:   a.TotalCells,
+		Done:         a.Done,
+		Errors:       a.Errors,
+		Violations:   a.Violations,
+		Count:        a.Count,
+		MinUs:        usF(a.MinCycles),
+		MeanUs:       usF(a.MeanCycles()),
+		MaxUs:        usF(a.MaxCycles),
+		Grants:       a.Grants,
+		Denied:       a.Denied,
+		Latency: CampaignSketchJSON{
+			Count:   a.Latency.Count(),
+			P50Us:   a.Latency.Quantile(0.50),
+			P90Us:   a.Latency.Quantile(0.90),
+			P99Us:   a.Latency.Quantile(0.99),
+			Buckets: a.Latency.Pairs(),
+		},
+	}
+	for i := range a.Buckets {
+		b := &a.Buckets[i]
+		out.Sweep = append(out.Sweep, CampaignBucketJSON{
+			Fault:      b.Fault,
+			Intensity:  b.Intensity,
+			Cells:      b.Cells,
+			Errors:     b.Errors,
+			Violations: b.Violations,
+			Count:      b.Count,
+			MinUs:      usF(b.MinCycles),
+			MeanUs:     usF(b.MeanCycles()),
+			MaxUs:      usF(b.MaxCycles),
+			Grants:     b.Grants,
+			Denied:     b.Denied,
+		})
+	}
+	for _, r := range a.Repros {
+		out.Repros = append(out.Repros, CampaignReproJSON{
+			Index:       r.Index,
+			Fault:       r.Fault,
+			Intensity:   r.Intensity,
+			Seed:        r.Seed,
+			Violation:   r.Violation,
+			Fingerprint: r.Fingerprint,
+		})
+	}
+	return out
+}
+
+// EncodeCampaign renders a campaign aggregate as stable JSON. Two
+// aggregates holding identical state — a streamed run, a sequential
+// in-process fold, a SIGKILLed-and-resumed run — encode to identical
+// bytes; the crashtest oracle and campaignsmoke.sh compare exactly
+// these.
+func EncodeCampaign(a *campaign.Aggregate) ([]byte, error) { return encode(NewCampaignJSON(a)) }

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+func campaignSpec() campaign.Spec {
+	return campaign.Spec{
+		Faults:       []string{"babbling-idiot", "stuck-line"},
+		Intensities:  campaign.IntensityRange{Min: 0.25, Max: 1.0, Steps: 2},
+		Seeds:        campaign.SeedRange{Base: 1, Count: 2},
+		PrefixEvents: 60,
+		SuffixEvents: 25,
+	}
+}
+
+func foldCampaign(t *testing.T, workers int) *campaign.Aggregate {
+	t.Helper()
+	sp := campaignSpec()
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := campaign.Fold(context.Background(), sp, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// Golden-pin the campaign aggregate document: the full 8-cell sweep
+// over two fault models × two intensities × two seeds.
+func TestEncodeCampaignGolden(t *testing.T) {
+	buf, err := EncodeCampaign(foldCampaign(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "campaign.json", buf)
+}
+
+// Golden-pin the per-cell wire document — the byte payload stored under
+// the cell's content address — and check DecodeCell inverts it exactly.
+func TestEncodeCellGoldenRoundTrip(t *testing.T) {
+	sp := campaignSpec()
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	cells := sp.Expand()
+	res, err := campaign.RunCellCold(sp.CellSpec(cells[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := EncodeCell(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "campaign_cell.json", buf)
+
+	back, err := DecodeCell(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := EncodeCell(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("DecodeCell does not invert EncodeCell byte-for-byte")
+	}
+}
+
+// The encoded aggregate must not depend on fold parallelism: one
+// worker folds in generation order, four workers fold in completion
+// order, and the commutative-monoid merge makes both encode to the
+// same bytes.
+func TestEncodeCampaignFoldOrderInvariant(t *testing.T) {
+	a, err := EncodeCampaign(foldCampaign(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeCampaign(foldCampaign(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("campaign encoding depends on fold order")
+	}
+}

@@ -172,6 +172,163 @@ func (c *Client) Chaos(ctx context.Context, spec any) (*Result, error) {
 	return c.post(ctx, "/v1/chaos", spec)
 }
 
+// Campaign mirrors the daemon's campaign view: lifecycle state plus
+// the current (running) or final (done) streaming aggregate.
+type Campaign struct {
+	ID         string          `json:"id"`
+	Status     string          `json:"status"`
+	Key        string          `json:"key"`
+	TotalCells int             `json:"total_cells"`
+	Done       int             `json:"done"`
+	Errors     int             `json:"errors"`
+	Violations int             `json:"violations"`
+	Error      string          `json:"error,omitempty"`
+	Aggregate  json.RawMessage `json:"aggregate,omitempty"`
+}
+
+// Terminal reports whether the campaign reached a final state.
+func (cv *Campaign) Terminal() bool { return cv.Status == "done" || cv.Status == "failed" }
+
+// SubmitCampaign posts a generator spec to /v1/campaigns with the same
+// retry contract as Submit. A finished campaign is answered from the
+// store (the Result holds the final aggregate; Campaign is nil); a
+// fresh or in-flight campaign is accepted with a 202 (the Campaign
+// holds the id to stream or await; Result is nil).
+func (c *Client) SubmitCampaign(ctx context.Context, spec any) (*Campaign, *Result, error) {
+	resp, retries, err := c.postRetry(ctx, "/v1/campaigns", spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch resp.code {
+	case http.StatusOK:
+		return nil, &Result{
+			Body:        resp.body,
+			JobKey:      resp.jobKey,
+			CacheHit:    resp.cacheSource == "hit" || resp.cacheSource == "store",
+			CacheSource: resp.cacheSource,
+			Retries:     retries,
+		}, nil
+	case http.StatusAccepted:
+		var cv Campaign
+		if err := json.Unmarshal(resp.body, &cv); err != nil {
+			return nil, nil, fmt.Errorf("client: campaign acceptance: %v", err)
+		}
+		return &cv, nil, nil
+	default:
+		return nil, nil, statusError(resp.code, resp.body)
+	}
+}
+
+// CampaignStatus reads GET /v1/campaigns/{id} once.
+func (c *Client) CampaignStatus(ctx context.Context, id string) (*Campaign, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.opts.BaseURL+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp.StatusCode, body)
+	}
+	var cv Campaign
+	if err := json.Unmarshal(body, &cv); err != nil {
+		return nil, fmt.Errorf("client: campaign %s: %v", id, err)
+	}
+	return &cv, nil
+}
+
+// AwaitCampaign polls GET /v1/campaigns/{id} until the campaign is
+// terminal, riding out daemon restarts exactly like Await: transport
+// errors and 429/503 retry on the backoff schedule with the failure
+// budget resetting after every successful read. Campaigns are
+// resumable by construction — the restarted daemon replays the
+// generator spec from its journal and refolds under the same id — so
+// the poll simply continues. A 404 with a known key resolves the final
+// aggregate from the store (the id aged out of retention after
+// completion); a 404 without one is final.
+func (c *Client) AwaitCampaign(ctx context.Context, id, key string) (*Campaign, error) {
+	failures := 0
+	var lastErr error
+	for {
+		cv, err := c.CampaignStatus(ctx, id)
+		switch {
+		case err == nil:
+			failures = 0
+			if cv.Terminal() {
+				return cv, nil
+			}
+			if err := c.opts.Sleep(ctx, c.opts.PollInterval); err != nil {
+				return nil, err
+			}
+			continue
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return nil, err
+		}
+		var se *StatusError
+		if errors.As(err, &se) && !retryable(se.Code) {
+			if se.Code == http.StatusNotFound && key != "" {
+				if body, rerr := c.ResultByKey(ctx, key); rerr == nil {
+					return &Campaign{ID: id, Status: "done", Key: key, Aggregate: body}, nil
+				}
+			}
+			return nil, err
+		}
+		failures++
+		lastErr = err
+		if failures > c.opts.MaxRetries {
+			return nil, fmt.Errorf("client: awaiting campaign %s: giving up after %d attempts: %w", id, failures, lastErr)
+		}
+		if err := c.opts.Sleep(ctx, c.backoff(failures-1)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// StreamCampaign follows GET /v1/campaigns/{id}/stream, invoking fn
+// for every incremental aggregate chunk until the terminal chunk
+// (after which it returns nil), fn returns an error, or the connection
+// drops (the returned error; callers ride out a daemon restart by
+// falling back to AwaitCampaign — campaign ids survive restarts).
+func (c *Client) StreamCampaign(ctx context.Context, id string, fn func(*Campaign) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.opts.BaseURL+"/v1/campaigns/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return statusError(resp.StatusCode, body)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var cv Campaign
+		if err := dec.Decode(&cv); err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("client: campaign %s stream ended before a terminal chunk", id)
+			}
+			return err
+		}
+		if fn != nil {
+			if err := fn(&cv); err != nil {
+				return err
+			}
+		}
+		if cv.Terminal() {
+			return nil
+		}
+	}
+}
+
 // JobStatus polls GET /v1/jobs/{id}. Polling does not retry on 429/503
 // — status reads are cheap and the caller is already in a poll loop.
 func (c *Client) JobStatus(ctx context.Context, id string) (*Job, error) {
@@ -204,9 +361,16 @@ func (c *Client) JobStatus(ctx context.Context, id string) (*Job, error) {
 // replaying daemon gating on /readyz refuses work the same way) retry
 // on the backoff schedule, and the budget of MaxRetries consecutive
 // failures resets after every successful read — the crash-safe daemon
-// keeps job ids stable across restarts, so the id stays valid. A 404
-// is final: the id never existed or aged out of retention.
-func (c *Client) Await(ctx context.Context, id string) (*Job, error) {
+// keeps job ids stable across restarts, so the id stays valid.
+//
+// A 404 is no longer unconditionally final: job ids age out of the
+// daemon's retention window while the result bytes live on in the
+// durable store, so when the caller supplies the job's content address
+// (key — every 202 carries it as X-Job-Key) the client first resolves
+// the terminal state via GET /v1/results/{key}. Only when that also
+// misses, or no key is known (key == ""), does the 404 mean the work
+// is lost.
+func (c *Client) Await(ctx context.Context, id, key string) (*Job, error) {
 	failures := 0
 	var lastErr error
 	for {
@@ -227,6 +391,11 @@ func (c *Client) Await(ctx context.Context, id string) (*Job, error) {
 		}
 		var se *StatusError
 		if errors.As(err, &se) && !retryable(se.Code) {
+			if se.Code == http.StatusNotFound && key != "" {
+				if body, rerr := c.ResultByKey(ctx, key); rerr == nil {
+					return &Job{ID: id, Status: "done", Key: key, Result: body}, nil
+				}
+			}
 			return nil, err
 		}
 		failures++
@@ -240,38 +409,70 @@ func (c *Client) Await(ctx context.Context, id string) (*Job, error) {
 	}
 }
 
+// ResultByKey fetches a stored result body by content address (GET
+// /v1/results/{key}) — the escape hatch when a job or campaign id has
+// aged out of retention but its bytes are durable.
+func (c *Client) ResultByKey(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.opts.BaseURL+"/v1/results/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp.StatusCode, body)
+	}
+	return body, nil
+}
+
 func (c *Client) post(ctx context.Context, path string, spec any) (*Result, error) {
+	resp, retries, err := c.postRetry(ctx, path, spec)
+	if err != nil {
+		return nil, err
+	}
+	if resp.code != http.StatusOK && resp.code != http.StatusAccepted {
+		return nil, statusError(resp.code, resp.body)
+	}
+	return &Result{
+		Body:        resp.body,
+		JobKey:      resp.jobKey,
+		CacheHit:    resp.cacheSource == "hit" || resp.cacheSource == "store",
+		CacheSource: resp.cacheSource,
+		Retries:     retries,
+	}, nil
+}
+
+// postRetry drives one POST through the backpressure retry loop and
+// returns the first non-retryable response.
+func (c *Client) postRetry(ctx context.Context, path string, spec any) (*response, int, error) {
 	payload, err := json.Marshal(spec)
 	if err != nil {
-		return nil, fmt.Errorf("client: encoding spec: %v", err)
+		return nil, 0, fmt.Errorf("client: encoding spec: %v", err)
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, attempt, err
 		}
 		resp, err := c.attempt(ctx, path, payload)
 		switch {
 		case err == nil && !retryable(resp.code):
-			if resp.code != http.StatusOK && resp.code != http.StatusAccepted {
-				return nil, statusError(resp.code, resp.body)
-			}
-			return &Result{
-				Body:        resp.body,
-				JobKey:      resp.jobKey,
-				CacheHit:    resp.cacheSource == "hit" || resp.cacheSource == "store",
-				CacheSource: resp.cacheSource,
-				Retries:     attempt,
-			}, nil
+			return resp, attempt, nil
 		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
-			return nil, err
+			return nil, attempt, err
 		case err != nil:
 			lastErr = err
 		default:
 			lastErr = statusError(resp.code, resp.body)
 		}
 		if attempt >= c.opts.MaxRetries {
-			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+			return nil, attempt, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
 		delay := c.backoff(attempt)
 		if resp != nil {
@@ -280,7 +481,7 @@ func (c *Client) post(ctx context.Context, path string, spec any) (*Result, erro
 			}
 		}
 		if err := c.opts.Sleep(ctx, delay); err != nil {
-			return nil, err
+			return nil, attempt, err
 		}
 	}
 }

@@ -309,7 +309,7 @@ func TestAwaitRidesOutRestart(t *testing.T) {
 		return http.DefaultTransport.RoundTrip(r)
 	})
 	c, slept := newClient(t, ts, Options{HTTP: &http.Client{Transport: rt}, MaxRetries: 2})
-	jb, err := c.Await(context.Background(), "j00000001")
+	jb, err := c.Await(context.Background(), "j00000001", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestAwaitUnknownJobIsFinal(t *testing.T) {
 	defer ts.Close()
 
 	c, slept := newClient(t, ts, Options{})
-	_, err := c.Await(context.Background(), "nope")
+	_, err := c.Await(context.Background(), "nope", "")
 	var se *StatusError
 	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
 		t.Fatalf("err = %v, want StatusError 404", err)
@@ -377,7 +377,7 @@ func TestAwaitGivesUpWhenDaemonStaysDown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Await(context.Background(), "j00000001")
+	_, err = c.Await(context.Background(), "j00000001", "")
 	if err == nil || !strings.Contains(err.Error(), "connection refused") {
 		t.Fatalf("err = %v, want wrapped transport error", err)
 	}
@@ -433,5 +433,88 @@ func TestNewRequiresBaseURL(t *testing.T) {
 	}
 	if _, err := New(Options{BaseURL: "http://x/", MaxRetries: -1}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A 404 on the job id with a known content address is not lost work:
+// the id aged out of the daemon's retention window while the bytes
+// stayed durable, so Await resolves the terminal state from the store
+// before giving up.
+func TestAwaitResolvesAgedOutJobFromStore(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+			http.Error(w, `{"error": "unknown job \"j00000001\""}`, http.StatusNotFound)
+		case r.URL.Path == "/v1/results/k123":
+			w.Header().Set("X-Cache", "store")
+			w.Write([]byte(`{"x": 1}`))
+		default:
+			http.Error(w, `{"error": "unexpected path"}`, http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	c, slept := newClient(t, ts, Options{})
+	jb, err := c.Await(context.Background(), "j00000001", "k123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.Status != "done" || jb.Key != "k123" || string(jb.Result) != `{"x": 1}` {
+		t.Fatalf("job = %+v", jb)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("resolved from store but slept %v", *slept)
+	}
+
+	// Without a key the 404 stays final — unchanged contract.
+	_, err = c.Await(context.Background(), "j00000001", "")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want StatusError 404", err)
+	}
+}
+
+// AwaitCampaign rides a restart mid-poll (transport error, then a 503
+// from the replaying daemon) and returns the terminal view; a 404 with
+// a key resolves the final aggregate from the store.
+func TestAwaitCampaignRidesRestart(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			json.NewEncoder(w).Encode(Campaign{ID: "c000001", Status: "running", Key: "ck", TotalCells: 8, Done: 3})
+		case 2:
+			http.Error(w, `{"error": "server is shutting down"}`, http.StatusServiceUnavailable)
+		default:
+			json.NewEncoder(w).Encode(Campaign{ID: "c000001", Status: "done", Key: "ck", TotalCells: 8, Done: 8})
+		}
+	}))
+	defer ts.Close()
+
+	c, _ := newClient(t, ts, Options{MaxRetries: 2})
+	cv, err := c.AwaitCampaign(context.Background(), "c000001", "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cv.Terminal() || cv.Done != 8 {
+		t.Fatalf("campaign = %+v", cv)
+	}
+
+	// Aged-out campaign id + stored aggregate → resolved by key.
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/results/ck" {
+			w.Write([]byte(`{"total_cells": 8}`))
+			return
+		}
+		http.Error(w, `{"error": "unknown campaign"}`, http.StatusNotFound)
+	}))
+	defer ts2.Close()
+	c2, _ := newClient(t, ts2, Options{})
+	cv2, err := c2.AwaitCampaign(context.Background(), "c000001", "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv2.Status != "done" || string(cv2.Aggregate) != `{"total_cells": 8}` {
+		t.Fatalf("campaign = %+v", cv2)
 	}
 }

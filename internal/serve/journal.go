@@ -39,6 +39,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/campaign"
 )
 
 // Journal record operations. opAccept carries the full spec (the
@@ -50,14 +52,20 @@ const (
 	opDone      = "done"
 	opFailed    = "failed"
 	opCancelled = "cancelled"
+	// opCampaign accepts a campaign: the record carries the generator
+	// spec, so replay re-creates the campaign (same id, same key) and
+	// resumes it by refolding stored cell results. Terminal campaign
+	// transitions reuse opDone/opFailed with the campaign's "c…" id.
+	opCampaign = "campaign"
 )
 
 type journalRecord struct {
-	Op   string `json:"op"`
-	ID   string `json:"id"`
-	Key  string `json:"key,omitempty"`
-	Spec *Spec  `json:"spec,omitempty"` // accept records only
-	Err  string `json:"err,omitempty"` // failed/cancelled records
+	Op   string         `json:"op"`
+	ID   string         `json:"id"`
+	Key  string         `json:"key,omitempty"`
+	Spec *Spec          `json:"spec,omitempty"` // accept records only
+	Camp *campaign.Spec `json:"camp,omitempty"` // campaign records only
+	Err  string         `json:"err,omitempty"`  // failed/cancelled records
 }
 
 // errJournalDead is returned by appends after the journal was killed
@@ -73,6 +81,7 @@ type journal struct {
 	path  string
 	fsync bool
 	count int64 // records appended by this process
+	bytes int64 // current on-disk size (replayed prefix + appends − compactions)
 
 	// killAfter simulates SIGKILL at a record boundary for the crash
 	// harness: once count reaches it, every subsequent write — appends
@@ -109,7 +118,7 @@ func openJournal(path string, fsync bool) (*journal, []journalRecord, bool, erro
 		f.Close()
 		return nil, nil, false, fmt.Errorf("serve: journal: %w", err)
 	}
-	return &journal{f: f, path: path, fsync: fsync, killAfter: -1}, recs, torn, nil
+	return &journal{f: f, path: path, fsync: fsync, bytes: validEnd, killAfter: -1}, recs, torn, nil
 }
 
 // decodeJournal reads the longest valid record prefix of raw. Any
@@ -177,7 +186,16 @@ func (j *journal) append(rec journalRecord) error {
 		}
 	}
 	j.count++
+	j.bytes += int64(len(buf))
 	return nil
+}
+
+// size returns the journal's current on-disk size — the live-compaction
+// trigger reads it after every job retirement.
+func (j *journal) size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
 }
 
 // compact atomically replaces the journal with only the live records —
@@ -195,6 +213,7 @@ func (j *journal) compact(live []journalRecord) error {
 		return fmt.Errorf("serve: journal: compact: %w", err)
 	}
 	defer os.Remove(tmp.Name())
+	var written int64
 	for _, rec := range live {
 		buf, err := encodeRecord(rec)
 		if err != nil {
@@ -205,6 +224,7 @@ func (j *journal) compact(live []journalRecord) error {
 			tmp.Close()
 			return fmt.Errorf("serve: journal: compact: %w", err)
 		}
+		written += int64(len(buf))
 	}
 	if j.fsync {
 		if err := tmp.Sync(); err != nil {
@@ -225,6 +245,7 @@ func (j *journal) compact(live []journalRecord) error {
 	}
 	j.f.Close()
 	j.f = f
+	j.bytes = written
 	return nil
 }
 

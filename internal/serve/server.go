@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -65,6 +66,14 @@ type Options struct {
 	// StoreMaxBytes bounds the durable store; cold entries are deleted
 	// beyond it. 0 = 256 MiB.
 	StoreMaxBytes int64
+	// JournalCompactBytes triggers live journal compaction: whenever a
+	// job retires (or a campaign finishes) with the journal past this
+	// size, the daemon rewrites it down to the live records — accepts
+	// for non-terminal jobs plus generator specs for non-terminal
+	// campaigns — under the admission lock, so a million-cell campaign
+	// cannot grow the journal without bound. 0 = 4 MiB; negative
+	// disables live compaction (the clean-drain compaction remains).
+	JournalCompactBytes int64
 	// Executor overrides how jobs are computed; nil selects the real
 	// experiment dispatch. This is a harness seam — the crash–restart
 	// tests substitute a deterministic stub so replayed jobs run it
@@ -90,6 +99,9 @@ func (o *Options) fill() {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.JournalCompactBytes == 0 {
+		o.JournalCompactBytes = 4 << 20
 	}
 	if o.Registry == nil {
 		o.Registry = metrics.Default()
@@ -171,10 +183,22 @@ type Server struct {
 	inflight map[string]*job // key → queued/running job (singleflight)
 	finished []string        // finished job ids, oldest first (retention)
 
-	nextID   atomic.Uint64
-	draining atomic.Bool
-	ready    atomic.Bool // false until journal replay has re-enqueued everything
-	wg       sync.WaitGroup
+	// Campaign table. Lock order is jmu → cmu: admission journals the
+	// campaign under jmu before registering it under cmu, and the
+	// live-record snapshot takes cmu while holding jmu. cmu is never
+	// held while acquiring jmu.
+	cmu          sync.Mutex
+	campaigns    map[string]*campaignState
+	campInflight map[string]*campaignState // key → running campaign (singleflight)
+	campFinished []string                  // finished campaign ids, oldest first
+
+	nextID     atomic.Uint64
+	nextCampID atomic.Uint64
+	draining   atomic.Bool
+	ready      atomic.Bool // false until journal replay has re-enqueued everything
+	compacting atomic.Bool // at most one live journal compaction at a time
+	wg         sync.WaitGroup
+	campWG     sync.WaitGroup // campaign feeder goroutines
 
 	store *store.Store // nil without DataDir
 	jl    *journal     // nil without DataDir
@@ -184,20 +208,31 @@ type Server struct {
 
 	// run executes one job; overridable in tests for deterministic
 	// blocking/timeout behaviour. The default dispatches on Kind.
-	run func(ctx context.Context, sp *Spec) ([]byte, error)
+	// customExec records that run was replaced via Options.Executor —
+	// the warm-prefix cell path steps aside so the stub sees every job.
+	run        func(ctx context.Context, sp *Spec) ([]byte, error)
+	customExec bool
 
-	accepted    *metrics.Counter
-	rejected    *metrics.Counter
-	completed   *metrics.Counter
-	failed      *metrics.Counter
-	cancelled   *metrics.Counter
-	coalesced   *metrics.Counter
-	panicked    *metrics.Counter
-	replayed    *metrics.Counter
-	tornTail    *metrics.Counter
-	journalErrs *metrics.Counter
-	queueDepth  *metrics.Gauge
-	jobSecs     *metrics.Histogram
+	accepted     *metrics.Counter
+	rejected     *metrics.Counter
+	completed    *metrics.Counter
+	failed       *metrics.Counter
+	cancelled    *metrics.Counter
+	coalesced    *metrics.Counter
+	panicked     *metrics.Counter
+	replayed     *metrics.Counter
+	tornTail     *metrics.Counter
+	journalErrs  *metrics.Counter
+	compactions  *metrics.Counter
+	queueDepth   *metrics.Gauge
+	jobSecs      *metrics.Histogram
+	campAccepted *metrics.Counter
+	campDone     *metrics.Counter
+	campFailed   *metrics.Counter
+	campResumed  *metrics.Counter
+	campMerged   *metrics.Counter
+	campCellHits *metrics.Counter
+	campActive   *metrics.Gauge
 }
 
 // New starts a Server: opts.Workers goroutines begin draining the
@@ -211,23 +246,33 @@ type Server struct {
 func New(opts Options) (*Server, error) {
 	opts.fill()
 	s := &Server{
-		opts:        opts,
-		reg:         opts.Registry,
-		queue:       make(chan *job, opts.QueueSize),
-		jobs:        make(map[string]*job),
-		inflight:    make(map[string]*job),
-		accepted:    opts.Registry.Counter("repro_server_jobs_accepted_total"),
-		rejected:    opts.Registry.Counter("repro_server_jobs_rejected_total"),
-		completed:   opts.Registry.Counter("repro_server_jobs_completed_total"),
-		failed:      opts.Registry.Counter("repro_server_jobs_failed_total"),
-		cancelled:   opts.Registry.Counter("repro_server_jobs_cancelled_total"),
-		coalesced:   opts.Registry.Counter("repro_server_jobs_coalesced_total"),
-		panicked:    opts.Registry.Counter("repro_server_jobs_panicked_total"),
-		replayed:    opts.Registry.Counter("repro_journal_replayed_jobs_total"),
-		tornTail:    opts.Registry.Counter("repro_journal_torn_tail_total"),
-		journalErrs: opts.Registry.Counter("repro_journal_append_errors_total"),
-		queueDepth:  opts.Registry.Gauge("repro_server_queue_depth"),
-		jobSecs:     opts.Registry.Histogram("repro_server_job_seconds", nil),
+		opts:         opts,
+		reg:          opts.Registry,
+		queue:        make(chan *job, opts.QueueSize),
+		jobs:         make(map[string]*job),
+		inflight:     make(map[string]*job),
+		campaigns:    make(map[string]*campaignState),
+		campInflight: make(map[string]*campaignState),
+		accepted:     opts.Registry.Counter("repro_server_jobs_accepted_total"),
+		rejected:     opts.Registry.Counter("repro_server_jobs_rejected_total"),
+		completed:    opts.Registry.Counter("repro_server_jobs_completed_total"),
+		failed:       opts.Registry.Counter("repro_server_jobs_failed_total"),
+		cancelled:    opts.Registry.Counter("repro_server_jobs_cancelled_total"),
+		coalesced:    opts.Registry.Counter("repro_server_jobs_coalesced_total"),
+		panicked:     opts.Registry.Counter("repro_server_jobs_panicked_total"),
+		replayed:     opts.Registry.Counter("repro_journal_replayed_jobs_total"),
+		tornTail:     opts.Registry.Counter("repro_journal_torn_tail_total"),
+		journalErrs:  opts.Registry.Counter("repro_journal_append_errors_total"),
+		compactions:  opts.Registry.Counter("repro_journal_compactions_total"),
+		queueDepth:   opts.Registry.Gauge("repro_server_queue_depth"),
+		jobSecs:      opts.Registry.Histogram("repro_server_job_seconds", nil),
+		campAccepted: opts.Registry.Counter("repro_campaign_accepted_total"),
+		campDone:     opts.Registry.Counter("repro_campaign_completed_total"),
+		campFailed:   opts.Registry.Counter("repro_campaign_failed_total"),
+		campResumed:  opts.Registry.Counter("repro_campaign_resumed_total"),
+		campMerged:   opts.Registry.Counter("repro_campaign_cells_merged_total"),
+		campCellHits: opts.Registry.Counter("repro_campaign_cell_cache_hits_total"),
+		campActive:   opts.Registry.Gauge("repro_campaign_active"),
 	}
 	// Touch the store series so a memory-only daemon still exposes them
 	// (deterministic exposition either way).
@@ -235,6 +280,7 @@ func New(opts Options) (*Server, error) {
 	opts.Registry.Gauge("repro_store_bytes_on_disk")
 
 	var pending []*job
+	var resumed []*campaignState
 	if opts.DataDir != "" {
 		st, err := store.Open(filepath.Join(opts.DataDir, "store"), store.Options{
 			MaxBytes: opts.StoreMaxBytes,
@@ -252,7 +298,7 @@ func New(opts Options) (*Server, error) {
 		if torn {
 			s.tornTail.Inc()
 		}
-		pending = s.replay(recs)
+		pending, resumed = s.replay(recs)
 	}
 	s.cache = newCache(opts.CacheSize, s.store, opts.Registry)
 
@@ -260,13 +306,27 @@ func New(opts Options) (*Server, error) {
 	s.run = execute
 	if opts.Executor != nil {
 		s.run = opts.Executor
+		s.customExec = true
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	// Resume interrupted campaigns: each refolds from the store (every
+	// cell that finished before the crash is a cache hit) and re-submits
+	// the rest; replayed pending cell jobs are attached via the in-flight
+	// index rather than duplicated.
+	resume := func() {
+		for _, cs := range resumed {
+			s.campResumed.Inc()
+			s.campActive.Add(1)
+			s.campWG.Add(1)
+			go s.feedCampaign(cs)
+		}
+	}
 	if len(pending) == 0 {
 		s.ready.Store(true)
+		resume()
 	} else {
 		// Re-enqueue the crashed backlog in journal order. The queue may
 		// be smaller than the backlog, so this rides backpressure (the
@@ -277,21 +337,27 @@ func New(opts Options) (*Server, error) {
 				s.reenqueue(jb)
 			}
 			s.ready.Store(true)
+			resume()
 		}()
 	}
 	return s, nil
 }
 
-// replay folds the journal records into the job table: every accept
-// recreates its job (same id, same key, same spec), every terminal
-// record finishes one. Jobs left non-terminal were queued or running
-// at crash time and are returned for re-enqueueing. Result bodies are
-// not loaded here — a "done" job's body is fetched from the
-// content-addressed store on demand.
-func (s *Server) replay(recs []journalRecord) []*job {
+// replay folds the journal records into the job and campaign tables:
+// every accept recreates its job (same id, same key, same spec), every
+// campaign record recreates its campaign, every terminal record
+// finishes one of them ("c…" ids are campaigns, "j…" ids jobs). Jobs
+// left non-terminal were queued or running at crash time and are
+// returned for re-enqueueing; campaigns left non-terminal are returned
+// for resumption (their aggregates refold from the store). Result
+// bodies are not loaded here — a "done" job's or campaign's body is
+// fetched from the content-addressed store on demand.
+func (s *Server) replay(recs []journalRecord) ([]*job, []*campaignState) {
 	var order []*job
 	byID := make(map[string]*job)
-	var maxID uint64
+	var campOrder []*campaignState
+	campByID := make(map[string]*campaignState)
+	var maxID, maxCampID uint64
 	for _, rec := range recs {
 		switch rec.Op {
 		case opAccept:
@@ -312,7 +378,39 @@ func (s *Server) replay(recs []journalRecord) []*job {
 				maxID = n
 			}
 			s.replayed.Inc()
+		case opCampaign:
+			if rec.ID == "" || rec.Key == "" || rec.Camp == nil || campByID[rec.ID] != nil {
+				continue
+			}
+			agg, err := campaign.NewAggregate(*rec.Camp)
+			if err != nil {
+				continue // spec no longer valid under this code revision
+			}
+			cs := &campaignState{
+				id:        rec.ID,
+				key:       rec.Key,
+				agg:       agg,
+				status:    StatusRunning,
+				watch:     make(chan struct{}),
+				recovered: true,
+			}
+			campByID[rec.ID] = cs
+			campOrder = append(campOrder, cs)
+			if n, err := strconv.ParseUint(strings.TrimPrefix(rec.ID, "c"), 10, 64); err == nil && n > maxCampID {
+				maxCampID = n
+			}
 		case opDone, opFailed, opCancelled:
+			if cs := campByID[rec.ID]; cs != nil {
+				if cs.status == StatusRunning {
+					if rec.Op == opDone {
+						cs.status = StatusDone // body served lazily from the store
+					} else {
+						cs.status = StatusFailed
+						cs.err = rec.Err
+					}
+				}
+				continue
+			}
 			jb := byID[rec.ID]
 			if jb == nil || jb.status != StatusQueued {
 				continue
@@ -331,6 +429,7 @@ func (s *Server) replay(recs []journalRecord) []*job {
 		}
 	}
 	s.nextID.Store(maxID)
+	s.nextCampID.Store(maxCampID)
 
 	var pending []*job
 	s.jmu.Lock()
@@ -351,7 +450,27 @@ func (s *Server) replay(recs []journalRecord) []*job {
 		}
 	}
 	s.jmu.Unlock()
-	return pending
+
+	var resumed []*campaignState
+	s.cmu.Lock()
+	for _, cs := range campOrder {
+		s.campaigns[cs.id] = cs
+		if cs.status == StatusRunning {
+			resumed = append(resumed, cs)
+			if s.campInflight[cs.key] == nil {
+				s.campInflight[cs.key] = cs
+			}
+			continue
+		}
+		s.campFinished = append(s.campFinished, cs.id)
+		for len(s.campFinished) > s.opts.JobRetention {
+			delete(s.campaigns, s.campFinished[0])
+			copy(s.campFinished, s.campFinished[1:])
+			s.campFinished = s.campFinished[:len(s.campFinished)-1]
+		}
+	}
+	s.cmu.Unlock()
+	return pending, resumed
 }
 
 // reenqueue pushes one replayed job into the queue, waiting out
@@ -408,13 +527,19 @@ func (s *Server) journalTerminal(jb *job, op, errMsg string) {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
+	// Each worker owns one warm-prefix cell runner: consecutive cells of
+	// the same campaign prefix group restore the worker's DES snapshot
+	// instead of re-simulating the shared prefix (engine.ForkCampaign).
+	// The runner is confined to this goroutine — arenas are not safe for
+	// sharing — and holds at most one snapshot at a time.
+	cr := campaign.NewRunner()
 	for jb := range s.queue {
 		s.queueDepth.Add(-1)
-		s.runJob(jb)
+		s.runJob(jb, cr)
 	}
 }
 
-func (s *Server) runJob(jb *job) {
+func (s *Server) runJob(jb *job, cr *campaign.Runner) {
 	// A replayed job whose result already reached the content-addressed
 	// store before the crash (the store write precedes the terminal
 	// journal record) completes without recomputation: the key
@@ -435,7 +560,7 @@ func (s *Server) runJob(jb *job) {
 	jb.setStatus(StatusRunning)
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
-	body, err := s.runIsolated(ctx, jb.spec)
+	body, err := s.runIsolated(ctx, jb.spec, cr)
 	// Read the deadline state before cancel(): afterwards ctx.Err() is
 	// unconditionally non-nil and every failure would look cancelled.
 	ctxErr := ctx.Err()
@@ -479,13 +604,22 @@ func (s *Server) runJob(jb *job) {
 // killing the worker and, with it, the daemon. The stack is dropped
 // deliberately — the panic value plus the job's content-addressed spec
 // reproduce the crash offline.
-func (s *Server) runIsolated(ctx context.Context, sp *Spec) (body []byte, err error) {
+func (s *Server) runIsolated(ctx context.Context, sp *Spec, cr *campaign.Runner) (body []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panicked.Inc()
 			body, err = nil, fmt.Errorf("job panicked: %v", r)
 		}
 	}()
+	// Cell jobs take the worker's warm-prefix runner unless a test
+	// substituted the executor (the stub must then see every job).
+	if sp.Kind == "cell" && !s.customExec {
+		res, err := cr.Run(*sp.Cell)
+		if err != nil {
+			return nil, err
+		}
+		return report.EncodeCell(res)
+	}
 	return s.run(ctx, sp)
 }
 
@@ -506,6 +640,7 @@ func (s *Server) retire(jb *job) {
 		s.finished = s.finished[:len(s.finished)-1]
 	}
 	s.jmu.Unlock()
+	s.maybeCompactJournal()
 }
 
 // enqueue outcome.
@@ -537,7 +672,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	mux.HandleFunc("POST /v1/chaos", s.handleChaos)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
+	mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -714,6 +853,20 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// handleResult serves a stored result body directly by content
+// address. Job ids age out of the retention window, but the bytes
+// outlive them in the durable store — a client that kept the key (it
+// is in every 202 and every terminal response) resolves the result
+// here instead of treating the expired id as lost work.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if body, src := s.cache.Get(key); src != cacheMiss {
+		writeResult(w, key, src, body)
+		return
+	}
+	httpError(w, http.StatusNotFound, "no stored result for key %q", key)
+}
+
 // handleHealth is *liveness*: it answers 200 as long as the process
 // can serve HTTP — including while draining or replaying the journal —
 // so a supervisor does not mistake an orderly restart for a crash and
@@ -794,11 +947,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // first, in-flight jobs are cancelled (they finish as "cancelled") and
 // Shutdown returns ctx.Err() once the workers are down.
 //
-// A *clean* drain additionally compacts the journal: every accepted
-// job is terminal and its result durable in the store, so the journal
-// holds no live state and the next start replays nothing. A forced
-// drain skips compaction — the cancelled jobs' terminal records are
-// already appended, so replay still sees them terminal.
+// A *clean* drain additionally compacts the journal down to the live
+// records: every accepted job is terminal and its result durable in
+// the store, so only campaigns the drain interrupted mid-expansion
+// remain — their generator specs are rewritten so the next start
+// resumes them (refolding the already-stored cells). A forced drain
+// skips compaction — the cancelled jobs' terminal records are already
+// appended, so replay still sees them terminal.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.qmu.Lock()
@@ -811,6 +966,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	drained := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// Feeders exit once their outstanding cell jobs are terminal,
+		// which the drained queue guarantees.
+		s.campWG.Wait()
 		close(drained)
 	}()
 	var err error
@@ -823,7 +981,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if s.jl != nil {
 		if err == nil {
-			_ = s.jl.compact(nil)
+			s.jmu.Lock()
+			_ = s.jl.compact(s.liveRecords())
+			s.jmu.Unlock()
 		}
 		_ = s.jl.close()
 	}
@@ -877,6 +1037,16 @@ func execute(ctx context.Context, sp *Spec) ([]byte, error) {
 			return nil, err
 		}
 		return report.EncodeResult(res[0])
+	case "cell":
+		// Cold two-phase reference path: the worker loop normally runs
+		// cells through its warm-prefix runner (see runIsolated), which
+		// produces byte-identical documents by the fork-equivalence
+		// invariant (internal/campaign).
+		res, err := campaign.RunCellCold(*sp.Cell)
+		if err != nil {
+			return nil, err
+		}
+		return report.EncodeCell(res)
 	case "chaos":
 		r, err := faults.Run(ctx, faults.Config{
 			Faults:         sp.Chaos.Faults,

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"repro/internal/campaign"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -50,6 +51,11 @@ type Spec struct {
 	// as POST /v1/chaos). Events and Seed above parameterise the
 	// campaign; nil selects the default campaign.
 	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// Cell is the cell document for kind "cell": one expanded campaign
+	// cell (internal/campaign). The document is self-contained — Events,
+	// Seed and Window must stay zero — so identical cells from different
+	// campaigns share one content address.
+	Cell *campaign.CellSpec `json:"cell,omitempty"`
 	// Wait blocks the POST until the result is ready instead of
 	// returning 202 + a job to poll.
 	Wait bool `json:"wait,omitempty"`
@@ -78,6 +84,9 @@ type ChaosSpec struct {
 func (sp *Spec) normalize() error {
 	if sp.Kind != "chaos" && sp.Chaos != nil {
 		return fmt.Errorf("serve: kind %q takes no chaos document", sp.Kind)
+	}
+	if sp.Kind != "cell" && sp.Cell != nil {
+		return fmt.Errorf("serve: kind %q takes no cell document", sp.Kind)
 	}
 	switch sp.Kind {
 	case "fig6a", "fig6b", "fig6c", "overhead":
@@ -157,6 +166,19 @@ func (sp *Spec) normalize() error {
 				return fmt.Errorf("serve: intensity %g outside [0, 1]", in)
 			}
 		}
+	case "cell":
+		if sp.Scenario != nil {
+			return fmt.Errorf("serve: kind %q takes no scenario document", sp.Kind)
+		}
+		if sp.Cell == nil {
+			return fmt.Errorf("serve: kind \"cell\" requires a cell document")
+		}
+		if sp.Events != 0 || sp.Seed != 0 || sp.Window != 0 {
+			return fmt.Errorf("serve: events, seed and window are properties of the cell document")
+		}
+		if err := sp.Cell.Validate(); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
 	case "":
 		return fmt.Errorf("serve: missing kind")
 	default:
@@ -178,6 +200,10 @@ type jobKey struct {
 	Window   int       `json:"window"`
 	Scenario string    `json:"scenario,omitempty"` // core.Fingerprint of the built scenario
 	Chaos    *chaosKey `json:"chaos,omitempty"`    // normalized campaign document
+	// Cell enters the key verbatim: the document is already canonical
+	// (all fields explicit after validation) and struct marshalling
+	// fixes the order.
+	Cell *campaign.CellSpec `json:"cell,omitempty"`
 }
 
 // chaosKey is the campaign part of a chaos job's cache-key pre-image.
@@ -225,12 +251,36 @@ func (sp *Spec) key() (string, error) {
 			DisableMonitor: sp.Chaos.DisableMonitor,
 		}
 	}
+	if sp.Kind == "cell" {
+		k.Cell = sp.Cell
+	}
 	buf, err := json.Marshal(k)
 	if err != nil {
 		return "", fmt.Errorf("serve: %w", err)
 	}
 	h := sha256.New()
 	h.Write([]byte("repro/job/v1\n"))
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// campaignKey reduces a normalized campaign generator spec to its
+// content address. Campaigns are content-addressed like jobs: the final
+// aggregate is stored under this key, so resubmitting a finished
+// campaign — or resuming a SIGKILLed one — short-circuits on the stored
+// bytes.
+func campaignKey(sp *campaign.Spec) (string, error) {
+	k := struct {
+		V    int            `json:"v"`
+		Code string         `json:"code"`
+		Camp *campaign.Spec `json:"camp"`
+	}{V: keyVersion, Code: codeVersion, Camp: sp}
+	buf, err := json.Marshal(k)
+	if err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte("repro/campaign/v1\n"))
 	h.Write(buf)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

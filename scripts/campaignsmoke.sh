@@ -1,0 +1,175 @@
+#!/bin/sh
+# Campaign orchestrator smoke (DESIGN.md §12): the out-of-process half
+# of the million-cell campaign story, complementing
+# internal/serve/campaign_test.go (which kills at exact journal-record
+# boundaries). This script builds the real daemon and the campaign CLI,
+# folds a 1000-cell generator spec locally as the reference bytes, then
+# holds the served path to the orchestrator's contract:
+#
+#   1. a campaign submitted over HTTP and followed via the NDJSON
+#      stream converges — progress chunks are monotone in done cells —
+#      and its final aggregate is byte-identical to the local fold;
+#   2. resubmitting the finished spec answers 200 from the store with
+#      exactly those bytes (content-addressed, never recomputed);
+#   3. a SIGKILL mid-campaign loses nothing: the restarted daemon
+#      replays the generator spec from its journal, refolds stored
+#      cells as cache hits, and the client — which keeps polling across
+#      the restart — receives the same byte-identical aggregate.
+#
+# Usage: scripts/campaignsmoke.sh [seed]   (default seed 2014)
+# CAMPAIGNSMOKE_LOGDIR, when set, receives the daemon log for CI
+# artifact upload; otherwise everything lives and dies in a temp dir.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEED="${1:-2014}"
+PORT=$((18000 + SEED % 1000))
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/campaignsmoke.XXXXXX")"
+DATA="$WORK/data"
+LOG="$WORK/served.log"
+PID=""
+
+say()  { echo "campaignsmoke: $*"; }
+fail() {
+    say "FAIL: $*"
+    if [ -n "${CAMPAIGNSMOKE_LOGDIR:-}" ]; then
+        mkdir -p "$CAMPAIGNSMOKE_LOGDIR"
+        cp "$LOG" "$CAMPAIGNSMOKE_LOGDIR/served.log" 2>/dev/null || true
+        say "daemon log preserved in $CAMPAIGNSMOKE_LOGDIR/served.log"
+    else
+        say "daemon log: $LOG (workdir kept for post-mortem)"
+        trap - EXIT
+    fi
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    exit 1
+}
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() { # args: extra served flags (e.g. -workers N)
+    "$WORK/served" -addr "127.0.0.1:$PORT" -queue 256 \
+        -data-dir "$DATA" "$@" >>"$LOG" 2>&1 &
+    PID=$!
+}
+
+merged_cells() { # echoes the daemon's cells-merged counter
+    curl -s "$BASE/metrics" |
+        awk '$1 == "repro_campaign_cells_merged_total" { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+wait_ready() {
+    i=0
+    until [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")" = 200 ]; do
+        i=$((i + 1))
+        [ "$i" -gt 600 ] && fail "daemon (pid $PID) never became ready"
+        kill -0 "$PID" 2>/dev/null || fail "daemon (pid $PID) died; see log"
+        sleep 0.05
+    done
+}
+
+say "seed $SEED, port $PORT, workdir $WORK"
+go build -o "$WORK/served" ./cmd/served
+go build -o "$WORK/campaign" ./cmd/campaign
+
+# The 1000-cell spec: every registered fault model × the default 4-step
+# intensity sweep × 50 seeds, over a short warm prefix so the smoke
+# finishes in CI time. prefix_seed is the script's seed, so reruns with
+# another seed exercise a different (still deterministic) campaign.
+cat >"$WORK/spec.json" <<EOF
+{
+  "intensities": {"min": 0.25, "max": 1.0, "steps": 4},
+  "seeds": {"base": 1, "count": 50},
+  "prefix_seed": $SEED,
+  "prefix_events": 80,
+  "suffix_events": 30
+}
+EOF
+
+say "phase 0: local in-process fold (the reference bytes)"
+"$WORK/campaign" -spec "$WORK/spec.json" -o "$WORK/local.json" 2>>"$LOG" ||
+    fail "local fold failed"
+grep -q '"total_cells": 1000' "$WORK/local.json" ||
+    fail "local fold is not a 1000-cell campaign"
+
+say "phase 1: served campaign, streamed to completion"
+start_daemon -workers 4
+wait_ready
+"$WORK/campaign" -spec "$WORK/spec.json" -addr "$BASE" \
+    -o "$WORK/served.json" 2>"$WORK/stream.log" ||
+    fail "served campaign failed: $(cat "$WORK/stream.log")"
+cmp -s "$WORK/local.json" "$WORK/served.json" ||
+    fail "served aggregate differs from the local fold"
+
+# Convergence: the streamed progress narration must be monotone in done
+# cells and end at 1000/1000.
+awk 'match($0, /[0-9]+\/[0-9]+ cells/) {
+        split(substr($0, RSTART, RLENGTH), a, "/")
+        n = a[1] + 0
+        if (n < prev) bad = 1
+        prev = n
+    }
+    END { exit (bad || prev != 1000) ? 1 : 0 }' "$WORK/stream.log" ||
+    fail "streamed progress not monotone to 1000/1000: $(cat "$WORK/stream.log")"
+
+say "phase 2: resubmission answers from the store, byte-identical"
+curl -s -o "$WORK/again.json" -D "$WORK/again.hdr" -X POST \
+    -H 'Content-Type: application/json' -d @"$WORK/spec.json" "$BASE/v1/campaigns"
+grep -qiE '^X-Cache: (hit|store)' "$WORK/again.hdr" ||
+    fail "finished campaign recomputed on resubmit: $(grep -i '^X-Cache' "$WORK/again.hdr")"
+cmp -s "$WORK/local.json" "$WORK/again.json" ||
+    fail "resubmitted aggregate differs from the local fold"
+
+say "phase 3: SIGKILL mid-campaign, restart, client rides through"
+# A fresh spec (different prefix seed → different content address) so
+# nothing is cached. The phase-1 daemon drains cleanly; a 1-worker
+# replacement serves the kill-phase campaign slowly enough that the
+# SIGKILL reliably lands mid-flight.
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+start_daemon -workers 1
+wait_ready
+
+sed "s/\"prefix_seed\": $SEED/\"prefix_seed\": $((SEED + 1))/" \
+    "$WORK/spec.json" >"$WORK/spec2.json"
+"$WORK/campaign" -spec "$WORK/spec2.json" -o "$WORK/local2.json" 2>>"$LOG" ||
+    fail "local fold of the kill-phase spec failed"
+"$WORK/campaign" -spec "$WORK/spec2.json" -addr "$BASE" -retries 100 \
+    -o "$WORK/served2.json" 2>"$WORK/stream2.log" &
+CLIENT=$!
+
+# Kill once the campaign is demonstrably mid-flight: some cells merged,
+# and provably not all of them (the kill beats the fold to cell 1000).
+i=0
+while :; do
+    n="$(merged_cells)"
+    [ "$n" -ge 50 ] && break
+    i=$((i + 1))
+    [ "$i" -gt 2400 ] && fail "kill-phase campaign never reached 50 merged cells"
+    kill -0 "$CLIENT" 2>/dev/null || fail "client exited before the kill: $(cat "$WORK/stream2.log")"
+    sleep 0.02
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+[ "$n" -lt 1000 ] || fail "campaign finished before the kill; nothing was interrupted"
+say "phase 3: daemon SIGKILLed with $n/1000 cells merged"
+
+start_daemon -workers 4
+wait_ready
+curl -s "$BASE/metrics" | awk '$1 == "repro_campaign_resumed_total" && $2 == 1 { found = 1 } END { exit found ? 0 : 1 }' ||
+    fail "restarted daemon did not resume the interrupted campaign"
+
+wait "$CLIENT" || fail "client did not survive the restart: $(cat "$WORK/stream2.log")"
+cmp -s "$WORK/local2.json" "$WORK/served2.json" ||
+    fail "post-restart aggregate differs from the local fold"
+
+say "phase 4: graceful drain"
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+say "PASS: seed $SEED — 1000-cell campaign streamed, resubmitted and kill-resumed to byte-identical aggregates"

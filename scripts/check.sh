@@ -10,9 +10,12 @@
 # every benchmark so the measured paths keep compiling and running, the
 # chaos smoke campaign (DESIGN.md §8): monitored runs must satisfy the
 # temporal-independence oracle and the monitor-ablated babbling-idiot
-# runs must violate it, and the kill–restart recovery harness
+# runs must violate it, the kill–restart recovery harness
 # (DESIGN.md §9): a SIGKILLed daemon must lose no acked job and never
-# serve divergent bytes.
+# serve divergent bytes, and the campaign orchestrator smoke
+# (DESIGN.md §12): a 1000-cell generator campaign served over HTTP —
+# streamed, resubmitted and SIGKILL-resumed — must aggregate to bytes
+# identical to the local in-process fold.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -30,3 +33,4 @@ go test -run 'TestAllocBudget|TestReinitSteadyStateDoesNotAllocate|TestResetRecy
 go test -bench=. -benchtime=1x -run '^$' .
 go run ./cmd/chaos -smoke -events 80
 sh scripts/crashtest.sh
+sh scripts/campaignsmoke.sh
