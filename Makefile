@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench check bench-report serve golden chaos-smoke crashtest campaignsmoke
+.PHONY: build vet lint test race bench check bench-report serve golden chaos-smoke crashtest campaignsmoke clusterkill
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ crashtest:
 # in-process fold byte for byte.
 campaignsmoke:
 	sh scripts/campaignsmoke.sh
+
+# Cluster kill oracle: a 3-node consistent-hash ring loses a SIGKILLed
+# member mid-campaign without losing an acked job or a byte of the
+# final aggregate; a wiped replacement recovers warm via peer fetch.
+clusterkill:
+	sh scripts/clusterkill.sh
 
 # Run the simulation daemon on :8080 (see README "Server mode").
 serve:

@@ -16,7 +16,12 @@
 //	campaign [-spec file|-] [-faults a,b] [-intensity-min F] [-intensity-max F]
 //	         [-steps N] [-seed-base N] [-seeds N] [-prefix-seed N]
 //	         [-prefix-events N] [-suffix-events N]
-//	         [-workers N] [-addr http://host:port] [-o file]
+//	         [-workers N] [-addr http://host:port[,http://host2:port]] [-o file]
+//
+// With several comma-separated addresses the client routes by the
+// campaign's ring key, hedges reads against a second replica, and
+// fails over when the coordinator dies (see internal/serve/client's
+// ClusterClient).
 package main
 
 import (
@@ -49,7 +54,7 @@ func main() {
 	prefixEvents := flag.Int("prefix-events", 0, "shared warm-prefix length in events (0 = default)")
 	suffixEvents := flag.Int("suffix-events", 0, "per-cell adversarial suffix length (0 = default)")
 	workers := flag.Int("workers", runner.Default(), "local fold worker pool (ignored with -addr)")
-	addr := flag.String("addr", "", "serve daemon base URL; empty folds the campaign in-process")
+	addr := flag.String("addr", "", "serve daemon base URL(s), comma-separated; empty folds the campaign in-process, several addresses use ring-aware routing with hedged reads")
 	retries := flag.Int("retries", 0, "retryable-failure budget when polling the daemon (0 = client default; raise to ride long restarts)")
 	out := flag.String("o", "-", "output file for the aggregate document (- for stdout)")
 	flag.Parse()
@@ -70,10 +75,13 @@ func main() {
 	defer stop()
 
 	var body []byte
-	if *addr == "" {
+	switch addrs := splitAddrs(*addr); len(addrs) {
+	case 0:
 		body, err = runLocal(ctx, sp, *workers)
-	} else {
-		body, err = runRemote(ctx, sp, *addr, *retries)
+	case 1:
+		body, err = runRemote(ctx, sp, addrs[0], *retries)
+	default:
+		body, err = runCluster(ctx, sp, addrs, *retries)
 	}
 	if err != nil {
 		fatal(err)
@@ -117,6 +125,22 @@ func loadSpec(path string, inline campaign.Spec) (campaign.Spec, error) {
 	fmt.Fprintf(os.Stderr, "campaign: %d cells (%d fault models × %d intensities × %d seeds)\n",
 		sp.Cells(), len(sp.Faults), sp.Intensities.Steps, sp.Seeds.Count)
 	return sp, nil
+}
+
+// splitAddrs turns the -addr flag into a list of base URLs: empty →
+// local fold, one URL → single-daemon client, several (comma-
+// separated) → ring-aware cluster client.
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func splitFaults(s string) []string {
@@ -177,6 +201,40 @@ func runRemote(ctx context.Context, sp campaign.Spec, addr string, retries int) 
 		return nil, fmt.Errorf("campaign %s finished %s: %s", camp.ID, final.Status, final.Error)
 	}
 	return c.ResultByKey(ctx, final.Key)
+}
+
+// runCluster submits the spec through the ring-aware client: the
+// campaign routes to its key's ring owner, reads hedge against a
+// second replica, and a dead coordinator fails over to the next
+// member. Node names are synthesized from the address list order.
+func runCluster(ctx context.Context, sp campaign.Spec, addrs []string, retries int) ([]byte, error) {
+	nodes := make([]client.ClusterNode, len(addrs))
+	for i, a := range addrs {
+		nodes[i] = client.ClusterNode{Name: fmt.Sprintf("n%d", i+1), URL: a}
+	}
+	cc, err := client.NewCluster(client.ClusterOptions{
+		Nodes:    nodes,
+		Template: client.Options{MaxRetries: retries},
+	})
+	if err != nil {
+		return nil, err
+	}
+	last := time.Time{}
+	body, err := cc.RunCampaign(ctx, sp, func(cv *client.Campaign) error {
+		if cv.Terminal() || time.Since(last) >= time.Second {
+			fmt.Fprintf(os.Stderr, "campaign: %s %s %d/%d cells, %d violations\n",
+				cv.ID, cv.Status, cv.Done, cv.TotalCells, cv.Violations)
+			last = time.Now()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if h, f := cc.Hedged(), cc.Failovers(); h > 0 || f > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: ring reads hedged %d time(s), failed over %d time(s)\n", h, f)
+	}
+	return body, nil
 }
 
 // streamProgress follows the campaign's NDJSON stream, narrating

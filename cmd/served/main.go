@@ -7,6 +7,12 @@
 //
 //	served [-addr :8080] [-workers N] [-queue N] [-cache N] [-job-timeout D]
 //	       [-job-retention N] [-data-dir DIR] [-fsync] [-store-max-bytes N]
+//	       [-cluster-members FILE -cluster-self NAME] [-cluster-replicas N]
+//
+// With -cluster-members the daemon joins a consistent-hash ring of
+// peers (see internal/cluster): results are fetched from replicas
+// before recomputing, campaign cells scatter to their ring owners, and
+// a graceful drain hands unfinished journal records to a successor.
 //
 // Endpoints:
 //
@@ -44,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/serve"
@@ -61,7 +68,30 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability root (result store + job journal); empty = memory only")
 	fsync := flag.Bool("fsync", false, "fsync journal appends and store writes (power-loss durability at a latency cost)")
 	storeMax := flag.Int64("store-max-bytes", 0, "durable store byte budget; cold entries beyond it are deleted (0 = 256 MiB)")
+	clusterMembers := flag.String("cluster-members", "", "path to a JSON ring membership file ([{\"name\":...,\"url\":...}]); empty = single node")
+	clusterSelf := flag.String("cluster-self", "", "this node's name in the membership file (required with -cluster-members)")
+	clusterReplicas := flag.Int("cluster-replicas", 0, "ring replicas per key (0 = 2, clamped to the member count)")
+	heartbeat := flag.Duration("cluster-heartbeat", time.Second, "peer liveness probe interval")
 	flag.Parse()
+
+	var cl *cluster.Cluster
+	if *clusterMembers != "" {
+		members, err := cluster.LoadMembers(*clusterMembers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "served: %v\n", err)
+			os.Exit(1)
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:              *clusterSelf,
+			Members:           members,
+			Replicas:          *clusterReplicas,
+			HeartbeatInterval: *heartbeat,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "served: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	s, err := serve.New(serve.Options{
 		Workers:       *workers,
@@ -73,10 +103,17 @@ func main() {
 		DataDir:       *dataDir,
 		Fsync:         *fsync,
 		StoreMaxBytes: *storeMax,
+		Cluster:       cl,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "served: %v\n", err)
 		os.Exit(1)
+	}
+	if cl != nil {
+		cl.Start()
+		defer cl.Stop()
+		fmt.Fprintf(os.Stderr, "served: cluster node %q in a ring of %d (replicas %d)\n",
+			cl.Self(), len(cl.Members()), cl.ReplicaCount())
 	}
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -1,0 +1,497 @@
+// Package cluster turns independent serve daemons into a ring sharing
+// one content-addressed keyspace. It owns the three cluster-local
+// mechanisms and nothing else — the serve daemon composes them:
+//
+//   - a deterministic consistent-hash ring (ring.go) mapping every
+//     job/cell/campaign key to an owner plus replicas, identical on
+//     every node and every client that knows the member names;
+//   - heartbeat liveness with hysteresis (health.go), fed by an active
+//     /healthz prober and passively by every peer operation;
+//   - the peer HTTP operations: fetch a stored result by content
+//     address (checksum-verified end to end via the internal/store
+//     frame), dispatch a job to its ring owner, and hand off journal
+//     records to a successor during drain.
+//
+// The correctness argument is the repo's standing one: keys identify
+// bytes exactly, so *any* routing decision — owner, replica, failover,
+// re-own after a death — yields byte-identical results. The ring is an
+// efficiency structure (who probably has it / who should compute it),
+// never a consistency structure; no operation in this package can
+// change what bytes a key names.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// Node is one ring member: a stable name (the ring hashes names, so
+// renaming a node reshuffles its keys) and the base URL its serve
+// daemon answers on.
+type Node struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Config describes this node's view of the cluster. Zero values
+// select the defaults noted per field.
+type Config struct {
+	// Self is this node's name; must appear in Members. Empty Self
+	// with non-empty Members is a client-side (ring-only) config.
+	Self string
+	// Members is the static seed membership, self included. Names must
+	// be unique and non-empty.
+	Members []Node
+	// Replicas is the replica-set size per key (owner included). It is
+	// clamped to the member count. 0 = 2.
+	Replicas int
+	// HeartbeatInterval paces the active /healthz prober started by
+	// Start. 0 = 1s.
+	HeartbeatInterval time.Duration
+	// ProbeTimeout bounds one heartbeat probe. 0 = 1s.
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive-failure count that demotes a
+	// peer alive → suspect. 0 = 2.
+	SuspectAfter int
+	// DeadAfter is the further consecutive failures that demote
+	// suspect → dead (so a peer dies after SuspectAfter+DeadAfter
+	// straight failures). 0 = 2.
+	DeadAfter int
+	// ReviveAfter is the consecutive-success count that promotes a
+	// suspect or dead peer back to alive. 0 = 2.
+	ReviveAfter int
+	// FetchTimeout bounds one peer store fetch. 0 = 2s.
+	FetchTimeout time.Duration
+	// DispatchTimeout bounds one remote job dispatch (the remote
+	// computes synchronously under it). 0 = 2 minutes.
+	DispatchTimeout time.Duration
+	// DispatchRetries bounds how many 429/503 refusals one dispatch
+	// rides before giving up (the caller then re-owns the work
+	// locally). 0 = 20.
+	DispatchRetries int
+	// ScatterWidth bounds concurrent remote cell dispatches per
+	// campaign feeder. 0 = 16.
+	ScatterWidth int
+	// HTTP is the transport for every peer operation. nil =
+	// http.DefaultClient.
+	HTTP *http.Client
+	// Registry receives the cluster metrics; nil = metrics.Default().
+	Registry *metrics.Registry
+}
+
+func (c *Config) fill() error {
+	if len(c.Members) == 0 {
+		return errors.New("cluster: empty membership")
+	}
+	seen := make(map[string]bool, len(c.Members))
+	selfSeen := false
+	for _, n := range c.Members {
+		if n.Name == "" {
+			return errors.New("cluster: member with empty name")
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("cluster: duplicate member %q", n.Name)
+		}
+		seen[n.Name] = true
+		if n.Name == c.Self {
+			selfSeen = true
+		}
+	}
+	if c.Self != "" && !selfSeen {
+		return fmt.Errorf("cluster: self %q not in membership", c.Self)
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Members) {
+		c.Replicas = len(c.Members)
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2
+	}
+	if c.ReviveAfter <= 0 {
+		c.ReviveAfter = 2
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 2 * time.Second
+	}
+	if c.DispatchTimeout <= 0 {
+		c.DispatchTimeout = 2 * time.Minute
+	}
+	if c.DispatchRetries <= 0 {
+		c.DispatchRetries = 20
+	}
+	if c.ScatterWidth <= 0 {
+		c.ScatterWidth = 16
+	}
+	if c.HTTP == nil {
+		c.HTTP = http.DefaultClient
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.Default()
+	}
+	return nil
+}
+
+// LoadMembers reads a static membership file: a JSON array of
+// {"name": ..., "url": ...} objects. Trailing slashes on URLs are
+// trimmed so base+path concatenation is uniform.
+func LoadMembers(path string) ([]Node, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: membership: %w", err)
+	}
+	var members []Node
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&members); err != nil {
+		return nil, fmt.Errorf("cluster: membership %s: %w", path, err)
+	}
+	for i := range members {
+		members[i].URL = strings.TrimRight(members[i].URL, "/")
+	}
+	return members, nil
+}
+
+// Cluster is one node's runtime view of the ring: routing, liveness
+// and the peer operations. Safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	ring   *Ring
+	health *health
+	urls   map[string]string // name → base URL
+
+	stop      chan struct{}
+	probeDone chan struct{}
+	started   bool
+
+	peerFetchHits    *metrics.Counter
+	peerFetchMisses  *metrics.Counter
+	checksumFailures *metrics.Counter
+	dispatches       *metrics.Counter
+	dispatchFailures *metrics.Counter
+}
+
+// New validates cfg and builds the cluster view. The heartbeat prober
+// is not running yet — call Start (and Stop on the way down); passive
+// liveness from peer operations works either way.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(cfg.Members))
+	urls := make(map[string]string, len(cfg.Members))
+	var peers []string
+	for _, n := range cfg.Members {
+		names = append(names, n.Name)
+		urls[n.Name] = strings.TrimRight(n.URL, "/")
+		if n.Name != cfg.Self {
+			peers = append(peers, n.Name)
+		}
+	}
+	reg := cfg.Registry
+	c := &Cluster{
+		cfg:              cfg,
+		ring:             NewRing(names),
+		health:           newHealth(peers, cfg.SuspectAfter, cfg.DeadAfter, cfg.ReviveAfter, reg),
+		urls:             urls,
+		stop:             make(chan struct{}),
+		probeDone:        make(chan struct{}),
+		peerFetchHits:    reg.Counter("repro_cluster_peer_fetch_hits_total"),
+		peerFetchMisses:  reg.Counter("repro_cluster_peer_fetch_misses_total"),
+		checksumFailures: reg.Counter("repro_cluster_peer_checksum_failures_total"),
+		dispatches:       reg.Counter("repro_cluster_dispatch_total"),
+		dispatchFailures: reg.Counter("repro_cluster_dispatch_failures_total"),
+	}
+	return c, nil
+}
+
+// Start launches the heartbeat prober. Idempotent.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	go c.probeLoop(c.cfg.HeartbeatInterval)
+}
+
+// Stop halts the prober (if started) and waits for it to exit.
+func (c *Cluster) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	if c.started {
+		<-c.probeDone
+	}
+}
+
+// Self returns this node's name ("" for a client-side view).
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Ring exposes the routing function (for ring-aware clients).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Members returns the membership in sorted-name order.
+func (c *Cluster) Members() []Node {
+	out := make([]Node, 0, len(c.urls))
+	for _, name := range c.ring.Members() {
+		out = append(out, Node{Name: name, URL: c.urls[name]})
+	}
+	return out
+}
+
+// URL returns a member's base URL ("" for unknown names).
+func (c *Cluster) URL(name string) string { return c.urls[name] }
+
+// Replicas returns the key's replica set (owner first) at the
+// configured replication factor.
+func (c *Cluster) Replicas(key string) []string { return c.ring.Replicas(key, c.cfg.Replicas) }
+
+// Owner returns the key's ring owner.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// ReplicaCount returns the configured replica-set size per key.
+func (c *Cluster) ReplicaCount() int { return c.cfg.Replicas }
+
+// ScatterWidth returns the per-campaign remote-dispatch concurrency
+// bound.
+func (c *Cluster) ScatterWidth() int { return c.cfg.ScatterWidth }
+
+// Usable reports whether work should be routed to name (self is
+// always usable; dead peers are not).
+func (c *Cluster) Usable(name string) bool {
+	if name == c.cfg.Self {
+		return true
+	}
+	return c.health.Usable(name)
+}
+
+// PeerState reports a peer's liveness state.
+func (c *Cluster) PeerState(name string) string {
+	if name == c.cfg.Self {
+		return StateAlive
+	}
+	return c.health.State(name)
+}
+
+// Report feeds a passive liveness observation (e.g. a transport error
+// from a peer operation outside this package).
+func (c *Cluster) Report(name string, ok bool) { c.health.Report(name, ok) }
+
+// maxPeerResultBytes bounds one fetched peer entry. Result documents
+// are figure- or aggregate-sized; 64 MiB is generous headroom, not a
+// real limit.
+const maxPeerResultBytes = 64 << 20
+
+// FetchResult asks the cluster for a stored result by content address
+// before any cold recompute: the key's replicas are tried first (they
+// should have it), then every other usable member (content addressing
+// makes any copy authoritative — e.g. a campaign coordinator holds
+// replicas of every cell it merged). The transported frame is the
+// store's own on-disk framing, so the checksum verified here covers
+// the peer's disk read *and* the network transfer. A frame that fails
+// verification counts as a checksum failure and the next member is
+// tried; the serving node quarantines its copy on its own (store.Get
+// semantics).
+//
+// Returns the body, the serving member's name, and whether any member
+// had verified bytes.
+func (c *Cluster) FetchResult(ctx context.Context, key string) ([]byte, string, bool) {
+	for _, name := range c.fetchOrder(key) {
+		body, ok := c.fetchFrom(ctx, name, key)
+		if ok {
+			c.peerFetchHits.Inc()
+			return body, name, true
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.peerFetchMisses.Inc()
+	return nil, "", false
+}
+
+// fetchOrder is FetchResult's candidate list: the key's replicas in
+// ring order, then the remaining members in sorted order; self and
+// dead peers are skipped.
+func (c *Cluster) fetchOrder(key string) []string {
+	var order []string
+	seen := make(map[string]bool, len(c.urls))
+	add := func(name string) {
+		if name == c.cfg.Self || seen[name] || !c.health.Usable(name) {
+			return
+		}
+		seen[name] = true
+		order = append(order, name)
+	}
+	for _, name := range c.Replicas(key) {
+		add(name)
+	}
+	for _, name := range c.ring.Members() {
+		add(name)
+	}
+	return order
+}
+
+// fetchFrom retrieves and verifies one member's copy of key.
+func (c *Cluster) fetchFrom(ctx context.Context, name, key string) ([]byte, bool) {
+	url := c.urls[name]
+	if url == "" {
+		return nil, false
+	}
+	fctx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, url+"/v1/peer/results/"+key, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		c.health.Report(name, false)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	c.health.Report(name, true)
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	frame, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResultBytes+1))
+	if err != nil || len(frame) > maxPeerResultBytes {
+		return nil, false
+	}
+	body, ok := store.DecodeFrame(frame)
+	if !ok {
+		c.checksumFailures.Inc()
+		return nil, false
+	}
+	return body, true
+}
+
+// Dispatch posts one job spec to a member's /v1/experiments and
+// returns the result body. The spec must carry "wait": true — the
+// dispatch is synchronous by design (the caller is a campaign feeder
+// holding a merge slot). 429/503 refusals are ridden with the
+// server's Retry-After advice (bounded by DispatchRetries); transport
+// errors and every other status fail the dispatch, after which the
+// caller re-owns the work locally. Byte-identity makes that failover
+// free of coordination: whoever computes the cell, the bytes match.
+func (c *Cluster) Dispatch(ctx context.Context, name string, spec any) ([]byte, error) {
+	url := c.urls[name]
+	if url == "" {
+		return nil, fmt.Errorf("cluster: unknown member %q", name)
+	}
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding dispatch spec: %w", err)
+	}
+	c.dispatches.Inc()
+	dctx, cancel := context.WithTimeout(ctx, c.cfg.DispatchTimeout)
+	defer cancel()
+	for attempt := 0; ; attempt++ {
+		body, retryAfter, err := c.dispatchOnce(dctx, url, name, payload)
+		if err == nil {
+			return body, nil
+		}
+		if retryAfter < 0 || attempt >= c.cfg.DispatchRetries {
+			c.dispatchFailures.Inc()
+			return nil, err
+		}
+		select {
+		case <-dctx.Done():
+			c.dispatchFailures.Inc()
+			return nil, dctx.Err()
+		case <-time.After(retryAfter):
+		}
+	}
+}
+
+// dispatchOnce runs one POST attempt. retryAfter < 0 means the error
+// is terminal; otherwise it is the backoff before the next attempt.
+func (c *Cluster) dispatchOnce(ctx context.Context, url, name string, payload []byte) ([]byte, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/experiments", bytes.NewReader(payload))
+	if err != nil {
+		return nil, -1, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		c.health.Report(name, false)
+		return nil, -1, fmt.Errorf("cluster: dispatch to %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	c.health.Report(name, true)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResultBytes))
+	if err != nil {
+		return nil, -1, fmt.Errorf("cluster: dispatch to %s: %w", name, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return body, 0, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		backoff := 50 * time.Millisecond
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			backoff = time.Duration(secs) * time.Second
+		}
+		return nil, backoff, fmt.Errorf("cluster: dispatch to %s refused: %d", name, resp.StatusCode)
+	default:
+		return nil, -1, fmt.Errorf("cluster: dispatch to %s: status %d: %s",
+			name, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+}
+
+// Handoff ships a batch of journal records (as a serve-encoded JSON
+// body) to a member's /v1/peer/handoff. Returns how many records the
+// receiver adopted.
+func (c *Cluster) Handoff(ctx context.Context, name string, body []byte) (int, error) {
+	url := c.urls[name]
+	if url == "" {
+		return 0, fmt.Errorf("cluster: unknown member %q", name)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/peer/handoff", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		c.health.Report(name, false)
+		return 0, fmt.Errorf("cluster: handoff to %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	c.health.Report(name, true)
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("cluster: handoff to %s: status %d: %s",
+			name, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var ack struct {
+		Adopted int `json:"adopted"`
+	}
+	if err := json.Unmarshal(raw, &ack); err != nil {
+		return 0, fmt.Errorf("cluster: handoff to %s: %w", name, err)
+	}
+	return ack.Adopted, nil
+}

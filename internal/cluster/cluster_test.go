@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// testCluster builds a 3-member cluster view for "self" with two
+// httptest peers. Handlers may be nil (always-404 peer).
+func testCluster(t *testing.T, h1, h2 http.Handler) (*Cluster, *metrics.Registry) {
+	t.Helper()
+	if h1 == nil {
+		h1 = http.NotFoundHandler()
+	}
+	if h2 == nil {
+		h2 = http.NotFoundHandler()
+	}
+	s1 := httptest.NewServer(h1)
+	s2 := httptest.NewServer(h2)
+	t.Cleanup(s1.Close)
+	t.Cleanup(s2.Close)
+	reg := metrics.NewRegistry()
+	c, err := New(Config{
+		Self: "self",
+		Members: []Node{
+			{Name: "self", URL: "http://127.0.0.1:1"}, // never dialed
+			{Name: "p1", URL: s1.URL},
+			{Name: "p2", URL: s2.URL},
+		},
+		FetchTimeout:    2 * time.Second,
+		DispatchTimeout: 5 * time.Second,
+		Registry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, reg
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := New(Config{Self: "x", Members: []Node{{Name: "a", URL: "u"}}}); err == nil {
+		t.Fatal("self outside membership accepted")
+	}
+	if _, err := New(Config{Members: []Node{{Name: "a", URL: "u"}, {Name: "a", URL: "v"}}}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	c, err := New(Config{Self: "a", Members: []Node{{Name: "a", URL: "u"}, {Name: "b", URL: "v"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ReplicaCount() != 2 {
+		t.Fatalf("default replicas %d", c.ReplicaCount())
+	}
+}
+
+func TestLoadMembers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members.json")
+	if err := os.WriteFile(path, []byte(`[
+		{"name": "n1", "url": "http://h1:8080/"},
+		{"name": "n2", "url": "http://h2:8080"}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	members, err := LoadMembers(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{{Name: "n1", URL: "http://h1:8080"}, {Name: "n2", URL: "http://h2:8080"}}
+	if !reflect.DeepEqual(members, want) {
+		t.Fatalf("got %v want %v", members, want)
+	}
+	if _, err := LoadMembers(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`[{"name": "n", "url": "u", "extra": 1}]`), 0o644)
+	if _, err := LoadMembers(bad); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestFetchResultVerifiedHit(t *testing.T) {
+	body := []byte(`{"figure": "6a"}`)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/peer/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("key") != "k1" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(store.EncodeFrame(body))
+	})
+	c, reg := testCluster(t, mux, mux)
+	got, from, ok := c.FetchResult(context.Background(), "k1")
+	if !ok {
+		t.Fatal("fetch missed")
+	}
+	if string(got) != string(body) {
+		t.Fatalf("body %q", got)
+	}
+	if from != "p1" && from != "p2" {
+		t.Fatalf("served by %q", from)
+	}
+	if reg.Counter("repro_cluster_peer_fetch_hits_total").Value() != 1 {
+		t.Fatal("hit not counted")
+	}
+	if _, _, ok := c.FetchResult(context.Background(), "absent"); ok {
+		t.Fatal("absent key fetched")
+	}
+	if reg.Counter("repro_cluster_peer_fetch_misses_total").Value() != 1 {
+		t.Fatal("miss not counted")
+	}
+}
+
+func TestFetchResultChecksumMismatchSkipsPeer(t *testing.T) {
+	good := []byte("good-bytes")
+	corrupt := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		frame := store.EncodeFrame(good)
+		frame[len(frame)-1] ^= 0xff // flip a body byte: checksum now wrong
+		w.Write(frame)
+	})
+	honest := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(store.EncodeFrame(good))
+	})
+	// Both handlers answer every key; whichever order the ring tries,
+	// the corrupt frame must be rejected and the honest copy returned.
+	c, reg := testCluster(t, corrupt, honest)
+	// Force a deterministic order: make p1 (corrupt) first by trying
+	// keys until p1 leads the fetch order.
+	key := ""
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		if c.fetchOrder(k)[0] == "p1" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key routed to p1 first")
+	}
+	got, from, ok := c.FetchResult(context.Background(), key)
+	if !ok || string(got) != string(good) {
+		t.Fatalf("fetch = %q, %v", got, ok)
+	}
+	if from != "p2" {
+		t.Fatalf("served by %q, want honest p2", from)
+	}
+	if reg.Counter("repro_cluster_peer_checksum_failures_total").Value() != 1 {
+		t.Fatal("checksum failure not counted")
+	}
+}
+
+func TestFetchSkipsDeadPeers(t *testing.T) {
+	var hits1, hits2 atomic.Int64
+	count := func(n *atomic.Int64) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			n.Add(1)
+			http.NotFound(w, r)
+		})
+	}
+	c, _ := testCluster(t, count(&hits1), count(&hits2))
+	for i := 0; i < 4; i++ {
+		c.Report("p1", false)
+	}
+	if c.PeerState("p1") != StateDead {
+		t.Fatalf("setup: p1 = %s", c.PeerState("p1"))
+	}
+	c.FetchResult(context.Background(), "k")
+	if hits1.Load() != 0 {
+		t.Fatal("dead peer was dialed")
+	}
+	if hits2.Load() == 0 {
+		t.Fatal("live peer was not dialed")
+	}
+}
+
+func TestDispatchRetriesRefusalsThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	busyThenOK := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/experiments" {
+			http.NotFound(w, r)
+			return
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("result"))
+	})
+	c, reg := testCluster(t, busyThenOK, nil)
+	got, err := c.Dispatch(context.Background(), "p1", map[string]any{"kind": "fig6a", "wait": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "result" {
+		t.Fatalf("body %q", got)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls %d", calls.Load())
+	}
+	if reg.Counter("repro_cluster_dispatch_total").Value() != 1 {
+		t.Fatal("dispatch not counted")
+	}
+}
+
+func TestDispatchTerminalStatusFails(t *testing.T) {
+	bad := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such kind", http.StatusBadRequest)
+	})
+	c, reg := testCluster(t, bad, nil)
+	if _, err := c.Dispatch(context.Background(), "p1", map[string]any{}); err == nil {
+		t.Fatal("400 dispatch succeeded")
+	}
+	if reg.Counter("repro_cluster_dispatch_failures_total").Value() != 1 {
+		t.Fatal("failure not counted")
+	}
+	if _, err := c.Dispatch(context.Background(), "nobody", map[string]any{}); err == nil {
+		t.Fatal("unknown member dispatch succeeded")
+	}
+}
+
+func TestDispatchTransportErrorReportsFailure(t *testing.T) {
+	c, _ := testCluster(t, nil, nil)
+	// Point p1 at a closed port by rebuilding with an unreachable URL.
+	c2, err := New(Config{
+		Self: "self",
+		Members: []Node{
+			{Name: "self", URL: "http://127.0.0.1:1"},
+			{Name: "p1", URL: "http://127.0.0.1:1"},
+		},
+		Registry: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+	if _, err := c2.Dispatch(context.Background(), "p1", map[string]any{}); err == nil {
+		t.Fatal("unreachable dispatch succeeded")
+	}
+	if c2.PeerState("p1") == StateDead {
+		t.Fatal("single transport error already dead (no hysteresis)")
+	}
+	if _, err := c2.Dispatch(context.Background(), "p1", map[string]any{}); err == nil {
+		t.Fatal("unreachable dispatch succeeded")
+	}
+	if got := c2.PeerState("p1"); got != StateSuspect {
+		t.Fatalf("after 2 transport errors: %s, want suspect", got)
+	}
+}
+
+func TestHandoff(t *testing.T) {
+	var gotBody atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/peer/handoff", func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, r.ContentLength)
+		r.Body.Read(b)
+		gotBody.Store(string(b))
+		w.Write([]byte(`{"adopted": 2}`))
+	})
+	c, _ := testCluster(t, mux, nil)
+	n, err := c.Handoff(context.Background(), "p1", []byte(`{"records": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("adopted %d", n)
+	}
+	if gotBody.Load() != `{"records": []}` {
+		t.Fatalf("peer saw %q", gotBody.Load())
+	}
+}
+
+func TestProberMarksDeadAndRevives(t *testing.T) {
+	up := atomic.Bool{}
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !up.Load() {
+			// Hijack and slam the connection so the probe sees a
+			// transport error rather than an HTTP response.
+			hj, _ := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	healthy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	s1 := httptest.NewServer(flaky)
+	s2 := httptest.NewServer(healthy)
+	t.Cleanup(s1.Close)
+	t.Cleanup(s2.Close)
+	c, err := New(Config{
+		Self: "self",
+		Members: []Node{
+			{Name: "self", URL: "http://127.0.0.1:1"},
+			{Name: "p1", URL: s1.URL},
+			{Name: "p2", URL: s2.URL},
+		},
+		HeartbeatInterval: 5 * time.Millisecond,
+		ProbeTimeout:      time.Second,
+		Registry:          metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	waitState := func(name, want string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.PeerState(name) == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("%s never reached %s (now %s)", name, want, c.PeerState(name))
+	}
+	waitState("p1", StateDead)
+	if c.PeerState("p2") != StateAlive {
+		t.Fatalf("p2 = %s", c.PeerState("p2"))
+	}
+	up.Store(true)
+	waitState("p1", StateAlive)
+}

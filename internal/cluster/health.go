@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Peer liveness: a per-peer state machine fed by both an active HTTP
+// heartbeat (GET /healthz on an interval) and passive reports from the
+// peer operations themselves (a dispatch that gets connection-refused
+// is evidence; so is one that gets any HTTP answer at all). The
+// machine has hysteresis in both directions — consecutive failures to
+// fall, consecutive successes to rise — so a single dropped probe
+// never reroutes the keyspace and a single lucky packet never routes
+// work back to a flapping node.
+//
+//	alive --SuspectAfter consecutive failures--> suspect
+//	suspect --DeadAfter further failures-------> dead
+//	suspect/dead --ReviveAfter successes-------> alive
+//
+// "Suspect" still receives work (it may just be slow); "dead" is
+// routed around — peer fetches skip it, scattered cells are re-owned,
+// and the ring-aware client fails writes over to the next replica.
+// Everything is monotonic per report: no timers fire inside the state
+// machine, so tests drive it deterministically through Report.
+
+// Peer states.
+const (
+	StateAlive   = "alive"
+	StateSuspect = "suspect"
+	StateDead    = "dead"
+)
+
+type peerHealth struct {
+	state string
+	fails int // consecutive probe/operation failures
+	succs int // consecutive successes while not alive
+}
+
+// health tracks liveness for every peer (never self). Safe for
+// concurrent use.
+type health struct {
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+
+	suspectAfter int
+	deadAfter    int
+	reviveAfter  int
+
+	alive       *metrics.Gauge
+	transitions *metrics.Counter
+}
+
+func newHealth(peers []string, suspectAfter, deadAfter, reviveAfter int, reg *metrics.Registry) *health {
+	h := &health{
+		peers:        make(map[string]*peerHealth, len(peers)),
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		reviveAfter:  reviveAfter,
+		alive:        reg.Gauge("repro_cluster_peers_alive"),
+		transitions:  reg.Counter("repro_cluster_health_transitions_total"),
+	}
+	for _, p := range peers {
+		// Optimistic start: a fresh node must not route around peers it
+		// has simply never probed yet.
+		h.peers[p] = &peerHealth{state: StateAlive}
+	}
+	h.alive.Set(int64(len(peers)))
+	return h
+}
+
+// Report feeds one observation about a peer into the state machine.
+// Unknown names (not in the membership) are ignored.
+func (h *health) Report(name string, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peers[name]
+	if p == nil {
+		return
+	}
+	before := p.state
+	if ok {
+		p.fails = 0
+		if p.state == StateAlive {
+			p.succs = 0
+		} else {
+			p.succs++
+			if p.succs >= h.reviveAfter {
+				p.state = StateAlive
+				p.succs = 0
+			}
+		}
+	} else {
+		p.succs = 0
+		p.fails++
+		switch p.state {
+		case StateAlive:
+			if p.fails >= h.suspectAfter {
+				p.state = StateSuspect
+			}
+		case StateSuspect:
+			if p.fails >= h.suspectAfter+h.deadAfter {
+				p.state = StateDead
+			}
+		}
+	}
+	if p.state != before {
+		h.transitions.Inc()
+		switch {
+		case before != StateDead && p.state == StateDead:
+			h.alive.Add(-1)
+		case before == StateDead && p.state != StateDead:
+			h.alive.Add(1)
+		}
+	}
+}
+
+// State returns a peer's current state (StateAlive for unknown names:
+// self and strangers are not routed around).
+func (h *health) State(name string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if p := h.peers[name]; p != nil {
+		return p.state
+	}
+	return StateAlive
+}
+
+// Usable reports whether work should still be routed to name: every
+// state except dead.
+func (h *health) Usable(name string) bool { return h.State(name) != StateDead }
+
+// probeLoop runs the active heartbeat until stop closes: every
+// interval, each peer's /healthz is probed and the result reported.
+// Probes run sequentially — cluster memberships are small and the
+// probe timeout short — so one loop iteration is bounded by
+// len(peers) × timeout.
+func (c *Cluster) probeLoop(interval time.Duration) {
+	defer close(c.probeDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for _, n := range c.cfg.Members {
+			if n.Name == c.cfg.Self {
+				continue
+			}
+			c.health.Report(n.Name, c.probe(n) == nil)
+		}
+	}
+}
+
+// probe is one heartbeat: GET {peer}/healthz within the probe timeout.
+// Any HTTP response counts as alive — /healthz answers 200 even while
+// draining or replaying, and a 5xx from a half-up process is still a
+// process.
+func (c *Cluster) probe(n Node) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func newTestHealth(t *testing.T) (*health, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	return newHealth([]string{"p1", "p2"}, 2, 2, 2, reg), reg
+}
+
+func report(h *health, name string, ok bool, n int) {
+	for i := 0; i < n; i++ {
+		h.Report(name, ok)
+	}
+}
+
+func TestHealthHysteresisDown(t *testing.T) {
+	h, _ := newTestHealth(t)
+	if got := h.State("p1"); got != StateAlive {
+		t.Fatalf("initial state %s", got)
+	}
+	h.Report("p1", false)
+	if got := h.State("p1"); got != StateAlive {
+		t.Fatalf("one failure demoted to %s", got)
+	}
+	h.Report("p1", false)
+	if got := h.State("p1"); got != StateSuspect {
+		t.Fatalf("after 2 failures: %s, want suspect", got)
+	}
+	if !h.Usable("p1") {
+		t.Fatal("suspect peer must still be usable")
+	}
+	h.Report("p1", false)
+	if got := h.State("p1"); got != StateSuspect {
+		t.Fatalf("after 3 failures: %s, want still suspect", got)
+	}
+	h.Report("p1", false)
+	if got := h.State("p1"); got != StateDead {
+		t.Fatalf("after 4 failures: %s, want dead", got)
+	}
+	if h.Usable("p1") {
+		t.Fatal("dead peer must not be usable")
+	}
+}
+
+func TestHealthHysteresisUp(t *testing.T) {
+	h, _ := newTestHealth(t)
+	report(h, "p1", false, 4)
+	if got := h.State("p1"); got != StateDead {
+		t.Fatalf("setup: %s", got)
+	}
+	h.Report("p1", true)
+	if got := h.State("p1"); got != StateDead {
+		t.Fatalf("one success revived to %s", got)
+	}
+	h.Report("p1", true)
+	if got := h.State("p1"); got != StateAlive {
+		t.Fatalf("after 2 successes: %s, want alive", got)
+	}
+}
+
+func TestHealthNoFlappingOnAlternation(t *testing.T) {
+	h, _ := newTestHealth(t)
+	// Strict alternation never reaches 2 consecutive of anything, so
+	// the peer must stay alive forever.
+	for i := 0; i < 50; i++ {
+		h.Report("p1", i%2 == 0)
+		if got := h.State("p1"); got != StateAlive {
+			t.Fatalf("iteration %d: flapped to %s", i, got)
+		}
+	}
+}
+
+func TestHealthMetrics(t *testing.T) {
+	h, reg := newTestHealth(t)
+	alive := reg.Gauge("repro_cluster_peers_alive")
+	if got := alive.Value(); got != 2 {
+		t.Fatalf("initial alive gauge %d", got)
+	}
+	report(h, "p1", false, 4) // alive → suspect → dead
+	if got := alive.Value(); got != 1 {
+		t.Fatalf("alive gauge after death %d", got)
+	}
+	report(h, "p1", true, 2) // dead → alive
+	if got := alive.Value(); got != 2 {
+		t.Fatalf("alive gauge after revival %d", got)
+	}
+	if got := reg.Counter("repro_cluster_health_transitions_total").Value(); got != 3 {
+		t.Fatalf("transitions %d, want 3", got)
+	}
+}
+
+func TestHealthUnknownPeerAlwaysAlive(t *testing.T) {
+	h, _ := newTestHealth(t)
+	report(h, "stranger", false, 10)
+	if got := h.State("stranger"); got != StateAlive {
+		t.Fatalf("unknown peer state %s", got)
+	}
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// The consistent-hash ring: a pure, deterministic function from
+// (membership, key) to an ordered replica set. Every node — server or
+// client — that knows the same member names computes the same owner
+// for every key, with no coordination and no shared state; that is
+// what lets a ring-aware client route cold submissions to the node
+// that will own the bytes, and lets a campaign coordinator scatter
+// cells without asking anyone.
+//
+// Layout: each member contributes ringVnodes virtual points, hashed
+// from "name#i", onto a 64-bit circle. A key hashes to a point and
+// walks clockwise collecting the first n *distinct* member names —
+// owner first, then the replicas. Virtual points smooth the load
+// (the expected share of a member is 1/len(members) ± a few percent)
+// and make membership changes minimal: removing a node reassigns only
+// the keys it owned, never shuffles survivors among themselves.
+//
+// Two virtual points can collide on the circle (64-bit hashes — rare
+// but not impossible, and the ring must not depend on luck). Ties are
+// broken per key by rendezvous hashing: the colliding members are
+// ordered by hash(key, name), so the winner is still a deterministic
+// function of the key, not of sort incidentals like name order.
+
+// ringVnodes is the virtual-point count per member. 64 keeps the
+// per-member load share within a few percent of uniform for small
+// rings while the sorted point array stays tiny (3 nodes = 192
+// points).
+const ringVnodes = 64
+
+// Ring maps content-addressed keys to an ordered set of member names.
+// Immutable after NewRing; safe for concurrent use.
+type Ring struct {
+	points  []ringPoint // sorted by point, ties by name (stable build order)
+	members []string    // sorted unique member names
+}
+
+type ringPoint struct {
+	point uint64
+	node  string
+}
+
+// NewRing builds a ring over the given member names. Duplicate names
+// collapse; order does not matter (the ring is a function of the name
+// *set*). An empty membership yields a ring that answers nil.
+func NewRing(members []string) *Ring {
+	seen := make(map[string]bool, len(members))
+	var uniq []string
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq}
+	for _, m := range uniq {
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				point: hash64("vnode", m, itoa(i)),
+				node:  m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].point != r.points[j].point {
+			return r.points[i].point < r.points[j].point
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Members returns the sorted member names the ring was built over.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Owner returns the key's owning member ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	reps := r.Replicas(key, 1)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0]
+}
+
+// Replicas returns the first n distinct members clockwise from the
+// key's point: the owner, then the replica set, in deterministic
+// preference order. n is clamped to the member count.
+func (r *Ring) Replicas(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	kp := hash64("key", key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].point >= kp })
+	out := make([]string, 0, n)
+	taken := make(map[string]bool, n)
+	for walked := 0; walked < len(r.points) && len(out) < n; {
+		i := (start + walked) % len(r.points)
+		// Gather the run of points with an identical hash and order it
+		// by per-key rendezvous score, so a collision never decides
+		// ownership by name-sort accident.
+		run := []string{r.points[i].node}
+		for walked+len(run) < len(r.points) {
+			j := (start + walked + len(run)) % len(r.points)
+			if r.points[j].point != r.points[i].point {
+				break
+			}
+			run = append(run, r.points[j].node)
+		}
+		if len(run) > 1 {
+			sort.Slice(run, func(a, b int) bool {
+				return rendezvousScore(key, run[a]) > rendezvousScore(key, run[b])
+			})
+		}
+		for _, node := range run {
+			if !taken[node] {
+				taken[node] = true
+				out = append(out, node)
+				if len(out) == n {
+					break
+				}
+			}
+		}
+		walked += len(run)
+	}
+	return out
+}
+
+// rendezvousScore is the tie-break weight of node for key: highest
+// score wins among virtual points that collide on the circle.
+func rendezvousScore(key, node string) uint64 {
+	return hash64("rendezvous", key, node)
+}
+
+// hash64 is the ring's hash: the first 8 bytes of a SHA-256 over the
+// NUL-joined parts. SHA-256 keeps the point distribution uniform and
+// the ring identical across architectures and Go versions (no
+// maphash-style per-process seeding).
+func hash64(parts ...string) uint64 {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// itoa avoids strconv for the one hot build loop (and keeps the vnode
+// label stable and obvious: decimal index).
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

@@ -48,6 +48,24 @@ func campaignInstruments(r *metrics.Registry, campID string) {
 	r.Counter("repro_campaign_cells-merged_total")  // want `must match \^repro_`
 }
 
+// The cluster layer's instrument family (ring membership, peer
+// fetches, scatter dispatch, drain handoff) follows the same rules:
+// constant repro_cluster_* names, never a name assembled from a peer
+// name or URL.
+func clusterInstruments(r *metrics.Registry, peer string) {
+	r.Gauge("repro_cluster_peers_alive")
+	r.Counter("repro_cluster_health_transitions_total")
+	r.Counter("repro_cluster_peer_fetch_hits_total")
+	r.Counter("repro_cluster_peer_checksum_failures_total")
+	r.Counter("repro_cluster_cells_reowned_total")
+	r.Counter("repro_cluster_handoff_adopted_total")
+
+	r.Counter("cluster_peer_fetch_hits_total")       // want `must match \^repro_`
+	r.Counter("repro_cluster_" + peer + "_dispatch") // want `must be a constant string`
+	r.Counter("repro_cluster_peer-fetch_hits_total") // want `must match \^repro_`
+	r.Gauge("repro_Cluster_peers_alive")             // want `must match \^repro_`
+}
+
 // A reviewed dynamic name carries an allow directive.
 func allowedDynamic(r *metrics.Registry, shard string) {
 	//reprolint:allow metricname per-shard instrument family, closed set validated at startup

@@ -8,7 +8,8 @@ import (
 
 // wallclockAllow lists the operational packages where real time and
 // jittered randomness are the point: the serve daemon and its client
-// (timeouts, backoff), the disk store (mtimes), the worker pool, and
+// (timeouts, backoff), the cluster layer (heartbeats, probe timeouts,
+// hedging budgets), the disk store (mtimes), the worker pool, and
 // the metrics layer (latency observation). Everything else under
 // internal/ is simulation or analysis code, where wall-clock reads and
 // global math/rand would leak host state into supposedly seeded,
@@ -18,6 +19,7 @@ var wallclockAllow = []string{
 	modulePath + "/internal/store",
 	modulePath + "/internal/runner",
 	modulePath + "/internal/metrics",
+	modulePath + "/internal/cluster",
 }
 
 // wallclockTimeFuncs are the time package entry points that read or
@@ -46,7 +48,8 @@ var Wallclock = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "forbids time.Now/time.Since/global math/rand in simulation packages; " +
 		"use internal/simtime and internal/rng (operational packages " +
-		"internal/serve, internal/store, internal/runner, internal/metrics are allowlisted)",
+		"internal/serve, internal/store, internal/runner, internal/metrics, " +
+		"internal/cluster are allowlisted)",
 	Run: runWallclock,
 }
 

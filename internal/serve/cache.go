@@ -14,6 +14,7 @@ import (
 const (
 	cacheMem   = "hit"
 	cacheStore = "store"
+	cachePeer  = "peer" // fetched from a ring replica, checksum-verified
 	cacheMiss  = ""
 )
 

@@ -131,6 +131,13 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, key, src, body)
 		return
 	}
+	// A peer may have finished this exact campaign already (content
+	// addressing covers aggregates too): one fetch beats re-expanding
+	// every cell.
+	if body, src, ok := s.peerFetch(r.Context(), key); ok {
+		writeResult(w, key, src, body)
+		return
+	}
 
 	s.jmu.Lock()
 	s.cmu.Lock()
@@ -185,6 +192,10 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) feedCampaign(cs *campaignState) {
 	defer s.campWG.Done()
 	var wg sync.WaitGroup
+	var slots chan struct{} // bounds concurrent remote cell dispatches
+	if s.cluster != nil {
+		slots = make(chan struct{}, s.cluster.ScatterWidth())
+	}
 	for _, c := range cs.agg.Spec.Expand() {
 		if s.draining.Load() {
 			// Stop expanding; the campaign's journal record is live, so
@@ -201,6 +212,12 @@ func (s *Server) feedCampaign(cs *campaignState) {
 		if body, src := s.cache.Get(key); src != cacheMiss {
 			s.campCellHits.Inc()
 			s.mergeCellBody(cs, c.Index, body)
+			continue
+		}
+		// Ring scatter: a cell owned by a usable peer computes there
+		// (its result lands in both stores); a dead owner's cells are
+		// re-owned here. Local cells fall through to the normal path.
+		if s.scatterCell(cs, c.Index, sp, key, &wg, slots) {
 			continue
 		}
 		jb, ok := s.submitCell(sp, key)

@@ -118,6 +118,28 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
 }
 
+// giveUp builds the retries-exhausted error. When the final failure
+// was a transport error but an earlier attempt got a real server
+// response, that response's status and (truncated) message ride along
+// — debugging a 504-after-retries must not lose what the server said.
+func giveUp(what string, attempts int, lastErr error, lastResp *StatusError) error {
+	var se *StatusError
+	if lastResp != nil && !errors.As(lastErr, &se) {
+		return fmt.Errorf("client: %s: giving up after %d attempts: %w (last server response: %d: %s)",
+			what, attempts, lastErr, lastResp.Code, truncateMsg(lastResp.Message))
+	}
+	return fmt.Errorf("client: %s: giving up after %d attempts: %w", what, attempts, lastErr)
+}
+
+// truncateMsg bounds a server message quoted inside an error.
+func truncateMsg(msg string) string {
+	const max = 200
+	if len(msg) <= max {
+		return msg
+	}
+	return msg[:max] + "…"
+}
+
 // Result is a completed submission.
 type Result struct {
 	// Body is the experiment's JSON result document.
@@ -255,6 +277,7 @@ func (c *Client) CampaignStatus(ctx context.Context, id string) (*Campaign, erro
 func (c *Client) AwaitCampaign(ctx context.Context, id, key string) (*Campaign, error) {
 	failures := 0
 	var lastErr error
+	var lastResp *StatusError
 	for {
 		cv, err := c.CampaignStatus(ctx, id)
 		switch {
@@ -281,8 +304,11 @@ func (c *Client) AwaitCampaign(ctx context.Context, id, key string) (*Campaign, 
 		}
 		failures++
 		lastErr = err
+		if errors.As(err, &se) {
+			lastResp = se
+		}
 		if failures > c.opts.MaxRetries {
-			return nil, fmt.Errorf("client: awaiting campaign %s: giving up after %d attempts: %w", id, failures, lastErr)
+			return nil, giveUp("awaiting campaign "+id, failures, lastErr, lastResp)
 		}
 		if err := c.opts.Sleep(ctx, c.backoff(failures-1)); err != nil {
 			return nil, err
@@ -373,6 +399,7 @@ func (c *Client) JobStatus(ctx context.Context, id string) (*Job, error) {
 func (c *Client) Await(ctx context.Context, id, key string) (*Job, error) {
 	failures := 0
 	var lastErr error
+	var lastResp *StatusError
 	for {
 		jb, err := c.JobStatus(ctx, id)
 		switch {
@@ -400,8 +427,11 @@ func (c *Client) Await(ctx context.Context, id, key string) (*Job, error) {
 		}
 		failures++
 		lastErr = err
+		if errors.As(err, &se) {
+			lastResp = se
+		}
 		if failures > c.opts.MaxRetries {
-			return nil, fmt.Errorf("client: awaiting job %s: giving up after %d attempts: %w", id, failures, lastErr)
+			return nil, giveUp("awaiting job "+id, failures, lastErr, lastResp)
 		}
 		if err := c.opts.Sleep(ctx, c.backoff(failures-1)); err != nil {
 			return nil, err
@@ -456,6 +486,7 @@ func (c *Client) postRetry(ctx context.Context, path string, spec any) (*respons
 		return nil, 0, fmt.Errorf("client: encoding spec: %v", err)
 	}
 	var lastErr error
+	var lastResp *StatusError
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, attempt, err
@@ -469,10 +500,11 @@ func (c *Client) postRetry(ctx context.Context, path string, spec any) (*respons
 		case err != nil:
 			lastErr = err
 		default:
-			lastErr = statusError(resp.code, resp.body)
+			lastResp = statusError(resp.code, resp.body)
+			lastErr = lastResp
 		}
 		if attempt >= c.opts.MaxRetries {
-			return nil, attempt, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+			return nil, attempt, giveUp("posting "+path, attempt+1, lastErr, lastResp)
 		}
 		delay := c.backoff(attempt)
 		if resp != nil {

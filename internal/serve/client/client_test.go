@@ -170,6 +170,39 @@ func TestRetriesExhausted(t *testing.T) {
 	}
 }
 
+// TestGiveUpSurfacesLastServerResponse: when the final failure is a
+// transport error but an earlier attempt got a real server response,
+// the give-up error carries that response's status and message —
+// otherwise debugging a daemon that 503s then dies loses what the
+// server said.
+func TestGiveUpSurfacesLastServerResponse(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error": "draining for maintenance"}`, http.StatusServiceUnavailable)
+			return
+		}
+		// Then die mid-connection: transport errors from here on.
+		hj, _ := w.(http.Hijacker)
+		conn, _, _ := hj.Hijack()
+		conn.Close()
+	}))
+	defer ts.Close()
+	c, _ := newClient(t, ts, Options{MaxRetries: 2})
+	_, err := c.Submit(context.Background(), map[string]any{})
+	if err == nil {
+		t.Fatal("submit succeeded against a dying daemon")
+	}
+	if !strings.Contains(err.Error(), "last server response: 503: draining for maintenance") {
+		t.Fatalf("give-up error lost the server's message: %v", err)
+	}
+	// When the last failure IS the server response, no duplicate suffix.
+	var se *StatusError
+	if errors.As(err, &se) {
+		t.Fatalf("transport give-up should not unwrap to a StatusError: %v", err)
+	}
+}
+
 // Non-retryable statuses return immediately: a 400 spec error must not
 // burn the retry budget, and a 500 failed job is a real answer.
 func TestNonRetryableStatusesReturnImmediately(t *testing.T) {

@@ -1,0 +1,382 @@
+package client
+
+// The ring-aware client: the same consistent-hash function the nodes
+// themselves use (internal/cluster.Ring), driven from the outside.
+// Three behaviours distinguish it from a plain Client pointed at one
+// node:
+//
+//   - Routing: every spec hashes to a routing key, and submissions go
+//     to that key's ring owner first — the node whose cache/store will
+//     hold (or already holds) the bytes — falling over to the next
+//     replica, then the rest of the ring, when a node is down.
+//   - Hedged reads: ResultByKey fires the owner first and, when the
+//     answer has not arrived within a latency budget (a percentile of
+//     recent read latencies, clamped to [HedgeMin, HedgeMax]), fires
+//     the second replica in parallel and takes whichever answers
+//     first. Content addressing makes hedging free of consistency
+//     hazards: both answers are the same bytes.
+//   - Write failover: a submission refused by a dead owner (transport
+//     error or retries exhausted) moves to the next ring node. The
+//     receiving node computes or peer-fetches; either way the bytes
+//     are the ones the owner would have produced.
+//
+// The routing key is a client-side hash of the spec document, not the
+// server's content address (which folds in the code revision the
+// client cannot know). The two only need to agree *among routers* —
+// misrouted work is still correct work, just a colder cache.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ClusterNode names one ring member and its base URL.
+type ClusterNode struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ClusterOptions configures a ClusterClient.
+type ClusterOptions struct {
+	// Nodes is the ring membership. Required, at least one.
+	Nodes []ClusterNode
+	// Replicas is the replica-set size used for routing and hedging;
+	// clamped to the node count. 0 = 2.
+	Replicas int
+	// HedgeMin floors the hedge budget (and is the budget until enough
+	// latency samples exist). 0 = 20ms.
+	HedgeMin time.Duration
+	// HedgeMax caps the hedge budget. 0 = 2s.
+	HedgeMax time.Duration
+	// Template configures each per-node Client (retries, backoff,
+	// polling, seams). Template.BaseURL is ignored — each node's URL
+	// takes its place.
+	Template Options
+}
+
+// ClusterClient routes requests across a serve ring. Safe for
+// concurrent use.
+type ClusterClient struct {
+	ring     *cluster.Ring
+	replicas int
+	clients  map[string]*Client
+	hedgeMin time.Duration
+	hedgeMax time.Duration
+
+	mu      sync.Mutex
+	lats    []time.Duration // ring buffer of recent successful read latencies
+	latPos  int
+	latFull bool
+
+	hedged    atomic.Int64
+	failovers atomic.Int64
+}
+
+// latWindow is the latency sample window for the hedge budget; small
+// enough to adapt, large enough for a stable p95.
+const latWindow = 64
+
+// NewCluster validates opts and builds the ring-aware client.
+func NewCluster(opts ClusterOptions) (*ClusterClient, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("client: cluster needs at least one node")
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	if opts.Replicas > len(opts.Nodes) {
+		opts.Replicas = len(opts.Nodes)
+	}
+	if opts.HedgeMin <= 0 {
+		opts.HedgeMin = 20 * time.Millisecond
+	}
+	if opts.HedgeMax <= 0 {
+		opts.HedgeMax = 2 * time.Second
+	}
+	names := make([]string, 0, len(opts.Nodes))
+	clients := make(map[string]*Client, len(opts.Nodes))
+	for _, n := range opts.Nodes {
+		if n.Name == "" || n.URL == "" {
+			return nil, fmt.Errorf("client: cluster node needs name and url (got %+v)", n)
+		}
+		if clients[n.Name] != nil {
+			return nil, fmt.Errorf("client: duplicate cluster node %q", n.Name)
+		}
+		o := opts.Template
+		o.BaseURL = n.URL
+		cl, err := New(o)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n.Name)
+		clients[n.Name] = cl
+	}
+	return &ClusterClient{
+		ring:     cluster.NewRing(names),
+		replicas: opts.Replicas,
+		clients:  clients,
+		hedgeMin: opts.HedgeMin,
+		hedgeMax: opts.HedgeMax,
+		lats:     make([]time.Duration, latWindow),
+	}, nil
+}
+
+// On returns the per-node client for name (nil for unknown names) —
+// the escape hatch for node-pinned operations like streaming a
+// campaign from its coordinator.
+func (cc *ClusterClient) On(name string) *Client { return cc.clients[name] }
+
+// RouteKey computes the deterministic routing key for a spec: hex
+// SHA-256 of its JSON encoding. Every ClusterClient (and every ring
+// node, for its own keys) maps a given key to the same owner.
+func RouteKey(spec any) (string, error) {
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("client: encoding spec for routing: %v", err)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// route returns the candidate node order for key: the replica set in
+// ring-preference order, then the remaining members sorted by name.
+func (cc *ClusterClient) route(key string) []string {
+	order := cc.ring.Replicas(key, cc.replicas)
+	seen := make(map[string]bool, len(cc.clients))
+	for _, n := range order {
+		seen[n] = true
+	}
+	rest := make([]string, 0, len(cc.clients))
+	for _, n := range cc.ring.Members() {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(order, rest...)
+}
+
+// Hedged reports how many reads fired a hedge request.
+func (cc *ClusterClient) Hedged() int64 { return cc.hedged.Load() }
+
+// Failovers reports how many submissions moved past a failed node.
+func (cc *ClusterClient) Failovers() int64 { return cc.failovers.Load() }
+
+// realAnswer reports whether err is a genuine server answer (a
+// non-retryable status) rather than node unavailability. Unavailable
+// nodes justify failover; real answers are final — the next node
+// would, deterministically, say the same thing.
+func realAnswer(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && !retryable(se.Code)
+}
+
+// Submit routes spec to its ring owner and fails over across the
+// remaining nodes while nodes are unreachable. The first real answer
+// — success or a non-retryable error — is returned.
+func (cc *ClusterClient) Submit(ctx context.Context, spec any) (*Result, error) {
+	key, err := RouteKey(spec)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i, name := range cc.route(key) {
+		if i > 0 {
+			cc.failovers.Add(1)
+		}
+		res, err := cc.clients[name].Submit(ctx, spec)
+		if err == nil || realAnswer(err) || ctx.Err() != nil {
+			return res, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("client: no cluster node answered: %w", lastErr)
+}
+
+// SubmitCampaign routes a generator spec like Submit. The returned
+// coordinator name says which node accepted the campaign — campaign
+// ids are node-local, so status/stream/await calls for it must go to
+// On(coordinator).
+func (cc *ClusterClient) SubmitCampaign(ctx context.Context, spec any) (cv *Campaign, res *Result, coordinator string, err error) {
+	key, kerr := RouteKey(spec)
+	if kerr != nil {
+		return nil, nil, "", kerr
+	}
+	var lastErr error
+	for i, name := range cc.route(key) {
+		if i > 0 {
+			cc.failovers.Add(1)
+		}
+		cv, res, err := cc.clients[name].SubmitCampaign(ctx, spec)
+		if err == nil || realAnswer(err) || ctx.Err() != nil {
+			return cv, res, name, err
+		}
+		lastErr = err
+	}
+	return nil, nil, "", fmt.Errorf("client: no cluster node accepted the campaign: %w", lastErr)
+}
+
+// ResultByKey resolves a content address across the ring with a
+// hedged read: the first replica is asked immediately; if it has not
+// answered within the hedge budget, the second replica is asked in
+// parallel and the first success wins. Remaining nodes are tried
+// sequentially only after both hedge legs fail (any node may hold the
+// bytes — peer fetches spread them).
+func (cc *ClusterClient) ResultByKey(ctx context.Context, key string) ([]byte, error) {
+	order := cc.route(key)
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type answer struct {
+		body []byte
+		err  error
+	}
+	results := make(chan answer, 2)
+	started := time.Now()
+	ask := func(name string) {
+		body, err := cc.clients[name].ResultByKey(hctx, key)
+		results <- answer{body, err}
+	}
+	go ask(order[0])
+
+	legs := 1
+	if len(order) > 1 {
+		budget := cc.hedgeBudget()
+		timer := time.NewTimer(budget)
+		select {
+		case a := <-results:
+			timer.Stop()
+			if a.err == nil {
+				cc.observeLatency(time.Since(started))
+				return a.body, nil
+			}
+			// Primary failed fast: promote the second replica from hedge
+			// to only hope.
+			go ask(order[1])
+			legs = 1
+		case <-timer.C:
+			cc.hedged.Add(1)
+			go ask(order[1])
+			legs = 2
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	var lastErr error
+	for i := 0; i < legs; i++ {
+		select {
+		case a := <-results:
+			if a.err == nil {
+				cc.observeLatency(time.Since(started))
+				return a.body, nil
+			}
+			lastErr = a.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Both hedge legs failed; walk the rest of the ring.
+	for _, name := range order[min(2, len(order)):] {
+		body, err := cc.clients[name].ResultByKey(ctx, key)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no cluster node reachable")
+	}
+	return nil, fmt.Errorf("client: resolving %s across the ring: %w", key, lastErr)
+}
+
+// hedgeBudget is the current wait before firing the second replica:
+// the p95 of recent successful read latencies, clamped to
+// [HedgeMin, HedgeMax]; HedgeMin until at least 8 samples exist.
+func (cc *ClusterClient) hedgeBudget() time.Duration {
+	cc.mu.Lock()
+	n := cc.latPos
+	if cc.latFull {
+		n = len(cc.lats)
+	}
+	if n < 8 {
+		cc.mu.Unlock()
+		return cc.hedgeMin
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, cc.lats[:n])
+	cc.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	p95 := samples[(len(samples)*95)/100]
+	if p95 < cc.hedgeMin {
+		return cc.hedgeMin
+	}
+	if p95 > cc.hedgeMax {
+		return cc.hedgeMax
+	}
+	return p95
+}
+
+// observeLatency records one successful read's latency in the window.
+func (cc *ClusterClient) observeLatency(d time.Duration) {
+	cc.mu.Lock()
+	cc.lats[cc.latPos] = d
+	cc.latPos++
+	if cc.latPos == len(cc.lats) {
+		cc.latPos = 0
+		cc.latFull = true
+	}
+	cc.mu.Unlock()
+}
+
+// RunCampaign drives a generator spec to its final aggregate across
+// the ring: submit (with write failover), then follow the coordinator
+// — stream if possible, else poll — and, if the coordinator dies with
+// the final aggregate already durable somewhere, resolve the bytes by
+// content address from any surviving node. onChunk (may be nil) sees
+// every streamed incremental aggregate.
+func (cc *ClusterClient) RunCampaign(ctx context.Context, spec any, onChunk func(*Campaign) error) ([]byte, error) {
+	cv, res, coordinator, err := cc.SubmitCampaign(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if res != nil {
+		return res.Body, nil
+	}
+	// However the campaign is followed, the returned bytes are always
+	// resolved by content address (hedged): the status view re-encodes
+	// its embedded aggregate, only the store serves the exact document.
+	coord := cc.On(coordinator)
+	if serr := coord.StreamCampaign(ctx, cv.ID, onChunk); serr == nil {
+		final, aerr := coord.AwaitCampaign(ctx, cv.ID, cv.Key)
+		if aerr == nil && final.Status == "done" {
+			return cc.ResultByKey(ctx, cv.Key)
+		}
+	} else if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	// Stream or await failed (coordinator restarting or gone). The
+	// campaign's journal record survives on the coordinator and its
+	// handoff successors; ride restarts via a polling await first, then
+	// fall back to resolving the final bytes by content address.
+	if final, aerr := coord.AwaitCampaign(ctx, cv.ID, cv.Key); aerr == nil && final.Status != "done" {
+		return nil, fmt.Errorf("client: campaign %s finished %s: %s", cv.ID, final.Status, final.Error)
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return cc.ResultByKey(ctx, cv.Key)
+}

@@ -1,0 +1,238 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastTemplate keeps cluster-client tests quick: no real backoff.
+func fastTemplate() Options {
+	return Options{
+		MaxRetries:  1,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return nil },
+		Jitter:      func(d time.Duration) time.Duration { return d },
+	}
+}
+
+func resultHandler(body string, hits *atomic.Int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		w.Header().Set("X-Job-Key", "k")
+		w.Header().Set("X-Cache", "miss")
+		w.Write([]byte(body))
+	})
+	mux.HandleFunc("GET /v1/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		w.Header().Set("X-Job-Key", r.PathValue("key"))
+		w.Write([]byte(body))
+	})
+	return mux
+}
+
+func newTestCluster(t *testing.T, handlers map[string]http.Handler, opts ClusterOptions) *ClusterClient {
+	t.Helper()
+	for name, h := range handlers {
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		opts.Nodes = append(opts.Nodes, ClusterNode{Name: name, URL: srv.URL})
+	}
+	if opts.Template.Sleep == nil {
+		opts.Template = fastTemplate()
+	}
+	cc, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+func TestRouteKeyDeterministic(t *testing.T) {
+	spec := map[string]any{"kind": "fig6a", "events": 100, "seed": 1}
+	k1, err := RouteKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := RouteKey(spec)
+	if k1 != k2 {
+		t.Fatalf("routing key unstable: %s vs %s", k1, k2)
+	}
+	k3, _ := RouteKey(map[string]any{"kind": "fig6a", "events": 100, "seed": 2})
+	if k1 == k3 {
+		t.Fatal("different specs routed identically")
+	}
+}
+
+func TestClusterSubmitRoutesToOwner(t *testing.T) {
+	var hitsA, hitsB atomic.Int64
+	cc := newTestCluster(t, map[string]http.Handler{
+		"a": resultHandler(`{"from":"a"}`, &hitsA),
+		"b": resultHandler(`{"from":"b"}`, &hitsB),
+	}, ClusterOptions{})
+	spec := map[string]any{"kind": "fig6a", "seed": 7, "wait": true}
+	key, _ := RouteKey(spec)
+	owner := cc.route(key)[0]
+	res, err := cc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct{ From string }
+	json.Unmarshal(res.Body, &doc)
+	if doc.From != owner {
+		t.Fatalf("answered by %s, ring owner is %s", doc.From, owner)
+	}
+	if cc.Failovers() != 0 {
+		t.Fatalf("failovers = %d on a healthy ring", cc.Failovers())
+	}
+}
+
+func TestClusterSubmitFailsOverDeadOwner(t *testing.T) {
+	// One real node; the other two URLs point at closed ports. Whatever
+	// the ring picks first, the submission must land on the live node.
+	live := httptest.NewServer(resultHandler(`{"ok":true}`, nil))
+	t.Cleanup(live.Close)
+	cc, err := NewCluster(ClusterOptions{
+		Nodes: []ClusterNode{
+			{Name: "a", URL: "http://127.0.0.1:1"},
+			{Name: "b", URL: "http://127.0.0.1:1"},
+			{Name: "c", URL: live.URL},
+		},
+		Template: fastTemplate(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rerr := cc.Submit(context.Background(), map[string]any{"kind": "fig6a", "wait": true})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(res.Body) != `{"ok":true}` {
+		t.Fatalf("body %q", res.Body)
+	}
+}
+
+func TestClusterSubmitRealAnswerIsFinal(t *testing.T) {
+	var hits400 atomic.Int64
+	bad := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits400.Add(1)
+		http.Error(w, `{"error": "bad spec"}`, http.StatusBadRequest)
+	})
+	cc := newTestCluster(t, map[string]http.Handler{"a": bad, "b": bad, "c": bad}, ClusterOptions{})
+	_, err := cc.Submit(context.Background(), map[string]any{"kind": "nope"})
+	if err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if hits400.Load() != 1 {
+		t.Fatalf("a deterministic 400 was retried on %d nodes", hits400.Load())
+	}
+}
+
+func TestHedgedReadFiresSecondReplica(t *testing.T) {
+	release := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.Write([]byte("slow-bytes"))
+	})
+	fast := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("fast-bytes"))
+	})
+	// Both nodes serve every key; one is stuck. Whichever leads the
+	// route, the hedge must recover the read quickly.
+	cc := newTestCluster(t, map[string]http.Handler{"slow": slow, "fast": fast},
+		ClusterOptions{HedgeMin: 5 * time.Millisecond, HedgeMax: 10 * time.Millisecond})
+	defer close(release)
+	// Find a key whose primary is the slow node.
+	key := ""
+	for _, k := range []string{"k1", "k2", "k3", "k4", "k5", "k6"} {
+		if cc.route(k)[0] == "slow" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key routed to slow node first")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	body, err := cc.ResultByKey(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "fast-bytes" {
+		t.Fatalf("hedge lost: got %q", body)
+	}
+	if cc.Hedged() != 1 {
+		t.Fatalf("hedged = %d, want 1", cc.Hedged())
+	}
+}
+
+func TestHedgeBudgetTracksLatency(t *testing.T) {
+	cc, err := NewCluster(ClusterOptions{
+		Nodes:    []ClusterNode{{Name: "a", URL: "http://127.0.0.1:1"}},
+		HedgeMin: 10 * time.Millisecond,
+		HedgeMax: 100 * time.Millisecond,
+		Template: fastTemplate(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.hedgeBudget(); got != 10*time.Millisecond {
+		t.Fatalf("cold budget %v, want HedgeMin", got)
+	}
+	for i := 0; i < 20; i++ {
+		cc.observeLatency(40 * time.Millisecond)
+	}
+	if got := cc.hedgeBudget(); got != 40*time.Millisecond {
+		t.Fatalf("warm budget %v, want the p95 40ms", got)
+	}
+	for i := 0; i < latWindow; i++ {
+		cc.observeLatency(500 * time.Millisecond)
+	}
+	if got := cc.hedgeBudget(); got != 100*time.Millisecond {
+		t.Fatalf("saturated budget %v, want HedgeMax clamp", got)
+	}
+}
+
+func TestResultByKeyWalksWholeRing(t *testing.T) {
+	// Only one node holds the bytes and it is neither of the first two
+	// replicas' guaranteed — serve 404 everywhere except one node and
+	// assert the read still resolves.
+	notFound := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error": "no"}`, http.StatusNotFound)
+	})
+	holder := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("the-bytes"))
+	})
+	cc := newTestCluster(t, map[string]http.Handler{
+		"a": notFound, "b": notFound, "c": holder,
+	}, ClusterOptions{HedgeMin: time.Millisecond, HedgeMax: 2 * time.Millisecond})
+	key := ""
+	for _, k := range []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8"} {
+		r := cc.route(k)
+		if r[0] != "c" && r[1] != "c" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Skip("no key with c outside the replica set")
+	}
+	body, err := cc.ResultByKey(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "the-bytes" {
+		t.Fatalf("got %q", body)
+	}
+}

@@ -1,0 +1,438 @@
+package serve
+
+// The cluster oracle: the PR 4 crash harness generalized to "a ring
+// loses nothing". Three real daemons share one keyspace over real
+// HTTP listeners; one of them is killed mid-campaign (listener slammed
+// shut, journal dead, jobs cancelled — the in-process SIGKILL
+// stand-in) and the invariants are the ISSUE's acceptance criteria:
+//
+//  1. The campaign completes on the surviving coordinator and its
+//     final aggregate is byte-identical to a single-process local
+//     fold of the same generator spec.
+//  2. No job the killed node acked is lost: its restart replays the
+//     journal and drives every acked id to "done".
+//  3. The killed node's replacement recovers warm: resubmitting the
+//     finished campaign spec to a node with a wiped store answers
+//     X-Cache: peer — verified bytes fetched from a replica, no
+//     recompute — observable in the repro_cluster_* counters.
+//  4. A *graceful* stop ships unfinished journal records to a ring
+//     successor (drain handoff), which finishes the work.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// clusterNode is one in-process ring member: a real Server on a real
+// TCP listener, plus the handles the harness needs to kill and
+// restart it.
+type clusterNode struct {
+	name string
+	dir  string
+	addr string
+	url  string
+	reg  *metrics.Registry
+	cl   *cluster.Cluster
+	s    *Server
+	hs   *http.Server
+}
+
+// startClusterNode builds the node's cluster view and daemon and
+// serves it on addr (which must already be reserved or free). No
+// active prober is started: liveness is fed passively by the peer
+// operations, keeping the tests deterministic.
+func startClusterNode(t *testing.T, name, dir string, ln net.Listener, members []cluster.Node, opts Options) *clusterNode {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	cl, err := cluster.New(cluster.Config{
+		Self:            name,
+		Members:         members,
+		SuspectAfter:    1,
+		DeadAfter:       1,
+		ReviveAfter:     1,
+		FetchTimeout:    2 * time.Second,
+		DispatchTimeout: 30 * time.Second,
+		DispatchRetries: 3,
+		Registry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Registry = reg
+	opts.Cluster = cl
+	opts.DataDir = dir
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	if opts.RetryAfter == 0 {
+		// Keep dispatch retries against a draining peer snappy.
+		opts.RetryAfter = time.Second
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	n := &clusterNode{
+		name: name,
+		dir:  dir,
+		addr: ln.Addr().String(),
+		url:  "http://" + ln.Addr().String(),
+		reg:  reg,
+		cl:   cl,
+		s:    s,
+		hs:   hs,
+	}
+	t.Cleanup(func() {
+		_ = n.hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = n.s.Shutdown(ctx)
+	})
+	return n
+}
+
+// startCluster brings up a ring of the given names, each on its own
+// data dir and listener.
+func startCluster(t *testing.T, names []string, opts Options) []*clusterNode {
+	t.Helper()
+	lns := make([]net.Listener, len(names))
+	members := make([]cluster.Node, len(names))
+	for i, name := range names {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		members[i] = cluster.Node{Name: name, URL: "http://" + ln.Addr().String()}
+	}
+	nodes := make([]*clusterNode, len(names))
+	for i, name := range names {
+		nodes[i] = startClusterNode(t, name, t.TempDir(), lns[i], members, opts)
+	}
+	return nodes
+}
+
+// kill is the in-process SIGKILL: the journal dies first (no further
+// accept is promised), then every connection is slammed shut, then
+// running jobs are cancelled. The on-disk journal and store keep
+// whatever was written — exactly the state a real SIGKILL leaves.
+func (n *clusterNode) kill() {
+	n.s.jl.kill(0)
+	_ = n.hs.Close()
+	n.s.baseCancel()
+	// The restart reuses the address: drop any keep-alive connections
+	// the test client still holds to the dead incarnation.
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// restart brings a killed node back on its original address and (by
+// default) its original data dir; pass wipe to simulate a replacement
+// node with empty disks.
+func (n *clusterNode) restart(t *testing.T, wipe bool, members []cluster.Node, opts Options) *clusterNode {
+	t.Helper()
+	dir := n.dir
+	if wipe {
+		dir = t.TempDir()
+	}
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", n.addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", n.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return startClusterNode(t, n.name, dir, ln, members, opts)
+}
+
+func (n *clusterNode) counter(name string) int64 { return n.reg.Counter(name).Value() }
+
+// clusterCampaign is the oracle's workload: 2 faults × 5 intensities ×
+// 20 seeds = 200 cells, small enough to fold locally in seconds, large
+// enough that a mid-campaign kill leaves real work outstanding.
+const clusterCampaign = `{
+  "faults": ["babbling-idiot", "stuck-line"],
+  "intensities": {"min": 0.25, "max": 1.0, "steps": 5},
+  "seeds": {"base": 1, "count": 20},
+  "prefix_events": 60,
+  "suffix_events": 25
+}`
+
+// TestClusterKillOneNodeLosesNothing is the tentpole oracle. One
+// campaign is submitted to node A; mid-flight, node B is killed. The
+// campaign must still complete with bytes identical to the local fold;
+// B's restart must replay its own acked jobs to done; and a wiped
+// replacement for B must serve the finished campaign via verified peer
+// fetch (X-Cache: peer) without recomputing.
+func TestClusterKillOneNodeLosesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node oracle is not a -short test")
+	}
+	want := foldCampaign(t, clusterCampaign)
+	nodes := startCluster(t, []string{"n1", "n2", "n3"}, Options{})
+	a, b := nodes[0], nodes[1]
+	members := a.cl.Members()
+
+	// Jobs B acks before dying must survive its restart.
+	ackedIDs := make(map[string]string) // id → key
+	for i := 0; i < 2; i++ {
+		resp, body := post(t, b.url, fmt.Sprintf(`{"kind": "fig6a", "events": %d}`, 210+i))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("pre-kill job submit: %d %s", resp.StatusCode, body)
+		}
+		var v jobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		ackedIDs[v.ID] = v.Key
+	}
+
+	resp, body := postCampaign(t, a.url, clusterCampaign)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("campaign submit: %d %s", resp.StatusCode, body)
+	}
+	var cv campaignView
+	if err := json.Unmarshal(body, &cv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill B strictly mid-campaign: after the first cells merged, well
+	// before all 200.
+	deadline := time.Now().Add(60 * time.Second)
+	for a.counter("repro_campaign_cells_merged_total") < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never reached 20 merged cells (at %d)",
+				a.counter("repro_campaign_cells_merged_total"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b.kill()
+
+	// The campaign completes on A despite the dead member.
+	var final campaignView
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		resp, body := get(t, a.url+"/v1/campaigns/"+cv.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("campaign poll: %d %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &final); err != nil {
+			t.Fatal(err)
+		}
+		if final.Status != StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck at %d/%d cells after the kill", final.Done, final.TotalCells)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("campaign finished %s: %s", final.Status, final.Error)
+	}
+	// Byte identity is asserted on the content-addressed artifact,
+	// served verbatim from the store (the view re-indents its embedded
+	// aggregate, so it is compared semantically elsewhere).
+	rr, stored := get(t, a.url+"/v1/results/"+final.Key)
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("final aggregate by key: %d %s", rr.StatusCode, stored)
+	}
+	if !bytes.Equal(stored, want) {
+		t.Fatalf("cluster aggregate differs from the local fold (%d vs %d bytes)",
+			len(stored), len(want))
+	}
+	if got := a.counter("repro_cluster_cells_dispatched_total"); got == 0 {
+		t.Fatal("no cell was ever dispatched to a peer — scatter path untested")
+	}
+	t.Logf("scatter: %d dispatched, %d re-owned after the kill",
+		a.counter("repro_cluster_cells_dispatched_total"),
+		a.counter("repro_cluster_cells_reowned_total"))
+
+	// B restarts on its own data dir: journal replay drives every job
+	// it acked to done, under the original ids.
+	b2 := b.restart(t, false, members, Options{})
+	waitReady(t, b2.s)
+	for id, key := range ackedIDs {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, body := get(t, b2.url+"/v1/jobs/"+id)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("job %s after restart: %d %s", id, resp.StatusCode, body)
+			}
+			var v jobView
+			if err := json.Unmarshal(body, &v); err != nil {
+				t.Fatal(err)
+			}
+			if v.Status == StatusDone {
+				if v.Key != key {
+					t.Fatalf("job %s changed key across restart: %s → %s", id, key, v.Key)
+				}
+				break
+			}
+			if v.Status == StatusFailed || v.Status == StatusCancelled {
+				t.Fatalf("acked job %s lost to %q after restart", id, v.Status)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("acked job %s stuck in %q after restart", id, v.Status)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// A wiped replacement answers the finished campaign from its peers:
+	// X-Cache: peer, verified bytes, no local recompute.
+	b2.kill()
+	b3 := b2.restart(t, true, members, Options{})
+	waitReady(t, b3.s)
+	req, err := http.NewRequest(http.MethodPost, b3.url+"/v1/campaigns", strings.NewReader(clusterCampaign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody := readAll(t, hresp)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign on wiped node: %d %s", hresp.StatusCode, pbody)
+	}
+	if got := hresp.Header.Get("X-Cache"); got != "peer" {
+		t.Fatalf("X-Cache = %q, want \"peer\" (no recompute on the recovery path)", got)
+	}
+	if !bytes.Equal(pbody, want) {
+		t.Fatal("peer-fetched aggregate differs from the local fold")
+	}
+	if got := b3.counter("repro_cluster_peer_fetch_hits_total"); got < 1 {
+		t.Fatalf("peer fetch hits = %d, want ≥ 1", got)
+	}
+	served := a.counter("repro_cluster_peer_results_served_total") +
+		nodes[2].counter("repro_cluster_peer_results_served_total")
+	if served < 1 {
+		t.Fatalf("no survivor served a peer result (served = %d)", served)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestClusterDrainHandsOffCampaign: a graceful Shutdown mid-campaign
+// ships the interrupted campaign's journal record to a ring successor,
+// which finishes it — the cluster converges without the stopped node
+// ever returning.
+func TestClusterDrainHandsOffCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node oracle is not a -short test")
+	}
+	want := foldCampaign(t, clusterCampaign)
+	nodes := startCluster(t, []string{"m1", "m2"}, Options{})
+	a, b := nodes[0], nodes[1]
+
+	resp, body := postCampaign(t, a.url, clusterCampaign)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("campaign submit: %d %s", resp.StatusCode, body)
+	}
+	var cv campaignView
+	if err := json.Unmarshal(body, &cv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain A almost immediately: expansion stops, the campaign record
+	// stays live, and Shutdown ships it to B.
+	deadline := time.Now().Add(60 * time.Second)
+	for a.counter("repro_campaign_cells_merged_total") < 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never started merging")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	err := a.s.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("clean drain failed: %v", err)
+	}
+	_ = a.hs.Close() // off the network, like a stopped process
+
+	if got := a.counter("repro_cluster_handoff_shipped_total"); got < 1 {
+		t.Fatalf("handoff shipped %d records, want ≥ 1", got)
+	}
+	if got := b.counter("repro_cluster_handoff_adopted_total"); got < 1 {
+		t.Fatalf("successor adopted %d records, want ≥ 1", got)
+	}
+
+	// B finishes the adopted campaign; the final bytes resolve by
+	// content address and equal the local fold.
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		resp, body := get(t, b.url+"/v1/results/"+cv.Key)
+		if resp.StatusCode == http.StatusOK {
+			if !bytes.Equal(body, want) {
+				t.Fatal("handed-off campaign aggregate differs from the local fold")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("adopted campaign never produced the final aggregate")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterStatusEndpoint: the ring is observable.
+func TestClusterStatusEndpoint(t *testing.T) {
+	nodes := startCluster(t, []string{"s1", "s2"}, Options{})
+	resp, body := get(t, nodes[0].url+"/v1/cluster")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster status: %d %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Enabled  bool `json:"enabled"`
+		Replicas int  `json:"replicas"`
+		Members  []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"members"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Enabled || len(doc.Members) != 2 || doc.Replicas != 2 {
+		t.Fatalf("cluster view: %+v", doc)
+	}
+	for _, m := range doc.Members {
+		if m.State != cluster.StateAlive {
+			t.Fatalf("member %s state %q at startup", m.Name, m.State)
+		}
+	}
+	// A single-node daemon reports disabled.
+	_, ts := newTestServer(t, Options{Workers: 1, Executor: stubExec})
+	resp, body = get(t, ts.URL+"/v1/cluster")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"enabled": false`) {
+		t.Fatalf("single-node cluster status: %d %s", resp.StatusCode, body)
+	}
+}

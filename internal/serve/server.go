@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -79,6 +80,14 @@ type Options struct {
 	// tests substitute a deterministic stub so replayed jobs run it
 	// from the first instant of New — not a production knob.
 	Executor func(ctx context.Context, sp *Spec) ([]byte, error)
+
+	// Cluster makes this daemon a ring member (internal/cluster): local
+	// misses consult the key's replicas before recomputing (X-Cache:
+	// peer), campaigns scatter cells to their ring owners, the peer
+	// endpoints (/v1/peer/*) come up, and Shutdown hands unfinished
+	// journal records to ring successors. nil = single node (every
+	// prior behaviour unchanged).
+	Cluster *cluster.Cluster
 }
 
 func (o *Options) fill() {
@@ -200,8 +209,9 @@ type Server struct {
 	wg         sync.WaitGroup
 	campWG     sync.WaitGroup // campaign feeder goroutines
 
-	store *store.Store // nil without DataDir
-	jl    *journal     // nil without DataDir
+	store   *store.Store     // nil without DataDir
+	jl      *journal         // nil without DataDir
+	cluster *cluster.Cluster // nil = single node
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -233,6 +243,15 @@ type Server struct {
 	campMerged   *metrics.Counter
 	campCellHits *metrics.Counter
 	campActive   *metrics.Gauge
+
+	// Cluster instrumentation (registered even without a cluster so the
+	// exposition is deterministic either way).
+	peerHits        *metrics.Counter
+	peerServed      *metrics.Counter
+	cellsDispatched *metrics.Counter
+	cellsReowned    *metrics.Counter
+	handoffShipped  *metrics.Counter
+	handoffAdopted  *metrics.Counter
 }
 
 // New starts a Server: opts.Workers goroutines begin draining the
@@ -273,6 +292,14 @@ func New(opts Options) (*Server, error) {
 		campMerged:   opts.Registry.Counter("repro_campaign_cells_merged_total"),
 		campCellHits: opts.Registry.Counter("repro_campaign_cell_cache_hits_total"),
 		campActive:   opts.Registry.Gauge("repro_campaign_active"),
+
+		cluster:         opts.Cluster,
+		peerHits:        opts.Registry.Counter("repro_cluster_peer_hits_total"),
+		peerServed:      opts.Registry.Counter("repro_cluster_peer_results_served_total"),
+		cellsDispatched: opts.Registry.Counter("repro_cluster_cells_dispatched_total"),
+		cellsReowned:    opts.Registry.Counter("repro_cluster_cells_reowned_total"),
+		handoffShipped:  opts.Registry.Counter("repro_cluster_handoff_shipped_total"),
+		handoffAdopted:  opts.Registry.Counter("repro_cluster_handoff_adopted_total"),
 	}
 	// Touch the store series so a memory-only daemon still exposes them
 	// (deterministic exposition either way).
@@ -677,6 +704,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /v1/peer/results/{key}", s.handlePeerResult)
+	mux.HandleFunc("POST /v1/peer/handoff", s.handleHandoff)
+	mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -746,6 +776,12 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, sp Spec) {
 	}
 
 	if body, src := s.cache.Get(key); src != cacheMiss {
+		writeResult(w, key, src, body)
+		return
+	}
+	// Cold locally: a replica may hold the bytes — a verified peer
+	// fetch beats recomputing by an order of magnitude.
+	if body, src, ok := s.peerFetch(r.Context(), key); ok {
 		writeResult(w, key, src, body)
 		return
 	}
@@ -864,6 +900,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, key, src, body)
 		return
 	}
+	// A ring peer may still hold the bytes (e.g. this node restarted
+	// with a wiped store): resolve by content address before 404ing.
+	if body, src, ok := s.peerFetch(r.Context(), key); ok {
+		writeResult(w, key, src, body)
+		return
+	}
 	httpError(w, http.StatusNotFound, "no stored result for key %q", key)
 }
 
@@ -975,9 +1017,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-drained:
 	case <-ctx.Done():
+		// Forced: snapshot the live records *before* cancelling, while
+		// the interrupted jobs are still non-terminal, and ship them to
+		// ring successors — the cancelled records appended below do not
+		// erase the successors' adopted copies.
+		s.shipHandoff()
 		s.baseCancel()
 		<-drained
 		err = ctx.Err()
+	}
+	if err == nil {
+		// Clean drain: every job is terminal; what remains live are
+		// campaigns the drain interrupted mid-expansion. Hand their
+		// generator specs to successors so the cluster finishes them
+		// without waiting for this node to come back.
+		s.shipHandoff()
 	}
 	if s.jl != nil {
 		if err == nil {

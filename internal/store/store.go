@@ -202,6 +202,38 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return body, true
 }
 
+// GetFramed returns the stored entry for key still in its on-disk
+// frame (magic|len|SHA-256|body), verified before it is handed out —
+// the peer-serving path ships the frame verbatim so the fetching node
+// re-checks the same checksum after the network hop. Corrupt entries
+// quarantine exactly as in Get.
+func (s *Store) GetFramed(key string) ([]byte, bool) {
+	raw, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		s.forget(key)
+		return nil, false
+	}
+	if err != nil {
+		s.quarantine(key)
+		return nil, false
+	}
+	if _, ok := decode(raw); !ok {
+		s.quarantine(key)
+		return nil, false
+	}
+	s.touch(key)
+	return raw, true
+}
+
+// DecodeFrame validates one framed entry and returns its body. The
+// frame is the on-disk entry format, exported so peers can ship
+// entries verbatim and the receiver re-verifies the checksum over the
+// network transfer too.
+func DecodeFrame(raw []byte) ([]byte, bool) { return decode(raw) }
+
+// EncodeFrame frames body exactly as the store writes it to disk.
+func EncodeFrame(body []byte) []byte { return encode(body) }
+
 // decode validates one framed entry and returns its body.
 func decode(raw []byte) ([]byte, bool) {
 	if len(raw) < headerSize || string(raw[:len(magic)]) != magic {
@@ -320,12 +352,22 @@ func (s *Store) forget(key string) {
 
 // quarantine moves key's entry file aside — never deleted, never
 // served — and counts the corruption. The caller treats the key as a
-// miss, so the result is recomputed and re-stored.
+// miss, so the result is recomputed and re-stored. Rename-first makes
+// this idempotent under concurrent readers: os.Rename is atomic, so
+// exactly one of N racing quarantines wins; the losers see ENOENT
+// (someone already moved it) and only drop their index entry, so one
+// corrupt file is counted exactly once.
 func (s *Store) quarantine(key string) {
-	s.corruption.Inc()
 	dst := filepath.Join(s.dir, "quarantine", key+".corrupt")
-	if err := os.Rename(s.path(key), dst); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	err := os.Rename(s.path(key), dst)
+	switch {
+	case err == nil:
+		s.corruption.Inc()
+	case errors.Is(err, fs.ErrNotExist):
+		// Lost the race (or the file vanished): nothing to count.
+	default:
 		// Rename failed (e.g. EIO): deletion still prevents serving it.
+		s.corruption.Inc()
 		_ = os.Remove(s.path(key))
 	}
 	s.forget(key)

@@ -215,6 +215,98 @@ func TestIdempotentPut(t *testing.T) {
 	}
 }
 
+// TestConcurrentQuarantine: many goroutines reading the same corrupt
+// entry must quarantine it exactly once — os.Rename is atomic, so one
+// reader wins the move and the losers (ENOENT) only drop their index
+// entry. Double-counting or racing on the rename would show up here
+// under -race and in the counter.
+func TestConcurrentQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, reg := open(t, dir, Options{})
+	if err := s.Put(key(6), []byte("about to rot")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.path(key(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(s.path(key(6)), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 16
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			if _, ok := s.Get(key(6)); ok {
+				t.Error("corrupt entry served as a hit")
+			}
+		}()
+	}
+	start.Done()
+	wg.Wait()
+
+	if got := reg.Counter("repro_store_corruption_total").Value(); got != 1 {
+		t.Fatalf("corruption_total = %d, want exactly 1 (double-quarantine)", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key(6)+".corrupt")); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after quarantine", s.Len())
+	}
+	// The key is reusable afterwards.
+	if err := s.Put(key(6), []byte("fresh bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if body, ok := s.Get(key(6)); !ok || !bytes.Equal(body, []byte("fresh bytes")) {
+		t.Fatal("re-stored entry not served")
+	}
+}
+
+// TestGetFramedRoundTrip: the framed accessor returns verified
+// on-disk bytes that DecodeFrame maps back to the body — the peer
+// transfer path end to end, minus the network.
+func TestGetFramedRoundTrip(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{})
+	body := []byte(`{"cells": 1000}`)
+	if err := s.Put(key(8), body); err != nil {
+		t.Fatal(err)
+	}
+	frame, ok := s.GetFramed(key(8))
+	if !ok {
+		t.Fatal("GetFramed missed a present entry")
+	}
+	got, ok := DecodeFrame(frame)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("DecodeFrame = %q, %v", got, ok)
+	}
+	if !bytes.Equal(frame, EncodeFrame(body)) {
+		t.Fatal("framed bytes differ from EncodeFrame of the body")
+	}
+	if _, ok := s.GetFramed(key(9)); ok {
+		t.Fatal("GetFramed hit an absent key")
+	}
+	// Corrupt frames are quarantined, same as Get.
+	raw, _ := os.ReadFile(s.path(key(8)))
+	raw[headerSize] ^= 0xff
+	os.WriteFile(s.path(key(8)), raw, 0o644)
+	if _, ok := s.GetFramed(key(8)); ok {
+		t.Fatal("GetFramed served a corrupt frame")
+	}
+	// A tampered frame fails DecodeFrame (what the fetching peer does).
+	bad := EncodeFrame(body)
+	bad[len(bad)-1] ^= 0xff
+	if _, ok := DecodeFrame(bad); ok {
+		t.Fatal("DecodeFrame accepted a tampered frame")
+	}
+}
+
 // TestConcurrent hammers Put/Get from many goroutines; under -race
 // this is the data-race proof for the serve miss path.
 func TestConcurrent(t *testing.T) {

@@ -5,12 +5,25 @@
 # ns/op or allocs/op (cmd/benchdiff). Timings are min-of-N, so a single
 # noisy scheduler quantum does not fail the gate; quick mode shrinks
 # only the wall-clock sections, never the gated benchmarks themselves.
+#
+# Two drift guards (the PR 7 false failure — host slowdown on untouched
+# paths — must not fail CI): a first failure triggers one paired rerun,
+# and the gate then compares the elementwise minimum of both same-host
+# reports (a real regression reproduces; noise does not). Persistent
+# environment drift is acknowledged through the committed
+# BENCH_REBASE.json sentinel, which cmd/benchdiff applies to ns/op
+# baselines only.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp -t benchdiff.XXXXXX.json)"
-trap 'rm -f "$tmp"' EXIT
+tmp2="$(mktemp -t benchdiff2.XXXXXX.json)"
+trap 'rm -f "$tmp" "$tmp2"' EXIT
 
 go run ./cmd/bench -quick -o "$tmp"
-go run ./cmd/benchdiff -new "$tmp"
+if ! go run ./cmd/benchdiff -new "$tmp"; then
+    echo "benchdiff.sh: regression reported; pairing with a same-host rerun" >&2
+    go run ./cmd/bench -quick -o "$tmp2"
+    go run ./cmd/benchdiff -new "$tmp,$tmp2"
+fi

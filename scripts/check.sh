@@ -12,10 +12,13 @@
 # temporal-independence oracle and the monitor-ablated babbling-idiot
 # runs must violate it, the kill–restart recovery harness
 # (DESIGN.md §9): a SIGKILLed daemon must lose no acked job and never
-# serve divergent bytes, and the campaign orchestrator smoke
+# serve divergent bytes, the campaign orchestrator smoke
 # (DESIGN.md §12): a 1000-cell generator campaign served over HTTP —
 # streamed, resubmitted and SIGKILL-resumed — must aggregate to bytes
-# identical to the local in-process fold.
+# identical to the local in-process fold, and the cluster kill oracle
+# (DESIGN.md §13): a 3-node ring loses a SIGKILLed member mid-campaign
+# without losing an acked job or a byte of the aggregate, and a wiped
+# replacement recovers warm via verified peer fetch.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -34,3 +37,4 @@ go test -bench=. -benchtime=1x -run '^$' .
 go run ./cmd/chaos -smoke -events 80
 sh scripts/crashtest.sh
 sh scripts/campaignsmoke.sh
+sh scripts/clusterkill.sh

@@ -1,0 +1,207 @@
+#!/bin/sh
+# Cluster kill oracle (DESIGN.md §13): the out-of-process half of the
+# fault-tolerant ring story, complementing internal/serve/cluster_test.go
+# (which kills at exact journal-record boundaries in-process). The
+# script builds the real daemon and campaign CLI, brings up a 3-node
+# ring over loopback HTTP, and holds it to the ISSUE's oracle:
+#
+#   1. a 1000-cell campaign submitted through the ring-aware client
+#      (comma-separated -addr) completes even though one non-coordinator
+#      node is SIGKILLed mid-flight, and the final aggregate is
+#      byte-identical to a single-process local fold;
+#   2. the coordinator demonstrably used the ring: cells were dispatched
+#      to peers, and the dead node's unfinished cells were re-owned;
+#   3. a wiped replacement on the dead node's address answers the
+#      finished campaign spec via verified peer fetch — X-Cache: peer,
+#      no recompute;
+#   4. the surviving ring drains cleanly.
+#
+# Usage: scripts/clusterkill.sh [seed]   (default seed 3011)
+# CLUSTERKILL_LOGDIR, when set, receives the three daemon logs for CI
+# artifact upload; otherwise everything lives and dies in a temp dir.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEED="${1:-3011}"
+PORT1=$((19000 + SEED % 500))
+PORT2=$((PORT1 + 1))
+PORT3=$((PORT1 + 2))
+BASE1="http://127.0.0.1:$PORT1"
+BASE2="http://127.0.0.1:$PORT2"
+BASE3="http://127.0.0.1:$PORT3"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/clusterkill.XXXXXX")"
+PID1=""; PID2=""; PID3=""
+
+say()  { echo "clusterkill: $*"; }
+fail() {
+    say "FAIL: $*"
+    if [ -n "${CLUSTERKILL_LOGDIR:-}" ]; then
+        mkdir -p "$CLUSTERKILL_LOGDIR"
+        for n in 1 2 3; do
+            cp "$WORK/n$n.log" "$CLUSTERKILL_LOGDIR/n$n.log" 2>/dev/null || true
+        done
+        say "daemon logs preserved in $CLUSTERKILL_LOGDIR/"
+    else
+        say "daemon logs: $WORK/n*.log (workdir kept for post-mortem)"
+        trap - EXIT
+    fi
+    for p in "$PID1" "$PID2" "$PID3"; do
+        [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+    done
+    exit 1
+}
+cleanup() {
+    for p in "$PID1" "$PID2" "$PID3"; do
+        [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_node() { # args: index port [extra served flags]
+    n="$1"; port="$2"; shift 2
+    "$WORK/served" -addr "127.0.0.1:$port" -queue 256 -workers 1 \
+        -data-dir "$WORK/data$n" \
+        -cluster-members "$WORK/members.json" -cluster-self "n$n" \
+        "$@" >>"$WORK/n$n.log" 2>&1 &
+    eval "PID$n=$!"
+}
+
+wait_ready() { # args: base pid
+    i=0
+    until [ "$(curl -s -o /dev/null -w '%{http_code}' "$1/readyz")" = 200 ]; do
+        i=$((i + 1))
+        [ "$i" -gt 600 ] && fail "daemon at $1 never became ready"
+        kill -0 "$2" 2>/dev/null || fail "daemon at $1 (pid $2) died; see log"
+        sleep 0.05
+    done
+}
+
+metric() { # args: base metric-name → echoes the counter (0 if absent)
+    curl -s "$1/metrics" |
+        awk -v m="$2" '$1 == m { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+say "seed $SEED, ports $PORT1-$PORT3, workdir $WORK"
+go build -o "$WORK/served" ./cmd/served
+go build -o "$WORK/campaign" ./cmd/campaign
+
+cat >"$WORK/members.json" <<EOF
+[
+  {"name": "n1", "url": "$BASE1"},
+  {"name": "n2", "url": "$BASE2"},
+  {"name": "n3", "url": "$BASE3"}
+]
+EOF
+
+# The 1000-cell spec (every registered fault model × 4 intensities ×
+# 50 seeds); prefix_seed is the script's seed, so reruns exercise a
+# different (still deterministic) campaign.
+cat >"$WORK/spec.json" <<EOF
+{
+  "intensities": {"min": 0.25, "max": 1.0, "steps": 4},
+  "seeds": {"base": 1, "count": 50},
+  "prefix_seed": $SEED,
+  "prefix_events": 80,
+  "suffix_events": 30
+}
+EOF
+
+say "phase 0: local in-process fold (the reference bytes)"
+"$WORK/campaign" -spec "$WORK/spec.json" -o "$WORK/local.json" 2>>"$WORK/n1.log" ||
+    fail "local fold failed"
+grep -q '"total_cells": 1000' "$WORK/local.json" ||
+    fail "local fold is not a 1000-cell campaign"
+
+say "phase 1: 3-node ring up"
+start_node 1 "$PORT1"
+start_node 2 "$PORT2"
+start_node 3 "$PORT3"
+wait_ready "$BASE1" "$PID1"
+wait_ready "$BASE2" "$PID2"
+wait_ready "$BASE3" "$PID3"
+curl -s "$BASE1/v1/cluster" | grep -q '"enabled": true' ||
+    fail "node 1 does not report an enabled cluster"
+
+say "phase 2: ring campaign via multi-address client; SIGKILL one node mid-flight"
+"$WORK/campaign" -spec "$WORK/spec.json" -addr "$BASE1,$BASE2,$BASE3" \
+    -retries 100 -o "$WORK/ring.json" 2>"$WORK/stream.log" &
+CLIENT=$!
+
+# The ring-aware client routes the campaign by key, so the coordinator
+# is discovered, not chosen: it is the node whose merge counter moves.
+COORD=""; COORD_BASE=""; VICTIM=""; VICTIM_BASE=""; VICTIM_PORT=""
+i=0
+while [ -z "$COORD" ]; do
+    for n in 1 2 3; do
+        eval "base=\$BASE$n"
+        if [ "$(metric "$base" repro_campaign_cells_merged_total)" -gt 0 ]; then
+            COORD="$n"; COORD_BASE="$base"
+            break
+        fi
+    done
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && fail "no node ever started merging the campaign"
+    kill -0 "$CLIENT" 2>/dev/null || fail "client exited early: $(cat "$WORK/stream.log")"
+    [ -n "$COORD" ] || sleep 0.05
+done
+case "$COORD" in
+    1) VICTIM=2; VICTIM_BASE="$BASE2"; VICTIM_PORT="$PORT2" ;;
+    *) VICTIM=1; VICTIM_BASE="$BASE1"; VICTIM_PORT="$PORT1" ;;
+esac
+say "phase 2: coordinator is n$COORD; victim is n$VICTIM"
+
+# Kill once demonstrably mid-flight: enough cells merged that work is
+# in motion, provably not all of them.
+i=0
+while :; do
+    n="$(metric "$COORD_BASE" repro_campaign_cells_merged_total)"
+    [ "$n" -ge 100 ] && break
+    i=$((i + 1))
+    [ "$i" -gt 2400 ] && fail "campaign never reached 100 merged cells"
+    kill -0 "$CLIENT" 2>/dev/null || fail "client exited before the kill: $(cat "$WORK/stream.log")"
+    sleep 0.02
+done
+eval "vpid=\$PID$VICTIM"
+kill -9 "$vpid"
+wait "$vpid" 2>/dev/null || true
+eval "PID$VICTIM=''"
+[ "$n" -lt 1000 ] || fail "campaign finished before the kill; nothing was interrupted"
+say "phase 2: n$VICTIM SIGKILLed with $n/1000 cells merged on the coordinator"
+
+wait "$CLIENT" || fail "ring campaign failed after the kill: $(cat "$WORK/stream.log")"
+cmp -s "$WORK/local.json" "$WORK/ring.json" ||
+    fail "ring aggregate differs from the local fold"
+
+DISPATCHED="$(metric "$COORD_BASE" repro_cluster_cells_dispatched_total)"
+REOWNED="$(metric "$COORD_BASE" repro_cluster_cells_reowned_total)"
+[ "$DISPATCHED" -gt 0 ] || fail "coordinator never dispatched a cell to a peer"
+say "phase 2: $DISPATCHED cells dispatched to peers, $REOWNED re-owned after the kill"
+
+say "phase 3: wiped replacement recovers warm via peer fetch"
+rm -rf "$WORK/data$VICTIM"
+start_node "$VICTIM" "$VICTIM_PORT"
+eval "vpid=\$PID$VICTIM"
+wait_ready "$VICTIM_BASE" "$vpid"
+curl -s -o "$WORK/peer.json" -D "$WORK/peer.hdr" -X POST \
+    -H 'Content-Type: application/json' -d @"$WORK/spec.json" "$VICTIM_BASE/v1/campaigns"
+grep -qi '^X-Cache: peer' "$WORK/peer.hdr" ||
+    fail "wiped node recomputed instead of peer-fetching: $(grep -i '^X-Cache' "$WORK/peer.hdr" || echo 'no X-Cache header')"
+cmp -s "$WORK/local.json" "$WORK/peer.json" ||
+    fail "peer-fetched aggregate differs from the local fold"
+[ "$(metric "$VICTIM_BASE" repro_cluster_peer_fetch_hits_total)" -gt 0 ] ||
+    fail "peer fetch hit counter never moved on the wiped node"
+
+say "phase 4: graceful ring drain"
+for n in 1 2 3; do
+    eval "p=\$PID$n"
+    [ -n "$p" ] && kill -TERM "$p" 2>/dev/null || true
+done
+for n in 1 2 3; do
+    eval "p=\$PID$n"
+    [ -n "$p" ] && { wait "$p" 2>/dev/null || true; }
+    eval "PID$n=''"
+done
+
+say "PASS: seed $SEED — kill-one-node-loses-nothing held: byte-identical aggregate, $DISPATCHED dispatched/$REOWNED re-owned, warm peer recovery"
