@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench check bench-report serve golden chaos-smoke crashtest campaignsmoke clusterkill
+.PHONY: build vet lint test race bench check bench-report serve golden chaos-smoke crashtest campaignsmoke clusterkill diffuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ crashtest:
 # in-process fold byte for byte.
 campaignsmoke:
 	sh scripts/campaignsmoke.sh
+
+# Differential fuzzing smoke: 500 generated scenarios where the DES
+# never beats the analytic bound, a planted bound-tightening bug is
+# caught and minimized, and the served diffuzz campaign matches the
+# local fold byte for byte.
+diffuzzsmoke:
+	sh scripts/diffuzzsmoke.sh
 
 # Cluster kill oracle: a 3-node consistent-hash ring loses a SIGKILLed
 # member mid-campaign without losing an acked job or a byte of the

@@ -122,8 +122,13 @@ func loadSpec(path string, inline campaign.Spec) (campaign.Spec, error) {
 	if err := sp.Normalize(); err != nil {
 		return sp, err
 	}
-	fmt.Fprintf(os.Stderr, "campaign: %d cells (%d fault models × %d intensities × %d seeds)\n",
-		sp.Cells(), len(sp.Faults), sp.Intensities.Steps, sp.Seeds.Count)
+	if sp.Kind == campaign.KindDiffuzz {
+		fmt.Fprintf(os.Stderr, "campaign: %d cells (%d scenario classes × %d seeds)\n",
+			sp.Cells(), len(sp.Classes), sp.Seeds.Count)
+	} else {
+		fmt.Fprintf(os.Stderr, "campaign: %d cells (%d fault models × %d intensities × %d seeds)\n",
+			sp.Cells(), len(sp.Faults), sp.Intensities.Steps, sp.Seeds.Count)
+	}
 	return sp, nil
 }
 

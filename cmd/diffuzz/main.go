@@ -1,0 +1,167 @@
+// Command diffuzz runs a differential fuzzing sweep in-process:
+// random scenarios (internal/diffuzz) checked against the analytic
+// temporal-independence bounds with the DES as the adversarial oracle,
+// folded into the same campaign aggregate document a served "diffuzz"
+// campaign streams (scripts/diffuzzsmoke.sh holds the two to byte
+// identity).
+//
+// -plant injects a known bound-tightening bug into the checker — the
+// harness self-test: the sweep must then find violations, and each
+// retained reproducer is delta-debugged to a minimal counterexample.
+// Violations exit 1, so the no-plant invocation doubles as a soundness
+// gate.
+//
+// Usage:
+//
+//	diffuzz [-classes a,b] [-seeds N] [-seed-base N] [-events N]
+//	        [-workers N] [-plant drop-blocking] [-json] [-o file]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/diffuzz"
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/simtime"
+)
+
+func main() {
+	classesFlag := flag.String("classes", "", "comma-separated scenario classes (empty = every class)")
+	seeds := flag.Int("seeds", 100, "seeds per class")
+	seedBase := flag.Uint64("seed-base", 1, "first seed of the sweep")
+	events := flag.Int("events", 0, "arrivals per generated stream (0 = default)")
+	workers := flag.Int("workers", runner.Default(), "worker pool size (output is worker-count independent)")
+	plant := flag.String("plant", "", "inject a known checker bug (self-test); \"drop-blocking\" drops the eq. (14) blocking term")
+	jsonOut := flag.Bool("json", false, "emit the stable campaign JSON instead of the table")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	opt := diffuzz.Options{Plant: *plant}
+	if err := opt.Validate(); err != nil {
+		fatal(err)
+	}
+	spec := campaign.Spec{
+		Kind:   campaign.KindDiffuzz,
+		Seeds:  campaign.SeedRange{Base: *seedBase, Count: *seeds},
+		Events: *events,
+	}
+	if *classesFlag != "" {
+		spec.Classes = strings.Split(*classesFlag, ",")
+	}
+
+	agg, err := fold(context.Background(), spec, *workers, opt)
+	if err != nil {
+		fatal(err)
+	}
+	reps, err := minimizeRepros(agg, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *jsonOut {
+		buf, err := report.EncodeCampaign(agg)
+		if err != nil {
+			fatal(err)
+		}
+		w.Write(buf)
+	} else {
+		writeTable(w, agg)
+	}
+	for _, r := range reps {
+		fmt.Fprintf(os.Stderr, "minimized %s/%d: %d sources, %d partitions, %d tasks, %d checks -> %s\n",
+			r.Spec.Class, r.Spec.Seed, len(r.Spec.Srcs), len(r.Spec.Parts), r.Spec.Tasks(),
+			r.Stats.Checks, r.Fingerprint)
+	}
+	if agg.Violations > 0 || agg.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// fold is campaign.Fold with check options threaded through — with no
+// plant it computes exactly the aggregate a served diffuzz campaign
+// converges to.
+func fold(ctx context.Context, spec campaign.Spec, workers int, opt diffuzz.Options) (*campaign.Aggregate, error) {
+	agg, err := campaign.NewAggregate(spec)
+	if err != nil {
+		return nil, err
+	}
+	cells := agg.Spec.Expand()
+	results, err := runner.MapCtxPool(ctx, workers, len(cells), engine.NewArena,
+		func(a *engine.SimArena, i int) (*campaign.CellResult, error) {
+			return campaign.RunDiffuzzCell(a, agg.Spec.CellSpec(cells[i]), opt)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, cr := range results {
+		if err := agg.MergeCell(i, cr); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}
+
+// minimizeRepros delta-debugs each retained violating cell to a
+// minimal counterexample.
+func minimizeRepros(agg *campaign.Aggregate, opt diffuzz.Options) ([]diffuzz.Reproducer, error) {
+	if len(agg.Repros) == 0 {
+		return nil, nil
+	}
+	a := engine.NewArena()
+	var reps []diffuzz.Reproducer
+	for _, r := range agg.Repros {
+		spec, err := diffuzz.Generate(r.Class, r.Seed, agg.Spec.Events)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := diffuzz.Minimize(a, spec, opt)
+		if err != nil {
+			return nil, fmt.Errorf("minimize %s/%d: %w", r.Class, r.Seed, err)
+		}
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}
+
+func writeTable(w io.Writer, agg *campaign.Aggregate) {
+	fmt.Fprintf(w, "diffuzz sweep: %d scenarios (%d classes x %d seeds), %d events/stream\n\n",
+		agg.TotalCells, len(agg.Spec.Classes), agg.Spec.Seeds.Count, agg.Spec.Events)
+	fmt.Fprintf(w, "%-10s %6s %8s %11s %8s %8s %13s %13s\n",
+		"class", "cells", "invalid", "violations", "grants", "denied", "min gap(µs)", "mean gap(µs)")
+	us := func(cycles int64) float64 { return simtime.Duration(cycles).MicrosF() }
+	for i := range agg.Buckets {
+		b := &agg.Buckets[i]
+		fmt.Fprintf(w, "%-10s %6d %8d %11d %8d %8d %13.3f %13.3f\n",
+			b.Class, b.Cells, b.Invalid, b.Violations, b.Grants, b.Denied,
+			us(b.MinGapCycles), us(b.MeanGapCycles()))
+	}
+	fmt.Fprintf(w, "\ntotal: %d violations, %d errors, %d invalid; tightness over %d checks: min %.3fµs mean %.3fµs\n",
+		agg.Violations, agg.Errors, agg.Invalid, agg.GapCount,
+		us(agg.MinGapCycles), us(agg.MeanGapCycles()))
+	for _, r := range agg.Repros {
+		fmt.Fprintf(w, "reproducer: class=%s seed=%d events=%d %s fingerprint=%s\n",
+			r.Class, r.Seed, agg.Spec.Events, r.Violation, r.Fingerprint)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "diffuzz: %v\n", err)
+	os.Exit(1)
+}

@@ -123,13 +123,17 @@ type TDMA struct {
 	SlotEntry simtime.Duration
 }
 
-// Validate reports whether the TDMA parameters are consistent.
+// Validate reports whether the TDMA parameters are consistent. The
+// returned error wraps ErrInvalidSystem.
 func (t TDMA) Validate() error {
 	if t.Cycle <= 0 {
-		return errors.New("analysis: TDMA cycle must be positive")
+		return invalidf(ReasonBadTDMA, "tdma", "cycle %v must be positive", t.Cycle)
 	}
 	if t.Slot <= 0 || t.Slot > t.Cycle {
-		return errors.New("analysis: TDMA slot must be in (0, cycle]")
+		return invalidf(ReasonBadTDMA, "tdma", "slot %v must be in (0, cycle %v]", t.Slot, t.Cycle)
+	}
+	if t.SlotEntry < 0 || t.SlotEntry >= t.Slot {
+		return invalidf(ReasonBadTDMA, "tdma", "entry overhead %v does not fit slot %v", t.SlotEntry, t.Slot)
 	}
 	return nil
 }
@@ -187,6 +191,9 @@ func ClassicLatency(irq IRQ, tdma TDMA, others []IRQ, horizon simtime.Duration) 
 // oracle (internal/hv): the victim's measured latency under a monitored
 // adversary must stay below it. extra == nil reduces to ClassicLatency.
 func ClassicLatencyUnder(irq IRQ, tdma TDMA, others []IRQ, extra Interference, horizon simtime.Duration) (ResponseTimeResult, error) {
+	if err := ValidateSystem(irq, others); err != nil {
+		return ResponseTimeResult{}, err
+	}
 	if err := tdma.Validate(); err != nil {
 		return ResponseTimeResult{}, err
 	}
@@ -211,6 +218,9 @@ func ClassicLatencyUnder(irq IRQ, tdma TDMA, others []IRQ, extra Interference, h
 // (eq. 15). The TDMA interference term of eq. (11) is dropped: a
 // conforming IRQ never waits for its slot.
 func InterposedLatency(irq IRQ, costs arm.CostModel, others []IRQ, horizon simtime.Duration) (ResponseTimeResult, error) {
+	if err := ValidateSystem(irq, others); err != nil {
+		return ResponseTimeResult{}, err
+	}
 	cbh := costs.EffectiveBH(irq.CBH)
 	cth := costs.EffectiveTH(irq.CTH)
 	inf := func(dt simtime.Duration) simtime.Duration {
@@ -226,6 +236,9 @@ func InterposedLatency(irq IRQ, costs arm.CostModel, others []IRQ, horizon simti
 // top-handler WCET C'_TH = C_TH + C_Mon, since the monitoring function
 // runs for every foreign-slot IRQ regardless of the verdict.
 func ViolatingLatency(irq IRQ, tdma TDMA, costs arm.CostModel, others []IRQ, horizon simtime.Duration) (ResponseTimeResult, error) {
+	if err := ValidateSystem(irq, others); err != nil {
+		return ResponseTimeResult{}, err
+	}
 	if err := tdma.Validate(); err != nil {
 		return ResponseTimeResult{}, err
 	}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// randModel draws a random well-formed event model: sporadic, periodic,
+// PJD, or an explicit δ⁻ prefix.
+func randModel(src *rng.Source) curves.Model {
+	base := simtime.Micros(200 + int64(src.Intn(4800)))
+	switch src.Intn(4) {
+	case 0:
+		return curves.Sporadic{DMin: base}
+	case 1:
+		return curves.Periodic{Period: base}
+	case 2:
+		period := base + simtime.Micros(500)
+		return curves.PJD{
+			Period: period,
+			Jitter: simtime.Micros(int64(src.Intn(1000))),
+			DMin:   period / simtime.Duration(1+src.Intn(4)),
+		}
+	default:
+		l := 2 + src.Intn(3)
+		dist := make([]simtime.Duration, l)
+		d := base
+		for i := range dist {
+			dist[i] = d
+			d += simtime.Micros(int64(src.Intn(2000)))
+		}
+		return &curves.Delta{Dist: dist}
+	}
+}
+
+func randIRQ(src *rng.Source, name string) IRQ {
+	return IRQ{
+		Name:  name,
+		CTH:   simtime.Micros(1 + int64(src.Intn(12))),
+		CBH:   simtime.Micros(5 + int64(src.Intn(60))),
+		Model: randModel(src),
+	}
+}
+
+// TestBoundsMonotoneInLoad: adding an interrupt source never decreases
+// a victim's analytic bound — a self-consistency oracle independent of
+// the DES. ErrUnbounded is the top element: once the system overloads,
+// adding more load must keep it overloaded.
+func TestBoundsMonotoneInLoad(t *testing.T) {
+	costs := arm.DefaultCosts()
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		src := rng.NewStream(0xD1FF, uint64(trial))
+		victim := randIRQ(src, "victim")
+		cycle := simtime.Micros(4000 + int64(src.Intn(16000)))
+		slot := cycle / simtime.Duration(2+src.Intn(3))
+		tdma := TDMA{Cycle: cycle, Slot: slot, SlotEntry: simtime.Micros(int64(src.Intn(50)))}
+
+		nOthers := 1 + src.Intn(4)
+		others := make([]IRQ, 0, nOthers)
+		for i := 0; i < nOthers; i++ {
+			others = append(others, randIRQ(src, "other"))
+		}
+
+		for name, bound := range map[string]func(sub []IRQ) (simtime.Duration, error){
+			"classic": func(sub []IRQ) (simtime.Duration, error) {
+				r, err := ClassicLatency(victim, tdma, sub, DefaultHorizon)
+				return r.WCRT, err
+			},
+			"interposed": func(sub []IRQ) (simtime.Duration, error) {
+				r, err := InterposedLatency(victim, costs, sub, DefaultHorizon)
+				return r.WCRT, err
+			},
+			"violating": func(sub []IRQ) (simtime.Duration, error) {
+				r, err := ViolatingLatency(victim, tdma, costs, sub, DefaultHorizon)
+				return r.WCRT, err
+			},
+		} {
+			prev := simtime.Duration(-1)
+			prevUnbounded := false
+			for k := 0; k <= len(others); k++ {
+				w, err := bound(others[:k])
+				if err != nil {
+					// Overload: every heavier prefix must stay overloaded.
+					prevUnbounded = true
+					continue
+				}
+				if prevUnbounded {
+					t.Fatalf("trial %d %s: bound became finite (%v) after being unbounded with fewer sources", trial, name, w)
+				}
+				if w < prev {
+					t.Fatalf("trial %d %s: bound decreased from %v to %v when adding source %d", trial, name, prev, w, k)
+				}
+				prev = w
+			}
+		}
+	}
+}

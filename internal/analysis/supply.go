@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -41,22 +40,22 @@ type Schedule struct {
 // non-overlapping, inside [0, cycle).
 func NewSchedule(cycle simtime.Duration, windows []Window, entry simtime.Duration) (*Schedule, error) {
 	if cycle <= 0 {
-		return nil, errors.New("analysis: cycle must be positive")
+		return nil, invalidf(ReasonBadTDMA, "schedule", "cycle %v must be positive", cycle)
 	}
 	if len(windows) == 0 {
-		return nil, errors.New("analysis: schedule needs at least one window")
+		return nil, invalidf(ReasonOverlappingWindows, "schedule", "needs at least one window")
 	}
 	ws := append([]Window(nil), windows...)
 	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
 	for i, w := range ws {
 		if w.Start < 0 || w.End > cycle || w.Len() <= 0 {
-			return nil, fmt.Errorf("analysis: window %d [%v,%v) invalid for cycle %v", i, w.Start, w.End, cycle)
+			return nil, invalidf(ReasonOverlappingWindows, "schedule", "window %d [%v,%v) invalid for cycle %v", i, w.Start, w.End, cycle)
 		}
 		if i > 0 && w.Start < ws[i-1].End {
-			return nil, fmt.Errorf("analysis: window %d overlaps its predecessor", i)
+			return nil, invalidf(ReasonOverlappingWindows, "schedule", "window %d overlaps its predecessor", i)
 		}
 		if entry < 0 || entry >= w.Len() {
-			return nil, fmt.Errorf("analysis: entry overhead %v does not fit window %d", entry, i)
+			return nil, invalidf(ReasonBadTDMA, "schedule", "entry overhead %v does not fit window %d", entry, i)
 		}
 	}
 	return &Schedule{Cycle: cycle, Windows: ws, Entry: entry}, nil
@@ -147,9 +146,27 @@ func SingleSlot(cycle, slot, entry simtime.Duration) (*Schedule, error) {
 // ClassicLatencySchedule is ClassicLatency with the generalised
 // multi-window interference bound instead of eq. (8).
 func ClassicLatencySchedule(irq IRQ, sched *Schedule, others []IRQ, horizon simtime.Duration) (ResponseTimeResult, error) {
+	return ClassicLatencyScheduleUnder(irq, sched, others, nil, horizon)
+}
+
+// ClassicLatencyScheduleUnder is to ClassicLatencySchedule what
+// ClassicLatencyUnder is to ClassicLatency: the multi-window bound with
+// an additional interference term (typically the eq. (14) budget of
+// foreign interposed bottom handlers) folded into the busy window.
+func ClassicLatencyScheduleUnder(irq IRQ, sched *Schedule, others []IRQ, extra Interference, horizon simtime.Duration) (ResponseTimeResult, error) {
+	if err := ValidateSystem(irq, others); err != nil {
+		return ResponseTimeResult{}, err
+	}
+	if sched == nil || len(sched.Windows) == 0 {
+		return ResponseTimeResult{}, invalidf(ReasonOverlappingWindows, "schedule", "nil or empty schedule")
+	}
 	inf := func(dt simtime.Duration) simtime.Duration {
 		own := simtime.Duration(irq.Model.EtaPlus(dt)) * irq.CTH
-		return own + sched.Interference(dt) + topHandlerInterference(others, dt)
+		total := own + sched.Interference(dt) + topHandlerInterference(others, dt)
+		if extra != nil {
+			total += extra(dt)
+		}
+		return total
 	}
 	return ResponseTime(irq.CBH, irq.Model, inf, horizon)
 }
@@ -174,6 +191,18 @@ type MonitoredSource struct {
 // bounded by its own monitoring condition. The paper analyses a single
 // monitored source; this is the natural compositional extension.
 func InterposedLatencyMulti(irq IRQ, costs arm.CostModel, monitored []MonitoredSource, horizon simtime.Duration) (ResponseTimeResult, error) {
+	if err := ValidateIRQ(irq); err != nil {
+		return ResponseTimeResult{}, err
+	}
+	for _, m := range monitored {
+		field := fmt.Sprintf("monitored %q", m.Name)
+		if err := ValidateModel(field+" arrivals", m.Arrive); err != nil {
+			return ResponseTimeResult{}, err
+		}
+		if err := ValidateModel(field+" grants", m.Grants); err != nil {
+			return ResponseTimeResult{}, err
+		}
+	}
 	cbh := costs.EffectiveBH(irq.CBH)
 	cth := costs.EffectiveTH(irq.CTH)
 	inf := func(dt simtime.Duration) simtime.Duration {

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/curves"
+)
+
+// ErrInvalidSystem is the sentinel all input-validation failures wrap:
+// callers that feed generated or untrusted systems into the analysis
+// (the differential fuzzer, the serve daemon) use errors.Is against it
+// to distinguish "this scenario is malformed" from "this scenario is
+// overloaded" (ErrUnbounded) or "the bound was violated".
+var ErrInvalidSystem = errors.New("analysis: invalid system")
+
+// Validation reasons — stable machine-readable classes for the
+// malformed-input families the analysis rejects.
+const (
+	// ReasonNilModel: an IRQ without an event model.
+	ReasonNilModel = "nil-model"
+	// ReasonZeroPeriod: a periodic/PJD model with a non-positive period
+	// (or a sporadic model with a non-positive minimum distance) —
+	// η⁺ would be unbounded in any window.
+	ReasonZeroPeriod = "zero-period"
+	// ReasonNonMonotoneDelta: a δ⁻ function that is empty, negative, or
+	// not non-decreasing in q — DeltaMin would silently return garbage.
+	ReasonNonMonotoneDelta = "non-monotone-delta"
+	// ReasonDegenerateDelta: an all-zero δ⁻ prefix, which admits
+	// unbounded bursts and has no η⁺ dual.
+	ReasonDegenerateDelta = "degenerate-delta"
+	// ReasonNegativeCost: a negative handler WCET.
+	ReasonNegativeCost = "negative-cost"
+	// ReasonBadTDMA: inconsistent cycle/slot/entry parameters.
+	ReasonBadTDMA = "bad-tdma"
+	// ReasonOverlappingWindows: a multi-window schedule whose windows
+	// overlap, exceed the cycle, or are empty.
+	ReasonOverlappingWindows = "overlapping-windows"
+)
+
+// ValidationError is the typed rejection the analysis entry points
+// return for malformed systems. It wraps ErrInvalidSystem.
+type ValidationError struct {
+	Reason string // one of the Reason* constants
+	Field  string // which input was malformed, e.g. `irq "net"`
+	Detail string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Field == "" {
+		return fmt.Sprintf("analysis: invalid system (%s): %s", e.Reason, e.Detail)
+	}
+	return fmt.Sprintf("analysis: invalid system (%s): %s: %s", e.Reason, e.Field, e.Detail)
+}
+
+// Is makes errors.Is(err, ErrInvalidSystem) true for every ValidationError.
+func (e *ValidationError) Is(target error) bool { return target == ErrInvalidSystem }
+
+func invalidf(reason, field, format string, args ...any) *ValidationError {
+	return &ValidationError{Reason: reason, Field: field, Detail: fmt.Sprintf(format, args...)}
+}
+
+// ValidateModel rejects event models whose η⁺/δ⁻ would panic or
+// silently produce wrong bounds: non-positive periods and minimum
+// distances, and malformed δ⁻ functions. Model types the analysis does
+// not know are accepted — they are responsible for their own
+// consistency.
+func ValidateModel(field string, m curves.Model) error {
+	switch v := m.(type) {
+	case nil:
+		return invalidf(ReasonNilModel, field, "no event model")
+	case curves.Periodic:
+		if v.Period <= 0 {
+			return invalidf(ReasonZeroPeriod, field, "period %v must be positive", v.Period)
+		}
+	case curves.PJD:
+		if v.Period <= 0 {
+			return invalidf(ReasonZeroPeriod, field, "period %v must be positive", v.Period)
+		}
+		if err := v.Validate(); err != nil {
+			return invalidf(ReasonZeroPeriod, field, "%v", err)
+		}
+	case curves.Sporadic:
+		if v.DMin <= 0 {
+			return invalidf(ReasonZeroPeriod, field, "minimum distance %v must be positive", v.DMin)
+		}
+	case *curves.Delta:
+		return validateDelta(field, v)
+	}
+	return nil
+}
+
+// validateDelta rejects δ⁻ functions NewDelta would refuse — plus the
+// degenerate all-zero prefix NewDelta accepts but whose η⁺ panics.
+// Checking here catches Delta values built directly (Dist literal,
+// decoded JSON) that never went through NewDelta.
+func validateDelta(field string, d *curves.Delta) error {
+	if d == nil || len(d.Dist) == 0 {
+		return invalidf(ReasonNonMonotoneDelta, field, "empty δ⁻ function")
+	}
+	for i, v := range d.Dist {
+		if v < 0 {
+			return invalidf(ReasonNonMonotoneDelta, field, "δ⁻[%d] = %v is negative", i, v)
+		}
+		if i > 0 && v < d.Dist[i-1] {
+			return invalidf(ReasonNonMonotoneDelta, field, "δ⁻ not non-decreasing at index %d (%v < %v)", i, v, d.Dist[i-1])
+		}
+	}
+	if d.Dist[len(d.Dist)-1] <= 0 {
+		return invalidf(ReasonDegenerateDelta, field, "all-zero δ⁻ admits unbounded bursts")
+	}
+	return nil
+}
+
+// ValidateIRQ rejects an IRQ with negative handler WCETs or a malformed
+// event model.
+func ValidateIRQ(irq IRQ) error {
+	field := fmt.Sprintf("irq %q", irq.Name)
+	if irq.CTH < 0 || irq.CBH < 0 {
+		return invalidf(ReasonNegativeCost, field, "handler WCETs C_TH=%v C_BH=%v must be non-negative", irq.CTH, irq.CBH)
+	}
+	return ValidateModel(field, irq.Model)
+}
+
+// ValidateSystem validates the analysed source and every interferer in
+// one call — the precondition of the latency entry points.
+func ValidateSystem(irq IRQ, others []IRQ) error {
+	if err := ValidateIRQ(irq); err != nil {
+		return err
+	}
+	for _, o := range others {
+		if err := ValidateIRQ(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/curves"
+	"repro/internal/simtime"
+)
+
+// wellFormed returns a baseline valid system the rejection tests mutate.
+func wellFormedIRQ() (IRQ, TDMA) {
+	irq := IRQ{Name: "victim", CTH: us(6), CBH: us(30), Model: curves.Sporadic{DMin: us(1000)}}
+	tdma := TDMA{Cycle: us(10000), Slot: us(4000), SlotEntry: us(60)}
+	return irq, tdma
+}
+
+// TestValidationRejections: each malformed-input family is rejected
+// with a typed ValidationError carrying the right reason, from every
+// latency entry point — never a panic, never a silent bound.
+func TestValidationRejections(t *testing.T) {
+	costs := arm.DefaultCosts()
+	cases := []struct {
+		name   string
+		mutate func(irq *IRQ, tdma *TDMA)
+		reason string
+	}{
+		{"nil model", func(irq *IRQ, _ *TDMA) { irq.Model = nil }, ReasonNilModel},
+		{"zero period", func(irq *IRQ, _ *TDMA) { irq.Model = curves.Periodic{} }, ReasonZeroPeriod},
+		{"negative period", func(irq *IRQ, _ *TDMA) { irq.Model = curves.Periodic{Period: -us(5)} }, ReasonZeroPeriod},
+		{"zero-period pjd", func(irq *IRQ, _ *TDMA) { irq.Model = curves.PJD{Period: 0, Jitter: us(10)} }, ReasonZeroPeriod},
+		{"pjd dmin over period", func(irq *IRQ, _ *TDMA) {
+			irq.Model = curves.PJD{Period: us(100), DMin: us(200)}
+		}, ReasonZeroPeriod},
+		{"zero-dmin sporadic", func(irq *IRQ, _ *TDMA) { irq.Model = curves.Sporadic{} }, ReasonZeroPeriod},
+		{"empty delta", func(irq *IRQ, _ *TDMA) { irq.Model = &curves.Delta{} }, ReasonNonMonotoneDelta},
+		{"non-monotone delta", func(irq *IRQ, _ *TDMA) {
+			irq.Model = &curves.Delta{Dist: []simtime.Duration{us(300), us(100)}}
+		}, ReasonNonMonotoneDelta},
+		{"negative delta entry", func(irq *IRQ, _ *TDMA) {
+			irq.Model = &curves.Delta{Dist: []simtime.Duration{-us(1), us(100)}}
+		}, ReasonNonMonotoneDelta},
+		{"degenerate all-zero delta", func(irq *IRQ, _ *TDMA) {
+			irq.Model = &curves.Delta{Dist: []simtime.Duration{0, 0, 0}}
+		}, ReasonDegenerateDelta},
+		{"negative cth", func(irq *IRQ, _ *TDMA) { irq.CTH = -us(1) }, ReasonNegativeCost},
+		{"negative cbh", func(irq *IRQ, _ *TDMA) { irq.CBH = -us(1) }, ReasonNegativeCost},
+		{"zero cycle", func(_ *IRQ, tdma *TDMA) { tdma.Cycle = 0 }, ReasonBadTDMA},
+		{"slot exceeds cycle", func(_ *IRQ, tdma *TDMA) { tdma.Slot = tdma.Cycle + 1 }, ReasonBadTDMA},
+		{"entry swallows slot", func(_ *IRQ, tdma *TDMA) { tdma.SlotEntry = tdma.Slot }, ReasonBadTDMA},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			irq, tdma := wellFormedIRQ()
+			tc.mutate(&irq, &tdma)
+			for entry, run := range map[string]func() error{
+				"classic": func() error {
+					_, err := ClassicLatency(irq, tdma, nil, DefaultHorizon)
+					return err
+				},
+				"violating": func() error {
+					_, err := ViolatingLatency(irq, tdma, costs, nil, DefaultHorizon)
+					return err
+				},
+			} {
+				err := run()
+				if err == nil {
+					t.Fatalf("%s: malformed system accepted", entry)
+				}
+				if !errors.Is(err, ErrInvalidSystem) {
+					t.Fatalf("%s: error %v does not wrap ErrInvalidSystem", entry, err)
+				}
+				var verr *ValidationError
+				if !errors.As(err, &verr) {
+					t.Fatalf("%s: error %T is not a ValidationError", entry, err)
+				}
+				if verr.Reason != tc.reason {
+					t.Fatalf("%s: reason %q, want %q", entry, verr.Reason, tc.reason)
+				}
+			}
+		})
+	}
+}
+
+// TestValidationInterferers: a malformed interferer poisons the system
+// just like a malformed victim.
+func TestValidationInterferers(t *testing.T) {
+	irq, tdma := wellFormedIRQ()
+	bad := IRQ{Name: "attacker", CTH: us(6), CBH: us(30), Model: curves.Periodic{}}
+	if _, err := ClassicLatency(irq, tdma, []IRQ{bad}, DefaultHorizon); !errors.Is(err, ErrInvalidSystem) {
+		t.Fatalf("classic with malformed interferer: %v, want ErrInvalidSystem", err)
+	}
+	if _, err := InterposedLatency(irq, arm.DefaultCosts(), []IRQ{bad}, DefaultHorizon); !errors.Is(err, ErrInvalidSystem) {
+		t.Fatalf("interposed with malformed interferer: %v, want ErrInvalidSystem", err)
+	}
+}
+
+// TestValidationSchedule: overlapping and out-of-range windows are
+// rejected with the overlapping-windows reason.
+func TestValidationSchedule(t *testing.T) {
+	cases := []struct {
+		name    string
+		cycle   simtime.Duration
+		windows []Window
+		reason  string
+	}{
+		{"overlap", us(10000), []Window{{0, us(4000)}, {us(3000), us(6000)}}, ReasonOverlappingWindows},
+		{"beyond cycle", us(10000), []Window{{us(8000), us(12000)}}, ReasonOverlappingWindows},
+		{"empty window", us(10000), []Window{{us(2000), us(2000)}}, ReasonOverlappingWindows},
+		{"no windows", us(10000), nil, ReasonOverlappingWindows},
+		{"zero cycle", 0, []Window{{0, us(1000)}}, ReasonBadTDMA},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSchedule(tc.cycle, tc.windows, 0)
+			if !errors.Is(err, ErrInvalidSystem) {
+				t.Fatalf("error %v does not wrap ErrInvalidSystem", err)
+			}
+			var verr *ValidationError
+			if !errors.As(err, &verr) || verr.Reason != tc.reason {
+				t.Fatalf("error %v, want reason %q", err, tc.reason)
+			}
+		})
+	}
+}
+
+// TestValidationAcceptsWellFormed: the baseline system still passes and
+// produces a finite bound.
+func TestValidationAcceptsWellFormed(t *testing.T) {
+	irq, tdma := wellFormedIRQ()
+	res, err := ClassicLatency(irq, tdma, nil, DefaultHorizon)
+	if err != nil {
+		t.Fatalf("well-formed system rejected: %v", err)
+	}
+	if res.WCRT <= 0 {
+		t.Fatalf("WCRT = %v, want positive", res.WCRT)
+	}
+}

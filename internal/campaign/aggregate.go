@@ -16,8 +16,10 @@ const MaxRepros = 16
 type Repro struct {
 	// Index is the cell's position in the campaign's deterministic
 	// expansion order.
-	Index     int     `json:"index"`
-	Fault     string  `json:"fault"`
+	Index int    `json:"index"`
+	Fault string `json:"fault"`
+	// Class identifies a diffuzz cell's scenario class (Fault empty).
+	Class     string  `json:"class,omitempty"`
 	Intensity float64 `json:"intensity"`
 	Seed      uint64  `json:"seed"`
 	// Violation and Fingerprint come straight from the cell result.
@@ -29,7 +31,9 @@ type Repro struct {
 // campaign's sweep table. All numeric state is integral so the fold is
 // exact and order-independent.
 type BucketAgg struct {
-	Fault     string  `json:"fault"`
+	Fault string `json:"fault"`
+	// Class keys the bucket of a diffuzz campaign (Fault stays empty).
+	Class     string  `json:"class,omitempty"`
 	Intensity float64 `json:"intensity"`
 	// Cells/Errors/Violations count merged cells, run failures and
 	// failed eq. (14) verdicts in this bucket.
@@ -45,6 +49,13 @@ type BucketAgg struct {
 	// Shaping counters summed over the bucket's cells.
 	Grants uint64 `json:"grants"`
 	Denied uint64 `json:"denied"`
+	// Bound tightness over the bucket's diffuzz cells: gap = bound −
+	// observed, per checked victim. Min/Sum meaningful iff GapCount > 0.
+	GapCount     int64 `json:"gap_count,omitempty"`
+	MinGapCycles int64 `json:"min_gap_cycles,omitempty"`
+	SumGapCycles int64 `json:"sum_gap_cycles,omitempty"`
+	// Invalid counts scenarios the analysis rejected as malformed.
+	Invalid int `json:"invalid,omitempty"`
 }
 
 // MeanCycles returns the bucket's mean latency, truncated.
@@ -53,6 +64,14 @@ func (b *BucketAgg) MeanCycles() int64 {
 		return 0
 	}
 	return b.SumCycles / b.Count
+}
+
+// MeanGapCycles returns the bucket's mean tightness gap, truncated.
+func (b *BucketAgg) MeanGapCycles() int64 {
+	if b.GapCount == 0 {
+		return 0
+	}
+	return b.SumGapCycles / b.GapCount
 }
 
 // Aggregate is the campaign's streaming summary: a commutative monoid
@@ -83,6 +102,13 @@ type Aggregate struct {
 	Grants    uint64
 	Denied    uint64
 
+	// Campaign-wide bound tightness (diffuzz campaigns) and invalid-
+	// scenario count. Min/Sum meaningful iff GapCount > 0.
+	GapCount     int64
+	MinGapCycles int64
+	SumGapCycles int64
+	Invalid      int
+
 	// Latency is the campaign-wide percentile sketch.
 	Latency Sketch
 	// Buckets is the fault×intensity sweep table in expansion order —
@@ -105,6 +131,12 @@ func NewAggregate(spec Spec) (*Aggregate, error) {
 		Buckets:    make([]BucketAgg, 0, spec.Buckets()),
 		merged:     make([]bool, spec.Cells()),
 	}
+	if spec.Kind == KindDiffuzz {
+		for _, c := range spec.Classes {
+			a.Buckets = append(a.Buckets, BucketAgg{Class: c})
+		}
+		return a, nil
+	}
 	for _, f := range spec.Faults {
 		for _, in := range spec.Intensities.Values() {
 			a.Buckets = append(a.Buckets, BucketAgg{Fault: f, Intensity: in})
@@ -122,6 +154,14 @@ func (a *Aggregate) MeanCycles() int64 {
 		return 0
 	}
 	return a.SumCycles / a.Count
+}
+
+// MeanGapCycles returns the campaign-wide mean tightness gap, truncated.
+func (a *Aggregate) MeanGapCycles() int64 {
+	if a.GapCount == 0 {
+		return 0
+	}
+	return a.SumGapCycles / a.GapCount
 }
 
 func (a *Aggregate) claim(index int) (*BucketAgg, error) {
@@ -151,11 +191,28 @@ func (a *Aggregate) MergeCell(index int, cr *CellResult) error {
 		a.retain(Repro{
 			Index:       index,
 			Fault:       cr.Spec.Fault,
+			Class:       cr.Spec.Class,
 			Intensity:   cr.Spec.Intensity,
 			Seed:        cr.Spec.Seed,
 			Violation:   cr.Violation,
 			Fingerprint: cr.Fingerprint,
 		})
+	}
+	if cr.Invalid {
+		a.Invalid++
+		b.Invalid++
+	}
+	if cr.GapCount > 0 {
+		if a.GapCount == 0 || cr.MinGapCycles < a.MinGapCycles {
+			a.MinGapCycles = cr.MinGapCycles
+		}
+		a.GapCount += cr.GapCount
+		a.SumGapCycles += cr.SumGapCycles
+		if b.GapCount == 0 || cr.MinGapCycles < b.MinGapCycles {
+			b.MinGapCycles = cr.MinGapCycles
+		}
+		b.GapCount += cr.GapCount
+		b.SumGapCycles += cr.SumGapCycles
 	}
 	if cr.Count > 0 {
 		if a.Count == 0 || cr.MinCycles < a.MinCycles {

@@ -19,7 +19,20 @@ package campaign
 import (
 	"fmt"
 
+	"repro/internal/diffuzz"
 	"repro/internal/faults"
+)
+
+// Campaign kinds. The zero value selects the original chaos fault
+// sweep, keeping every pre-existing spec's content address stable.
+const (
+	// KindChaos is the fault-injection sweep over the §6.1 reference
+	// system (the canonical empty string).
+	KindChaos = ""
+	// KindDiffuzz is the differential-fuzz sweep: every cell generates a
+	// random system (internal/diffuzz) and checks the analytic bounds
+	// against the DES, folding bound tightness into the aggregate.
+	KindDiffuzz = "diffuzz"
 )
 
 // Expansion bounds: a generator spec is refused, not truncated, beyond
@@ -66,6 +79,16 @@ type SeedRange struct {
 // intensity step, then by seed — so cell index i always names the same
 // computation for the same spec.
 type Spec struct {
+	// Kind selects the campaign family: KindChaos (the zero value) or
+	// KindDiffuzz. Kind-specific fields must stay zero for the other
+	// kind so every spec naming the same campaign has one form.
+	Kind string `json:"kind,omitempty"`
+	// Classes lists diffuzz scenario classes in sweep order; empty
+	// selects every registered class. KindDiffuzz only.
+	Classes []string `json:"classes,omitempty"`
+	// Events is the per-stream arrival count of each diffuzz cell; 0
+	// selects diffuzz.DefaultEvents. KindDiffuzz only.
+	Events int `json:"events,omitempty"`
 	// Faults lists fault model names (internal/faults registry) in
 	// sweep order; empty selects every registered model.
 	Faults []string `json:"faults,omitempty"`
@@ -89,6 +112,16 @@ type Spec struct {
 // same campaign reduces to one canonical form — the precondition for
 // the campaign's content address.
 func (sp *Spec) Normalize() error {
+	switch sp.Kind {
+	case KindChaos:
+		if len(sp.Classes) != 0 || sp.Events != 0 {
+			return fmt.Errorf("campaign: classes/events are diffuzz-sweep fields")
+		}
+	case KindDiffuzz:
+		return sp.normalizeDiffuzz()
+	default:
+		return fmt.Errorf("campaign: unknown kind %q", sp.Kind)
+	}
 	if len(sp.Faults) == 0 {
 		sp.Faults = faults.Names()
 	}
@@ -142,13 +175,69 @@ func (sp *Spec) Normalize() error {
 	return nil
 }
 
+// normalizeDiffuzz is Normalize for KindDiffuzz: the sweep axes are
+// scenario class × seed, the chaos-sweep fields must stay zero, and the
+// intensity range collapses to the single step the bucket arithmetic
+// (index / Seeds.Count) expects.
+func (sp *Spec) normalizeDiffuzz() error {
+	if len(sp.Faults) != 0 {
+		return fmt.Errorf("campaign: a diffuzz campaign sweeps classes, not faults")
+	}
+	if sp.PrefixSeed != 0 || sp.PrefixEvents != 0 || sp.SuffixEvents != 0 {
+		return fmt.Errorf("campaign: prefix/suffix are chaos-sweep fields")
+	}
+	one := IntensityRange{Steps: 1}
+	if sp.Intensities == (IntensityRange{}) {
+		sp.Intensities = one
+	}
+	if sp.Intensities != one {
+		return fmt.Errorf("campaign: a diffuzz campaign takes no intensity sweep")
+	}
+	if len(sp.Classes) == 0 {
+		sp.Classes = diffuzz.Classes()
+	}
+	seen := map[string]bool{}
+	for _, c := range sp.Classes {
+		if !diffuzz.ValidClass(c) {
+			return fmt.Errorf("campaign: unknown scenario class %q (have %v)", c, diffuzz.Classes())
+		}
+		if seen[c] {
+			return fmt.Errorf("campaign: scenario class %q listed twice", c)
+		}
+		seen[c] = true
+	}
+	if sp.Events == 0 {
+		sp.Events = diffuzz.DefaultEvents
+	}
+	if sp.Events < 2 || sp.Events > diffuzz.MaxEvents {
+		return fmt.Errorf("campaign: events %d outside [2, %d]", sp.Events, diffuzz.MaxEvents)
+	}
+	if sp.Seeds == (SeedRange{}) {
+		sp.Seeds = SeedRange{Base: 1, Count: 1}
+	}
+	if sp.Seeds.Count < 1 {
+		return fmt.Errorf("campaign: seed count must be >= 1, got %d", sp.Seeds.Count)
+	}
+	if n := sp.Cells(); n > MaxCells {
+		return fmt.Errorf("campaign: spec expands to %d cells, above the %d-cell bound", n, MaxCells)
+	}
+	return nil
+}
+
 // Cells returns the expansion size without expanding.
 func (sp *Spec) Cells() int {
+	if sp.Kind == KindDiffuzz {
+		return len(sp.Classes) * sp.Seeds.Count
+	}
 	return len(sp.Faults) * sp.Intensities.Steps * sp.Seeds.Count
 }
 
-// Buckets returns the number of fault×intensity aggregation buckets.
+// Buckets returns the number of aggregation buckets: fault×intensity
+// for a chaos sweep, one per scenario class for a diffuzz sweep.
 func (sp *Spec) Buckets() int {
+	if sp.Kind == KindDiffuzz {
+		return len(sp.Classes)
+	}
 	return len(sp.Faults) * sp.Intensities.Steps
 }
 
@@ -159,15 +248,29 @@ func (sp *Spec) Buckets() int {
 type Cell struct {
 	Index     int
 	Fault     string
+	Class     string
 	Intensity float64
 	Seed      uint64
 }
 
-// Expand enumerates the campaign deterministically: fault-major, then
-// intensity step, then seed. The caller must have Normalized sp.
+// Expand enumerates the campaign deterministically: fault-major (chaos)
+// or class-major (diffuzz), then intensity step, then seed. The caller
+// must have Normalized sp.
 func (sp *Spec) Expand() []Cell {
-	intensities := sp.Intensities.Values()
 	cells := make([]Cell, 0, sp.Cells())
+	if sp.Kind == KindDiffuzz {
+		for _, c := range sp.Classes {
+			for s := 0; s < sp.Seeds.Count; s++ {
+				cells = append(cells, Cell{
+					Index: len(cells),
+					Class: c,
+					Seed:  sp.Seeds.Base + uint64(s),
+				})
+			}
+		}
+		return cells
+	}
+	intensities := sp.Intensities.Values()
 	for _, f := range sp.Faults {
 		for _, in := range intensities {
 			for s := 0; s < sp.Seeds.Count; s++ {
@@ -185,9 +288,16 @@ func (sp *Spec) Expand() []Cell {
 
 // CellSpec maps one expanded cell to its standalone, content-addressable
 // computation document. Index is deliberately absent: two campaigns (or
-// two cells) naming the same (fault, intensity, seed, prefix, suffix)
-// tuple are the same computation and dedupe to one job.
+// two cells) naming the same computation tuple dedupe to one job.
 func (sp *Spec) CellSpec(c Cell) CellSpec {
+	if sp.Kind == KindDiffuzz {
+		return CellSpec{
+			Kind:   KindDiffuzz,
+			Class:  c.Class,
+			Seed:   c.Seed,
+			Events: sp.Events,
+		}
+	}
 	return CellSpec{
 		Fault:        c.Fault,
 		Intensity:    c.Intensity,

@@ -65,10 +65,14 @@ func TestExpandDeterministic(t *testing.T) {
 		t.Fatalf("expanded %d cells, want 8", len(cells))
 	}
 	want := []Cell{
-		{0, "babbling-idiot", 0.25, 1}, {1, "babbling-idiot", 0.25, 2},
-		{2, "babbling-idiot", 1.0, 1}, {3, "babbling-idiot", 1.0, 2},
-		{4, "stuck-line", 0.25, 1}, {5, "stuck-line", 0.25, 2},
-		{6, "stuck-line", 1.0, 1}, {7, "stuck-line", 1.0, 2},
+		{Index: 0, Fault: "babbling-idiot", Intensity: 0.25, Seed: 1},
+		{Index: 1, Fault: "babbling-idiot", Intensity: 0.25, Seed: 2},
+		{Index: 2, Fault: "babbling-idiot", Intensity: 1.0, Seed: 1},
+		{Index: 3, Fault: "babbling-idiot", Intensity: 1.0, Seed: 2},
+		{Index: 4, Fault: "stuck-line", Intensity: 0.25, Seed: 1},
+		{Index: 5, Fault: "stuck-line", Intensity: 0.25, Seed: 2},
+		{Index: 6, Fault: "stuck-line", Intensity: 1.0, Seed: 1},
+		{Index: 7, Fault: "stuck-line", Intensity: 1.0, Seed: 2},
 	}
 	for i, c := range cells {
 		if c != want[i] {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/curves"
+	"repro/internal/diffuzz"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/hv"
@@ -53,6 +54,13 @@ const (
 // serve tier. All fields are explicit (campaign expansion fills them),
 // so the same document always names the same simulation.
 type CellSpec struct {
+	// Kind and the diffuzz axes mirror Spec.Kind: the zero Kind is a
+	// chaos cell (all new fields omitted, so pre-existing cell documents
+	// keep their content addresses bit for bit).
+	Kind   string `json:"kind,omitempty"`
+	Class  string `json:"class,omitempty"`
+	Events int    `json:"events,omitempty"`
+
 	Fault        string  `json:"fault"`
 	Intensity    float64 `json:"intensity"`
 	Seed         uint64  `json:"seed"`
@@ -63,6 +71,25 @@ type CellSpec struct {
 
 // Validate rejects documents outside the cell grammar.
 func (cs CellSpec) Validate() error {
+	switch cs.Kind {
+	case KindDiffuzz:
+		if !diffuzz.ValidClass(cs.Class) {
+			return fmt.Errorf("campaign: unknown scenario class %q (have %v)", cs.Class, diffuzz.Classes())
+		}
+		if cs.Events < 2 || cs.Events > diffuzz.MaxEvents {
+			return fmt.Errorf("campaign: events %d outside [2, %d]", cs.Events, diffuzz.MaxEvents)
+		}
+		if cs.Fault != "" || cs.Intensity != 0 || cs.PrefixSeed != 0 || cs.PrefixEvents != 0 || cs.SuffixEvents != 0 {
+			return fmt.Errorf("campaign: chaos-sweep fields must stay zero in a diffuzz cell")
+		}
+		return nil
+	case KindChaos:
+	default:
+		return fmt.Errorf("campaign: unknown cell kind %q", cs.Kind)
+	}
+	if cs.Class != "" || cs.Events != 0 {
+		return fmt.Errorf("campaign: class/events are diffuzz-cell fields")
+	}
 	if _, ok := faults.Lookup(cs.Fault); !ok {
 		return fmt.Errorf("campaign: unknown fault model %q (have %v)", cs.Fault, faults.Names())
 	}
@@ -79,8 +106,13 @@ func (cs CellSpec) Validate() error {
 }
 
 // GroupKey names the warm-prefix group: cells with equal keys share the
-// prefix scenario byte for byte and may fork from one snapshot.
+// prefix scenario byte for byte and may fork from one snapshot. Diffuzz
+// cells share no prefix — every cell is its own scenario — and run cold
+// in the worker's arena.
 func (cs CellSpec) GroupKey() string {
+	if cs.Kind == KindDiffuzz {
+		return "diffuzz"
+	}
 	return fmt.Sprintf("prefix/%d/%d", cs.PrefixSeed, cs.PrefixEvents)
 }
 
@@ -192,6 +224,16 @@ type CellResult struct {
 	VictimMaxCycles    int64  `json:"victim_max_cycles"`
 	BoundCycles        int64  `json:"bound_cycles,omitempty"`
 	BoundNote          string `json:"bound_note,omitempty"`
+
+	// Differential-fuzz cells (Spec.Kind KindDiffuzz) additionally fold
+	// bound tightness: per checked victim, gap = analytic bound −
+	// observed worst latency, in cycles. Min/Sum are meaningful iff
+	// GapCount > 0. Invalid marks scenarios the analysis rejected as
+	// malformed (counted, not failed).
+	GapCount     int64 `json:"gap_count,omitempty"`
+	MinGapCycles int64 `json:"min_gap_cycles,omitempty"`
+	SumGapCycles int64 `json:"sum_gap_cycles,omitempty"`
+	Invalid      bool  `json:"invalid,omitempty"`
 
 	Pass bool `json:"pass"`
 	// Violation and Fingerprint are set iff the verdict failed:
@@ -331,6 +373,9 @@ func (r *Runner) Run(cs CellSpec) (*CellResult, error) {
 	if err := cs.Validate(); err != nil {
 		return nil, err
 	}
+	if cs.Kind == KindDiffuzz {
+		return runDiffuzzCell(r.arena, cs)
+	}
 	if gk := cs.GroupKey(); r.camp == nil || r.groupKey != gk {
 		camp, err := r.arena.ForkCampaign(prefixScenario(cs.PrefixSeed, cs.PrefixEvents))
 		if err != nil {
@@ -350,6 +395,43 @@ func (r *Runner) Run(cs CellSpec) (*CellResult, error) {
 	return deriveResult(cs, forkT, sfx, res)
 }
 
+// runDiffuzzCell executes one differential-fuzz cell: generate the
+// (class, seed) scenario, run it through both the analytic bounds and
+// the DES under the eq. (14) oracle, and reduce the differential
+// outcome to the cell wire document. No planted bugs here — campaign
+// cells always check the real bounds; the plant is a local self-test
+// of the smoke harness (internal/diffuzz.Options).
+func runDiffuzzCell(a *engine.SimArena, cs CellSpec) (*CellResult, error) {
+	return RunDiffuzzCell(a, cs, diffuzz.Options{})
+}
+
+// RunDiffuzzCell is runDiffuzzCell with explicit check options — the
+// entry point cmd/diffuzz uses so its planted-bug self-test can fold
+// the same cell documents the campaign path produces.
+func RunDiffuzzCell(a *engine.SimArena, cs CellSpec, opt diffuzz.Options) (*CellResult, error) {
+	out, err := diffuzz.CheckSeed(a, cs.Class, cs.Seed, cs.Events, opt)
+	if err != nil {
+		return nil, err
+	}
+	cr := &CellResult{
+		Spec:               cs,
+		Grants:             out.Grants,
+		Denied:             out.DeniedViolation,
+		InterferenceCycles: int64(out.Interference),
+		BudgetCycles:       int64(out.Budget),
+		GapCount:           int64(out.GapCount),
+		MinGapCycles:       int64(out.MinGap),
+		SumGapCycles:       int64(out.SumGap),
+		Invalid:            out.Invalid,
+		Pass:               out.OK,
+	}
+	if v := out.Violation(); v != nil {
+		cr.Violation = v.String()
+		cr.Fingerprint = out.Fingerprint
+	}
+	return cr, nil
+}
+
 // RunCellCold executes one cell without the snapshot path: prefix run
 // from cycle zero on a fresh system, then the suffix as a plain
 // two-phase extension. The reference implementation the warm path is
@@ -357,6 +439,9 @@ func (r *Runner) Run(cs CellSpec) (*CellResult, error) {
 func RunCellCold(cs CellSpec) (*CellResult, error) {
 	if err := cs.Validate(); err != nil {
 		return nil, err
+	}
+	if cs.Kind == KindDiffuzz {
+		return runDiffuzzCell(engine.NewArena(), cs)
 	}
 	sc := prefixScenario(cs.PrefixSeed, cs.PrefixEvents)
 	sys, err := core.Build(sc)

@@ -240,6 +240,14 @@ func buildConfig(sc Scenario) (hv.Config, error) {
 			set++
 		}
 		if q.Condition != nil {
+			// A degenerate or non-monotone condition would pass hv
+			// validation (the monitor only compares distances) but
+			// panic later inside the analysis when the oracle budget
+			// takes its η⁺ — reject it at build time with the typed
+			// analysis error instead.
+			if err := analysis.ValidateModel(fmt.Sprintf("irq %d (%s) condition", i, q.Name), q.Condition); err != nil {
+				return hv.Config{}, err
+			}
 			scfg.Monitor = monitor.New(q.Condition)
 			set++
 		}
@@ -444,6 +452,15 @@ func AnalyzeSchedule(sc Scenario, idx int, model curves.Model) (analysis.Respons
 // *monitored* adversary the extra term is the adversary's eq. (14)
 // budget, and the victim's measured latency must stay below the result.
 func ClassicBoundUnder(sc Scenario, idx int, model curves.Model, extra analysis.Interference) (analysis.ResponseTimeResult, error) {
+	return ClassicBoundUnderHorizon(sc, idx, model, extra, analysis.DefaultHorizon)
+}
+
+// ClassicBoundUnderHorizon is ClassicBoundUnder with an explicit
+// busy-window horizon. Callers that sweep many generated systems (the
+// differential fuzzer) pass a horizon near the simulated span so that
+// overloaded configurations are rejected quickly instead of crawling
+// the fixed point toward the default one-hour horizon.
+func ClassicBoundUnderHorizon(sc Scenario, idx int, model curves.Model, extra analysis.Interference, horizon simtime.Duration) (analysis.ResponseTimeResult, error) {
 	if idx < 0 || idx >= len(sc.IRQs) {
 		return analysis.ResponseTimeResult{}, errors.New("core: IRQ index out of range")
 	}
@@ -470,9 +487,62 @@ func ClassicBoundUnder(sc Scenario, idx int, model curves.Model, extra analysis.
 		// interposing but still pays its top handler. Bound them by
 		// the concrete trace, never the (possibly violated) condition.
 		m := traceModel(q.Arrivals)
-		others = append(others, analysis.IRQ{Name: q.Name, CTH: q.CTH + costs.QueuePush, CBH: q.CBH, Model: m})
+		others = append(others, analysis.IRQ{Name: q.Name, CTH: interfererCTH(q, costs), CBH: q.CBH, Model: m})
 	}
-	return analysis.ClassicLatencyUnder(irq, tdma, others, extra, analysis.DefaultHorizon)
+	return analysis.ClassicLatencyUnder(irq, tdma, others, extra, horizon)
+}
+
+// ScheduleBoundUnder is ClassicBoundUnder for scenarios with an
+// explicit multi-window schedule: the TDMA term of eq. (11) is replaced
+// by the supply-function interference bound of the partition's windows
+// (analysis.ClassicLatencyScheduleUnder), with the same trace-derived
+// interferer models and the same extra term.
+func ScheduleBoundUnder(sc Scenario, idx int, model curves.Model, extra analysis.Interference) (analysis.ResponseTimeResult, error) {
+	return ScheduleBoundUnderHorizon(sc, idx, model, extra, analysis.DefaultHorizon)
+}
+
+// ScheduleBoundUnderHorizon is ScheduleBoundUnder with an explicit
+// busy-window horizon (see ClassicBoundUnderHorizon).
+func ScheduleBoundUnderHorizon(sc Scenario, idx int, model curves.Model, extra analysis.Interference, horizon simtime.Duration) (analysis.ResponseTimeResult, error) {
+	if idx < 0 || idx >= len(sc.IRQs) {
+		return analysis.ResponseTimeResult{}, errors.New("core: IRQ index out of range")
+	}
+	costs := sc.CostModel()
+	target := sc.IRQs[idx]
+	sched, err := analysis.NewSchedule(sc.CycleLength(), sc.PartitionWindows(target.Partition), costs.CtxSwitch)
+	if err != nil {
+		return analysis.ResponseTimeResult{}, err
+	}
+	irq := analysis.IRQ{
+		Name:  target.Name,
+		CTH:   target.CTH + costs.QueuePush,
+		CBH:   target.CBH + costs.QueuePop,
+		Model: model,
+	}
+	var others []analysis.IRQ
+	for i, q := range sc.IRQs {
+		if i == idx {
+			continue
+		}
+		others = append(others, analysis.IRQ{Name: q.Name, CTH: interfererCTH(q, costs), CBH: q.CBH, Model: traceModel(q.Arrivals)})
+	}
+	return analysis.ClassicLatencyScheduleUnder(irq, sched, others, extra, horizon)
+}
+
+// interfererCTH is the top-handler blocking cost one interfering source
+// charges the victim. A monitored source's modified top handler (Fig.
+// 4b) additionally runs the monitoring function for every foreign-slot
+// arrival — and an arrival that blocks the victim is by definition
+// foreign to the interferer — so C_Mon must be folded in or the eq.
+// (11) blocking term undercounts by C_Mon per interfering activation.
+// (Found by the differential fuzzer: the simulated worst case exceeded
+// the bound by exactly C_Mon.)
+func interfererCTH(q IRQSpec, costs arm.CostModel) simtime.Duration {
+	cth := q.CTH + costs.QueuePush
+	if q.DMin > 0 || q.Condition != nil || q.Learn != nil {
+		cth += costs.Monitor
+	}
+	return cth
 }
 
 // traceModel returns the tightest δ⁻ of a concrete arrival stream, or

@@ -1,0 +1,410 @@
+// Package diffuzz is the differential scenario fuzzer: it generates
+// random-but-valid systems, runs each through both the analytic bounds
+// (internal/analysis) and the discrete-event simulation (internal/hv),
+// and asserts the differential invariant — the simulation never exceeds
+// the analytic worst case, and the eq. (14) window-budget oracle agrees
+// with the analytic admission decision. When the invariant holds it
+// records how tight the bounds were; when it breaks, a deterministic
+// delta-debugging minimizer shrinks the scenario to a minimal
+// fingerprint+seed reproducer.
+//
+// Everything is a pure function of (class, seed, events): generation
+// draws from rng.NewStream(seed, role) with fixed per-role stream ids,
+// so any outcome is replayable from three integers.
+package diffuzz
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/curves"
+	"repro/internal/faults"
+	"repro/internal/guestos"
+	"repro/internal/hv"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// Scenario classes. Each class is one region of the scenario grammar;
+// the per-class tightness statistics in campaign aggregates are keyed
+// by these names.
+const (
+	// ClassSporadic: random TDMA layouts, one source per partition,
+	// monitored attackers with l = 1 (dmin) conditions, unmonitored
+	// victims with benign exponential streams.
+	ClassSporadic = "sporadic"
+	// ClassDelta: attackers carry explicit l-entry δ⁻ monitoring
+	// conditions instead of a single minimum distance.
+	ClassDelta = "delta"
+	// ClassFaulty: the attacker stream is drawn from a random
+	// internal/faults model (babbling idiot, jitter drift, …) at a
+	// random intensity.
+	ClassFaulty = "faulty"
+	// ClassGuest: like sporadic, plus guest OSes with random task sets;
+	// victim IRQs signal sporadic guest tasks.
+	ClassGuest = "guest"
+	// ClassWindows: ARINC653-style multi-window schedules instead of
+	// single-slot rotations; bounds use the supply-function analysis.
+	ClassWindows = "windows"
+)
+
+// classes lists every class in deterministic order.
+var classes = []string{ClassSporadic, ClassDelta, ClassFaulty, ClassGuest, ClassWindows}
+
+// Classes returns the registered scenario classes in deterministic order.
+func Classes() []string { return append([]string(nil), classes...) }
+
+// ValidClass reports whether name is a registered scenario class.
+func ValidClass(name string) bool {
+	for _, c := range classes {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxEvents caps the per-stream arrival count a generated scenario may
+// carry; Generate clamps to it.
+const MaxEvents = 2000
+
+// DefaultEvents is the per-stream arrival count when the caller passes 0.
+const DefaultEvents = 120
+
+// TaskSpec is one guest task in the serializable intermediate form.
+type TaskSpec struct {
+	Name     string
+	Period   simtime.Duration // 0 for sporadic tasks
+	WCET     simtime.Duration
+	Sporadic bool
+}
+
+// SourceSpec is one IRQ source in the serializable intermediate form.
+type SourceSpec struct {
+	Name      string
+	Partition int
+	CTH       simtime.Duration
+	CBH       simtime.Duration
+	// DMin > 0 arms an l = 1 monitor; Cond non-empty arms an explicit
+	// δ⁻ monitor. At most one may be set; both zero means unmonitored
+	// (a victim).
+	DMin     simtime.Duration
+	Cond     []simtime.Duration
+	Arrivals []simtime.Time
+	// SignalsGuest activates guest task GuestTask of the subscriber
+	// partition from the bottom handler.
+	SignalsGuest bool
+	GuestTask    int
+}
+
+// Monitored reports whether the source carries a monitoring condition.
+func (s SourceSpec) Monitored() bool { return s.DMin > 0 || len(s.Cond) > 0 }
+
+// PartSpec is one partition in the serializable intermediate form.
+type PartSpec struct {
+	Name  string
+	Slot  simtime.Duration
+	Tasks []TaskSpec
+}
+
+// WindowSpec is one window of a multi-window schedule.
+type WindowSpec struct {
+	Partition int
+	Length    simtime.Duration
+}
+
+// SystemSpec is the generator's serializable intermediate form: unlike
+// core.Scenario it holds guest *task declarations* rather than a built
+// (stateful) guest OS, so every check materializes a fresh scenario and
+// the minimizer can drop tasks and re-check without state leaking
+// between runs.
+type SystemSpec struct {
+	Class   string
+	Seed    uint64
+	Events  int
+	Parts   []PartSpec
+	Windows []WindowSpec // empty: single-slot rotation over Parts
+	Srcs    []SourceSpec
+}
+
+// Tasks returns the total guest task count.
+func (s SystemSpec) Tasks() int {
+	n := 0
+	for _, p := range s.Parts {
+		n += len(p.Tasks)
+	}
+	return n
+}
+
+// Clone returns a deep copy; the minimizer mutates clones only.
+func (s SystemSpec) Clone() SystemSpec {
+	out := s
+	out.Parts = make([]PartSpec, len(s.Parts))
+	for i, p := range s.Parts {
+		out.Parts[i] = p
+		out.Parts[i].Tasks = append([]TaskSpec(nil), p.Tasks...)
+	}
+	out.Windows = append([]WindowSpec(nil), s.Windows...)
+	out.Srcs = make([]SourceSpec, len(s.Srcs))
+	for i, q := range s.Srcs {
+		out.Srcs[i] = q
+		out.Srcs[i].Cond = append([]simtime.Duration(nil), q.Cond...)
+		out.Srcs[i].Arrivals = append([]simtime.Time(nil), q.Arrivals...)
+	}
+	return out
+}
+
+// Scenario materializes the spec into a runnable core.Scenario with
+// freshly built guest OSes. It returns an error when the spec is
+// malformed (possible for minimizer-mutated specs; generated specs are
+// valid by construction).
+func (s SystemSpec) Scenario() (core.Scenario, error) {
+	sc := core.Scenario{
+		Mode:   hv.Monitored,
+		Policy: hv.DenyNearSlotEnd,
+	}
+	for pi, p := range s.Parts {
+		ps := core.PartitionSpec{Name: p.Name, Slot: p.Slot}
+		if len(p.Tasks) > 0 {
+			g := guestos.New(fmt.Sprintf("guest-%d", pi))
+			for _, t := range p.Tasks {
+				task := guestos.Task{Name: t.Name, WCET: t.WCET, Sporadic: t.Sporadic}
+				if !t.Sporadic {
+					task.Period = t.Period
+				}
+				if _, err := g.AddTask(task); err != nil {
+					return core.Scenario{}, fmt.Errorf("diffuzz: partition %d task %q: %w", pi, t.Name, err)
+				}
+			}
+			ps.Guest = g
+		}
+		sc.Partitions = append(sc.Partitions, ps)
+	}
+	for _, w := range s.Windows {
+		sc.Windows = append(sc.Windows, core.WindowSpec{Partition: w.Partition, Length: w.Length})
+	}
+	for i, q := range s.Srcs {
+		irq := core.IRQSpec{
+			Name:         q.Name,
+			Partition:    q.Partition,
+			CTH:          q.CTH,
+			CBH:          q.CBH,
+			DMin:         q.DMin,
+			Arrivals:     q.Arrivals,
+			SignalsGuest: q.SignalsGuest,
+			GuestTask:    q.GuestTask,
+		}
+		if len(q.Cond) > 0 {
+			cond, err := curves.NewDelta(q.Cond)
+			if err != nil {
+				return core.Scenario{}, fmt.Errorf("diffuzz: source %d condition: %w", i, err)
+			}
+			irq.Condition = cond
+		}
+		sc.IRQs = append(sc.IRQs, irq)
+	}
+	return sc, nil
+}
+
+// Stream ids: every random draw comes from rng.NewStream(seed, id) with
+// a fixed role id, so adding draws to one role never shifts another.
+const (
+	streamLayout  = 0 // partition count, slot lengths, roles
+	streamAttack  = 1 // attacker conditions and arrival streams
+	streamVictim  = 2 // victim arrival streams
+	streamGuest   = 3 // guest task sets
+	streamWindows = 4 // multi-window schedules
+)
+
+// Generate produces the scenario spec for (class, seed): a random-but-
+// valid system drawn from the class's region of the grammar. events
+// bounds the arrival count per stream (0 = DefaultEvents, clamped to
+// [2, MaxEvents]).
+func Generate(class string, seed uint64, events int) (SystemSpec, error) {
+	if !ValidClass(class) {
+		return SystemSpec{}, fmt.Errorf("diffuzz: unknown class %q (have %v)", class, classes)
+	}
+	if events <= 0 {
+		events = DefaultEvents
+	}
+	if events < 2 {
+		events = 2
+	}
+	if events > MaxEvents {
+		events = MaxEvents
+	}
+	spec := SystemSpec{Class: class, Seed: seed, Events: events}
+	layout := rng.NewStream(seed, streamLayout)
+
+	nParts := 2 + layout.Intn(3)
+	for i := 0; i < nParts; i++ {
+		spec.Parts = append(spec.Parts, PartSpec{
+			Name: fmt.Sprintf("p%d", i),
+			Slot: simtime.Micros(int64(2500 + 600*layout.Intn(5))),
+		})
+	}
+
+	// One source per partition at most, so every unmonitored victim is
+	// the sole source of its partition and the eq. (11) bound (which
+	// models no same-queue competitors) applies. At least one victim
+	// and, where the class calls for it, at least one attacker. Roles
+	// are fixed up front so attacker inter-arrival floors can be scaled
+	// by the attacker count: each interposed grant costs roughly
+	// C_BH + T_Sched + 2·T_Ctx ≈ 150 µs of foreign slot time, so the
+	// summed eq. (14) utilization must stay well below the thinnest
+	// partition's supply share or every victim bound diverges.
+	nSrcs := 1 + layout.Intn(nParts)
+	roles := make([]bool, nSrcs)
+	nMon := 0
+	for i := 1; i < nSrcs; i++ {
+		roles[i] = layout.Intn(2) == 0
+		if i == 1 && class != ClassSporadic && class != ClassWindows {
+			roles[i] = true // delta/faulty/guest exercise monitored paths
+		}
+		if roles[i] {
+			nMon++
+		}
+	}
+	attack := rng.NewStream(seed, streamAttack)
+	victim := rng.NewStream(seed, streamVictim)
+	for i := 0; i < nSrcs; i++ {
+		src := SourceSpec{
+			Name:      fmt.Sprintf("irq%d", i),
+			Partition: i,
+			CTH:       simtime.Micros(int64(2 + layout.Intn(7))),
+			CBH:       simtime.Micros(int64(10 + layout.Intn(30))),
+		}
+		if roles[i] {
+			genAttacker(&src, class, attack, events, nMon)
+		} else {
+			mean := simtime.Micros(int64(3000 + victim.Intn(3000)))
+			dmin := simtime.Micros(int64(1500 + victim.Intn(1500)))
+			src.Arrivals = workload.Timestamps(workload.ExponentialClamped(victim, mean, dmin, events))
+		}
+		spec.Srcs = append(spec.Srcs, src)
+	}
+
+	switch class {
+	case ClassGuest:
+		genGuests(&spec, rng.NewStream(seed, streamGuest))
+	case ClassWindows:
+		genWindows(&spec, rng.NewStream(seed, streamWindows))
+	}
+	return spec, nil
+}
+
+// genAttacker fills in a monitored source: its condition per the class
+// and an arrival stream that is conforming, violating, or fault-shaped.
+// The inter-arrival floor scales with the total attacker count nMon so
+// the summed interposed-interference utilization stays bounded.
+func genAttacker(src *SourceSpec, class string, r *rng.Source, events, nMon int) {
+	if nMon < 1 {
+		nMon = 1
+	}
+	dmin := simtime.Micros(int64(4000*nMon + r.Intn(4000)))
+	switch class {
+	case ClassDelta:
+		l := 2 + r.Intn(3)
+		cond := make([]simtime.Duration, l)
+		d := dmin
+		for i := range cond {
+			cond[i] = d
+			d += simtime.Micros(int64(200 + r.Intn(1800)))
+		}
+		src.Cond = cond
+	case ClassFaulty:
+		src.DMin = dmin
+		// Any fault model except mode-flip, whose learning monitor is
+		// outside the static-condition differential contract.
+		names := faults.Names()
+		var pool []string
+		for _, n := range names {
+			if n != "mode-flip" {
+				pool = append(pool, n)
+			}
+		}
+		model, _ := faults.Lookup(pool[r.Intn(len(pool))])
+		p := faults.Params{
+			DMin:      dmin,
+			Events:    events,
+			Intensity: 0.25 + float64(r.Intn(4))*0.25,
+		}
+		src.Arrivals = model.Arrivals(r, p)
+		return
+	default:
+		src.DMin = dmin
+	}
+	// Conforming (clamped at dmin) or hostile (clamped well below dmin,
+	// so the monitor demotes part of the stream) — both must stay
+	// within every bound.
+	clamp := dmin
+	if r.Intn(2) == 0 {
+		clamp = dmin / 3
+		if clamp <= 0 {
+			clamp = 1
+		}
+	}
+	mean := clamp + simtime.Micros(int64(r.Intn(2000)))
+	src.Arrivals = workload.Timestamps(workload.ExponentialClamped(r, mean, clamp, events))
+}
+
+// genGuests adds random task sets: periodic background load everywhere,
+// plus one sporadic task per victim source, signalled from its bottom
+// handler.
+func genGuests(spec *SystemSpec, r *rng.Source) {
+	for pi := range spec.Parts {
+		n := r.Intn(3)
+		for t := 0; t < n; t++ {
+			period := simtime.Micros(int64(2000 + r.Intn(18000)))
+			spec.Parts[pi].Tasks = append(spec.Parts[pi].Tasks, TaskSpec{
+				Name:   fmt.Sprintf("p%dt%d", pi, t),
+				Period: period,
+				WCET:   simtime.Micros(int64(1 + r.Intn(250))),
+			})
+		}
+	}
+	for si := range spec.Srcs {
+		src := &spec.Srcs[si]
+		if src.Monitored() {
+			continue
+		}
+		pi := src.Partition
+		spec.Parts[pi].Tasks = append(spec.Parts[pi].Tasks, TaskSpec{
+			Name:     fmt.Sprintf("p%dsig", pi),
+			WCET:     simtime.Micros(int64(1 + r.Intn(150))),
+			Sporadic: true,
+		})
+		src.SignalsGuest = true
+		src.GuestTask = len(spec.Parts[pi].Tasks) - 1
+	}
+}
+
+// genWindows replaces the single-slot rotation with an ARINC653-style
+// schedule: each partition gets one or two windows per major frame, in
+// an interleaved order.
+func genWindows(spec *SystemSpec, r *rng.Source) {
+	var order []int
+	for pi := range spec.Parts {
+		order = append(order, pi)
+		if r.Intn(2) == 0 {
+			order = append(order, pi)
+		}
+	}
+	// Deterministic Fisher-Yates over the window order.
+	for i := len(order) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	total := make([]simtime.Duration, len(spec.Parts))
+	for _, pi := range order {
+		length := simtime.Micros(int64(2000 + 500*r.Intn(5)))
+		spec.Windows = append(spec.Windows, WindowSpec{Partition: pi, Length: length})
+		total[pi] += length
+	}
+	// Keep PartitionSpec.Slot consistent with the windowed supply so
+	// CycleLength and validation agree.
+	for pi := range spec.Parts {
+		spec.Parts[pi].Slot = total[pi]
+	}
+}

@@ -1,0 +1,237 @@
+package diffuzz
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// MaxMinimizeChecks bounds the number of differential re-checks one
+// minimization may spend; the fixed point over the shrink passes stops
+// when the budget is exhausted and returns the best spec so far.
+const MaxMinimizeChecks = 600
+
+// MinimizeStats summarises one minimization run.
+type MinimizeStats struct {
+	// Checks is the number of differential re-checks spent.
+	Checks int
+	// Steps is the number of accepted shrink steps.
+	Steps int
+}
+
+// Reproducer is the minimizer's output: the smallest spec that still
+// violates, plus its content address. Seed/Class/Events on the spec
+// replay the original generation; the spec itself replays the minimal
+// counterexample directly.
+type Reproducer struct {
+	Spec        SystemSpec
+	Fingerprint string
+	Outcome     Outcome
+	Stats       MinimizeStats
+}
+
+// Minimize shrinks a violating spec to a minimal counterexample by
+// deterministic delta debugging: drop sources, drop guest tasks, drop
+// empty partitions, truncate arrival streams, coarsen δ⁻ conditions to
+// l = 1 — re-checking after every candidate step and keeping it only if
+// the violation persists. Passes repeat to a fixed point (or until the
+// check budget runs out). It returns an error if spec does not violate
+// in the first place.
+func Minimize(a *engine.SimArena, spec SystemSpec, opt Options) (Reproducer, error) {
+	var st MinimizeStats
+	out, err := checkStep(a, spec, opt, &st)
+	if err != nil {
+		return Reproducer{}, err
+	}
+	if out == nil {
+		return Reproducer{}, fmt.Errorf("diffuzz: minimize: spec %s/%d does not violate", spec.Class, spec.Seed)
+	}
+	cur, best := spec.Clone(), *out
+	for {
+		progressed := false
+		for _, pass := range []func(*engine.SimArena, *SystemSpec, *Outcome, Options, *MinimizeStats) bool{
+			passDropSources,
+			passDropTasks,
+			passDropParts,
+			passTruncateArrivals,
+			passCoarsenConds,
+		} {
+			if pass(a, &cur, &best, opt, &st) {
+				progressed = true
+			}
+			if st.Checks >= MaxMinimizeChecks {
+				progressed = false
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return Reproducer{Spec: cur, Fingerprint: best.Fingerprint, Outcome: best, Stats: st}, nil
+}
+
+// checkStep re-checks a candidate spec; it returns the outcome when the
+// candidate still violates, nil when it does not (including when the
+// mutation made the spec invalid — that just cancels the step).
+func checkStep(a *engine.SimArena, spec SystemSpec, opt Options, st *MinimizeStats) (*Outcome, error) {
+	st.Checks++
+	out, err := CheckSpec(a, spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	if out.Invalid || out.OK {
+		return nil, nil
+	}
+	return &out, nil
+}
+
+// tryStep accepts candidate iff it still violates, folding it into
+// (cur, best).
+func tryStep(a *engine.SimArena, candidate SystemSpec, cur *SystemSpec, best *Outcome, opt Options, st *MinimizeStats) bool {
+	out, err := checkStep(a, candidate, opt, st)
+	if err != nil || out == nil {
+		return false
+	}
+	*cur, *best = candidate, *out
+	st.Steps++
+	return true
+}
+
+// passDropSources removes sources one at a time (highest index first so
+// earlier indices stay stable across a sweep).
+func passDropSources(a *engine.SimArena, cur *SystemSpec, best *Outcome, opt Options, st *MinimizeStats) bool {
+	progress := false
+	for i := len(cur.Srcs) - 1; i >= 0; i-- {
+		if st.Checks >= MaxMinimizeChecks || len(cur.Srcs) <= 1 {
+			break
+		}
+		cand := cur.Clone()
+		cand.Srcs = append(cand.Srcs[:i], cand.Srcs[i+1:]...)
+		if tryStep(a, cand, cur, best, opt, st) {
+			progress = true
+		}
+	}
+	return progress
+}
+
+// passDropTasks removes guest tasks one at a time, remapping the
+// signalled-task indices of sources targeting the same partition.
+func passDropTasks(a *engine.SimArena, cur *SystemSpec, best *Outcome, opt Options, st *MinimizeStats) bool {
+	progress := false
+	for pi := range cur.Parts {
+		for ti := len(cur.Parts[pi].Tasks) - 1; ti >= 0; ti-- {
+			if st.Checks >= MaxMinimizeChecks {
+				return progress
+			}
+			cand := cur.Clone()
+			cand.Parts[pi].Tasks = append(cand.Parts[pi].Tasks[:ti], cand.Parts[pi].Tasks[ti+1:]...)
+			for si := range cand.Srcs {
+				src := &cand.Srcs[si]
+				if !src.SignalsGuest || src.Partition != pi {
+					continue
+				}
+				switch {
+				case src.GuestTask == ti:
+					src.SignalsGuest, src.GuestTask = false, 0
+				case src.GuestTask > ti:
+					src.GuestTask--
+				}
+			}
+			if tryStep(a, cand, cur, best, opt, st) {
+				progress = true
+			}
+		}
+	}
+	return progress
+}
+
+// passDropParts removes partitions that subscribe no source, remapping
+// source partition indices and dropping the partition's windows.
+func passDropParts(a *engine.SimArena, cur *SystemSpec, best *Outcome, opt Options, st *MinimizeStats) bool {
+	progress := false
+	for pi := len(cur.Parts) - 1; pi >= 0; pi-- {
+		if st.Checks >= MaxMinimizeChecks || len(cur.Parts) <= 1 {
+			break
+		}
+		used := false
+		for _, q := range cur.Srcs {
+			if q.Partition == pi {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		cand := cur.Clone()
+		cand.Parts = append(cand.Parts[:pi], cand.Parts[pi+1:]...)
+		var wins []WindowSpec
+		for _, w := range cand.Windows {
+			if w.Partition == pi {
+				continue
+			}
+			if w.Partition > pi {
+				w.Partition--
+			}
+			wins = append(wins, w)
+		}
+		cand.Windows = wins
+		for si := range cand.Srcs {
+			if cand.Srcs[si].Partition > pi {
+				cand.Srcs[si].Partition--
+			}
+		}
+		if tryStep(a, cand, cur, best, opt, st) {
+			progress = true
+		}
+	}
+	return progress
+}
+
+// passTruncateArrivals shortens arrival streams: first by halving while
+// the violation persists, then by dropping single trailing arrivals.
+func passTruncateArrivals(a *engine.SimArena, cur *SystemSpec, best *Outcome, opt Options, st *MinimizeStats) bool {
+	progress := false
+	for si := range cur.Srcs {
+		for len(cur.Srcs[si].Arrivals) >= 4 && st.Checks < MaxMinimizeChecks {
+			cand := cur.Clone()
+			cand.Srcs[si].Arrivals = cand.Srcs[si].Arrivals[:len(cand.Srcs[si].Arrivals)/2]
+			if !tryStep(a, cand, cur, best, opt, st) {
+				break
+			}
+			progress = true
+		}
+		for len(cur.Srcs[si].Arrivals) > 2 && st.Checks < MaxMinimizeChecks {
+			cand := cur.Clone()
+			cand.Srcs[si].Arrivals = cand.Srcs[si].Arrivals[:len(cand.Srcs[si].Arrivals)-1]
+			if !tryStep(a, cand, cur, best, opt, st) {
+				break
+			}
+			progress = true
+		}
+	}
+	return progress
+}
+
+// passCoarsenConds rewrites explicit l-entry δ⁻ conditions as l = 1
+// minimum-distance monitors, the simplest condition shape.
+func passCoarsenConds(a *engine.SimArena, cur *SystemSpec, best *Outcome, opt Options, st *MinimizeStats) bool {
+	progress := false
+	for si := range cur.Srcs {
+		if st.Checks >= MaxMinimizeChecks {
+			break
+		}
+		q := cur.Srcs[si]
+		if len(q.Cond) == 0 {
+			continue
+		}
+		cand := cur.Clone()
+		cand.Srcs[si].DMin = q.Cond[0]
+		cand.Srcs[si].Cond = nil
+		if tryStep(a, cand, cur, best, opt, st) {
+			progress = true
+		}
+	}
+	return progress
+}

@@ -1,0 +1,66 @@
+package diffuzz
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestMinimizeShrinksPlantedViolation: delta-debugging a seed that
+// catches the planted bound bug must converge on a counterexample no
+// bigger than 2 interrupt sources and 3 guest tasks, still violating.
+func TestMinimizeShrinksPlantedViolation(t *testing.T) {
+	a := engine.NewArena()
+	plant := Options{Plant: PlantDropBlocking}
+	for _, tc := range []struct {
+		class string
+		seed  uint64
+	}{{ClassSporadic, 18}, {ClassGuest, 57}} {
+		spec, err := Generate(tc.class, tc.seed, DefaultEvents)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", tc.class, tc.seed, err)
+		}
+		rep, err := Minimize(a, spec, plant)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", tc.class, tc.seed, err)
+		}
+		if rep.Outcome.OK || rep.Outcome.Invalid {
+			t.Fatalf("%s/%d: minimized spec no longer violates", tc.class, tc.seed)
+		}
+		if n := len(rep.Spec.Srcs); n > 2 {
+			t.Fatalf("%s/%d: minimized to %d sources, want <= 2", tc.class, tc.seed, n)
+		}
+		if n := rep.Spec.Tasks(); n > 3 {
+			t.Fatalf("%s/%d: minimized to %d tasks, want <= 3", tc.class, tc.seed, n)
+		}
+		if rep.Fingerprint == "" {
+			t.Fatalf("%s/%d: reproducer without fingerprint", tc.class, tc.seed)
+		}
+		if rep.Stats.Checks > MaxMinimizeChecks {
+			t.Fatalf("%s/%d: %d checks, above the %d budget", tc.class, tc.seed, rep.Stats.Checks, MaxMinimizeChecks)
+		}
+		// The minimal spec replays standalone: re-checking it violates
+		// again with the same fingerprint.
+		again, err := CheckSpec(a, rep.Spec, plant)
+		if err != nil {
+			t.Fatalf("%s/%d replay: %v", tc.class, tc.seed, err)
+		}
+		if again.OK || again.Fingerprint != rep.Fingerprint {
+			t.Fatalf("%s/%d: reproducer does not replay (ok=%v fp=%s want %s)",
+				tc.class, tc.seed, again.OK, again.Fingerprint, rep.Fingerprint)
+		}
+	}
+}
+
+// TestMinimizeRejectsPassingSpec: minimizing a spec that does not
+// violate is an error, not a silent no-op.
+func TestMinimizeRejectsPassingSpec(t *testing.T) {
+	a := engine.NewArena()
+	spec, err := Generate(ClassSporadic, 1, DefaultEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Minimize(a, spec, Options{}); err == nil {
+		t.Fatal("minimize accepted a passing spec")
+	}
+}

@@ -78,6 +78,13 @@ type System struct {
 	log   *tracerec.Log
 	stats Stats
 
+	// runErr records the first fatal inconsistency hit while the event
+	// loop runs (e.g. a guest rejecting an IRQ signal). Runtime faults
+	// must surface as errors from RunToCompletion, never as panics: a
+	// fuzzer-generated scenario must not take down the worker that runs
+	// it. Once set, the run is poisoned and completion reports it.
+	runErr error
+
 	windows       []WindowConfig // effective cyclic window schedule
 	winBuf        []WindowConfig // owned buffer behind windows when derived from Slots
 	winIdx        int            // index of the current window
@@ -161,6 +168,7 @@ func (s *System) Reinit(cfg Config) error {
 	}
 	s.cfg = cfg
 	s.costs = cfg.Costs
+	s.runErr = nil
 	if s.sim == nil {
 		s.sim = des.New()
 	} else {
@@ -639,7 +647,7 @@ func (s *System) startTopHandler(line intc.Line) {
 			s.stats.MonitorTime += s.costs.Monitor
 			if int(src.Monitor.Stats().Learned) >= src.learnEvents { //nolint:gosec
 				if err := src.Monitor.FinishLearning(src.learnBound); err != nil {
-					panic(fmt.Sprintf("hv: finish learning: %v", err))
+					s.failRun(fmt.Errorf("hv: finish learning: %w", err))
 				}
 			}
 			if foreign {
@@ -914,7 +922,7 @@ func (s *System) finishBH(p *Partition, kind execKind) {
 	})
 	if rec.src.signalsGuest && p.Guest != nil {
 		if err := p.Guest.Activate(rec.src.guestTask, s.sim.Now()); err != nil {
-			panic(fmt.Sprintf("hv: guest signal: %v", err))
+			s.failRun(fmt.Errorf("hv: guest signal: %w", err))
 		}
 	}
 }
@@ -956,19 +964,35 @@ func (s *System) RunToCompletion(maxHorizon simtime.Time) error {
 	}
 	for {
 		s.sim.RunUntil(s.sim.Now().Add(chunk))
+		if s.runErr != nil {
+			return s.runErr
+		}
 		if s.done() {
 			// Let any in-flight hypervisor activity (e.g. the final
 			// grant switch-back) drain so overhead accounting is
 			// complete, then close the trailing partition span.
 			s.sim.RunUntil(s.sim.Now().Add(chunk))
 			s.preempt()
-			return nil
+			return s.runErr
 		}
 		if s.sim.Now() >= maxHorizon {
 			return errors.New("hv: simulation did not complete before horizon")
 		}
 	}
 }
+
+// failRun records the first fatal runtime inconsistency; the event loop
+// keeps draining (the DES has no abort primitive) but RunToCompletion
+// reports the failure instead of a clean completion.
+func (s *System) failRun(err error) {
+	if s.runErr == nil {
+		s.runErr = err
+	}
+}
+
+// RunErr returns the recorded fatal runtime error, if any — for callers
+// driving the simulation with Run instead of RunToCompletion.
+func (s *System) RunErr() error { return s.runErr }
 
 // FlushAccounting closes the currently open partition execution span so
 // time accounting is exact up to Now(). Call after Run when inspecting

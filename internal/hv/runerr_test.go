@@ -1,0 +1,91 @@
+package hv
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/simtime"
+)
+
+// TestRunErrSurfaces: a fatal runtime inconsistency recorded via
+// failRun is returned by RunToCompletion instead of panicking the
+// worker — the contract the differential fuzzer relies on.
+func TestRunErrSurfaces(t *testing.T) {
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(1000), tt(5000)},
+		}},
+	}
+	sys := build(t, cfg)
+	poison := errors.New("hv: injected runtime fault")
+	sys.failRun(poison)
+	// Later failures must not mask the first.
+	sys.failRun(errors.New("hv: second fault"))
+	err := sys.RunToCompletion(tt(100_000_000))
+	if !errors.Is(err, poison) {
+		t.Fatalf("RunToCompletion = %v, want the injected fault", err)
+	}
+	if sys.RunErr() == nil || !strings.Contains(sys.RunErr().Error(), "injected") {
+		t.Fatalf("RunErr = %v, want the injected fault", sys.RunErr())
+	}
+}
+
+// TestRunErrClearedByReinit: Reinit resets the poisoned state so a
+// reused arena system starts clean.
+func TestRunErrClearedByReinit(t *testing.T) {
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Sources: []SourceConfig{{
+			Name: "t0", Subscriber: 0, CTH: us(6), CBH: us(30),
+			Arrivals: []simtime.Time{tt(1000)},
+		}},
+	}
+	sys := build(t, cfg)
+	sys.failRun(errors.New("hv: poisoned"))
+	if err := sys.Reinit(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunToCompletion(tt(100_000_000)); err != nil {
+		t.Fatalf("reinit-ed system still poisoned: %v", err)
+	}
+}
+
+// TestHostileArrivalsNoPanics: bursty duplicate-timestamp arrival
+// streams — valid input (non-decreasing) at maximum hostility — run to
+// completion without panicking, and invariants hold.
+func TestHostileArrivalsNoPanics(t *testing.T) {
+	var arr []simtime.Time
+	for i := 0; i < 20; i++ {
+		// Five coincident arrivals per burst, bursts 400 µs apart.
+		base := tt(int64(500 + 400*i))
+		for j := 0; j < 5; j++ {
+			arr = append(arr, base)
+		}
+	}
+	cfg := Config{
+		Slots: paperSlots(),
+		Costs: arm.DefaultCosts(),
+		Mode:  Monitored,
+		Sources: []SourceConfig{
+			{
+				Name: "burst", Subscriber: 1, CTH: us(6), CBH: us(30),
+				Arrivals: arr,
+			},
+			{
+				Name: "victim", Subscriber: 0, CTH: us(4), CBH: us(20),
+				Arrivals: []simtime.Time{tt(1000), tt(9000), tt(30000)},
+			},
+		},
+	}
+	sys := build(t, cfg)
+	runAll(t, sys)
+	if sys.RunErr() != nil {
+		t.Fatalf("hostile arrivals: %v", sys.RunErr())
+	}
+}

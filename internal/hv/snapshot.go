@@ -71,7 +71,8 @@ type srcState struct {
 
 // systemState is the System's des.StateSaver payload.
 type systemState struct {
-	stats Stats
+	stats  Stats
+	runErr error
 
 	winIdx        int
 	active        int
@@ -122,6 +123,7 @@ type systemState struct {
 func (s *System) SaveState(sn *des.Snapshot) any {
 	st := &systemState{
 		stats:         s.stats,
+		runErr:        s.runErr,
 		winIdx:        s.winIdx,
 		active:        s.active,
 		slotEnd:       s.slotEnd,
@@ -211,6 +213,7 @@ func (s *System) SaveState(sn *des.Snapshot) any {
 func (s *System) RestoreState(rs *des.Restorer, state any) {
 	st := state.(*systemState)
 	s.stats = st.stats
+	s.runErr = st.runErr
 	s.winIdx = st.winIdx
 	s.active = st.active
 	s.slotEnd = st.slotEnd

@@ -66,6 +66,20 @@ func clusterInstruments(r *metrics.Registry, peer string) {
 	r.Gauge("repro_Cluster_peers_alive")             // want `must match \^repro_`
 }
 
+// The differential fuzzer's instrument family (cells merged into
+// diffuzz campaigns, bound violations among them) follows the same
+// rules: constant repro_diffuzz_* names, never a name assembled from a
+// scenario class or seed.
+func diffuzzInstruments(r *metrics.Registry, class string) {
+	r.Counter("repro_diffuzz_cells_merged_total")
+	r.Counter("repro_diffuzz_violations_total")
+
+	r.Counter("diffuzz_violations_total")          // want `must match \^repro_`
+	r.Counter("repro_diffuzz_" + class + "_total") // want `must be a constant string`
+	r.Counter("repro_diffuzz_cells-merged_total")  // want `must match \^repro_`
+	r.Gauge("repro_Diffuzz_violations")            // want `must match \^repro_`
+}
+
 // A reviewed dynamic name carries an allow directive.
 func allowedDynamic(r *metrics.Registry, shard string) {
 	//reprolint:allow metricname per-shard instrument family, closed set validated at startup

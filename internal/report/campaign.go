@@ -31,9 +31,11 @@ func DecodeCell(body []byte) (*campaign.CellResult, error) {
 	return &cr, nil
 }
 
-// CampaignBucketJSON is one fault×intensity row of the sweep table.
+// CampaignBucketJSON is one row of the sweep table: fault×intensity for
+// a chaos campaign, one scenario class for a diffuzz campaign.
 type CampaignBucketJSON struct {
 	Fault      string  `json:"fault"`
+	Class      string  `json:"class,omitempty"`
 	Intensity  float64 `json:"intensity"`
 	Cells      int     `json:"cells"`
 	Errors     int     `json:"errors,omitempty"`
@@ -44,12 +46,19 @@ type CampaignBucketJSON struct {
 	MaxUs      float64 `json:"max_us"`
 	Grants     uint64  `json:"grants"`
 	Denied     uint64  `json:"denied"`
+	// Bound tightness (diffuzz rows): microsecond views of the integral
+	// gap fold. Meaningful iff GapCount > 0.
+	GapCount  int64   `json:"gap_count,omitempty"`
+	MinGapUs  float64 `json:"min_gap_us,omitempty"`
+	MeanGapUs float64 `json:"mean_gap_us,omitempty"`
+	Invalid   int     `json:"invalid,omitempty"`
 }
 
 // CampaignReproJSON is one retained violation reproducer.
 type CampaignReproJSON struct {
 	Index       int     `json:"index"`
 	Fault       string  `json:"fault"`
+	Class       string  `json:"class,omitempty"`
 	Intensity   float64 `json:"intensity"`
 	Seed        uint64  `json:"seed"`
 	Violation   string  `json:"violation"`
@@ -70,6 +79,9 @@ type CampaignSketchJSON struct {
 // GET /v1/campaigns/{id}, each stream chunk, and the final document
 // stored under the campaign's content address.
 type CampaignJSON struct {
+	Kind         string   `json:"kind,omitempty"`
+	Classes      []string `json:"classes,omitempty"`
+	Events       int      `json:"events,omitempty"`
 	Faults       []string `json:"faults"`
 	IntensityMin float64  `json:"intensity_min"`
 	IntensityMax float64  `json:"intensity_max"`
@@ -84,16 +96,23 @@ type CampaignJSON struct {
 	Done       int `json:"done"`
 	Errors     int `json:"errors"`
 	Violations int `json:"violations"`
+	// Invalid counts diffuzz scenarios the analysis rejected as
+	// malformed (not violations, not errors).
+	Invalid int `json:"invalid,omitempty"`
 
-	Count   int64                `json:"count"`
-	MinUs   float64              `json:"min_us"`
-	MeanUs  float64              `json:"mean_us"`
-	MaxUs   float64              `json:"max_us"`
-	Grants  uint64               `json:"grants"`
-	Denied  uint64               `json:"denied"`
-	Latency CampaignSketchJSON   `json:"latency"`
-	Sweep   []CampaignBucketJSON `json:"sweep"`
-	Repros  []CampaignReproJSON  `json:"repros,omitempty"`
+	Count  int64   `json:"count"`
+	MinUs  float64 `json:"min_us"`
+	MeanUs float64 `json:"mean_us"`
+	MaxUs  float64 `json:"max_us"`
+	Grants uint64  `json:"grants"`
+	Denied uint64  `json:"denied"`
+	// Campaign-wide bound tightness (diffuzz campaigns).
+	GapCount  int64                `json:"gap_count,omitempty"`
+	MinGapUs  float64              `json:"min_gap_us,omitempty"`
+	MeanGapUs float64              `json:"mean_gap_us,omitempty"`
+	Latency   CampaignSketchJSON   `json:"latency"`
+	Sweep     []CampaignBucketJSON `json:"sweep"`
+	Repros    []CampaignReproJSON  `json:"repros,omitempty"`
 }
 
 // usF converts integral cycles to the view's microsecond float.
@@ -103,6 +122,9 @@ func usF(cycles int64) float64 { return simtime.Duration(cycles).MicrosF() }
 // the aggregate's state.
 func NewCampaignJSON(a *campaign.Aggregate) *CampaignJSON {
 	out := &CampaignJSON{
+		Kind:         a.Spec.Kind,
+		Classes:      a.Spec.Classes,
+		Events:       a.Spec.Events,
 		Faults:       a.Spec.Faults,
 		IntensityMin: a.Spec.Intensities.Min,
 		IntensityMax: a.Spec.Intensities.Max,
@@ -116,12 +138,16 @@ func NewCampaignJSON(a *campaign.Aggregate) *CampaignJSON {
 		Done:         a.Done,
 		Errors:       a.Errors,
 		Violations:   a.Violations,
+		Invalid:      a.Invalid,
 		Count:        a.Count,
 		MinUs:        usF(a.MinCycles),
 		MeanUs:       usF(a.MeanCycles()),
 		MaxUs:        usF(a.MaxCycles),
 		Grants:       a.Grants,
 		Denied:       a.Denied,
+		GapCount:     a.GapCount,
+		MinGapUs:     usF(a.MinGapCycles),
+		MeanGapUs:    usF(a.MeanGapCycles()),
 		Latency: CampaignSketchJSON{
 			Count:   a.Latency.Count(),
 			P50Us:   a.Latency.Quantile(0.50),
@@ -134,6 +160,7 @@ func NewCampaignJSON(a *campaign.Aggregate) *CampaignJSON {
 		b := &a.Buckets[i]
 		out.Sweep = append(out.Sweep, CampaignBucketJSON{
 			Fault:      b.Fault,
+			Class:      b.Class,
 			Intensity:  b.Intensity,
 			Cells:      b.Cells,
 			Errors:     b.Errors,
@@ -144,12 +171,17 @@ func NewCampaignJSON(a *campaign.Aggregate) *CampaignJSON {
 			MaxUs:      usF(b.MaxCycles),
 			Grants:     b.Grants,
 			Denied:     b.Denied,
+			GapCount:   b.GapCount,
+			MinGapUs:   usF(b.MinGapCycles),
+			MeanGapUs:  usF(b.MeanGapCycles()),
+			Invalid:    b.Invalid,
 		})
 	}
 	for _, r := range a.Repros {
 		out.Repros = append(out.Repros, CampaignReproJSON{
 			Index:       r.Index,
 			Fault:       r.Fault,
+			Class:       r.Class,
 			Intensity:   r.Intensity,
 			Seed:        r.Seed,
 			Violation:   r.Violation,

@@ -334,6 +334,12 @@ func (s *Server) mergeCellBody(cs *campaignState, idx int, body []byte) {
 	s.cmu.Unlock()
 	if err == nil {
 		s.campMerged.Inc()
+		if cr.Spec.Kind == campaign.KindDiffuzz {
+			s.diffuzzMerged.Inc()
+			if !cr.Pass {
+				s.diffuzzViolations.Inc()
+			}
+		}
 	}
 }
 

@@ -1,0 +1,127 @@
+package serve
+
+// Differential-fuzz campaign tests: the "diffuzz" cell kind flowing
+// through the same queue/store/aggregation machinery as the chaos
+// sweep, with the same acceptance invariant — the streamed aggregate
+// must be byte-identical to the sequential in-process fold.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+)
+
+// smallDiffuzz is a 6-cell diffuzz sweep: 2 scenario classes × 3 seeds.
+const smallDiffuzz = `{
+  "kind": "diffuzz",
+  "classes": ["sporadic", "guest"],
+  "seeds": {"base": 1, "count": 3},
+  "events": 80
+}`
+
+// TestDiffuzzCampaignStreamConvergesToLocalFold submits a diffuzz
+// campaign over HTTP, follows the stream to its terminal chunk, and
+// requires the final aggregate to match the in-process fold byte for
+// byte — the cross-tier half of the bound-tightness acceptance check
+// (scripts/diffuzzsmoke.sh runs the full-size version).
+func TestDiffuzzCampaignStreamConvergesToLocalFold(t *testing.T) {
+	want := foldCampaign(t, smallDiffuzz)
+	reg := metrics.NewRegistry()
+	_, ts := newTestServer(t, Options{Workers: 2, Registry: reg})
+
+	resp, body := postCampaign(t, ts.URL, smallDiffuzz)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var accepted campaignView
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.TotalCells != 6 || accepted.Status != StatusRunning {
+		t.Fatalf("unexpected acceptance view: %+v", accepted)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/campaigns/" + accepted.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var last campaignView
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("stream chunk: %v: %s", err, sc.Bytes())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last.Status != StatusDone || last.Done != 6 || last.Errors != 0 {
+		t.Fatalf("stream ended badly: %+v", last)
+	}
+	if !sameJSON(t, last.Aggregate, want) {
+		t.Fatalf("streamed diffuzz aggregate diverges from local fold:\n%s\n%s", last.Aggregate, want)
+	}
+
+	// The analytic bounds hold over every generated scenario, and the
+	// campaign measured a real tightness gap.
+	var view struct {
+		Violations int     `json:"violations"`
+		GapCount   int64   `json:"gap_count"`
+		MinGapUs   float64 `json:"min_gap_us"`
+	}
+	if err := json.Unmarshal(last.Aggregate, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Violations != 0 {
+		t.Fatalf("diffuzz campaign found %d bound violations", view.Violations)
+	}
+	if view.GapCount == 0 || view.MinGapUs <= 0 {
+		t.Fatalf("diffuzz campaign folded no tightness gap: %+v", view)
+	}
+
+	if got := reg.Counter("repro_diffuzz_cells_merged_total").Value(); got != 6 {
+		t.Fatalf("repro_diffuzz_cells_merged_total = %d, want 6", got)
+	}
+	if got := reg.Counter("repro_diffuzz_violations_total").Value(); got != 0 {
+		t.Fatalf("repro_diffuzz_violations_total = %d, want 0", got)
+	}
+}
+
+// TestDiffuzzPanicIsolation extends the panic-isolation contract to the
+// diffuzz cell kind: a diffuzz cell that panics the engine fails that
+// job alone — the worker survives and the next diffuzz cell runs.
+func TestDiffuzzPanicIsolation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, ts := newTestServer(t, Options{Workers: 1, Registry: reg})
+	s.customExec = true // cell jobs must reach the stubbed executor
+	s.run = func(ctx context.Context, sp *Spec) ([]byte, error) {
+		if sp.Kind == "cell" && sp.Cell != nil && sp.Cell.Kind == campaign.KindDiffuzz && sp.Cell.Seed == 7 {
+			panic("poisoned diffuzz scenario")
+		}
+		return []byte("{}\n"), nil
+	}
+
+	resp, body := post(t, ts.URL, `{"kind": "cell", "cell": {"kind": "diffuzz", "class": "sporadic", "seed": 7, "events": 80}, "wait": true}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking diffuzz cell: %d %s, want 500", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "poisoned diffuzz scenario") {
+		t.Fatalf("500 body does not carry the panic message: %s", body)
+	}
+	if got := reg.Counter("repro_server_jobs_panicked_total").Value(); got != 1 {
+		t.Fatalf("panicked counter = %d, want 1", got)
+	}
+
+	resp, body = post(t, ts.URL, `{"kind": "cell", "cell": {"kind": "diffuzz", "class": "sporadic", "seed": 8, "events": 80}, "wait": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diffuzz cell after panic: %d %s", resp.StatusCode, body)
+	}
+}

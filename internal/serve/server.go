@@ -244,6 +244,11 @@ type Server struct {
 	campCellHits *metrics.Counter
 	campActive   *metrics.Gauge
 
+	// Differential-fuzz instrumentation: cells merged into diffuzz
+	// campaigns and bound violations among them.
+	diffuzzMerged     *metrics.Counter
+	diffuzzViolations *metrics.Counter
+
 	// Cluster instrumentation (registered even without a cluster so the
 	// exposition is deterministic either way).
 	peerHits        *metrics.Counter
@@ -291,7 +296,10 @@ func New(opts Options) (*Server, error) {
 		campResumed:  opts.Registry.Counter("repro_campaign_resumed_total"),
 		campMerged:   opts.Registry.Counter("repro_campaign_cells_merged_total"),
 		campCellHits: opts.Registry.Counter("repro_campaign_cell_cache_hits_total"),
-		campActive:   opts.Registry.Gauge("repro_campaign_active"),
+
+		diffuzzMerged:     opts.Registry.Counter("repro_diffuzz_cells_merged_total"),
+		diffuzzViolations: opts.Registry.Counter("repro_diffuzz_violations_total"),
+		campActive:        opts.Registry.Gauge("repro_campaign_active"),
 
 		cluster:         opts.Cluster,
 		peerHits:        opts.Registry.Counter("repro_cluster_peer_hits_total"),

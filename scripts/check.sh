@@ -10,7 +10,11 @@
 # every benchmark so the measured paths keep compiling and running, the
 # chaos smoke campaign (DESIGN.md §8): monitored runs must satisfy the
 # temporal-independence oracle and the monitor-ablated babbling-idiot
-# runs must violate it, the kill–restart recovery harness
+# runs must violate it, the differential fuzzing smoke (DESIGN.md §14):
+# 500 generated scenarios where the DES never beats the analytic bound,
+# a planted bound-tightening bug is caught and delta-debugged to a
+# minimal counterexample, and the served diffuzz campaign aggregates to
+# bytes identical to the local fold, the kill–restart recovery harness
 # (DESIGN.md §9): a SIGKILLed daemon must lose no acked job and never
 # serve divergent bytes, the campaign orchestrator smoke
 # (DESIGN.md §12): a 1000-cell generator campaign served over HTTP —
@@ -35,6 +39,7 @@ go test -race ./...
 go test -run 'TestAllocBudget|TestReinitSteadyStateDoesNotAllocate|TestResetRecyclesEventsWithoutAllocating' . ./internal/hv ./internal/des
 go test -bench=. -benchtime=1x -run '^$' .
 go run ./cmd/chaos -smoke -events 80
+sh scripts/diffuzzsmoke.sh
 sh scripts/crashtest.sh
 sh scripts/campaignsmoke.sh
 sh scripts/clusterkill.sh

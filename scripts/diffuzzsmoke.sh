@@ -1,0 +1,119 @@
+#!/bin/sh
+# Differential fuzzing smoke (DESIGN.md §14): holds the adversarial
+# oracle itself to account before trusting what it reports.
+#
+#   1. soundness sweep — 500 generated scenarios (5 classes × 100
+#      seeds) through both the analytic bounds and the DES: zero
+#      violations, and a nonzero bound-tightness gap so the latency
+#      comparison demonstrably engaged rather than vacuously passing;
+#   2. planted-bug self-test — with the eq. (14) blocking term dropped
+#      from the checker (-plant drop-blocking) the same sweep MUST find
+#      violations, and every reproducer must delta-debug down to a
+#      minimal counterexample of ≤ 2 interrupt sources and ≤ 3 guest
+#      tasks. A fuzzer that cannot catch a known bound-tightening bug
+#      is not a soundness gate;
+#   3. served byte-identity — the same diffuzz campaign submitted to a
+#      real daemon over HTTP must stream to an aggregate byte-identical
+#      to the local in-process fold.
+#
+# Usage: scripts/diffuzzsmoke.sh [seed-base]   (default 1)
+# DIFFUZZSMOKE_LOGDIR, when set, receives the daemon log for CI upload.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE_SEED="${1:-1}"
+SEEDS=100
+PORT=$((19000 + BASE_SEED % 1000))
+URL="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/diffuzzsmoke.XXXXXX")"
+LOG="$WORK/served.log"
+PID=""
+
+say()  { echo "diffuzzsmoke: $*"; }
+fail() {
+    say "FAIL: $*"
+    if [ -n "${DIFFUZZSMOKE_LOGDIR:-}" ]; then
+        mkdir -p "$DIFFUZZSMOKE_LOGDIR"
+        cp "$LOG" "$DIFFUZZSMOKE_LOGDIR/served.log" 2>/dev/null || true
+    else
+        say "workdir kept for post-mortem: $WORK"
+        trap - EXIT
+    fi
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    exit 1
+}
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say "seed base $BASE_SEED, $SEEDS seeds/class, workdir $WORK"
+go build -o "$WORK/diffuzz" ./cmd/diffuzz
+go build -o "$WORK/served" ./cmd/served
+go build -o "$WORK/campaign" ./cmd/campaign
+
+say "phase 1: 500-scenario soundness sweep"
+"$WORK/diffuzz" -seeds "$SEEDS" -seed-base "$BASE_SEED" -json \
+    -o "$WORK/clean.json" 2>"$WORK/clean.log" ||
+    fail "clean sweep found violations or errors: $(cat "$WORK/clean.log")"
+grep -q '"total_cells": 500' "$WORK/clean.json" ||
+    fail "clean sweep is not a 500-scenario campaign"
+grep -q '"violations": 0' "$WORK/clean.json" ||
+    fail "clean sweep reports violations"
+# Tightness must be measured and positive: the sweep checked real
+# victim latencies against real bounds.
+awk 'BEGIN { gap = -1; min = -1 }
+    /"gap_count":/  { gsub(/[^0-9]/, ""); if (gap < 0) gap = $0 + 0 }
+    /"min_gap_us":/ { gsub(/[^0-9.]/, ""); if (min < 0) min = $0 + 0 }
+    END { exit (gap > 0 && min > 0) ? 0 : 1 }' "$WORK/clean.json" ||
+    fail "clean sweep folded no positive tightness gap"
+
+say "phase 2: planted bound bug must be caught and minimized"
+if "$WORK/diffuzz" -seeds "$SEEDS" -seed-base "$BASE_SEED" \
+    -plant drop-blocking -o "$WORK/plant.txt" 2>"$WORK/plant.log"; then
+    fail "planted eq. (14) bug escaped the sweep"
+fi
+grep -q 'reproducer:' "$WORK/plant.txt" ||
+    fail "planted violations retained no reproducer"
+grep -q '^minimized ' "$WORK/plant.log" ||
+    fail "no reproducer was minimized: $(cat "$WORK/plant.log")"
+# Every minimized counterexample: ≤ 2 sources, ≤ 3 tasks.
+awk '/^minimized / {
+        n++
+        for (i = 1; i < NF; i++) {
+            if ($(i + 1) ~ /^sources,/ && $i + 0 > 2) bad = 1
+            if ($(i + 1) ~ /^tasks,/ && $i + 0 > 3) bad = 1
+        }
+    }
+    END { exit (n > 0 && !bad) ? 0 : 1 }' "$WORK/plant.log" ||
+    fail "a minimized counterexample exceeds 2 sources / 3 tasks: $(cat "$WORK/plant.log")"
+
+say "phase 3: served diffuzz campaign is byte-identical to the local fold"
+cat >"$WORK/spec.json" <<EOF
+{"kind": "diffuzz", "seeds": {"base": $BASE_SEED, "count": $SEEDS}}
+EOF
+"$WORK/served" -addr "127.0.0.1:$PORT" -queue 256 -workers 4 >"$LOG" 2>&1 &
+PID=$!
+i=0
+until [ "$(curl -s -o /dev/null -w '%{http_code}' "$URL/readyz")" = 200 ]; do
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && fail "daemon (pid $PID) never became ready"
+    kill -0 "$PID" 2>/dev/null || fail "daemon (pid $PID) died; see log"
+    sleep 0.05
+done
+"$WORK/campaign" -spec "$WORK/spec.json" -addr "$URL" \
+    -o "$WORK/served.json" 2>>"$LOG" ||
+    fail "served diffuzz campaign failed"
+cmp -s "$WORK/clean.json" "$WORK/served.json" ||
+    fail "served diffuzz aggregate differs from the local fold"
+curl -s "$URL/metrics" |
+    awk '$1 == "repro_diffuzz_cells_merged_total" && $2 == 500 { found = 1 }
+        END { exit found ? 0 : 1 }' ||
+    fail "daemon did not count 500 merged diffuzz cells"
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+say "PASS: 500 scenarios sound with positive tightness, planted bug caught and minimized, served aggregate byte-identical"
