@@ -1,11 +1,13 @@
 // Command reprolint runs the determinism-contract analyzer suite
-// (DESIGN.md §10) over `go vet`-style package patterns:
+// (DESIGN.md §10, §15) over `go vet`-style package patterns:
 //
 //	go run ./cmd/reprolint ./...
 //
 // It prints file:line:col diagnostics and exits 1 when findings exist,
-// 2 when analysis itself fails, 0 on a clean tree. Genuine false
-// positives are suppressed in source with
+// 2 when analysis itself fails, 0 on a clean tree. With -json the
+// findings are emitted as one JSON array (file, line, col, message,
+// analyzer) for machine consumption; -list prints the analyzer roster
+// and exits. Genuine false positives are suppressed in source with
 //
 //	//reprolint:allow <analyzer> <reason>
 //
@@ -22,18 +24,30 @@ import (
 )
 
 func main() {
+	list := flag.Bool("list", false, "print the analyzer names and documentation, then exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: reprolint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: reprolint [-list] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := lint.Run(os.Stdout, lint.All(), patterns)
+	run := lint.Run
+	if *asJSON {
+		run = lint.RunJSON
+	}
+	n, err := run(os.Stdout, lint.All(), patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reprolint:", err)
 		os.Exit(2)

@@ -44,6 +44,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Module carries the driver's module-wide interprocedural result
+	// (an *interproc.Module), shared by every pass of one run. It is
+	// reprolint's stand-in for upstream's Facts mechanism: typed as
+	// interface{} here so this package stays a pure analysis surface
+	// with no dependency on the call-graph builder.
+	Module interface{}
+
 	// Report delivers one diagnostic. The driver installs it.
 	Report func(Diagnostic)
 }

@@ -12,6 +12,13 @@
 // //reprolint:allow directives are honored exactly as the driver
 // honors them, so fixtures can assert suppression by carrying an allow
 // comment and no want expectation.
+//
+// The fixture directory is loaded recursively: a fixture may be a tree
+// of packages (the interprocedural analyzers need helper subpackages
+// to model cross-package taint), and the module-wide summaries are
+// built over the whole tree before any package is analyzed. Want
+// expectations are collected and checked across every package of the
+// tree.
 package analysistest
 
 import (
@@ -19,9 +26,11 @@ import (
 	"go/token"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/interproc"
 	"repro/internal/lint/load"
 )
 
@@ -35,75 +44,81 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads the package in dir, applies a, and reports every mismatch
-// between produced diagnostics and // want expectations through t.
+// Run loads the fixture tree rooted at dir, applies a to every package
+// in it, and reports every mismatch between produced diagnostics and
+// // want expectations through t.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
-	pkgs, err := load.Load(dir)
+	pkgs, err := load.Load(strings.TrimSuffix(dir, "/") + "/...")
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: no packages", dir)
 	}
-	pkg := pkgs[0]
+	mod := interproc.Build(pkgs)
 
 	wants := map[string][]*expectation{} // "file:line" -> expectations
-	for _, f := range pkg.Syntax {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				for _, tok := range tokRe.FindAllString(m[1], -1) {
-					pat, err := strconv.Unquote(tok)
-					if err != nil {
-						t.Fatalf("%s: cannot unquote want pattern %s: %v", key, tok, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, tok := range tokRe.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(tok)
+						if err != nil {
+							t.Fatalf("%s: cannot unquote want pattern %s: %v", key, tok, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re})
 					}
-					wants[key] = append(wants[key], &expectation{re: re})
 				}
 			}
 		}
 	}
 
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Syntax,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.TypesInfo,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
-	}
-	allows, invalid := analysis.ParseAllows(pkg.Fset, pkg.Syntax, map[string]bool{a.Name: true})
-	for _, d := range invalid {
-		t.Errorf("%s: invalid directive: %s", position(pkg.Fset, d.Pos), d.Message)
-	}
-	diags = analysis.Suppress(pkg.Fset, diags, a.Name, allows)
-
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-		found := false
-		for _, w := range wants[key] {
-			if !w.matched && w.re.MatchString(d.Message) {
-				w.matched = true
-				found = true
-				break
-			}
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Module:    mod,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
-		if !found {
-			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		allows, invalid := analysis.ParseAllows(pkg.Fset, pkg.Syntax, map[string]bool{a.Name: true})
+		for _, d := range invalid {
+			t.Errorf("%s: invalid directive: %s", position(pkg.Fset, d.Pos), d.Message)
+		}
+		diags = analysis.Suppress(pkg.Fset, diags, a.Name, allows)
+
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			found := false
+			for _, w := range wants[key] {
+				if !w.matched && w.re.MatchString(d.Message) {
+					w.matched = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+			}
 		}
 	}
 	for key, ws := range wants {

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/interproc"
+)
+
+// Arenaescape is the dataflow successor to Arenaretain. Arenaretain
+// flags the two hard-coded arena entry points (core.Report,
+// (*hv.System).Log) at the call site; Arenaescape follows the *value*:
+// any expression aliasing arena-owned memory — through helper returns,
+// field selection, slicing, composite-literal laundering — that is
+// stored into a struct field, package-level variable, map entry or
+// channel in an arena-adopting package. Such a store survives the
+// arena's next Reset and silently changes bytes when the worker's
+// arena is handed the next scenario (the use-after-reset class the
+// zero-alloc engine core makes possible, DESIGN.md §11).
+var Arenaescape = &analysis.Analyzer{
+	Name: "arenaescape",
+	Doc: "forbids storing values that alias arena-owned memory (core.Report results, " +
+		"(*hv.System).Log records, and anything derived from them) into struct fields, " +
+		"globals, maps or channels in arena-adopting packages; dataflow-based, subsumes " +
+		"arenaretain's call-site check",
+	Run: runArenaescape,
+}
+
+// arenaescapeScope: the arenaretain scope plus internal/campaign, which
+// executes cells through per-worker arenas since PR 7.
+var arenaescapeScope = append([]string{
+	modulePath + "/internal/campaign",
+}, arenaretainScope...)
+
+func runArenaescape(pass *analysis.Pass) (interface{}, error) {
+	mod, ok := pass.Module.(*interproc.Module)
+	if !ok {
+		return nil, fmt.Errorf("arenaescape needs the interprocedural module summaries (driver did not set Pass.Module)")
+	}
+	path := pass.Pkg.Path()
+	if !pkgMatches(path, arenaescapeScope) && !isFixtureFor(path, "arenaescape") {
+		return nil, nil
+	}
+	for _, fi := range mod.Funcs(path) {
+		for _, e := range fi.Escapes {
+			pass.Reportf(e.Pos,
+				"arena-aliased value stored into %s outlives the simulation arena's next Reset; "+
+					"deep-copy first (core.ReportOwned) or keep the alias local",
+				e.What)
+		}
+	}
+	return nil, nil
+}

@@ -1,45 +1,55 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
-	"go/token"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/interproc"
 	"repro/internal/lint/load"
 )
 
-// finding is one diagnostic attributed to the analyzer that produced
-// it.
-type finding struct {
-	pos      token.Position
-	message  string
-	analyzer string
+// Finding is one diagnostic attributed to the analyzer that produced
+// it. File is relative to the working directory when that is shorter,
+// mirroring go vet.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
 }
 
-// Run loads the packages matched by patterns, applies every analyzer,
-// honors //reprolint:allow directives, and writes `go vet`-style
-// file:line:col diagnostics to w in deterministic order. It returns
-// the number of diagnostics printed; a non-nil error means the load or
-// an analyzer itself failed (driver exit 2), not that findings exist.
-func Run(w io.Writer, analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+// RunFindings loads the packages matched by patterns, builds the
+// module-wide interprocedural summaries once, applies every analyzer,
+// and honors //reprolint:allow directives. The returned findings are in
+// deterministic order (file, line, column, analyzer, message). A
+// non-nil error means the load or an analyzer itself failed, not that
+// findings exist.
+func RunFindings(analyzers []*analysis.Analyzer, patterns []string) ([]Finding, error) {
 	pkgs, err := load.Load(patterns...)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	// One call graph for the whole run: per-function summaries are
+	// module-global facts, so building them per package would both
+	// waste work and lose cross-package edges.
+	mod := interproc.Build(pkgs)
 
-	var findings []finding
+	var findings []Finding
 	for _, pkg := range pkgs {
 		allows, invalid := analysis.ParseAllows(pkg.Fset, pkg.Syntax, known)
 		for _, d := range invalid {
-			findings = append(findings, finding{pkg.Fset.Position(d.Pos), d.Message, "reprolint"})
+			p := pkg.Fset.Position(d.Pos)
+			findings = append(findings, Finding{p.Filename, p.Line, p.Column, d.Message, "reprolint"})
 		}
 		for _, a := range analyzers {
 			var diags []analysis.Diagnostic
@@ -49,21 +59,24 @@ func Run(w io.Writer, analyzers []*analysis.Analyzer, patterns []string) (int, e
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Module:    mod,
 				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 			}
 			if _, err := a.Run(pass); err != nil {
-				return 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
 			for _, d := range analysis.Suppress(pkg.Fset, diags, a.Name, allows) {
-				findings = append(findings, finding{pkg.Fset.Position(d.Pos), d.Message, a.Name})
+				p := pkg.Fset.Position(d.Pos)
+				findings = append(findings, Finding{p.Filename, p.Line, p.Column, d.Message, a.Name})
 			}
 		}
 		// Every directive must earn its keep: the full suite just ran,
 		// so an unused allow is stale and must go.
 		for _, al := range allows {
 			if !al.Used {
-				findings = append(findings, finding{
-					pkg.Fset.Position(al.Pos),
+				p := pkg.Fset.Position(al.Pos)
+				findings = append(findings, Finding{
+					p.Filename, p.Line, p.Column,
 					fmt.Sprintf("reprolint:allow %s suppresses nothing; delete it", al.Analyzer),
 					"reprolint",
 				})
@@ -71,32 +84,64 @@ func Run(w io.Writer, analyzers []*analysis.Analyzer, patterns []string) (int, e
 		}
 	}
 
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.pos.Filename != b.pos.Filename {
-			return a.pos.Filename < b.pos.Filename
-		}
-		if a.pos.Line != b.pos.Line {
-			return a.pos.Line < b.pos.Line
-		}
-		if a.pos.Column != b.pos.Column {
-			return a.pos.Column < b.pos.Column
-		}
-		if a.analyzer != b.analyzer {
-			return a.analyzer < b.analyzer
-		}
-		return a.message < b.message
-	})
-
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.pos.Filename
+	for i := range findings {
+		name := findings[i].File
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
-				name = rel
+				findings[i].File = rel
 			}
 		}
-		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, f.pos.Line, f.pos.Column, f.message, f.analyzer)
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// Run applies analyzers to patterns and writes `go vet`-style
+// file:line:col diagnostics to w. It returns the number of diagnostics
+// printed; a non-nil error means the run itself failed (driver exit 2).
+func Run(w io.Writer, analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+	findings, err := RunFindings(analyzers, patterns)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	return len(findings), nil
+}
+
+// RunJSON applies analyzers to patterns and writes the findings to w as
+// one JSON array (machine-readable CI mode: each element carries file,
+// line, col, message, analyzer). The count return mirrors Run.
+func RunJSON(w io.Writer, analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+	findings, err := RunFindings(analyzers, patterns)
+	if err != nil {
+		return 0, err
+	}
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		return 0, err
 	}
 	return len(findings), nil
 }

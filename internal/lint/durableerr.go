@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/interproc"
+)
+
+// Durableerr guards the durability contract (DESIGN.md §9): the error
+// results of durable writes — journal append/compact, store.Put (the
+// persistence of every EncodeFrame'd body), cluster handoff and
+// dispatch POSTs — must be checked. A dropped one silently breaks the
+// no-acked-job-lost invariant: the daemon acks work whose accept
+// record, result bytes, or handoff never reached disk, and a crash
+// then loses it without a trace.
+//
+// The obligation is interprocedural: a helper that *returns* a durable
+// error passes the obligation to its callers (interproc propagates the
+// Durable summary), so refactoring an append behind a helper cannot
+// wash the check away. Discarding means a bare call statement, go/defer
+// operand, or assignment to _; returning or examining the error
+// discharges the obligation.
+var Durableerr = &analysis.Analyzer{
+	Name: "durableerr",
+	Doc: "requires checking error results of durable writes (journal append/compact, " +
+		"store.Put, cluster handoff/dispatch) and of any helper returning such an error; " +
+		"a dropped one breaks the no-acked-job-lost invariant",
+	Run: runDurableerr,
+}
+
+// durableerrScope: the packages that perform durable writes or own
+// helpers returning their errors.
+var durableerrScope = []string{
+	modulePath + "/internal/serve",
+	modulePath + "/internal/store",
+	modulePath + "/internal/cluster",
+}
+
+func runDurableerr(pass *analysis.Pass) (interface{}, error) {
+	mod, ok := pass.Module.(*interproc.Module)
+	if !ok {
+		return nil, fmt.Errorf("durableerr needs the interprocedural module summaries (driver did not set Pass.Module)")
+	}
+	path := pass.Pkg.Path()
+	if !pkgMatches(path, durableerrScope) && !isFixtureFor(path, "durableerr") {
+		return nil, nil
+	}
+	for _, fi := range mod.Funcs(path) {
+		for _, d := range fi.Drops {
+			pass.Reportf(d.Pos, "%s; durable-write errors carry the no-acked-job-lost invariant and must be checked", d.What)
+		}
+	}
+	return nil, nil
+}

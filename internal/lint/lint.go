@@ -28,9 +28,14 @@ import (
 // lists below are rooted at it.
 const modulePath = "repro"
 
-// All returns the reprolint analyzer suite in its fixed run order.
+// All returns the reprolint analyzer suite in its fixed run order: the
+// single-package statement checks first, then the interprocedural
+// analyzers built on the module call graph (DESIGN.md §15).
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Detmap, Wallclock, CtxErrOrder, MetricName, Arenaretain, Cellmap}
+	return []*analysis.Analyzer{
+		Detmap, Wallclock, CtxErrOrder, MetricName, Arenaretain, Cellmap,
+		Wallclock2, Lockheld, Durableerr, Arenaescape,
+	}
 }
 
 // pkgMatches reports whether path is one of the listed packages or a
@@ -50,6 +55,15 @@ func pkgMatches(path string, pkgs []string) bool {
 // scope regardless of the production scope lists.
 func isFixtureFor(path, name string) bool {
 	return strings.HasSuffix(path, "testdata/src/"+name)
+}
+
+// isAnyFixture reports whether path is any analysistest fixture package
+// (or a helper subpackage of one). Analyzers with catch-all scopes
+// exclude these: a fixture belongs only to the analyzers that opt into
+// it via isFixtureFor, otherwise every fixture would have to stay clean
+// under every catch-all analyzer simultaneously.
+func isAnyFixture(path string) bool {
+	return strings.Contains(path, "/testdata/src/")
 }
 
 // inspectWithStack walks root like ast.Inspect but also hands fn the

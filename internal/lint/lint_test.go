@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,6 +33,22 @@ func TestArenaretain(t *testing.T) {
 
 func TestCellmap(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "src", "cellmap"), lint.Cellmap)
+}
+
+func TestWallclock2(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "wallclock2"), lint.Wallclock2)
+}
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "lockheld"), lint.Lockheld)
+}
+
+func TestDurableerr(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "durableerr"), lint.Durableerr)
+}
+
+func TestArenaescape(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "arenaescape"), lint.Arenaescape)
 }
 
 // moduleRoot walks up from the test's working directory to go.mod.
@@ -76,10 +93,17 @@ func TestRepositoryIsClean(t *testing.T) {
 // driver (with allow-directive handling active) must exit non-zero on
 // every analyzer fixture, proving the gate actually bites.
 func TestFixturesFailTheDriver(t *testing.T) {
-	for _, name := range []string{"detmap", "wallclock", "ctxerrorder", "metricname", "arenaretain", "cellmap"} {
+	names := []string{
+		"detmap", "wallclock", "ctxerrorder", "metricname", "arenaretain",
+		"cellmap", "wallclock2", "lockheld", "durableerr", "arenaescape",
+	}
+	for _, name := range names {
 		t.Run(name, func(t *testing.T) {
 			var out strings.Builder
-			n, err := lint.Run(&out, lint.All(), []string{filepath.Join("testdata", "src", name)})
+			// The /... suffix pulls in fixture helper subpackages
+			// (wallclock2/clockutil) so the call graph sees the full
+			// chain; flat fixtures load identically either way.
+			n, err := lint.Run(&out, lint.All(), []string{filepath.Join("testdata", "src", name) + "/..."})
 			if err != nil {
 				t.Fatalf("driver error: %v", err)
 			}
@@ -88,6 +112,13 @@ func TestFixturesFailTheDriver(t *testing.T) {
 			}
 			if !strings.Contains(out.String(), "["+name+"]") {
 				t.Errorf("driver output has no [%s] finding:\n%s", name, out.String())
+			}
+			// Every allow inside a fixture must suppress something real
+			// under the full suite — a stale directive here means an
+			// analyzer quietly stopped firing where the fixture says it
+			// must.
+			if strings.Contains(out.String(), "suppresses nothing") {
+				t.Errorf("stale //reprolint:allow in the %s fixture:\n%s", name, out.String())
 			}
 		})
 	}
@@ -121,11 +152,91 @@ func TestAllowDirectiveHandling(t *testing.T) {
 	}
 }
 
-// TestAnalyzerMetadata pins the suite composition: six analyzers with
+// TestWallclockBlindSpot is the acceptance case for wallclock2: the
+// fixture's clock reads sit two helper calls away in a subpackage, and
+// wallclock — which scans this fixture, by explicit opt-in — cannot
+// connect them to the entry functions. The direct-call analyzer must
+// stay silent on the exact tree where the transitive analyzer fires;
+// if wallclock ever starts reporting here, the fixture no longer
+// demonstrates the blind spot and must be rethought.
+func TestWallclockBlindSpot(t *testing.T) {
+	var out strings.Builder
+	_, err := lint.Run(&out, lint.All(), []string{filepath.Join("testdata", "src", "wallclock2") + "/..."})
+	if err != nil {
+		t.Fatalf("driver error: %v", err)
+	}
+	got := out.String()
+	if strings.Contains(got, "[wallclock]") {
+		t.Errorf("wallclock reported in the wallclock2 fixture; the blind-spot demonstration is broken:\n%s", got)
+	}
+	if !strings.Contains(got, "[wallclock2]") {
+		t.Errorf("wallclock2 found nothing in its own fixture:\n%s", got)
+	}
+}
+
+// TestAllowMultiEdgeCases drives the allowmulti fixture, where
+// wallclock and wallclock2 fire on the same lines: a directive per
+// analyzer silences a paired line, a lone wallclock2 allow leaves the
+// wallclock finding standing, a wrong analyzer name suppresses nothing
+// and is reported stale, and a directive stranded two lines above its
+// finding is out of range.
+func TestAllowMultiEdgeCases(t *testing.T) {
+	var out strings.Builder
+	n, err := lint.Run(&out, lint.All(), []string{filepath.Join("testdata", "src", "allowmulti") + "/..."})
+	if err != nil {
+		t.Fatalf("driver error: %v", err)
+	}
+	got := out.String()
+	if strings.Contains(got, "[wallclock2]") {
+		t.Errorf("a wallclock2 finding survived its allow directive:\n%s", got)
+	}
+	if c := strings.Count(got, "[wallclock]"); c != 3 {
+		t.Errorf("got %d wallclock findings, want 3 (pairOneMissing, wrongName, stacked):\n%s", c, got)
+	}
+	for _, want := range []string{
+		"reprolint:allow detmap suppresses nothing",
+		"reprolint:allow wallclock suppresses nothing",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("driver output missing %q:\n%s", want, got)
+		}
+	}
+	if n != 5 {
+		t.Errorf("got %d findings, want exactly 5:\n%s", n, got)
+	}
+}
+
+// TestRunJSON exercises the machine-readable driver mode over the
+// allowmulti fixture: the array must parse, carry one element per
+// finding, and populate every field the CI tooling keys on.
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	n, err := lint.RunJSON(&out, lint.All(), []string{filepath.Join("testdata", "src", "allowmulti") + "/..."})
+	if err != nil {
+		t.Fatalf("driver error: %v", err)
+	}
+	var fs []lint.Finding
+	if err := json.Unmarshal([]byte(out.String()), &fs); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(fs) != n {
+		t.Errorf("JSON array has %d elements, driver reported %d", len(fs), n)
+	}
+	for _, f := range fs {
+		if f.File == "" || f.Line == 0 || f.Col == 0 || f.Message == "" || f.Analyzer == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+	}
+}
+
+// TestAnalyzerMetadata pins the suite composition: ten analyzers with
 // stable names, each documented — the names are part of the allow
 // directive syntax, so renaming one silently breaks suppressions.
 func TestAnalyzerMetadata(t *testing.T) {
-	want := []string{"detmap", "wallclock", "ctxerrorder", "metricname", "arenaretain", "cellmap"}
+	want := []string{
+		"detmap", "wallclock", "ctxerrorder", "metricname", "arenaretain",
+		"cellmap", "wallclock2", "lockheld", "durableerr", "arenaescape",
+	}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("lint.All() has %d analyzers, want %d", len(all), len(want))

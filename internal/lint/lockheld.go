@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/interproc"
+)
+
+// Lockheld guards the serve admission path's lock discipline: nothing
+// that can block — network I/O, cluster Dispatch/peer fetch, channel
+// operations, journal fsync — may run while holding the admission
+// mutex (Server.jmu). The jmu critical section serializes every
+// submit/ack decision; a blocking operation inside it turns one slow
+// peer or full channel into a stalled admission queue for the whole
+// daemon (the PR 8 scatter path is the motivating customer).
+//
+// The write-ahead journal append under jmu is the one *deliberate*
+// exception — ack-after-durable ordering requires it — and each such
+// site carries a reasoned //reprolint:allow lockheld documenting that
+// tradeoff. interproc.lockScan supplies the per-function regions and
+// blocking witnesses; this analyzer only scopes and formats them.
+var Lockheld = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "forbids blocking operations (network/RPC, channel ops, fsync, sleeps) while " +
+		"holding the serve admission mutex jmu; write-ahead journal appends are the " +
+		"documented exception and carry reasoned allows",
+	Run: runLockheld,
+}
+
+func runLockheld(pass *analysis.Pass) (interface{}, error) {
+	mod, ok := pass.Module.(*interproc.Module)
+	if !ok {
+		return nil, fmt.Errorf("lockheld needs the interprocedural module summaries (driver did not set Pass.Module)")
+	}
+	path := pass.Pkg.Path()
+	if !pkgMatches(path, []string{modulePath + "/internal/serve"}) && !isFixtureFor(path, "lockheld") {
+		return nil, nil
+	}
+	for _, fi := range mod.Funcs(path) {
+		for _, op := range fi.LockedOps {
+			pass.Reportf(op.Pos, "%s; admission must stay non-blocking — move the operation outside the critical section", op.What)
+		}
+	}
+	return nil, nil
+}

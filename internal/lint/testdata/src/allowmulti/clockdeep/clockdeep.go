@@ -1,0 +1,12 @@
+// Package clockdeep holds the wall-clock source for the allowmulti
+// fixture, one package removed from the entry file: calls to Stamp are
+// wallclock2 findings at the caller while the time.Now itself sits
+// outside every analyzer's scope, so the entry lines can carry a
+// direct wallclock finding and a transitive wallclock2 finding with
+// independent allow directives.
+package clockdeep
+
+import "time"
+
+// Stamp hands host time to whoever calls it.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,68 @@
+// Package arenaescape is the analysistest fixture for the arena escape
+// analyzer: values aliasing arena-owned memory (core.Report results,
+// (*hv.System).Log records, and anything derived from them through
+// helper returns, selection, or composite-literal laundering) must not
+// be stored anywhere that outlives the arena's next Reset.
+package arenaescape
+
+import (
+	"repro/internal/core"
+	"repro/internal/hv"
+	"repro/internal/tracerec"
+)
+
+type holder struct {
+	res  *core.Result
+	recs []tracerec.Record
+}
+
+var latest *core.Result
+
+// alias returns arena-owned memory; callers inherit the taint through
+// the Arena summary.
+func alias(sys *hv.System) *core.Result {
+	return core.Report(sys)
+}
+
+// fieldStore is the acceptance case arenaretain provably misses: no
+// core.Report or Log call appears here at all — the alias arrives
+// through a helper return and a local variable before landing in a
+// struct field.
+func fieldStore(h *holder, sys *hv.System) {
+	r := alias(sys)
+	h.res = r // want `stored into struct field res`
+}
+
+// globalStore: package-level variables outlive every arena.
+func globalStore(sys *hv.System) {
+	latest = alias(sys) // want `package-level variable latest`
+}
+
+// mapStore and chanStore: containers with indefinite lifetime.
+func mapStore(sys *hv.System, idx map[string][]tracerec.Record) {
+	idx["last"] = sys.Log().Records // want `map entry`
+}
+
+func chanStore(sys *hv.System, out chan []tracerec.Record) {
+	out <- sys.Log().Records // want `a channel`
+}
+
+// laundered: the alias hides inside a composite literal in a local
+// struct before the field store — the laundering path the dataflow
+// pass exists to follow.
+func laundered(h *holder, sys *hv.System) {
+	wrapped := holder{recs: sys.Log().Records}
+	h.recs = wrapped.recs // want `stored into struct field recs`
+}
+
+// owned: the deep copy is the sanctioned path out of the arena.
+func owned(h *holder, sys *hv.System) {
+	h.res = core.ReportOwned(sys)
+}
+
+// localOnly: an alias that never escapes the call is borrowing as
+// designed.
+func localOnly(sys *hv.System) int {
+	recs := sys.Log().Records
+	return len(recs)
+}

@@ -1,0 +1,83 @@
+// Package durableerr is the analysistest fixture for the durable-error
+// analyzer. The journal type mirrors the serve write-ahead journal
+// (which is unexported there); its append is a durable base fact by
+// key, and the store import exercises the real Store.Put obligation.
+package durableerr
+
+import (
+	"errors"
+
+	"repro/internal/store"
+)
+
+type record struct{ op string }
+
+type journal struct{ dead bool }
+
+var errDead = errors.New("journal is not accepting writes")
+
+// append mirrors (*serve.journal).append: its error carries the
+// write-ahead durability of the record.
+func (j *journal) append(rec record) error {
+	if j.dead {
+		return errDead
+	}
+	_ = rec
+	return nil
+}
+
+// droppedAppend is the acceptance case: a journal append whose error
+// simply vanishes — the daemon would ack work with no durable accept
+// record.
+func droppedAppend(j *journal) {
+	j.append(record{op: "accept"}) // want `error from \(durableerr\.journal\)\.append is discarded`
+}
+
+// blankAppend: discarding to _ is the same loss, made explicit.
+func blankAppend(j *journal) {
+	_ = j.append(record{op: "accept"}) // want `assigned to _`
+}
+
+// checked discharges the obligation.
+func checked(j *journal) bool {
+	if err := j.append(record{op: "accept"}); err != nil {
+		return false
+	}
+	return true
+}
+
+// propagate hands the obligation to its callers: the summary marks it
+// durable because it returns the append's error.
+func propagate(j *journal) error {
+	return j.append(record{op: "accept"})
+}
+
+// dropPropagated is the refactoring hazard the propagation exists for:
+// the append moved behind a helper, and the caller's drop would pass a
+// direct-call check.
+func dropPropagated(j *journal) {
+	propagate(j) // want `error from durableerr\.propagate is discarded`
+}
+
+// viaVariable: the error rides a local before being returned; callers
+// still inherit the obligation.
+func viaVariable(j *journal) error {
+	err := j.append(record{op: "accept"})
+	return err
+}
+
+func dropViaVariable(j *journal) {
+	viaVariable(j) // want `error from durableerr\.viaVariable is discarded`
+}
+
+// storePut: the real durable store write, dropped.
+func storePut(st *store.Store, key string, body []byte) {
+	_ = st.Put(key, body) // want `error from \(store\.Store\)\.Put is assigned to _`
+}
+
+// allowedDrop: a best-effort flush on a shutdown path may deliberately
+// drop, with the reason on record.
+func allowedDrop(j *journal) {
+	//reprolint:allow durableerr fixture: best-effort flush on shutdown, replay re-derives the record
+	j.append(record{op: "flush"})
+}

@@ -1,0 +1,100 @@
+// Package lockheld is the analysistest fixture for the admission-mutex
+// analyzer: RPC, HTTP, channel and fsync-reaching operations inside a
+// jmu critical section are findings; the same operations outside the
+// section, behind a go statement, or as a select-with-default probe are
+// not. The struct mirrors the serve.Server shape — a sync.Mutex field
+// named jmu is the admission mutex by definition.
+package lockheld
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+type server struct {
+	jmu   sync.Mutex
+	queue chan int
+	cl    *cluster.Cluster
+	hc    *http.Client
+}
+
+// dispatchUnderLock is the PR 8 scatter shape the analyzer exists for:
+// a cluster RPC issued while the admission mutex is held.
+func (s *server) dispatchUnderLock(ctx context.Context) {
+	s.jmu.Lock()
+	_, _ = s.cl.Dispatch(ctx, "peer", nil) // want `may block .* admission mutex`
+	s.jmu.Unlock()
+}
+
+// httpUnderLock: deferred unlock holds the section to the end of the
+// function, so the round trip is inside it.
+func (s *server) httpUnderLock(req *http.Request) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	resp, err := s.hc.Do(req) // want `may block .* admission mutex`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// sendUnderLock: a bare channel send can park the goroutine with the
+// admission mutex held.
+func (s *server) sendUnderLock(v int) {
+	s.jmu.Lock()
+	s.queue <- v // want `channel send while holding`
+	s.jmu.Unlock()
+}
+
+// probeUnderLock is the sanctioned shape: select with default never
+// parks — exactly how enqueue backpressure works in serve.
+func (s *server) probeUnderLock(v int) bool {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	select {
+	case s.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// outsideLock: the same RPC after Unlock is fine.
+func (s *server) outsideLock(ctx context.Context) {
+	s.jmu.Lock()
+	s.jmu.Unlock()
+	_, _ = s.cl.Dispatch(ctx, "peer", nil)
+}
+
+// spawned: a goroutine does not hold the caller's lock.
+func (s *server) spawned(ctx context.Context) {
+	s.jmu.Lock()
+	go func() {
+		_, _ = s.cl.Dispatch(ctx, "peer", nil)
+	}()
+	s.jmu.Unlock()
+}
+
+// conditionalUnlock: the early-out branch releases and returns; the
+// fall-through path still holds the lock and must still be flagged.
+func (s *server) conditionalUnlock(ctx context.Context, bad bool) {
+	s.jmu.Lock()
+	if bad {
+		s.jmu.Unlock()
+		return
+	}
+	_, _ = s.cl.Dispatch(ctx, "peer", nil) // want `may block .* admission mutex`
+	s.jmu.Unlock()
+}
+
+// allowedAppend mirrors the write-ahead journal tradeoff: a blocking
+// operation deliberately kept inside the section carries a reasoned
+// allow.
+func (s *server) allowedAppend(ctx context.Context) {
+	s.jmu.Lock()
+	//reprolint:allow lockheld fixture: write-ahead ordering requires the durable append before ack
+	_, _ = s.cl.Dispatch(ctx, "journal", nil)
+	s.jmu.Unlock()
+}

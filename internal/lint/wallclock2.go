@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/interproc"
+)
+
+// Wallclock2 is the interprocedural successor to Wallclock: instead of
+// flagging only direct time.Now/global-rand calls, it flags any call in
+// a deterministic-scope package whose callee *transitively* reaches a
+// wall-clock read — the helper-chain blind spot the direct check
+// provably cannot see (a time.Now two helpers deep in another package
+// taints every caller, but appears in no caller's own statements).
+//
+// The division of labor is exact: direct base calls (time.Now itself)
+// stay Wallclock's findings; Wallclock2 reports only calls to
+// module-internal functions whose propagated Clock summary is set, with
+// the witness chain in the message. Calls into the operational
+// allowlist packages are a sanctioned boundary and never tainted
+// (interproc forces their summaries clean).
+var Wallclock2 = &analysis.Analyzer{
+	Name: "wallclock2",
+	Doc: "forbids calls in simulation packages that transitively reach time.Now/" +
+		"time.Since/global math/rand through any helper chain; complements wallclock " +
+		"(direct calls) using the module call graph, same operational allowlist",
+	Run: runWallclock2,
+}
+
+func runWallclock2(pass *analysis.Pass) (interface{}, error) {
+	mod, ok := pass.Module.(*interproc.Module)
+	if !ok {
+		return nil, fmt.Errorf("wallclock2 needs the interprocedural module summaries (driver did not set Pass.Module)")
+	}
+	path := pass.Pkg.Path()
+	inScope := pkgMatches(path, []string{modulePath + "/internal"}) &&
+		!pkgMatches(path, wallclockAllow) && !isAnyFixture(path)
+	// Only the fixture entry packages are in reporting scope — the
+	// clockutil subpackage stands in for an out-of-scope helper package
+	// (the shape of the real-world miss).
+	if !inScope && !isFixtureFor(path, "wallclock2") && !isFixtureFor(path, "allowmulti") {
+		return nil, nil
+	}
+	for _, fi := range mod.Funcs(path) {
+		for _, c := range fi.Calls {
+			if interproc.BaseClock(c.Callee) || !mod.ClockTainted(c.Callee) {
+				continue
+			}
+			pass.Reportf(c.Pos,
+				"call to %s transitively reads the wall clock (%s) in simulation package %s; "+
+					"real time must not reach deterministic results",
+				interproc.Short(c.Callee), mod.ClockChain(c.Callee), path)
+		}
+	}
+	return nil, nil
+}

@@ -34,6 +34,7 @@ type cache struct {
 	hits      *metrics.Counter
 	storeHits *metrics.Counter
 	misses    *metrics.Counter
+	storeErrs *metrics.Counter
 }
 
 type cacheEntry struct {
@@ -50,6 +51,7 @@ func newCache(max int, st *store.Store, reg *metrics.Registry) *cache {
 		hits:      reg.Counter("repro_server_cache_hits_total"),
 		storeHits: reg.Counter("repro_server_cache_store_hits_total"),
 		misses:    reg.Counter("repro_server_cache_misses_total"),
+		storeErrs: reg.Counter("repro_server_cache_store_errors_total"),
 	}
 }
 
@@ -87,7 +89,11 @@ func (c *cache) Get(key string) ([]byte, string) {
 func (c *cache) Put(key string, body []byte) {
 	c.promote(key, body)
 	if c.store != nil {
-		_ = c.store.Put(key, body)
+		if err := c.store.Put(key, body); err != nil {
+			// Degraded durability must at least be visible: the entry
+			// serves from memory, but a restart will recompute it.
+			c.storeErrs.Inc()
+		}
 	}
 }
 

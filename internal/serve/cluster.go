@@ -182,6 +182,7 @@ func (s *Server) adoptCampaign(rec *journalRecord) bool {
 	}
 	if s.jl != nil {
 		spec := agg.Spec
+		//reprolint:allow lockheld write-ahead ordering: the adopted campaign must be durable before this node claims it, the fsync is the admission cost
 		if err := s.jl.append(journalRecord{Op: opCampaign, ID: cs.id, Key: cs.key, Camp: &spec}); err != nil {
 			s.cmu.Unlock()
 			s.jmu.Unlock()
